@@ -1,0 +1,85 @@
+//! Call graph construction and reachability.
+
+use mcpart_ir::{EntityMap, FuncId, Opcode, Program};
+
+/// The static call graph of a program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CallGraph {
+    /// Callees of each function (deduplicated, in call order).
+    pub callees: EntityMap<FuncId, Vec<FuncId>>,
+    /// Callers of each function.
+    pub callers: EntityMap<FuncId, Vec<FuncId>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph.
+    pub fn compute(program: &Program) -> Self {
+        let n = program.functions.len();
+        let mut callees: EntityMap<FuncId, Vec<FuncId>> = EntityMap::with_default(n, Vec::new());
+        let mut callers: EntityMap<FuncId, Vec<FuncId>> = EntityMap::with_default(n, Vec::new());
+        for (fid, func) in program.functions.iter() {
+            for op in func.ops.values() {
+                if let Opcode::Call(callee) = op.opcode {
+                    if !callees[fid].contains(&callee) {
+                        callees[fid].push(callee);
+                    }
+                    if !callers[callee].contains(&fid) {
+                        callers[callee].push(fid);
+                    }
+                }
+            }
+        }
+        CallGraph { callees, callers }
+    }
+
+    /// Functions reachable from the entry, in DFS preorder.
+    pub fn reachable(&self, program: &Program) -> Vec<FuncId> {
+        let mut visited = vec![false; program.functions.len()];
+        let mut order = Vec::new();
+        let mut stack = vec![program.entry];
+        while let Some(f) = stack.pop() {
+            if std::mem::replace(&mut visited[f.0 as usize], true) {
+                continue;
+            }
+            order.push(f);
+            for &callee in self.callees[f].iter().rev() {
+                if !visited[callee.0 as usize] {
+                    stack.push(callee);
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpart_ir::FunctionBuilder;
+
+    #[test]
+    fn callgraph_and_reachability() {
+        let mut p = Program::new("t");
+        let leaf = {
+            let mut b = FunctionBuilder::new_function(&mut p, "leaf");
+            b.ret(None);
+            b.func_id()
+        };
+        let unreached = {
+            let mut b = FunctionBuilder::new_function(&mut p, "dead");
+            b.ret(None);
+            b.func_id()
+        };
+        let mut b = FunctionBuilder::entry(&mut p);
+        b.call(leaf, vec![], 0);
+        b.call(leaf, vec![], 0);
+        b.ret(None);
+        let cg = CallGraph::compute(&p);
+        assert_eq!(cg.callees[p.entry], vec![leaf]);
+        assert_eq!(cg.callers[leaf], vec![p.entry]);
+        let reach = cg.reachable(&p);
+        assert!(reach.contains(&leaf));
+        assert!(!reach.contains(&unreached));
+        assert_eq!(reach[0], p.entry);
+    }
+}

@@ -1,0 +1,182 @@
+//! Backward liveness dataflow over a function's CFG.
+//!
+//! Computes per-block live-in/live-out register sets. Consumers include
+//! diagnostics (register pressure per block) and the move inserter's
+//! reasoning about where transfer copies are worth materializing.
+
+use mcpart_ir::{BlockId, EntityId, EntityMap, Function, Terminator, VReg};
+use std::collections::BTreeSet;
+
+/// A set of virtual registers (ordered for determinism).
+pub type RegSet = BTreeSet<VReg>;
+
+/// Per-block liveness information.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Liveness {
+    /// Registers live on entry to each block.
+    pub live_in: EntityMap<BlockId, RegSet>,
+    /// Registers live on exit from each block.
+    pub live_out: EntityMap<BlockId, RegSet>,
+}
+
+impl Liveness {
+    /// Computes liveness for `func` with the standard backward
+    /// fixpoint: `in[b] = use[b] ∪ (out[b] − def[b])`,
+    /// `out[b] = ∪ in[succ]`.
+    pub fn compute(func: &Function) -> Self {
+        let n = func.blocks.len();
+        // Per-block local use (read before any local write) and def sets.
+        let mut uses: EntityMap<BlockId, RegSet> = EntityMap::with_default(n, RegSet::new());
+        let mut defs: EntityMap<BlockId, RegSet> = EntityMap::with_default(n, RegSet::new());
+        for (bid, block) in func.blocks.iter() {
+            let mut local_def = RegSet::new();
+            for &oid in &block.ops {
+                let op = &func.ops[oid];
+                for &s in &op.srcs {
+                    if !local_def.contains(&s) {
+                        uses[bid].insert(s);
+                    }
+                }
+                for &d in &op.dsts {
+                    local_def.insert(d);
+                }
+            }
+            match &block.term {
+                Some(Terminator::Branch { cond, .. })
+                    if !local_def.contains(cond) => {
+                        uses[bid].insert(*cond);
+                    }
+                Some(Terminator::Return(Some(v)))
+                    if !local_def.contains(v) => {
+                        uses[bid].insert(*v);
+                    }
+                _ => {}
+            }
+            defs[bid] = local_def;
+        }
+        let mut live_in: EntityMap<BlockId, RegSet> = EntityMap::with_default(n, RegSet::new());
+        let mut live_out: EntityMap<BlockId, RegSet> = EntityMap::with_default(n, RegSet::new());
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Reverse block order converges faster for forward CFGs.
+            for i in (0..n).rev() {
+                let bid = BlockId::new(i);
+                let mut out = RegSet::new();
+                for succ in func.blocks[bid].successors() {
+                    out.extend(live_in[succ].iter().copied());
+                }
+                let mut inset = uses[bid].clone();
+                for &v in &out {
+                    if !defs[bid].contains(&v) {
+                        inset.insert(v);
+                    }
+                }
+                if out != live_out[bid] || inset != live_in[bid] {
+                    live_out[bid] = out;
+                    live_in[bid] = inset;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Maximum number of simultaneously live registers at block
+    /// boundaries — a cheap register-pressure proxy.
+    pub fn peak_boundary_pressure(&self) -> usize {
+        self.live_in
+            .values()
+            .chain(self.live_out.values())
+            .map(BTreeSet::len)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpart_ir::{Cmp, FunctionBuilder, Program};
+
+    #[test]
+    fn straight_line_liveness() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let x = b.param();
+        let y = b.add(x, x);
+        b.ret(Some(y));
+        let f = p.entry_function();
+        let lv = Liveness::compute(f);
+        assert!(lv.live_in[f.entry].contains(&x));
+        assert!(!lv.live_in[f.entry].contains(&y), "y defined locally");
+        assert!(lv.live_out[f.entry].is_empty());
+    }
+
+    #[test]
+    fn loop_carried_value_is_live_around_the_loop() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let i = b.iconst(0);
+        let n = b.iconst(10);
+        let head = b.block("head");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.icmp(Cmp::Lt, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let one = b.iconst(1);
+        let ni = b.add(i, one);
+        b.mov_to(i, ni);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let f = p.entry_function();
+        let lv = Liveness::compute(f);
+        // i is live into the header, the body, and the exit.
+        assert!(lv.live_in[head].contains(&i));
+        assert!(lv.live_in[body].contains(&i));
+        assert!(lv.live_in[exit].contains(&i));
+        // n is live around the loop but not into the exit.
+        assert!(lv.live_in[head].contains(&n));
+        assert!(!lv.live_in[exit].contains(&n));
+        assert!(lv.peak_boundary_pressure() >= 2);
+    }
+
+    #[test]
+    fn branch_condition_counts_as_use() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let cond = b.param();
+        let t = b.block("t");
+        let e = b.block("e");
+        b.branch(cond, t, e);
+        b.switch_to(t);
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(None);
+        let f = p.entry_function();
+        let lv = Liveness::compute(f);
+        assert!(lv.live_in[f.entry].contains(&cond));
+        assert!(lv.live_out[f.entry].is_empty());
+    }
+
+    #[test]
+    fn value_dead_after_last_use() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let x = b.iconst(1);
+        let y = b.add(x, x); // last use of x
+        let b2 = b.block("b2");
+        b.jump(b2);
+        b.switch_to(b2);
+        b.ret(Some(y));
+        let f = p.entry_function();
+        let lv = Liveness::compute(f);
+        assert!(!lv.live_in[b2].contains(&x));
+        assert!(lv.live_in[b2].contains(&y));
+        assert!(lv.live_out[f.entry].contains(&y));
+    }
+}

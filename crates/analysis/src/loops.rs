@@ -1,0 +1,360 @@
+//! Dominators and natural-loop detection.
+//!
+//! Used to form loop-nest regions for the computation partitioner
+//! (RHOP's regions in the paper are compiler-formed loop/hyperblock
+//! regions) and generally useful CFG analyses.
+
+use mcpart_ir::{BlockId, EntityId, EntityMap, Function};
+
+/// Immediate-dominator tree of a function's CFG, computed with the
+/// Cooper–Harvey–Kennedy iterative algorithm over a reverse postorder.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Dominators {
+    /// Immediate dominator per block (`None` for the entry and for
+    /// unreachable blocks).
+    pub idom: EntityMap<BlockId, Option<BlockId>>,
+    /// Reverse postorder of reachable blocks.
+    pub rpo: Vec<BlockId>,
+}
+
+impl Dominators {
+    /// Computes the dominator tree.
+    pub fn compute(func: &Function) -> Self {
+        let n = func.blocks.len();
+        // Postorder DFS from entry.
+        let mut post: Vec<BlockId> = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+        let mut stack: Vec<(BlockId, usize)> = vec![(func.entry, 0)];
+        state[func.entry.index()] = 1;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let succs = func.blocks[b].successors();
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                if state[s.index()] == 0 {
+                    state[s.index()] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b.index()] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.iter().rev().copied().collect();
+        let mut rpo_index: EntityMap<BlockId, usize> = EntityMap::with_default(n, usize::MAX);
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b] = i;
+        }
+        // Predecessors (reachable only).
+        let mut preds: EntityMap<BlockId, Vec<BlockId>> = EntityMap::with_default(n, Vec::new());
+        for &b in &rpo {
+            for s in func.blocks[b].successors() {
+                preds[s].push(b);
+            }
+        }
+        let mut idom: EntityMap<BlockId, Option<BlockId>> = EntityMap::with_default(n, None);
+        idom[func.entry] = Some(func.entry);
+        let intersect = |idom: &EntityMap<BlockId, Option<BlockId>>,
+                         rpo_index: &EntityMap<BlockId, usize>,
+                         mut a: BlockId,
+                         mut b: BlockId| {
+            while a != b {
+                while rpo_index[a] > rpo_index[b] {
+                    a = idom[a].expect("processed");
+                }
+                while rpo_index[b] > rpo_index[a] {
+                    b = idom[b].expect("processed");
+                }
+            }
+            a
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &rpo {
+                if b == func.entry {
+                    continue;
+                }
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b] {
+                    if idom[p].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, cur, p),
+                    });
+                }
+                if new_idom.is_some() && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        // The entry's self-idom is an implementation artifact; expose None.
+        idom[func.entry] = None;
+        Dominators { idom, rpo }
+    }
+
+    /// Returns `true` if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur] {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+}
+
+/// A natural loop: a back edge `tail → header` where the header
+/// dominates the tail, plus all blocks that reach the tail without
+/// passing through the header.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NaturalLoop {
+    /// The loop header.
+    pub header: BlockId,
+    /// All member blocks (header first, rest in discovery order).
+    pub blocks: Vec<BlockId>,
+}
+
+/// All natural loops of a function, with innermost-loop membership.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LoopForest {
+    /// Loops, outer loops before the inner loops they contain.
+    pub loops: Vec<NaturalLoop>,
+}
+
+impl LoopForest {
+    /// Detects natural loops (loops sharing a header are merged).
+    pub fn compute(func: &Function) -> Self {
+        let dom = Dominators::compute(func);
+        let n = func.blocks.len();
+        let mut preds: EntityMap<BlockId, Vec<BlockId>> = EntityMap::with_default(n, Vec::new());
+        for &b in &dom.rpo {
+            for s in func.blocks[b].successors() {
+                preds[s].push(b);
+            }
+        }
+        let mut loops: Vec<NaturalLoop> = Vec::new();
+        for &tail in &dom.rpo {
+            for header in func.blocks[tail].successors() {
+                if !dom.dominates(header, tail) {
+                    continue;
+                }
+                // Collect the loop body by walking predecessors from the
+                // tail until the header.
+                let mut body = vec![header];
+                let mut work = vec![tail];
+                while let Some(b) = work.pop() {
+                    if body.contains(&b) {
+                        continue;
+                    }
+                    body.push(b);
+                    for &p in &preds[b] {
+                        work.push(p);
+                    }
+                }
+                if let Some(existing) = loops.iter_mut().find(|l| l.header == header) {
+                    for b in body {
+                        if !existing.blocks.contains(&b) {
+                            existing.blocks.push(b);
+                        }
+                    }
+                } else {
+                    loops.push(NaturalLoop { header, blocks: body });
+                }
+            }
+        }
+        // Order outer-first (more blocks first as a simple proxy, then
+        // by header id for determinism).
+        loops.sort_by_key(|l| (std::cmp::Reverse(l.blocks.len()), l.header));
+        LoopForest { loops }
+    }
+
+    /// Outermost loops only: loops not contained in any other loop.
+    pub fn outermost(&self) -> Vec<&NaturalLoop> {
+        self.loops
+            .iter()
+            .filter(|l| {
+                !self
+                    .loops
+                    .iter()
+                    .any(|o| o.header != l.header && o.blocks.contains(&l.header))
+            })
+            .collect()
+    }
+}
+
+/// Region decomposition for the computation partitioner: one region per
+/// outermost loop (covering the whole nest), and one per remaining
+/// block. Every block appears exactly once.
+pub fn loop_regions(func: &Function) -> Vec<Vec<BlockId>> {
+    let forest = LoopForest::compute(func);
+    let mut covered = vec![false; func.blocks.len()];
+    let mut regions: Vec<Vec<BlockId>> = Vec::new();
+    for l in forest.outermost() {
+        let mut blocks: Vec<BlockId> = l.blocks.clone();
+        blocks.sort();
+        blocks.retain(|&b| !std::mem::replace(&mut covered[b.index()], true));
+        if !blocks.is_empty() {
+            regions.push(blocks);
+        }
+    }
+    for (b, _) in func.blocks.iter() {
+        if !covered[b.index()] {
+            regions.push(vec![b]);
+        }
+    }
+    // Deterministic order: by first block id.
+    regions.sort_by_key(|r| r[0]);
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpart_ir::{Cmp, FunctionBuilder, Program};
+
+    /// entry -> head <-> body, head -> exit.
+    fn simple_loop() -> (Program, BlockId, BlockId, BlockId) {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let i = b.iconst(0);
+        let n = b.iconst(10);
+        let head = b.block("head");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.icmp(Cmp::Lt, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let one = b.iconst(1);
+        let next = b.add(i, one);
+        b.mov_to(i, next);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(None);
+        (p, head, body, exit)
+    }
+
+    #[test]
+    fn dominators_of_simple_loop() {
+        let (p, head, body, exit) = simple_loop();
+        let f = p.entry_function();
+        let dom = Dominators::compute(f);
+        assert_eq!(dom.idom[head], Some(f.entry));
+        assert_eq!(dom.idom[body], Some(head));
+        assert_eq!(dom.idom[exit], Some(head));
+        assert!(dom.dominates(f.entry, exit));
+        assert!(dom.dominates(head, body));
+        assert!(!dom.dominates(body, exit));
+        assert!(dom.dominates(body, body), "dominance is reflexive");
+    }
+
+    #[test]
+    fn natural_loop_detected() {
+        let (p, head, body, exit) = simple_loop();
+        let forest = LoopForest::compute(p.entry_function());
+        assert_eq!(forest.loops.len(), 1);
+        let l = &forest.loops[0];
+        assert_eq!(l.header, head);
+        assert!(l.blocks.contains(&body));
+        assert!(!l.blocks.contains(&exit));
+    }
+
+    #[test]
+    fn loop_regions_cover_all_blocks_once() {
+        let (p, ..) = simple_loop();
+        let f = p.entry_function();
+        let regions = loop_regions(f);
+        let mut seen = std::collections::HashSet::new();
+        for r in &regions {
+            for &b in r {
+                assert!(seen.insert(b), "{b} in two regions");
+            }
+        }
+        assert_eq!(seen.len(), f.blocks.len());
+        // The loop (head + body) forms one region.
+        assert!(regions.iter().any(|r| r.len() == 2));
+    }
+
+    #[test]
+    fn nested_loops_form_one_outer_region() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let i = b.iconst(0);
+        let n = b.iconst(4);
+        let ohead = b.block("ohead");
+        let obody = b.block("obody");
+        let ihead = b.block("ihead");
+        let ibody = b.block("ibody");
+        let olatch = b.block("olatch");
+        let exit = b.block("exit");
+        b.jump(ohead);
+        b.switch_to(ohead);
+        let c = b.icmp(Cmp::Lt, i, n);
+        b.branch(c, obody, exit);
+        b.switch_to(obody);
+        let j = b.iconst(0);
+        b.jump(ihead);
+        b.switch_to(ihead);
+        let cj = b.icmp(Cmp::Lt, j, n);
+        b.branch(cj, ibody, olatch);
+        b.switch_to(ibody);
+        let one = b.iconst(1);
+        let nj = b.add(j, one);
+        b.mov_to(j, nj);
+        b.jump(ihead);
+        b.switch_to(olatch);
+        let one2 = b.iconst(1);
+        let ni = b.add(i, one2);
+        b.mov_to(i, ni);
+        b.jump(ohead);
+        b.switch_to(exit);
+        b.ret(None);
+        mcpart_ir::verify_program(&p).unwrap();
+        let f = p.entry_function();
+        let forest = LoopForest::compute(f);
+        assert_eq!(forest.loops.len(), 2, "outer and inner loop");
+        let outer = forest.outermost();
+        assert_eq!(outer.len(), 1, "inner loop nests inside outer");
+        assert_eq!(outer[0].header, ohead);
+        // Regions: one 5-block nest + entry + exit singletons.
+        let regions = loop_regions(f);
+        assert!(regions.iter().any(|r| r.len() == 5), "{regions:?}");
+        assert_eq!(regions.iter().map(Vec::len).sum::<usize>(), f.blocks.len());
+    }
+
+    #[test]
+    fn loop_free_function_has_singleton_regions() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let next = b.block("next");
+        b.jump(next);
+        b.switch_to(next);
+        b.ret(None);
+        let regions = loop_regions(p.entry_function());
+        assert_eq!(regions.len(), 2);
+        assert!(regions.iter().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let dead = b.block("dead");
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        let dom = Dominators::compute(p.entry_function());
+        assert_eq!(dom.idom[dead], None);
+        assert!(!dom.rpo.contains(&dead));
+    }
+}

@@ -1,0 +1,297 @@
+//! Interprocedural, flow-insensitive points-to analysis.
+//!
+//! The paper uses summary-based context-sensitive pointer analysis
+//! (Nystrom et al.) to map each load/store to the data objects it can
+//! access and to relate `malloc()` call sites to the accesses on their
+//! heap data. We implement a whole-program Andersen-style analysis that
+//! is field-insensitive and context-insensitive — sound and precise
+//! enough for the access-pattern merging of the first pass, since our IR
+//! programs are far smaller than full C applications.
+//!
+//! Abstract domain: every virtual register holds a set of [`ObjectId`]s
+//! it may point into; every object has a points-to summary for pointer
+//! values stored *into* it. Address arithmetic preserves the base
+//! object.
+
+use mcpart_ir::{EntityMap, FuncId, ObjectId, OpId, Opcode, Program, VReg};
+use std::collections::BTreeSet;
+
+/// A set of data objects, ordered for determinism.
+pub type ObjectSet = BTreeSet<ObjectId>;
+
+/// Result of the points-to analysis.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PointsTo {
+    /// Per-function, per-register points-to sets.
+    pub vreg_sets: EntityMap<FuncId, EntityMap<VReg, ObjectSet>>,
+    /// Pointer values that may be stored inside each object
+    /// (field-insensitive heap summary).
+    pub object_contents: EntityMap<ObjectId, ObjectSet>,
+}
+
+impl PointsTo {
+    /// Computes points-to sets for the whole program by iterating the
+    /// transfer rules to a fixpoint.
+    pub fn compute(program: &Program) -> Self {
+        let mut vreg_sets: EntityMap<FuncId, EntityMap<VReg, ObjectSet>> = program
+            .functions
+            .values()
+            .map(|f| EntityMap::with_default(f.num_vregs, ObjectSet::new()))
+            .collect();
+        let mut object_contents: EntityMap<ObjectId, ObjectSet> =
+            EntityMap::with_default(program.objects.len(), ObjectSet::new());
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (fid, func) in program.functions.iter() {
+                for op in func.ops.values() {
+                    match op.opcode {
+                        Opcode::AddrOf(obj) | Opcode::Malloc(obj) => {
+                            changed |= vreg_sets[fid][op.dsts[0]].insert(obj);
+                        }
+                        Opcode::Load(_) => {
+                            // dst may hold any pointer stored in any
+                            // object the address points into.
+                            let addr_set = vreg_sets[fid][op.srcs[0]].clone();
+                            let mut incoming = ObjectSet::new();
+                            for obj in addr_set {
+                                incoming.extend(object_contents[obj].iter().copied());
+                            }
+                            changed |= union_into(&mut vreg_sets[fid][op.dsts[0]], &incoming);
+                        }
+                        Opcode::Store(_) => {
+                            let addr_set = vreg_sets[fid][op.srcs[0]].clone();
+                            let val_set = vreg_sets[fid][op.srcs[1]].clone();
+                            if !val_set.is_empty() {
+                                for obj in addr_set {
+                                    changed |= union_into(&mut object_contents[obj], &val_set);
+                                }
+                            }
+                        }
+                        Opcode::Call(callee) => {
+                            // Args flow into parameters.
+                            let params = program.functions[callee].params.clone();
+                            for (&arg, &param) in op.srcs.iter().zip(params.iter()) {
+                                let s = vreg_sets[fid][arg].clone();
+                                changed |= union_into(&mut vreg_sets[callee][param], &s);
+                            }
+                            // Return values flow back into destinations.
+                            let mut ret_set = ObjectSet::new();
+                            for block in program.functions[callee].blocks.values() {
+                                if let Some(mcpart_ir::Terminator::Return(Some(v))) = &block.term
+                                {
+                                    ret_set.extend(vreg_sets[callee][*v].iter().copied());
+                                }
+                            }
+                            for &dst in &op.dsts {
+                                changed |= union_into(&mut vreg_sets[fid][dst], &ret_set);
+                            }
+                        }
+                        // Everything else: pointers survive arithmetic,
+                        // moves and selects (base-object preservation).
+                        _ => {
+                            if op.dsts.len() == 1 {
+                                let mut incoming = ObjectSet::new();
+                                for &s in &op.srcs {
+                                    incoming.extend(vreg_sets[fid][s].iter().copied());
+                                }
+                                if !incoming.is_empty() {
+                                    changed |=
+                                        union_into(&mut vreg_sets[fid][op.dsts[0]], &incoming);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        PointsTo { vreg_sets, object_contents }
+    }
+
+    /// Objects a memory operation can access: the points-to set of its
+    /// address operand for loads/stores, the allocation site itself for
+    /// mallocs, and `None` for non-memory operations.
+    pub fn memop_objects(&self, program: &Program, func: FuncId, op: OpId) -> Option<ObjectSet> {
+        let operation = &program.functions[func].ops[op];
+        match operation.opcode {
+            Opcode::Load(_) | Opcode::Store(_) => {
+                Some(self.vreg_sets[func][operation.srcs[0]].clone())
+            }
+            Opcode::Malloc(site) => Some(ObjectSet::from([site])),
+            _ => None,
+        }
+    }
+}
+
+fn union_into(dst: &mut ObjectSet, src: &ObjectSet) -> bool {
+    let before = dst.len();
+    dst.extend(src.iter().copied());
+    dst.len() != before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpart_ir::{Cmp, DataObject, FunctionBuilder, MemWidth};
+
+    /// Reconstructs the paper's Figure 4: a pointer `foo` set to either
+    /// heap data `x` or global `value1` depending on a condition, then
+    /// dereferenced.
+    fn figure4_program() -> (Program, ObjectId, ObjectId, ObjectId) {
+        let mut p = Program::new("fig4");
+        let heap_x = p.add_object(DataObject::heap_site("x"));
+        let value1 = p.add_object(DataObject::global("value1", 4));
+        let value2 = p.add_object(DataObject::global("value2", 4));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let cond = b.param();
+        // BB1: x = malloc(40)
+        let size = b.iconst(40);
+        let x = b.malloc(heap_x, size);
+        // y points to value1
+        let y = b.addrof(value1);
+        let foo = b.mov(x); // foo = x (will be overwritten on one path)
+        let bb3 = b.block("bb3");
+        let bb4 = b.block("bb4");
+        let zero = b.iconst(0);
+        let c = b.icmp(Cmp::Ne, cond, zero);
+        b.branch(c, bb3, bb4);
+        // BB3: store/load through y, foo = y
+        b.switch_to(bb3);
+        let v = b.load(MemWidth::B4, y);
+        b.store(MemWidth::B4, y, v);
+        b.mov_to(foo, y);
+        b.jump(bb4);
+        // BB4: load through foo (either x or value1); also touch value2
+        b.switch_to(bb4);
+        let loaded = b.load(MemWidth::B4, foo);
+        let v2 = b.addrof(value2);
+        b.store(MemWidth::B4, v2, loaded);
+        b.ret(None);
+        (p, heap_x, value1, value2)
+    }
+
+    #[test]
+    fn figure4_load_sees_both_targets() {
+        let (p, heap_x, value1, value2) = figure4_program();
+        mcpart_ir::verify_program(&p).unwrap();
+        let pts = PointsTo::compute(&p);
+        let main = p.entry;
+        // Find the load in bb4 (the one whose address is foo).
+        let func = &p.functions[main];
+        let mut found = false;
+        for (oid, op) in func.ops.iter() {
+            if op.opcode.is_load() {
+                let objs = pts.memop_objects(&p, main, oid).unwrap();
+                if objs.len() == 2 {
+                    assert!(objs.contains(&heap_x));
+                    assert!(objs.contains(&value1));
+                    assert!(!objs.contains(&value2));
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "no load with the merged {{x, value1}} set");
+    }
+
+    #[test]
+    fn malloc_points_to_its_site() {
+        let mut p = Program::new("t");
+        let site = p.add_object(DataObject::heap_site("buf"));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let n = b.iconst(100);
+        let ptr = b.malloc(site, n);
+        let v = b.load(MemWidth::B4, ptr);
+        b.ret(Some(v));
+        let pts = PointsTo::compute(&p);
+        assert_eq!(pts.vreg_sets[p.entry][ptr], ObjectSet::from([site]));
+    }
+
+    #[test]
+    fn pointer_arithmetic_preserves_base() {
+        let mut p = Program::new("t");
+        let g = p.add_object(DataObject::global("arr", 400));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let base = b.addrof(g);
+        let i = b.iconst(4);
+        let addr = b.add(base, i);
+        let addr2 = b.shl(addr, i);
+        let v = b.load(MemWidth::B4, addr2);
+        b.ret(Some(v));
+        let pts = PointsTo::compute(&p);
+        assert!(pts.vreg_sets[p.entry][addr2].contains(&g));
+    }
+
+    #[test]
+    fn stored_pointers_flow_through_memory() {
+        let mut p = Program::new("t");
+        let slot = p.add_object(DataObject::global("slot", 8));
+        let target = p.add_object(DataObject::global("target", 4));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let sa = b.addrof(slot);
+        let ta = b.addrof(target);
+        b.store(MemWidth::B8, sa, ta); // slot <- &target
+        let loaded = b.load(MemWidth::B8, sa); // loaded = *slot
+        let v = b.load(MemWidth::B4, loaded); // v = *loaded
+        b.ret(Some(v));
+        let pts = PointsTo::compute(&p);
+        assert!(pts.vreg_sets[p.entry][loaded].contains(&target));
+        assert!(pts.object_contents[slot].contains(&target));
+        // The final load accesses `target`.
+        let func = &p.functions[p.entry];
+        let last_load = func
+            .ops
+            .iter()
+            .filter(|(_, op)| op.opcode.is_load())
+            .last()
+            .unwrap()
+            .0;
+        let objs = pts.memop_objects(&p, p.entry, last_load).unwrap();
+        assert_eq!(objs, ObjectSet::from([target]));
+    }
+
+    #[test]
+    fn pointers_cross_calls() {
+        let mut p = Program::new("t");
+        let g = p.add_object(DataObject::global("g", 4));
+        let callee = {
+            let mut cb = FunctionBuilder::new_function(&mut p, "deref");
+            let ptr = cb.param();
+            let v = cb.load(MemWidth::B4, ptr);
+            cb.ret(Some(v));
+            cb.func_id()
+        };
+        let mut b = FunctionBuilder::entry(&mut p);
+        let a = b.addrof(g);
+        let r = b.call(callee, vec![a], 1);
+        b.ret(Some(r[0]));
+        mcpart_ir::verify_program(&p).unwrap();
+        let pts = PointsTo::compute(&p);
+        let load = p.functions[callee]
+            .ops
+            .iter()
+            .find(|(_, op)| op.opcode.is_load())
+            .unwrap()
+            .0;
+        let objs = pts.memop_objects(&p, callee, load).unwrap();
+        assert_eq!(objs, ObjectSet::from([g]));
+    }
+
+    #[test]
+    fn returned_pointers_flow_back() {
+        let mut p = Program::new("t");
+        let g = p.add_object(DataObject::global("g", 4));
+        let callee = {
+            let mut cb = FunctionBuilder::new_function(&mut p, "get");
+            let a = cb.addrof(g);
+            cb.ret(Some(a));
+            cb.func_id()
+        };
+        let mut b = FunctionBuilder::entry(&mut p);
+        let r = b.call(callee, vec![], 1);
+        let v = b.load(MemWidth::B4, r[0]);
+        b.ret(Some(v));
+        let pts = PointsTo::compute(&p);
+        assert!(pts.vreg_sets[p.entry][r[0]].contains(&g));
+    }
+}

@@ -1,0 +1,35 @@
+//! Criterion benchmark for §4.5: partitioning compile time of the three
+//! schemes. Profile Max should cost roughly two GDP runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcpart_core::{run_pipeline, Method, PipelineConfig};
+use mcpart_machine::Machine;
+
+fn compile_time(c: &mut Criterion) {
+    let machine = Machine::paper_2cluster(5);
+    let mut group = c.benchmark_group("compile_time");
+    group.sample_size(10);
+    for name in ["rawcaudio", "fir", "mpeg2enc"] {
+        let w = mcpart_workloads::by_name(name).expect("known benchmark");
+        for method in [Method::Gdp, Method::ProfileMax, Method::Naive] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{method}"), name),
+                &w,
+                |b, w| {
+                    b.iter(|| {
+                        run_pipeline(
+                            &w.program,
+                            &w.profile,
+                            &machine,
+                            &PipelineConfig::new(method),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, compile_time);
+criterion_main!(benches);

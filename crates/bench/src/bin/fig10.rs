@@ -1,0 +1,51 @@
+//! Regenerates Figure 10: percentage increase in dynamic intercluster
+//! move operations of GDP and Profile Max over the unified-memory
+//! model, with 5-cycle move latency.
+
+use mcpart_bench::experiments::fig10;
+use mcpart_bench::report::{render_table, Json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (workloads, _) = mcpart_bench::parse_args(&args);
+    let rows = fig10(&workloads);
+    if mcpart_bench::wants_json(&args) {
+        let doc = Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    Json::Obj(vec![
+                        ("benchmark".into(), Json::Str(r.benchmark.clone())),
+                        ("gdp_pct".into(), Json::Num(r.gdp_pct)),
+                        ("profile_max_pct".into(), Json::Num(r.profile_max_pct)),
+                    ])
+                })
+                .collect(),
+        );
+        println!("{}", doc.render());
+        return;
+    }
+    let mut table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                format!("{:+.1}%", r.gdp_pct),
+                format!("{:+.1}%", r.profile_max_pct),
+            ]
+        })
+        .collect();
+    let n = rows.len().max(1) as f64;
+    table.push(vec![
+        "average".to_string(),
+        format!("{:+.1}%", rows.iter().map(|r| r.gdp_pct).sum::<f64>() / n),
+        format!("{:+.1}%", rows.iter().map(|r| r.profile_max_pct).sum::<f64>() / n),
+    ]);
+    print!(
+        "{}",
+        render_table(
+            "Figure 10: dynamic intercluster move increase vs unified memory (5-cycle)",
+            &["benchmark", "GDP", "Profile Max"],
+            &table,
+        )
+    );
+}

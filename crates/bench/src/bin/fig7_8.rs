@@ -1,0 +1,68 @@
+//! Regenerates Figures 7 / 8a / 8b: performance of GDP and Profile Max
+//! relative to the single unified memory, at the latency given by
+//! `--latency {1,5,10}` (default 5 = Figure 8a).
+
+use mcpart_bench::experiments::fig7_8;
+use mcpart_bench::report::{f3, render_table, Json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (workloads, latency) = mcpart_bench::parse_args(&args);
+    let latency = latency.unwrap_or(5);
+    let fig = fig7_8(&workloads, latency);
+    if mcpart_bench::wants_json(&args) {
+        let rows: Vec<Json> = fig
+            .rows
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("benchmark".into(), Json::Str(r.benchmark.clone())),
+                    ("gdp".into(), Json::Num(r.gdp_rel)),
+                    ("profile_max".into(), Json::Num(r.profile_max_rel)),
+                    ("naive".into(), Json::Num(r.naive_rel)),
+                ])
+            })
+            .collect();
+        let doc = Json::Obj(vec![
+            ("figure".into(), Json::Str(format!("7/8 latency {latency}"))),
+            ("rows".into(), Json::Arr(rows)),
+            (
+                "averages".into(),
+                Json::Obj(vec![
+                    ("gdp".into(), Json::Num(fig.averages.0)),
+                    ("profile_max".into(), Json::Num(fig.averages.1)),
+                    ("naive".into(), Json::Num(fig.averages.2)),
+                ]),
+            ),
+        ]);
+        println!("{}", doc.render());
+        return;
+    }
+    let mut rows: Vec<Vec<String>> = fig
+        .rows
+        .iter()
+        .map(|r| {
+            vec![r.benchmark.clone(), f3(r.gdp_rel), f3(r.profile_max_rel), f3(r.naive_rel)]
+        })
+        .collect();
+    rows.push(vec![
+        "average".to_string(),
+        f3(fig.averages.0),
+        f3(fig.averages.1),
+        f3(fig.averages.2),
+    ]);
+    let which = match latency {
+        1 => "Figure 7 (1-cycle moves)",
+        5 => "Figure 8a (5-cycle moves)",
+        10 => "Figure 8b (10-cycle moves)",
+        _ => "Figure 7/8 (custom latency)",
+    };
+    print!(
+        "{}",
+        render_table(
+            &format!("{which}: performance relative to unified memory (1.0 = parity)"),
+            &["benchmark", "GDP", "Profile Max", "Naive"],
+            &rows,
+        )
+    );
+}

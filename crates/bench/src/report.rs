@@ -1,0 +1,162 @@
+//! ASCII table rendering for experiment output.
+
+/// Renders a table with a title, column headers and string rows.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let sep: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+    out.push_str(&sep);
+    out.push('\n');
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!(" {:<width$} ", h, width = widths[i]))
+        .collect();
+    out.push_str(&header_line.join("|"));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!(" {:<width$} ", c, width = widths[i]))
+            .collect();
+        out.push_str(&line.join("|"));
+        out.push('\n');
+    }
+    out.push_str(&sep);
+    out.push('\n');
+    out
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a float with three decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            "Demo",
+            &["bench", "value"],
+            &[
+                vec!["rawcaudio".into(), "1.0".into()],
+                vec!["fft".into(), "0.95".into()],
+            ],
+        );
+        assert!(t.contains("Demo"));
+        assert!(t.contains("rawcaudio"));
+        let lines: Vec<&str> = t.lines().collect();
+        // header/sep/rows aligned to the same width.
+        assert_eq!(lines[1].len(), lines[2].len());
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.956), "95.6%");
+        assert_eq!(f3(1.23456), "1.235");
+    }
+}
+
+/// Minimal JSON value builder for experiment outputs (keeps the harness
+/// dependency-free; experiment records are flat and numeric).
+#[derive(Clone, Debug)]
+pub enum Json {
+    /// A float (serialized with full precision).
+    Num(f64),
+    /// An integer.
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Serializes the value.
+    pub fn render(&self) -> String {
+        match self {
+            Json::Num(x) => {
+                if x.is_finite() {
+                    format!("{x}")
+                } else {
+                    "null".to_string()
+                }
+            }
+            Json::Int(x) => x.to_string(),
+            Json::Str(s) => format!("\"{}\"", escape(s)),
+            Json::Arr(items) => {
+                let inner: Vec<String> = items.iter().map(Json::render).collect();
+                format!("[{}]", inner.join(","))
+            }
+            Json::Obj(fields) => {
+                let inner: Vec<String> = fields
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\":{}", escape(k), v.render()))
+                    .collect();
+                format!("{{{}}}", inner.join(","))
+            }
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod json_tests {
+    use super::Json;
+
+    #[test]
+    fn json_roundtrip_shapes() {
+        let v = Json::Obj(vec![
+            ("name".into(), Json::Str("raw\"caudio".into())),
+            ("rel".into(), Json::Num(0.956)),
+            ("cycles".into(), Json::Int(12345)),
+            ("values".into(), Json::Arr(vec![Json::Num(1.0), Json::Num(2.5)])),
+        ]);
+        let text = v.render();
+        assert_eq!(
+            text,
+            "{\"name\":\"raw\\\"caudio\",\"rel\":0.956,\"cycles\":12345,\"values\":[1,2.5]}"
+        );
+    }
+
+    #[test]
+    fn json_non_finite_is_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+    }
+}

@@ -1,0 +1,235 @@
+//! The three comparison schemes of Table 1: Unified Memory, Naïve
+//! object placement, and Profile Max object partitioning.
+
+use crate::groups::ObjectGroups;
+use crate::rhop::{rhop_partition, RhopConfig, RhopStats};
+use mcpart_analysis::AccessInfo;
+use mcpart_ir::{ClusterId, EntityMap, ObjectId, Profile, Program};
+use mcpart_machine::Machine;
+use mcpart_sched::Placement;
+
+/// Unified-memory partitioning: ordinary RHOP with no object homes (a
+/// single multiported memory reachable from every cluster). This is the
+/// paper's upper-bound configuration.
+pub fn unified_partition(
+    program: &Program,
+    access: &AccessInfo,
+    profile: &Profile,
+    machine: &Machine,
+    config: &RhopConfig,
+) -> (Placement, RhopStats) {
+    let unified = machine.clone().with_unified_memory();
+    let homes: EntityMap<ObjectId, Option<ClusterId>> =
+        EntityMap::with_default(program.objects.len(), None);
+    rhop_partition(program, access, profile, &unified, &homes, config)
+}
+
+/// Naïve object placement (§2, Figure 2): partition computation assuming
+/// unified memory, then place each object group on the cluster where it
+/// is dynamically accessed most often. No memory balance, no re-run of
+/// the computation partitioner — required remote-access moves are left
+/// to placement normalization.
+pub fn naive_partition(
+    program: &Program,
+    access: &AccessInfo,
+    profile: &Profile,
+    machine: &Machine,
+    groups: &ObjectGroups,
+    config: &RhopConfig,
+) -> (Placement, RhopStats) {
+    let (mut placement, stats) = unified_partition(program, access, profile, machine, config);
+    let freq = group_cluster_frequencies(program, access, profile, &placement, groups, machine);
+    for (g, per_cluster) in freq.iter().enumerate() {
+        let best = per_cluster
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &f)| f)
+            .map(|(c, _)| c)
+            .unwrap_or(0);
+        for &obj in &groups.groups[g] {
+            placement.object_home[obj] = Some(ClusterId::new(best));
+        }
+    }
+    (placement, stats)
+}
+
+/// Profile Max object partitioning (§4.1): RHOP is run twice. The first
+/// run assumes unified memory and yields, per object group, the dynamic
+/// frequency of accesses on each cluster. Groups are then greedily
+/// assigned — highest total frequency first — to their preferred
+/// cluster, spilling to the lightest cluster once the preferred memory
+/// exceeds its balance threshold. A second RHOP run partitions
+/// computation with the objects locked in place.
+pub fn profile_max_partition(
+    program: &Program,
+    access: &AccessInfo,
+    profile: &Profile,
+    machine: &Machine,
+    groups: &ObjectGroups,
+    config: &RhopConfig,
+    balance_threshold: f64,
+) -> (Placement, RhopStats) {
+    // First detailed run: unified memory.
+    let (first, stats1) = unified_partition(program, access, profile, machine, config);
+    let freq = group_cluster_frequencies(program, access, profile, &first, groups, machine);
+
+    // Greedy placement by descending total dynamic frequency.
+    let nclusters = machine.num_clusters();
+    let total_bytes: u64 = groups.group_size.iter().sum();
+    let weights = machine.memory_weights();
+    let weight_sum: u64 = weights.iter().map(|&w| w as u64).sum();
+    let limit: Vec<f64> = (0..nclusters)
+        .map(|c| {
+            total_bytes as f64 * weights[c] as f64 / weight_sum.max(1) as f64
+                * (1.0 + balance_threshold)
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..groups.len()).collect();
+    order.sort_by_key(|&g| std::cmp::Reverse(groups.group_freq[g]));
+    let mut bytes = vec![0u64; nclusters];
+    let mut homes: EntityMap<ObjectId, Option<ClusterId>> =
+        EntityMap::with_default(program.objects.len(), None);
+    for &g in &order {
+        let preferred = freq[g]
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &f)| f)
+            .map(|(c, _)| c)
+            .unwrap_or(0);
+        let chosen = if (bytes[preferred] + groups.group_size[g]) as f64 <= limit[preferred] {
+            preferred
+        } else {
+            (0..nclusters)
+                .min_by_key(|&c| bytes[c] + groups.group_size[g])
+                .expect("at least one cluster")
+        };
+        bytes[chosen] += groups.group_size[g];
+        for &obj in &groups.groups[g] {
+            homes[obj] = Some(ClusterId::new(chosen));
+        }
+    }
+
+    // Second detailed run: cognizant of the object locations.
+    let (placement, stats2) = rhop_partition(program, access, profile, machine, &homes, config);
+    let stats = RhopStats {
+        regions: stats1.regions + stats2.regions,
+        estimator_calls: stats1.estimator_calls + stats2.estimator_calls,
+        moves_accepted: stats1.moves_accepted + stats2.moves_accepted,
+    };
+    (placement, stats)
+}
+
+/// Per object group, the dynamic frequency of its accesses executing on
+/// each cluster under `placement` — the profile the Profile-Max and
+/// Naïve schemes consume.
+pub fn group_cluster_frequencies(
+    program: &Program,
+    access: &AccessInfo,
+    profile: &Profile,
+    placement: &Placement,
+    groups: &ObjectGroups,
+    machine: &Machine,
+) -> Vec<Vec<u64>> {
+    let nclusters = machine.num_clusters();
+    let mut freq = vec![vec![0u64; nclusters]; groups.len()];
+    for (g, sites) in groups.group_sites.iter().enumerate() {
+        for site in sites {
+            let c = placement.cluster_of(site.func, site.op).index();
+            let f = profile.op_freq(program, site.func, site.op);
+            freq[g][c] += f;
+        }
+    }
+    let _ = access;
+    freq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpart_analysis::PointsTo;
+    use mcpart_ir::{DataObject, FunctionBuilder, MemWidth};
+
+    fn two_table_program() -> Program {
+        let mut p = Program::new("t");
+        let t1 = p.add_object(DataObject::global("t1", 128));
+        let t2 = p.add_object(DataObject::global("t2", 128));
+        let mut b = FunctionBuilder::entry(&mut p);
+        for obj in [t1, t2] {
+            let base = b.addrof(obj);
+            let mut acc = b.iconst(0);
+            for i in 0..4 {
+                let off = b.iconst(4 * i);
+                let addr = b.add(base, off);
+                let v = b.load(MemWidth::B4, addr);
+                acc = b.add(acc, v);
+            }
+            b.store(MemWidth::B4, base, acc);
+        }
+        b.ret(None);
+        p
+    }
+
+    fn analyze(p: &Program) -> (Profile, AccessInfo, ObjectGroups) {
+        let profile = Profile::uniform(p, 50);
+        let pts = PointsTo::compute(p);
+        let access = AccessInfo::compute(p, &pts, &profile);
+        let groups = ObjectGroups::compute(p, &access);
+        (profile, access, groups)
+    }
+
+    #[test]
+    fn unified_assigns_no_homes() {
+        let p = two_table_program();
+        let (profile, access, _) = analyze(&p);
+        let machine = Machine::paper_2cluster(5);
+        let (placement, _) =
+            unified_partition(&p, &access, &profile, &machine, &RhopConfig::default());
+        assert!(!placement.has_object_homes());
+    }
+
+    #[test]
+    fn naive_homes_every_object() {
+        let p = two_table_program();
+        let (profile, access, groups) = analyze(&p);
+        let machine = Machine::paper_2cluster(5);
+        let (placement, _) =
+            naive_partition(&p, &access, &profile, &machine, &groups, &RhopConfig::default());
+        assert!(placement.object_home.values().all(Option::is_some));
+    }
+
+    #[test]
+    fn profile_max_balances_bytes() {
+        let p = two_table_program();
+        let (profile, access, groups) = analyze(&p);
+        let machine = Machine::paper_2cluster(5);
+        let (placement, stats) = profile_max_partition(
+            &p,
+            &access,
+            &profile,
+            &machine,
+            &groups,
+            &RhopConfig::default(),
+            0.10,
+        );
+        assert!(placement.object_home.values().all(Option::is_some));
+        let bytes = placement.bytes_per_cluster(&p, 2);
+        // Two equal groups: balance threshold forces them apart.
+        assert_eq!(bytes, vec![128, 128]);
+        // Profile Max runs the detailed partitioner twice.
+        assert_eq!(stats.regions, 2);
+    }
+
+    #[test]
+    fn group_frequencies_follow_placement() {
+        let p = two_table_program();
+        let (profile, access, groups) = analyze(&p);
+        let machine = Machine::paper_2cluster(5);
+        let placement = Placement::all_on_cluster0(&p);
+        let freq =
+            group_cluster_frequencies(&p, &access, &profile, &placement, &groups, &machine);
+        for row in &freq {
+            assert_eq!(row[1], 0, "all ops on cluster 0");
+            assert!(row[0] > 0);
+        }
+    }
+}

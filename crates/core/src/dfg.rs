@@ -1,0 +1,187 @@
+//! The program-level data-flow graph of the first pass (§3.3).
+//!
+//! Nodes are *all* operations of *all* functions; the only information
+//! recorded is data-dependent flow (register def → use, and value flow
+//! through calls), deliberately coarse: "a more simplified view of the
+//! program behavior is used for the data object partitioning".
+
+use mcpart_ir::{DefUse, FuncId, Opcode, OpId, Profile, Program, Terminator};
+use std::collections::HashMap;
+
+/// A node of the program-level DFG: an operation in some function.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ProgramNode {
+    /// Containing function.
+    pub func: FuncId,
+    /// The operation.
+    pub op: OpId,
+}
+
+/// The whole-program data-flow graph.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProgramDfg {
+    /// All nodes, in (function, op) order.
+    pub nodes: Vec<ProgramNode>,
+    /// Node → dense index.
+    pub index: HashMap<ProgramNode, usize>,
+    /// Flow edges `(from, to, dynamic_weight)`; weight is the execution
+    /// frequency of the consumer.
+    pub edges: Vec<(usize, usize, u64)>,
+    /// Dynamic execution frequency of each node.
+    pub node_freq: Vec<u64>,
+}
+
+impl ProgramDfg {
+    /// Builds the program-level DFG under a profile.
+    pub fn build(program: &Program, profile: &Profile) -> Self {
+        let mut nodes = Vec::new();
+        let mut index = HashMap::new();
+        let mut node_freq = Vec::new();
+        for (fid, func) in program.functions.iter() {
+            for (oid, _) in func.ops.iter() {
+                let node = ProgramNode { func: fid, op: oid };
+                index.insert(node, nodes.len());
+                nodes.push(node);
+                node_freq.push(profile.op_freq(program, fid, oid));
+            }
+        }
+        // Deduplicated edges: a value used twice by one consumer still
+        // needs only one transfer.
+        let mut edge_set: HashMap<(usize, usize), u64> = HashMap::new();
+        let mut add_edge = |from: usize, to: usize, w: u64| {
+            let e = edge_set.entry((from, to)).or_insert(0);
+            *e = (*e).max(w);
+        };
+        for (fid, func) in program.functions.iter() {
+            let du = DefUse::compute(func);
+            // Register flow: every def reaches every use of the same
+            // register (coarse over-approximation for multi-def
+            // registers).
+            for v in 0..func.num_vregs {
+                let v = mcpart_ir::VReg(v as u32);
+                for &def in &du.defs[v] {
+                    for &usage in &du.uses[v] {
+                        if def == usage {
+                            continue;
+                        }
+                        let from = index[&ProgramNode { func: fid, op: def }];
+                        let to = index[&ProgramNode { func: fid, op: usage }];
+                        add_edge(from, to, node_freq[to].max(1));
+                    }
+                }
+            }
+            // Interprocedural value flow through calls.
+            for (oid, op) in func.ops.iter() {
+                if let Opcode::Call(callee) = op.opcode {
+                    let call_idx = index[&ProgramNode { func: fid, op: oid }];
+                    let cf = &program.functions[callee];
+                    let cdu = DefUse::compute(cf);
+                    // Arguments: call node → uses of the parameter.
+                    for &param in &cf.params {
+                        for &usage in &cdu.uses[param] {
+                            let to = index[&ProgramNode { func: callee, op: usage }];
+                            add_edge(call_idx, to, node_freq[to].max(1));
+                        }
+                    }
+                    // Return value: defs of returned registers → call node.
+                    for block in cf.blocks.values() {
+                        if let Some(Terminator::Return(Some(v))) = &block.term {
+                            for &def in &cdu.defs[*v] {
+                                let from = index[&ProgramNode { func: callee, op: def }];
+                                add_edge(from, call_idx, node_freq[call_idx].max(1));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let _ = add_edge;
+        let mut edges: Vec<(usize, usize, u64)> =
+            edge_set.into_iter().map(|((f, t), w)| (f, t, w)).collect();
+        edges.sort_unstable();
+        ProgramDfg { nodes, index, edges, node_freq }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` for an empty program.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The dense index of an operation.
+    pub fn index_of(&self, func: FuncId, op: OpId) -> usize {
+        self.index[&ProgramNode { func, op }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpart_ir::{FunctionBuilder, MemWidth};
+
+    #[test]
+    fn flow_edges_weighted_by_consumer_freq() {
+        let mut p = Program::new("t");
+        let obj = p.add_object(mcpart_ir::DataObject::global("g", 8));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let a = b.addrof(obj);
+        let hot = b.block("hot");
+        let done = b.block("done");
+        b.jump(hot);
+        b.switch_to(hot);
+        let _v = b.load(MemWidth::B4, a); // consumer of `a` in hot block
+        b.jump(done);
+        b.switch_to(done);
+        b.ret(None);
+        let mut profile = Profile::uniform(&p, 1);
+        profile.funcs[p.entry].block_freq[hot] = 500;
+        let dfg = ProgramDfg::build(&p, &profile);
+        // The addrof → load edge carries the hot block's frequency.
+        let max_w = dfg.edges.iter().map(|&(_, _, w)| w).max().unwrap();
+        assert_eq!(max_w, 500);
+    }
+
+    #[test]
+    fn call_edges_cross_functions() {
+        let mut p = Program::new("t");
+        let callee = {
+            let mut cb = FunctionBuilder::new_function(&mut p, "f");
+            let a = cb.param();
+            let r = cb.add(a, a);
+            cb.ret(Some(r));
+            cb.func_id()
+        };
+        let mut b = FunctionBuilder::entry(&mut p);
+        let x = b.iconst(3);
+        let r = b.call(callee, vec![x], 1);
+        b.ret(Some(r[0]));
+        let profile = Profile::uniform(&p, 1);
+        let dfg = ProgramDfg::build(&p, &profile);
+        // Edge from the call into the callee's add (parameter use), and
+        // from the callee's add (return def) back to the call.
+        let cross: Vec<_> = dfg
+            .edges
+            .iter()
+            .filter(|&&(f, t, _)| dfg.nodes[f].func != dfg.nodes[t].func)
+            .collect();
+        assert_eq!(cross.len(), 2, "{cross:?}");
+    }
+
+    #[test]
+    fn node_count_covers_all_functions() {
+        let mut p = Program::new("t");
+        {
+            let mut cb = FunctionBuilder::new_function(&mut p, "f");
+            cb.ret(None);
+        }
+        let mut b = FunctionBuilder::entry(&mut p);
+        b.ret(None);
+        let dfg = ProgramDfg::build(&p, &Profile::uniform(&p, 1));
+        assert_eq!(dfg.len(), p.num_ops());
+        assert!(!dfg.is_empty());
+    }
+}

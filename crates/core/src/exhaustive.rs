@@ -1,0 +1,188 @@
+//! Exhaustive search over all data-object mappings (Figure 9).
+//!
+//! For benchmarks with few object groups, every `2^G`-style assignment
+//! of groups to clusters is evaluated end-to-end: RHOP with the mapping
+//! locked, move insertion, scheduling. Each point records performance
+//! and the data-size balance, reproducing the scatter plots of the
+//! paper's Figure 9 (performance vs. balance, with the GDP and Profile
+//! Max choices marked).
+
+use crate::gdp::data_partition_from_mapping;
+use crate::groups::ObjectGroups;
+use crate::rhop::{rhop_partition, RhopConfig};
+use mcpart_analysis::{AccessInfo, PointsTo};
+use mcpart_ir::{ClusterId, Profile, Program};
+use mcpart_machine::Machine;
+use mcpart_sched::{evaluate, insert_moves, normalize_placement};
+
+/// One evaluated object mapping.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ExhaustivePoint {
+    /// Cluster of each object group.
+    pub mapping: Vec<ClusterId>,
+    /// Total dynamic cycles.
+    pub cycles: u64,
+    /// Data-size imbalance: fraction of all object bytes on the heavier
+    /// cluster (0.5 = perfectly balanced, 1.0 = everything on one side).
+    pub imbalance: f64,
+    /// Dynamic intercluster moves.
+    pub dynamic_moves: u64,
+}
+
+/// Error for programs whose search space is too large to enumerate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TooManyGroups {
+    /// Number of live object groups found.
+    pub groups: usize,
+    /// The enumeration limit that was exceeded.
+    pub limit: usize,
+}
+
+impl std::fmt::Display for TooManyGroups {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "exhaustive search over {} object groups exceeds the limit of {}",
+            self.groups, self.limit
+        )
+    }
+}
+
+impl std::error::Error for TooManyGroups {}
+
+/// Evaluates one explicit group mapping end-to-end and returns its
+/// point.
+pub fn evaluate_mapping(
+    program: &Program,
+    profile: &Profile,
+    machine: &Machine,
+    groups: &ObjectGroups,
+    mapping: &[ClusterId],
+    rhop: &RhopConfig,
+) -> ExhaustivePoint {
+    let pts = PointsTo::compute(program);
+    let access = AccessInfo::compute(program, &pts, profile);
+    let dp = data_partition_from_mapping(program, groups, mapping);
+    let (placement, _) = rhop_partition(program, &access, profile, machine, &dp.object_home, rhop);
+    let normalized = normalize_placement(program, &placement, &access, machine, profile);
+    let (moved, moved_placement, _) = insert_moves(program, &normalized, machine);
+    let moved_pts = PointsTo::compute(&moved);
+    let moved_access = AccessInfo::compute(&moved, &moved_pts, profile);
+    let report = evaluate(&moved, &moved_placement, machine, profile, &moved_access);
+    let bytes = moved_placement.bytes_per_cluster(&moved, machine.num_clusters());
+    let total: u64 = bytes.iter().sum();
+    let imbalance = if total == 0 {
+        0.5
+    } else {
+        bytes.iter().copied().max().unwrap_or(0) as f64 / total as f64
+    };
+    ExhaustivePoint {
+        mapping: mapping.to_vec(),
+        cycles: report.total_cycles,
+        imbalance,
+        dynamic_moves: report.dynamic_moves,
+    }
+}
+
+/// Enumerates every assignment of *live* object groups to two clusters
+/// (dead groups go to cluster 0) and evaluates each one.
+///
+/// By symmetry the first live group is fixed on cluster 0, halving the
+/// space; the paper's plots are symmetric in the same way.
+///
+/// # Errors
+///
+/// Returns [`TooManyGroups`] when the live group count exceeds `limit`
+/// (the enumeration is `2^(G-1)` pipeline runs).
+pub fn exhaustive_search(
+    program: &Program,
+    profile: &Profile,
+    machine: &Machine,
+    rhop: &RhopConfig,
+    limit: usize,
+) -> Result<Vec<ExhaustivePoint>, TooManyGroups> {
+    assert_eq!(machine.num_clusters(), 2, "exhaustive search is defined for 2 clusters");
+    let program = profile.apply_heap_sizes(program);
+    let pts = PointsTo::compute(&program);
+    let access = AccessInfo::compute(&program, &pts, profile);
+    let groups = ObjectGroups::compute(&program, &access);
+    let live = groups.live_groups();
+    if live.len() > limit {
+        return Err(TooManyGroups { groups: live.len(), limit });
+    }
+    let free = live.len().saturating_sub(1);
+    let mut points = Vec::with_capacity(1usize << free);
+    for bits in 0u64..(1u64 << free) {
+        let mut mapping = vec![ClusterId::new(0); groups.len()];
+        for (bit, &g) in live.iter().skip(1).enumerate() {
+            if bits >> bit & 1 == 1 {
+                mapping[g] = ClusterId::new(1);
+            }
+        }
+        points.push(evaluate_mapping(&program, profile, machine, &groups, &mapping, rhop));
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpart_ir::{DataObject, FunctionBuilder, MemWidth};
+
+    fn three_object_program() -> Program {
+        let mut p = Program::new("t");
+        let objs: Vec<_> = (0..3)
+            .map(|i| p.add_object(DataObject::global(format!("t{i}"), 32 * (i + 1) as u64)))
+            .collect();
+        let mut b = FunctionBuilder::entry(&mut p);
+        let mut acc = b.iconst(0);
+        for &o in &objs {
+            let base = b.addrof(o);
+            let v = b.load(MemWidth::B4, base);
+            acc = b.add(acc, v);
+        }
+        b.ret(Some(acc));
+        p
+    }
+
+    #[test]
+    fn search_space_size_is_half_of_full() {
+        let p = three_object_program();
+        let profile = Profile::uniform(&p, 10);
+        let machine = Machine::paper_2cluster(5);
+        let points =
+            exhaustive_search(&p, &profile, &machine, &RhopConfig::default(), 8).unwrap();
+        // 3 live groups, first fixed: 2^2 = 4 points.
+        assert_eq!(points.len(), 4);
+        for pt in &points {
+            assert!(pt.cycles > 0);
+            assert!((0.5..=1.0).contains(&pt.imbalance), "{}", pt.imbalance);
+        }
+    }
+
+    #[test]
+    fn limit_is_enforced() {
+        let p = three_object_program();
+        let profile = Profile::uniform(&p, 10);
+        let machine = Machine::paper_2cluster(5);
+        let err = exhaustive_search(&p, &profile, &machine, &RhopConfig::default(), 2)
+            .unwrap_err();
+        assert_eq!(err.groups, 3);
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn balanced_mapping_has_lower_imbalance() {
+        let p = three_object_program();
+        let profile = Profile::uniform(&p, 10);
+        let machine = Machine::paper_2cluster(5);
+        let points =
+            exhaustive_search(&p, &profile, &machine, &RhopConfig::default(), 8).unwrap();
+        // Sizes are 32/64/96 (total 192): best balance is 96/96 = 0.5,
+        // worst is 192/0 = 1.0.
+        let min = points.iter().map(|p| p.imbalance).fold(f64::INFINITY, f64::min);
+        let max = points.iter().map(|p| p.imbalance).fold(0.0, f64::max);
+        assert!((min - 0.5).abs() < 1e-9, "min {min}");
+        assert!((max - 1.0).abs() < 1e-9, "max {max}");
+    }
+}

@@ -1,0 +1,342 @@
+//! First pass: Global Data Partitioning (§3.3).
+//!
+//! The coarsened program-level DFG (operations merged by access
+//! pattern) is handed to the multilevel graph partitioner with node
+//! weights carrying data-object bytes (and, optionally, dynamic
+//! operation weight as a second balance constraint). The resulting
+//! partition assigns every object group a home cluster.
+
+use crate::dfg::ProgramDfg;
+use crate::groups::ObjectGroups;
+use mcpart_analysis::AccessInfo;
+use mcpart_ir::{ClusterId, EntityMap, ObjectId, Profile, Program};
+use mcpart_machine::Machine;
+use mcpart_metis::{partition, GraphBuilder, PartitionConfig};
+
+/// Configuration of the GDP first pass.
+#[derive(Clone, Debug)]
+pub struct GdpConfig {
+    /// Allowed relative imbalance of per-cluster data bytes (the paper's
+    /// METIS balance parameter; §4.3 notes better-performing but
+    /// imbalanced mappings become reachable by loosening it). Default
+    /// 20%: media benchmarks carry a few indivisible buffers/tables, so
+    /// a strict 50/50 split is often infeasible.
+    pub imbalance: f64,
+    /// When `true`, dynamic operation weight is a second balance
+    /// constraint. Off by default: the paper balances *data bytes* and
+    /// leaves computation balance to the second-pass RHOP; forcing hot
+    /// co-accessed tables apart to balance operation weight measurably
+    /// hurts (kept as an ablation knob).
+    pub balance_ops: bool,
+    /// RNG seed for the graph partitioner.
+    pub seed: u64,
+    /// Ablation of §3.3.1: additionally merge *dependent* operations
+    /// into the memory supernodes (the alternative coarsening the paper
+    /// evaluated and rejected — "fewer groupings of objects allowed for
+    /// more freedom and flexibility in the partitioning process").
+    pub merge_dependent_ops: bool,
+}
+
+impl Default for GdpConfig {
+    fn default() -> Self {
+        GdpConfig { imbalance: 0.20, balance_ops: false, seed: 0xDA7A, merge_dependent_ops: false }
+    }
+}
+
+/// The output of data partitioning: a home cluster per object (group).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DataPartition {
+    /// Home cluster of every object.
+    pub object_home: EntityMap<ObjectId, Option<ClusterId>>,
+    /// Home cluster of every object group (index-aligned with
+    /// [`ObjectGroups::groups`]).
+    pub group_cluster: Vec<ClusterId>,
+    /// Edge cut reported by the graph partitioner (diagnostic).
+    pub cut: u64,
+}
+
+impl DataPartition {
+    /// Data bytes per cluster under this partition.
+    pub fn bytes_per_cluster(&self, program: &Program, num_clusters: usize) -> Vec<u64> {
+        let mut bytes = vec![0u64; num_clusters];
+        for (obj, home) in self.object_home.iter() {
+            if let Some(c) = home {
+                bytes[c.index()] += program.objects[obj].size;
+            }
+        }
+        bytes
+    }
+}
+
+/// Runs Global Data Partitioning: builds the merged program-level graph
+/// and splits it across the machine's cluster memories.
+pub fn gdp_partition(
+    program: &Program,
+    profile: &Profile,
+    _access: &AccessInfo,
+    groups: &ObjectGroups,
+    machine: &Machine,
+    config: &GdpConfig,
+) -> DataPartition {
+    let nclusters = machine.num_clusters();
+    let dfg = ProgramDfg::build(program, profile);
+
+    // Supernodes: one per live object group (all of the group's access
+    // sites merged), one per remaining operation.
+    let live = groups.live_groups();
+    let mut super_of_node: Vec<usize> = vec![usize::MAX; dfg.len()];
+    let ncon = if config.balance_ops { 2 } else { 1 };
+    let mut builder = GraphBuilder::new(ncon);
+    let mut group_vertex: Vec<Option<u32>> = vec![None; groups.len()];
+    let mut vertex_count = 0usize;
+    // Optional §3.3.1 ablation: absorb the direct DFG neighbours of the
+    // memory operations into their supernode, emulating the rejected
+    // low-slack dependent-operation merging.
+    let mut absorbed: Vec<Vec<usize>> = vec![Vec::new(); groups.len()];
+    if config.merge_dependent_ops {
+        let mut owner: Vec<usize> = vec![usize::MAX; dfg.len()];
+        for &g in &live {
+            for site in &groups.group_sites[g] {
+                owner[dfg.index_of(site.func, site.op)] = g;
+            }
+        }
+        for &(from, to, _) in &dfg.edges {
+            if owner[from] != usize::MAX && owner[to] == usize::MAX {
+                absorbed[owner[from]].push(to);
+            } else if owner[to] != usize::MAX && owner[from] == usize::MAX {
+                absorbed[owner[to]].push(from);
+            }
+        }
+    }
+    for &g in &live {
+        let mut freq = 0u64;
+        for site in &groups.group_sites[g] {
+            let idx = dfg.index_of(site.func, site.op);
+            super_of_node[idx] = vertex_count;
+            freq += dfg.node_freq[idx];
+        }
+        for &idx in &absorbed[g] {
+            if super_of_node[idx] == usize::MAX {
+                super_of_node[idx] = vertex_count;
+                freq += dfg.node_freq[idx];
+            }
+        }
+        let weights: Vec<u64> = if config.balance_ops {
+            vec![groups.group_size[g], freq]
+        } else {
+            vec![groups.group_size[g]]
+        };
+        group_vertex[g] = Some(builder.add_vertex(&weights));
+        vertex_count += 1;
+    }
+    for (idx, node) in dfg.nodes.iter().enumerate() {
+        if super_of_node[idx] != usize::MAX {
+            continue;
+        }
+        let _ = node;
+        let weights: Vec<u64> = if config.balance_ops {
+            vec![0, dfg.node_freq[idx].max(1)]
+        } else {
+            vec![0]
+        };
+        builder.add_vertex(&weights);
+        super_of_node[idx] = vertex_count;
+        vertex_count += 1;
+    }
+    for &(from, to, w) in &dfg.edges {
+        builder.add_edge(super_of_node[from] as u32, super_of_node[to] as u32, w);
+    }
+    let graph = builder.build();
+
+    let fractions: Vec<f64> = machine.memory_weights().iter().map(|&w| w as f64).collect();
+    let metis_config = PartitionConfig::new(nclusters)
+        .with_imbalance(config.imbalance)
+        .with_target_fractions(fractions)
+        .with_seed(config.seed);
+    let result = partition(&graph, &metis_config);
+
+    // Extract group homes; dead groups go to the byte-lightest cluster.
+    let mut group_cluster = vec![ClusterId::new(0); groups.len()];
+    let mut bytes = vec![0u64; nclusters];
+    for &g in &live {
+        let v = group_vertex[g].expect("live group has a vertex");
+        let c = result.assignment[v as usize] as usize;
+        group_cluster[g] = ClusterId::new(c);
+        bytes[c] += groups.group_size[g];
+    }
+    let mut dead: Vec<usize> =
+        (0..groups.len()).filter(|g| !live.contains(g)).collect();
+    dead.sort_by_key(|&g| std::cmp::Reverse(groups.group_size[g]));
+    for g in dead {
+        let c = (0..nclusters).min_by_key(|&c| bytes[c]).expect("at least one cluster");
+        group_cluster[g] = ClusterId::new(c);
+        bytes[c] += groups.group_size[g];
+    }
+
+    let mut object_home: EntityMap<ObjectId, Option<ClusterId>> =
+        EntityMap::with_default(program.objects.len(), None);
+    for (obj, &g) in groups.group_of.iter() {
+        object_home[obj] = Some(group_cluster[g]);
+    }
+    DataPartition { object_home, group_cluster, cut: result.cut }
+}
+
+/// Assigns every object group a home from an explicit per-group mapping
+/// (used by the exhaustive-search experiment of Figure 9).
+pub fn data_partition_from_mapping(
+    program: &Program,
+    groups: &ObjectGroups,
+    mapping: &[ClusterId],
+) -> DataPartition {
+    assert_eq!(mapping.len(), groups.len(), "one cluster per object group");
+    let mut object_home: EntityMap<ObjectId, Option<ClusterId>> =
+        EntityMap::with_default(program.objects.len(), None);
+    for (obj, &g) in groups.group_of.iter() {
+        object_home[obj] = Some(mapping[g]);
+    }
+    DataPartition { object_home, group_cluster: mapping.to_vec(), cut: 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpart_analysis::PointsTo;
+    use mcpart_ir::{DataObject, FunctionBuilder, MemWidth};
+
+    /// Two independent pipelines, each hammering its own table: the
+    /// natural data partition separates the tables.
+    fn two_pipeline_program() -> (Program, ObjectId, ObjectId) {
+        let mut p = Program::new("t");
+        let t1 = p.add_object(DataObject::global("t1", 256));
+        let t2 = p.add_object(DataObject::global("t2", 256));
+        let mut b = FunctionBuilder::entry(&mut p);
+        for obj in [t1, t2] {
+            let base = b.addrof(obj);
+            let mut acc = b.iconst(0);
+            for i in 0..6 {
+                let off = b.iconst(i * 4);
+                let addr = b.add(base, off);
+                let v = b.load(MemWidth::B4, addr);
+                acc = b.add(acc, v);
+            }
+            let slot = b.addrof(obj);
+            b.store(MemWidth::B4, slot, acc);
+        }
+        b.ret(None);
+        (p, t1, t2)
+    }
+
+    fn analyze(p: &Program) -> (Profile, AccessInfo, ObjectGroups) {
+        let profile = Profile::uniform(p, 100);
+        let pts = PointsTo::compute(p);
+        let access = AccessInfo::compute(p, &pts, &profile);
+        let groups = ObjectGroups::compute(p, &access);
+        (profile, access, groups)
+    }
+
+    #[test]
+    fn gdp_separates_independent_tables() {
+        let (p, t1, t2) = two_pipeline_program();
+        let (profile, access, groups) = analyze(&p);
+        assert_eq!(groups.live_groups().len(), 2);
+        let machine = Machine::paper_2cluster(5);
+        let dp = gdp_partition(&p, &profile, &access, &groups, &machine, &GdpConfig::default());
+        assert_ne!(dp.object_home[t1], dp.object_home[t2], "tables should split");
+        let bytes = dp.bytes_per_cluster(&p, 2);
+        assert_eq!(bytes, vec![256, 256]);
+    }
+
+    #[test]
+    fn gdp_handles_no_objects() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let v = b.iconst(1);
+        b.ret(Some(v));
+        let (profile, access, groups) = analyze(&p);
+        let machine = Machine::paper_2cluster(5);
+        let dp = gdp_partition(&p, &profile, &access, &groups, &machine, &GdpConfig::default());
+        assert!(dp.object_home.is_empty());
+    }
+
+    #[test]
+    fn explicit_mapping_round_trips() {
+        let (p, t1, t2) = two_pipeline_program();
+        let (_, access, _) = {
+            let profile = Profile::uniform(&p, 1);
+            let pts = PointsTo::compute(&p);
+            let access = AccessInfo::compute(&p, &pts, &profile);
+            let groups = ObjectGroups::compute(&p, &access);
+            (profile, access, groups)
+        };
+        let groups = ObjectGroups::compute(&p, &access);
+        let mapping: Vec<ClusterId> = (0..groups.len())
+            .map(|g| ClusterId::new(g % 2))
+            .collect();
+        let dp = data_partition_from_mapping(&p, &groups, &mapping);
+        assert_eq!(dp.object_home[t1].unwrap().index() + dp.object_home[t2].unwrap().index(), 1);
+    }
+
+    #[test]
+    fn four_cluster_partition_spreads_bytes() {
+        let mut p = Program::new("t");
+        let objs: Vec<_> = (0..8)
+            .map(|i| p.add_object(DataObject::global(format!("t{i}"), 128)))
+            .collect();
+        let mut b = FunctionBuilder::entry(&mut p);
+        for &o in &objs {
+            let base = b.addrof(o);
+            let v = b.load(MemWidth::B4, base);
+            let w = b.add(v, v);
+            b.store(MemWidth::B4, base, w);
+        }
+        b.ret(None);
+        let (profile, access, groups) = analyze(&p);
+        let machine = Machine::homogeneous(4, 5);
+        let dp = gdp_partition(&p, &profile, &access, &groups, &machine, &GdpConfig::default());
+        let bytes = dp.bytes_per_cluster(&p, 4);
+        assert_eq!(bytes.iter().sum::<u64>(), 1024);
+        for (c, &bb) in bytes.iter().enumerate() {
+            assert!(bb > 0, "cluster {c} got no data: {bytes:?}");
+        }
+    }
+
+    #[test]
+    fn memory_weights_bias_the_split() {
+        let mut p = Program::new("t");
+        let objs: Vec<_> = (0..8)
+            .map(|i| p.add_object(DataObject::global(format!("t{i}"), 128)))
+            .collect();
+        let mut b = FunctionBuilder::entry(&mut p);
+        for &o in &objs {
+            let base = b.addrof(o);
+            let v = b.load(MemWidth::B4, base);
+            b.store(MemWidth::B4, base, v);
+        }
+        b.ret(None);
+        let (profile, access, groups) = analyze(&p);
+        let mut machine = Machine::paper_2cluster(5);
+        machine.clusters[0].memory_weight = 3;
+        let dp = gdp_partition(&p, &profile, &access, &groups, &machine, &GdpConfig::default());
+        let bytes = dp.bytes_per_cluster(&p, 2);
+        assert!(
+            bytes[0] >= bytes[1] * 2,
+            "3:1 capacity should hold most data on cluster 0: {bytes:?}"
+        );
+    }
+
+    #[test]
+    fn dead_objects_balance_bytes() {
+        let mut p = Program::new("t");
+        for i in 0..6 {
+            p.add_object(DataObject::global(format!("d{i}"), 100));
+        }
+        let mut b = FunctionBuilder::entry(&mut p);
+        b.ret(None);
+        let (profile, access, groups) = analyze(&p);
+        let machine = Machine::paper_2cluster(5);
+        let dp = gdp_partition(&p, &profile, &access, &groups, &machine, &GdpConfig::default());
+        let bytes = dp.bytes_per_cluster(&p, 2);
+        assert_eq!(bytes[0] + bytes[1], 600);
+        assert!((bytes[0] as i64 - bytes[1] as i64).abs() <= 100, "{bytes:?}");
+    }
+}

@@ -1,0 +1,267 @@
+//! Access-pattern merging (§3.3.1): object groups.
+//!
+//! Two merge rules drive the coarsening of the program-level graph:
+//!
+//! 1. when one memory operation can access several data objects, those
+//!    objects merge (placing them in different memories would force a
+//!    transfer at that access);
+//! 2. when several memory operations access one object, the operations
+//!    merge — and drag in every other object they access.
+//!
+//! The transitive closure of both rules is a partition of the data
+//! objects into *object groups*, the indivisible units of data
+//! placement. All partitioners in this crate (GDP, Profile Max, Naïve)
+//! place object groups, matching the paper ("the program-level graph of
+//! the application is created and coarsened as before, so objects are
+//! grouped together the same").
+
+use mcpart_analysis::{AccessInfo, AccessSite};
+use mcpart_ir::{EntityId, EntityMap, ObjectId, Program};
+use std::collections::HashMap;
+
+/// Union-find over dense indices.
+#[derive(Clone, Debug)]
+pub(crate) struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    pub(crate) fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect() }
+    }
+
+    pub(crate) fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    pub(crate) fn union(&mut self, a: u32, b: u32) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[rb as usize] = ra;
+        }
+    }
+}
+
+/// The partition of data objects into indivisible placement groups.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ObjectGroups {
+    /// Group index of every object.
+    pub group_of: EntityMap<ObjectId, usize>,
+    /// Members of each group, in object-id order.
+    pub groups: Vec<Vec<ObjectId>>,
+    /// Total bytes per group.
+    pub group_size: Vec<u64>,
+    /// Total dynamic access frequency per group.
+    pub group_freq: Vec<u64>,
+    /// Access sites per group.
+    pub group_sites: Vec<Vec<AccessSite>>,
+}
+
+impl ObjectGroups {
+    /// Computes object groups by closing the two access-pattern merge
+    /// rules.
+    pub fn compute(program: &Program, access: &AccessInfo) -> Self {
+        let n = program.objects.len();
+        let mut uf = UnionFind::new(n);
+        // Rule 1: objects co-accessed by one operation merge. Rule 2 is
+        // implied at the object level: operations sharing an object are
+        // merged *operations*, which then merge every object they touch —
+        // i.e. the transitive closure over shared sites, which this
+        // union already computes.
+        for objects in access.site_objects.values() {
+            let mut iter = objects.iter();
+            if let Some(&first) = iter.next() {
+                for &other in iter {
+                    uf.union(first.index() as u32, other.index() as u32);
+                }
+            }
+        }
+        let mut root_to_group: HashMap<u32, usize> = HashMap::new();
+        let mut group_of: EntityMap<ObjectId, usize> = EntityMap::with_default(n, usize::MAX);
+        let mut groups: Vec<Vec<ObjectId>> = Vec::new();
+        for i in 0..n as u32 {
+            let root = uf.find(i);
+            let g = *root_to_group.entry(root).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[g].push(ObjectId(i));
+            group_of[ObjectId(i)] = g;
+        }
+        let mut group_size = vec![0u64; groups.len()];
+        let mut group_freq = vec![0u64; groups.len()];
+        let mut group_sites: Vec<Vec<AccessSite>> = vec![Vec::new(); groups.len()];
+        for (g, members) in groups.iter().enumerate() {
+            for &obj in members {
+                group_size[g] += program.objects[obj].size;
+                group_freq[g] += access.object_freq[obj];
+                for &site in &access.object_sites[obj] {
+                    if !group_sites[g].contains(&site) {
+                        group_sites[g].push(site);
+                    }
+                }
+            }
+            group_sites[g].sort();
+        }
+        ObjectGroups { group_of, groups, group_size, group_freq, group_sites }
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Returns `true` when the program has no data objects.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Groups that are actually accessed (nonzero frequency or at least
+    /// one site), in index order. Unaccessed groups can be placed
+    /// anywhere without affecting performance.
+    pub fn live_groups(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&g| !self.group_sites[g].is_empty()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpart_analysis::PointsTo;
+    use mcpart_ir::{Cmp, DataObject, FunctionBuilder, MemWidth, Profile};
+
+    fn build_access(p: &Program) -> AccessInfo {
+        let pts = PointsTo::compute(p);
+        AccessInfo::compute(p, &pts, &Profile::uniform(p, 1))
+    }
+
+    #[test]
+    fn independent_objects_stay_separate() {
+        let mut p = Program::new("t");
+        let a = p.add_object(DataObject::global("a", 8));
+        let b_obj = p.add_object(DataObject::global("b", 8));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let aa = b.addrof(a);
+        let ab = b.addrof(b_obj);
+        let _ = b.load(MemWidth::B4, aa);
+        let _ = b.load(MemWidth::B4, ab);
+        b.ret(None);
+        let groups = ObjectGroups::compute(&p, &build_access(&p));
+        assert_eq!(groups.len(), 2);
+        assert_ne!(groups.group_of[a], groups.group_of[b_obj]);
+    }
+
+    #[test]
+    fn ambiguous_access_merges_objects() {
+        // A load whose address is either &a or &b (select) accesses both
+        // objects, forcing them into one group (rule 1 / Figure 4).
+        let mut p = Program::new("t");
+        let a = p.add_object(DataObject::global("a", 8));
+        let b_obj = p.add_object(DataObject::global("b", 8));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let cond = b.param();
+        let aa = b.addrof(a);
+        let ab = b.addrof(b_obj);
+        let ptr = b.select(cond, aa, ab);
+        let _ = b.load(MemWidth::B4, ptr);
+        b.ret(None);
+        let groups = ObjectGroups::compute(&p, &build_access(&p));
+        assert_eq!(groups.group_of[a], groups.group_of[b_obj]);
+        let g = groups.group_of[a];
+        assert_eq!(groups.group_size[g], 16);
+    }
+
+    #[test]
+    fn transitive_merge_through_shared_operation() {
+        // op1 may access {a, b}; op2 may access {b, c}: a, b, c all merge.
+        let mut p = Program::new("t");
+        let a = p.add_object(DataObject::global("a", 4));
+        let b_obj = p.add_object(DataObject::global("b", 4));
+        let c = p.add_object(DataObject::global("c", 4));
+        let d = p.add_object(DataObject::global("d", 4));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let cond = b.param();
+        let aa = b.addrof(a);
+        let ab = b.addrof(b_obj);
+        let ac = b.addrof(c);
+        let ad = b.addrof(d);
+        let p1 = b.select(cond, aa, ab);
+        let _ = b.load(MemWidth::B4, p1);
+        let p2 = b.select(cond, ab, ac);
+        let _ = b.load(MemWidth::B4, p2);
+        let _ = b.load(MemWidth::B4, ad);
+        b.ret(None);
+        let groups = ObjectGroups::compute(&p, &build_access(&p));
+        assert_eq!(groups.group_of[a], groups.group_of[b_obj]);
+        assert_eq!(groups.group_of[b_obj], groups.group_of[c]);
+        assert_ne!(groups.group_of[a], groups.group_of[d]);
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn loop_counter_example_from_figure4() {
+        // Heap site reachable through the same pointer as a global.
+        let mut p = Program::new("t");
+        let heap = p.add_object(DataObject::heap_site("x"));
+        let value1 = p.add_object(DataObject::global("value1", 4));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let cond = b.param();
+        let sz = b.iconst(16);
+        let hp = b.malloc(heap, sz);
+        let gp = b.addrof(value1);
+        let foo = b.select(cond, hp, gp);
+        let v = b.load(MemWidth::B4, foo);
+        b.ret(Some(v));
+        let groups = ObjectGroups::compute(&p, &build_access(&p));
+        assert_eq!(groups.group_of[heap], groups.group_of[value1]);
+    }
+
+    #[test]
+    fn live_groups_excludes_untouched() {
+        let mut p = Program::new("t");
+        let a = p.add_object(DataObject::global("a", 8));
+        let _dead = p.add_object(DataObject::global("dead", 8));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let aa = b.addrof(a);
+        let _ = b.load(MemWidth::B4, aa);
+        b.ret(None);
+        let groups = ObjectGroups::compute(&p, &build_access(&p));
+        assert_eq!(groups.live_groups().len(), 1);
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        assert_eq!(uf.find(0), uf.find(1));
+        assert_ne!(uf.find(1), uf.find(2));
+        uf.union(1, 3);
+        assert_eq!(uf.find(0), uf.find(2));
+    }
+
+    #[test]
+    fn unused_program_groups_every_object_alone() {
+        let mut p = Program::new("t");
+        for i in 0..5 {
+            p.add_object(DataObject::global(format!("g{i}"), 4));
+        }
+        let mut b = FunctionBuilder::entry(&mut p);
+        b.ret(None);
+        let groups = ObjectGroups::compute(&p, &build_access(&p));
+        assert_eq!(groups.len(), 5);
+        assert!(groups.live_groups().is_empty());
+        let _ = Cmp::Eq; // silence unused import lint in some cfgs
+    }
+}

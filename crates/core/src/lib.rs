@@ -1,0 +1,61 @@
+//! # mcpart-core — Global Data Partitioning for multicluster processors
+//!
+//! The primary contribution of Chu & Mahlke, *Compiler-directed Data
+//! Partitioning for Multicluster Processors* (CGO 2006), plus the three
+//! baselines it is evaluated against:
+//!
+//! * **GDP** ([`gdp_partition`]) — first pass: the whole-program
+//!   data-flow graph ([`ProgramDfg`]) is coarsened by access-pattern
+//!   merging ([`ObjectGroups`]) and split by a multilevel graph
+//!   partitioner balancing data bytes per cluster memory;
+//! * **RHOP** ([`rhop_partition`]) — second pass: region-based
+//!   hierarchical operation partitioning with memory operations locked
+//!   to their object's home cluster;
+//! * **Baselines** — [`unified_partition`], [`naive_partition`],
+//!   [`profile_max_partition`] (Table 1);
+//! * **Pipeline** ([`run_pipeline`]) — analyses, partitioning,
+//!   normalization, intercluster move insertion, scheduling, and the
+//!   cycle/move accounting behind every figure of the paper;
+//! * **Exhaustive search** ([`exhaustive_search`]) — Figure 9's sweep of
+//!   all object mappings.
+//!
+//! ```
+//! use mcpart_ir::{Program, DataObject, FunctionBuilder, MemWidth, Profile};
+//! use mcpart_machine::Machine;
+//! use mcpart_core::{run_pipeline, Method, PipelineConfig};
+//!
+//! let mut program = Program::new("demo");
+//! let table = program.add_object(DataObject::global("table", 64));
+//! let mut b = FunctionBuilder::entry(&mut program);
+//! let base = b.addrof(table);
+//! let v = b.load(MemWidth::B4, base);
+//! let w = b.add(v, v);
+//! b.store(MemWidth::B4, base, w);
+//! b.ret(None);
+//!
+//! let machine = Machine::paper_2cluster(5);
+//! let profile = Profile::uniform(&program, 100);
+//! let result = run_pipeline(&program, &profile, &machine, &PipelineConfig::new(Method::Gdp));
+//! assert!(result.cycles() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baselines;
+mod dfg;
+mod exhaustive;
+mod gdp;
+mod groups;
+mod pipeline;
+mod rhop;
+
+pub use baselines::{
+    group_cluster_frequencies, naive_partition, profile_max_partition, unified_partition,
+};
+pub use dfg::{ProgramDfg, ProgramNode};
+pub use exhaustive::{evaluate_mapping, exhaustive_search, ExhaustivePoint, TooManyGroups};
+pub use gdp::{data_partition_from_mapping, gdp_partition, DataPartition, GdpConfig};
+pub use groups::ObjectGroups;
+pub use pipeline::{run_all_methods, run_pipeline, Method, PipelineConfig, PipelineResult};
+pub use rhop::{rhop_partition, RegionScope, RhopConfig, RhopStats};

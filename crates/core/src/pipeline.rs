@@ -1,0 +1,330 @@
+//! The end-to-end compilation pipeline: analyses → data partitioning →
+//! computation partitioning → normalization → move insertion →
+//! scheduling and evaluation.
+
+use crate::baselines::{naive_partition, profile_max_partition, unified_partition};
+use crate::gdp::{gdp_partition, GdpConfig};
+use crate::groups::ObjectGroups;
+use crate::rhop::{rhop_partition, RhopConfig, RhopStats};
+use mcpart_analysis::{AccessInfo, PointsTo};
+use mcpart_ir::{Profile, Program};
+use mcpart_machine::Machine;
+use mcpart_sched::{evaluate, normalize_placement, PerfReport, Placement};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The partitioning method to run (Table 1 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Method {
+    /// Global Data Partitioning (the paper's contribution): GDP object
+    /// partitioning + RHOP with locked memory operations.
+    Gdp,
+    /// Profile Max: RHOP twice — unified-memory profile, greedy
+    /// frequency-ordered object assignment, then RHOP with locks.
+    ProfileMax,
+    /// Naïve: RHOP assuming unified memory; objects placed post-hoc at
+    /// their maximum-access cluster, remote accesses patched in.
+    Naive,
+    /// Unified memory: single multiported memory, ordinary RHOP (the
+    /// upper-bound baseline).
+    Unified,
+}
+
+impl Method {
+    /// All methods, in the paper's presentation order.
+    pub const ALL: [Method; 4] = [Method::Gdp, Method::ProfileMax, Method::Naive, Method::Unified];
+
+    /// How many runs of the detailed computation partitioner the method
+    /// costs (the compile-time proxy of §4.5).
+    pub fn detailed_partitioner_runs(self) -> usize {
+        match self {
+            Method::ProfileMax => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Method::Gdp => "GDP",
+            Method::ProfileMax => "Profile Max",
+            Method::Naive => "Naive",
+            Method::Unified => "Unified",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Which scheme to run.
+    pub method: Method,
+    /// GDP first-pass options.
+    pub gdp: GdpConfig,
+    /// RHOP second-pass options.
+    pub rhop: RhopConfig,
+    /// Profile Max memory balance threshold.
+    pub profile_max_balance: f64,
+    /// When `true`, the pipeline additionally executes the original and
+    /// transformed programs and asserts identical behaviour (slow;
+    /// meant for tests).
+    pub validate: bool,
+    /// Where intercluster transfers are placed.
+    pub move_strategy: mcpart_sched::MoveStrategy,
+    /// Run the scalar optimizer (DCE, CSE, copy propagation, constant
+    /// folding) before partitioning. Off by default to keep the
+    /// paper-reproduction numbers on the raw generator output.
+    pub pre_optimize: bool,
+    /// Evaluate with software pipelining: single-block loop bodies are
+    /// modulo-scheduled and charged their initiation interval per
+    /// iteration. Off by default (the paper's model schedules each
+    /// iteration acyclically).
+    pub software_pipelining: bool,
+}
+
+impl PipelineConfig {
+    /// Default configuration for a method.
+    pub fn new(method: Method) -> Self {
+        PipelineConfig {
+            method,
+            gdp: GdpConfig::default(),
+            rhop: RhopConfig::default(),
+            profile_max_balance: 0.10,
+            validate: false,
+            move_strategy: mcpart_sched::MoveStrategy::default(),
+            pre_optimize: false,
+            software_pipelining: false,
+        }
+    }
+}
+
+/// Everything the pipeline produces for one (program, machine, method)
+/// triple.
+#[derive(Clone, Debug)]
+pub struct PipelineResult {
+    /// The method that ran.
+    pub method: Method,
+    /// The transformed program (intercluster moves inserted).
+    pub program: Program,
+    /// The final placement of the transformed program.
+    pub placement: Placement,
+    /// Scheduled performance (cycles, dynamic moves).
+    pub report: PerfReport,
+    /// RHOP statistics (estimator calls etc.).
+    pub rhop_stats: RhopStats,
+    /// Number of detailed-partitioner runs (compile-time proxy).
+    pub detailed_runs: usize,
+    /// Data bytes homed per cluster (all zeros for Unified).
+    pub data_bytes: Vec<u64>,
+    /// Static intercluster moves inserted.
+    pub moves_inserted: usize,
+    /// Wall-clock time of the partitioning phases (excludes evaluation).
+    pub partition_time: Duration,
+}
+
+impl PipelineResult {
+    /// Total dynamic cycles.
+    pub fn cycles(&self) -> u64 {
+        self.report.total_cycles
+    }
+
+    /// Dynamic intercluster moves.
+    pub fn dynamic_moves(&self) -> u64 {
+        self.report.dynamic_moves
+    }
+}
+
+/// Runs the full pipeline for one method.
+///
+/// # Panics
+///
+/// Panics if `config.validate` is set and the transformed program does
+/// not behave identically to the original (this indicates a bug in the
+/// partitioner or move inserter, and is always a reportable defect).
+pub fn run_pipeline(
+    program: &Program,
+    profile: &Profile,
+    machine: &Machine,
+    config: &PipelineConfig,
+) -> PipelineResult {
+    // Prepartitioning analyses (§3.2): heap sizes applied, points-to,
+    // access relationship, object groups.
+    let mut program = profile.apply_heap_sizes(program);
+    if config.pre_optimize {
+        mcpart_ir::optimize(&mut program);
+    }
+    let program = program;
+    let pts = PointsTo::compute(&program);
+    let access = AccessInfo::compute(&program, &pts, profile);
+    let groups = ObjectGroups::compute(&program, &access);
+
+    let start = Instant::now();
+    let (placement, rhop_stats) = match config.method {
+        Method::Gdp => {
+            let dp = gdp_partition(&program, profile, &access, &groups, machine, &config.gdp);
+            rhop_partition(&program, &access, profile, machine, &dp.object_home, &config.rhop)
+        }
+        Method::ProfileMax => profile_max_partition(
+            &program,
+            &access,
+            profile,
+            machine,
+            &groups,
+            &config.rhop,
+            config.profile_max_balance,
+        ),
+        Method::Naive => {
+            naive_partition(&program, &access, profile, machine, &groups, &config.rhop)
+        }
+        Method::Unified => unified_partition(&program, &access, profile, machine, &config.rhop),
+    };
+    let eval_machine = match config.method {
+        Method::Unified => machine.clone().with_unified_memory(),
+        _ => machine.clone(),
+    };
+    let normalized = normalize_placement(&program, &placement, &access, &eval_machine, profile);
+    let (moved_program, moved_placement, move_stats) = mcpart_sched::insert_moves_with(
+        &program,
+        &normalized,
+        &eval_machine,
+        Some(profile),
+        config.move_strategy,
+    );
+    let partition_time = start.elapsed();
+
+    if config.validate {
+        let ok = mcpart_sim::semantically_equivalent(
+            &program,
+            &moved_program,
+            &[],
+            mcpart_sim::ExecConfig::default(),
+        )
+        .expect("both program variants must execute");
+        assert!(ok, "{} transformation changed program semantics", config.method);
+    }
+
+    // Re-analyze the moved program (op ids shifted) for scheduling
+    // disambiguation, then evaluate.
+    let moved_pts = PointsTo::compute(&moved_program);
+    let moved_access = AccessInfo::compute(&moved_program, &moved_pts, profile);
+    let report = if config.software_pipelining {
+        mcpart_sched::evaluate_pipelined(
+            &moved_program,
+            &moved_placement,
+            &eval_machine,
+            profile,
+            &moved_access,
+        )
+    } else {
+        evaluate(&moved_program, &moved_placement, &eval_machine, profile, &moved_access)
+    };
+
+    let data_bytes = moved_placement.bytes_per_cluster(&moved_program, machine.num_clusters());
+    PipelineResult {
+        method: config.method,
+        program: moved_program,
+        placement: moved_placement,
+        report,
+        rhop_stats,
+        detailed_runs: config.method.detailed_partitioner_runs(),
+        data_bytes,
+        moves_inserted: move_stats.moves_inserted,
+        partition_time,
+    }
+}
+
+/// Runs all four methods on one program/machine, returning results in
+/// [`Method::ALL`] order. Convenience for the experiment harness.
+pub fn run_all_methods(
+    program: &Program,
+    profile: &Profile,
+    machine: &Machine,
+) -> Vec<PipelineResult> {
+    Method::ALL
+        .iter()
+        .map(|&m| run_pipeline(program, profile, machine, &PipelineConfig::new(m)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpart_ir::{DataObject, FunctionBuilder, MemWidth};
+
+    fn bench_program() -> Program {
+        let mut p = Program::new("bench");
+        let t1 = p.add_object(DataObject::global("t1", 128));
+        let t2 = p.add_object(DataObject::global("t2", 64));
+        let state = p.add_object(DataObject::global("state", 16));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let base1 = b.addrof(t1);
+        let base2 = b.addrof(t2);
+        let sbase = b.addrof(state);
+        let mut acc = b.iconst(0);
+        for i in 0..4i64 {
+            let o = b.iconst(4 * i);
+            let a1 = b.add(base1, o);
+            let v1 = b.load(MemWidth::B4, a1);
+            let a2 = b.add(base2, o);
+            let v2 = b.load(MemWidth::B4, a2);
+            let s = b.add(v1, v2);
+            acc = b.add(acc, s);
+        }
+        b.store(MemWidth::B4, sbase, acc);
+        b.ret(Some(acc));
+        p
+    }
+
+    #[test]
+    fn all_methods_run_and_validate() {
+        let p = bench_program();
+        let profile = Profile::uniform(&p, 10);
+        let machine = Machine::paper_2cluster(5);
+        for method in Method::ALL {
+            let mut cfg = PipelineConfig::new(method);
+            cfg.validate = true;
+            let result = run_pipeline(&p, &profile, &machine, &cfg);
+            assert!(result.cycles() > 0, "{method} produced zero cycles");
+            mcpart_ir::verify_program(&result.program).unwrap();
+        }
+    }
+
+    #[test]
+    fn unified_is_competitive() {
+        // The unified model has no data-placement penalty, so it should
+        // be at least as fast as the naive scheme at high move latency.
+        let p = bench_program();
+        let profile = Profile::uniform(&p, 10);
+        let machine = Machine::paper_2cluster(10);
+        let unified =
+            run_pipeline(&p, &profile, &machine, &PipelineConfig::new(Method::Unified));
+        let naive = run_pipeline(&p, &profile, &machine, &PipelineConfig::new(Method::Naive));
+        assert!(
+            unified.cycles() <= naive.cycles() + 2,
+            "unified {} vs naive {}",
+            unified.cycles(),
+            naive.cycles()
+        );
+    }
+
+    #[test]
+    fn profile_max_counts_two_runs() {
+        let p = bench_program();
+        let profile = Profile::uniform(&p, 10);
+        let machine = Machine::paper_2cluster(5);
+        let pm = run_pipeline(&p, &profile, &machine, &PipelineConfig::new(Method::ProfileMax));
+        assert_eq!(pm.detailed_runs, 2);
+        let gdp = run_pipeline(&p, &profile, &machine, &PipelineConfig::new(Method::Gdp));
+        assert_eq!(gdp.detailed_runs, 1);
+    }
+
+    #[test]
+    fn method_display_names() {
+        assert_eq!(Method::Gdp.to_string(), "GDP");
+        assert_eq!(Method::ProfileMax.to_string(), "Profile Max");
+        assert_eq!(Method::Naive.to_string(), "Naive");
+        assert_eq!(Method::Unified.to_string(), "Unified");
+    }
+}

@@ -1,0 +1,79 @@
+//! Basic blocks and terminators.
+
+use crate::ids::{BlockId, OpId, VReg};
+
+/// How control leaves a basic block.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Terminator {
+    /// Unconditional jump to `target`.
+    Jump(BlockId),
+    /// Two-way branch: if `cond != 0` go to `then_block`, else
+    /// `else_block`. `cond` must be defined by an operation in this block
+    /// or be live-in.
+    Branch {
+        /// Condition register (nonzero = taken).
+        cond: VReg,
+        /// Taken successor.
+        then_block: BlockId,
+        /// Fall-through successor.
+        else_block: BlockId,
+    },
+    /// Return from the function, optionally yielding a value.
+    Return(Option<VReg>),
+}
+
+impl Terminator {
+    /// Successor blocks of this terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(t) => vec![*t],
+            Terminator::Branch { then_block, else_block, .. } => vec![*then_block, *else_block],
+            Terminator::Return(_) => Vec::new(),
+        }
+    }
+}
+
+/// A basic block: a straight-line sequence of operations ended by a
+/// [`Terminator`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct Block {
+    /// Operations in program order.
+    pub ops: Vec<OpId>,
+    /// The terminator. `None` only during construction; the verifier
+    /// rejects unterminated blocks.
+    pub term: Option<Terminator>,
+    /// Human-readable label (for printing).
+    pub label: String,
+}
+
+impl Block {
+    /// Creates an empty, unterminated block.
+    pub fn new(label: impl Into<String>) -> Self {
+        Block { ops: Vec::new(), term: None, label: label.into() }
+    }
+
+    /// Successor blocks (empty when unterminated).
+    pub fn successors(&self) -> Vec<BlockId> {
+        self.term.as_ref().map(|t| t.successors()).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminator_successors() {
+        assert_eq!(Terminator::Jump(BlockId(3)).successors(), vec![BlockId(3)]);
+        let b = Terminator::Branch { cond: VReg(0), then_block: BlockId(1), else_block: BlockId(2) };
+        assert_eq!(b.successors(), vec![BlockId(1), BlockId(2)]);
+        assert!(Terminator::Return(None).successors().is_empty());
+    }
+
+    #[test]
+    fn unterminated_block_has_no_successors() {
+        let b = Block::new("entry");
+        assert!(b.successors().is_empty());
+        assert_eq!(b.label, "entry");
+    }
+}

@@ -1,0 +1,326 @@
+//! Ergonomic construction of IR functions.
+//!
+//! [`FunctionBuilder`] appends operations to a current block and manages
+//! virtual-register allocation, so workload generators and tests can
+//! write near-linear code:
+//!
+//! ```
+//! use mcpart_ir::{Program, DataObject, FunctionBuilder, Terminator, MemWidth};
+//!
+//! let mut program = Program::new("example");
+//! let table = program.add_object(DataObject::global("table", 256));
+//! let mut b = FunctionBuilder::entry(&mut program);
+//! let base = b.addrof(table);
+//! let idx = b.iconst(4);
+//! let addr = b.add(base, idx);
+//! let val = b.load(MemWidth::B4, addr);
+//! b.ret(Some(val));
+//! ```
+
+use crate::block::Terminator;
+use crate::func::Function;
+use crate::ids::{BlockId, FuncId, ObjectId, OpId, VReg};
+use crate::op::Op;
+use crate::opcode::{Cmp, FloatBinOp, IntBinOp, MemWidth, Opcode};
+use crate::program::Program;
+
+/// Builder appending operations to a function inside a [`Program`].
+#[derive(Debug)]
+pub struct FunctionBuilder<'a> {
+    program: &'a mut Program,
+    func: FuncId,
+    cur: BlockId,
+}
+
+impl<'a> FunctionBuilder<'a> {
+    /// Builds into the program's entry function, positioned at its entry
+    /// block.
+    pub fn entry(program: &'a mut Program) -> Self {
+        let func = program.entry;
+        let cur = program.functions[func].entry;
+        FunctionBuilder { program, func, cur }
+    }
+
+    /// Adds a new function named `name` and builds into it.
+    pub fn new_function(program: &'a mut Program, name: impl Into<String>) -> Self {
+        let func = program.add_function(Function::new(name));
+        let cur = program.functions[func].entry;
+        FunctionBuilder { program, func, cur }
+    }
+
+    /// Builds into an existing function, positioned at its entry block.
+    pub fn of(program: &'a mut Program, func: FuncId) -> Self {
+        let cur = program.functions[func].entry;
+        FunctionBuilder { program, func, cur }
+    }
+
+    /// The function being built.
+    pub fn func_id(&self) -> FuncId {
+        self.func
+    }
+
+    /// The block currently being appended to.
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    /// Immutable access to the function under construction.
+    pub fn func(&self) -> &Function {
+        &self.program.functions[self.func]
+    }
+
+    fn func_mut(&mut self) -> &mut Function {
+        &mut self.program.functions[self.func]
+    }
+
+    /// Declares a function parameter, allocating its register.
+    pub fn param(&mut self) -> VReg {
+        let v = self.func_mut().new_vreg();
+        self.func_mut().params.push(v);
+        v
+    }
+
+    /// Creates a new block (does not switch to it).
+    pub fn block(&mut self, label: impl Into<String>) -> BlockId {
+        self.func_mut().add_block(label)
+    }
+
+    /// Switches the insertion point to `block`.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.cur = block;
+    }
+
+    /// Appends a raw operation to the current block.
+    pub fn emit(&mut self, opcode: Opcode, dsts: Vec<VReg>, srcs: Vec<VReg>) -> OpId {
+        let cur = self.cur;
+        self.func_mut().append_op(cur, Op::new(opcode, dsts, srcs))
+    }
+
+    fn emit1(&mut self, opcode: Opcode, srcs: Vec<VReg>) -> VReg {
+        let dst = self.func_mut().new_vreg();
+        self.emit(opcode, vec![dst], srcs);
+        dst
+    }
+
+    /// `dst = value` integer constant.
+    pub fn iconst(&mut self, value: i64) -> VReg {
+        self.emit1(Opcode::ConstInt(value), vec![])
+    }
+
+    /// `dst = value` float constant.
+    pub fn fconst(&mut self, value: f64) -> VReg {
+        self.emit1(Opcode::ConstFloat(value.to_bits()), vec![])
+    }
+
+    /// `dst = &object`.
+    pub fn addrof(&mut self, object: ObjectId) -> VReg {
+        self.emit1(Opcode::AddrOf(object), vec![])
+    }
+
+    /// Generic integer binary operation.
+    pub fn ibin(&mut self, op: IntBinOp, a: VReg, b: VReg) -> VReg {
+        self.emit1(Opcode::IntBin(op), vec![a, b])
+    }
+
+    /// `dst = a + b`.
+    pub fn add(&mut self, a: VReg, b: VReg) -> VReg {
+        self.ibin(IntBinOp::Add, a, b)
+    }
+
+    /// `dst = a - b`.
+    pub fn sub(&mut self, a: VReg, b: VReg) -> VReg {
+        self.ibin(IntBinOp::Sub, a, b)
+    }
+
+    /// `dst = a * b`.
+    pub fn mul(&mut self, a: VReg, b: VReg) -> VReg {
+        self.ibin(IntBinOp::Mul, a, b)
+    }
+
+    /// `dst = a >> b` (arithmetic).
+    pub fn shr(&mut self, a: VReg, b: VReg) -> VReg {
+        self.ibin(IntBinOp::Shr, a, b)
+    }
+
+    /// `dst = a << b`.
+    pub fn shl(&mut self, a: VReg, b: VReg) -> VReg {
+        self.ibin(IntBinOp::Shl, a, b)
+    }
+
+    /// `dst = a & b`.
+    pub fn and(&mut self, a: VReg, b: VReg) -> VReg {
+        self.ibin(IntBinOp::And, a, b)
+    }
+
+    /// `dst = a | b`.
+    pub fn or(&mut self, a: VReg, b: VReg) -> VReg {
+        self.ibin(IntBinOp::Or, a, b)
+    }
+
+    /// Integer comparison producing 0/1.
+    pub fn icmp(&mut self, cmp: Cmp, a: VReg, b: VReg) -> VReg {
+        self.emit1(Opcode::IntCmp(cmp), vec![a, b])
+    }
+
+    /// `dst = cond != 0 ? a : b`.
+    pub fn select(&mut self, cond: VReg, a: VReg, b: VReg) -> VReg {
+        self.emit1(Opcode::Select, vec![cond, a, b])
+    }
+
+    /// Generic float binary operation.
+    pub fn fbin(&mut self, op: FloatBinOp, a: VReg, b: VReg) -> VReg {
+        self.emit1(Opcode::FloatBin(op), vec![a, b])
+    }
+
+    /// `dst = a +. b`.
+    pub fn fadd(&mut self, a: VReg, b: VReg) -> VReg {
+        self.fbin(FloatBinOp::Add, a, b)
+    }
+
+    /// `dst = a *. b`.
+    pub fn fmul(&mut self, a: VReg, b: VReg) -> VReg {
+        self.fbin(FloatBinOp::Mul, a, b)
+    }
+
+    /// Float comparison producing integer 0/1.
+    pub fn fcmp(&mut self, cmp: Cmp, a: VReg, b: VReg) -> VReg {
+        self.emit1(Opcode::FloatCmp(cmp), vec![a, b])
+    }
+
+    /// `dst = (float) src`.
+    pub fn itof(&mut self, src: VReg) -> VReg {
+        self.emit1(Opcode::IntToFloat, vec![src])
+    }
+
+    /// `dst = (int) src`.
+    pub fn ftoi(&mut self, src: VReg) -> VReg {
+        self.emit1(Opcode::FloatToInt, vec![src])
+    }
+
+    /// `dst = load.width [addr]`.
+    pub fn load(&mut self, width: MemWidth, addr: VReg) -> VReg {
+        self.emit1(Opcode::Load(width), vec![addr])
+    }
+
+    /// `store.width [addr] = value`.
+    pub fn store(&mut self, width: MemWidth, addr: VReg, value: VReg) -> OpId {
+        self.emit(Opcode::Store(width), vec![], vec![addr, value])
+    }
+
+    /// `dst = malloc(size)` attributed to allocation site `site`.
+    pub fn malloc(&mut self, site: ObjectId, size: VReg) -> VReg {
+        self.emit1(Opcode::Malloc(site), vec![size])
+    }
+
+    /// `dst = src` register copy.
+    pub fn mov(&mut self, src: VReg) -> VReg {
+        self.emit1(Opcode::Move, vec![src])
+    }
+
+    /// `dst = src` copy into an existing register (used for loop-carried
+    /// variables).
+    pub fn mov_to(&mut self, dst: VReg, src: VReg) -> OpId {
+        self.emit(Opcode::Move, vec![dst], vec![src])
+    }
+
+    /// `dsts = call callee(args)`; allocates `num_results` registers.
+    pub fn call(&mut self, callee: FuncId, args: Vec<VReg>, num_results: usize) -> Vec<VReg> {
+        let dsts: Vec<VReg> = (0..num_results).map(|_| self.func_mut().new_vreg()).collect();
+        self.emit(Opcode::Call(callee), dsts.clone(), args);
+        dsts
+    }
+
+    /// Terminates the current block with a conditional branch and emits
+    /// the branch-unit condition-evaluation op.
+    pub fn branch(&mut self, cond: VReg, then_block: BlockId, else_block: BlockId) {
+        self.emit(Opcode::BranchCond, vec![], vec![cond]);
+        let cur = self.cur;
+        self.func_mut().terminate(cur, Terminator::Branch { cond, then_block, else_block });
+    }
+
+    /// Terminates the current block with a jump and emits the
+    /// branch-unit op.
+    pub fn jump(&mut self, target: BlockId) {
+        self.emit(Opcode::Jump, vec![], vec![]);
+        let cur = self.cur;
+        self.func_mut().terminate(cur, Terminator::Jump(target));
+    }
+
+    /// Terminates the current block with a return and emits the
+    /// branch-unit op.
+    pub fn ret(&mut self, value: Option<VReg>) {
+        let srcs = value.map(|v| vec![v]).unwrap_or_default();
+        self.emit(Opcode::Ret, vec![], srcs);
+        let cur = self.cur;
+        self.func_mut().terminate(cur, Terminator::Return(value));
+    }
+
+    /// Declares a region over `blocks` in the function under
+    /// construction.
+    pub fn region(&mut self, name: impl Into<String>, blocks: Vec<BlockId>) {
+        self.func_mut().add_region(name, blocks);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_build() {
+        let mut p = Program::new("t");
+        let obj = p.add_object(crate::object::DataObject::global("g", 64));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let base = b.addrof(obj);
+        let four = b.iconst(4);
+        let addr = b.add(base, four);
+        let v = b.load(MemWidth::B4, addr);
+        let two = b.iconst(2);
+        let shifted = b.shr(v, two);
+        b.store(MemWidth::B4, addr, shifted);
+        b.ret(None);
+        let f = p.entry_function();
+        // addrof, iconst, add, load, iconst, shr, store, ret
+        assert_eq!(f.num_ops(), 8);
+        assert!(f.blocks[f.entry].term.is_some());
+    }
+
+    #[test]
+    fn diamond_cfg_build() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let x = b.param();
+        let zero = b.iconst(0);
+        let c = b.icmp(Cmp::Gt, x, zero);
+        let t = b.block("then");
+        let e = b.block("else");
+        let m = b.block("merge");
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.jump(m);
+        b.switch_to(e);
+        b.jump(m);
+        b.switch_to(m);
+        b.ret(Some(x));
+        let f = p.entry_function();
+        assert_eq!(f.blocks.len(), 4);
+        assert_eq!(f.blocks[f.entry].successors().len(), 2);
+        assert_eq!(f.params.len(), 1);
+    }
+
+    #[test]
+    fn call_allocates_result_registers() {
+        let mut p = Program::new("t");
+        let callee = {
+            let mut cb = FunctionBuilder::new_function(&mut p, "helper");
+            let a = cb.param();
+            cb.ret(Some(a));
+            cb.func_id()
+        };
+        let mut b = FunctionBuilder::entry(&mut p);
+        let x = b.iconst(1);
+        let rets = b.call(callee, vec![x], 1);
+        assert_eq!(rets.len(), 1);
+        b.ret(Some(rets[0]));
+    }
+}

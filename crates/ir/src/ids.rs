@@ -1,0 +1,287 @@
+//! Strongly-typed entity identifiers and dense entity maps.
+//!
+//! Every IR entity (function, block, operation, virtual register, data
+//! object) is referred to by a small integer id wrapped in a newtype. Ids
+//! are dense per-container, so entity attributes can be stored in flat
+//! vectors via [`EntityMap`].
+
+use std::fmt;
+use std::marker::PhantomData;
+
+/// Trait implemented by all entity id newtypes.
+///
+/// An entity id is a thin wrapper over a `u32` index. Implementors are
+/// created with [`EntityId::new`] and expose their raw index with
+/// [`EntityId::index`].
+pub trait EntityId: Copy + Eq + std::hash::Hash + fmt::Debug {
+    /// Creates an id from a raw dense index.
+    fn new(index: usize) -> Self;
+    /// Returns the raw dense index of this id.
+    fn index(self) -> usize;
+}
+
+macro_rules! entity_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl EntityId for $name {
+            #[inline]
+            fn new(index: usize) -> Self {
+                debug_assert!(index <= u32::MAX as usize);
+                $name(index as u32)
+            }
+            #[inline]
+            fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+entity_id!(
+    /// Identifies a function within a [`crate::Program`].
+    FuncId,
+    "fn"
+);
+entity_id!(
+    /// Identifies a basic block within a [`crate::Function`].
+    BlockId,
+    "bb"
+);
+entity_id!(
+    /// Identifies an operation within a [`crate::Function`].
+    OpId,
+    "op"
+);
+entity_id!(
+    /// Identifies a virtual register within a [`crate::Function`].
+    VReg,
+    "v"
+);
+entity_id!(
+    /// Identifies a data object (global variable or heap allocation
+    /// site) within a [`crate::Program`].
+    ObjectId,
+    "obj"
+);
+entity_id!(
+    /// Identifies a scheduling/partitioning region within a
+    /// [`crate::Function`]. A region groups one or more basic blocks that
+    /// the computation partitioner considers jointly.
+    RegionId,
+    "rgn"
+);
+
+/// A cluster index in a multicluster machine.
+///
+/// Clusters are numbered densely from zero. This type lives in the IR
+/// crate (rather than the machine crate) because partition results
+/// annotate IR entities with cluster assignments.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClusterId(pub u16);
+
+impl ClusterId {
+    /// Returns the raw dense index of this cluster.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a cluster id from a raw dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u16::MAX`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        assert!(index <= u16::MAX as usize, "cluster index out of range");
+        ClusterId(index as u16)
+    }
+}
+
+impl fmt::Debug for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A dense map from an entity id to a value, backed by a `Vec`.
+///
+/// `EntityMap` is the canonical way to attach attributes to IR entities:
+/// the id's raw index addresses the backing vector directly.
+#[derive(Clone, PartialEq, Eq)]
+pub struct EntityMap<K: EntityId, V> {
+    values: Vec<V>,
+    _marker: PhantomData<K>,
+}
+
+impl<K: EntityId, V> EntityMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        EntityMap { values: Vec::new(), _marker: PhantomData }
+    }
+
+    /// Creates a map with `n` copies of `value`.
+    pub fn with_default(n: usize, value: V) -> Self
+    where
+        V: Clone,
+    {
+        EntityMap { values: vec![value; n], _marker: PhantomData }
+    }
+
+    /// Appends a value, returning the id it was assigned.
+    pub fn push(&mut self, value: V) -> K {
+        let id = K::new(self.values.len());
+        self.values.push(value);
+        id
+    }
+
+    /// Number of entities in the map.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the map holds no entities.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Returns the value for `key`, if present.
+    pub fn get(&self, key: K) -> Option<&V> {
+        self.values.get(key.index())
+    }
+
+    /// Iterates over `(id, value)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, &V)> {
+        self.values.iter().enumerate().map(|(i, v)| (K::new(i), v))
+    }
+
+    /// Iterates over values in id order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.values.iter()
+    }
+
+    /// Iterates mutably over values in id order.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
+        self.values.iter_mut()
+    }
+
+    /// Iterates over all ids in the map.
+    pub fn keys(&self) -> impl Iterator<Item = K> {
+        (0..self.values.len()).map(K::new)
+    }
+}
+
+impl<K: EntityId, V> Default for EntityMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: EntityId, V> std::ops::Index<K> for EntityMap<K, V> {
+    type Output = V;
+    #[inline]
+    fn index(&self, key: K) -> &V {
+        &self.values[key.index()]
+    }
+}
+
+impl<K: EntityId, V> std::ops::IndexMut<K> for EntityMap<K, V> {
+    #[inline]
+    fn index_mut(&mut self, key: K) -> &mut V {
+        &mut self.values[key.index()]
+    }
+}
+
+impl<K: EntityId, V: fmt::Debug> fmt::Debug for EntityMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<K: EntityId, V> FromIterator<V> for EntityMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = V>>(iter: I) -> Self {
+        EntityMap { values: iter.into_iter().collect(), _marker: PhantomData }
+    }
+}
+
+impl<K: EntityId, V> Extend<V> for EntityMap<K, V> {
+    fn extend<I: IntoIterator<Item = V>>(&mut self, iter: I) {
+        self.values.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entity_id_roundtrip() {
+        let id = OpId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id}"), "op42");
+        assert_eq!(format!("{id:?}"), "op42");
+    }
+
+    #[test]
+    fn cluster_id_roundtrip() {
+        let c = ClusterId::new(3);
+        assert_eq!(c.index(), 3);
+        assert_eq!(format!("{c}"), "c3");
+    }
+
+    #[test]
+    fn entity_map_push_and_index() {
+        let mut m: EntityMap<VReg, i32> = EntityMap::new();
+        let a = m.push(10);
+        let b = m.push(20);
+        assert_eq!(m[a], 10);
+        assert_eq!(m[b], 20);
+        assert_eq!(m.len(), 2);
+        m[a] = 15;
+        assert_eq!(m[a], 15);
+    }
+
+    #[test]
+    fn entity_map_iter_orders_by_id() {
+        let m: EntityMap<BlockId, char> = "abc".chars().collect();
+        let pairs: Vec<_> = m.iter().collect();
+        assert_eq!(pairs[0], (BlockId::new(0), &'a'));
+        assert_eq!(pairs[2], (BlockId::new(2), &'c'));
+        assert_eq!(m.keys().count(), 3);
+    }
+
+    #[test]
+    fn entity_map_with_default() {
+        let m: EntityMap<OpId, u8> = EntityMap::with_default(4, 7);
+        assert_eq!(m.len(), 4);
+        assert!(m.values().all(|&v| v == 7));
+    }
+
+    #[test]
+    fn entity_map_get_out_of_range() {
+        let m: EntityMap<OpId, u8> = EntityMap::new();
+        assert!(m.get(OpId::new(0)).is_none());
+        assert!(m.is_empty());
+    }
+}

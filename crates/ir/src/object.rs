@@ -1,0 +1,81 @@
+//! Data objects: the entities the data partitioner places in cluster
+//! memories.
+
+use std::fmt;
+
+/// Whether a data object is statically allocated or a heap allocation
+/// site.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ObjectKind {
+    /// A static global variable (scalar, array or structure). Its size
+    /// is known from its type.
+    Global,
+    /// A `malloc()` call site. Its size is discovered by heap profiling
+    /// (the sum of bytes allocated by the site over a profiling run).
+    HeapSite,
+}
+
+impl fmt::Display for ObjectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectKind::Global => f.write_str("global"),
+            ObjectKind::HeapSite => f.write_str("heap"),
+        }
+    }
+}
+
+/// A data object.
+///
+/// Composite objects (arrays, structures) are indivisible: the paper
+/// never splits a single object across cluster memories, and neither do
+/// we. The object's `size` is the quantity the partitioner balances
+/// across clusters.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DataObject {
+    /// Human-readable name (e.g. `stepsizeTable`).
+    pub name: String,
+    /// Global variable vs heap allocation site.
+    pub kind: ObjectKind,
+    /// Size in bytes. For heap sites this starts at 0 and is filled in
+    /// by heap profiling.
+    pub size: u64,
+}
+
+impl DataObject {
+    /// Creates a global object of `size` bytes.
+    pub fn global(name: impl Into<String>, size: u64) -> Self {
+        DataObject { name: name.into(), kind: ObjectKind::Global, size }
+    }
+
+    /// Creates a heap allocation site; its size is established later by
+    /// profiling.
+    pub fn heap_site(name: impl Into<String>) -> Self {
+        DataObject { name: name.into(), kind: ObjectKind::HeapSite, size: 0 }
+    }
+}
+
+impl fmt::Display for DataObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} ({} bytes)", self.kind, self.name, self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_object_has_size() {
+        let o = DataObject::global("table", 356);
+        assert_eq!(o.kind, ObjectKind::Global);
+        assert_eq!(o.size, 356);
+        assert_eq!(o.to_string(), "global table (356 bytes)");
+    }
+
+    #[test]
+    fn heap_site_starts_unsized() {
+        let o = DataObject::heap_site("buf");
+        assert_eq!(o.kind, ObjectKind::HeapSite);
+        assert_eq!(o.size, 0);
+    }
+}

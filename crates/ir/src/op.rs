@@ -1,0 +1,71 @@
+//! Operations: the nodes of the data-flow graph.
+
+use crate::ids::{BlockId, OpId, VReg};
+use crate::opcode::Opcode;
+
+/// A single IR operation.
+///
+/// Operations live in a per-function arena ([`crate::Function::ops`]) and
+/// are referenced from basic blocks by [`OpId`]. All operands are virtual
+/// registers; constants are materialized by dedicated
+/// [`Opcode::ConstInt`]/[`Opcode::ConstFloat`] operations so that every
+/// data dependence is an explicit register edge (this is what the
+/// program-level DFG of the paper's first pass requires).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Op {
+    /// The opcode.
+    pub opcode: Opcode,
+    /// Destination registers (results).
+    pub dsts: Vec<VReg>,
+    /// Source registers (operands).
+    pub srcs: Vec<VReg>,
+    /// The block containing this operation.
+    pub block: BlockId,
+}
+
+impl Op {
+    /// Creates an operation. The containing block is patched in by the
+    /// builder when the op is appended to a block.
+    pub fn new(opcode: Opcode, dsts: Vec<VReg>, srcs: Vec<VReg>) -> Self {
+        Op { opcode, dsts, srcs, block: BlockId(u32::MAX) }
+    }
+
+    /// The single destination register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation does not have exactly one destination.
+    pub fn dst(&self) -> VReg {
+        assert_eq!(self.dsts.len(), 1, "operation has {} destinations", self.dsts.len());
+        self.dsts[0]
+    }
+}
+
+/// A lightweight reference to an operation's position in its block, used
+/// for deterministic ordering of schedule output.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct OpRef {
+    /// The operation.
+    pub op: OpId,
+    /// Its index within the block's op list.
+    pub pos: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::IntBinOp;
+
+    #[test]
+    fn dst_returns_single_destination() {
+        let op = Op::new(Opcode::IntBin(IntBinOp::Add), vec![VReg(5)], vec![VReg(1), VReg(2)]);
+        assert_eq!(op.dst(), VReg(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "destinations")]
+    fn dst_panics_without_destination() {
+        let op = Op::new(Opcode::Ret, vec![], vec![]);
+        let _ = op.dst();
+    }
+}

@@ -1,0 +1,538 @@
+//! Parsing of the textual IR form produced by [`crate::program_to_string`].
+//!
+//! The text format round-trips: `parse_program(program_to_string(p))`
+//! reconstructs `p` exactly (same ids, same structure). Entity names
+//! (program, objects, functions, block labels) must not contain
+//! whitespace or parentheses.
+
+use crate::block::Terminator;
+use crate::func::Function;
+use crate::ids::{BlockId, EntityId, FuncId, ObjectId, VReg};
+use crate::object::DataObject;
+use crate::op::Op;
+use crate::opcode::{Cmp, FloatBinOp, IntBinOp, MemWidth, Opcode};
+use crate::program::Program;
+use std::error::Error;
+use std::fmt;
+
+/// A parse failure, with the 1-based line number.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based line of the failure.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line, message: message.into() })
+}
+
+fn parse_id<K: EntityId>(line: usize, token: &str, prefix: &str) -> Result<K, ParseError> {
+    match token.strip_prefix(prefix).and_then(|t| t.parse::<usize>().ok()) {
+        Some(i) => Ok(K::new(i)),
+        None => err(line, format!("expected `{prefix}N`, found `{token}`")),
+    }
+}
+
+fn parse_vreg(line: usize, token: &str) -> Result<VReg, ParseError> {
+    parse_id::<VReg>(line, token.trim_end_matches(','), "v")
+}
+
+fn parse_cmp(line: usize, token: &str) -> Result<Cmp, ParseError> {
+    Ok(match token {
+        "eq" => Cmp::Eq,
+        "ne" => Cmp::Ne,
+        "lt" => Cmp::Lt,
+        "le" => Cmp::Le,
+        "gt" => Cmp::Gt,
+        "ge" => Cmp::Ge,
+        _ => return err(line, format!("unknown comparison `{token}`")),
+    })
+}
+
+fn parse_width(line: usize, token: &str) -> Result<MemWidth, ParseError> {
+    Ok(match token {
+        "1" => MemWidth::B1,
+        "2" => MemWidth::B2,
+        "4" => MemWidth::B4,
+        "8" => MemWidth::B8,
+        _ => return err(line, format!("unknown access width `{token}`")),
+    })
+}
+
+fn parse_opcode(line: usize, mnemonic: &str, arg: Option<&str>) -> Result<Opcode, ParseError> {
+    let int_bin = |op| Ok(Opcode::IntBin(op));
+    let float_bin = |op| Ok(Opcode::FloatBin(op));
+    match mnemonic {
+        "iconst" => {
+            let v = arg
+                .and_then(|a| a.parse::<i64>().ok())
+                .ok_or_else(|| ParseError { line, message: "iconst needs an integer".into() })?;
+            Ok(Opcode::ConstInt(v))
+        }
+        "fconst" => {
+            let v = arg
+                .and_then(|a| a.parse::<f64>().ok())
+                .ok_or_else(|| ParseError { line, message: "fconst needs a float".into() })?;
+            Ok(Opcode::ConstFloat(v.to_bits()))
+        }
+        "addrof" => {
+            let obj = parse_id::<ObjectId>(line, arg.unwrap_or(""), "obj")?;
+            Ok(Opcode::AddrOf(obj))
+        }
+        "malloc" => {
+            let obj = parse_id::<ObjectId>(line, arg.unwrap_or(""), "obj")?;
+            Ok(Opcode::Malloc(obj))
+        }
+        "call" => {
+            let f = parse_id::<FuncId>(line, arg.unwrap_or(""), "fn")?;
+            Ok(Opcode::Call(f))
+        }
+        "add" => int_bin(IntBinOp::Add),
+        "sub" => int_bin(IntBinOp::Sub),
+        "mul" => int_bin(IntBinOp::Mul),
+        "div" => int_bin(IntBinOp::Div),
+        "rem" => int_bin(IntBinOp::Rem),
+        "and" => int_bin(IntBinOp::And),
+        "or" => int_bin(IntBinOp::Or),
+        "xor" => int_bin(IntBinOp::Xor),
+        "shl" => int_bin(IntBinOp::Shl),
+        "shr" => int_bin(IntBinOp::Shr),
+        "min" => int_bin(IntBinOp::Min),
+        "max" => int_bin(IntBinOp::Max),
+        "fadd" => float_bin(FloatBinOp::Add),
+        "fsub" => float_bin(FloatBinOp::Sub),
+        "fmul" => float_bin(FloatBinOp::Mul),
+        "fdiv" => float_bin(FloatBinOp::Div),
+        "select" => Ok(Opcode::Select),
+        "itof" => Ok(Opcode::IntToFloat),
+        "ftoi" => Ok(Opcode::FloatToInt),
+        "mov" => Ok(Opcode::Move),
+        "brc" => Ok(Opcode::BranchCond),
+        "jmp" => Ok(Opcode::Jump),
+        "ret" => Ok(Opcode::Ret),
+        _ => {
+            if let Some(c) = mnemonic.strip_prefix("icmp.") {
+                return Ok(Opcode::IntCmp(parse_cmp(line, c)?));
+            }
+            if let Some(c) = mnemonic.strip_prefix("fcmp.") {
+                return Ok(Opcode::FloatCmp(parse_cmp(line, c)?));
+            }
+            if let Some(w) = mnemonic.strip_prefix("load.") {
+                return Ok(Opcode::Load(parse_width(line, w)?));
+            }
+            if let Some(w) = mnemonic.strip_prefix("store.") {
+                return Ok(Opcode::Store(parse_width(line, w)?));
+            }
+            err(line, format!("unknown opcode `{mnemonic}`"))
+        }
+    }
+}
+
+/// Parses the textual form of a whole program.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] (with line number) for malformed input.
+/// The result is *structurally* parsed but not semantically verified —
+/// run [`crate::verify_program`] afterwards.
+pub fn parse_program(text: &str) -> Result<Program, ParseError> {
+    let mut lines = text.lines().enumerate().peekable();
+
+    // Header: `program <name>`.
+    let (ln, first) = lines.next().ok_or(ParseError { line: 1, message: "empty input".into() })?;
+    let name = first
+        .strip_prefix("program ")
+        .ok_or(ParseError { line: ln + 1, message: "expected `program <name>`".into() })?
+        .trim()
+        .to_string();
+
+    // `entry fnN`.
+    let (ln, entry_line) =
+        lines.next().ok_or(ParseError { line: ln + 2, message: "missing entry line".into() })?;
+    let entry: FuncId = parse_id(
+        ln + 1,
+        entry_line
+            .strip_prefix("entry ")
+            .ok_or(ParseError { line: ln + 1, message: "expected `entry fnN`".into() })?
+            .trim(),
+        "fn",
+    )?;
+
+    let mut program = Program::new(name.clone());
+    program.name = name;
+    // Clear the implicit main; functions come from the text.
+    program.functions = crate::ids::EntityMap::new();
+    program.entry = entry;
+
+    // Objects: `  objN: <kind> <name> (<size> bytes)`.
+    while let Some(&(ln, line)) = lines.peek() {
+        let trimmed = line.trim();
+        if !trimmed.starts_with("obj") {
+            break;
+        }
+        lines.next();
+        let lno = ln + 1;
+        let (id_part, rest) = trimmed
+            .split_once(": ")
+            .ok_or(ParseError { line: lno, message: "expected `objN: ...`".into() })?;
+        let oid: ObjectId = parse_id(lno, id_part, "obj")?;
+        if oid.index() != program.objects.len() {
+            return err(lno, format!("object ids must be dense, found {id_part}"));
+        }
+        let mut parts = rest.split_whitespace();
+        let kind = parts.next().unwrap_or("");
+        let obj_name = parts.next().unwrap_or("");
+        let size_tok = parts.next().unwrap_or("").trim_start_matches('(');
+        let size: u64 = size_tok
+            .parse()
+            .map_err(|_| ParseError { line: lno, message: format!("bad size `{size_tok}`") })?;
+        let object = match kind {
+            "global" => {
+                let mut o = DataObject::global(obj_name, size);
+                o.size = size;
+                o
+            }
+            "heap" => {
+                let mut o = DataObject::heap_site(obj_name);
+                o.size = size;
+                o
+            }
+            _ => return err(lno, format!("unknown object kind `{kind}`")),
+        };
+        program.add_object(object);
+    }
+
+    // Functions.
+    while let Some((ln, line)) = lines.next() {
+        let lno = ln + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let Some(header) = trimmed.strip_prefix("func ") else {
+            return err(lno, format!("expected `func <name>(...)`, found `{trimmed}`"));
+        };
+        let open = header
+            .find('(')
+            .ok_or(ParseError { line: lno, message: "missing `(` in function header".into() })?;
+        let fname = header[..open].trim().to_string();
+        let close = header
+            .find(')')
+            .ok_or(ParseError { line: lno, message: "missing `)` in function header".into() })?;
+        let params: Vec<VReg> = header[open + 1..close]
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|t| parse_vreg(lno, t))
+            .collect::<Result<_, _>>()?;
+
+        let mut func = Function::new(fname);
+        func.blocks = crate::ids::EntityMap::new(); // blocks come from the text
+        func.params = params.clone();
+        let mut max_vreg: i64 = params.iter().map(|p| p.index() as i64).max().unwrap_or(-1);
+        // Ops carry explicit ids in the text (they may be interleaved
+        // across blocks in builder order); collect and place them at
+        // their exact indices afterwards.
+        let mut parsed_ops: Vec<(usize, usize, Op)> = Vec::new(); // (op id, line, op)
+        let mut block_op_ids: Vec<Vec<usize>> = Vec::new();
+
+        // Blocks until the closing `}`.
+        let mut current: Option<BlockId> = None;
+        loop {
+            let Some((ln, line)) = lines.next() else {
+                return err(lno, "unterminated function (missing `}`)");
+            };
+            let lno = ln + 1;
+            let trimmed = line.trim();
+            if trimmed == "}" {
+                break;
+            }
+            if trimmed.is_empty() {
+                continue;
+            }
+            if trimmed.starts_with("bb") && trimmed.ends_with(':') {
+                // `bbN (label):`
+                let body = trimmed.trim_end_matches(':');
+                let (id_part, label_part) = match body.split_once(' ') {
+                    Some((i, l)) => (i, l.trim().trim_start_matches('(').trim_end_matches(')')),
+                    None => (body, ""),
+                };
+                let bid: BlockId = parse_id(lno, id_part, "bb")?;
+                if bid.index() != func.blocks.len() {
+                    return err(lno, format!("block ids must be dense, found {id_part}"));
+                }
+                current = Some(func.add_block(label_part));
+                block_op_ids.push(Vec::new());
+                continue;
+            }
+            let Some(block) = current else {
+                return err(lno, format!("statement outside a block: `{trimmed}`"));
+            };
+            if let Some(term) = trimmed.strip_prefix("-> ") {
+                let term = term.trim();
+                let terminator = if let Some(rest) = term.strip_prefix("return") {
+                    let v = rest.trim();
+                    if v.is_empty() {
+                        Terminator::Return(None)
+                    } else {
+                        Terminator::Return(Some(parse_vreg(lno, v)?))
+                    }
+                } else if let Some(rest) = term.strip_prefix("if ") {
+                    // `if vN then bbA else bbB`
+                    let tokens: Vec<&str> = rest.split_whitespace().collect();
+                    if tokens.len() != 5 || tokens[1] != "then" || tokens[3] != "else" {
+                        return err(lno, format!("malformed branch `{term}`"));
+                    }
+                    Terminator::Branch {
+                        cond: parse_vreg(lno, tokens[0])?,
+                        then_block: parse_id(lno, tokens[2], "bb")?,
+                        else_block: parse_id(lno, tokens[4], "bb")?,
+                    }
+                } else {
+                    Terminator::Jump(parse_id(lno, term, "bb")?)
+                };
+                func.terminate(block, terminator);
+                current = None; // ops after a terminator are an error via append_op
+                continue;
+            }
+            // Operation: `opN: [dsts =] mnemonic [arg] [srcs]`.
+            let (id_part, stmt) = trimmed
+                .split_once(": ")
+                .ok_or(ParseError { line: lno, message: format!("expected `opN: ...`: `{trimmed}`") })?;
+            let op_id: crate::ids::OpId = parse_id(lno, id_part, "op")?;
+            let (dsts, rhs) = match stmt.split_once(" = ") {
+                Some((lhs, rhs)) => {
+                    let dsts: Vec<VReg> = lhs
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(|t| parse_vreg(lno, t))
+                        .collect::<Result<_, _>>()?;
+                    (dsts, rhs)
+                }
+                None => (Vec::new(), stmt),
+            };
+            let mut tokens = rhs.split_whitespace();
+            let mnemonic =
+                tokens.next().ok_or(ParseError { line: lno, message: "missing opcode".into() })?;
+            let rest: Vec<&str> = tokens.collect();
+            // Opcodes with an immediate/entity argument consume the
+            // first token; remaining tokens are source registers.
+            let takes_arg = matches!(mnemonic, "iconst" | "fconst" | "addrof" | "malloc" | "call");
+            let (arg, src_tokens) = if takes_arg {
+                match rest.split_first() {
+                    Some((a, rest)) => (Some(*a), rest.to_vec()),
+                    None => (None, Vec::new()),
+                }
+            } else {
+                (None, rest)
+            };
+            let opcode = parse_opcode(lno, mnemonic, arg)?;
+            let srcs: Vec<VReg> = src_tokens
+                .iter()
+                .map(|t| parse_vreg(lno, t))
+                .collect::<Result<_, _>>()?;
+            for &r in dsts.iter().chain(srcs.iter()) {
+                max_vreg = max_vreg.max(r.index() as i64);
+            }
+            let mut op = Op::new(opcode, dsts, srcs);
+            op.block = block;
+            parsed_ops.push((op_id.index(), lno, op));
+            block_op_ids[block.index()].push(op_id.index());
+        }
+        func.num_vregs = (max_vreg + 1) as usize;
+        if !func.blocks.is_empty() {
+            func.entry = BlockId::new(0);
+        }
+        // Place ops at their exact printed indices (ids must be dense).
+        parsed_ops.sort_by_key(|&(id, _, _)| id);
+        for (expected, (id, lno, _)) in parsed_ops.iter().enumerate() {
+            if *id != expected {
+                return err(*lno, format!("op ids must be dense, found op{id}"));
+            }
+        }
+        func.ops = parsed_ops.into_iter().map(|(_, _, op)| op).collect();
+        for (b, op_ids) in block_op_ids.into_iter().enumerate() {
+            func.blocks[BlockId::new(b)].ops =
+                op_ids.into_iter().map(crate::ids::OpId::new).collect();
+        }
+        program.add_function(func);
+    }
+
+    if program.entry.index() >= program.functions.len() {
+        return err(1, format!("entry {} out of range", program.entry));
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::print::program_to_string;
+
+    fn roundtrip(p: &Program) {
+        let text = program_to_string(p);
+        let parsed = parse_program(&text).unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
+        let text2 = program_to_string(&parsed);
+        assert_eq!(text, text2, "round-trip mismatch");
+        crate::verify::verify_program(&parsed).expect("parsed program verifies");
+    }
+
+    #[test]
+    fn roundtrip_straight_line() {
+        let mut p = Program::new("demo");
+        let obj = p.add_object(DataObject::global("tbl", 64));
+        let heap = p.add_object(DataObject::heap_site("buf"));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let a = b.addrof(obj);
+        let n = b.iconst(16);
+        let h = b.malloc(heap, n);
+        let v = b.load(MemWidth::B4, a);
+        let f = b.fconst(2.5);
+        let vf = b.itof(v);
+        let prod = b.fmul(vf, f);
+        let back = b.ftoi(prod);
+        b.store(MemWidth::B8, h, back);
+        b.ret(Some(back));
+        roundtrip(&p);
+    }
+
+    #[test]
+    fn roundtrip_control_flow() {
+        let mut p = Program::new("cfg");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let x = b.param();
+        let zero = b.iconst(0);
+        let c = b.icmp(Cmp::Gt, x, zero);
+        let t = b.block("then");
+        let e = b.block("else");
+        let m = b.block("merge");
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.jump(m);
+        b.switch_to(e);
+        b.jump(m);
+        b.switch_to(m);
+        b.ret(Some(x));
+        roundtrip(&p);
+    }
+
+    #[test]
+    fn roundtrip_multi_function() {
+        let mut p = Program::new("calls");
+        let callee = {
+            let mut cb = FunctionBuilder::new_function(&mut p, "helper");
+            let a = cb.param();
+            let r = cb.add(a, a);
+            cb.ret(Some(r));
+            cb.func_id()
+        };
+        let mut b = FunctionBuilder::entry(&mut p);
+        let x = b.iconst(3);
+        let r = b.call(callee, vec![x], 1);
+        b.ret(Some(r[0]));
+        roundtrip(&p);
+    }
+
+    #[test]
+    fn roundtrip_workload_sized_program() {
+        // A loop with selects, compares, and both table and pointer
+        // accesses — representative of generated workloads.
+        let mut p = Program::new("loopy");
+        let tbl = p.add_object(DataObject::global("table", 128));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let i = b.iconst(0);
+        let n = b.iconst(32);
+        let head = b.block("head");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.icmp(Cmp::Lt, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let base = b.addrof(tbl);
+        let four = b.iconst(4);
+        let off = b.mul(i, four);
+        let addr = b.add(base, off);
+        let v = b.load(MemWidth::B4, addr);
+        let one_sh = b.iconst(1);
+        let doubled = b.shl(v, one_sh);
+        b.store(MemWidth::B4, addr, doubled);
+        let one = b.iconst(1);
+        let next = b.add(i, one);
+        b.mov_to(i, next);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(None);
+        roundtrip(&p);
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let text = "program x\nentry fn0\nfunc main() {\nbb0 (entry):\n  op0: v0 = bogus\n  -> return\n}\n";
+        let e = parse_program(text).unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn parse_rejects_missing_header() {
+        let e = parse_program("nonsense").unwrap_err();
+        assert!(e.to_string().contains("program"));
+    }
+
+    #[test]
+    fn parse_rejects_sparse_op_ids() {
+        let text = "program x\nentry fn0\nfunc main() {\nbb0 (entry):\n  op5: v0 = iconst 1\n  -> return v0\n}\n";
+        let e = parse_program(text).unwrap_err();
+        assert!(e.to_string().contains("dense"), "{e}");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_branch() {
+        let text = "program x\nentry fn0\nfunc main() {\nbb0 (entry):\n  op0: v0 = iconst 1\n  -> if v0 bb1 bb2\n}\n";
+        let e = parse_program(text).unwrap_err();
+        assert!(e.to_string().contains("branch"), "{e}");
+    }
+
+    #[test]
+    fn parse_rejects_statement_outside_block() {
+        let text = "program x\nentry fn0\nfunc main() {\n  op0: v0 = iconst 1\n}\n";
+        let e = parse_program(text).unwrap_err();
+        assert!(e.to_string().contains("outside"), "{e}");
+    }
+
+    #[test]
+    fn parsed_program_executes() {
+        let text = "\
+program tiny
+entry fn0
+  obj0: global g (8 bytes)
+func main() {
+bb0 (entry):
+  op0: v0 = addrof obj0
+  op1: v1 = iconst 21
+  op2: v2 = add v1, v1
+  op3: store.4 v0, v2
+  op4: v3 = load.4 v0
+  op5: ret v3
+  -> return v3
+}
+";
+        let p = parse_program(text).unwrap();
+        crate::verify::verify_program(&p).unwrap();
+        assert_eq!(p.num_ops(), 6);
+    }
+}

@@ -1,0 +1,82 @@
+//! Textual dump of programs for debugging and golden tests.
+
+use crate::block::Terminator;
+use crate::func::Function;
+use crate::program::Program;
+use std::fmt::Write as _;
+
+/// Renders a function as readable text.
+pub fn function_to_string(func: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = func.params.iter().map(|p| p.to_string()).collect();
+    let _ = writeln!(out, "func {}({}) {{", func.name, params.join(", "));
+    for (bid, block) in func.blocks.iter() {
+        let _ = writeln!(out, "{bid} ({}):", block.label);
+        for &op_id in &block.ops {
+            let op = &func.ops[op_id];
+            let dsts: Vec<String> = op.dsts.iter().map(|d| d.to_string()).collect();
+            let srcs: Vec<String> = op.srcs.iter().map(|s| s.to_string()).collect();
+            let lhs = if dsts.is_empty() { String::new() } else { format!("{} = ", dsts.join(", ")) };
+            let srcs_str = srcs.join(", ");
+            let sep = if srcs_str.is_empty() { "" } else { " " };
+            let _ = writeln!(out, "  {op_id}: {lhs}{}{sep}{srcs_str}", op.opcode);
+        }
+        match &block.term {
+            Some(Terminator::Jump(t)) => {
+                let _ = writeln!(out, "  -> {t}");
+            }
+            Some(Terminator::Branch { cond, then_block, else_block }) => {
+                let _ = writeln!(out, "  -> if {cond} then {then_block} else {else_block}");
+            }
+            Some(Terminator::Return(v)) => {
+                let _ = writeln!(
+                    out,
+                    "  -> return{}",
+                    v.map(|v| format!(" {v}")).unwrap_or_default()
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  -> <unterminated>");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a whole program, including its data object table.
+pub fn program_to_string(program: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "program {}", program.name);
+    let _ = writeln!(out, "entry {}", program.entry);
+    for (oid, obj) in program.objects.iter() {
+        let _ = writeln!(out, "  {oid}: {obj}");
+    }
+    for func in program.functions.values() {
+        out.push_str(&function_to_string(func));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::object::DataObject;
+    use crate::opcode::MemWidth;
+
+    #[test]
+    fn printing_mentions_everything() {
+        let mut p = Program::new("demo");
+        let obj = p.add_object(DataObject::global("tbl", 32));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let a = b.addrof(obj);
+        let v = b.load(MemWidth::B2, a);
+        b.ret(Some(v));
+        let text = program_to_string(&p);
+        assert!(text.contains("program demo"));
+        assert!(text.contains("tbl"));
+        assert!(text.contains("load.2"));
+        assert!(text.contains("return"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Execution profiles: block frequencies and heap allocation sizes.
+//!
+//! The paper's first pass uses a profile to (a) weight dynamic access
+//! frequencies of memory operations and (b) discover how much data each
+//! `malloc()` call site allocates. Profiles are either annotated
+//! statically by workload generators or gathered by running the
+//! functional simulator.
+
+use crate::func::Function;
+use crate::ids::{BlockId, EntityMap, FuncId, ObjectId, OpId};
+use crate::program::Program;
+
+/// Per-function profile: execution count of every basic block.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct FuncProfile {
+    /// Execution count per block.
+    pub block_freq: EntityMap<BlockId, u64>,
+}
+
+impl FuncProfile {
+    /// A profile assigning every block of `func` the frequency `freq`.
+    pub fn uniform(func: &Function, freq: u64) -> Self {
+        FuncProfile { block_freq: EntityMap::with_default(func.blocks.len(), freq) }
+    }
+
+    /// Dynamic execution count of an operation (= its block's count).
+    pub fn op_freq(&self, func: &Function, op: OpId) -> u64 {
+        self.block_freq[func.ops[op].block]
+    }
+}
+
+/// A whole-program profile.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Profile {
+    /// Per-function block frequencies, indexed by [`FuncId`].
+    pub funcs: EntityMap<FuncId, FuncProfile>,
+    /// Total bytes allocated per heap site over the profiling run.
+    /// Global objects are absent (their size comes from their type).
+    pub heap_bytes: EntityMap<ObjectId, u64>,
+}
+
+impl Profile {
+    /// A profile assigning every block in every function frequency
+    /// `freq`, with zero heap bytes.
+    pub fn uniform(program: &Program, freq: u64) -> Self {
+        Profile {
+            funcs: program.functions.values().map(|f| FuncProfile::uniform(f, freq)).collect(),
+            heap_bytes: EntityMap::with_default(program.objects.len(), 0),
+        }
+    }
+
+    /// Block frequency lookup.
+    pub fn block_freq(&self, func: FuncId, block: BlockId) -> u64 {
+        self.funcs[func].block_freq[block]
+    }
+
+    /// Dynamic execution count of an operation.
+    pub fn op_freq(&self, program: &Program, func: FuncId, op: OpId) -> u64 {
+        self.funcs[func].op_freq(&program.functions[func], op)
+    }
+
+    /// Applies profiled heap sizes onto the program's object table, so
+    /// that heap sites have a concrete size for balance computations.
+    /// Returns the updated program (the original is untouched).
+    pub fn apply_heap_sizes(&self, program: &Program) -> Program {
+        let mut program = program.clone();
+        for (obj, bytes) in self.heap_bytes.iter() {
+            if *bytes > 0 {
+                program.objects[obj].size = *bytes;
+            }
+        }
+        program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::DataObject;
+    use crate::op::Op;
+    use crate::opcode::Opcode;
+
+    #[test]
+    fn uniform_profile_covers_all_blocks() {
+        let mut p = Program::new("t");
+        let main = p.entry;
+        let b = p.functions[main].add_block("x");
+        let prof = Profile::uniform(&p, 10);
+        assert_eq!(prof.block_freq(main, b), 10);
+    }
+
+    #[test]
+    fn op_freq_uses_block_freq() {
+        let mut p = Program::new("t");
+        let main = p.entry;
+        let v = p.functions[main].new_vreg();
+        let entry = p.functions[main].entry;
+        let op = p.functions[main].append_op(entry, Op::new(Opcode::ConstInt(1), vec![v], vec![]));
+        let mut prof = Profile::uniform(&p, 1);
+        prof.funcs[main].block_freq[entry] = 99;
+        assert_eq!(prof.op_freq(&p, main, op), 99);
+    }
+
+    #[test]
+    fn apply_heap_sizes_updates_objects() {
+        let mut p = Program::new("t");
+        let site = p.add_object(DataObject::heap_site("buf"));
+        let mut prof = Profile::uniform(&p, 1);
+        prof.heap_bytes[site] = 4096;
+        let p2 = prof.apply_heap_sizes(&p);
+        assert_eq!(p2.objects[site].size, 4096);
+        assert_eq!(p.objects[site].size, 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Whole programs: functions + data objects.
+
+use crate::func::Function;
+use crate::ids::{EntityMap, FuncId, ObjectId};
+use crate::object::DataObject;
+
+/// A whole program: the unit the first-pass (global) data partitioner
+/// operates on.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Program {
+    /// Program name (usually the benchmark name).
+    pub name: String,
+    /// All functions.
+    pub functions: EntityMap<FuncId, Function>,
+    /// All data objects (globals and heap allocation sites).
+    pub objects: EntityMap<ObjectId, DataObject>,
+    /// Entry function.
+    pub entry: FuncId,
+}
+
+impl Program {
+    /// Creates a program containing a single empty entry function named
+    /// `main`.
+    pub fn new(name: impl Into<String>) -> Self {
+        let mut functions = EntityMap::new();
+        let entry = functions.push(Function::new("main"));
+        Program { name: name.into(), functions, objects: EntityMap::new(), entry }
+    }
+
+    /// Adds a function, returning its id.
+    pub fn add_function(&mut self, func: Function) -> FuncId {
+        self.functions.push(func)
+    }
+
+    /// Registers a data object, returning its id.
+    pub fn add_object(&mut self, object: DataObject) -> ObjectId {
+        self.objects.push(object)
+    }
+
+    /// The entry function.
+    pub fn entry_function(&self) -> &Function {
+        &self.functions[self.entry]
+    }
+
+    /// Total operation count over all functions.
+    pub fn num_ops(&self) -> usize {
+        self.functions.values().map(Function::num_ops).sum()
+    }
+
+    /// Total data footprint in bytes over all objects.
+    pub fn total_object_size(&self) -> u64 {
+        self.objects.values().map(|o| o.size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_program_has_main() {
+        let p = Program::new("bench");
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.entry_function().name, "main");
+        assert_eq!(p.num_ops(), 0);
+    }
+
+    #[test]
+    fn object_size_accumulates() {
+        let mut p = Program::new("bench");
+        p.add_object(DataObject::global("a", 100));
+        p.add_object(DataObject::global("b", 28));
+        assert_eq!(p.total_object_size(), 128);
+    }
+}

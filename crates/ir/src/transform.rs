@@ -1,0 +1,556 @@
+//! Classic scalar optimizations over the IR: dead-code elimination,
+//! local value numbering (CSE), copy propagation and constant folding.
+//!
+//! These run *before* partitioning (they know nothing about clusters)
+//! and are optional: the reproduction's workload generators emit
+//! somewhat redundant straight-line code (repeated constants, address
+//! recomputation), and these passes bring it to the level a production
+//! frontend would hand the partitioner.
+
+use crate::block::Terminator;
+use crate::dfg::DefUse;
+use crate::func::Function;
+use crate::ids::{EntityId, EntityMap, OpId, VReg};
+use crate::op::Op;
+use crate::opcode::{Cmp, IntBinOp, Opcode};
+use crate::program::Program;
+use std::collections::HashMap;
+
+/// Counters from one [`optimize`] run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct OptStats {
+    /// Operations removed as dead.
+    pub dce_removed: usize,
+    /// Uses redirected by local value numbering.
+    pub cse_hits: usize,
+    /// Copies propagated away.
+    pub copies_propagated: usize,
+    /// Operations folded to constants.
+    pub constants_folded: usize,
+    /// Pass rounds executed.
+    pub rounds: usize,
+}
+
+impl OptStats {
+    fn changed(&self, before: &OptStats) -> bool {
+        self.dce_removed != before.dce_removed
+            || self.cse_hits != before.cse_hits
+            || self.copies_propagated != before.copies_propagated
+            || self.constants_folded != before.constants_folded
+    }
+}
+
+/// Returns `true` if removing this op (when its results are unused)
+/// cannot change program behaviour.
+fn is_pure(opcode: Opcode) -> bool {
+    match opcode {
+        Opcode::ConstInt(_)
+        | Opcode::ConstFloat(_)
+        | Opcode::AddrOf(_)
+        | Opcode::IntBin(_)
+        | Opcode::IntCmp(_)
+        | Opcode::Select
+        | Opcode::FloatBin(_)
+        | Opcode::FloatCmp(_)
+        | Opcode::IntToFloat
+        | Opcode::FloatToInt
+        | Opcode::Move => true,
+        // Loads are pure w.r.t. memory but can trap on bad addresses in
+        // the simulator; a dead load in a verified program has a valid
+        // address, so removing it is safe.
+        Opcode::Load(_) => true,
+        Opcode::Store(_)
+        | Opcode::Malloc(_)
+        | Opcode::BranchCond
+        | Opcode::Jump
+        | Opcode::Call(_)
+        | Opcode::Ret => false,
+    }
+}
+
+/// Dead-code elimination for one function. Removes pure operations none
+/// of whose results are used (transitively, via a worklist). Returns
+/// the number of removed operations.
+pub fn dce_function(func: &mut Function) -> usize {
+    let mut total = 0usize;
+    loop {
+        let mut used: Vec<bool> = vec![false; func.num_vregs];
+        for op in func.ops.values() {
+            for &s in &op.srcs {
+                used[s.index()] = true;
+            }
+        }
+        for block in func.blocks.values() {
+            match &block.term {
+                Some(Terminator::Branch { cond, .. }) => used[cond.index()] = true,
+                Some(Terminator::Return(Some(v))) => used[v.index()] = true,
+                _ => {}
+            }
+        }
+        let mut dead: Vec<OpId> = Vec::new();
+        for (oid, op) in func.ops.iter() {
+            if !is_pure(op.opcode) {
+                continue;
+            }
+            if op.dsts.iter().all(|d| !used[d.index()]) && !op.dsts.is_empty() {
+                // Multi-def registers: removing one definition changes
+                // which value later uses observe only if uses exist;
+                // there are none (checked above), so removal is safe.
+                dead.push(oid);
+            }
+        }
+        if dead.is_empty() {
+            return total;
+        }
+        // Removing ops may free up their operands; iterate to a
+        // fixpoint.
+        total += rebuild_without(func, &dead);
+    }
+}
+
+/// Rebuilds the function's op arena without the listed ops, preserving
+/// relative order and re-densifying ids. Returns how many were removed.
+fn rebuild_without(func: &mut Function, dead: &[OpId]) -> usize {
+    if dead.is_empty() {
+        return 0;
+    }
+    let dead_set: std::collections::HashSet<OpId> = dead.iter().copied().collect();
+    let mut remap: EntityMap<OpId, Option<OpId>> =
+        EntityMap::with_default(func.ops.len(), None);
+    let mut new_ops: EntityMap<OpId, Op> = EntityMap::new();
+    for (oid, op) in func.ops.iter() {
+        if !dead_set.contains(&oid) {
+            let nid = new_ops.push(op.clone());
+            remap[oid] = Some(nid);
+        }
+    }
+    for block in func.blocks.values_mut() {
+        block.ops = block.ops.iter().filter_map(|o| remap[*o]).collect();
+    }
+    func.ops = new_ops;
+    dead_set.len()
+}
+
+/// A canonical key for pure expressions (commutative ops sorted).
+fn value_key(op: &Op, binding: &HashMap<VReg, VReg>) -> Option<(Opcode, Vec<VReg>)> {
+    if !is_pure(op.opcode) || matches!(op.opcode, Opcode::Load(_)) || op.dsts.len() != 1 {
+        return None;
+    }
+    let resolve = |v: VReg| binding.get(&v).copied().unwrap_or(v);
+    let mut srcs: Vec<VReg> = op.srcs.iter().map(|&s| resolve(s)).collect();
+    let commutative = matches!(
+        op.opcode,
+        Opcode::IntBin(
+            IntBinOp::Add
+                | IntBinOp::Mul
+                | IntBinOp::And
+                | IntBinOp::Or
+                | IntBinOp::Xor
+                | IntBinOp::Min
+                | IntBinOp::Max
+        ) | Opcode::IntCmp(Cmp::Eq | Cmp::Ne)
+    );
+    if commutative {
+        srcs.sort();
+    }
+    Some((op.opcode, srcs))
+}
+
+/// Local value numbering: within each block, a pure operation whose
+/// (opcode, canonical operands) was already computed — with no
+/// intervening redefinition — has its uses redirected to the earlier
+/// result. Returns the number of redirected operations.
+pub fn lvn_function(func: &mut Function) -> usize {
+    let mut hits = 0usize;
+    let block_ids: Vec<_> = func.blocks.keys().collect();
+    for bid in block_ids {
+        let op_ids = func.blocks[bid].ops.clone();
+        // representative binding for registers within this block
+        let mut binding: HashMap<VReg, VReg> = HashMap::new();
+        let mut table: HashMap<(Opcode, Vec<VReg>), VReg> = HashMap::new();
+        for oid in op_ids {
+            // Rewrite sources through current bindings first.
+            let resolved: Vec<VReg> = func.ops[oid]
+                .srcs
+                .iter()
+                .map(|s| binding.get(s).copied().unwrap_or(*s))
+                .collect();
+            func.ops[oid].srcs = resolved;
+            let op = func.ops[oid].clone();
+            // Any definition invalidates bindings and expressions
+            // involving the redefined registers — before the new value
+            // is (possibly) entered into the table.
+            for &d in &op.dsts {
+                binding.remove(&d);
+                table.retain(|(_, srcs), rep| !srcs.contains(&d) && *rep != d);
+            }
+            if let Some(key) = value_key(&op, &HashMap::new()) {
+                let dst = op.dsts[0];
+                if let Some(&rep) = table.get(&key) {
+                    // Later uses of dst read the representative instead.
+                    binding.insert(dst, rep);
+                    hits += 1;
+                } else {
+                    table.insert(key, dst);
+                }
+            }
+        }
+        // Terminator condition/value also read through bindings.
+        if let Some(term) = &mut func.blocks[bid].term {
+            match term {
+                Terminator::Branch { cond, .. } => {
+                    if let Some(&rep) = binding.get(cond) {
+                        *cond = rep;
+                    }
+                }
+                Terminator::Return(Some(v)) => {
+                    if let Some(&rep) = binding.get(v) {
+                        *v = rep;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    hits
+}
+
+/// Copy propagation: uses of `t` where `t = mov s` (both single-def)
+/// are redirected to `s`. Returns the number of redirected copies.
+pub fn copy_propagation(func: &mut Function) -> usize {
+    let du = DefUse::compute(func);
+    let mut replace: HashMap<VReg, VReg> = HashMap::new();
+    for (_, op) in func.ops.iter() {
+        if let Opcode::Move = op.opcode {
+            let dst = op.dsts[0];
+            let src = op.srcs[0];
+            if du.defs[dst].len() == 1 && du.defs[src].len() <= 1 && dst != src {
+                replace.insert(dst, src);
+            }
+        }
+    }
+    if replace.is_empty() {
+        return 0;
+    }
+    // Resolve chains (a <- b <- c).
+    let resolve = |mut v: VReg, map: &HashMap<VReg, VReg>| {
+        let mut hops = 0;
+        while let Some(&next) = map.get(&v) {
+            v = next;
+            hops += 1;
+            if hops > map.len() {
+                break; // defensive: cycles cannot occur with single defs
+            }
+        }
+        v
+    };
+    let mut count = 0usize;
+    for op in func.ops.values_mut() {
+        for s in op.srcs.iter_mut() {
+            let r = resolve(*s, &replace);
+            if r != *s {
+                *s = r;
+                count += 1;
+            }
+        }
+    }
+    for block in func.blocks.values_mut() {
+        match &mut block.term {
+            Some(Terminator::Branch { cond, .. }) => *cond = resolve(*cond, &replace),
+            Some(Terminator::Return(Some(v))) => *v = resolve(*v, &replace),
+            _ => {}
+        }
+    }
+    count
+}
+
+/// Constant folding: pure integer operations whose operands are all
+/// single-def constants are replaced by `iconst` results. Returns the
+/// number of folded operations.
+pub fn fold_constants(func: &mut Function) -> usize {
+    let du = DefUse::compute(func);
+    // Constant lattice: single-def iconst registers.
+    let mut consts: HashMap<VReg, i64> = HashMap::new();
+    for (_, op) in func.ops.iter() {
+        if let Opcode::ConstInt(v) = op.opcode {
+            let dst = op.dsts[0];
+            if du.defs[dst].len() == 1 {
+                consts.insert(dst, v);
+            }
+        }
+    }
+    let mut folded = 0usize;
+    let op_ids: Vec<OpId> = func.ops.keys().collect();
+    for oid in op_ids {
+        let op = func.ops[oid].clone();
+        let all_const = |srcs: &[VReg]| srcs.iter().all(|s| consts.contains_key(s));
+        let value = match op.opcode {
+            Opcode::IntBin(kind) if all_const(&op.srcs) => {
+                let a = consts[&op.srcs[0]];
+                let b = consts[&op.srcs[1]];
+                match kind {
+                    IntBinOp::Add => Some(a.wrapping_add(b)),
+                    IntBinOp::Sub => Some(a.wrapping_sub(b)),
+                    IntBinOp::Mul => Some(a.wrapping_mul(b)),
+                    IntBinOp::Div if b != 0 => Some(a.wrapping_div(b)),
+                    IntBinOp::Rem if b != 0 => Some(a.wrapping_rem(b)),
+                    IntBinOp::And => Some(a & b),
+                    IntBinOp::Or => Some(a | b),
+                    IntBinOp::Xor => Some(a ^ b),
+                    IntBinOp::Shl => Some(a.wrapping_shl(b as u32 & 63)),
+                    IntBinOp::Shr => Some(a.wrapping_shr(b as u32 & 63)),
+                    IntBinOp::Min => Some(a.min(b)),
+                    IntBinOp::Max => Some(a.max(b)),
+                    _ => None,
+                }
+            }
+            Opcode::IntCmp(cmp) if all_const(&op.srcs) => {
+                let a = consts[&op.srcs[0]];
+                let b = consts[&op.srcs[1]];
+                let r = match cmp {
+                    Cmp::Eq => a == b,
+                    Cmp::Ne => a != b,
+                    Cmp::Lt => a < b,
+                    Cmp::Le => a <= b,
+                    Cmp::Gt => a > b,
+                    Cmp::Ge => a >= b,
+                };
+                Some(r as i64)
+            }
+            _ => None,
+        };
+        if let Some(v) = value {
+            func.ops[oid] = Op {
+                opcode: Opcode::ConstInt(v),
+                dsts: op.dsts.clone(),
+                srcs: Vec::new(),
+                block: op.block,
+            };
+            // The folded destination is itself constant now (if single-def).
+            let dst = op.dsts[0];
+            if du.defs[dst].len() == 1 {
+                consts.insert(dst, v);
+            }
+            folded += 1;
+        }
+    }
+    folded
+}
+
+/// Runs all passes over every function to a fixpoint (bounded rounds).
+pub fn optimize(program: &mut Program) -> OptStats {
+    let mut stats = OptStats::default();
+    for _ in 0..8 {
+        let before = stats;
+        for func in program.functions.values_mut() {
+            stats.copies_propagated += copy_propagation(func);
+            stats.constants_folded += fold_constants(func);
+            stats.cse_hits += lvn_function(func);
+            stats.dce_removed += dce_function(func);
+        }
+        stats.rounds += 1;
+        if !stats.changed(&before) {
+            break;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::object::DataObject;
+    use crate::opcode::MemWidth;
+    use crate::verify::verify_program;
+
+    #[test]
+    fn dce_removes_unused_chain() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let x = b.iconst(1);
+        let y = b.add(x, x); // dead
+        let _z = b.mul(y, y); // dead
+        b.ret(Some(x));
+        let f = &mut p.functions[p.entry];
+        let removed = dce_function(f);
+        assert_eq!(removed, 2);
+        verify_program(&p).unwrap();
+        assert_eq!(p.num_ops(), 2); // iconst + ret
+    }
+
+    #[test]
+    fn dce_keeps_side_effects() {
+        let mut p = Program::new("t");
+        let g = p.add_object(DataObject::global("g", 8));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let a = b.addrof(g);
+        let v = b.iconst(3);
+        b.store(MemWidth::B4, a, v);
+        b.ret(None);
+        let before = p.num_ops();
+        let removed = dce_function(&mut p.functions[p.entry]);
+        assert_eq!(removed, 0);
+        assert_eq!(p.num_ops(), before);
+    }
+
+    #[test]
+    fn lvn_reuses_repeated_expressions() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let x = b.iconst(5);
+        let a1 = b.add(x, x);
+        let a2 = b.add(x, x); // CSE with a1
+        let s = b.add(a1, a2);
+        b.ret(Some(s));
+        let f = &mut p.functions[p.entry];
+        let hits = lvn_function(f);
+        assert_eq!(hits, 1);
+        let removed = dce_function(f);
+        assert_eq!(removed, 1, "the duplicate add is now dead");
+        verify_program(&p).unwrap();
+    }
+
+    #[test]
+    fn lvn_respects_commutativity() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let x = b.iconst(5);
+        let y = b.iconst(7);
+        let a1 = b.add(x, y);
+        let a2 = b.add(y, x); // same value, operands swapped
+        let s = b.mul(a1, a2);
+        b.ret(Some(s));
+        let hits = lvn_function(&mut p.functions[p.entry]);
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn lvn_does_not_cross_redefinition() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let x = b.iconst(5);
+        let a1 = b.add(x, x);
+        let two = b.iconst(2);
+        b.mov_to(x, two); // x redefined!
+        let a2 = b.add(x, x); // must NOT merge with a1
+        let s = b.add(a1, a2);
+        b.ret(Some(s));
+        let hits = lvn_function(&mut p.functions[p.entry]);
+        assert_eq!(hits, 0);
+        let r = mcpart_run(&p);
+        assert_eq!(r, 14); // 10 + 4
+    }
+
+    #[test]
+    fn copy_propagation_shortens_chains() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let x = b.iconst(9);
+        let c1 = b.mov(x);
+        let c2 = b.mov(c1);
+        let y = b.add(c2, c2);
+        b.ret(Some(y));
+        let f = &mut p.functions[p.entry];
+        let n = copy_propagation(f);
+        assert!(n >= 2, "{n}");
+        let removed = dce_function(f);
+        assert_eq!(removed, 2, "both movs dead");
+        assert_eq!(mcpart_run(&p), 18);
+    }
+
+    #[test]
+    fn constant_folding_collapses_arithmetic() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let x = b.iconst(6);
+        let y = b.iconst(7);
+        let z = b.mul(x, y);
+        let one = b.iconst(1);
+        let w = b.add(z, one);
+        b.ret(Some(w));
+        let entry = p.entry;
+        let folded = fold_constants(&mut p.functions[entry]);
+        assert_eq!(folded, 2);
+        assert_eq!(mcpart_run(&p), 43);
+        let removed = dce_function(&mut p.functions[entry]);
+        assert!(removed >= 2, "inputs now dead: {removed}");
+    }
+
+    #[test]
+    fn optimize_fixpoint_on_redundant_code() {
+        let mut p = Program::new("t");
+        let g = p.add_object(DataObject::global("g", 64));
+        let mut b = FunctionBuilder::entry(&mut p);
+        // Deliberately redundant address computations.
+        let mut last = b.iconst(0);
+        for i in 0..4 {
+            let base = b.addrof(g);
+            let four = b.iconst(4);
+            let idx = b.iconst(i);
+            let off = b.mul(idx, four);
+            let addr = b.add(base, off);
+            let v = b.load(MemWidth::B4, addr);
+            last = b.add(v, last);
+        }
+        b.ret(Some(last));
+        let before_ops = p.num_ops();
+        let before_result = mcpart_run(&p);
+        let stats = optimize(&mut p);
+        verify_program(&p).unwrap();
+        assert!(stats.constants_folded > 0, "{stats:?}");
+        assert!(stats.dce_removed > 0, "{stats:?}");
+        assert!(p.num_ops() < before_ops, "{} -> {}", before_ops, p.num_ops());
+        assert_eq!(mcpart_run(&p), before_result);
+    }
+
+    /// Mini-interpreter for the test programs (integer return only),
+    /// avoiding a dev-dependency cycle on mcpart-sim.
+    fn mcpart_run(p: &Program) -> i64 {
+        // Straight-line only: execute entry block sequentially.
+        let f = p.entry_function();
+        let mut regs: Vec<i64> = vec![0; f.num_vregs];
+        let mut mem: Vec<u8> = vec![0; 1024];
+        let mut bid = f.entry;
+        for _ in 0..10_000 {
+            for &oid in &f.blocks[bid].ops {
+                let op = &f.ops[oid];
+                let get = |i: usize| regs[op.srcs[i].index()];
+                let v = match op.opcode {
+                    Opcode::ConstInt(c) => Some(c),
+                    Opcode::AddrOf(_) => Some(0),
+                    Opcode::Move => Some(get(0)),
+                    Opcode::IntBin(IntBinOp::Add) => Some(get(0).wrapping_add(get(1))),
+                    Opcode::IntBin(IntBinOp::Mul) => Some(get(0).wrapping_mul(get(1))),
+                    Opcode::IntBin(_) => Some(0),
+                    Opcode::IntCmp(_) => Some(0),
+                    Opcode::Load(_) => {
+                        let a = get(0) as usize % 1020;
+                        Some(i64::from(u32::from_le_bytes(
+                            mem[a..a + 4].try_into().expect("4 bytes"),
+                        )))
+                    }
+                    Opcode::Store(_) => {
+                        let a = get(0) as usize % 1020;
+                        let bytes = (get(1) as u32).to_le_bytes();
+                        mem[a..a + 4].copy_from_slice(&bytes);
+                        None
+                    }
+                    _ => None,
+                };
+                if let (Some(&d), Some(v)) = (op.dsts.first(), v) {
+                    regs[d.index()] = v;
+                }
+            }
+            match f.blocks[bid].term.as_ref().expect("terminated") {
+                Terminator::Return(Some(v)) => return regs[v.index()],
+                Terminator::Return(None) => return 0,
+                Terminator::Jump(t) => bid = *t,
+                Terminator::Branch { cond, then_block, else_block } => {
+                    bid = if regs[cond.index()] != 0 { *then_block } else { *else_block };
+                }
+            }
+        }
+        panic!("test interpreter ran away");
+    }
+}

@@ -1,0 +1,300 @@
+//! IR well-formedness verification.
+
+use crate::block::Terminator;
+use crate::func::Function;
+use crate::ids::{EntityId, FuncId, ObjectId, OpId};
+use crate::opcode::Opcode;
+use crate::program::Program;
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// An IR verification failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VerifyError {
+    /// Function in which the problem was found, if applicable.
+    pub func: Option<FuncId>,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.func {
+            Some(id) => write!(f, "in {id}: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+fn err(func: Option<FuncId>, message: impl Into<String>) -> VerifyError {
+    VerifyError { func, message: message.into() }
+}
+
+/// Verifies a whole program.
+///
+/// # Errors
+///
+/// Returns the first structural problem found: bad operand arity,
+/// out-of-range registers/objects/functions/blocks, unterminated blocks,
+/// operations owned by no or several blocks, or use of a register that is
+/// never defined and is not a parameter.
+pub fn verify_program(program: &Program) -> Result<(), VerifyError> {
+    if program.entry.index() >= program.functions.len() {
+        return Err(err(None, "entry function out of range"));
+    }
+    for (fid, func) in program.functions.iter() {
+        verify_function(program, fid, func)?;
+    }
+    Ok(())
+}
+
+fn verify_function(program: &Program, fid: FuncId, func: &Function) -> Result<(), VerifyError> {
+    let fe = |m: String| err(Some(fid), m);
+    if func.entry.index() >= func.blocks.len() {
+        return Err(fe(format!(
+            "entry block {} out of range ({} blocks)",
+            func.entry,
+            func.blocks.len()
+        )));
+    }
+    // Every op appears in exactly one block at the position its backref says.
+    let mut seen: HashSet<OpId> = HashSet::new();
+    for (bid, block) in func.blocks.iter() {
+        for &op_id in &block.ops {
+            if op_id.index() >= func.ops.len() {
+                return Err(fe(format!("block {bid} references out-of-range {op_id}")));
+            }
+            if !seen.insert(op_id) {
+                return Err(fe(format!("{op_id} appears in more than one block")));
+            }
+            if func.ops[op_id].block != bid {
+                return Err(fe(format!("{op_id} backref says {} but lives in {bid}", func.ops[op_id].block)));
+            }
+        }
+        match &block.term {
+            None => return Err(fe(format!("block {bid} is unterminated"))),
+            Some(t) => {
+                for succ in t.successors() {
+                    if succ.index() >= func.blocks.len() {
+                        return Err(fe(format!("block {bid} branches to out-of-range {succ}")));
+                    }
+                }
+                if let Terminator::Branch { cond, .. } = t {
+                    if cond.index() >= func.num_vregs {
+                        return Err(fe(format!("block {bid} branch cond out of range")));
+                    }
+                }
+            }
+        }
+    }
+    if seen.len() != func.ops.len() {
+        return Err(fe(format!(
+            "{} ops exist but only {} are placed in blocks",
+            func.ops.len(),
+            seen.len()
+        )));
+    }
+    // Per-op checks.
+    let mut defined: Vec<bool> = vec![false; func.num_vregs];
+    for &p in &func.params {
+        if p.index() >= func.num_vregs {
+            return Err(fe("parameter register out of range".to_string()));
+        }
+        defined[p.index()] = true;
+    }
+    for (oid, op) in func.ops.iter() {
+        if let Some(n) = op.opcode.num_dsts() {
+            if op.dsts.len() != n {
+                return Err(fe(format!(
+                    "{oid} ({}) has {} dsts, expected {n}",
+                    op.opcode,
+                    op.dsts.len()
+                )));
+            }
+        }
+        if let Some(n) = op.opcode.num_srcs() {
+            if op.srcs.len() != n {
+                return Err(fe(format!(
+                    "{oid} ({}) has {} srcs, expected {n}",
+                    op.opcode,
+                    op.srcs.len()
+                )));
+            }
+        }
+        for &r in op.dsts.iter().chain(op.srcs.iter()) {
+            if r.index() >= func.num_vregs {
+                return Err(fe(format!("{oid} references out-of-range register {r}")));
+            }
+        }
+        for &d in &op.dsts {
+            defined[d.index()] = true;
+        }
+        match op.opcode {
+            Opcode::AddrOf(obj) | Opcode::Malloc(obj) => {
+                check_object(program, fid, oid, obj)?;
+            }
+            Opcode::Call(callee) => {
+                if callee.index() >= program.functions.len() {
+                    return Err(fe(format!("{oid} calls out-of-range function {callee}")));
+                }
+                let target = &program.functions[callee];
+                if op.srcs.len() != target.params.len() {
+                    return Err(fe(format!(
+                        "{oid} passes {} args to {} which takes {}",
+                        op.srcs.len(),
+                        target.name,
+                        target.params.len()
+                    )));
+                }
+            }
+            _ => {}
+        }
+    }
+    // All used registers must be defined somewhere (any def or param).
+    for (oid, op) in func.ops.iter() {
+        for &s in &op.srcs {
+            if !defined[s.index()] {
+                return Err(fe(format!("{oid} uses register {s} that is never defined")));
+            }
+        }
+    }
+    // Regions, if declared, must reference valid blocks and not repeat them.
+    let mut covered: HashSet<crate::ids::BlockId> = HashSet::new();
+    for region in func.regions.values() {
+        for &b in &region.blocks {
+            if b.index() >= func.blocks.len() {
+                return Err(fe(format!("region '{}' references out-of-range {b}", region.name)));
+            }
+            if !covered.insert(b) {
+                return Err(fe(format!("block {b} appears in more than one region")));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_object(
+    program: &Program,
+    fid: FuncId,
+    oid: OpId,
+    obj: ObjectId,
+) -> Result<(), VerifyError> {
+    if obj.index() >= program.objects.len() {
+        return Err(err(Some(fid), format!("{oid} references out-of-range object {obj}")));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::ids::VReg;
+    use crate::object::DataObject;
+    use crate::op::Op;
+    use crate::opcode::{IntBinOp, MemWidth};
+
+    fn small_valid_program() -> Program {
+        let mut p = Program::new("t");
+        let obj = p.add_object(DataObject::global("g", 8));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let a = b.addrof(obj);
+        let v = b.load(MemWidth::B4, a);
+        b.ret(Some(v));
+        p
+    }
+
+    #[test]
+    fn valid_program_verifies() {
+        verify_program(&small_valid_program()).expect("should verify");
+    }
+
+    #[test]
+    fn zero_block_function_rejected() {
+        // A parsed function may arrive with no blocks at all; the entry
+        // block reference must be validated or every downstream consumer
+        // (interpreter, scheduler) panics on it.
+        let mut p = Program::new("t");
+        p.functions[p.entry].blocks = crate::ids::EntityMap::new();
+        let e = verify_program(&p).unwrap_err();
+        assert!(e.to_string().contains("entry block"), "{e}");
+    }
+
+    #[test]
+    fn unterminated_block_rejected() {
+        let mut p = Program::new("t");
+        let f = &mut p.functions[p.entry];
+        f.add_block("dangling");
+        // entry unterminated too
+        let e = verify_program(&p).unwrap_err();
+        assert!(e.to_string().contains("unterminated"), "{e}");
+    }
+
+    #[test]
+    fn bad_arity_rejected() {
+        let mut p = small_valid_program();
+        let f = &mut p.functions[p.entry];
+        let entry = f.entry;
+        // Temporarily clear terminator to append a malformed op.
+        f.blocks[entry].term = None;
+        let v = f.new_vreg();
+        f.append_op(entry, Op::new(Opcode::IntBin(IntBinOp::Add), vec![v], vec![v]));
+        f.blocks[entry].term = Some(Terminator::Return(None));
+        let e = verify_program(&p).unwrap_err();
+        assert!(e.to_string().contains("srcs"), "{e}");
+    }
+
+    #[test]
+    fn undefined_use_rejected() {
+        let mut p = Program::new("t");
+        let f = &mut p.functions[p.entry];
+        let entry = f.entry;
+        f.num_vregs = 2;
+        f.append_op(entry, Op::new(Opcode::Move, vec![VReg(0)], vec![VReg(1)]));
+        f.blocks[entry].term = Some(Terminator::Return(None));
+        let e = verify_program(&p).unwrap_err();
+        assert!(e.to_string().contains("never defined"), "{e}");
+    }
+
+    #[test]
+    fn out_of_range_object_rejected() {
+        let mut p = Program::new("t");
+        let f = &mut p.functions[p.entry];
+        let entry = f.entry;
+        let v = f.new_vreg();
+        f.append_op(entry, Op::new(Opcode::AddrOf(ObjectId(9)), vec![v], vec![]));
+        f.blocks[entry].term = Some(Terminator::Return(None));
+        let e = verify_program(&p).unwrap_err();
+        assert!(e.to_string().contains("object"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_region_block_rejected() {
+        let mut p = small_valid_program();
+        let f = &mut p.functions[p.entry];
+        let entry = f.entry;
+        f.add_region("a", vec![entry]);
+        f.add_region("b", vec![entry]);
+        let e = verify_program(&p).unwrap_err();
+        assert!(e.to_string().contains("more than one region"), "{e}");
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        let mut p = Program::new("t");
+        let callee = {
+            let mut cb = FunctionBuilder::new_function(&mut p, "h");
+            let a = cb.param();
+            cb.ret(Some(a));
+            cb.func_id()
+        };
+        let mut b = FunctionBuilder::entry(&mut p);
+        b.call(callee, vec![], 1); // wrong: callee takes 1 arg
+        b.ret(None);
+        let e = verify_program(&p).unwrap_err();
+        assert!(e.to_string().contains("args"), "{e}");
+    }
+}

@@ -1,0 +1,101 @@
+//! Operation latencies.
+
+use mcpart_ir::{FloatBinOp, IntBinOp, Opcode};
+
+/// Operation latency table.
+///
+/// Latencies are "similar to the Itanium" per the paper's methodology:
+/// single-cycle integer ALU, 2-cycle loads (the constant access latency
+/// the paper quotes for its unified-memory upper bound), multi-cycle
+/// multiplies/divides and 4-cycle floating point.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LatencyTable {
+    /// Integer ALU operations (add/sub/logic/compare/select/move).
+    pub int_alu: u32,
+    /// Integer multiply.
+    pub int_mul: u32,
+    /// Integer divide/remainder.
+    pub int_div: u32,
+    /// Float add/sub/mul and conversions.
+    pub float: u32,
+    /// Float divide.
+    pub float_div: u32,
+    /// Load (address to value).
+    pub load: u32,
+    /// Store (commit).
+    pub store: u32,
+    /// Malloc call overhead (modeled as a memory operation).
+    pub malloc: u32,
+    /// Branch-unit operations.
+    pub branch: u32,
+}
+
+impl LatencyTable {
+    /// The Itanium-like table used throughout the paper's evaluation.
+    pub fn itanium_like() -> Self {
+        LatencyTable {
+            int_alu: 1,
+            int_mul: 3,
+            int_div: 8,
+            float: 4,
+            float_div: 12,
+            load: 2,
+            store: 1,
+            malloc: 2,
+            branch: 1,
+        }
+    }
+
+    /// Latency of `opcode` in cycles (register-file write visibility).
+    pub fn of(&self, opcode: Opcode) -> u32 {
+        match opcode {
+            Opcode::ConstInt(_) | Opcode::AddrOf(_) | Opcode::Move => self.int_alu,
+            Opcode::IntBin(op) => match op {
+                IntBinOp::Mul => self.int_mul,
+                IntBinOp::Div | IntBinOp::Rem => self.int_div,
+                _ => self.int_alu,
+            },
+            Opcode::IntCmp(_) | Opcode::Select => self.int_alu,
+            Opcode::ConstFloat(_) => self.int_alu,
+            Opcode::FloatBin(op) => match op {
+                FloatBinOp::Div => self.float_div,
+                _ => self.float,
+            },
+            Opcode::FloatCmp(_) | Opcode::IntToFloat | Opcode::FloatToInt => self.float,
+            Opcode::Load(_) => self.load,
+            Opcode::Store(_) => self.store,
+            Opcode::Malloc(_) => self.malloc,
+            Opcode::BranchCond | Opcode::Jump | Opcode::Call(_) | Opcode::Ret => self.branch,
+        }
+    }
+}
+
+impl Default for LatencyTable {
+    fn default() -> Self {
+        Self::itanium_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpart_ir::MemWidth;
+
+    #[test]
+    fn itanium_like_latencies() {
+        let t = LatencyTable::itanium_like();
+        assert_eq!(t.of(Opcode::IntBin(IntBinOp::Add)), 1);
+        assert_eq!(t.of(Opcode::IntBin(IntBinOp::Mul)), 3);
+        assert_eq!(t.of(Opcode::IntBin(IntBinOp::Div)), 8);
+        assert_eq!(t.of(Opcode::FloatBin(FloatBinOp::Mul)), 4);
+        assert_eq!(t.of(Opcode::FloatBin(FloatBinOp::Div)), 12);
+        assert_eq!(t.of(Opcode::Load(MemWidth::B4)), 2);
+        assert_eq!(t.of(Opcode::Store(MemWidth::B4)), 1);
+        assert_eq!(t.of(Opcode::Jump), 1);
+    }
+
+    #[test]
+    fn default_is_itanium_like() {
+        assert_eq!(LatencyTable::default(), LatencyTable::itanium_like());
+    }
+}

@@ -1,0 +1,184 @@
+//! The complete machine description.
+
+use crate::cluster::{Cluster, FuMix};
+use crate::latency::LatencyTable;
+use crate::network::Interconnect;
+use mcpart_ir::{ClusterId, FuKind};
+
+/// How data memory is organized across clusters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemoryModel {
+    /// A single multiported memory reachable from every cluster at the
+    /// ordinary load latency, with no intercluster transfer required for
+    /// data. This is the paper's upper-bound configuration.
+    Unified,
+    /// Fully partitioned per-cluster memories (scratchpad-like, 100% hit
+    /// rate). Every data object has exactly one home cluster; accesses
+    /// must execute on the home cluster's memory unit.
+    Partitioned,
+    /// The paper's "middle ground" (§2) and future-work direction:
+    /// coherent per-cluster caches. Objects still have a home cluster,
+    /// but any cluster may access any object — a remote access simply
+    /// pays `remote_penalty` extra cycles (coherence transfer) and is
+    /// counted as coherence traffic.
+    CoherentCache {
+        /// Extra cycles for accessing an object homed on another
+        /// cluster.
+        remote_penalty: u32,
+    },
+}
+
+impl MemoryModel {
+    /// Returns `true` for the partitioned model.
+    pub fn is_partitioned(self) -> bool {
+        matches!(self, MemoryModel::Partitioned)
+    }
+
+    /// The remote-access penalty of the coherent-cache model, if this
+    /// is one.
+    pub fn coherence_penalty(self) -> Option<u32> {
+        match self {
+            MemoryModel::CoherentCache { remote_penalty } => Some(remote_penalty),
+            _ => None,
+        }
+    }
+}
+
+/// A multicluster VLIW machine description.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Machine {
+    /// The clusters.
+    pub clusters: Vec<Cluster>,
+    /// Intercluster network.
+    pub interconnect: Interconnect,
+    /// Memory organization.
+    pub memory: MemoryModel,
+    /// Operation latencies.
+    pub latency: LatencyTable,
+}
+
+impl Machine {
+    /// The paper's evaluation machine: two homogeneous clusters with
+    /// 2 integer / 1 float / 1 memory / 1 branch unit each, partitioned
+    /// memories, Itanium-like latencies, and an intercluster bus of the
+    /// given move latency (1, 5 or 10 in the paper; 5 is the default).
+    pub fn paper_2cluster(move_latency: u32) -> Self {
+        Machine {
+            clusters: vec![
+                Cluster::new("c0", FuMix::paper()),
+                Cluster::new("c1", FuMix::paper()),
+            ],
+            interconnect: Interconnect::bus(move_latency),
+            memory: MemoryModel::Partitioned,
+            latency: LatencyTable::itanium_like(),
+        }
+    }
+
+    /// A homogeneous machine with `n` paper-mix clusters.
+    pub fn homogeneous(n: usize, move_latency: u32) -> Self {
+        Machine {
+            clusters: (0..n).map(|i| Cluster::new(format!("c{i}"), FuMix::paper())).collect(),
+            interconnect: Interconnect::bus(move_latency),
+            memory: MemoryModel::Partitioned,
+            latency: LatencyTable::itanium_like(),
+        }
+    }
+
+    /// Switches this machine to the unified (single multiported memory)
+    /// model.
+    pub fn with_unified_memory(mut self) -> Self {
+        self.memory = MemoryModel::Unified;
+        self
+    }
+
+    /// Switches this machine to partitioned per-cluster memories.
+    pub fn with_partitioned_memory(mut self) -> Self {
+        self.memory = MemoryModel::Partitioned;
+        self
+    }
+
+    /// Switches this machine to coherent per-cluster caches with the
+    /// given remote-access penalty.
+    pub fn with_coherent_cache(mut self, remote_penalty: u32) -> Self {
+        self.memory = MemoryModel::CoherentCache { remote_penalty };
+        self
+    }
+
+    /// Replaces the interconnect.
+    pub fn with_interconnect(mut self, interconnect: Interconnect) -> Self {
+        self.interconnect = interconnect;
+        self
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Iterates over cluster ids.
+    pub fn cluster_ids(&self) -> impl Iterator<Item = ClusterId> {
+        (0..self.clusters.len()).map(ClusterId::new)
+    }
+
+    /// Function-unit count of `kind` on `cluster`.
+    pub fn fu_count(&self, cluster: ClusterId, kind: FuKind) -> usize {
+        self.clusters[cluster.index()].fu.count(kind)
+    }
+
+    /// Relative memory capacity weights per cluster, used as balance
+    /// targets by the data partitioner.
+    pub fn memory_weights(&self) -> Vec<u32> {
+        self.clusters.iter().map(|c| c.memory_weight).collect()
+    }
+
+    /// Intercluster move latency in cycles.
+    pub fn move_latency(&self) -> u32 {
+        self.interconnect.move_latency
+    }
+}
+
+impl Default for Machine {
+    /// The paper's default machine (2 clusters, 5-cycle moves).
+    fn default() -> Self {
+        Machine::paper_2cluster(5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machine_shape() {
+        let m = Machine::paper_2cluster(5);
+        assert_eq!(m.num_clusters(), 2);
+        assert_eq!(m.fu_count(ClusterId::new(0), FuKind::Int), 2);
+        assert_eq!(m.fu_count(ClusterId::new(1), FuKind::Mem), 1);
+        assert!(m.memory.is_partitioned());
+        assert_eq!(m.move_latency(), 5);
+    }
+
+    #[test]
+    fn unified_switch() {
+        let m = Machine::paper_2cluster(1).with_unified_memory();
+        assert!(!m.memory.is_partitioned());
+        let m = m.with_partitioned_memory();
+        assert!(m.memory.is_partitioned());
+    }
+
+    #[test]
+    fn coherent_cache_penalty() {
+        let m = Machine::paper_2cluster(5).with_coherent_cache(7);
+        assert!(!m.memory.is_partitioned());
+        assert_eq!(m.memory.coherence_penalty(), Some(7));
+        assert_eq!(MemoryModel::Unified.coherence_penalty(), None);
+    }
+
+    #[test]
+    fn homogeneous_scales() {
+        let m = Machine::homogeneous(4, 10);
+        assert_eq!(m.num_clusters(), 4);
+        assert_eq!(m.cluster_ids().count(), 4);
+        assert_eq!(m.memory_weights(), vec![1, 1, 1, 1]);
+    }
+}

@@ -1,0 +1,55 @@
+//! The intercluster communication network.
+
+/// Configuration of the bus connecting clusters.
+///
+/// The paper assumes a shared intercluster bus with fixed bandwidth:
+/// "the intercluster network bandwidth allows for 1 move per cycle with
+/// latencies of 1, 5 or 10 cycles (5 cycle is default)".
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Interconnect {
+    /// Cycles from a move's issue to its value being readable in the
+    /// destination register file.
+    pub move_latency: u32,
+    /// Number of intercluster moves that may be initiated per cycle,
+    /// machine-wide.
+    pub moves_per_cycle: u32,
+}
+
+impl Interconnect {
+    /// The paper's bus with the given latency (1, 5 or 10 in the
+    /// evaluation) and 1 move per cycle.
+    pub fn bus(move_latency: u32) -> Self {
+        Interconnect { move_latency, moves_per_cycle: 1 }
+    }
+
+    /// Sets the per-cycle bandwidth.
+    pub fn with_bandwidth(mut self, moves_per_cycle: u32) -> Self {
+        self.moves_per_cycle = moves_per_cycle;
+        self
+    }
+}
+
+impl Default for Interconnect {
+    /// The paper's default: 5-cycle latency, 1 move per cycle.
+    fn default() -> Self {
+        Interconnect::bus(5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_five_cycle_bus() {
+        let n = Interconnect::default();
+        assert_eq!(n.move_latency, 5);
+        assert_eq!(n.moves_per_cycle, 1);
+    }
+
+    #[test]
+    fn bandwidth_builder() {
+        let n = Interconnect::bus(1).with_bandwidth(2);
+        assert_eq!(n.moves_per_cycle, 2);
+    }
+}

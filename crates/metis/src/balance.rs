@@ -1,0 +1,153 @@
+//! Multi-constraint balance bookkeeping.
+
+use crate::graph::Graph;
+
+/// Balance targets and limits for a k-way partitioning with `ncon`
+/// constraints.
+///
+/// Part `p` is *balanced* in constraint `c` when its weight does not
+/// exceed `target[p] * total[c] * (1 + imbalance)`. Constraints whose
+/// total weight is zero are trivially balanced.
+#[derive(Clone, Debug)]
+pub struct BalanceModel {
+    nparts: usize,
+    ncon: usize,
+    /// Per-part target fractions (sum to 1).
+    pub targets: Vec<f64>,
+    /// Per-constraint total weights.
+    pub totals: Vec<u64>,
+    /// `nparts x ncon` upper limits.
+    pub limits: Vec<Vec<u64>>,
+}
+
+impl BalanceModel {
+    /// Builds a model for `graph` split into `nparts` parts with the
+    /// given per-part target fractions and allowed imbalance `eps`.
+    ///
+    /// The limit is `ceil(target × total × (1 + eps))`, raised to the
+    /// maximum single-vertex weight when an indivisible heavy vertex
+    /// (e.g. a merged data object) could not otherwise be placed
+    /// anywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len() != nparts` or the fractions are not
+    /// positive.
+    pub fn new(graph: &Graph, nparts: usize, targets: &[f64], eps: f64) -> Self {
+        assert_eq!(targets.len(), nparts, "one target fraction per part");
+        assert!(targets.iter().all(|&t| t > 0.0), "target fractions must be positive");
+        let sum: f64 = targets.iter().sum();
+        let targets: Vec<f64> = targets.iter().map(|t| t / sum).collect();
+        let totals = graph.total_weights();
+        let maxv = graph.max_vertex_weights();
+        let ncon = graph.num_constraints();
+        let limits = (0..nparts)
+            .map(|p| {
+                (0..ncon)
+                    .map(|c| {
+                        let ideal = targets[p] * totals[c] as f64;
+                        ((ideal * (1.0 + eps)).ceil() as u64).max(maxv[c])
+                    })
+                    .collect()
+            })
+            .collect();
+        BalanceModel { nparts, ncon, targets, totals, limits }
+    }
+
+    /// Uniform targets (`1/nparts` each).
+    pub fn uniform(graph: &Graph, nparts: usize, eps: f64) -> Self {
+        Self::new(graph, nparts, &vec![1.0; nparts], eps)
+    }
+
+    /// Number of parts.
+    pub fn nparts(&self) -> usize {
+        self.nparts
+    }
+
+    /// Returns `true` if adding `vw` to part `p` (currently at `pw`)
+    /// keeps every constraint under its limit.
+    pub fn fits(&self, p: usize, pw: &[u64], vw: &[u64]) -> bool {
+        (0..self.ncon).all(|c| pw[c] + vw[c] <= self.limits[p][c])
+    }
+
+    /// Maximum relative overweight of a part-weight matrix: the largest
+    /// `pw[p][c] / (target[p] * total[c])` over all parts/constraints,
+    /// ignoring zero-total constraints. 1.0 means perfectly at target.
+    #[allow(clippy::needless_range_loop)]
+    pub fn max_overweight(&self, pw: &[Vec<u64>]) -> f64 {
+        let mut worst: f64 = 0.0;
+        for (p, row) in pw.iter().enumerate() {
+            for c in 0..self.ncon {
+                if self.totals[c] == 0 {
+                    continue;
+                }
+                let ideal = self.targets[p] * self.totals[c] as f64;
+                if ideal > 0.0 {
+                    worst = worst.max(row[c] as f64 / ideal);
+                }
+            }
+        }
+        worst
+    }
+
+    /// Returns `true` when every part is within its limits.
+    pub fn is_balanced(&self, pw: &[Vec<u64>]) -> bool {
+        pw.iter().enumerate().all(|(p, row)| (0..self.ncon).all(|c| row[c] <= self.limits[p][c]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn graph4() -> Graph {
+        let mut b = GraphBuilder::new(1);
+        for _ in 0..4 {
+            b.add_vertex(&[10]);
+        }
+        b.add_edge(0, 1, 1);
+        b.build()
+    }
+
+    #[test]
+    fn uniform_limits() {
+        let g = graph4();
+        let m = BalanceModel::uniform(&g, 2, 0.1);
+        // total 40, target 20, eps 10% -> 22 (max vertex 10 is smaller).
+        assert_eq!(m.limits[0][0], 22);
+        assert!(m.fits(0, &[10], &[10]));
+        assert!(!m.fits(0, &[20], &[10]));
+    }
+
+    #[test]
+    fn weighted_targets() {
+        let g = graph4();
+        let m = BalanceModel::new(&g, 2, &[3.0, 1.0], 0.0);
+        assert!(m.limits[0][0] > m.limits[1][0]);
+    }
+
+    #[test]
+    fn overweight_metric() {
+        let g = graph4();
+        let m = BalanceModel::uniform(&g, 2, 0.1);
+        let balanced = vec![vec![20u64], vec![20u64]];
+        let skewed = vec![vec![40u64], vec![0u64]];
+        assert!(m.max_overweight(&balanced) <= 1.0 + 1e-9);
+        assert!((m.max_overweight(&skewed) - 2.0).abs() < 1e-9);
+        assert!(m.is_balanced(&balanced));
+        assert!(!m.is_balanced(&skewed));
+    }
+
+    #[test]
+    fn zero_total_constraint_is_trivially_balanced() {
+        let mut b = GraphBuilder::new(2);
+        b.add_vertex(&[5, 0]);
+        b.add_vertex(&[5, 0]);
+        let g = b.build();
+        let m = BalanceModel::uniform(&g, 2, 0.1);
+        let pw = vec![vec![5, 0], vec![5, 0]];
+        assert!(m.is_balanced(&pw));
+        assert!(m.max_overweight(&pw) > 0.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Multilevel coarsening via heavy-edge matching.
+
+use crate::graph::{Graph, GraphBuilder};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One level of the coarsening hierarchy: the coarse graph plus the
+/// projection map from fine vertices to coarse vertices.
+#[derive(Clone, Debug)]
+pub struct CoarseLevel {
+    /// The coarsened graph.
+    pub graph: Graph,
+    /// `map[fine] = coarse`.
+    pub map: Vec<u32>,
+}
+
+/// Performs one round of heavy-edge matching (HEM) coarsening.
+///
+/// Vertices are visited in random order; each unmatched vertex matches
+/// its unmatched neighbor connected by the heaviest edge, subject to the
+/// merged vertex staying under `max_vwgt` in every constraint (this is
+/// METIS' guard against unsplittable super-vertices). Unmatchable
+/// vertices survive alone.
+///
+/// Returns `None` when matching failed to shrink the graph enough to be
+/// useful (coarse size > 95% of fine size), which signals the driver to
+/// stop coarsening.
+pub fn coarsen_once<R: Rng>(graph: &Graph, max_vwgt: &[u64], rng: &mut R) -> Option<CoarseLevel> {
+    let n = graph.num_vertices();
+    if n < 2 {
+        return None;
+    }
+    const UNMATCHED: u32 = u32::MAX;
+    let mut partner = vec![UNMATCHED; n];
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+
+    let fits = |a: u32, b: u32| -> bool {
+        let wa = graph.vertex_weight(a);
+        let wb = graph.vertex_weight(b);
+        wa.iter().zip(wb).zip(max_vwgt).all(|((&x, &y), &m)| x + y <= m)
+    };
+
+    for &v in &order {
+        if partner[v as usize] != UNMATCHED {
+            continue;
+        }
+        let mut best: Option<(u32, u64)> = None;
+        for (u, w) in graph.neighbors(v) {
+            if partner[u as usize] == UNMATCHED && u != v && fits(v, u)
+                && best.map(|(_, bw)| w > bw).unwrap_or(true) {
+                    best = Some((u, w));
+                }
+        }
+        match best {
+            Some((u, _)) => {
+                partner[v as usize] = u;
+                partner[u as usize] = v;
+            }
+            None => partner[v as usize] = v,
+        }
+    }
+
+    // Assign coarse ids: matched pairs collapse; deterministic in fine order.
+    let mut map = vec![UNMATCHED; n];
+    let mut next = 0u32;
+    for v in 0..n as u32 {
+        if map[v as usize] != UNMATCHED {
+            continue;
+        }
+        let p = partner[v as usize];
+        map[v as usize] = next;
+        if p != v && p != UNMATCHED {
+            map[p as usize] = next;
+        }
+        next += 1;
+    }
+    let coarse_n = next as usize;
+    if coarse_n as f64 > n as f64 * 0.95 {
+        return None;
+    }
+
+    let ncon = graph.num_constraints();
+    let mut builder = GraphBuilder::new(ncon);
+    let mut weights = vec![vec![0u64; ncon]; coarse_n];
+    for v in 0..n as u32 {
+        let cv = map[v as usize] as usize;
+        for (c, w) in graph.vertex_weight(v).iter().enumerate() {
+            weights[cv][c] += w;
+        }
+    }
+    for w in &weights {
+        builder.add_vertex(w);
+    }
+    for v in 0..n as u32 {
+        for (u, w) in graph.neighbors(v) {
+            if u > v {
+                builder.add_edge(map[v as usize], map[u as usize], w);
+            }
+        }
+    }
+    Some(CoarseLevel { graph: builder.build(), map })
+}
+
+/// Default per-constraint cap on merged vertex weight while coarsening
+/// toward `coarsen_to` vertices.
+pub fn default_max_vwgt(graph: &Graph, coarsen_to: usize) -> Vec<u64> {
+    let totals = graph.total_weights();
+    let maxv = graph.max_vertex_weights();
+    totals
+        .iter()
+        .zip(&maxv)
+        .map(|(&t, &m)| {
+            let cap = (4 * t) / (3 * coarsen_to.max(1) as u64).max(1);
+            cap.max(m).max(1)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn ring(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(1);
+        for _ in 0..n {
+            b.add_vertex(&[1]);
+        }
+        for i in 0..n as u32 {
+            b.add_edge(i, (i + 1) % n as u32, 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn coarsening_halves_a_ring() {
+        let g = ring(16);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let lvl = coarsen_once(&g, &[100], &mut rng).expect("should coarsen");
+        assert!(lvl.graph.num_vertices() <= 12);
+        assert!(lvl.graph.num_vertices() >= 8);
+        // Weight is conserved.
+        assert_eq!(lvl.graph.total_weights(), g.total_weights());
+        // Map covers all fine vertices.
+        assert_eq!(lvl.map.len(), 16);
+        assert!(lvl.map.iter().all(|&c| (c as usize) < lvl.graph.num_vertices()));
+    }
+
+    #[test]
+    fn max_vwgt_blocks_heavy_merges() {
+        let mut b = GraphBuilder::new(1);
+        b.add_vertex(&[10]);
+        b.add_vertex(&[10]);
+        b.add_edge(0, 1, 5);
+        let g = b.build();
+        let mut rng = SmallRng::seed_from_u64(1);
+        // Cap 15 < 20 so the only possible match is forbidden.
+        assert!(coarsen_once(&g, &[15], &mut rng).is_none());
+    }
+
+    #[test]
+    fn weight_conservation_multiconstraint() {
+        let mut b = GraphBuilder::new(2);
+        for i in 0..8u32 {
+            b.add_vertex(&[u64::from(i), 1]);
+        }
+        for i in 0..8u32 {
+            for j in (i + 1)..8u32 {
+                b.add_edge(i, j, 1);
+            }
+        }
+        let g = b.build();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let lvl = coarsen_once(&g, &default_max_vwgt(&g, 2), &mut rng).unwrap();
+        assert_eq!(lvl.graph.total_weights(), g.total_weights());
+    }
+
+    #[test]
+    fn default_cap_is_at_least_max_vertex() {
+        let mut b = GraphBuilder::new(1);
+        b.add_vertex(&[1000]);
+        b.add_vertex(&[1]);
+        let g = b.build();
+        let cap = default_max_vwgt(&g, 10);
+        assert!(cap[0] >= 1000);
+    }
+}

@@ -1,0 +1,265 @@
+//! Weighted undirected graphs in CSR form.
+
+use std::collections::HashMap;
+
+/// Builder accumulating vertices and edges before freezing into a
+/// [`Graph`].
+///
+/// Parallel edges are merged by summing their weights; self-loops are
+/// dropped (they cannot be cut, so they are irrelevant to partitioning).
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    ncon: usize,
+    vwgt: Vec<u64>,
+    edges: HashMap<(u32, u32), u64>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for vertices carrying `ncon` balance
+    /// constraints each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ncon` is zero.
+    pub fn new(ncon: usize) -> Self {
+        assert!(ncon > 0, "at least one balance constraint is required");
+        GraphBuilder { ncon, vwgt: Vec::new(), edges: HashMap::new() }
+    }
+
+    /// Adds a vertex with the given constraint weights, returning its
+    /// index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != ncon`.
+    pub fn add_vertex(&mut self, weights: &[u64]) -> u32 {
+        assert_eq!(weights.len(), self.ncon, "constraint arity mismatch");
+        let id = (self.vwgt.len() / self.ncon) as u32;
+        self.vwgt.extend_from_slice(weights);
+        id
+    }
+
+    /// Number of vertices added so far.
+    pub fn num_vertices(&self) -> usize {
+        self.vwgt.len() / self.ncon
+    }
+
+    /// Adds (or strengthens) an undirected edge between `a` and `b`.
+    /// Self-loops are ignored.
+    pub fn add_edge(&mut self, a: u32, b: u32, weight: u64) {
+        if a == b || weight == 0 {
+            return;
+        }
+        let key = (a.min(b), a.max(b));
+        *self.edges.entry(key).or_insert(0) += weight;
+    }
+
+    /// Freezes the builder into a CSR graph.
+    pub fn build(self) -> Graph {
+        let n = self.num_vertices();
+        let mut degree = vec![0usize; n];
+        for &(a, b) in self.edges.keys() {
+            degree[a as usize] += 1;
+            degree[b as usize] += 1;
+        }
+        let mut xadj = Vec::with_capacity(n + 1);
+        xadj.push(0usize);
+        for d in &degree {
+            xadj.push(xadj.last().unwrap() + d);
+        }
+        let m2 = xadj[n];
+        let mut adjncy = vec![0u32; m2];
+        let mut adjwgt = vec![0u64; m2];
+        let mut cursor = xadj[..n].to_vec();
+        let mut entries: Vec<(&(u32, u32), &u64)> = self.edges.iter().collect();
+        // Deterministic CSR regardless of hash order.
+        entries.sort_by_key(|(k, _)| **k);
+        for (&(a, b), &w) in entries {
+            adjncy[cursor[a as usize]] = b;
+            adjwgt[cursor[a as usize]] = w;
+            cursor[a as usize] += 1;
+            adjncy[cursor[b as usize]] = a;
+            adjwgt[cursor[b as usize]] = w;
+            cursor[b as usize] += 1;
+        }
+        Graph { ncon: self.ncon, vwgt: self.vwgt, xadj, adjncy, adjwgt }
+    }
+}
+
+/// An undirected vertex- and edge-weighted graph in compressed sparse
+/// row form, the input to [`crate::partition`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Graph {
+    pub(crate) ncon: usize,
+    /// `nvtxs * ncon` row-major vertex weights.
+    pub(crate) vwgt: Vec<u64>,
+    pub(crate) xadj: Vec<usize>,
+    pub(crate) adjncy: Vec<u32>,
+    pub(crate) adjwgt: Vec<u64>,
+}
+
+impl Graph {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// Number of balance constraints per vertex.
+    pub fn num_constraints(&self) -> usize {
+        self.ncon
+    }
+
+    /// The weight vector of vertex `v`.
+    pub fn vertex_weight(&self, v: u32) -> &[u64] {
+        let i = v as usize * self.ncon;
+        &self.vwgt[i..i + self.ncon]
+    }
+
+    /// Iterates over `(neighbor, edge_weight)` of `v`.
+    pub fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, u64)> + '_ {
+        let lo = self.xadj[v as usize];
+        let hi = self.xadj[v as usize + 1];
+        self.adjncy[lo..hi].iter().copied().zip(self.adjwgt[lo..hi].iter().copied())
+    }
+
+    /// Total weight per constraint over all vertices.
+    pub fn total_weights(&self) -> Vec<u64> {
+        let mut totals = vec![0u64; self.ncon];
+        for v in 0..self.num_vertices() {
+            for (c, t) in totals.iter_mut().enumerate() {
+                *t += self.vwgt[v * self.ncon + c];
+            }
+        }
+        totals
+    }
+
+    /// Largest single-vertex weight per constraint.
+    pub fn max_vertex_weights(&self) -> Vec<u64> {
+        let mut maxs = vec![0u64; self.ncon];
+        for v in 0..self.num_vertices() {
+            for (c, m) in maxs.iter_mut().enumerate() {
+                *m = (*m).max(self.vwgt[v * self.ncon + c]);
+            }
+        }
+        maxs
+    }
+
+    /// Edge-cut of an assignment: total weight of edges whose endpoints
+    /// live in different parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len()` differs from the vertex count.
+    #[allow(clippy::needless_range_loop)]
+    pub fn edge_cut(&self, assignment: &[u32]) -> u64 {
+        assert_eq!(assignment.len(), self.num_vertices());
+        let mut cut = 0u64;
+        for v in 0..self.num_vertices() as u32 {
+            for (u, w) in self.neighbors(v) {
+                if u > v && assignment[u as usize] != assignment[v as usize] {
+                    cut += w;
+                }
+            }
+        }
+        cut
+    }
+
+    /// Per-part, per-constraint weight sums of an assignment.
+    #[allow(clippy::needless_range_loop)]
+    pub fn part_weights(&self, assignment: &[u32], nparts: usize) -> Vec<Vec<u64>> {
+        let mut pw = vec![vec![0u64; self.ncon]; nparts];
+        for v in 0..self.num_vertices() {
+            let p = assignment[v] as usize;
+            for c in 0..self.ncon {
+                pw[p][c] += self.vwgt[v * self.ncon + c];
+            }
+        }
+        pw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Graph {
+        let mut b = GraphBuilder::new(1);
+        let v0 = b.add_vertex(&[1]);
+        let v1 = b.add_vertex(&[2]);
+        let v2 = b.add_vertex(&[3]);
+        b.add_edge(v0, v1, 10);
+        b.add_edge(v1, v2, 20);
+        b.build()
+    }
+
+    #[test]
+    fn csr_roundtrip() {
+        let g = path3();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        let n1: Vec<_> = g.neighbors(1).collect();
+        assert_eq!(n1.len(), 2);
+        assert!(n1.contains(&(0, 10)));
+        assert!(n1.contains(&(2, 20)));
+    }
+
+    #[test]
+    fn parallel_edges_merge() {
+        let mut b = GraphBuilder::new(1);
+        let v0 = b.add_vertex(&[1]);
+        let v1 = b.add_vertex(&[1]);
+        b.add_edge(v0, v1, 3);
+        b.add_edge(v1, v0, 4);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0).next(), Some((1, 7)));
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let mut b = GraphBuilder::new(1);
+        let v0 = b.add_vertex(&[1]);
+        b.add_edge(v0, v0, 5);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn edge_cut_and_part_weights() {
+        let g = path3();
+        let cut = g.edge_cut(&[0, 0, 1]);
+        assert_eq!(cut, 20);
+        let pw = g.part_weights(&[0, 0, 1], 2);
+        assert_eq!(pw[0], vec![3]);
+        assert_eq!(pw[1], vec![3]);
+    }
+
+    #[test]
+    fn totals_and_maxima() {
+        let g = path3();
+        assert_eq!(g.total_weights(), vec![6]);
+        assert_eq!(g.max_vertex_weights(), vec![3]);
+    }
+
+    #[test]
+    fn multi_constraint_weights() {
+        let mut b = GraphBuilder::new(2);
+        b.add_vertex(&[4, 1]);
+        b.add_vertex(&[0, 2]);
+        let g = b.build();
+        assert_eq!(g.vertex_weight(0), &[4, 1]);
+        assert_eq!(g.total_weights(), vec![4, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "constraint arity")]
+    fn wrong_arity_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_vertex(&[1]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Initial partitioning of the coarsest graph.
+
+use crate::balance::BalanceModel;
+use crate::graph::Graph;
+use crate::refine::{rebalance, refine};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Greedy graph growing: grows each part from a random seed by
+/// repeatedly absorbing the unassigned vertex most connected to it,
+/// respecting balance limits when possible.
+fn grow<R: Rng>(graph: &Graph, balance: &BalanceModel, rng: &mut R) -> Vec<u32> {
+    let n = graph.num_vertices();
+    let nparts = balance.nparts();
+    const UNASSIGNED: u32 = u32::MAX;
+    let mut assignment = vec![UNASSIGNED; n];
+    let mut pw = vec![vec![0u64; graph.num_constraints()]; nparts];
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+    let mut cursor = 0usize;
+
+    // Target fill fraction per part; grow parts round-robin.
+    'outer: for round in 0..n * nparts {
+        let p = round % nparts;
+        // Is part p already at its fair share? Use the most binding
+        // constraint.
+        let over = (0..graph.num_constraints()).any(|c| {
+            balance.totals[c] > 0
+                && pw[p][c] as f64 >= balance.targets[p] * balance.totals[c] as f64
+        });
+        let any_left = assignment.contains(&UNASSIGNED);
+        if !any_left {
+            break;
+        }
+        if over && round < n * (nparts - 1).max(1) {
+            continue;
+        }
+        // Pick the unassigned vertex most connected to part p (or the
+        // next unassigned vertex if p has no boundary yet).
+        let mut best: Option<(u32, i64)> = None;
+        for v in 0..n as u32 {
+            if assignment[v as usize] != UNASSIGNED {
+                continue;
+            }
+            let conn: i64 = graph
+                .neighbors(v)
+                .filter(|(u, _)| assignment[*u as usize] == p as u32)
+                .map(|(_, w)| w as i64)
+                .sum();
+            if conn > 0 && best.map(|(_, bc)| conn > bc).unwrap_or(true) {
+                best = Some((v, conn));
+            }
+        }
+        let v = match best {
+            Some((v, _)) => v,
+            None => {
+                // Seed: next unassigned vertex in random order.
+                loop {
+                    if cursor >= order.len() {
+                        break 'outer;
+                    }
+                    let v = order[cursor];
+                    cursor += 1;
+                    if assignment[v as usize] == UNASSIGNED {
+                        break v;
+                    }
+                }
+            }
+        };
+        let vw = graph.vertex_weight(v);
+        let target = if balance.fits(p, &pw[p], vw) {
+            p
+        } else {
+            // Spill to the emptiest feasible part (by overweight), or the
+            // lightest part overall if none fit.
+            (0..nparts)
+                .filter(|&q| balance.fits(q, &pw[q], vw))
+                .min_by(|&a, &b| {
+                    let oa = balance.max_overweight(&[pw[a].clone()]);
+                    let ob = balance.max_overweight(&[pw[b].clone()]);
+                    oa.partial_cmp(&ob).unwrap()
+                })
+                .unwrap_or_else(|| {
+                    (0..nparts)
+                        .min_by_key(|&q| pw[q].iter().sum::<u64>())
+                        .expect("at least one part")
+                })
+        };
+        for (c, &w) in vw.iter().enumerate() {
+            pw[target][c] += w;
+        }
+        assignment[v as usize] = target as u32;
+    }
+    // Any stragglers go to the lightest part.
+    #[allow(clippy::needless_range_loop)]
+    for v in 0..n {
+        if assignment[v] == UNASSIGNED {
+            let p = (0..nparts).min_by_key(|&q| pw[q].iter().sum::<u64>()).unwrap();
+            for (c, &w) in graph.vertex_weight(v as u32).iter().enumerate() {
+                pw[p][c] += w;
+            }
+            assignment[v] = p as u32;
+        }
+    }
+    assignment
+}
+
+/// Produces an initial partition of the (coarsest) graph: several
+/// greedy-growing attempts, each polished by refinement, keeping the
+/// best balanced result (falling back to the lowest-cut unbalanced one).
+pub fn initial_partition<R: Rng>(
+    graph: &Graph,
+    balance: &BalanceModel,
+    tries: usize,
+    rng: &mut R,
+) -> Vec<u32> {
+    let mut best: Option<(Vec<u32>, bool, u64)> = None;
+    for _ in 0..tries.max(1) {
+        let mut assignment = grow(graph, balance, rng);
+        let mut pw = graph.part_weights(&assignment, balance.nparts());
+        rebalance(graph, &mut assignment, balance, &mut pw, rng);
+        refine(graph, &mut assignment, balance, &mut pw, 4, rng);
+        let balanced = balance.is_balanced(&pw);
+        let cut = graph.edge_cut(&assignment);
+        let better = match &best {
+            None => true,
+            Some((_, bbal, bcut)) => match (balanced, *bbal) {
+                (true, false) => true,
+                (false, true) => false,
+                _ => cut < *bcut,
+            },
+        };
+        if better {
+            best = Some((assignment, balanced, cut));
+        }
+    }
+    best.expect("tries >= 1").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn grid(w: usize, h: usize) -> Graph {
+        let mut b = GraphBuilder::new(1);
+        for _ in 0..w * h {
+            b.add_vertex(&[1]);
+        }
+        for y in 0..h {
+            for x in 0..w {
+                let v = (y * w + x) as u32;
+                if x + 1 < w {
+                    b.add_edge(v, v + 1, 1);
+                }
+                if y + 1 < h {
+                    b.add_edge(v, v + w as u32, 1);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bisection_of_grid_is_balanced() {
+        let g = grid(6, 4);
+        let balance = BalanceModel::uniform(&g, 2, 0.1);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let assignment = initial_partition(&g, &balance, 4, &mut rng);
+        let pw = g.part_weights(&assignment, 2);
+        assert!(balance.is_balanced(&pw), "{pw:?}");
+        // A 6x4 grid has a 4-edge bisection; allow some slack.
+        assert!(g.edge_cut(&assignment) <= 8, "cut = {}", g.edge_cut(&assignment));
+    }
+
+    #[test]
+    fn four_way_partition_covers_all_parts() {
+        let g = grid(8, 8);
+        let balance = BalanceModel::uniform(&g, 4, 0.1);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let assignment = initial_partition(&g, &balance, 4, &mut rng);
+        for p in 0..4u32 {
+            assert!(assignment.contains(&p), "part {p} empty");
+        }
+        let pw = g.part_weights(&assignment, 4);
+        assert!(balance.is_balanced(&pw), "{pw:?}");
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let mut b = GraphBuilder::new(1);
+        b.add_vertex(&[5]);
+        let g = b.build();
+        let balance = BalanceModel::uniform(&g, 2, 0.1);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let assignment = initial_partition(&g, &balance, 2, &mut rng);
+        assert_eq!(assignment.len(), 1);
+    }
+}

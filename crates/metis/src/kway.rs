@@ -1,0 +1,326 @@
+//! The multilevel k-way driver.
+
+use crate::balance::BalanceModel;
+use crate::coarsen::{coarsen_once, default_max_vwgt, CoarseLevel};
+use crate::graph::Graph;
+use crate::initial::initial_partition;
+use crate::refine::{rebalance, refine};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Configuration of a k-way partitioning run.
+#[derive(Clone, Debug)]
+pub struct PartitionConfig {
+    /// Number of parts.
+    pub nparts: usize,
+    /// Allowed relative imbalance ε: a part may weigh up to
+    /// `target × (1 + ε)` in each constraint. The paper's data
+    /// partitioner defaults to 10%.
+    pub imbalance: f64,
+    /// Per-part target fractions. `None` means uniform. Used to model
+    /// clusters with unequal memory capacities.
+    pub target_fractions: Option<Vec<f64>>,
+    /// RNG seed (the partitioner is fully deterministic given a seed).
+    pub seed: u64,
+    /// Stop coarsening at roughly this many vertices.
+    pub coarsen_to: usize,
+    /// Initial-partition restarts at the coarsest level.
+    pub initial_tries: usize,
+    /// Refinement passes per uncoarsening level.
+    pub refine_passes: usize,
+}
+
+impl PartitionConfig {
+    /// A sensible default for `nparts` parts: 10% imbalance, 4
+    /// restarts, 8 refinement passes.
+    pub fn new(nparts: usize) -> Self {
+        PartitionConfig {
+            nparts,
+            imbalance: 0.10,
+            target_fractions: None,
+            seed: 0x5eed,
+            coarsen_to: (nparts * 16).max(32),
+            initial_tries: 4,
+            refine_passes: 8,
+        }
+    }
+
+    /// Sets the imbalance tolerance.
+    pub fn with_imbalance(mut self, eps: f64) -> Self {
+        self.imbalance = eps;
+        self
+    }
+
+    /// Sets per-part target fractions (they are normalized internally).
+    pub fn with_target_fractions(mut self, fractions: Vec<f64>) -> Self {
+        self.target_fractions = Some(fractions);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The result of a partitioning run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Partitioning {
+    /// Part of each vertex.
+    pub assignment: Vec<u32>,
+    /// Total weight of cut edges.
+    pub cut: u64,
+    /// Per-part, per-constraint weights.
+    pub part_weights: Vec<Vec<u64>>,
+    /// Whether every part is within its balance limit.
+    pub balanced: bool,
+}
+
+impl Partitioning {
+    /// Maximum over parts/constraints of `weight / ideal` (1.0 =
+    /// perfectly balanced). Useful for reporting.
+    pub fn max_overweight(&self, graph: &Graph, config: &PartitionConfig) -> f64 {
+        let balance = make_balance(graph, config);
+        balance.max_overweight(&self.part_weights)
+    }
+}
+
+fn make_balance(graph: &Graph, config: &PartitionConfig) -> BalanceModel {
+    match &config.target_fractions {
+        Some(f) => BalanceModel::new(graph, config.nparts, f, config.imbalance),
+        None => BalanceModel::uniform(graph, config.nparts, config.imbalance),
+    }
+}
+
+/// Partitions `graph` into `config.nparts` parts, minimizing edge cut
+/// subject to multi-constraint balance — a reimplementation of the
+/// multilevel k-way scheme of METIS used by the paper's data
+/// partitioner.
+///
+/// # Panics
+///
+/// Panics if `config.nparts` is zero.
+pub fn partition(graph: &Graph, config: &PartitionConfig) -> Partitioning {
+    assert!(config.nparts > 0, "nparts must be positive");
+    let n = graph.num_vertices();
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+
+    if config.nparts == 1 || n <= 1 {
+        let assignment = vec![0u32; n];
+        return finish(graph, config, assignment);
+    }
+
+    // Coarsening phase.
+    let mut levels: Vec<CoarseLevel> = Vec::new();
+    let mut current = graph.clone();
+    while current.num_vertices() > config.coarsen_to {
+        let cap = default_max_vwgt(&current, config.nparts.max(2) * 4);
+        match coarsen_once(&current, &cap, &mut rng) {
+            Some(level) => {
+                current = level.graph.clone();
+                levels.push(level);
+            }
+            None => break,
+        }
+    }
+
+    // Initial partition at the coarsest level.
+    let coarse_balance = make_balance(&current, config);
+    let mut assignment =
+        initial_partition(&current, &coarse_balance, config.initial_tries, &mut rng);
+
+    // Uncoarsening with refinement.
+    for level in levels.iter().rev() {
+        // Project coarse assignment onto the finer graph.
+        let fine_graph = find_fine_graph(graph, levels.as_slice(), level);
+        let mut fine_assignment = vec![0u32; fine_graph.num_vertices()];
+        for (fine_v, &coarse_v) in level.map.iter().enumerate() {
+            fine_assignment[fine_v] = assignment[coarse_v as usize];
+        }
+        let balance = make_balance(fine_graph, config);
+        let mut pw = fine_graph.part_weights(&fine_assignment, config.nparts);
+        rebalance(fine_graph, &mut fine_assignment, &balance, &mut pw, &mut rng);
+        refine(fine_graph, &mut fine_assignment, &balance, &mut pw, config.refine_passes, &mut rng);
+        assignment = fine_assignment;
+    }
+
+    // Final polish on the original graph (also covers the no-coarsening
+    // path).
+    let balance = make_balance(graph, config);
+    let mut pw = graph.part_weights(&assignment, config.nparts);
+    rebalance(graph, &mut assignment, &balance, &mut pw, &mut rng);
+    refine(graph, &mut assignment, &balance, &mut pw, config.refine_passes, &mut rng);
+    finish(graph, config, assignment)
+}
+
+/// The graph one level finer than `level`: the original graph for the
+/// first stored level, otherwise the previous level's coarse graph.
+fn find_fine_graph<'a>(
+    original: &'a Graph,
+    levels: &'a [CoarseLevel],
+    level: &CoarseLevel,
+) -> &'a Graph {
+    let idx = levels
+        .iter()
+        .position(|l| std::ptr::eq(l, level))
+        .expect("level belongs to hierarchy");
+    if idx == 0 {
+        original
+    } else {
+        &levels[idx - 1].graph
+    }
+}
+
+fn finish(graph: &Graph, config: &PartitionConfig, assignment: Vec<u32>) -> Partitioning {
+    let balance = make_balance(graph, config);
+    let part_weights = graph.part_weights(&assignment, config.nparts);
+    let cut = graph.edge_cut(&assignment);
+    let balanced = balance.is_balanced(&part_weights);
+    Partitioning { assignment, cut, part_weights, balanced }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn grid(w: usize, h: usize) -> Graph {
+        let mut b = GraphBuilder::new(1);
+        for _ in 0..w * h {
+            b.add_vertex(&[1]);
+        }
+        for y in 0..h {
+            for x in 0..w {
+                let v = (y * w + x) as u32;
+                if x + 1 < w {
+                    b.add_edge(v, v + 1, 1);
+                }
+                if y + 1 < h {
+                    b.add_edge(v, v + w as u32, 1);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bisects_large_grid_well() {
+        let g = grid(16, 16);
+        let result = partition(&g, &PartitionConfig::new(2));
+        assert!(result.balanced, "{:?}", result.part_weights);
+        // Optimal bisection of a 16x16 grid cuts 16 edges.
+        assert!(result.cut <= 24, "cut = {}", result.cut);
+        assert_eq!(result.assignment.len(), 256);
+    }
+
+    #[test]
+    fn four_way_partition_of_grid() {
+        let g = grid(16, 16);
+        let result = partition(&g, &PartitionConfig::new(4));
+        assert!(result.balanced, "{:?}", result.part_weights);
+        assert!(result.cut <= 56, "cut = {}", result.cut);
+        for p in 0..4u32 {
+            assert!(result.assignment.contains(&p));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = grid(10, 10);
+        let cfg = PartitionConfig::new(2).with_seed(99);
+        let a = partition(&g, &cfg);
+        let b = partition(&g, &cfg);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.cut, b.cut);
+    }
+
+    #[test]
+    fn single_part_trivial() {
+        let g = grid(3, 3);
+        let result = partition(&g, &PartitionConfig::new(1));
+        assert_eq!(result.cut, 0);
+        assert!(result.assignment.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(1).build();
+        let result = partition(&g, &PartitionConfig::new(2));
+        assert!(result.assignment.is_empty());
+        assert_eq!(result.cut, 0);
+    }
+
+    #[test]
+    fn weighted_targets_shift_weight() {
+        let g = grid(8, 8);
+        let cfg = PartitionConfig::new(2)
+            .with_target_fractions(vec![3.0, 1.0])
+            .with_imbalance(0.05);
+        let result = partition(&g, &cfg);
+        let w0 = result.part_weights[0][0];
+        let w1 = result.part_weights[1][0];
+        assert!(w0 > w1 * 2, "w0={w0} w1={w1}");
+    }
+
+    #[test]
+    fn weighted_fractions_and_multiconstraint_combine() {
+        // Constraint 0 heavy on a few vertices, constraint 1 uniform,
+        // 2:1 target fractions: both constraints respect the skew.
+        let mut b = GraphBuilder::new(2);
+        for i in 0..30u32 {
+            let heavy = if i % 5 == 0 { 60 } else { 0 };
+            b.add_vertex(&[heavy, 1]);
+        }
+        for i in 0..29u32 {
+            b.add_edge(i, i + 1, 2);
+        }
+        let g = b.build();
+        let cfg = PartitionConfig::new(2)
+            .with_target_fractions(vec![2.0, 1.0])
+            .with_imbalance(0.25);
+        let result = partition(&g, &cfg);
+        assert!(result.balanced, "{:?}", result.part_weights);
+        // Part 0 should carry roughly twice of each constraint.
+        assert!(result.part_weights[0][1] > result.part_weights[1][1]);
+    }
+
+    #[test]
+    fn zero_weight_vertices_follow_the_cut() {
+        // Vertices with zero weight in all constraints are placed purely
+        // by cut minimization.
+        let mut b = GraphBuilder::new(1);
+        let a = b.add_vertex(&[10]);
+        let c = b.add_vertex(&[10]);
+        let free = b.add_vertex(&[0]);
+        b.add_edge(a, free, 100); // free wants to sit with a
+        b.add_edge(free, c, 1);
+        let g = b.build();
+        let result = partition(&g, &PartitionConfig::new(2));
+        assert_eq!(
+            result.assignment[a as usize], result.assignment[free as usize],
+            "zero-weight vertex should follow its heavy edge"
+        );
+        assert_ne!(result.assignment[a as usize], result.assignment[c as usize]);
+    }
+
+    #[test]
+    fn respects_multi_constraint_balance() {
+        // Constraint 0: only a few heavy vertices carry it (data size);
+        // constraint 1: uniform (op count).
+        let mut b = GraphBuilder::new(2);
+        for i in 0..32u32 {
+            let data = if i % 8 == 0 { 100 } else { 0 };
+            b.add_vertex(&[data, 1]);
+        }
+        for i in 0..31u32 {
+            b.add_edge(i, i + 1, 1);
+        }
+        let g = b.build();
+        let result = partition(&g, &PartitionConfig::new(2).with_imbalance(0.3));
+        assert!(result.balanced, "{:?}", result.part_weights);
+        // Both heavy-data parts get some of the 4 heavy vertices.
+        assert!(result.part_weights[0][0] > 0);
+        assert!(result.part_weights[1][0] > 0);
+    }
+}

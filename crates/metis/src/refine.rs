@@ -1,0 +1,235 @@
+//! Greedy k-way refinement (Fiduccia–Mattheyses style) and rebalancing.
+
+use crate::balance::BalanceModel;
+use crate::graph::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Connectivity of a vertex to each part.
+fn external_degrees(graph: &Graph, assignment: &[u32], v: u32, nparts: usize) -> Vec<i64> {
+    let mut ed = vec![0i64; nparts];
+    for (u, w) in graph.neighbors(v) {
+        ed[assignment[u as usize] as usize] += w as i64;
+    }
+    ed
+}
+
+fn apply_move(
+    graph: &Graph,
+    assignment: &mut [u32],
+    pw: &mut [Vec<u64>],
+    v: u32,
+    to: usize,
+) {
+    let from = assignment[v as usize] as usize;
+    let vw = graph.vertex_weight(v);
+    for (c, &w) in vw.iter().enumerate() {
+        pw[from][c] -= w;
+        pw[to][c] += w;
+    }
+    assignment[v as usize] = to as u32;
+}
+
+/// Runs up to `passes` greedy refinement passes over boundary vertices.
+///
+/// A vertex moves to the part maximizing cut gain when the move keeps
+/// the destination within its balance limits; zero-gain moves are taken
+/// when they strictly reduce the maximum relative overweight. Returns
+/// the total number of moves performed.
+pub fn refine<R: Rng>(
+    graph: &Graph,
+    assignment: &mut [u32],
+    balance: &BalanceModel,
+    pw: &mut [Vec<u64>],
+    passes: usize,
+    rng: &mut R,
+) -> usize {
+    let nparts = balance.nparts();
+    let n = graph.num_vertices();
+    let mut total_moves = 0;
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    for _ in 0..passes {
+        order.shuffle(rng);
+        let mut moved = 0;
+        for &v in &order {
+            let from = assignment[v as usize] as usize;
+            let ed = external_degrees(graph, assignment, v, nparts);
+            let internal = ed[from];
+            // Pick the best feasible destination.
+            let mut best: Option<(usize, i64)> = None;
+            let vw = graph.vertex_weight(v);
+            let current_over = balance.max_overweight(pw);
+            for to in 0..nparts {
+                if to == from {
+                    continue;
+                }
+                let gain = ed[to] - internal;
+                if gain < 0 {
+                    continue;
+                }
+                if !balance.fits(to, &pw[to], vw) {
+                    // Soft balance: when the partition is already
+                    // overweight (e.g. indivisible objects make exact
+                    // balance impossible), still chase cut gains as
+                    // long as the worst overweight does not grow.
+                    apply_move(graph, assignment, pw, v, to);
+                    let after = balance.max_overweight(pw);
+                    apply_move(graph, assignment, pw, v, from);
+                    if after > current_over + 1e-9 {
+                        continue;
+                    }
+                }
+                if best.map(|(_, bg)| gain > bg).unwrap_or(true) {
+                    best = Some((to, gain));
+                }
+            }
+            if let Some((to, gain)) = best {
+                if gain > 0 {
+                    apply_move(graph, assignment, pw, v, to);
+                    moved += 1;
+                } else {
+                    // Zero-gain: accept only if it improves balance.
+                    let before = balance.max_overweight(pw);
+                    apply_move(graph, assignment, pw, v, to);
+                    let after = balance.max_overweight(pw);
+                    if after + 1e-12 < before {
+                        moved += 1;
+                    } else {
+                        apply_move(graph, assignment, pw, v, from);
+                    }
+                }
+            }
+        }
+        total_moves += moved;
+        if moved == 0 {
+            break;
+        }
+    }
+    total_moves
+}
+
+/// Restores balance by evicting vertices from overweight parts,
+/// preferring evictions that lose the least cut gain.
+///
+/// Used after projecting a partition to a finer level (projection cannot
+/// break balance, but initial partitions of odd coarse graphs can be
+/// overweight) and after greedy initial assignment.
+pub fn rebalance<R: Rng>(
+    graph: &Graph,
+    assignment: &mut [u32],
+    balance: &BalanceModel,
+    pw: &mut [Vec<u64>],
+    rng: &mut R,
+) {
+    let nparts = balance.nparts();
+    let n = graph.num_vertices();
+    // Bounded number of eviction rounds to guarantee termination.
+    for _ in 0..n.max(8) {
+        // Find the most overweight (part, constraint).
+        let mut worst: Option<(usize, f64)> = None;
+        #[allow(clippy::needless_range_loop)]
+        for p in 0..nparts {
+            for c in 0..graph.num_constraints() {
+                if balance.totals[c] == 0 {
+                    continue;
+                }
+                if pw[p][c] > balance.limits[p][c] {
+                    let over = pw[p][c] as f64 / balance.limits[p][c] as f64;
+                    if worst.map(|(_, w)| over > w).unwrap_or(true) {
+                        worst = Some((p, over));
+                    }
+                }
+            }
+        }
+        let Some((from, _)) = worst else { return };
+        // Choose the vertex in `from` whose best outgoing move loses the
+        // least gain and fits somewhere.
+        let mut candidates: Vec<u32> =
+            (0..n as u32).filter(|&v| assignment[v as usize] as usize == from).collect();
+        candidates.shuffle(rng);
+        let mut best: Option<(u32, usize, i64)> = None;
+        for &v in candidates.iter().take(256) {
+            let ed = external_degrees(graph, assignment, v, nparts);
+            let internal = ed[from];
+            let vw = graph.vertex_weight(v);
+            if vw.iter().all(|&w| w == 0) {
+                continue; // moving weightless vertices cannot help balance
+            }
+            for to in 0..nparts {
+                if to == from || !balance.fits(to, &pw[to], vw) {
+                    continue;
+                }
+                let gain = ed[to] - internal;
+                if best.map(|(_, _, bg)| gain > bg).unwrap_or(true) {
+                    best = Some((v, to, gain));
+                }
+            }
+        }
+        match best {
+            Some((v, to, _)) => apply_move(graph, assignment, pw, v, to),
+            None => return, // nothing can move; give up
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Two 4-cliques joined by a single light edge: the natural
+    /// bisection separates the cliques.
+    fn two_cliques() -> Graph {
+        let mut b = GraphBuilder::new(1);
+        for _ in 0..8 {
+            b.add_vertex(&[1]);
+        }
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                b.add_edge(i, j, 10);
+                b.add_edge(i + 4, j + 4, 10);
+            }
+        }
+        b.add_edge(0, 4, 1);
+        b.build()
+    }
+
+    #[test]
+    fn refinement_finds_clique_cut() {
+        let g = two_cliques();
+        let balance = BalanceModel::uniform(&g, 2, 0.1);
+        // Deliberately bad split: interleaved.
+        let mut assignment: Vec<u32> = (0..8).map(|i| (i % 2) as u32).collect();
+        let mut pw = g.part_weights(&assignment, 2);
+        let mut rng = SmallRng::seed_from_u64(42);
+        refine(&g, &mut assignment, &balance, &mut pw, 8, &mut rng);
+        assert_eq!(g.edge_cut(&assignment), 1, "assignment: {assignment:?}");
+        assert!(balance.is_balanced(&pw));
+    }
+
+    #[test]
+    fn rebalance_fixes_overweight_part() {
+        let g = two_cliques();
+        let balance = BalanceModel::uniform(&g, 2, 0.1);
+        let mut assignment = vec![0u32; 8];
+        let mut pw = g.part_weights(&assignment, 2);
+        assert!(!balance.is_balanced(&pw));
+        let mut rng = SmallRng::seed_from_u64(3);
+        rebalance(&g, &mut assignment, &balance, &mut pw, &mut rng);
+        assert!(balance.is_balanced(&pw), "weights: {pw:?}");
+        assert_eq!(pw, g.part_weights(&assignment, 2));
+    }
+
+    #[test]
+    fn refine_keeps_part_weights_consistent() {
+        let g = two_cliques();
+        let balance = BalanceModel::uniform(&g, 2, 0.5);
+        let mut assignment: Vec<u32> = (0..8).map(|i| (i / 4) as u32).collect();
+        let mut pw = g.part_weights(&assignment, 2);
+        let mut rng = SmallRng::seed_from_u64(5);
+        refine(&g, &mut assignment, &balance, &mut pw, 4, &mut rng);
+        assert_eq!(pw, g.part_weights(&assignment, 2));
+    }
+}

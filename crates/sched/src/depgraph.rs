@@ -1,0 +1,477 @@
+//! Dependence graphs over operations, for scheduling and estimation.
+
+use mcpart_analysis::{AccessInfo, AccessSite};
+use mcpart_ir::{BlockId, FuncId, Opcode, OpId, Program, VReg};
+use std::collections::HashMap;
+
+/// The kind of a dependence edge.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DepKind {
+    /// Register true dependence (def → use). Latency = producer latency;
+    /// an intercluster move is charged on top by the consumer.
+    Flow,
+    /// Register anti dependence (use → redefinition). Zero latency: a
+    /// read and a write of the same register may share a cycle (reads
+    /// happen at issue).
+    Anti,
+    /// Register output dependence (def → redefinition).
+    Output,
+    /// Memory true dependence (store/malloc → load on a possibly-equal
+    /// address).
+    MemFlow,
+    /// Memory anti dependence (load → store).
+    MemAnti,
+    /// Memory output dependence (store → store).
+    MemOutput,
+    /// Ordering around calls (side effects).
+    Side,
+}
+
+/// A dependence edge between node indices of a [`DepGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Dep {
+    /// Producer node index.
+    pub from: u32,
+    /// Consumer node index.
+    pub to: u32,
+    /// Minimum issue-cycle distance (`issue(to) >= issue(from) +
+    /// latency`).
+    pub latency: u32,
+    /// Edge kind.
+    pub kind: DepKind,
+}
+
+/// A dependence DAG over a block's or region's operations.
+///
+/// Nodes are indexed densely in program order, which is a topological
+/// order by construction (for regions, loop back-edges are dropped — the
+/// region graph is an acyclic schedule *estimate*, exactly as in RHOP).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DepGraph {
+    /// Node index → operation id.
+    pub ops: Vec<OpId>,
+    /// Operation id → node index.
+    pub index: HashMap<OpId, u32>,
+    /// All edges.
+    pub deps: Vec<Dep>,
+    /// Incoming edge indices per node.
+    pub preds: Vec<Vec<u32>>,
+    /// Outgoing edge indices per node.
+    pub succs: Vec<Vec<u32>>,
+    /// Containing function (for convenience).
+    pub func: FuncId,
+}
+
+impl DepGraph {
+    /// Builds the dependence graph of a single block.
+    ///
+    /// `op_latency` supplies per-operation latencies (it sees the op id,
+    /// so callers can special-case intercluster moves). `access`
+    /// disambiguates memory references: two memory operations conflict
+    /// when their points-to object sets intersect (or when either set is
+    /// empty, conservatively).
+    pub fn for_block(
+        program: &Program,
+        func: FuncId,
+        block: BlockId,
+        access: &AccessInfo,
+        op_latency: &dyn Fn(OpId) -> u32,
+    ) -> Self {
+        let blocks = [block];
+        Self::build(program, func, &blocks, access, op_latency)
+    }
+
+    /// Builds the flow-centric dependence graph of a multi-block region
+    /// (used by the RHOP schedule estimator). Cross-block register flow
+    /// is included when the definition precedes the use in region order.
+    pub fn for_region(
+        program: &Program,
+        func: FuncId,
+        blocks: &[BlockId],
+        access: &AccessInfo,
+        op_latency: &dyn Fn(OpId) -> u32,
+    ) -> Self {
+        Self::build(program, func, blocks, access, op_latency)
+    }
+
+    fn build(
+        program: &Program,
+        func: FuncId,
+        blocks: &[BlockId],
+        access: &AccessInfo,
+        op_latency: &dyn Fn(OpId) -> u32,
+    ) -> Self {
+        let f = &program.functions[func];
+        let mut ops: Vec<OpId> = Vec::new();
+        for &b in blocks {
+            for &op in &f.blocks[b].ops {
+                ops.push(op);
+            }
+        }
+        let index: HashMap<OpId, u32> =
+            ops.iter().enumerate().map(|(i, &op)| (op, i as u32)).collect();
+        let n = ops.len();
+        let mut deps: Vec<Dep> = Vec::new();
+        let mut seen: HashMap<(u32, u32), usize> = HashMap::new();
+        let mut add = |deps: &mut Vec<Dep>, from: u32, to: u32, latency: u32, kind: DepKind| {
+            if from == to {
+                return;
+            }
+            debug_assert!(from < to, "dependence must follow program order");
+            match seen.entry((from, to)) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let d = &mut deps[*e.get()];
+                    if latency > d.latency {
+                        d.latency = latency;
+                        d.kind = kind;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(deps.len());
+                    deps.push(Dep { from, to, latency, kind });
+                }
+            }
+        };
+
+        // Register dependences.
+        let mut last_def: HashMap<VReg, u32> = HashMap::new();
+        let mut last_uses: HashMap<VReg, Vec<u32>> = HashMap::new();
+        for (i, &op_id) in ops.iter().enumerate() {
+            let i = i as u32;
+            let op = &f.ops[op_id];
+            for &s in &op.srcs {
+                if let Some(&d) = last_def.get(&s) {
+                    add(&mut deps, d, i, op_latency(ops[d as usize]), DepKind::Flow);
+                }
+                last_uses.entry(s).or_default().push(i);
+            }
+            for &d in &op.dsts {
+                if let Some(&prev) = last_def.get(&d) {
+                    add(&mut deps, prev, i, 1, DepKind::Output);
+                }
+                if let Some(users) = last_uses.get(&d) {
+                    for &u in users {
+                        if u < i {
+                            add(&mut deps, u, i, 0, DepKind::Anti);
+                        }
+                    }
+                }
+                last_def.insert(d, i);
+                last_uses.remove(&d);
+            }
+        }
+
+        // Memory and side-effect ordering (within the whole region, in
+        // program order).
+        let objects_of = |op_id: OpId| -> Option<&mcpart_analysis::ObjectSet> {
+            access.site_objects.get(&AccessSite { func, op: op_id })
+        };
+        let may_alias = |a: OpId, b: OpId| -> bool {
+            // Constant offsets into the same object (or different
+            // objects entirely) can prove independence even when the
+            // object-granular sets intersect.
+            if access.addresses.provably_disjoint(program, func, a, b) {
+                return false;
+            }
+            match (objects_of(a), objects_of(b)) {
+                (Some(sa), Some(sb)) => {
+                    sa.is_empty() || sb.is_empty() || sa.iter().any(|o| sb.contains(o))
+                }
+                _ => true, // missing info: be conservative
+            }
+        };
+        let mut mem_ops: Vec<u32> = Vec::new();
+        let mut call_ops: Vec<u32> = Vec::new();
+
+        for (i, &op_id) in ops.iter().enumerate() {
+            let i = i as u32;
+            let op = &f.ops[op_id];
+            match op.opcode {
+                Opcode::Load(_) | Opcode::Store(_) | Opcode::Malloc(_) => {
+                    let i_writes = !op.opcode.is_load();
+                    for &j in &mem_ops {
+                        let jop = &f.ops[ops[j as usize]];
+                        let j_writes = !jop.opcode.is_load();
+                        if !(i_writes || j_writes) {
+                            continue;
+                        }
+                        if !may_alias(ops[j as usize], op_id) {
+                            continue;
+                        }
+                        let (kind, latency) = match (j_writes, i_writes) {
+                            (true, false) => (DepKind::MemFlow, op_latency(ops[j as usize])),
+                            (false, true) => (DepKind::MemAnti, 0),
+                            (true, true) => (DepKind::MemOutput, 1),
+                            (false, false) => unreachable!(),
+                        };
+                        add(&mut deps, j, i, latency, kind);
+                    }
+                    for &c in &call_ops {
+                        add(&mut deps, c, i, 1, DepKind::Side);
+                    }
+                    mem_ops.push(i);
+                }
+                Opcode::Call(_) => {
+                    for &j in mem_ops.iter().chain(call_ops.iter()) {
+                        add(&mut deps, j, i, 1, DepKind::Side);
+                    }
+                    call_ops.push(i);
+                }
+                _ => {}
+            }
+        }
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for (di, d) in deps.iter().enumerate() {
+            preds[d.to as usize].push(di as u32);
+            succs[d.from as usize].push(di as u32);
+        }
+        DepGraph { ops, index, deps, preds, succs, func }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Earliest issue cycles honoring dependences (resources ignored).
+    pub fn asap(&self) -> Vec<u32> {
+        let mut asap = vec![0u32; self.len()];
+        for i in 0..self.len() {
+            for &di in &self.preds[i] {
+                let d = self.deps[di as usize];
+                asap[i] = asap[i].max(asap[d.from as usize] + d.latency);
+            }
+        }
+        asap
+    }
+
+    /// Latest issue cycles for a given schedule horizon.
+    pub fn alap(&self, horizon: u32) -> Vec<u32> {
+        let mut alap = vec![horizon; self.len()];
+        for i in (0..self.len()).rev() {
+            for &di in &self.succs[i] {
+                let d = self.deps[di as usize];
+                alap[i] = alap[i].min(alap[d.to as usize].saturating_sub(d.latency));
+            }
+        }
+        alap
+    }
+
+    /// Dependence-only critical-path length in cycles (the horizon for
+    /// ALAP), counting each node's own latency at the sink.
+    pub fn critical_path(&self, op_latency: &dyn Fn(OpId) -> u32) -> u32 {
+        let asap = self.asap();
+        self.ops
+            .iter()
+            .enumerate()
+            .map(|(i, &op)| asap[i] + op_latency(op).max(1))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-node slack = ALAP − ASAP for the dependence-only horizon.
+    pub fn slack(&self) -> Vec<u32> {
+        let asap = self.asap();
+        let horizon = asap
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                let out: u32 =
+                    self.succs[i].iter().map(|&d| self.deps[d as usize].latency).max().unwrap_or(0);
+                a + out
+            })
+            .max()
+            .unwrap_or(0);
+        let alap = self.alap(horizon);
+        asap.iter().zip(&alap).map(|(&a, &l)| l.saturating_sub(a)).collect()
+    }
+
+    /// Slack of an edge: how many cycles the edge could stretch without
+    /// lengthening the dependence-only schedule.
+    pub fn edge_slacks(&self) -> Vec<u32> {
+        let asap = self.asap();
+        let horizon = self
+            .ops
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let out: u32 =
+                    self.succs[i].iter().map(|&d| self.deps[d as usize].latency).max().unwrap_or(0);
+                asap[i] + out
+            })
+            .max()
+            .unwrap_or(0);
+        let alap = self.alap(horizon);
+        self.deps
+            .iter()
+            .map(|d| {
+                alap[d.to as usize].saturating_sub(asap[d.from as usize] + d.latency)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpart_analysis::PointsTo;
+    use mcpart_ir::{DataObject, FunctionBuilder, MemWidth, Profile};
+
+    fn setup(build: impl FnOnce(&mut FunctionBuilder<'_>)) -> (Program, AccessInfo) {
+        let mut p = Program::new("t");
+        p.add_object(DataObject::global("a", 64));
+        p.add_object(DataObject::global("b", 64));
+        let mut b = FunctionBuilder::entry(&mut p);
+        build(&mut b);
+        let pts = PointsTo::compute(&p);
+        let access = AccessInfo::compute(&p, &pts, &Profile::uniform(&p, 1));
+        (p, access)
+    }
+
+    fn unit_latency(_: OpId) -> u32 {
+        1
+    }
+
+    #[test]
+    fn flow_dependence_chain() {
+        let (p, access) = setup(|b| {
+            let x = b.iconst(1);
+            let y = b.add(x, x);
+            let z = b.add(y, y);
+            b.ret(Some(z));
+        });
+        let entry = p.entry_function().entry;
+        let g = DepGraph::for_block(&p, p.entry, entry, &access, &unit_latency);
+        assert_eq!(g.len(), 4);
+        let asap = g.asap();
+        assert_eq!(asap, vec![0, 1, 2, 3]);
+        assert!(g.deps.iter().any(|d| d.kind == DepKind::Flow));
+    }
+
+    #[test]
+    fn independent_loads_have_no_mem_edge() {
+        let (p, access) = setup(|b| {
+            let a = b.addrof(mcpart_ir::ObjectId(0));
+            let c = b.addrof(mcpart_ir::ObjectId(1));
+            let _v = b.load(MemWidth::B4, a);
+            let _w = b.load(MemWidth::B4, c);
+            b.ret(None);
+        });
+        let entry = p.entry_function().entry;
+        let g = DepGraph::for_block(&p, p.entry, entry, &access, &unit_latency);
+        assert!(!g.deps.iter().any(|d| matches!(
+            d.kind,
+            DepKind::MemFlow | DepKind::MemAnti | DepKind::MemOutput
+        )));
+    }
+
+    #[test]
+    fn store_load_same_object_ordered() {
+        let (p, access) = setup(|b| {
+            let a = b.addrof(mcpart_ir::ObjectId(0));
+            let v = b.iconst(7);
+            b.store(MemWidth::B4, a, v);
+            let _w = b.load(MemWidth::B4, a);
+            b.ret(None);
+        });
+        let entry = p.entry_function().entry;
+        let g = DepGraph::for_block(&p, p.entry, entry, &access, &unit_latency);
+        assert!(g.deps.iter().any(|d| d.kind == DepKind::MemFlow));
+    }
+
+    #[test]
+    fn store_to_different_objects_unordered() {
+        let (p, access) = setup(|b| {
+            let a = b.addrof(mcpart_ir::ObjectId(0));
+            let c = b.addrof(mcpart_ir::ObjectId(1));
+            let v = b.iconst(7);
+            b.store(MemWidth::B4, a, v);
+            b.store(MemWidth::B4, c, v);
+            b.ret(None);
+        });
+        let entry = p.entry_function().entry;
+        let g = DepGraph::for_block(&p, p.entry, entry, &access, &unit_latency);
+        assert!(!g.deps.iter().any(|d| d.kind == DepKind::MemOutput));
+    }
+
+    #[test]
+    fn anti_dependence_on_redefinition() {
+        let (p, access) = setup(|b| {
+            let x = b.iconst(1);
+            let _y = b.add(x, x); // uses x
+            let z = b.iconst(5);
+            b.mov_to(x, z); // redefines x -> anti edge from the add
+            b.ret(None);
+        });
+        let entry = p.entry_function().entry;
+        let g = DepGraph::for_block(&p, p.entry, entry, &access, &unit_latency);
+        assert!(g.deps.iter().any(|d| d.kind == DepKind::Anti));
+        assert!(g.deps.iter().any(|d| d.kind == DepKind::Output));
+    }
+
+    #[test]
+    fn region_graph_spans_blocks() {
+        let mut p = Program::new("t");
+        p.add_object(DataObject::global("a", 8));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let x = b.iconst(5);
+        let b2 = b.block("b2");
+        b.jump(b2);
+        b.switch_to(b2);
+        let y = b.add(x, x); // cross-block flow from entry
+        b.ret(Some(y));
+        let pts = PointsTo::compute(&p);
+        let access = AccessInfo::compute(&p, &pts, &Profile::uniform(&p, 1));
+        let entry = p.entry_function().entry;
+        let g = DepGraph::for_region(&p, p.entry, &[entry, b2], &access, &unit_latency);
+        let xi = g.index[&p.entry_function().blocks[entry].ops[0]];
+        assert!(g
+            .deps
+            .iter()
+            .any(|d| d.from == xi && d.kind == DepKind::Flow));
+    }
+
+    #[test]
+    fn slack_zero_on_critical_path() {
+        let (p, access) = setup(|b| {
+            let x = b.iconst(1);
+            let y = b.add(x, x);
+            let _z = b.iconst(9); // fully slack op
+            b.ret(Some(y));
+        });
+        let entry = p.entry_function().entry;
+        let g = DepGraph::for_block(&p, p.entry, entry, &access, &unit_latency);
+        let slack = g.slack();
+        // iconst on the chain has zero slack; the free iconst has plenty.
+        assert_eq!(slack[0], 0);
+        assert!(slack[2] > 0);
+    }
+
+    #[test]
+    fn calls_serialize_memory() {
+        let mut p = Program::new("t");
+        let g_obj = p.add_object(DataObject::global("g", 8));
+        let callee = {
+            let mut cb = FunctionBuilder::new_function(&mut p, "c");
+            cb.ret(None);
+            cb.func_id()
+        };
+        let mut b = FunctionBuilder::entry(&mut p);
+        let a = b.addrof(g_obj);
+        let v = b.load(MemWidth::B4, a);
+        b.call(callee, vec![], 0);
+        let _w = b.load(MemWidth::B4, a);
+        b.ret(Some(v));
+        let pts = PointsTo::compute(&p);
+        let access = AccessInfo::compute(&p, &pts, &Profile::uniform(&p, 1));
+        let entry = p.entry_function().entry;
+        let dg = DepGraph::for_block(&p, p.entry, entry, &access, &unit_latency);
+        assert!(dg.deps.iter().filter(|d| d.kind == DepKind::Side).count() >= 2);
+    }
+}

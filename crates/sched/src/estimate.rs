@@ -1,0 +1,473 @@
+//! The RHOP schedule-length estimator.
+//!
+//! RHOP's key idea (Chu, Fan & Mahlke, PLDI'03) is to judge candidate
+//! cluster assignments *without scheduling*: a cheap estimate combines a
+//! resource bound (operations per function-unit kind per cluster), an
+//! intercluster-bandwidth bound, and a dependence critical path in which
+//! every *cut* register edge is stretched by the move latency.
+//!
+//! The CGO'06 extension is the `locked` table: memory operations whose
+//! data object has a home cluster are infeasible anywhere else, so the
+//! estimator returns [`INFEASIBLE`] for any assignment displacing them.
+
+use crate::depgraph::{DepGraph, DepKind};
+use mcpart_analysis::AccessInfo;
+use mcpart_ir::{BlockId, ClusterId, FuKind, FuncId, OpId, Program};
+use mcpart_machine::Machine;
+
+/// Estimate value representing an infeasible assignment (a locked
+/// operation displaced from its home cluster).
+pub const INFEASIBLE: u32 = u32::MAX;
+
+/// Schedule-length estimator for one region under candidate cluster
+/// assignments.
+#[derive(Clone, Debug)]
+pub struct RegionEstimator {
+    /// The region dependence graph (node order = program order).
+    pub dg: DepGraph,
+    /// Function-unit kind per node.
+    fu_kind: Vec<FuKind>,
+    /// Base operation latency per node.
+    base_lat: Vec<u32>,
+    /// Cluster locks per node ([`None`] = free).
+    locked: Vec<Option<ClusterId>>,
+    /// Home clusters of live-in operands per node: consuming one from a
+    /// different cluster delays the node by the move latency.
+    live_in_homes: Vec<Vec<u16>>,
+    /// Coherent-cache model: per memory node, its object's home cluster
+    /// and the penalty for executing elsewhere.
+    mem_home_penalty: Vec<Option<(u16, u32)>>,
+    /// Per-cluster, per-kind unit counts.
+    fu_counts: Vec<[u32; 4]>,
+    move_latency: u32,
+    moves_per_cycle: u32,
+}
+
+impl RegionEstimator {
+    /// Builds an estimator for the given region blocks.
+    pub fn new(
+        program: &Program,
+        func: FuncId,
+        blocks: &[BlockId],
+        access: &AccessInfo,
+        machine: &Machine,
+    ) -> Self {
+        let lat = |op: OpId| machine.latency.of(program.functions[func].ops[op].opcode);
+        let dg = DepGraph::for_region(program, func, blocks, access, &lat);
+        let f = &program.functions[func];
+        let fu_kind: Vec<FuKind> = dg.ops.iter().map(|&o| f.ops[o].opcode.fu_kind()).collect();
+        let base_lat: Vec<u32> = dg.ops.iter().map(|&o| lat(o)).collect();
+        let locked = vec![None; dg.len()];
+        let live_in_homes = vec![Vec::new(); dg.len()];
+        let mem_home_penalty = vec![None; dg.len()];
+        let fu_counts: Vec<[u32; 4]> = machine
+            .cluster_ids()
+            .map(|c| {
+                let mut counts = [0u32; 4];
+                for kind in FuKind::ALL {
+                    counts[kind.index()] = machine.fu_count(c, kind) as u32;
+                }
+                counts
+            })
+            .collect();
+        RegionEstimator {
+            dg,
+            fu_kind,
+            base_lat,
+            locked,
+            live_in_homes,
+            mem_home_penalty,
+            fu_counts,
+            move_latency: machine.move_latency(),
+            moves_per_cycle: machine.interconnect.moves_per_cycle.max(1),
+        }
+    }
+
+    /// Number of nodes (operations) in the region.
+    pub fn len(&self) -> usize {
+        self.dg.len()
+    }
+
+    /// Returns `true` for an empty region.
+    pub fn is_empty(&self) -> bool {
+        self.dg.is_empty()
+    }
+
+    /// Locks a node to a cluster (used for memory operations whose
+    /// object has a home, and for calls pinned to cluster 0).
+    pub fn lock(&mut self, node: usize, cluster: ClusterId) {
+        self.locked[node] = Some(cluster);
+    }
+
+    /// The lock of a node, if any.
+    pub fn lock_of(&self, node: usize) -> Option<ClusterId> {
+        self.locked[node]
+    }
+
+    /// Declares that `node` consumes a region live-in value homed on
+    /// `cluster`; if the node is assigned elsewhere, the estimator
+    /// delays it by the intercluster move latency. Used by the second
+    /// RHOP sweep to coordinate placement across blocks.
+    pub fn add_live_in_home(&mut self, node: usize, cluster: ClusterId) {
+        self.live_in_homes[node].push(cluster.index() as u16);
+    }
+
+    /// Clears all live-in annotations.
+    pub fn clear_live_in_homes(&mut self) {
+        for v in &mut self.live_in_homes {
+            v.clear();
+        }
+    }
+
+    /// Declares that memory node `node` accesses an object homed on
+    /// `cluster` under a coherent-cache model with the given remote
+    /// penalty: executing the node elsewhere stretches its latency.
+    pub fn set_mem_home(&mut self, node: usize, cluster: ClusterId, penalty: u32) {
+        self.mem_home_penalty[node] = Some((cluster.index() as u16, penalty));
+    }
+
+    /// Estimates the schedule length of the region under `assign`
+    /// (cluster index per node) by running a lightweight greedy list
+    /// schedule: function units per cluster and the intercluster
+    /// network bandwidth are honored, and every *cut* register edge
+    /// inserts a virtual transfer (deduplicated per producer and
+    /// destination cluster) that occupies a network slot and delays its
+    /// consumers by the move latency.
+    ///
+    /// This plays the role of RHOP's wand-histogram estimator: cheap
+    /// enough to call per candidate move, and faithful enough that
+    /// refinement decisions agree with the real scheduler.
+    ///
+    /// Returns [`INFEASIBLE`] when a locked node is displaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assign.len()` differs from the node count.
+    pub fn estimate(&self, assign: &[u16]) -> u32 {
+        assert_eq!(assign.len(), self.len());
+        for (i, lock) in self.locked.iter().enumerate() {
+            if let Some(c) = lock {
+                if assign[i] as usize != c.index() {
+                    return INFEASIBLE;
+                }
+            }
+        }
+        let n = self.len();
+        if n == 0 {
+            return 0;
+        }
+        let nclusters = self.fu_counts.len();
+
+        // Height priority over the dependence graph (precomputable per
+        // assignment only because cut edges change latencies; base
+        // heights are a good enough priority).
+        let mut height = vec![0u64; n];
+        for i in (0..n).rev() {
+            height[i] = self.base_lat[i].max(1) as u64;
+            for &di in &self.dg.succs[i] {
+                let d = self.dg.deps[di as usize];
+                height[i] = height[i].max(d.latency as u64 + height[d.to as usize]);
+            }
+        }
+
+        let mut unissued_preds: Vec<u32> = (0..n).map(|i| self.dg.preds[i].len() as u32).collect();
+        let mut ready_cycle = vec![0u32; n];
+        for (i, homes) in self.live_in_homes.iter().enumerate() {
+            if homes.iter().any(|&h| h != assign[i]) {
+                ready_cycle[i] = self.move_latency;
+            }
+        }
+        let mut issued = vec![false; n];
+        // Wakeup buckets: nodes to (re)consider at a given cycle.
+        let horizon = (n as u32 + 4) * (self.move_latency.max(8) + 4);
+        let mut wakeup: Vec<Vec<u32>> = vec![Vec::new(); horizon as usize + 2];
+        for i in 0..n {
+            if unissued_preds[i] == 0 {
+                wakeup[ready_cycle[i].min(horizon) as usize].push(i as u32);
+            }
+        }
+        // Pending transfers: (available_from, producer, dest cluster).
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut transfers: BinaryHeap<Reverse<(u32, u32, u16)>> = BinaryHeap::new();
+        let mut transfer_requested: std::collections::HashSet<(u32, u16)> =
+            std::collections::HashSet::new();
+
+        let mut fu_free = vec![[0u32; 4]; nclusters];
+        let mut issued_count = 0usize;
+        let mut max_completion = 0u32;
+        let mut cycle = 0u32;
+        while issued_count < n && cycle <= horizon {
+            for (c, counts) in fu_free.iter_mut().enumerate() {
+                counts.copy_from_slice(&self.fu_counts[c]);
+            }
+            let mut net_free = self.moves_per_cycle;
+            // Issue pending transfers first (they unblock consumers).
+            while net_free > 0 {
+                match transfers.peek() {
+                    Some(Reverse((avail, _, _))) if *avail <= cycle => {
+                        let Reverse((_, u, destc)) = transfers.pop().expect("peeked");
+                        net_free -= 1;
+                        let done = cycle + self.move_latency;
+                        for &di in &self.dg.succs[u as usize] {
+                            let d = self.dg.deps[di as usize];
+                            if d.kind == DepKind::Flow
+                                && assign[d.to as usize] == destc
+                                && assign[d.from as usize] != destc
+                            {
+                                let t = d.to as usize;
+                                unissued_preds[t] -= 1;
+                                ready_cycle[t] = ready_cycle[t].max(done);
+                                if unissued_preds[t] == 0 {
+                                    let at = ready_cycle[t].max(cycle + 1).min(horizon);
+                                    wakeup[at as usize].push(d.to);
+                                }
+                            }
+                        }
+                        max_completion = max_completion.max(done);
+                    }
+                    _ => break,
+                }
+            }
+            // Issue ready operations, highest priority first.
+            let mut candidates = std::mem::take(&mut wakeup[cycle as usize]);
+            candidates.sort_by_key(|&i| Reverse(height[i as usize]));
+            for i in candidates {
+                let iu = i as usize;
+                if issued[iu] || unissued_preds[iu] != 0 || ready_cycle[iu] > cycle {
+                    if !issued[iu] && unissued_preds[iu] == 0 && ready_cycle[iu] > cycle {
+                        wakeup[ready_cycle[iu].min(horizon) as usize].push(i);
+                    }
+                    continue;
+                }
+                let c = assign[iu] as usize;
+                let k = self.fu_kind[iu].index();
+                if fu_free[c][k] == 0 {
+                    // Retry next cycle.
+                    wakeup[(cycle + 1).min(horizon) as usize].push(i);
+                    continue;
+                }
+                fu_free[c][k] -= 1;
+                issued[iu] = true;
+                issued_count += 1;
+                let coherence = match self.mem_home_penalty[iu] {
+                    Some((home, penalty)) if home != assign[iu] => penalty,
+                    _ => 0,
+                };
+                let finish = cycle + (self.base_lat[iu] + coherence).max(1);
+                max_completion = max_completion.max(finish);
+                // Wake successors / request transfers.
+                for &di in &self.dg.succs[iu] {
+                    let d = self.dg.deps[di as usize];
+                    let t = d.to as usize;
+                    let cut_flow =
+                        d.kind == DepKind::Flow && assign[t] != assign[iu];
+                    if cut_flow {
+                        let key = (i, assign[t]);
+                        if transfer_requested.insert(key) {
+                            transfers.push(Reverse((finish, i, assign[t])));
+                        }
+                        // The consumer is unblocked when the transfer
+                        // lands (handled above).
+                    } else {
+                        unissued_preds[t] -= 1;
+                        // Value-carrying edges stretch with the
+                        // producer's coherence penalty (its result lands
+                        // later); pure ordering edges do not.
+                        let extra = match d.kind {
+                            DepKind::Flow | DepKind::MemFlow => coherence,
+                            _ => 0,
+                        };
+                        ready_cycle[t] = ready_cycle[t].max(cycle + d.latency + extra);
+                        if unissued_preds[t] == 0 {
+                            // Wake no earlier than the next cycle: this
+                            // cycle's bucket has already been drained.
+                            let at = ready_cycle[t].max(cycle + 1).min(horizon);
+                            wakeup[at as usize].push(d.to);
+                        }
+                    }
+                }
+            }
+            cycle += 1;
+        }
+        if issued_count < n {
+            // Horizon exhausted (pathological contention): fall back to
+            // the serial upper bound rather than underestimating.
+            debug_assert!(false, "estimator failed to issue all nodes");
+            return self.base_lat.iter().map(|&l| l.max(1)).sum::<u32>().max(max_completion);
+        }
+        max_completion.max(1)
+    }
+
+    /// Convenience: estimate with every node on cluster 0.
+    pub fn estimate_single_cluster(&self) -> u32 {
+        self.estimate(&vec![0u16; self.len()])
+    }
+
+    /// The peak per-(cluster, unit-kind) occupancy of an assignment:
+    /// `max ceil(ops / units)`. Used by RHOP refinement as a tie-breaker
+    /// — an equal-length estimate that lowers the resource peak leaves
+    /// more slack for the real scheduler.
+    pub fn resource_peak(&self, assign: &[u16]) -> u32 {
+        let nclusters = self.fu_counts.len();
+        let mut counts = vec![[0u32; 4]; nclusters];
+        for (i, &kind) in self.fu_kind.iter().enumerate() {
+            counts[assign[i] as usize][kind.index()] += 1;
+        }
+        let mut peak = 0u32;
+        for (c, kinds) in counts.iter().enumerate() {
+            for (k, &count) in kinds.iter().enumerate() {
+                if count > 0 {
+                    peak = peak.max(count.div_ceil(self.fu_counts[c][k].max(1)));
+                }
+            }
+        }
+        peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpart_analysis::PointsTo;
+    use mcpart_ir::{FunctionBuilder, Profile};
+
+    fn setup(build: impl FnOnce(&mut FunctionBuilder<'_>)) -> (Program, AccessInfo) {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        build(&mut b);
+        let pts = PointsTo::compute(&p);
+        let access = AccessInfo::compute(&p, &pts, &Profile::uniform(&p, 1));
+        (p, access)
+    }
+
+    #[test]
+    fn resource_bound_dominates_wide_blocks() {
+        // 12 independent consts: 2 int units on one cluster -> >= 6;
+        // split across two clusters -> >= 3.
+        let (p, access) = setup(|b| {
+            for i in 0..12 {
+                b.iconst(i);
+            }
+            b.ret(None);
+        });
+        let m = Machine::paper_2cluster(5);
+        let est = RegionEstimator::new(&p, p.entry, &[p.entry_function().entry], &access, &m);
+        let all0 = est.estimate_single_cluster();
+        let mut split = vec![0u16; est.len()];
+        for (i, s) in split.iter_mut().enumerate() {
+            if i % 2 == 1 {
+                *s = 1;
+            }
+        }
+        let balanced = est.estimate(&split);
+        assert!(all0 >= 6, "all0 = {all0}");
+        assert!(balanced < all0, "balanced {balanced} vs {all0}");
+    }
+
+    #[test]
+    fn cut_critical_edge_costs_move_latency() {
+        let (p, access) = setup(|b| {
+            let x = b.iconst(1);
+            let y = b.add(x, x);
+            let z = b.add(y, y);
+            b.ret(Some(z));
+        });
+        let m = Machine::paper_2cluster(5);
+        let est = RegionEstimator::new(&p, p.entry, &[p.entry_function().entry], &access, &m);
+        let same = est.estimate(&vec![0; est.len()]);
+        // Cut between the two adds.
+        let mut assign = vec![0u16; est.len()];
+        assign[2] = 1; // second add on the other cluster
+        assign[3] = 1; // ret follows it
+        let cut = est.estimate(&assign);
+        assert!(cut >= same + 5, "cut {cut} vs same {same}");
+    }
+
+    #[test]
+    fn locked_node_infeasible_elsewhere() {
+        let (p, access) = setup(|b| {
+            let v = b.iconst(1);
+            b.ret(Some(v));
+        });
+        let m = Machine::paper_2cluster(5);
+        let mut est = RegionEstimator::new(&p, p.entry, &[p.entry_function().entry], &access, &m);
+        est.lock(0, ClusterId::new(1));
+        assert_eq!(est.estimate(&[0, 0]), INFEASIBLE);
+        assert_ne!(est.estimate(&[1, 0]), INFEASIBLE);
+        assert_eq!(est.lock_of(0), Some(ClusterId::new(1)));
+    }
+
+    #[test]
+    fn live_in_home_delays_remote_consumers() {
+        // Region = the second block only, so `x` is a live-in value.
+        let mut p = Program::new("t");
+        let mut b = mcpart_ir::FunctionBuilder::entry(&mut p);
+        let x = b.iconst(1);
+        let b2 = b.block("b2");
+        b.jump(b2);
+        b.switch_to(b2);
+        let y = b.add(x, x);
+        b.ret(Some(y));
+        let pts = mcpart_analysis::PointsTo::compute(&p);
+        let access = AccessInfo::compute(&p, &pts, &Profile::uniform(&p, 1));
+        let m = Machine::paper_2cluster(5);
+        let mut est = RegionEstimator::new(&p, p.entry, &[b2], &access, &m);
+        assert_eq!(est.len(), 2); // add + ret
+        let local = est.estimate(&[0, 0]);
+        // x lives on cluster 1: consuming it on cluster 0 is delayed by
+        // the move latency.
+        est.add_live_in_home(0, ClusterId::new(1));
+        let remote = est.estimate(&[0, 0]);
+        assert!(remote >= local + 5, "remote {remote} vs local {local}");
+        // Consuming it on its home cluster avoids the delay entirely.
+        let at_home = est.estimate(&[1, 1]);
+        assert_eq!(at_home, local, "at_home {at_home} vs local {local}");
+        est.clear_live_in_homes();
+        assert_eq!(est.estimate(&[0, 0]), local);
+    }
+
+    #[test]
+    fn coherent_mem_home_penalty_applies_off_cluster() {
+        let mut p = Program::new("t");
+        let obj = p.add_object(mcpart_ir::DataObject::global("g", 16));
+        let mut b = mcpart_ir::FunctionBuilder::entry(&mut p);
+        let a = b.addrof(obj);
+        let v = b.load(mcpart_ir::MemWidth::B4, a);
+        b.ret(Some(v));
+        let pts = mcpart_analysis::PointsTo::compute(&p);
+        let access = AccessInfo::compute(&p, &pts, &Profile::uniform(&p, 1));
+        let m = Machine::paper_2cluster(5).with_coherent_cache(9);
+        let mut est = RegionEstimator::new(&p, p.entry, &[p.entry_function().entry], &access, &m);
+        let local = est.estimate(&[0, 0, 0]);
+        est.set_mem_home(1, ClusterId::new(1), 9);
+        let remote = est.estimate(&[0, 0, 0]);
+        assert!(remote >= local + 9, "remote {remote} vs local {local}");
+        // On the home cluster the penalty vanishes (modulo operand
+        // transfer for the address).
+        let at_home = est.estimate(&[0, 1, 1]);
+        assert!(at_home < remote, "at_home {at_home} vs remote {remote}");
+    }
+
+    #[test]
+    fn bandwidth_bound_counts_unique_transfers() {
+        // One producer feeding many consumers on the other cluster is a
+        // single transfer; many producers are many transfers.
+        let (p, access) = setup(|b| {
+            let x = b.iconst(1);
+            for _ in 0..6 {
+                b.add(x, x);
+            }
+            b.ret(None);
+        });
+        let m = Machine::paper_2cluster(1);
+        let est = RegionEstimator::new(&p, p.entry, &[p.entry_function().entry], &access, &m);
+        // x on 0, all adds on 1: one unique (producer, cluster) pair.
+        let mut assign = vec![1u16; est.len()];
+        assign[0] = 0;
+        let e = est.estimate(&assign);
+        assert!(e < INFEASIBLE);
+        // The estimate should not balloon with consumer count.
+        assert!(e <= 10, "e = {e}");
+    }
+}

@@ -1,0 +1,594 @@
+//! Placement normalization and intercluster move insertion.
+
+use crate::placement::Placement;
+use mcpart_analysis::{AccessInfo, AccessSite};
+use mcpart_ir::{
+    ClusterId, EntityMap, FuncId, Function, Op, Opcode, OpId, Program, VReg,
+};
+use mcpart_machine::Machine;
+use std::collections::HashMap;
+
+/// Computes the home cluster of every virtual register of `func`: the
+/// cluster of its defining operations (parameters and undefined
+/// registers live on cluster 0 by calling convention).
+///
+/// Registers with several definitions take the cluster of their first
+/// definition; [`normalize_placement`] makes multi-definition groups
+/// consistent beforehand.
+pub fn vreg_homes(
+    program: &Program,
+    func: FuncId,
+    placement: &Placement,
+) -> EntityMap<VReg, ClusterId> {
+    let f = &program.functions[func];
+    let mut homes: EntityMap<VReg, ClusterId> =
+        EntityMap::with_default(f.num_vregs, ClusterId::new(0));
+    let mut fixed = vec![false; f.num_vregs];
+    for (oid, op) in f.ops.iter() {
+        for &d in &op.dsts {
+            if !std::mem::replace(&mut fixed[d.0 as usize], true) {
+                homes[d] = placement.cluster_of(func, oid);
+            }
+        }
+    }
+    homes
+}
+
+/// Makes a raw partitioning executable on `machine`:
+///
+/// 1. `call` operations are pinned to cluster 0 (the calling
+///    convention places arguments, parameters and return values there);
+/// 2. under partitioned memory, every memory operation is relocated to
+///    the home cluster of the object(s) it accesses — this implements
+///    both the paper's *locking* of memory operations in the second
+///    RHOP pass and the Naïve baseline's post-hoc remote accesses;
+/// 3. all definitions of the same register are forced onto one cluster
+///    (a pinned member's cluster if any, otherwise the cluster holding
+///    the definition group's highest dynamic execution frequency), so a
+///    value has a unique home register file without dragging hot loop
+///    definitions to a cold block's cluster.
+///
+/// Memory operations whose object sets span several home clusters take
+/// the home of their first object (the GDP/Profile-Max coarsening makes
+/// this case impossible; it can only arise with hand-built placements).
+pub fn normalize_placement(
+    program: &Program,
+    placement: &Placement,
+    access: &AccessInfo,
+    machine: &Machine,
+    profile: &mcpart_ir::Profile,
+) -> Placement {
+    let mut placement = placement.clone();
+    for (fid, f) in program.functions.iter() {
+        // Pass 1: pin calls and memory operations.
+        let mut pinned: HashMap<OpId, ClusterId> = HashMap::new();
+        for (oid, op) in f.ops.iter() {
+            match op.opcode {
+                Opcode::Call(_) => {
+                    pinned.insert(oid, ClusterId::new(0));
+                }
+                _ if op.opcode.is_memory() && machine.memory.is_partitioned() => {
+                    let site = AccessSite { func: fid, op: oid };
+                    if let Some(objs) = access.site_objects.get(&site) {
+                        if let Some(home) =
+                            objs.iter().find_map(|&o| placement.object_home[o])
+                        {
+                            pinned.insert(oid, home);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (&oid, &c) in &pinned {
+            placement.set_cluster(fid, oid, c);
+        }
+        // Pass 2: definition groups. Union ops sharing a destination
+        // register, then give each group one cluster: a pinned member's
+        // cluster if any, else the first member's.
+        let mut group_of_vreg: HashMap<VReg, usize> = HashMap::new();
+        let mut groups: Vec<Vec<OpId>> = Vec::new();
+        let mut group_of_op: HashMap<OpId, usize> = HashMap::new();
+        for (oid, op) in f.ops.iter() {
+            if op.dsts.is_empty() {
+                continue;
+            }
+            // Collect existing groups this op touches.
+            let mut target: Option<usize> = group_of_op.get(&oid).copied();
+            for &d in &op.dsts {
+                if let Some(&g) = group_of_vreg.get(&d) {
+                    target = Some(match target {
+                        Some(t) if t != g => {
+                            // merge g into t
+                            let moved = std::mem::take(&mut groups[g]);
+                            for &m in &moved {
+                                group_of_op.insert(m, t);
+                            }
+                            groups[t].extend(moved);
+                            for (_, gv) in group_of_vreg.iter_mut() {
+                                if *gv == g {
+                                    *gv = t;
+                                }
+                            }
+                            t
+                        }
+                        Some(t) => t,
+                        None => g,
+                    });
+                }
+            }
+            let t = match target {
+                Some(t) => t,
+                None => {
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                }
+            };
+            groups[t].push(oid);
+            group_of_op.insert(oid, t);
+            for &d in &op.dsts {
+                group_of_vreg.insert(d, t);
+            }
+        }
+        for group in groups.iter().filter(|g| g.len() > 1) {
+            let cluster = group.iter().find_map(|o| pinned.get(o).copied()).unwrap_or_else(|| {
+                // Majority by dynamic frequency: a loop-carried value
+                // follows its hot definitions, not a cold initializer.
+                let mut freq_per_cluster: HashMap<ClusterId, u64> = HashMap::new();
+                for &o in group {
+                    let c = placement.cluster_of(fid, o);
+                    *freq_per_cluster.entry(c).or_insert(0) +=
+                        profile.op_freq(program, fid, o).max(1);
+                }
+                let mut best: Vec<(ClusterId, u64)> = freq_per_cluster.into_iter().collect();
+                best.sort_by_key(|&(c, f)| (std::cmp::Reverse(f), c));
+                best[0].0
+            });
+            for &o in group {
+                if !pinned.contains_key(&o) {
+                    placement.set_cluster(fid, o, cluster);
+                }
+            }
+        }
+    }
+    placement
+}
+
+/// Statistics from move insertion.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MoveStats {
+    /// Number of intercluster move operations inserted (static count).
+    pub moves_inserted: usize,
+    /// Of those, how many were hoisted to the producer side (one move
+    /// per definition instead of one per consuming block).
+    pub moves_hoisted: usize,
+}
+
+/// Where intercluster transfer moves are placed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MoveStrategy {
+    /// One move per (value, cluster) per *consuming block*: the value is
+    /// re-transferred every time a block that reads it remotely
+    /// executes. Simple and always safe; matches the classic consumer-
+    /// side insertion.
+    #[default]
+    PerUseBlock,
+    /// Profile-guided: when the producer's blocks execute less often
+    /// than the sum of the remote consumer blocks, a single transfer is
+    /// placed right after each definition instead (the copy mirrors the
+    /// value's definitions, so it is valid wherever the value is).
+    ProfileHoisted,
+}
+
+/// Inserts explicit intercluster `move` operations so that every
+/// operation reads all of its operands from its own cluster's register
+/// file.
+///
+/// Returns the rewritten program, the extended placement (inserted
+/// moves are assigned to the *consumer's* cluster; they are recognized
+/// as intercluster because their source register's home differs), and
+/// insertion statistics. Within a block, a value moved to a cluster is
+/// reused by later consumers on that cluster.
+///
+/// The input placement must be normalized (see [`normalize_placement`]):
+/// all definitions of a register must share one cluster.
+pub fn insert_moves(
+    program: &Program,
+    placement: &Placement,
+    machine: &Machine,
+) -> (Program, Placement, MoveStats) {
+    insert_moves_with(program, placement, machine, None, MoveStrategy::PerUseBlock)
+}
+
+/// [`insert_moves`] with an explicit [`MoveStrategy`].
+/// [`MoveStrategy::ProfileHoisted`] requires a profile to weigh
+/// producer-side against consumer-side placement.
+///
+/// # Panics
+///
+/// Panics if `strategy` is [`MoveStrategy::ProfileHoisted`] and
+/// `profile` is `None`.
+pub fn insert_moves_with(
+    program: &Program,
+    placement: &Placement,
+    machine: &Machine,
+    profile: Option<&mcpart_ir::Profile>,
+    strategy: MoveStrategy,
+) -> (Program, Placement, MoveStats) {
+    let mut new_program = program.clone();
+    let mut new_placement = placement.clone();
+    let mut stats = MoveStats::default();
+    if machine.num_clusters() <= 1 {
+        return (new_program, new_placement, stats);
+    }
+    if strategy == MoveStrategy::ProfileHoisted {
+        assert!(profile.is_some(), "ProfileHoisted needs a profile");
+    }
+    for (fid, f) in program.functions.iter() {
+        let homes = vreg_homes(program, fid, placement);
+        // Profile-guided hoisting decisions: for each (value, cluster)
+        // consumed remotely, compare the dynamic frequency of the
+        // consuming blocks against the defining blocks.
+        let mut hoist: HashMap<(VReg, ClusterId), ()> = HashMap::new();
+        if strategy == MoveStrategy::ProfileHoisted {
+            let profile = profile.expect("checked above");
+            let du = mcpart_ir::DefUse::compute(f);
+            let mut consumer_freq: HashMap<(VReg, ClusterId), u64> = HashMap::new();
+            let mut consumer_blocks: HashMap<(VReg, ClusterId), std::collections::HashSet<mcpart_ir::BlockId>> =
+                HashMap::new();
+            for (oid, op) in f.ops.iter() {
+                let need = placement.cluster_of(fid, oid);
+                for &s in &op.srcs {
+                    if homes[s] != need {
+                        let key = (s, need);
+                        if consumer_blocks.entry(key).or_default().insert(op.block) {
+                            *consumer_freq.entry(key).or_insert(0) +=
+                                profile.block_freq(fid, op.block);
+                        }
+                    }
+                }
+            }
+            for (&(v, c), &cfreq) in &consumer_freq {
+                // Parameters and live-ins have no defs; leave them to
+                // consumer-side insertion.
+                if du.defs[v].is_empty() {
+                    continue;
+                }
+                let def_freq: u64 =
+                    du.defs[v].iter().map(|&d| profile.block_freq(fid, f.ops[d].block)).sum();
+                if def_freq < cfreq {
+                    hoist.insert((v, c), ());
+                }
+            }
+        }
+        let mut nf = Function::new(&f.name);
+        nf.name = f.name.clone();
+        nf.num_vregs = f.num_vregs;
+        nf.params = f.params.clone();
+        nf.regions = f.regions.clone();
+        // Recreate the same block set (ids preserved).
+        while nf.blocks.len() < f.blocks.len() {
+            nf.add_block("");
+        }
+        for (bid, block) in f.blocks.iter() {
+            nf.blocks[bid].label = block.label.clone();
+        }
+        // Registers carrying hoisted copies, shared across all blocks.
+        let mut hoisted_reg: HashMap<(VReg, ClusterId), VReg> = HashMap::new();
+        for &(v, c) in hoist.keys() {
+            hoisted_reg.insert((v, c), VReg(0)); // placeholder, allocated below
+        }
+        let mut hoist_keys: Vec<(VReg, ClusterId)> = hoisted_reg.keys().copied().collect();
+        hoist_keys.sort();
+        for key in hoist_keys {
+            let t = nf.new_vreg();
+            hoisted_reg.insert(key, t);
+        }
+        let mut op_clusters: Vec<ClusterId> = Vec::new();
+        for (bid, block) in f.blocks.iter() {
+            // (vreg, cluster) -> copy register available in this block.
+            let mut avail: HashMap<(VReg, ClusterId), VReg> = HashMap::new();
+            for &old_id in &block.ops {
+                let op = &f.ops[old_id];
+                let need = placement.cluster_of(fid, old_id);
+                let mut srcs = op.srcs.clone();
+                for s in srcs.iter_mut() {
+                    let home = homes[*s];
+                    if home == need {
+                        continue;
+                    }
+                    if let Some(&t) = hoisted_reg.get(&(*s, need)) {
+                        // A producer-side copy mirrors this value.
+                        *s = t;
+                        continue;
+                    }
+                    let copy = match avail.get(&(*s, need)) {
+                        Some(&c) => c,
+                        None => {
+                            let t = nf.new_vreg();
+                            nf.append_op(bid, Op::new(Opcode::Move, vec![t], vec![*s]));
+                            op_clusters.push(need);
+                            stats.moves_inserted += 1;
+                            avail.insert((*s, need), t);
+                            t
+                        }
+                    };
+                    *s = copy;
+                }
+                nf.append_op(bid, Op::new(op.opcode, op.dsts.clone(), srcs));
+                op_clusters.push(need);
+                // New definitions invalidate cached copies of the same
+                // register, and refresh any hoisted copies right after
+                // the definition.
+                for &d in &op.dsts {
+                    avail.retain(|(v, _), _| *v != d);
+                }
+                for &d in &op.dsts {
+                    for cluster in machine.cluster_ids() {
+                        if let Some(&t) = hoisted_reg.get(&(d, cluster)) {
+                            nf.append_op(bid, Op::new(Opcode::Move, vec![t], vec![d]));
+                            op_clusters.push(cluster);
+                            stats.moves_inserted += 1;
+                            stats.moves_hoisted += 1;
+                        }
+                    }
+                }
+            }
+            nf.blocks[bid].term = block.term.clone();
+        }
+        let num_ops = nf.num_ops();
+        new_program.functions[fid] = nf;
+        let mut per_func: EntityMap<OpId, ClusterId> =
+            EntityMap::with_default(num_ops, ClusterId::new(0));
+        for (i, c) in op_clusters.into_iter().enumerate() {
+            per_func[OpId(i as u32)] = c;
+        }
+        new_placement.op_cluster[fid] = per_func;
+    }
+    (new_program, new_placement, stats)
+}
+
+/// Returns `true` if `op` (in the post-insertion program) is an
+/// intercluster move: a `Move` whose source register is homed on a
+/// different cluster than the move executes on.
+pub fn is_intercluster_move(
+    program: &Program,
+    func: FuncId,
+    op: OpId,
+    placement: &Placement,
+    homes: &EntityMap<VReg, ClusterId>,
+) -> bool {
+    let operation = &program.functions[func].ops[op];
+    matches!(operation.opcode, Opcode::Move)
+        && homes[operation.srcs[0]] != placement.cluster_of(func, op)
+}
+
+/// Counts static intercluster moves per block of `func`.
+pub fn intercluster_moves_per_block(
+    program: &Program,
+    func: FuncId,
+    placement: &Placement,
+) -> EntityMap<mcpart_ir::BlockId, u32> {
+    let f = &program.functions[func];
+    let homes = vreg_homes(program, func, placement);
+    let mut counts = EntityMap::with_default(f.blocks.len(), 0u32);
+    for (bid, block) in f.blocks.iter() {
+        for &op in &block.ops {
+            if is_intercluster_move(program, func, op, placement, &homes) {
+                counts[bid] += 1;
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpart_analysis::PointsTo;
+    use mcpart_ir::{DataObject, FunctionBuilder, MemWidth, Profile};
+
+    fn machine() -> Machine {
+        Machine::paper_2cluster(5)
+    }
+
+    fn access_of(p: &Program) -> AccessInfo {
+        let pts = PointsTo::compute(p);
+        AccessInfo::compute(p, &pts, &Profile::uniform(p, 1))
+    }
+
+    #[test]
+    fn no_moves_when_single_cluster_consumers() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let x = b.iconst(1);
+        let y = b.add(x, x);
+        b.ret(Some(y));
+        let pl = Placement::all_on_cluster0(&p);
+        let (np, npl, stats) = insert_moves(&p, &pl, &machine());
+        assert_eq!(stats.moves_inserted, 0);
+        assert_eq!(np.num_ops(), p.num_ops());
+        mcpart_ir::verify_program(&np).unwrap();
+        assert_eq!(npl.ops_per_cluster(2), vec![p.num_ops(), 0]);
+    }
+
+    #[test]
+    fn cross_cluster_use_gets_one_move_reused() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let x = b.iconst(1);
+        let y = b.add(x, x); // will be on cluster 1: needs x moved
+        let z = b.add(x, y); // also cluster 1: reuses moved x
+        b.ret(Some(z));
+        let mut pl = Placement::all_on_cluster0(&p);
+        let f = p.entry;
+        let func = p.entry_function();
+        let add1 = func.blocks[func.entry].ops[1];
+        let add2 = func.blocks[func.entry].ops[2];
+        let ret = func.blocks[func.entry].ops[3];
+        pl.set_cluster(f, add1, ClusterId::new(1));
+        pl.set_cluster(f, add2, ClusterId::new(1));
+        pl.set_cluster(f, ret, ClusterId::new(1));
+        let (np, npl, stats) = insert_moves(&p, &pl, &machine());
+        assert_eq!(stats.moves_inserted, 1, "x moved once and reused");
+        mcpart_ir::verify_program(&np).unwrap();
+        // The move executes on the consumer cluster and is flagged
+        // intercluster.
+        let homes = vreg_homes(&np, f, &npl);
+        let moves: Vec<_> = np.entry_function().ops.keys()
+            .filter(|&o| is_intercluster_move(&np, f, o, &npl, &homes))
+            .collect();
+        assert_eq!(moves.len(), 1);
+    }
+
+    #[test]
+    fn normalization_pins_memops_to_object_home() {
+        let mut p = Program::new("t");
+        let obj = p.add_object(DataObject::global("g", 16));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let a = b.addrof(obj);
+        let v = b.load(MemWidth::B4, a);
+        b.ret(Some(v));
+        let access = access_of(&p);
+        let mut pl = Placement::all_on_cluster0(&p);
+        pl.object_home[obj] = Some(ClusterId::new(1));
+        let npl = normalize_placement(&p, &pl, &access, &machine(), &Profile::uniform(&p, 1));
+        let func = p.entry_function();
+        let load = func.blocks[func.entry].ops[1];
+        assert_eq!(npl.cluster_of(p.entry, load), ClusterId::new(1));
+        // The addrof is not a memory op; it stays.
+        let addrof = func.blocks[func.entry].ops[0];
+        assert_eq!(npl.cluster_of(p.entry, addrof), ClusterId::new(0));
+    }
+
+    #[test]
+    fn normalization_unifies_multi_def_registers() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let x = b.iconst(0);
+        let one = b.iconst(1);
+        let next = b.add(x, one);
+        b.mov_to(x, next); // second def of x
+        b.ret(Some(x));
+        let f = p.entry;
+        let func = p.entry_function();
+        let mov = func.blocks[func.entry].ops[3];
+        let mut pl = Placement::all_on_cluster0(&p);
+        pl.set_cluster(f, mov, ClusterId::new(1));
+        let npl = normalize_placement(&p, &pl, &access_of(&p), &machine(), &Profile::uniform(&p, 1));
+        let iconst0 = func.blocks[func.entry].ops[0];
+        // Both defs of x end up on the same cluster.
+        assert_eq!(npl.cluster_of(f, iconst0), npl.cluster_of(f, mov));
+    }
+
+    #[test]
+    fn normalization_majority_follows_hot_definitions() {
+        use mcpart_ir::{Cmp, Profile};
+        // A loop-carried register defined once in a cold preheader (c0)
+        // and once per iteration in a hot latch (c1): the group follows
+        // the hot definition.
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let i = b.iconst(0);
+        let n = b.iconst(100);
+        let head = b.block("head");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.icmp(Cmp::Lt, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let one = b.iconst(1);
+        let ni = b.add(i, one);
+        b.mov_to(i, ni);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let f = p.entry;
+        let mut pl = Placement::all_on_cluster0(&p);
+        // Put the whole loop body (incl. the mov_to redefinition of i)
+        // on cluster 1.
+        for &op in &p.functions[f].blocks[body].ops {
+            pl.set_cluster(f, op, ClusterId::new(1));
+        }
+        let mut profile = Profile::uniform(&p, 1);
+        profile.funcs[f].block_freq[body] = 100;
+        let npl = normalize_placement(&p, &pl, &access_of(&p), &machine(), &profile);
+        // Both defs of i now sit on cluster 1 (the hot side), not on the
+        // cold preheader's cluster 0.
+        let iconst0 = p.functions[f].blocks[p.functions[f].entry].ops[0];
+        let movto = p.functions[f].blocks[body].ops[2];
+        assert_eq!(npl.cluster_of(f, iconst0), ClusterId::new(1));
+        assert_eq!(npl.cluster_of(f, movto), ClusterId::new(1));
+    }
+
+    #[test]
+    fn coherent_cache_does_not_pin_memops() {
+        let mut p = Program::new("t");
+        let obj = p.add_object(DataObject::global("g", 16));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let a = b.addrof(obj);
+        let v = b.load(MemWidth::B4, a);
+        b.ret(Some(v));
+        let access = access_of(&p);
+        let mut pl = Placement::all_on_cluster0(&p);
+        pl.object_home[obj] = Some(ClusterId::new(1));
+        let coherent = Machine::paper_2cluster(5).with_coherent_cache(4);
+        let npl = normalize_placement(
+            &p,
+            &pl,
+            &access,
+            &coherent,
+            &mcpart_ir::Profile::uniform(&p, 1),
+        );
+        let func = p.entry_function();
+        let load = func.blocks[func.entry].ops[1];
+        // The load keeps its computation cluster; only partitioned
+        // memory relocates it.
+        assert_eq!(npl.cluster_of(p.entry, load), ClusterId::new(0));
+    }
+
+    #[test]
+    fn normalization_pins_calls_to_cluster0() {
+        let mut p = Program::new("t");
+        let callee = {
+            let mut cb = FunctionBuilder::new_function(&mut p, "c");
+            cb.ret(None);
+            cb.func_id()
+        };
+        let mut b = FunctionBuilder::entry(&mut p);
+        b.call(callee, vec![], 0);
+        b.ret(None);
+        let f = p.entry;
+        let func = p.entry_function();
+        let call = func.blocks[func.entry].ops[0];
+        let mut pl = Placement::all_on_cluster0(&p);
+        pl.set_cluster(f, call, ClusterId::new(1));
+        let npl = normalize_placement(&p, &pl, &access_of(&p), &machine(), &Profile::uniform(&p, 1));
+        assert_eq!(npl.cluster_of(f, call), ClusterId::new(0));
+    }
+
+    #[test]
+    fn moved_program_preserves_semantic_ops() {
+        // Store value computed on the wrong cluster: address and value
+        // must both be moved to the memory op's cluster.
+        let mut p = Program::new("t");
+        let obj = p.add_object(DataObject::global("g", 8));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let a = b.addrof(obj);
+        let v = b.iconst(7);
+        b.store(MemWidth::B4, a, v);
+        b.ret(None);
+        let f = p.entry;
+        let func = p.entry_function();
+        let store = func.blocks[func.entry].ops[2];
+        let mut pl = Placement::all_on_cluster0(&p);
+        pl.set_cluster(f, store, ClusterId::new(1));
+        let (np, _npl, stats) = insert_moves(&p, &pl, &machine());
+        assert_eq!(stats.moves_inserted, 2);
+        mcpart_ir::verify_program(&np).unwrap();
+        // Original ops plus two moves.
+        assert_eq!(np.num_ops(), p.num_ops() + 2);
+    }
+}

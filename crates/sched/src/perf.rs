@@ -1,0 +1,149 @@
+//! Whole-program performance evaluation: profile-weighted schedule
+//! cycles and dynamic intercluster move counts.
+
+use crate::list::{schedule_block, BlockSchedule};
+use crate::placement::Placement;
+use mcpart_analysis::AccessInfo;
+use mcpart_ir::{BlockId, EntityMap, FuncId, Profile, Program};
+use mcpart_machine::Machine;
+
+/// Performance of a scheduled program under a profile.
+///
+/// Cycle counts follow the paper's methodology: partitioned caches with
+/// a 100% hit rate, so the execution time of a block is its static
+/// schedule length, and total cycles are
+/// `Σ_blocks schedule_length × execution_frequency`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PerfReport {
+    /// Total dynamic cycles.
+    pub total_cycles: u64,
+    /// Total dynamic intercluster move operations.
+    pub dynamic_moves: u64,
+    /// Static intercluster move count.
+    pub static_moves: u64,
+    /// Dynamic remote memory accesses (coherent-cache model only).
+    pub dynamic_remote_accesses: u64,
+    /// Per-function, per-block schedules (for inspection).
+    pub schedules: EntityMap<FuncId, EntityMap<BlockId, BlockSchedule>>,
+}
+
+impl PerfReport {
+    /// Speedup of this report relative to `baseline` (>1 means this one
+    /// is faster).
+    pub fn speedup_vs(&self, baseline: &PerfReport) -> f64 {
+        baseline.total_cycles as f64 / self.total_cycles.max(1) as f64
+    }
+
+    /// The paper's headline metric: performance relative to a baseline,
+    /// where 1.0 means parity (computed as `baseline_cycles / cycles`).
+    pub fn relative_performance(&self, baseline: &PerfReport) -> f64 {
+        self.speedup_vs(baseline)
+    }
+}
+
+/// Schedules every block of every function under `placement` and
+/// aggregates profile-weighted cycles and intercluster move counts.
+///
+/// The placement must already be normalized and have moves inserted
+/// (see [`crate::normalize_placement`] and [`crate::insert_moves`]);
+/// this function only schedules and accounts.
+pub fn evaluate(
+    program: &Program,
+    placement: &Placement,
+    machine: &Machine,
+    profile: &Profile,
+    access: &AccessInfo,
+) -> PerfReport {
+    let mut total_cycles = 0u64;
+    let mut dynamic_moves = 0u64;
+    let mut static_moves = 0u64;
+    let mut dynamic_remote_accesses = 0u64;
+    let mut schedules: EntityMap<FuncId, EntityMap<BlockId, BlockSchedule>> = EntityMap::new();
+    for (fid, func) in program.functions.iter() {
+        let mut per_block: EntityMap<BlockId, BlockSchedule> = EntityMap::new();
+        for (bid, _) in func.blocks.iter() {
+            let schedule = schedule_block(program, fid, bid, placement, machine, access);
+            let freq = profile.block_freq(fid, bid);
+            total_cycles += schedule.length as u64 * freq;
+            dynamic_moves += schedule.intercluster_moves as u64 * freq;
+            static_moves += schedule.intercluster_moves as u64;
+            dynamic_remote_accesses += schedule.remote_accesses as u64 * freq;
+            per_block.push(schedule);
+        }
+        schedules.push(per_block);
+    }
+    PerfReport { total_cycles, dynamic_moves, static_moves, dynamic_remote_accesses, schedules }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpart_analysis::PointsTo;
+    use mcpart_ir::{ClusterId, FunctionBuilder};
+
+    #[test]
+    fn cycles_weighted_by_frequency() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let body = b.block("body");
+        let done = b.block("done");
+        let x = b.iconst(10);
+        b.jump(body);
+        b.switch_to(body);
+        let y = b.add(x, x);
+        let _z = b.add(y, y);
+        b.jump(done);
+        b.switch_to(done);
+        b.ret(None);
+        let pts = PointsTo::compute(&p);
+        let mut profile = Profile::uniform(&p, 1);
+        profile.funcs[p.entry].block_freq[body] = 100;
+        let access = AccessInfo::compute(&p, &pts, &profile);
+        let pl = Placement::all_on_cluster0(&p);
+        let m = Machine::paper_2cluster(5);
+        let report = evaluate(&p, &pl, &m, &profile, &access);
+        let body_len = report.schedules[p.entry][body].length as u64;
+        assert!(report.total_cycles >= 100 * body_len);
+        assert_eq!(report.dynamic_moves, 0);
+    }
+
+    #[test]
+    fn dynamic_moves_scale_with_frequency() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let x = b.iconst(1);
+        let y = b.mov(x);
+        let z = b.add(y, y);
+        b.ret(Some(z));
+        let f = p.entry;
+        let func = p.entry_function();
+        let entry = func.entry;
+        let ops = func.blocks[entry].ops.clone();
+        let mut pl = Placement::all_on_cluster0(&p);
+        pl.set_cluster(f, ops[1], ClusterId::new(1));
+        pl.set_cluster(f, ops[2], ClusterId::new(1));
+        let pts = PointsTo::compute(&p);
+        let mut profile = Profile::uniform(&p, 7);
+        profile.funcs[f].block_freq[entry] = 7;
+        let access = AccessInfo::compute(&p, &pts, &profile);
+        let m = Machine::paper_2cluster(5);
+        let report = evaluate(&p, &pl, &m, &profile, &access);
+        assert_eq!(report.static_moves, 1);
+        assert_eq!(report.dynamic_moves, 7);
+    }
+
+    #[test]
+    fn relative_performance_identity() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let v = b.iconst(1);
+        b.ret(Some(v));
+        let pts = PointsTo::compute(&p);
+        let profile = Profile::uniform(&p, 1);
+        let access = AccessInfo::compute(&p, &pts, &profile);
+        let pl = Placement::all_on_cluster0(&p);
+        let m = Machine::paper_2cluster(5);
+        let r = evaluate(&p, &pl, &m, &profile, &access);
+        assert!((r.relative_performance(&r) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,111 @@
+//! Cluster placements: where operations execute and where data objects
+//! live.
+
+use mcpart_ir::{ClusterId, EntityMap, FuncId, ObjectId, OpId, Program};
+
+/// A complete placement decision for a program on a multicluster
+//  machine.
+///
+/// * every operation is assigned the cluster whose function units
+///   execute it;
+/// * every data object optionally has a *home* cluster whose memory
+///   holds it (`None` under the unified-memory model, where objects are
+///   reachable from every cluster).
+///
+/// Calling conventions are normalized: function parameters materialize
+/// on cluster 0 and `call` operations are pinned to cluster 0 by
+/// [`crate::normalize_placement`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Placement {
+    /// Per-function operation-to-cluster map.
+    pub op_cluster: EntityMap<FuncId, EntityMap<OpId, ClusterId>>,
+    /// Home memory of each data object (`None` = unified memory).
+    pub object_home: EntityMap<ObjectId, Option<ClusterId>>,
+}
+
+impl Placement {
+    /// A placement putting every operation on cluster 0 with unified
+    /// (homeless) objects.
+    pub fn all_on_cluster0(program: &Program) -> Self {
+        Placement {
+            op_cluster: program
+                .functions
+                .values()
+                .map(|f| EntityMap::with_default(f.num_ops(), ClusterId::new(0)))
+                .collect(),
+            object_home: EntityMap::with_default(program.objects.len(), None),
+        }
+    }
+
+    /// The cluster of an operation.
+    pub fn cluster_of(&self, func: FuncId, op: OpId) -> ClusterId {
+        self.op_cluster[func][op]
+    }
+
+    /// Sets the cluster of an operation.
+    pub fn set_cluster(&mut self, func: FuncId, op: OpId, cluster: ClusterId) {
+        self.op_cluster[func][op] = cluster;
+    }
+
+    /// Returns `true` when any object has a home (partitioned-memory
+    /// mode).
+    pub fn has_object_homes(&self) -> bool {
+        self.object_home.values().any(Option::is_some)
+    }
+
+    /// Counts operations per cluster across the whole program.
+    pub fn ops_per_cluster(&self, num_clusters: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; num_clusters];
+        for per_func in self.op_cluster.values() {
+            for c in per_func.values() {
+                counts[c.index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Total object bytes homed on each cluster.
+    pub fn bytes_per_cluster(&self, program: &Program, num_clusters: usize) -> Vec<u64> {
+        let mut bytes = vec![0u64; num_clusters];
+        for (obj, home) in self.object_home.iter() {
+            if let Some(c) = home {
+                bytes[c.index()] += program.objects[obj].size;
+            }
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpart_ir::{DataObject, FunctionBuilder};
+
+    #[test]
+    fn default_placement_shape() {
+        let mut p = Program::new("t");
+        let obj = p.add_object(DataObject::global("g", 10));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let v = b.iconst(1);
+        b.ret(Some(v));
+        let pl = Placement::all_on_cluster0(&p);
+        assert_eq!(pl.ops_per_cluster(2), vec![2, 0]);
+        assert!(!pl.has_object_homes());
+        assert_eq!(pl.object_home[obj], None);
+        assert_eq!(pl.bytes_per_cluster(&p, 2), vec![0, 0]);
+    }
+
+    #[test]
+    fn bytes_per_cluster_sums_homes() {
+        let mut p = Program::new("t");
+        let a = p.add_object(DataObject::global("a", 100));
+        let b_obj = p.add_object(DataObject::global("b", 28));
+        let mut b = FunctionBuilder::entry(&mut p);
+        b.ret(None);
+        let mut pl = Placement::all_on_cluster0(&p);
+        pl.object_home[a] = Some(ClusterId::new(0));
+        pl.object_home[b_obj] = Some(ClusterId::new(1));
+        assert_eq!(pl.bytes_per_cluster(&p, 2), vec![100, 28]);
+        assert!(pl.has_object_homes());
+    }
+}

@@ -1,0 +1,147 @@
+//! Register-pressure modeling: spill-traffic penalties when a block
+//! needs more simultaneously-live registers on one cluster than its
+//! register file holds.
+//!
+//! Clustering's raison d'être is keeping register files small; with
+//! infinite registers the model would never reward the distribution the
+//! paper's machines enforce. The approximation here is block-granular:
+//! a cluster's demand in a block is the number of registers homed on it
+//! that are live into the block or defined in it; each register beyond
+//! the capacity costs one spill store + reload (`2 ×` store latency +
+//! load latency cycles, on the memory unit — folded into the block
+//! length as an additive penalty).
+
+use crate::moves::vreg_homes;
+use crate::placement::Placement;
+use mcpart_analysis::Liveness;
+use mcpart_ir::{BlockId, EntityMap, FuncId, Profile, Program};
+use mcpart_machine::Machine;
+
+/// Per-block, per-cluster register demand.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PressureReport {
+    /// `demand[func][block][cluster]` = registers homed on the cluster
+    /// that are live-in or defined in the block.
+    pub demand: EntityMap<FuncId, EntityMap<BlockId, Vec<u32>>>,
+    /// Total dynamic spill penalty cycles across the program.
+    pub spill_cycles: u64,
+}
+
+/// Computes per-block register demand and the profile-weighted spill
+/// penalty for `placement` on `machine`.
+pub fn register_pressure(
+    program: &Program,
+    placement: &Placement,
+    machine: &Machine,
+    profile: &Profile,
+) -> PressureReport {
+    let nclusters = machine.num_clusters();
+    // Spill = store + reload of one register through the local memory.
+    let spill_cost =
+        u64::from(machine.latency.store + machine.latency.load);
+    let mut demand: EntityMap<FuncId, EntityMap<BlockId, Vec<u32>>> = EntityMap::new();
+    let mut spill_cycles = 0u64;
+    for (fid, func) in program.functions.iter() {
+        let homes = vreg_homes(program, fid, placement);
+        let liveness = Liveness::compute(func);
+        let mut per_block: EntityMap<BlockId, Vec<u32>> = EntityMap::new();
+        for (bid, block) in func.blocks.iter() {
+            let mut counts = vec![0u32; nclusters];
+            let mut seen = std::collections::HashSet::new();
+            for &v in liveness.live_in[bid].iter() {
+                if seen.insert(v) {
+                    counts[homes[v].index()] += 1;
+                }
+            }
+            for &oid in &block.ops {
+                for &d in &func.ops[oid].dsts {
+                    if seen.insert(d) {
+                        counts[homes[d].index()] += 1;
+                    }
+                }
+            }
+            for (c, &n) in counts.iter().enumerate() {
+                let capacity = machine.clusters[c].regfile_size;
+                if n > capacity {
+                    let spills = u64::from(n - capacity);
+                    spill_cycles += spills * spill_cost * profile.block_freq(fid, bid);
+                }
+            }
+            per_block.push(counts);
+        }
+        demand.push(per_block);
+    }
+    PressureReport { demand, spill_cycles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpart_ir::{ClusterId, FunctionBuilder};
+
+    fn wide_block_program(n: usize) -> Program {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        // n long-lived values all alive at the end.
+        let vals: Vec<_> = (0..n).map(|i| b.iconst(i as i64)).collect();
+        let mut acc = vals[0];
+        for &v in &vals[1..] {
+            acc = b.add(acc, v);
+        }
+        b.ret(Some(acc));
+        p
+    }
+
+    #[test]
+    fn demand_counts_defined_registers() {
+        let p = wide_block_program(8);
+        let machine = Machine::paper_2cluster(5);
+        let placement = Placement::all_on_cluster0(&p);
+        let profile = Profile::uniform(&p, 1);
+        let report = register_pressure(&p, &placement, &machine, &profile);
+        let entry = p.entry_function().entry;
+        let counts = &report.demand[p.entry][entry];
+        assert!(counts[0] >= 8, "{counts:?}");
+        assert_eq!(counts[1], 0);
+        // 64-entry files: no spills.
+        assert_eq!(report.spill_cycles, 0);
+    }
+
+    #[test]
+    fn tiny_regfile_incurs_spills() {
+        let p = wide_block_program(24);
+        let mut machine = Machine::paper_2cluster(5);
+        machine.clusters[0].regfile_size = 8;
+        machine.clusters[1].regfile_size = 8;
+        let placement = Placement::all_on_cluster0(&p);
+        let profile = Profile::uniform(&p, 10);
+        let report = register_pressure(&p, &placement, &machine, &profile);
+        assert!(report.spill_cycles > 0);
+    }
+
+    #[test]
+    fn distribution_relieves_pressure() {
+        let p = wide_block_program(24);
+        let mut machine = Machine::paper_2cluster(5);
+        machine.clusters[0].regfile_size = 20;
+        machine.clusters[1].regfile_size = 20;
+        let profile = Profile::uniform(&p, 10);
+        let packed = Placement::all_on_cluster0(&p);
+        let packed_report = register_pressure(&p, &packed, &machine, &profile);
+        // Spread every second op to cluster 1.
+        let mut spread = Placement::all_on_cluster0(&p);
+        for (i, oid) in p.entry_function().ops.keys().enumerate() {
+            if i % 2 == 1 {
+                spread.set_cluster(p.entry, oid, ClusterId::new(1));
+            }
+        }
+        let spread_report = register_pressure(&p, &spread, &machine, &profile);
+        assert!(packed_report.spill_cycles > 0);
+        assert!(
+            spread_report.spill_cycles < packed_report.spill_cycles,
+            "spreading registers across files must reduce spills: {} vs {}",
+            spread_report.spill_cycles,
+            packed_report.spill_cycles
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! ASCII rendering of block schedules, for debugging and reports.
+
+use crate::list::BlockSchedule;
+use crate::placement::Placement;
+use mcpart_ir::{FuncId, Program};
+use std::fmt::Write as _;
+
+/// Renders a block schedule as a cycle-by-cycle timeline:
+///
+/// ```text
+/// cycle | c0                      | c1
+/// ------+-------------------------+---------------
+///     0 | op3 iconst 4            | op9 load.4
+///     1 | op4 mul                 |
+/// ```
+///
+/// Only issue cycles are shown (an operation occupies its unit for one
+/// cycle; results land `latency` cycles later).
+pub fn schedule_to_string(
+    program: &Program,
+    func: FuncId,
+    schedule: &BlockSchedule,
+    placement: &Placement,
+    num_clusters: usize,
+) -> String {
+    let f = &program.functions[func];
+    let mut rows: Vec<Vec<Vec<String>>> = Vec::new(); // cycle -> cluster -> cells
+    for (i, &op) in schedule.ops.iter().enumerate() {
+        let cycle = schedule.issue[i] as usize;
+        let cluster = placement.cluster_of(func, op).index();
+        while rows.len() <= cycle {
+            rows.push(vec![Vec::new(); num_clusters]);
+        }
+        rows[cycle][cluster].push(format!("{op} {}", f.ops[op].opcode));
+    }
+    let width = rows
+        .iter()
+        .flat_map(|r| r.iter())
+        .map(|cells| cells.iter().map(String::len).sum::<usize>() + cells.len().saturating_sub(1) * 2)
+        .max()
+        .unwrap_or(8)
+        .max(8);
+    let mut out = String::new();
+    let _ = write!(out, "cycle");
+    for c in 0..num_clusters {
+        let _ = write!(out, " | {:<width$}", format!("c{c}"));
+    }
+    out.push('\n');
+    let _ = write!(out, "-----");
+    for _ in 0..num_clusters {
+        let _ = write!(out, "-+-{}", "-".repeat(width));
+    }
+    out.push('\n');
+    for (cycle, clusters) in rows.iter().enumerate() {
+        if clusters.iter().all(Vec::is_empty) {
+            continue;
+        }
+        let _ = write!(out, "{cycle:>5}");
+        for cells in clusters {
+            let _ = write!(out, " | {:<width$}", cells.join(", "));
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "length: {} cycles", schedule.length);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::schedule_block;
+    use mcpart_analysis::{AccessInfo, PointsTo};
+    use mcpart_ir::{ClusterId, FunctionBuilder, Profile};
+    use mcpart_machine::Machine;
+
+    #[test]
+    fn timeline_mentions_ops_and_length() {
+        let mut p = mcpart_ir::Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let x = b.iconst(1);
+        let y = b.add(x, x);
+        b.ret(Some(y));
+        let pts = PointsTo::compute(&p);
+        let profile = Profile::uniform(&p, 1);
+        let access = AccessInfo::compute(&p, &pts, &profile);
+        let mut placement = Placement::all_on_cluster0(&p);
+        let f = p.entry;
+        let add = p.entry_function().blocks[p.entry_function().entry].ops[1];
+        placement.set_cluster(f, add, ClusterId::new(1));
+        let m = Machine::paper_2cluster(5);
+        let s = schedule_block(&p, f, p.entry_function().entry, &placement, &m, &access);
+        let text = schedule_to_string(&p, f, &s, &placement, 2);
+        assert!(text.contains("iconst"), "{text}");
+        assert!(text.contains("add"), "{text}");
+        assert!(text.contains("length:"), "{text}");
+        assert!(text.contains("c1"), "{text}");
+    }
+}

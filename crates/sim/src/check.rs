@@ -1,0 +1,89 @@
+//! Cross-variant validation: semantic equivalence and dynamic
+//! intercluster-move accounting.
+
+use crate::interp::{run, ExecConfig, ExecError};
+use crate::value::Value;
+use mcpart_ir::{Profile, Program};
+use mcpart_sched::{intercluster_moves_per_block, Placement};
+
+/// Runs two program variants on the same inputs and checks that they
+/// return the same value and leave identical memory images.
+///
+/// Used to validate that partitioning + intercluster move insertion
+/// preserve program semantics.
+///
+/// # Errors
+///
+/// Propagates execution errors from either variant.
+pub fn semantically_equivalent(
+    original: &Program,
+    transformed: &Program,
+    args: &[Value],
+    config: ExecConfig,
+) -> Result<bool, ExecError> {
+    let a = run(original, args, config)?;
+    let b = run(transformed, args, config)?;
+    Ok(a.return_value == b.return_value && a.memory == b.memory)
+}
+
+/// Dynamic intercluster move count of a placed program under a profile:
+/// `Σ_blocks exec_freq(block) × static_moves(block)`.
+///
+/// This matches what a cycle simulator would count, because every
+/// intercluster move in a block executes once per block execution.
+pub fn dynamic_move_count(program: &Program, placement: &Placement, profile: &Profile) -> u64 {
+    let mut total = 0u64;
+    for fid in program.functions.keys() {
+        let per_block = intercluster_moves_per_block(program, fid, placement);
+        for (bid, &count) in per_block.iter() {
+            total += count as u64 * profile.block_freq(fid, bid);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpart_ir::{ClusterId, FunctionBuilder};
+    use mcpart_machine::Machine;
+    use mcpart_sched::insert_moves;
+
+    #[test]
+    fn move_insertion_preserves_semantics() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let x = b.iconst(4);
+        let y = b.add(x, x);
+        let z = b.mul(y, x);
+        b.ret(Some(z));
+        let f = p.entry;
+        let ops = p.entry_function().blocks[p.entry_function().entry].ops.clone();
+        let mut pl = Placement::all_on_cluster0(&p);
+        pl.set_cluster(f, ops[1], ClusterId::new(1));
+        let m = Machine::paper_2cluster(5);
+        let (np, npl, stats) = insert_moves(&p, &pl, &m);
+        assert!(stats.moves_inserted > 0);
+        assert!(semantically_equivalent(&p, &np, &[], ExecConfig::default()).unwrap());
+        let _ = npl;
+    }
+
+    #[test]
+    fn dynamic_moves_use_profile() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let x = b.iconst(1);
+        let y = b.mov(x);
+        let z = b.add(y, y);
+        b.ret(Some(z));
+        let f = p.entry;
+        let entry = p.entry_function().entry;
+        let ops = p.entry_function().blocks[entry].ops.clone();
+        let mut pl = Placement::all_on_cluster0(&p);
+        pl.set_cluster(f, ops[1], ClusterId::new(1));
+        pl.set_cluster(f, ops[2], ClusterId::new(1));
+        let mut profile = Profile::uniform(&p, 1);
+        profile.funcs[f].block_freq[entry] = 33;
+        assert_eq!(dynamic_move_count(&p, &pl, &profile), 33);
+    }
+}

@@ -1,0 +1,586 @@
+//! The functional IR interpreter.
+//!
+//! Executes a [`Program`] on concrete inputs, producing the return
+//! value, a memory snapshot (for semantic comparison between program
+//! variants), and an execution [`Profile`] (block frequencies and heap
+//! allocation sizes) — the profile the paper's analyses consume.
+
+use crate::memory::{MemError, Memory};
+use crate::value::Value;
+use mcpart_ir::{
+    Cmp, EntityMap, FloatBinOp, FuncId, IntBinOp, Opcode, Profile, Program, Terminator,
+};
+
+/// Interpreter limits.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ExecConfig {
+    /// Maximum executed operations before aborting.
+    pub step_limit: u64,
+    /// Maximum call depth.
+    pub max_call_depth: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { step_limit: 200_000_000, max_call_depth: 256 }
+    }
+}
+
+/// An execution failure.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ExecError {
+    /// A memory access failed.
+    Mem(MemError),
+    /// An operand had the wrong runtime type.
+    Type(&'static str),
+    /// Integer division by zero.
+    DivByZero,
+    /// The step limit was exceeded (runaway loop).
+    StepLimit,
+    /// The call-depth limit was exceeded.
+    CallDepth,
+    /// A register was read before any write.
+    UndefinedRead,
+    /// A call expected at most one result register.
+    MultiResultCall,
+    /// The function's argument count did not match its parameters.
+    ArgCount,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Mem(e) => write!(f, "memory error: {e}"),
+            ExecError::Type(m) => write!(f, "type error: {m}"),
+            ExecError::DivByZero => f.write_str("integer division by zero"),
+            ExecError::StepLimit => f.write_str("step limit exceeded"),
+            ExecError::CallDepth => f.write_str("call depth exceeded"),
+            ExecError::UndefinedRead => f.write_str("read of undefined register"),
+            ExecError::MultiResultCall => f.write_str("calls may define at most one register"),
+            ExecError::ArgCount => f.write_str("argument count mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<MemError> for ExecError {
+    fn from(e: MemError) -> Self {
+        ExecError::Mem(e)
+    }
+}
+
+/// The outcome of a program run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ExecResult {
+    /// Value returned by the entry function.
+    pub return_value: Option<Value>,
+    /// Final byte image of every data object (globals and heap arenas),
+    /// for semantic equivalence checks.
+    pub memory: Vec<Vec<u8>>,
+    /// Operations executed.
+    pub steps: u64,
+    /// The gathered execution profile.
+    pub profile: Profile,
+}
+
+struct Interp<'a> {
+    program: &'a Program,
+    mem: Memory,
+    config: ExecConfig,
+    steps: u64,
+    block_counts: EntityMap<FuncId, EntityMap<mcpart_ir::BlockId, u64>>,
+}
+
+impl<'a> Interp<'a> {
+    fn step(&mut self) -> Result<(), ExecError> {
+        self.steps += 1;
+        if self.steps > self.config.step_limit {
+            return Err(ExecError::StepLimit);
+        }
+        Ok(())
+    }
+
+    fn exec_function(
+        &mut self,
+        func: FuncId,
+        args: &[Value],
+        depth: usize,
+    ) -> Result<Option<Value>, ExecError> {
+        if depth > self.config.max_call_depth {
+            return Err(ExecError::CallDepth);
+        }
+        let f = &self.program.functions[func];
+        if args.len() != f.params.len() {
+            return Err(ExecError::ArgCount);
+        }
+        let mut regs: Vec<Option<Value>> = vec![None; f.num_vregs];
+        for (&p, &v) in f.params.iter().zip(args) {
+            regs[p.0 as usize] = Some(v);
+        }
+        let mut block = f.entry;
+        loop {
+            self.block_counts[func][block] += 1;
+            for &op_id in &f.blocks[block].ops {
+                self.step()?;
+                let op = &f.ops[op_id];
+                let read = |regs: &[Option<Value>], i: usize| -> Result<Value, ExecError> {
+                    regs[op.srcs[i].0 as usize].ok_or(ExecError::UndefinedRead)
+                };
+                let result: Option<Value> = match op.opcode {
+                    Opcode::ConstInt(v) => Some(Value::Int(v)),
+                    Opcode::ConstFloat(bits) => Some(Value::Float(f64::from_bits(bits))),
+                    Opcode::AddrOf(obj) => Some(Value::Ptr { obj, offset: 0 }),
+                    Opcode::IntBin(kind) => {
+                        let a = read(&regs, 0)?;
+                        let b = read(&regs, 1)?;
+                        Some(int_bin(kind, a, b)?)
+                    }
+                    Opcode::IntCmp(cmp) => {
+                        let a = read(&regs, 0)?;
+                        let b = read(&regs, 1)?;
+                        Some(Value::Int(compare(cmp, a, b)? as i64))
+                    }
+                    Opcode::Select => {
+                        let c = read(&regs, 0)?;
+                        Some(if c.is_truthy() { read(&regs, 1)? } else { read(&regs, 2)? })
+                    }
+                    Opcode::FloatBin(kind) => {
+                        let a = read(&regs, 0)?.as_float().map_err(ExecError::Type)?;
+                        let b = read(&regs, 1)?.as_float().map_err(ExecError::Type)?;
+                        Some(Value::Float(match kind {
+                            FloatBinOp::Add => a + b,
+                            FloatBinOp::Sub => a - b,
+                            FloatBinOp::Mul => a * b,
+                            FloatBinOp::Div => a / b,
+                        }))
+                    }
+                    Opcode::FloatCmp(cmp) => {
+                        let a = read(&regs, 0)?.as_float().map_err(ExecError::Type)?;
+                        let b = read(&regs, 1)?.as_float().map_err(ExecError::Type)?;
+                        let r = match cmp {
+                            Cmp::Eq => a == b,
+                            Cmp::Ne => a != b,
+                            Cmp::Lt => a < b,
+                            Cmp::Le => a <= b,
+                            Cmp::Gt => a > b,
+                            Cmp::Ge => a >= b,
+                        };
+                        Some(Value::Int(r as i64))
+                    }
+                    Opcode::IntToFloat => {
+                        let v = read(&regs, 0)?.as_int().map_err(ExecError::Type)?;
+                        Some(Value::Float(v as f64))
+                    }
+                    Opcode::FloatToInt => {
+                        let v = read(&regs, 0)?.as_float().map_err(ExecError::Type)?;
+                        Some(Value::Int(v as i64))
+                    }
+                    Opcode::Load(width) => {
+                        let addr = read(&regs, 0)?;
+                        let Value::Ptr { obj, offset } = addr else {
+                            return Err(ExecError::Type("load address is not a pointer"));
+                        };
+                        Some(self.mem.load(obj, offset, width)?)
+                    }
+                    Opcode::Store(width) => {
+                        let addr = read(&regs, 0)?;
+                        let value = read(&regs, 1)?;
+                        let Value::Ptr { obj, offset } = addr else {
+                            return Err(ExecError::Type("store address is not a pointer"));
+                        };
+                        self.mem.store(obj, offset, width, value)?;
+                        None
+                    }
+                    Opcode::Malloc(site) => {
+                        let size = read(&regs, 0)?.as_int().map_err(ExecError::Type)?;
+                        let offset = self.mem.malloc(site, size.max(0) as u64);
+                        Some(Value::Ptr { obj: site, offset })
+                    }
+                    Opcode::Move => Some(read(&regs, 0)?),
+                    Opcode::BranchCond | Opcode::Jump | Opcode::Ret => None,
+                    Opcode::Call(callee) => {
+                        if op.dsts.len() > 1 {
+                            return Err(ExecError::MultiResultCall);
+                        }
+                        let mut call_args = Vec::with_capacity(op.srcs.len());
+                        for i in 0..op.srcs.len() {
+                            call_args.push(read(&regs, i)?);
+                        }
+                        let ret = self.exec_function(callee, &call_args, depth + 1)?;
+                        match (op.dsts.first(), ret) {
+                            (Some(_), Some(v)) => Some(v),
+                            (Some(_), None) => {
+                                return Err(ExecError::Type("void call used as value"))
+                            }
+                            _ => None,
+                        }
+                    }
+                };
+                if let (Some(&dst), Some(v)) = (op.dsts.first(), result) {
+                    regs[dst.0 as usize] = Some(v);
+                }
+            }
+            match f.blocks[block].term.as_ref().expect("verified program") {
+                Terminator::Jump(t) => block = *t,
+                Terminator::Branch { cond, then_block, else_block } => {
+                    let c = regs[cond.0 as usize].ok_or(ExecError::UndefinedRead)?;
+                    block = if c.is_truthy() { *then_block } else { *else_block };
+                }
+                Terminator::Return(v) => {
+                    return Ok(match v {
+                        Some(v) => Some(regs[v.0 as usize].ok_or(ExecError::UndefinedRead)?),
+                        None => None,
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn int_bin(kind: IntBinOp, a: Value, b: Value) -> Result<Value, ExecError> {
+    use IntBinOp::*;
+    // Pointer arithmetic: Add/Sub keep the base object.
+    match (kind, a, b) {
+        (Add, Value::Ptr { obj, offset }, Value::Int(v))
+        | (Add, Value::Int(v), Value::Ptr { obj, offset }) => {
+            return Ok(Value::Ptr { obj, offset: offset.wrapping_add(v) });
+        }
+        (Sub, Value::Ptr { obj, offset }, Value::Int(v)) => {
+            return Ok(Value::Ptr { obj, offset: offset.wrapping_sub(v) });
+        }
+        (Sub, Value::Ptr { obj: oa, offset: a }, Value::Ptr { obj: ob, offset: b }) => {
+            if oa == ob {
+                return Ok(Value::Int(a.wrapping_sub(b)));
+            }
+            return Err(ExecError::Type("pointer difference across objects"));
+        }
+        _ => {}
+    }
+    let a = a.as_int().map_err(ExecError::Type)?;
+    let b = b.as_int().map_err(ExecError::Type)?;
+    let r = match kind {
+        Add => a.wrapping_add(b),
+        Sub => a.wrapping_sub(b),
+        Mul => a.wrapping_mul(b),
+        Div => {
+            if b == 0 {
+                return Err(ExecError::DivByZero);
+            }
+            a.wrapping_div(b)
+        }
+        Rem => {
+            if b == 0 {
+                return Err(ExecError::DivByZero);
+            }
+            a.wrapping_rem(b)
+        }
+        And => a & b,
+        Or => a | b,
+        Xor => a ^ b,
+        Shl => a.wrapping_shl(b as u32 & 63),
+        Shr => a.wrapping_shr(b as u32 & 63),
+        Min => a.min(b),
+        Max => a.max(b),
+    };
+    Ok(Value::Int(r))
+}
+
+fn compare(cmp: Cmp, a: Value, b: Value) -> Result<bool, ExecError> {
+    let ord = match (a, b) {
+        (Value::Int(a), Value::Int(b)) => a.cmp(&b),
+        (Value::Ptr { obj: oa, offset: a }, Value::Ptr { obj: ob, offset: b }) => {
+            (oa, a).cmp(&(ob, b))
+        }
+        _ => return Err(ExecError::Type("integer comparison of mixed types")),
+    };
+    Ok(match cmp {
+        Cmp::Eq => ord.is_eq(),
+        Cmp::Ne => ord.is_ne(),
+        Cmp::Lt => ord.is_lt(),
+        Cmp::Le => ord.is_le(),
+        Cmp::Gt => ord.is_gt(),
+        Cmp::Ge => ord.is_ge(),
+    })
+}
+
+/// Runs `program` from its entry function with the given arguments.
+///
+/// # Errors
+///
+/// Propagates any [`ExecError`] raised during execution (bad memory
+/// access, runaway loop, type confusion, ...).
+pub fn run(program: &Program, args: &[Value], config: ExecConfig) -> Result<ExecResult, ExecError> {
+    let mut interp = Interp {
+        program,
+        mem: Memory::new(program),
+        config,
+        steps: 0,
+        block_counts: program
+            .functions
+            .values()
+            .map(|f| EntityMap::with_default(f.blocks.len(), 0u64))
+            .collect(),
+    };
+    let return_value = interp.exec_function(program.entry, args, 0)?;
+    let profile = Profile {
+        funcs: interp
+            .block_counts
+            .values()
+            .map(|counts| mcpart_ir::FuncProfile { block_freq: counts.clone() })
+            .collect(),
+        heap_bytes: interp.mem.heap_bytes.clone(),
+    };
+    Ok(ExecResult {
+        return_value,
+        memory: interp.mem.snapshot(),
+        steps: interp.steps,
+        profile,
+    })
+}
+
+/// Runs a program and returns only its profile — the "profiling run" of
+/// the paper's methodology (block frequencies + per-site heap bytes).
+///
+/// # Errors
+///
+/// Propagates execution errors.
+pub fn profile_run(
+    program: &Program,
+    args: &[Value],
+    config: ExecConfig,
+) -> Result<Profile, ExecError> {
+    run(program, args, config).map(|r| r.profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpart_ir::{Cmp, DataObject, FunctionBuilder, MemWidth};
+
+    #[test]
+    fn arithmetic_and_return() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let x = b.iconst(6);
+        let y = b.iconst(7);
+        let z = b.mul(x, y);
+        b.ret(Some(z));
+        let r = run(&p, &[], ExecConfig::default()).unwrap();
+        assert_eq!(r.return_value, Some(Value::Int(42)));
+        assert_eq!(r.steps, 4);
+    }
+
+    #[test]
+    fn loop_sums_array() {
+        let mut p = Program::new("t");
+        let arr = p.add_object(DataObject::global("arr", 40));
+        let mut b = FunctionBuilder::entry(&mut p);
+        // Initialize arr[i] = i, then sum it.
+        let base = b.addrof(arr);
+        let i = b.iconst(0);
+        let sum = b.iconst(0);
+        let four = b.iconst(4);
+        let ten = b.iconst(10);
+        let one = b.iconst(1);
+        let head = b.block("head");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.icmp(Cmp::Lt, i, ten);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let off = b.mul(i, four);
+        let addr = b.add(base, off);
+        b.store(MemWidth::B4, addr, i);
+        let v = b.load(MemWidth::B4, addr);
+        let s2 = b.add(sum, v);
+        b.mov_to(sum, s2);
+        let i2 = b.add(i, one);
+        b.mov_to(i, i2);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(Some(sum));
+        mcpart_ir::verify_program(&p).unwrap();
+        let r = run(&p, &[], ExecConfig::default()).unwrap();
+        assert_eq!(r.return_value, Some(Value::Int(45)));
+        // Profile: body executed 10 times, head 11.
+        let prof = &r.profile;
+        let f = p.entry;
+        assert_eq!(prof.funcs[f].block_freq[body], 10);
+        assert_eq!(prof.funcs[f].block_freq[head], 11);
+    }
+
+    #[test]
+    fn malloc_profile_recorded() {
+        let mut p = Program::new("t");
+        let site = p.add_object(DataObject::heap_site("buf"));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let n = b.iconst(64);
+        let ptr = b.malloc(site, n);
+        let v = b.iconst(5);
+        b.store(MemWidth::B4, ptr, v);
+        let w = b.load(MemWidth::B4, ptr);
+        b.ret(Some(w));
+        let r = run(&p, &[], ExecConfig::default()).unwrap();
+        assert_eq!(r.return_value, Some(Value::Int(5)));
+        assert_eq!(r.profile.heap_bytes[site], 64);
+    }
+
+    #[test]
+    fn call_and_return_value() {
+        let mut p = Program::new("t");
+        let callee = {
+            let mut cb = FunctionBuilder::new_function(&mut p, "twice");
+            let a = cb.param();
+            let r = cb.add(a, a);
+            cb.ret(Some(r));
+            cb.func_id()
+        };
+        let mut b = FunctionBuilder::entry(&mut p);
+        let x = b.iconst(21);
+        let r = b.call(callee, vec![x], 1);
+        b.ret(Some(r[0]));
+        let result = run(&p, &[], ExecConfig::default()).unwrap();
+        assert_eq!(result.return_value, Some(Value::Int(42)));
+    }
+
+    #[test]
+    fn step_limit_catches_infinite_loop() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let head = b.block("head");
+        b.jump(head);
+        b.switch_to(head);
+        b.jump(head);
+        let e = run(&p, &[], ExecConfig { step_limit: 1000, max_call_depth: 8 }).unwrap_err();
+        assert_eq!(e, ExecError::StepLimit);
+    }
+
+    #[test]
+    fn div_by_zero_reported() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let x = b.iconst(1);
+        let z = b.iconst(0);
+        let d = b.ibin(mcpart_ir::IntBinOp::Div, x, z);
+        b.ret(Some(d));
+        let e = run(&p, &[], ExecConfig::default()).unwrap_err();
+        assert_eq!(e, ExecError::DivByZero);
+    }
+
+    #[test]
+    fn float_pipeline() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let x = b.iconst(3);
+        let xf = b.itof(x);
+        let h = b.fconst(0.5);
+        let y = b.fmul(xf, h);
+        let z = b.ftoi(y);
+        b.ret(Some(z));
+        let r = run(&p, &[], ExecConfig::default()).unwrap();
+        assert_eq!(r.return_value, Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn select_behaviour() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let cond = b.param();
+        let a = b.iconst(10);
+        let c = b.iconst(20);
+        let s = b.select(cond, a, c);
+        b.ret(Some(s));
+        let r1 = run(&p, &[Value::Int(1)], ExecConfig::default()).unwrap();
+        assert_eq!(r1.return_value, Some(Value::Int(10)));
+        let r0 = run(&p, &[Value::Int(0)], ExecConfig::default()).unwrap();
+        assert_eq!(r0.return_value, Some(Value::Int(20)));
+    }
+
+    #[test]
+    fn recursion_hits_call_depth_limit() {
+        let mut p = Program::new("t");
+        // fn1 calls itself unconditionally.
+        let f1 = {
+            let mut cb = FunctionBuilder::new_function(&mut p, "inf");
+            let id = cb.func_id();
+            let r = cb.call(id, vec![], 1);
+            cb.ret(Some(r[0]));
+            id
+        };
+        let mut b = FunctionBuilder::entry(&mut p);
+        let r = b.call(f1, vec![], 1);
+        b.ret(Some(r[0]));
+        let e = run(&p, &[], ExecConfig { step_limit: 1_000_000, max_call_depth: 16 })
+            .unwrap_err();
+        assert_eq!(e, ExecError::CallDepth);
+    }
+
+    #[test]
+    fn argument_count_mismatch_detected() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        b.param();
+        b.ret(None);
+        let e = run(&p, &[], ExecConfig::default()).unwrap_err();
+        assert_eq!(e, ExecError::ArgCount);
+        let ok = run(&p, &[Value::Int(3)], ExecConfig::default());
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn load_through_integer_is_a_type_error() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let x = b.iconst(64);
+        let v = b.load(MemWidth::B4, x);
+        b.ret(Some(v));
+        let e = run(&p, &[], ExecConfig::default()).unwrap_err();
+        assert!(matches!(e, ExecError::Type(_)), "{e:?}");
+    }
+
+    #[test]
+    fn heap_access_before_malloc_is_out_of_bounds() {
+        let mut p = Program::new("t");
+        let site = p.add_object(DataObject::heap_site("buf"));
+        let mut b = FunctionBuilder::entry(&mut p);
+        // Forge a pointer to the (still empty) heap arena via malloc(0).
+        let zero = b.iconst(0);
+        let ptr = b.malloc(site, zero);
+        let v = b.load(MemWidth::B4, ptr);
+        b.ret(Some(v));
+        let e = run(&p, &[], ExecConfig::default()).unwrap_err();
+        assert!(matches!(e, ExecError::Mem(_)), "{e:?}");
+    }
+
+    #[test]
+    fn pointer_comparison_and_arithmetic() {
+        let mut p = Program::new("t");
+        let g = p.add_object(DataObject::global("g", 16));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let a = b.addrof(g);
+        let four = b.iconst(4);
+        let a4 = b.add(a, four);
+        let diff = b.sub(a4, a); // pointer difference
+        let same = b.icmp(Cmp::Lt, a, a4); // pointer compare
+        let sum = b.add(diff, same);
+        b.ret(Some(sum));
+        let r = run(&p, &[], ExecConfig::default()).unwrap();
+        assert_eq!(r.return_value, Some(Value::Int(5))); // 4 + 1
+    }
+
+    #[test]
+    fn memory_snapshot_captures_stores() {
+        let mut p = Program::new("t");
+        let g = p.add_object(DataObject::global("g", 4));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let a = b.addrof(g);
+        let v = b.iconst(0x0403_0201);
+        b.store(MemWidth::B4, a, v);
+        b.ret(None);
+        let r = run(&p, &[], ExecConfig::default()).unwrap();
+        assert_eq!(r.memory[g.0 as usize], vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,230 @@
+//! The simulated data memory: one byte arena per data object.
+
+use crate::value::Value;
+use mcpart_ir::{EntityMap, MemWidth, ObjectId, ObjectKind, Program};
+
+/// An error raised by a memory access.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MemError {
+    /// Access beyond the object's bounds.
+    OutOfBounds {
+        /// Object accessed.
+        obj: ObjectId,
+        /// Offending offset.
+        offset: i64,
+        /// Access width in bytes.
+        width: u64,
+        /// Object size in bytes.
+        size: usize,
+    },
+    /// Negative offset.
+    NegativeOffset(ObjectId, i64),
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::OutOfBounds { obj, offset, width, size } => write!(
+                f,
+                "out-of-bounds access to {obj}: offset {offset} width {width} of {size} bytes"
+            ),
+            MemError::NegativeOffset(obj, off) => {
+                write!(f, "negative offset {off} into {obj}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Per-object byte storage. Globals are fixed-size and zero-initialized;
+/// heap sites grow as their `malloc` executes.
+///
+/// Pointer values stored to memory are kept in a word-granular overlay
+/// (the byte image records zeros), so pointers round-trip through memory
+/// without an address encoding.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Memory {
+    arenas: EntityMap<ObjectId, Vec<u8>>,
+    ptr_overlay: EntityMap<ObjectId, std::collections::HashMap<i64, Value>>,
+    /// Bytes allocated per heap site during execution.
+    pub heap_bytes: EntityMap<ObjectId, u64>,
+}
+
+impl Memory {
+    /// Creates the memory image for `program`: every global gets a
+    /// zeroed arena of its declared size, heap sites start empty.
+    pub fn new(program: &Program) -> Self {
+        let arenas = program
+            .objects
+            .values()
+            .map(|o| match o.kind {
+                ObjectKind::Global => vec![0u8; o.size as usize],
+                ObjectKind::HeapSite => Vec::new(),
+            })
+            .collect();
+        Memory {
+            arenas,
+            ptr_overlay: EntityMap::with_default(
+                program.objects.len(),
+                std::collections::HashMap::new(),
+            ),
+            heap_bytes: EntityMap::with_default(program.objects.len(), 0),
+        }
+    }
+
+    /// Allocates `size` bytes in the arena of heap site `site`,
+    /// returning the offset of the fresh block.
+    pub fn malloc(&mut self, site: ObjectId, size: u64) -> i64 {
+        let offset = self.arenas[site].len() as i64;
+        self.arenas[site].extend(std::iter::repeat_n(0u8, size as usize));
+        self.heap_bytes[site] += size;
+        offset
+    }
+
+    fn check(&self, obj: ObjectId, offset: i64, width: u64) -> Result<usize, MemError> {
+        if offset < 0 {
+            return Err(MemError::NegativeOffset(obj, offset));
+        }
+        let size = self.arenas[obj].len();
+        let end = offset as u64 + width;
+        if end > size as u64 {
+            return Err(MemError::OutOfBounds { obj, offset, width, size });
+        }
+        Ok(offset as usize)
+    }
+
+    /// Loads a value of `width` from `obj` at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the access leaves the object bounds.
+    pub fn load(&self, obj: ObjectId, offset: i64, width: MemWidth) -> Result<Value, MemError> {
+        let start = self.check(obj, offset, width.bytes())?;
+        if width == MemWidth::B8 {
+            if let Some(v) = self.ptr_overlay[obj].get(&offset) {
+                return Ok(*v);
+            }
+        }
+        let bytes = &self.arenas[obj][start..start + width.bytes() as usize];
+        let mut raw = [0u8; 8];
+        raw[..bytes.len()].copy_from_slice(bytes);
+        let unsigned = u64::from_le_bytes(raw);
+        // Sign-extend to the access width.
+        let shift = 64 - 8 * width.bytes() as u32;
+        let signed = ((unsigned << shift) as i64) >> shift;
+        Ok(Value::Int(signed))
+    }
+
+    /// Stores `value` of `width` to `obj` at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the access leaves the object bounds.
+    pub fn store(
+        &mut self,
+        obj: ObjectId,
+        offset: i64,
+        width: MemWidth,
+        value: Value,
+    ) -> Result<(), MemError> {
+        let start = self.check(obj, offset, width.bytes())?;
+        let raw: u64 = match value {
+            Value::Int(v) => v as u64,
+            Value::Float(v) => v.to_bits(),
+            Value::Ptr { .. } => 0,
+        };
+        let bytes = raw.to_le_bytes();
+        self.arenas[obj][start..start + width.bytes() as usize]
+            .copy_from_slice(&bytes[..width.bytes() as usize]);
+        if matches!(value, Value::Ptr { .. } | Value::Float(_)) && width == MemWidth::B8 {
+            self.ptr_overlay[obj].insert(offset, value);
+        } else {
+            self.ptr_overlay[obj].remove(&offset);
+        }
+        Ok(())
+    }
+
+    /// A snapshot of all byte arenas, for semantic comparison between
+    /// program variants.
+    pub fn snapshot(&self) -> Vec<Vec<u8>> {
+        self.arenas.values().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpart_ir::DataObject;
+
+    fn program_with_global(size: u64) -> (Program, ObjectId) {
+        let mut p = Program::new("t");
+        let o = p.add_object(DataObject::global("g", size));
+        (p, o)
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let (p, o) = program_with_global(16);
+        let mut m = Memory::new(&p);
+        m.store(o, 4, MemWidth::B4, Value::Int(-123)).unwrap();
+        assert_eq!(m.load(o, 4, MemWidth::B4).unwrap(), Value::Int(-123));
+    }
+
+    #[test]
+    fn sign_extension_by_width() {
+        let (p, o) = program_with_global(8);
+        let mut m = Memory::new(&p);
+        m.store(o, 0, MemWidth::B1, Value::Int(0xFF)).unwrap();
+        assert_eq!(m.load(o, 0, MemWidth::B1).unwrap(), Value::Int(-1));
+        m.store(o, 2, MemWidth::B2, Value::Int(0x7FFF)).unwrap();
+        assert_eq!(m.load(o, 2, MemWidth::B2).unwrap(), Value::Int(0x7FFF));
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let (p, o) = program_with_global(4);
+        let mut m = Memory::new(&p);
+        assert!(m.load(o, 4, MemWidth::B4).is_err());
+        assert!(m.load(o, 1, MemWidth::B4).is_err());
+        assert!(m.store(o, -1, MemWidth::B1, Value::Int(0)).is_err());
+        assert!(m.load(o, 0, MemWidth::B4).is_ok());
+    }
+
+    #[test]
+    fn malloc_grows_heap_site() {
+        let mut p = Program::new("t");
+        let site = p.add_object(DataObject::heap_site("buf"));
+        let mut m = Memory::new(&p);
+        let off1 = m.malloc(site, 8);
+        let off2 = m.malloc(site, 8);
+        assert_eq!(off1, 0);
+        assert_eq!(off2, 8);
+        assert_eq!(m.heap_bytes[site], 16);
+        m.store(site, off2, MemWidth::B8, Value::Int(99)).unwrap();
+        assert_eq!(m.load(site, off2, MemWidth::B8).unwrap(), Value::Int(99));
+    }
+
+    #[test]
+    fn floats_roundtrip_through_overlay() {
+        let (p, o) = program_with_global(8);
+        let mut m = Memory::new(&p);
+        m.store(o, 0, MemWidth::B8, Value::Float(3.5)).unwrap();
+        assert_eq!(m.load(o, 0, MemWidth::B8).unwrap(), Value::Float(3.5));
+        // Narrow stores do not use the overlay.
+        m.store(o, 0, MemWidth::B4, Value::Int(1)).unwrap();
+        assert_eq!(m.load(o, 0, MemWidth::B4).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn pointers_roundtrip_through_overlay() {
+        let (p, o) = program_with_global(8);
+        let mut m = Memory::new(&p);
+        let ptr = Value::Ptr { obj: o, offset: 4 };
+        m.store(o, 0, MemWidth::B8, ptr).unwrap();
+        assert_eq!(m.load(o, 0, MemWidth::B8).unwrap(), ptr);
+        // Overwriting with an int clears the overlay.
+        m.store(o, 0, MemWidth::B8, Value::Int(1)).unwrap();
+        assert_eq!(m.load(o, 0, MemWidth::B8).unwrap(), Value::Int(1));
+    }
+}

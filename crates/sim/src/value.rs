@@ -1,0 +1,107 @@
+//! Runtime values of the functional interpreter.
+
+use mcpart_ir::ObjectId;
+use std::fmt;
+
+/// A dynamic value: integer, float, or a pointer into a data object.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Value {
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A double-precision float.
+    Float(f64),
+    /// A pointer: base object plus byte offset.
+    Ptr {
+        /// The object pointed into.
+        obj: ObjectId,
+        /// Byte offset from the object base.
+        offset: i64,
+    },
+}
+
+impl Value {
+    /// The integer content.
+    ///
+    /// # Errors
+    ///
+    /// Returns a type description when the value is not an integer.
+    pub fn as_int(self) -> Result<i64, &'static str> {
+        match self {
+            Value::Int(v) => Ok(v),
+            Value::Float(_) => Err("expected int, found float"),
+            Value::Ptr { .. } => Err("expected int, found pointer"),
+        }
+    }
+
+    /// The float content.
+    ///
+    /// # Errors
+    ///
+    /// Returns a type description when the value is not a float.
+    pub fn as_float(self) -> Result<f64, &'static str> {
+        match self {
+            Value::Float(v) => Ok(v),
+            Value::Int(_) => Err("expected float, found int"),
+            Value::Ptr { .. } => Err("expected float, found pointer"),
+        }
+    }
+
+    /// Truthiness for branches: nonzero integer, nonzero float, or any
+    /// pointer.
+    pub fn is_truthy(self) -> bool {
+        match self {
+            Value::Int(v) => v != 0,
+            Value::Float(v) => v != 0.0,
+            Value::Ptr { .. } => true,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Ptr { obj, offset } => write!(f, "&{obj}+{offset}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64).as_int().unwrap(), 3);
+        assert_eq!(Value::from(2.5f64).as_float().unwrap(), 2.5);
+        assert!(Value::Float(1.0).as_int().is_err());
+        assert!(Value::Int(1).as_float().is_err());
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Int(5).is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(!Value::Float(0.0).is_truthy());
+        assert!(Value::Ptr { obj: ObjectId(0), offset: 0 }.is_truthy());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::Ptr { obj: ObjectId(2), offset: 8 }.to_string(), "&obj2+8");
+    }
+}

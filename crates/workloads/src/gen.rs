@@ -1,0 +1,290 @@
+//! Shared scaffolding for workload generators.
+
+use mcpart_ir::{
+    BlockId, Cmp, FunctionBuilder, MemWidth, ObjectId, Profile, Program, VReg,
+};
+use mcpart_sim::{profile_run, ExecConfig};
+use std::fmt;
+
+/// Which benchmark suite a workload belongs to (the paper evaluates
+/// Mediabench plus a set of DSP kernels).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Suite {
+    /// Mediabench-style media applications.
+    Mediabench,
+    /// DSP kernels.
+    Dsp,
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Suite::Mediabench => f.write_str("mediabench"),
+            Suite::Dsp => f.write_str("dsp"),
+        }
+    }
+}
+
+/// A benchmark: a verified program plus the execution profile gathered
+/// by actually running it in the functional simulator (so block
+/// frequencies and heap sizes are exact, as with the paper's profiling
+/// runs).
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Benchmark name (mirrors the paper's benchmark names).
+    pub name: &'static str,
+    /// Suite membership.
+    pub suite: Suite,
+    /// The program.
+    pub program: Program,
+    /// Profile from a real execution.
+    pub profile: Profile,
+}
+
+impl Workload {
+    /// Verifies `program`, executes it once to gather the profile, and
+    /// wraps the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails verification or execution — workload
+    /// generators are expected to produce correct programs.
+    pub fn from_program(name: &'static str, suite: Suite, program: Program) -> Self {
+        mcpart_ir::verify_program(&program)
+            .unwrap_or_else(|e| panic!("workload {name} fails verification: {e}"));
+        let profile = profile_run(&program, &[], ExecConfig::default())
+            .unwrap_or_else(|e| panic!("workload {name} fails execution: {e}"));
+        Workload { name, suite, program, profile }
+    }
+
+    /// Number of data objects.
+    pub fn num_objects(&self) -> usize {
+        self.program.objects.len()
+    }
+
+    /// Total operation count.
+    pub fn num_ops(&self) -> usize {
+        self.program.num_ops()
+    }
+}
+
+/// The blocks created by [`counted_loop`].
+#[derive(Clone, Copy, Debug)]
+pub struct Loop {
+    /// Condition-check block (executes `trips + 1` times).
+    pub header: BlockId,
+    /// First body block.
+    pub body: BlockId,
+    /// Block holding the induction increment and back-edge.
+    pub latch: BlockId,
+    /// Block control falls into after the loop.
+    pub exit: BlockId,
+    /// The induction variable (0, 1, ..., trips-1 inside the body).
+    pub ivar: VReg,
+}
+
+/// Emits a counted loop `for i in 0..trips { body }` at the builder's
+/// current position, leaving the builder in the exit block.
+///
+/// The body closure receives the induction variable; it may create
+/// additional blocks but must leave the builder in a block that falls
+/// through to the latch (i.e. not terminated).
+pub fn counted_loop(
+    b: &mut FunctionBuilder<'_>,
+    trips: i64,
+    body_fn: impl FnOnce(&mut FunctionBuilder<'_>, VReg),
+) -> Loop {
+    let i = b.iconst(0);
+    let n = b.iconst(trips);
+    let header = b.block("loop.header");
+    let body = b.block("loop.body");
+    let exit = b.block("loop.exit");
+    b.jump(header);
+    b.switch_to(header);
+    let c = b.icmp(Cmp::Lt, i, n);
+    b.branch(c, body, exit);
+    b.switch_to(body);
+    body_fn(b, i);
+    let latch = b.current_block();
+    let one = b.iconst(1);
+    let next = b.add(i, one);
+    b.mov_to(i, next);
+    b.jump(header);
+    b.switch_to(exit);
+    Loop { header, body, latch, exit, ivar: i }
+}
+
+/// Emits a counted loop over `0..trips` whose body is replicated
+/// `unroll` times per iteration (`idx = i*unroll + u`), exposing
+/// instruction-level parallelism the way the paper's hyperblock-forming
+/// compiler does. `trips` must be divisible by `unroll`.
+///
+/// # Panics
+///
+/// Panics if `trips % unroll != 0` or `unroll == 0`.
+pub fn unrolled_loop(
+    b: &mut FunctionBuilder<'_>,
+    trips: i64,
+    unroll: i64,
+    mut body_fn: impl FnMut(&mut FunctionBuilder<'_>, VReg),
+) -> Loop {
+    assert!(unroll > 0 && trips % unroll == 0, "trips must divide by unroll");
+    counted_loop(b, trips / unroll, |b, i| {
+        let u = b.iconst(unroll);
+        let base = b.mul(i, u);
+        for k in 0..unroll {
+            let kc = b.iconst(k);
+            let idx = b.add(base, kc);
+            body_fn(b, idx);
+        }
+    })
+}
+
+/// Loads `table[index]` of 4-byte elements.
+pub fn load_elem4(b: &mut FunctionBuilder<'_>, table: ObjectId, index: VReg) -> VReg {
+    let base = b.addrof(table);
+    let four = b.iconst(4);
+    let off = b.mul(index, four);
+    let addr = b.add(base, off);
+    b.load(MemWidth::B4, addr)
+}
+
+/// Stores a 4-byte `value` to `table[index]`.
+pub fn store_elem4(b: &mut FunctionBuilder<'_>, table: ObjectId, index: VReg, value: VReg) {
+    let base = b.addrof(table);
+    let four = b.iconst(4);
+    let off = b.mul(index, four);
+    let addr = b.add(base, off);
+    b.store(MemWidth::B4, addr, value);
+}
+
+/// Loads `buf[index]` of 4-byte elements from a pointer register.
+pub fn load_ptr4(b: &mut FunctionBuilder<'_>, base: VReg, index: VReg) -> VReg {
+    let four = b.iconst(4);
+    let off = b.mul(index, four);
+    let addr = b.add(base, off);
+    b.load(MemWidth::B4, addr)
+}
+
+/// Stores a 4-byte `value` to `buf[index]` through a pointer register.
+pub fn store_ptr4(b: &mut FunctionBuilder<'_>, base: VReg, index: VReg, value: VReg) {
+    let four = b.iconst(4);
+    let off = b.mul(index, four);
+    let addr = b.add(base, off);
+    b.store(MemWidth::B4, addr, value);
+}
+
+/// Emits `min(max(v, lo), hi)` with constants.
+pub fn clamp_const(b: &mut FunctionBuilder<'_>, v: VReg, lo: i64, hi: i64) -> VReg {
+    let lo = b.iconst(lo);
+    let hi = b.iconst(hi);
+    let t = b.ibin(mcpart_ir::IntBinOp::Max, v, lo);
+    b.ibin(mcpart_ir::IntBinOp::Min, t, hi)
+}
+
+/// Fills a 4-byte-element table with a deterministic pseudo-random-ish
+/// pattern `value(i) = ((i * mul + add) >> shr) & mask` in an init loop,
+/// so loads observe varied data and data-dependent branches exercise
+/// both sides.
+pub fn init_table4(
+    b: &mut FunctionBuilder<'_>,
+    table: ObjectId,
+    elems: i64,
+    mul: i64,
+    add: i64,
+    mask: i64,
+) -> Loop {
+    counted_loop(b, elems, |b, i| {
+        let m = b.iconst(mul);
+        let a = b.iconst(add);
+        let mk = b.iconst(mask);
+        let v0 = b.mul(i, m);
+        let v1 = b.add(v0, a);
+        let v2 = b.and(v1, mk);
+        store_elem4(b, table, i, v2);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpart_ir::DataObject;
+
+    #[test]
+    fn counted_loop_runs_expected_trips() {
+        let mut p = Program::new("t");
+        let acc_obj = p.add_object(DataObject::global("acc", 4));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let lp = counted_loop(&mut b, 10, |b, i| {
+            let base = b.addrof(acc_obj);
+            let cur = b.load(MemWidth::B4, base);
+            let next = b.add(cur, i);
+            b.store(MemWidth::B4, base, next);
+        });
+        let base = b.addrof(acc_obj);
+        let v = b.load(MemWidth::B4, base);
+        b.ret(Some(v));
+        let w = Workload::from_program("loop10", Suite::Dsp, p);
+        // Sum 0..10 = 45.
+        let r = mcpart_sim::run(&w.program, &[], ExecConfig::default()).unwrap();
+        assert_eq!(r.return_value, Some(mcpart_sim::Value::Int(45)));
+        assert_eq!(w.profile.block_freq(w.program.entry, lp.body), 10);
+        assert_eq!(w.profile.block_freq(w.program.entry, lp.header), 11);
+    }
+
+    #[test]
+    fn init_table_fills_values() {
+        let mut p = Program::new("t");
+        let table = p.add_object(DataObject::global("tbl", 32));
+        let mut b = FunctionBuilder::entry(&mut p);
+        init_table4(&mut b, table, 8, 3, 1, 0xFF);
+        let idx = b.iconst(5);
+        let v = load_elem4(&mut b, table, idx);
+        b.ret(Some(v));
+        let r = mcpart_sim::run(&p, &[], ExecConfig::default()).unwrap();
+        assert_eq!(r.return_value, Some(mcpart_sim::Value::Int((5 * 3 + 1) & 0xFF)));
+    }
+
+    #[test]
+    fn unrolled_loop_matches_rolled_semantics() {
+        use mcpart_ir::DataObject;
+        let build = |unroll: i64| {
+            let mut p = Program::new("t");
+            let acc_obj = p.add_object(DataObject::global("acc", 4));
+            let mut b = FunctionBuilder::entry(&mut p);
+            unrolled_loop(&mut b, 12, unroll, |b, i| {
+                let base = b.addrof(acc_obj);
+                let cur = b.load(MemWidth::B4, base);
+                let next = b.add(cur, i);
+                b.store(MemWidth::B4, base, next);
+            });
+            let base = b.addrof(acc_obj);
+            let v = b.load(MemWidth::B4, base);
+            b.ret(Some(v));
+            mcpart_sim::run(&p, &[], ExecConfig::default()).unwrap().return_value
+        };
+        // Sum 0..12 regardless of the unroll factor.
+        assert_eq!(build(1), build(4));
+        assert_eq!(build(2), build(3));
+        assert_eq!(build(1), Some(mcpart_sim::Value::Int(66)));
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn unrolled_loop_rejects_non_divisible() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        unrolled_loop(&mut b, 10, 3, |_b, _i| {});
+    }
+
+    #[test]
+    fn clamp_behaviour() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let v = b.iconst(99);
+        let c = clamp_const(&mut b, v, 0, 88);
+        b.ret(Some(c));
+        let r = mcpart_sim::run(&p, &[], ExecConfig::default()).unwrap();
+        assert_eq!(r.return_value, Some(mcpart_sim::Value::Int(88)));
+    }
+}

@@ -1,0 +1,93 @@
+//! # mcpart-workloads — synthetic Mediabench / DSP-kernel workloads
+//!
+//! Deterministic IR generators modeled on the benchmarks of the paper's
+//! evaluation (Mediabench applications plus DSP kernels). Each workload
+//! is a runnable program — its [`mcpart_ir::Profile`] is gathered by
+//! actually executing it in the functional simulator — with the data
+//! object mix (lookup tables, state scalars, heap buffers) and access
+//! structure that make data partitioning matter.
+//!
+//! ```
+//! let w = mcpart_workloads::by_name("rawcaudio").expect("known benchmark");
+//! assert!(w.num_objects() >= 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adpcm;
+mod epic;
+mod g721;
+mod gen;
+mod gsm;
+mod jpeg;
+mod kernels;
+mod kernels2;
+mod mpeg2;
+mod pegwit;
+#[cfg(test)]
+mod tests_structure;
+
+pub use gen::{
+    clamp_const, counted_loop, init_table4, load_elem4, load_ptr4, store_elem4, store_ptr4,
+    Loop, Suite, Workload,
+};
+
+/// All workloads, Mediabench first, then the DSP kernels.
+pub fn all() -> Vec<Workload> {
+    vec![
+        jpeg::cjpeg(),
+        jpeg::djpeg(),
+        epic::epic(),
+        epic::unepic(),
+        g721::g721encode(),
+        g721::g721decode(),
+        gsm::gsmencode(),
+        gsm::gsmdecode(),
+        mpeg2::mpeg2dec(),
+        mpeg2::mpeg2enc(),
+        pegwit::pegwit(),
+        adpcm::rawcaudio(),
+        adpcm::rawdaudio(),
+        kernels::fir(),
+        kernels::fft(),
+        kernels::fsed(),
+        kernels::sobel(),
+        kernels::latnrm(),
+        kernels::matmul(),
+        kernels2::viterbi(),
+        kernels2::autcor(),
+        kernels2::histogram(),
+    ]
+}
+
+/// Looks up one workload by its benchmark name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+/// The Mediabench subset.
+pub fn mediabench() -> Vec<Workload> {
+    all().into_iter().filter(|w| w.suite == Suite::Mediabench).collect()
+}
+
+/// The DSP kernel subset.
+pub fn dsp_kernels() -> Vec<Workload> {
+    all().into_iter().filter(|w| w.suite == Suite::Dsp).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_consistent() {
+        let names: Vec<_> = all().iter().map(|w| w.name).collect();
+        assert!(names.contains(&"rawcaudio"));
+        assert!(names.contains(&"fsed"));
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len(), "duplicate names");
+        assert!(by_name("rawdaudio").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+}

@@ -1,0 +1,113 @@
+//! Cross-benchmark structural tests: the workload suite must retain the
+//! properties that make the paper's evaluation meaningful.
+
+use crate::{all, by_name, Suite};
+
+#[test]
+fn suite_composition_matches_paper() {
+    let ws = all();
+    assert_eq!(ws.len(), 22);
+    let mediabench = ws.iter().filter(|w| w.suite == Suite::Mediabench).count();
+    let dsp = ws.iter().filter(|w| w.suite == Suite::Dsp).count();
+    assert_eq!(mediabench, 13);
+    assert_eq!(dsp, 9);
+}
+
+#[test]
+fn every_workload_has_partitionable_data() {
+    // The paper omitted benchmarks "that did not have enough data
+    // objects where making a partitioning choice about the memory was
+    // important" — ours must all qualify.
+    for w in all() {
+        assert!(
+            w.num_objects() >= 4,
+            "{}: only {} objects",
+            w.name,
+            w.num_objects()
+        );
+        let sized = w
+            .profile
+            .apply_heap_sizes(&w.program)
+            .objects
+            .values()
+            .filter(|o| o.size > 0)
+            .count();
+        assert!(sized >= 3, "{}: only {sized} sized objects", w.name);
+    }
+}
+
+#[test]
+fn kernels_dominate_profiles() {
+    // Initialization must not dominate the profile (real benchmarks
+    // read inputs from files; our generators synthesize them, so the
+    // main kernels must outweigh the init loops).
+    for w in all() {
+        let program = &w.program;
+        let mut weights: Vec<u64> = Vec::new();
+        for (fid, f) in program.functions.iter() {
+            for (bid, block) in f.blocks.iter() {
+                weights.push(w.profile.block_freq(fid, bid) * block.ops.len() as u64);
+            }
+        }
+        weights.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = weights.iter().sum();
+        assert!(
+            weights[0] * 5 >= total,
+            "{}: no dominant kernel block ({} of {total})",
+            w.name,
+            weights[0]
+        );
+    }
+}
+
+#[test]
+fn object_names_mirror_real_benchmarks() {
+    let expectations = [
+        ("rawcaudio", "stepsizeTable"),
+        ("rawdaudio", "indexTable"),
+        ("g721encode", "qtab_721"),
+        ("gsmencode", "state.dp0"),
+        ("mpeg2enc", "intra_quantizer_matrix"),
+        ("cjpeg", "std_luminance_quant_tbl"),
+        ("epic", "lo_filter"),
+        ("pegwit", "gf_reduction_tbl"),
+        ("fir", "delayLine"),
+    ];
+    for (bench, object) in expectations {
+        let w = by_name(bench).unwrap_or_else(|| panic!("missing {bench}"));
+        assert!(
+            w.program.objects.values().any(|o| o.name == object),
+            "{bench}: object `{object}` missing"
+        );
+    }
+}
+
+#[test]
+fn encode_decode_pairs_share_table_shapes() {
+    for (enc, dec) in [
+        ("rawcaudio", "rawdaudio"),
+        ("g721encode", "g721decode"),
+        ("gsmencode", "gsmdecode"),
+        ("mpeg2enc", "mpeg2dec"),
+        ("cjpeg", "djpeg"),
+        ("epic", "unepic"),
+    ] {
+        let we = by_name(enc).unwrap();
+        let wd = by_name(dec).unwrap();
+        assert_eq!(
+            we.num_objects(),
+            wd.num_objects(),
+            "{enc}/{dec} should share an object inventory"
+        );
+    }
+}
+
+#[test]
+fn profiles_are_reproducible() {
+    // Workload construction executes the program; rebuilding must give
+    // the identical profile (generators are deterministic).
+    let a = by_name("fsed").unwrap();
+    let b = by_name("fsed").unwrap();
+    assert_eq!(a.profile, b.profile);
+    assert_eq!(a.program, b.program);
+}

@@ -1,0 +1,65 @@
+//! Reproduce Figure 9 interactively: enumerate every data-object
+//! mapping of a small benchmark, print the performance/balance scatter,
+//! and mark where GDP's choice lands.
+//!
+//! Run with `cargo run --release --example exhaustive_search [benchmark]`.
+
+use mcpart::analysis::{AccessInfo, PointsTo};
+use mcpart::core::{
+    evaluate_mapping, exhaustive_search, gdp_partition, GdpConfig, ObjectGroups, RhopConfig,
+};
+use mcpart::machine::Machine;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "rawcaudio".to_string());
+    let w = mcpart::workloads::by_name(&name).expect("known benchmark");
+    let machine = Machine::paper_2cluster(5);
+    let rhop = RhopConfig::default();
+
+    let points = match exhaustive_search(&w.program, &w.profile, &machine, &rhop, 12) {
+        Ok(points) => points,
+        Err(e) => {
+            eprintln!("{name}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let worst = points.iter().map(|p| p.cycles).max().unwrap() as f64;
+    let best = points.iter().map(|p| p.cycles).min().unwrap() as f64;
+    println!("== {name}: {} object mappings enumerated", points.len());
+    println!("   best mapping is {:.1}% faster than the worst", (worst / best - 1.0) * 100.0);
+
+    // Crude ASCII scatter: performance (x) vs balance (y).
+    const COLS: usize = 64;
+    const ROWS: usize = 12;
+    let mut grid = vec![vec![' '; COLS + 1]; ROWS + 1];
+    for p in &points {
+        let x = ((worst / p.cycles as f64 - 1.0) / (worst / best - 1.0).max(1e-9) * COLS as f64)
+            .round() as usize;
+        let y = ((p.imbalance - 0.5) / 0.5 * ROWS as f64).round() as usize;
+        grid[y.min(ROWS)][x.min(COLS)] = match grid[y.min(ROWS)][x.min(COLS)] {
+            ' ' => '.',
+            '.' => 'o',
+            _ => '@',
+        };
+    }
+    println!("   y = size imbalance (bottom balanced, top skewed); x = performance (right is faster)");
+    for row in grid.iter().rev() {
+        let line: String = row.iter().collect();
+        println!("   |{line}");
+    }
+    println!("   +{}", "-".repeat(COLS + 1));
+
+    // Where does GDP land?
+    let program = w.profile.apply_heap_sizes(&w.program);
+    let pts = PointsTo::compute(&program);
+    let access = AccessInfo::compute(&program, &pts, &w.profile);
+    let groups = ObjectGroups::compute(&program, &access);
+    let dp = gdp_partition(&program, &w.profile, &access, &groups, &machine, &GdpConfig::default());
+    let gdp_point =
+        evaluate_mapping(&program, &w.profile, &machine, &groups, &dp.group_cluster, &rhop);
+    println!(
+        "   GDP chose a mapping at {:.1}% of best performance with imbalance {:.2}",
+        best / gdp_point.cycles as f64 * 100.0,
+        gdp_point.imbalance
+    );
+}

@@ -1,0 +1,324 @@
+//! `mcpart` — command-line driver for the data/computation partitioner.
+//!
+//! ```text
+//! mcpart list                                   # available benchmarks
+//! mcpart run rawcaudio --method gdp --latency 5 # one pipeline run
+//! mcpart compare rawcaudio --latency 10         # all four methods
+//! mcpart dump rawcaudio > rawcaudio.mcir        # textual IR
+//! mcpart exec program.mcir --method gdp         # partition a text-IR file
+//! mcpart partition rawcaudio                    # object homes chosen by GDP
+//! ```
+
+use mcpart::core::{run_pipeline, Method, PipelineConfig};
+use mcpart::ir::{parse_program, program_to_string, Profile, Program};
+use mcpart::machine::Machine;
+use mcpart::sim::{profile_run, ExecConfig};
+use std::process::ExitCode;
+
+/// Prints a line to stdout, exiting quietly when the consumer has gone
+/// away (e.g. `mcpart list | head`): a broken pipe is a normal way for
+/// a CLI's output to end, not a panic.
+macro_rules! outln {
+    ($($arg:tt)*) => {{
+        use std::io::Write;
+        if writeln!(std::io::stdout(), $($arg)*).is_err() {
+            std::process::exit(0);
+        }
+    }};
+}
+
+struct Options {
+    latency: u32,
+    clusters: usize,
+    memory: MemoryChoice,
+    method: Method,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum MemoryChoice {
+    Partitioned,
+    Unified,
+    Coherent(u32),
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            latency: 5,
+            clusters: 2,
+            memory: MemoryChoice::Partitioned,
+            method: Method::Gdp,
+        }
+    }
+}
+
+fn parse_method(s: &str) -> Option<Method> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "gdp" => Method::Gdp,
+        "profile-max" | "profilemax" | "pm" => Method::ProfileMax,
+        "naive" => Method::Naive,
+        "unified" => Method::Unified,
+        _ => return None,
+    })
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--latency" => {
+                o.latency = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--latency needs a number")?;
+                i += 1;
+            }
+            "--clusters" => {
+                o.clusters = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--clusters needs a number")?;
+                i += 1;
+            }
+            "--method" => {
+                o.method = args
+                    .get(i + 1)
+                    .and_then(|v| parse_method(v))
+                    .ok_or("--method must be gdp|profile-max|naive|unified")?;
+                i += 1;
+            }
+            "--memory" => {
+                let v = args.get(i + 1).ok_or("--memory needs a value")?;
+                o.memory = if v == "partitioned" {
+                    MemoryChoice::Partitioned
+                } else if v == "unified" {
+                    MemoryChoice::Unified
+                } else if let Some(p) = v.strip_prefix("coherent:") {
+                    MemoryChoice::Coherent(
+                        p.parse().map_err(|_| "coherent:<penalty> needs a number")?,
+                    )
+                } else {
+                    return Err("--memory must be partitioned|unified|coherent:<penalty>".into());
+                };
+                i += 1;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+fn machine_of(o: &Options) -> Machine {
+    let m = Machine::homogeneous(o.clusters, o.latency);
+    match o.memory {
+        MemoryChoice::Partitioned => m,
+        MemoryChoice::Unified => m.with_unified_memory(),
+        MemoryChoice::Coherent(p) => m.with_coherent_cache(p),
+    }
+}
+
+fn load_target(name_or_path: &str) -> Result<(Program, Profile), String> {
+    if let Some(w) = mcpart::workloads::by_name(name_or_path) {
+        return Ok((w.program, w.profile));
+    }
+    if std::path::Path::new(name_or_path).exists() {
+        let text = std::fs::read_to_string(name_or_path)
+            .map_err(|e| format!("cannot read {name_or_path}: {e}"))?;
+        let program = parse_program(&text).map_err(|e| format!("{name_or_path}: {e}"))?;
+        mcpart::ir::verify_program(&program).map_err(|e| format!("{name_or_path}: {e}"))?;
+        let profile = profile_run(&program, &[], ExecConfig::default())
+            .map_err(|e| format!("{name_or_path}: execution failed: {e}"))?;
+        return Ok((program, profile));
+    }
+    Err(format!(
+        "`{name_or_path}` is neither a known benchmark nor a readable file (try `mcpart list`)"
+    ))
+}
+
+fn report_run(program: &Program, profile: &Profile, o: &Options) {
+    let machine = machine_of(o);
+    let run = run_pipeline(program, profile, &machine, &PipelineConfig::new(o.method));
+    outln!("benchmark: {}", program.name);
+    outln!("machine:   {} clusters, {}-cycle moves", o.clusters, o.latency);
+    outln!("method:    {}", o.method);
+    outln!("cycles:    {}", run.cycles());
+    outln!("moves:     {} dynamic intercluster ({} static)", run.dynamic_moves(), run.moves_inserted);
+    if run.report.dynamic_remote_accesses > 0 {
+        outln!("remote:    {} dynamic remote accesses", run.report.dynamic_remote_accesses);
+    }
+    outln!("data:      {:?} bytes per cluster", run.data_bytes);
+    outln!("ops:       {:?} per cluster", run.placement.ops_per_cluster(o.clusters));
+    let pressure = run
+        .program
+        .functions
+        .values()
+        .map(|f| mcpart::analysis::Liveness::compute(f).peak_boundary_pressure())
+        .max()
+        .unwrap_or(0);
+    outln!("pressure:  {pressure} live registers at the worst block boundary");
+    outln!("partition: {:.1} ms", run.partition_time.as_secs_f64() * 1e3);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        eprintln!("usage: mcpart <list|run|compare|dump|exec|partition|schedule> [args]");
+        return ExitCode::FAILURE;
+    };
+    let result = match command {
+        "list" => {
+            outln!("{:<12} {:>6} {:>8} {:>9} {:>12}", "benchmark", "ops", "objects", "bytes", "suite");
+            for w in mcpart::workloads::all() {
+                outln!(
+                    "{:<12} {:>6} {:>8} {:>9} {:>12}",
+                    w.name,
+                    w.num_ops(),
+                    w.num_objects(),
+                    w.program.total_object_size(),
+                    w.suite.to_string()
+                );
+            }
+            Ok(())
+        }
+        "run" | "exec" => (|| {
+            let target = args.get(1).ok_or("run needs a benchmark name or .mcir file")?;
+            let o = parse_options(&args[2..])?;
+            let (program, profile) = load_target(target)?;
+            report_run(&program, &profile, &o);
+            Ok(())
+        })(),
+        "compare" => (|| {
+            let target = args.get(1).ok_or("compare needs a benchmark name or file")?;
+            let o = parse_options(&args[2..])?;
+            let (program, profile) = load_target(target)?;
+            let machine = machine_of(&o);
+            let mut unified = 0u64;
+            let mut rows = Vec::new();
+            for method in Method::ALL {
+                let run = run_pipeline(&program, &profile, &machine, &PipelineConfig::new(method));
+                if method == Method::Unified {
+                    unified = run.cycles();
+                }
+                rows.push((method, run.cycles(), run.dynamic_moves()));
+            }
+            outln!("{:<14} {:>10} {:>10} {:>10}", "method", "cycles", "moves", "vs unified");
+            for (method, cycles, moves) in rows {
+                outln!(
+                    "{:<14} {:>10} {:>10} {:>9.1}%",
+                    method.to_string(),
+                    cycles,
+                    moves,
+                    unified as f64 / cycles as f64 * 100.0
+                );
+            }
+            Ok(())
+        })(),
+        "dump" => (|| {
+            let target = args.get(1).ok_or("dump needs a benchmark name")?;
+            let (program, _) = load_target(target)?;
+            print!("{}", program_to_string(&program));
+            Ok(())
+        })(),
+        "schedule" => (|| {
+            // Show the timeline of the hottest block under the chosen
+            // method.
+            let target = args.get(1).ok_or("schedule needs a benchmark name or file")?;
+            let o = parse_options(&args[2..])?;
+            let (program, profile) = load_target(target)?;
+            let machine = machine_of(&o);
+            let run = run_pipeline(&program, &profile, &machine, &PipelineConfig::new(o.method));
+            let mut hottest = None;
+            for (fid, f) in run.program.functions.iter() {
+                for bid in f.blocks.keys() {
+                    let sched = &run.report.schedules[fid][bid];
+                    let weight = sched.length as u64 * profile.block_freq(fid, bid);
+                    if hottest.as_ref().map(|&(w, _, _)| weight > w).unwrap_or(true) {
+                        hottest = Some((weight, fid, bid));
+                    }
+                }
+            }
+            let (weight, fid, bid) = hottest.ok_or("program has no blocks")?;
+            outln!(
+                "hottest block: {}/{bid} ({} weighted cycles) under {}",
+                run.program.functions[fid].name, weight, o.method
+            );
+            outln!(
+                "{}",
+                mcpart::sched::schedule_to_string(
+                    &run.program,
+                    fid,
+                    &run.report.schedules[fid][bid],
+                    &run.placement,
+                    o.clusters,
+                )
+            );
+            Ok(())
+        })(),
+        "partition" => (|| {
+            let target = args.get(1).ok_or("partition needs a benchmark name or file")?;
+            let o = parse_options(&args[2..])?;
+            let (program, profile) = load_target(target)?;
+            let machine = machine_of(&o);
+            let program = profile.apply_heap_sizes(&program);
+            let pts = mcpart::analysis::PointsTo::compute(&program);
+            let access = mcpart::analysis::AccessInfo::compute(&program, &pts, &profile);
+            let groups = mcpart::core::ObjectGroups::compute(&program, &access);
+            let dp = mcpart::core::gdp_partition(
+                &program,
+                &profile,
+                &access,
+                &groups,
+                &machine,
+                &mcpart::core::GdpConfig::default(),
+            );
+            outln!("object homes for {} (cut {}):", program.name, dp.cut);
+            for (obj, home) in dp.object_home.iter() {
+                if let Some(c) = home {
+                    outln!("  {:<28} -> {}", program.objects[obj].name, c);
+                }
+            }
+            outln!("bytes per cluster: {:?}", dp.bytes_per_cluster(&program, machine.num_clusters()));
+            Ok(())
+        })(),
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_parsing() {
+        let args: Vec<String> = ["--latency", "10", "--method", "pm", "--memory", "coherent:7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = parse_options(&args).unwrap();
+        assert_eq!(o.latency, 10);
+        assert_eq!(o.method, Method::ProfileMax);
+        assert!(matches!(o.memory, MemoryChoice::Coherent(7)));
+    }
+
+    #[test]
+    fn rejects_unknown_option() {
+        let args = vec!["--bogus".to_string()];
+        assert!(parse_options(&args).is_err());
+    }
+
+    #[test]
+    fn method_names() {
+        assert_eq!(parse_method("gdp"), Some(Method::Gdp));
+        assert_eq!(parse_method("profile-max"), Some(Method::ProfileMax));
+        assert_eq!(parse_method("nonsense"), None);
+    }
+}

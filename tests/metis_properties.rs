@@ -1,0 +1,133 @@
+//! Property-based tests for the multilevel graph partitioner.
+
+use mcpart::metis::{
+    coarsen_once, default_max_vwgt, partition, BalanceModel, Graph, GraphBuilder,
+    PartitionConfig,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Builds a random connected graph from a proptest plan: `n` vertices,
+/// extra edges over a spanning path.
+fn build_graph(n: usize, weights: &[u64], extra_edges: &[(usize, usize, u64)]) -> Graph {
+    let mut b = GraphBuilder::new(1);
+    for i in 0..n {
+        b.add_vertex(&[weights[i % weights.len()].max(1)]);
+    }
+    for i in 1..n {
+        b.add_edge(i as u32 - 1, i as u32, 1);
+    }
+    for &(a, bb, w) in extra_edges {
+        b.add_edge((a % n) as u32, (bb % n) as u32, w % 16 + 1);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any partition result covers every vertex with a valid part index
+    /// and reports a consistent cut and part weights.
+    #[test]
+    fn partition_is_well_formed(
+        n in 2usize..120,
+        nparts in 2usize..5,
+        weights in prop::collection::vec(1u64..50, 1..8),
+        edges in prop::collection::vec((0usize..200, 0usize..200, 0u64..100), 0..200),
+        seed in 0u64..1_000_000,
+    ) {
+        let g = build_graph(n, &weights, &edges);
+        let cfg = PartitionConfig::new(nparts).with_seed(seed);
+        let result = partition(&g, &cfg);
+        prop_assert_eq!(result.assignment.len(), n);
+        prop_assert!(result.assignment.iter().all(|&p| (p as usize) < nparts));
+        prop_assert_eq!(result.cut, g.edge_cut(&result.assignment));
+        prop_assert_eq!(&result.part_weights, &g.part_weights(&result.assignment, nparts));
+        // Total weight is conserved.
+        let total: u64 = result.part_weights.iter().map(|p| p[0]).sum();
+        prop_assert_eq!(total, g.total_weights()[0]);
+    }
+
+    /// Coarsening conserves total vertex weight and maps every fine
+    /// vertex to a valid coarse vertex.
+    #[test]
+    fn coarsening_conserves_weight(
+        n in 4usize..150,
+        weights in prop::collection::vec(1u64..20, 1..6),
+        edges in prop::collection::vec((0usize..200, 0usize..200, 0u64..20), 0..250),
+        seed in 0u64..1_000_000,
+    ) {
+        let g = build_graph(n, &weights, &edges);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        if let Some(level) = coarsen_once(&g, &default_max_vwgt(&g, 4), &mut rng) {
+            prop_assert_eq!(level.graph.total_weights(), g.total_weights());
+            prop_assert_eq!(level.map.len(), n);
+            let coarse_n = level.graph.num_vertices();
+            prop_assert!(level.map.iter().all(|&c| (c as usize) < coarse_n));
+            prop_assert!(coarse_n < n);
+            // Cut of any projected partition is identical on both levels.
+            let coarse_assign: Vec<u32> =
+                (0..coarse_n).map(|i| (i % 2) as u32).collect();
+            let fine_assign: Vec<u32> =
+                level.map.iter().map(|&c| coarse_assign[c as usize]).collect();
+            prop_assert_eq!(
+                level.graph.edge_cut(&coarse_assign),
+                g.edge_cut(&fine_assign)
+            );
+        }
+    }
+
+    /// With generous imbalance, bisections of uniform graphs are
+    /// balanced.
+    #[test]
+    fn uniform_bisection_is_balanced(
+        n in 8usize..100,
+        edges in prop::collection::vec((0usize..200, 0usize..200, 0u64..10), 0..120),
+        seed in 0u64..1_000_000,
+    ) {
+        let g = build_graph(n, &[1], &edges);
+        let cfg = PartitionConfig::new(2).with_seed(seed).with_imbalance(0.2);
+        let result = partition(&g, &cfg);
+        let balance = BalanceModel::uniform(&g, 2, 0.2);
+        prop_assert!(
+            balance.is_balanced(&result.part_weights),
+            "weights {:?}", result.part_weights
+        );
+    }
+
+    /// Determinism: equal seeds give equal results.
+    #[test]
+    fn partition_deterministic(
+        n in 2usize..80,
+        edges in prop::collection::vec((0usize..100, 0usize..100, 0u64..10), 0..100),
+        seed in 0u64..1_000_000,
+    ) {
+        let g = build_graph(n, &[1, 3], &edges);
+        let cfg = PartitionConfig::new(2).with_seed(seed);
+        let a = partition(&g, &cfg);
+        let b = partition(&g, &cfg);
+        prop_assert_eq!(a.assignment, b.assignment);
+    }
+}
+
+/// The partitioner beats a naive half-split on a structured graph: two
+/// densely connected communities joined by a single edge.
+#[test]
+fn communities_are_separated() {
+    let mut b = GraphBuilder::new(1);
+    let k = 20;
+    for _ in 0..2 * k {
+        b.add_vertex(&[1]);
+    }
+    for i in 0..k as u32 {
+        for j in (i + 1)..k as u32 {
+            b.add_edge(i, j, 2);
+            b.add_edge(i + k as u32, j + k as u32, 2);
+        }
+    }
+    b.add_edge(0, k as u32, 1);
+    let g = b.build();
+    let result = partition(&g, &PartitionConfig::new(2));
+    assert_eq!(result.cut, 1, "only the bridge should be cut");
+}

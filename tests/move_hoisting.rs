@@ -1,0 +1,96 @@
+//! Profile-guided move hoisting: semantics preservation and dynamic
+//! transfer reduction.
+
+use mcpart::ir::{
+    Cmp, ClusterId, DataObject, FunctionBuilder, MemWidth, Profile, Program,
+};
+use mcpart::machine::Machine;
+use mcpart::sched::{
+    insert_moves, insert_moves_with, normalize_placement, MoveStrategy, Placement,
+};
+
+fn machine() -> Machine {
+    Machine::paper_2cluster(5)
+}
+
+fn access_of(p: &Program) -> mcpart::analysis::AccessInfo {
+    let pts = mcpart::analysis::PointsTo::compute(p);
+    mcpart::analysis::AccessInfo::compute(p, &pts, &Profile::uniform(p, 1))
+}
+
+#[test]
+fn hoisted_moves_preserve_semantics_in_loops() {
+    // A value defined before a loop and consumed remotely inside it:
+    // hoisting turns per-iteration transfers into a single one.
+    let mut p = Program::new("t");
+    let obj = p.add_object(DataObject::global("acc", 4));
+    let mut b = FunctionBuilder::entry(&mut p);
+    let x = b.iconst(7); // defined once, consumed in the loop on c1
+    let i = b.iconst(0);
+    let n = b.iconst(50);
+    let head = b.block("head");
+    let body = b.block("body");
+    let exit = b.block("exit");
+    b.jump(head);
+    b.switch_to(head);
+    let c = b.icmp(Cmp::Lt, i, n);
+    b.branch(c, body, exit);
+    b.switch_to(body);
+    let a = b.addrof(obj);
+    let cur = b.load(MemWidth::B4, a);
+    let stepped = b.add(cur, x); // this add will live on cluster 1
+    b.store(MemWidth::B4, a, stepped);
+    let one = b.iconst(1);
+    let ni = b.add(i, one);
+    b.mov_to(i, ni);
+    b.jump(head);
+    b.switch_to(exit);
+    let a2 = b.addrof(obj);
+    let out = b.load(MemWidth::B4, a2);
+    b.ret(Some(out));
+    let f = p.entry;
+    // Force the consuming add onto cluster 1; memory stays on 0.
+    let add_id = p.functions[f].blocks[body].ops[2];
+    let mut pl = Placement::all_on_cluster0(&p);
+    pl.set_cluster(f, add_id, ClusterId::new(1));
+    let profile = {
+        let mut pr = Profile::uniform(&p, 1);
+        pr.funcs[f].block_freq[body] = 50;
+        pr.funcs[f].block_freq[head] = 51;
+        pr
+    };
+    let m = machine();
+    let norm = normalize_placement(&p, &pl, &access_of(&p), &m, &profile);
+    let (plain, _, plain_stats) = insert_moves(&p, &norm, &m);
+    let (hoisted, hoisted_pl, hoist_stats) = insert_moves_with(
+        &p,
+        &norm,
+        &m,
+        Some(&profile),
+        MoveStrategy::ProfileHoisted,
+    );
+    mcpart::ir::verify_program(&hoisted).unwrap();
+    assert!(hoist_stats.moves_hoisted > 0, "{hoist_stats:?}");
+    // Semantics unchanged under both strategies.
+    assert!(mcpart::sim::semantically_equivalent(
+        &p,
+        &hoisted,
+        &[],
+        mcpart::sim::ExecConfig::default()
+    )
+    .unwrap());
+    // Dynamic transfers: hoisted pays once (entry block), plain pays
+    // per loop iteration.
+    let plain_pl = {
+        let (_, pl2, _) = insert_moves(&p, &norm, &m);
+        pl2
+    };
+    let plain_dyn = mcpart::sim::dynamic_move_count(&plain, &plain_pl, &profile);
+    let hoist_dyn = mcpart::sim::dynamic_move_count(&hoisted, &hoisted_pl, &profile);
+    assert!(
+        hoist_dyn < plain_dyn,
+        "hoisted {hoist_dyn} should beat per-block {plain_dyn}"
+    );
+    let _ = plain_stats;
+}
+

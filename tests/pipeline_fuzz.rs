@@ -1,0 +1,221 @@
+//! Full-stack differential fuzzing: random programs with loops,
+//! branches and memory traffic run through the complete pipeline for
+//! every method, validating semantics and report invariants.
+
+use mcpart::core::{run_pipeline, Method, PipelineConfig};
+use mcpart::ir::{
+    Cmp, DataObject, FunctionBuilder, IntBinOp, MemWidth, Program, VReg,
+};
+use mcpart::machine::Machine;
+use mcpart::sim::{profile_run, ExecConfig};
+use mcpart::workloads::counted_loop;
+use proptest::prelude::*;
+
+/// One straight-line operation of a segment.
+#[derive(Clone, Debug)]
+enum SegOp {
+    Const(i64),
+    Bin(u8, usize, usize),
+    Cmp(u8, usize, usize),
+    Select(usize, usize, usize),
+    Load(u8, usize),
+    Store(u8, usize, usize),
+}
+
+/// A program segment: straight-line, a counted loop, or a diamond.
+#[derive(Clone, Debug)]
+enum Segment {
+    Straight(Vec<SegOp>),
+    Loop(u8, Vec<SegOp>),
+    Diamond(usize, Vec<SegOp>, Vec<SegOp>),
+}
+
+fn arb_segops(max: usize) -> impl Strategy<Value = Vec<SegOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (-100i64..100).prop_map(SegOp::Const),
+            (0u8..9, 0usize..64, 0usize..64).prop_map(|(k, a, b)| SegOp::Bin(k, a, b)),
+            (0u8..6, 0usize..64, 0usize..64).prop_map(|(k, a, b)| SegOp::Cmp(k, a, b)),
+            (0usize..64, 0usize..64, 0usize..64)
+                .prop_map(|(c, a, b)| SegOp::Select(c, a, b)),
+            (0u8..4, 0usize..16).prop_map(|(o, i)| SegOp::Load(o, i)),
+            (0u8..4, 0usize..16, 0usize..64).prop_map(|(o, i, v)| SegOp::Store(o, i, v)),
+        ],
+        1..max,
+    )
+}
+
+fn arb_program() -> impl Strategy<Value = Vec<Segment>> {
+    prop::collection::vec(
+        prop_oneof![
+            arb_segops(12).prop_map(Segment::Straight),
+            (1u8..6, arb_segops(10)).prop_map(|(t, ops)| Segment::Loop(t, ops)),
+            (0usize..64, arb_segops(8), arb_segops(8))
+                .prop_map(|(c, a, b)| Segment::Diamond(c, a, b)),
+        ],
+        1..5,
+    )
+}
+
+fn emit_segops(
+    b: &mut FunctionBuilder<'_>,
+    ops: &[SegOp],
+    values: &mut Vec<VReg>,
+    objects: &[mcpart::ir::ObjectId],
+) {
+    let pick = |values: &[VReg], i: usize| values[i % values.len()];
+    for op in ops {
+        let v = match *op {
+            SegOp::Const(c) => b.iconst(c),
+            SegOp::Bin(k, x, y) => {
+                let kinds = [
+                    IntBinOp::Add,
+                    IntBinOp::Sub,
+                    IntBinOp::Mul,
+                    IntBinOp::And,
+                    IntBinOp::Or,
+                    IntBinOp::Xor,
+                    IntBinOp::Shl,
+                    IntBinOp::Min,
+                    IntBinOp::Max,
+                ];
+                let (a, c) = (pick(values, x), pick(values, y));
+                b.ibin(kinds[k as usize % kinds.len()], a, c)
+            }
+            SegOp::Cmp(k, x, y) => {
+                let kinds = [Cmp::Eq, Cmp::Ne, Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge];
+                let (a, c) = (pick(values, x), pick(values, y));
+                b.icmp(kinds[k as usize % kinds.len()], a, c)
+            }
+            SegOp::Select(c, x, y) => {
+                let (cc, a, d) = (pick(values, c), pick(values, x), pick(values, y));
+                b.select(cc, a, d)
+            }
+            SegOp::Load(o, i) => {
+                let obj = objects[o as usize % objects.len()];
+                let base = b.addrof(obj);
+                let off = b.iconst((i as i64 % 16) * 4);
+                let addr = b.add(base, off);
+                b.load(MemWidth::B4, addr)
+            }
+            SegOp::Store(o, i, v) => {
+                let obj = objects[o as usize % objects.len()];
+                let base = b.addrof(obj);
+                let off = b.iconst((i as i64 % 16) * 4);
+                let addr = b.add(base, off);
+                let val = pick(values, v);
+                b.store(MemWidth::B4, addr, val);
+                continue;
+            }
+        };
+        values.push(v);
+    }
+}
+
+fn realize(segments: &[Segment]) -> Program {
+    let mut p = Program::new("fuzz");
+    let objects: Vec<_> = (0..4)
+        .map(|i| p.add_object(DataObject::global(format!("g{i}"), 64)))
+        .collect();
+    let mut b = FunctionBuilder::entry(&mut p);
+    let seed = b.iconst(1);
+    let mut values = vec![seed];
+    for seg in segments {
+        match seg {
+            Segment::Straight(ops) => emit_segops(&mut b, ops, &mut values, &objects),
+            Segment::Loop(trips, ops) => {
+                // Values defined inside the body stay local to it (the
+                // body may be skipped only if trips == 0; we keep
+                // trips >= 1 so everything below stays defined).
+                let before = values.len();
+                counted_loop(&mut b, i64::from(*trips).max(1), |b, i| {
+                    values.push(i);
+                    emit_segops(b, ops, &mut values, &objects);
+                });
+                values.truncate(before);
+            }
+            Segment::Diamond(c, then_ops, else_ops) => {
+                let cond = values[*c % values.len()];
+                let t = b.block("then");
+                let e = b.block("else");
+                let m = b.block("merge");
+                b.branch(cond, t, e);
+                let before = values.len();
+                b.switch_to(t);
+                emit_segops(&mut b, then_ops, &mut values, &objects);
+                values.truncate(before);
+                b.jump(m);
+                b.switch_to(e);
+                emit_segops(&mut b, else_ops, &mut values, &objects);
+                values.truncate(before);
+                b.jump(m);
+                b.switch_to(m);
+            }
+        }
+    }
+    let result = *values.last().expect("nonempty");
+    b.ret(Some(result));
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every method's full pipeline preserves semantics and produces
+    /// coherent reports on random CFG programs.
+    #[test]
+    fn pipeline_is_sound_on_random_programs(segments in arb_program(), latency in 1u32..11) {
+        let program = realize(&segments);
+        mcpart::ir::verify_program(&program).expect("generated program verifies");
+        let profile = profile_run(&program, &[], ExecConfig::default())
+            .expect("generated program executes");
+        let machine = Machine::paper_2cluster(latency);
+        let mut unified_cycles = None;
+        for method in Method::ALL {
+            let mut cfg = PipelineConfig::new(method);
+            cfg.validate = true; // semantic equivalence, checked inside
+            let run = run_pipeline(&program, &profile, &machine, &cfg);
+            prop_assert!(run.cycles() > 0);
+            mcpart::ir::verify_program(&run.program).expect("transformed program verifies");
+            if method == Method::Unified {
+                unified_cycles = Some(run.cycles());
+            }
+        }
+        // Sanity: nothing is an order of magnitude from unified on these
+        // tiny programs.
+        let unified = unified_cycles.expect("unified ran") as f64;
+        let gdp = run_pipeline(&program, &profile, &machine, &PipelineConfig::new(Method::Gdp));
+        prop_assert!((gdp.cycles() as f64) < unified * 10.0 + 1000.0);
+    }
+
+    /// The optimizer composes with the pipeline on random programs.
+    #[test]
+    fn optimizer_composes_with_pipeline(segments in arb_program()) {
+        let program = realize(&segments);
+        let profile = profile_run(&program, &[], ExecConfig::default()).expect("executes");
+        let machine = Machine::paper_2cluster(5);
+        let mut cfg = PipelineConfig::new(Method::Gdp);
+        cfg.pre_optimize = true;
+        cfg.validate = true; // optimize + partition + moves must preserve semantics
+        let run = run_pipeline(&program, &profile, &machine, &cfg);
+        prop_assert!(run.cycles() > 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Textual round-trip holds for arbitrary CFG programs, and the
+    /// reparsed program behaves identically.
+    #[test]
+    fn random_programs_roundtrip_through_text(segments in arb_program()) {
+        let program = realize(&segments);
+        let text = mcpart::ir::program_to_string(&program);
+        let parsed = mcpart::ir::parse_program(&text).expect("round-trip parse");
+        prop_assert_eq!(&text, &mcpart::ir::program_to_string(&parsed));
+        let a = mcpart::sim::run(&program, &[], ExecConfig::default()).expect("original runs");
+        let b = mcpart::sim::run(&parsed, &[], ExecConfig::default()).expect("reparsed runs");
+        prop_assert_eq!(a.return_value, b.return_value);
+        prop_assert_eq!(a.memory, b.memory);
+    }
+}

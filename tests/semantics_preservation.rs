@@ -1,0 +1,102 @@
+//! Property-based semantic preservation: arbitrary cluster placements,
+//! after normalization and move insertion, never change program
+//! behaviour.
+
+use mcpart::analysis::{AccessInfo, PointsTo};
+use mcpart::ir::{ClusterId, EntityId, Profile};
+use mcpart::machine::Machine;
+use mcpart::sched::{insert_moves, normalize_placement, Placement};
+use mcpart::sim::{semantically_equivalent, ExecConfig};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Applies a pseudo-random placement (seeded) to a workload and checks
+/// equivalence of the transformed program.
+fn random_placement_preserves(benchmark: &str, seed: u64, nclusters: usize) {
+    let w = mcpart::workloads::by_name(benchmark).expect("known benchmark");
+    let program = w.profile.apply_heap_sizes(&w.program);
+    let machine = Machine::homogeneous(nclusters, 5);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut placement = Placement::all_on_cluster0(&program);
+    for (fid, f) in program.functions.iter() {
+        for oid in f.ops.keys() {
+            placement.set_cluster(fid, oid, ClusterId::new(rng.gen_range(0..nclusters)));
+        }
+    }
+    for home in placement.object_home.values_mut() {
+        *home = Some(ClusterId::new(rng.gen_range(0..nclusters)));
+    }
+    let pts = PointsTo::compute(&program);
+    let access = AccessInfo::compute(&program, &pts, &w.profile);
+    let normalized = normalize_placement(&program, &placement, &access, &machine, &w.profile);
+    let (moved, _pl, stats) = insert_moves(&program, &normalized, &machine);
+    mcpart::ir::verify_program(&moved).expect("moved program verifies");
+    assert!(stats.moves_inserted > 0, "random placement should need moves");
+    assert!(
+        semantically_equivalent(&program, &moved, &[], ExecConfig::default()).unwrap(),
+        "{benchmark} seed {seed}: transformation changed semantics"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn random_placements_preserve_rawcaudio(seed in 0u64..1000) {
+        random_placement_preserves("rawcaudio", seed, 2);
+    }
+
+    #[test]
+    fn random_placements_preserve_fir(seed in 0u64..1000) {
+        random_placement_preserves("fir", seed, 2);
+    }
+
+    #[test]
+    fn random_placements_preserve_fsed_four_clusters(seed in 0u64..1000) {
+        random_placement_preserves("fsed", seed, 4);
+    }
+}
+
+#[test]
+fn uniform_profile_equivalence_on_small_benchmarks() {
+    for name in ["latnrm", "matmul", "pegwit"] {
+        random_placement_preserves(name, 0xFEED, 2);
+    }
+}
+
+#[test]
+fn moved_program_profile_matches_block_structure() {
+    // Move insertion must not change control flow: re-running the
+    // transformed program yields the same block frequencies for the
+    // (identically-indexed) blocks.
+    let w = mcpart::workloads::by_name("rawdaudio").unwrap();
+    let program = w.profile.apply_heap_sizes(&w.program);
+    let machine = Machine::paper_2cluster(5);
+    let mut placement = Placement::all_on_cluster0(&program);
+    // Push all stores' value computations around by placing every
+    // second op on cluster 1.
+    for (fid, f) in program.functions.iter() {
+        for oid in f.ops.keys() {
+            if oid.index() % 2 == 1 {
+                placement.set_cluster(fid, oid, ClusterId::new(1));
+            }
+        }
+    }
+    let pts = PointsTo::compute(&program);
+    let access = AccessInfo::compute(&program, &pts, &w.profile);
+    let normalized = normalize_placement(&program, &placement, &access, &machine, &w.profile);
+    let (moved, _, _) = insert_moves(&program, &normalized, &machine);
+    let rerun = mcpart::sim::run(&moved, &[], ExecConfig::default()).unwrap();
+    let orig = mcpart::sim::run(&program, &[], ExecConfig::default()).unwrap();
+    for (fid, f) in program.functions.iter() {
+        for bid in f.blocks.keys() {
+            assert_eq!(
+                orig.profile.block_freq(fid, bid),
+                rerun.profile.block_freq(fid, bid),
+                "block frequency changed for {fid}/{bid}"
+            );
+        }
+    }
+    let _ = Profile::uniform(&program, 1);
+}

@@ -1,0 +1,56 @@
+//! Print → parse → print round-trips for every workload, with semantic
+//! equivalence of the reparsed program.
+
+use mcpart::ir::{parse_program, program_to_string, verify_program};
+use mcpart::sim::{run, ExecConfig};
+
+#[test]
+fn all_workloads_roundtrip_through_text() {
+    for w in mcpart::workloads::all() {
+        let text = program_to_string(&w.program);
+        let parsed = parse_program(&text)
+            .unwrap_or_else(|e| panic!("{}: parse failed: {e}", w.name));
+        verify_program(&parsed).unwrap_or_else(|e| panic!("{}: reparse invalid: {e}", w.name));
+        let text2 = program_to_string(&parsed);
+        assert_eq!(text, text2, "{}: textual form not stable", w.name);
+        // The reparsed program behaves identically.
+        let a = run(&w.program, &[], ExecConfig::default()).unwrap();
+        let b = run(&parsed, &[], ExecConfig::default()).unwrap();
+        assert_eq!(a.return_value, b.return_value, "{}", w.name);
+        assert_eq!(a.memory, b.memory, "{}", w.name);
+        assert_eq!(a.steps, b.steps, "{}", w.name);
+    }
+}
+
+#[test]
+fn moved_programs_roundtrip_through_text() {
+    // The text format must also carry post-transformation programs
+    // (with inserted moves).
+    use mcpart::core::{run_pipeline, Method, PipelineConfig};
+    use mcpart::machine::Machine;
+    let w = mcpart::workloads::by_name("rawcaudio").unwrap();
+    let machine = Machine::paper_2cluster(5);
+    let result = run_pipeline(&w.program, &w.profile, &machine, &PipelineConfig::new(Method::Gdp));
+    let text = program_to_string(&result.program);
+    let parsed = parse_program(&text).unwrap();
+    assert_eq!(text, program_to_string(&parsed));
+}
+
+#[test]
+fn optimizer_preserves_semantics_on_all_workloads() {
+    for w in mcpart::workloads::all() {
+        let mut optimized = w.profile.apply_heap_sizes(&w.program);
+        let stats = mcpart::ir::optimize(&mut optimized);
+        verify_program(&optimized)
+            .unwrap_or_else(|e| panic!("{}: optimized program invalid: {e}", w.name));
+        assert!(
+            optimized.num_ops() < w.program.num_ops(),
+            "{}: optimizer should shrink generator output ({stats:?})",
+            w.name
+        );
+        let a = run(&w.program, &[], ExecConfig::default()).unwrap();
+        let b = run(&optimized, &[], ExecConfig::default()).unwrap();
+        assert_eq!(a.return_value, b.return_value, "{}", w.name);
+        assert_eq!(a.memory, b.memory, "{}", w.name);
+    }
+}
