@@ -1,0 +1,119 @@
+//! Typed analysis-input failures.
+
+use mcpart_ir::{Profile, Program};
+use std::error::Error;
+use std::fmt;
+
+/// A failure to run the prepartitioning analyses, always caused by
+/// inputs that do not fit together (the analyses themselves are total
+/// on well-formed inputs).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AnalysisError {
+    /// The profile's shape does not match the program: wrong function
+    /// count, wrong per-function block count, or wrong heap-site count.
+    ProfileMismatch {
+        /// What does not line up.
+        message: String,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::ProfileMismatch { message } => {
+                write!(f, "profile does not match program: {message}")
+            }
+        }
+    }
+}
+
+impl Error for AnalysisError {}
+
+/// Checks that `profile` is indexable by every block and heap site of
+/// `program` — the precondition of [`crate::AccessInfo::compute`] and
+/// of everything downstream that weighs operations by frequency.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::ProfileMismatch`] naming the first
+/// mismatching dimension.
+pub fn validate_profile(program: &Program, profile: &Profile) -> Result<(), AnalysisError> {
+    if profile.funcs.len() != program.functions.len() {
+        return Err(AnalysisError::ProfileMismatch {
+            message: format!(
+                "profile covers {} functions, program has {}",
+                profile.funcs.len(),
+                program.functions.len()
+            ),
+        });
+    }
+    for (fid, func) in program.functions.iter() {
+        let fp = &profile.funcs[fid];
+        if fp.block_freq.len() != func.blocks.len() {
+            return Err(AnalysisError::ProfileMismatch {
+                message: format!(
+                    "profile covers {} blocks in {fid} ({}), function has {}",
+                    fp.block_freq.len(),
+                    func.name,
+                    func.blocks.len()
+                ),
+            });
+        }
+    }
+    if profile.heap_bytes.len() != program.objects.len() {
+        return Err(AnalysisError::ProfileMismatch {
+            message: format!(
+                "profile sizes {} heap sites, program has {} objects",
+                profile.heap_bytes.len(),
+                program.objects.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpart_ir::{FunctionBuilder, Program};
+
+    fn program() -> Program {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        b.ret(None);
+        p
+    }
+
+    #[test]
+    fn matching_profile_validates() {
+        let p = program();
+        validate_profile(&p, &Profile::uniform(&p, 1)).expect("matches");
+    }
+
+    #[test]
+    fn truncated_block_freq_rejected() {
+        let mut p = program();
+        let prof = Profile::uniform(&p, 1);
+        p.functions[p.entry].add_block("extra");
+        let e = validate_profile(&p, &prof).unwrap_err();
+        assert!(e.to_string().contains("blocks"), "{e}");
+    }
+
+    #[test]
+    fn wrong_function_count_rejected() {
+        let p = program();
+        let mut prof = Profile::uniform(&p, 1);
+        prof.funcs = mcpart_ir::EntityMap::new();
+        let e = validate_profile(&p, &prof).unwrap_err();
+        assert!(e.to_string().contains("function"), "{e}");
+    }
+
+    #[test]
+    fn wrong_heap_site_count_rejected() {
+        let mut p = program();
+        let prof = Profile::uniform(&p, 1);
+        p.add_object(mcpart_ir::DataObject::global("g", 8));
+        let e = validate_profile(&p, &prof).unwrap_err();
+        assert!(e.to_string().contains("heap"), "{e}");
+    }
+}

@@ -32,6 +32,7 @@
 
 mod access;
 mod callgraph;
+mod error;
 mod liveness;
 mod loops;
 mod offsets;
@@ -39,7 +40,8 @@ mod pointsto;
 
 pub use access::{AccessInfo, AccessSite};
 pub use callgraph::CallGraph;
+pub use error::{validate_profile, AnalysisError};
 pub use liveness::{Liveness, RegSet};
-pub use offsets::{AddressInfo, KnownAddress};
 pub use loops::{loop_regions, Dominators, LoopForest, NaturalLoop};
+pub use offsets::{AddressInfo, KnownAddress};
 pub use pointsto::{ObjectSet, PointsTo};

@@ -42,14 +42,12 @@ impl Liveness {
                 }
             }
             match &block.term {
-                Some(Terminator::Branch { cond, .. })
-                    if !local_def.contains(cond) => {
-                        uses[bid].insert(*cond);
-                    }
-                Some(Terminator::Return(Some(v)))
-                    if !local_def.contains(v) => {
-                        uses[bid].insert(*v);
-                    }
+                Some(Terminator::Branch { cond, .. }) if !local_def.contains(cond) => {
+                    uses[bid].insert(*cond);
+                }
+                Some(Terminator::Return(Some(v))) if !local_def.contains(v) => {
+                    uses[bid].insert(*v);
+                }
                 _ => {}
             }
             defs[bid] = local_def;
@@ -85,12 +83,7 @@ impl Liveness {
     /// Maximum number of simultaneously live registers at block
     /// boundaries — a cheap register-pressure proxy.
     pub fn peak_boundary_pressure(&self) -> usize {
-        self.live_in
-            .values()
-            .chain(self.live_out.values())
-            .map(BTreeSet::len)
-            .max()
-            .unwrap_or(0)
+        self.live_in.values().chain(self.live_out.values()).map(BTreeSet::len).max().unwrap_or(0)
     }
 }
 

@@ -182,10 +182,7 @@ impl LoopForest {
         self.loops
             .iter()
             .filter(|l| {
-                !self
-                    .loops
-                    .iter()
-                    .any(|o| o.header != l.header && o.blocks.contains(&l.header))
+                !self.loops.iter().any(|o| o.header != l.header && o.blocks.contains(&l.header))
             })
             .collect()
     }

@@ -8,7 +8,7 @@
 //! accesses with disjoint `[offset, offset+width)` ranges into the same
 //! single object are independent.
 
-use mcpart_ir::{EntityMap, FuncId, ObjectId, Opcode, OpId, Program, VReg};
+use mcpart_ir::{EntityMap, FuncId, ObjectId, OpId, Opcode, Program, VReg};
 use std::collections::HashMap;
 
 /// A statically-known address: one object at a constant byte offset.
@@ -109,16 +109,8 @@ impl AddressInfo {
     /// Returns `true` when the two memory operations provably access
     /// disjoint byte ranges (both addresses known, same or different
     /// objects, non-overlapping `[offset, offset+width)`).
-    pub fn provably_disjoint(
-        &self,
-        program: &Program,
-        func: FuncId,
-        a: OpId,
-        b: OpId,
-    ) -> bool {
-        let (Some(ka), Some(kb)) =
-            (self.known.get(&(func, a)), self.known.get(&(func, b)))
-        else {
+    pub fn provably_disjoint(&self, program: &Program, func: FuncId, a: OpId, b: OpId) -> bool {
+        let (Some(ka), Some(kb)) = (self.known.get(&(func, a)), self.known.get(&(func, b))) else {
             return false;
         };
         if ka.object != kb.object {

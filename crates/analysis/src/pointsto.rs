@@ -79,8 +79,7 @@ impl PointsTo {
                             // Return values flow back into destinations.
                             let mut ret_set = ObjectSet::new();
                             for block in program.functions[callee].blocks.values() {
-                                if let Some(mcpart_ir::Terminator::Return(Some(v))) = &block.term
-                                {
+                                if let Some(mcpart_ir::Terminator::Return(Some(v))) = &block.term {
                                     ret_set.extend(vreg_sets[callee][*v].iter().copied());
                                 }
                             }
@@ -239,13 +238,7 @@ mod tests {
         assert!(pts.object_contents[slot].contains(&target));
         // The final load accesses `target`.
         let func = &p.functions[p.entry];
-        let last_load = func
-            .ops
-            .iter()
-            .filter(|(_, op)| op.opcode.is_load())
-            .last()
-            .unwrap()
-            .0;
+        let last_load = func.ops.iter().filter(|(_, op)| op.opcode.is_load()).last().unwrap().0;
         let objs = pts.memop_objects(&p, p.entry, last_load).unwrap();
         assert_eq!(objs, ObjectSet::from([target]));
     }
@@ -267,12 +260,7 @@ mod tests {
         b.ret(Some(r[0]));
         mcpart_ir::verify_program(&p).unwrap();
         let pts = PointsTo::compute(&p);
-        let load = p.functions[callee]
-            .ops
-            .iter()
-            .find(|(_, op)| op.opcode.is_load())
-            .unwrap()
-            .0;
+        let load = p.functions[callee].ops.iter().find(|(_, op)| op.opcode.is_load()).unwrap().0;
         let objs = pts.memop_objects(&p, callee, load).unwrap();
         assert_eq!(objs, ObjectSet::from([g]));
     }

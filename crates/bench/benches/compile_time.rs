@@ -1,35 +1,27 @@
-//! Criterion benchmark for §4.5: partitioning compile time of the three
-//! schemes. Profile Max should cost roughly two GDP runs.
+//! Benchmark for §4.5: partitioning compile time of the three schemes.
+//! Profile Max should cost roughly two GDP runs.
+//!
+//! Plain timing harness (`harness = false`): run with
+//! `cargo bench -p mcpart-bench --bench compile_time`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mcpart_core::{run_pipeline, Method, PipelineConfig};
 use mcpart_machine::Machine;
+use std::time::Instant;
 
-fn compile_time(c: &mut Criterion) {
+fn main() {
     let machine = Machine::paper_2cluster(5);
-    let mut group = c.benchmark_group("compile_time");
-    group.sample_size(10);
+    let iters = 5;
+    println!("{:<12} {:>12} {:>14}", "benchmark", "method", "mean time");
     for name in ["rawcaudio", "fir", "mpeg2enc"] {
         let w = mcpart_workloads::by_name(name).expect("known benchmark");
         for method in [Method::Gdp, Method::ProfileMax, Method::Naive] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{method}"), name),
-                &w,
-                |b, w| {
-                    b.iter(|| {
-                        run_pipeline(
-                            &w.program,
-                            &w.profile,
-                            &machine,
-                            &PipelineConfig::new(method),
-                        )
-                    })
-                },
-            );
+            let start = Instant::now();
+            for _ in 0..iters {
+                run_pipeline(&w.program, &w.profile, &machine, &PipelineConfig::new(method))
+                    .expect("pipeline succeeds on shipped workloads");
+            }
+            let mean = start.elapsed() / iters;
+            println!("{:<12} {:>12} {:>12.3?}", name, method.to_string(), mean);
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, compile_time);
-criterion_main!(benches);

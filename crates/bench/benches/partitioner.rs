@@ -1,12 +1,16 @@
-//! Criterion benchmarks for the partitioning substrates: the
-//! METIS-style graph partitioner on grids, and the full RHOP pass.
+//! Benchmarks for the partitioning substrates: the METIS-style graph
+//! partitioner on grids, the full RHOP pass, the list scheduler and its
+//! estimator, and the functional interpreter.
+//!
+//! Plain timing harness (`harness = false`): run with
+//! `cargo bench -p mcpart-bench --bench partitioner`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mcpart_analysis::{AccessInfo, PointsTo};
 use mcpart_core::{rhop_partition, RhopConfig};
 use mcpart_ir::EntityMap;
 use mcpart_machine::Machine;
 use mcpart_metis::{partition, GraphBuilder, PartitionConfig};
+use std::time::{Duration, Instant};
 
 fn grid_graph(n: usize) -> mcpart_metis::Graph {
     let mut b = GraphBuilder::new(1);
@@ -27,46 +31,47 @@ fn grid_graph(n: usize) -> mcpart_metis::Graph {
     b.build()
 }
 
-fn metis_bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("metis_kway");
-    group.sample_size(20);
-    for n in [16usize, 32, 64] {
-        let g = grid_graph(n);
-        group.bench_with_input(BenchmarkId::new("grid", n * n), &g, |b, g| {
-            b.iter(|| partition(g, &PartitionConfig::new(2)))
-        });
+fn time<F: FnMut()>(label: &str, iters: u32, mut f: F) {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
     }
-    group.finish();
+    let mean: Duration = start.elapsed() / iters;
+    println!("{label:<40} {mean:>12.3?}");
 }
 
-fn rhop_bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rhop");
-    group.sample_size(10);
+fn metis_bench() {
+    for n in [16usize, 32, 64] {
+        let g = grid_graph(n);
+        time(&format!("metis_kway/grid/{}", n * n), 20, || {
+            partition(&g, &PartitionConfig::new(2)).expect("grid partitions");
+        });
+    }
+}
+
+fn rhop_bench() {
     let machine = Machine::paper_2cluster(5);
     for name in ["rawcaudio", "fft"] {
         let w = mcpart_workloads::by_name(name).expect("known benchmark");
         let pts = PointsTo::compute(&w.program);
         let access = AccessInfo::compute(&w.program, &pts, &w.profile);
         let homes = EntityMap::with_default(w.program.objects.len(), None);
-        group.bench_function(BenchmarkId::new("unified", name), |b| {
-            b.iter(|| {
-                rhop_partition(
-                    &w.program,
-                    &access,
-                    &w.profile,
-                    &machine,
-                    &homes,
-                    &RhopConfig::default(),
-                )
-            })
+        time(&format!("rhop/unified/{name}"), 10, || {
+            rhop_partition(
+                &w.program,
+                &access,
+                &w.profile,
+                &machine,
+                &homes,
+                &RhopConfig::default(),
+            )
+            .expect("rhop succeeds on shipped workloads");
         });
     }
-    group.finish();
 }
 
-fn scheduler_bench(c: &mut Criterion) {
+fn scheduler_bench() {
     use mcpart_sched::{schedule_block, Placement, RegionEstimator};
-    let mut group = c.benchmark_group("scheduler");
     let machine = Machine::paper_2cluster(5);
     let w = mcpart_workloads::by_name("cjpeg").expect("known benchmark");
     let program = w.profile.apply_heap_sizes(&w.program);
@@ -75,36 +80,31 @@ fn scheduler_bench(c: &mut Criterion) {
     let placement = Placement::all_on_cluster0(&program);
     // Hottest (largest) block.
     let fid = program.entry;
-    let (bid, block) = program.functions[fid]
-        .blocks
-        .iter()
-        .max_by_key(|(_, b)| b.ops.len())
-        .expect("nonempty");
-    group.bench_function(format!("list_schedule/{}ops", block.ops.len()), |b| {
-        b.iter(|| schedule_block(&program, fid, bid, &placement, &machine, &access))
+    let (bid, block) =
+        program.functions[fid].blocks.iter().max_by_key(|(_, b)| b.ops.len()).expect("nonempty");
+    time(&format!("scheduler/list_schedule/{}ops", block.ops.len()), 50, || {
+        schedule_block(&program, fid, bid, &placement, &machine, &access);
     });
     let est = RegionEstimator::new(&program, fid, &[bid], &access, &machine);
     let assign: Vec<u16> = (0..est.len()).map(|i| (i % 2) as u16).collect();
-    group.bench_function(format!("estimate/{}ops", est.len()), |b| {
-        b.iter(|| est.estimate(&assign))
+    time(&format!("scheduler/estimate/{}ops", est.len()), 200, || {
+        est.estimate(&assign);
     });
-    group.finish();
 }
 
-fn interpreter_bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("interpreter");
-    group.sample_size(10);
+fn interpreter_bench() {
     for name in ["rawcaudio", "matmul"] {
         let w = mcpart_workloads::by_name(name).expect("known benchmark");
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                mcpart_sim::run(&w.program, &[], mcpart_sim::ExecConfig::default())
-                    .expect("runs")
-            })
+        time(&format!("interpreter/{name}"), 10, || {
+            mcpart_sim::run(&w.program, &[], mcpart_sim::ExecConfig::default()).expect("runs");
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, metis_bench, rhop_bench, scheduler_bench, interpreter_bench);
-criterion_main!(benches);
+fn main() {
+    println!("{:<40} {:>12}", "benchmark", "mean time");
+    metis_bench();
+    rhop_bench();
+    scheduler_bench();
+    interpreter_bench();
+}

@@ -25,7 +25,14 @@ fn main() {
         "{}",
         render_table(
             "Move hoisting: GDP cycles and dynamic moves (5-cycle latency)",
-            &["benchmark", "cycles/block", "cycles/hoisted", "delta", "moves/block", "moves/hoisted"],
+            &[
+                "benchmark",
+                "cycles/block",
+                "cycles/hoisted",
+                "delta",
+                "moves/block",
+                "moves/hoisted"
+            ],
             &table,
         )
     );

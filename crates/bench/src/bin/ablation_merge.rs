@@ -11,12 +11,7 @@ fn main() {
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
-            vec![
-                r.benchmark.clone(),
-                f3(r.default_rel),
-                f3(r.merged_rel),
-                f3(r.op_balance_rel),
-            ]
+            vec![r.benchmark.clone(), f3(r.default_rel), f3(r.merged_rel), f3(r.op_balance_rel)]
         })
         .collect();
     print!(

@@ -10,9 +10,7 @@ fn main() {
     let rows = ablation_regions(&workloads);
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| {
-            vec![r.benchmark.clone(), f3(r.rel.0), f3(r.rel.1), f3(r.rel.2)]
-        })
+        .map(|r| vec![r.benchmark.clone(), f3(r.rel.0), f3(r.rel.1), f3(r.rel.2)])
         .collect();
     print!(
         "{}",

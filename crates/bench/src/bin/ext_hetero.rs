@@ -10,9 +10,7 @@ fn main() {
     let rows = ext_hetero(&workloads);
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| {
-            vec![r.benchmark.clone(), pct(r.big_cluster_share), f3(r.vs_homogeneous)]
-        })
+        .map(|r| vec![r.benchmark.clone(), pct(r.big_cluster_share), f3(r.vs_homogeneous)])
         .collect();
     print!(
         "{}",

@@ -49,8 +49,7 @@ fn main() {
         .collect();
     let mut avg = vec!["average".to_string()];
     for (i, _) in latencies.iter().enumerate() {
-        let a: f64 =
-            rows.iter().map(|r| r.increase_pct[i]).sum::<f64>() / rows.len().max(1) as f64;
+        let a: f64 = rows.iter().map(|r| r.increase_pct[i]).sum::<f64>() / rows.len().max(1) as f64;
         avg.push(format!("{a:+.1}%"));
     }
     let mut all_rows = table_rows;

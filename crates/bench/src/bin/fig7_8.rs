@@ -41,9 +41,7 @@ fn main() {
     let mut rows: Vec<Vec<String>> = fig
         .rows
         .iter()
-        .map(|r| {
-            vec![r.benchmark.clone(), f3(r.gdp_rel), f3(r.profile_max_rel), f3(r.naive_rel)]
-        })
+        .map(|r| vec![r.benchmark.clone(), f3(r.gdp_rel), f3(r.profile_max_rel), f3(r.naive_rel)])
         .collect();
     rows.push(vec![
         "average".to_string(),

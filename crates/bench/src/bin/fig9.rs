@@ -11,8 +11,7 @@ fn main() {
             Ok(result) => {
                 println!("# Figure 9 — {name}: {} mappings", result.points.len());
                 println!("# columns: normalized_perf imbalance dynamic_moves");
-                let worst =
-                    result.points.iter().map(|p| p.cycles).max().unwrap_or(1) as f64;
+                let worst = result.points.iter().map(|p| p.cycles).max().unwrap_or(1) as f64;
                 for p in &result.points {
                     println!(
                         "{:.4} {:.3} {}",
@@ -32,10 +31,7 @@ fn main() {
                     worst / result.profile_max_point.cycles.max(1) as f64,
                     result.profile_max_point.imbalance
                 );
-                println!(
-                    "# best/worst spread: {:.1}%",
-                    (worst / best - 1.0) * 100.0
-                );
+                println!("# best/worst spread: {:.1}%", (worst / best - 1.0) * 100.0);
             }
             Err(e) => println!("# Figure 9 — {name}: skipped ({e})"),
         }

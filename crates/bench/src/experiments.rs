@@ -4,8 +4,8 @@
 
 use mcpart_analysis::{AccessInfo, PointsTo};
 use mcpart_core::{
-    evaluate_mapping, exhaustive_search, profile_max_partition, run_pipeline, ExhaustivePoint,
-    GdpConfig, Method, ObjectGroups, PipelineConfig, RhopConfig, TooManyGroups,
+    evaluate_mapping, exhaustive_search, profile_max_partition, run_pipeline, ExhaustiveError,
+    ExhaustivePoint, GdpConfig, Method, ObjectGroups, PipelineConfig, RhopConfig,
 };
 use mcpart_ir::ClusterId;
 use mcpart_machine::Machine;
@@ -27,7 +27,8 @@ pub struct MethodResult {
 }
 
 fn run_method(w: &Workload, machine: &Machine, method: Method) -> MethodResult {
-    let r = run_pipeline(&w.program, &w.profile, machine, &PipelineConfig::new(method));
+    let r = run_pipeline(&w.program, &w.profile, machine, &PipelineConfig::new(method))
+        .expect("pipeline");
     MethodResult {
         cycles: r.cycles(),
         dynamic_moves: r.dynamic_moves(),
@@ -137,9 +138,10 @@ pub struct Fig9 {
 ///
 /// # Errors
 ///
-/// Returns [`TooManyGroups`] when the benchmark has too many object
-/// groups to enumerate.
-pub fn fig9(w: &Workload, limit: usize) -> Result<Fig9, TooManyGroups> {
+/// Returns [`ExhaustiveError::TooManyGroups`] when the benchmark has
+/// too many object groups to enumerate, and propagates partitioner
+/// failures from the GDP/Profile-Max reference points.
+pub fn fig9(w: &Workload, limit: usize) -> Result<Fig9, ExhaustiveError> {
     let machine = Machine::paper_2cluster(5);
     let rhop = RhopConfig::default();
     let points = exhaustive_search(&w.program, &w.profile, &machine, &rhop, limit)?;
@@ -156,26 +158,31 @@ pub fn fig9(w: &Workload, limit: usize) -> Result<Fig9, TooManyGroups> {
         &groups,
         &machine,
         &GdpConfig::default(),
-    );
-    let gdp_point =
-        evaluate_mapping(&program, &w.profile, &machine, &groups, &dp.group_cluster, &rhop);
+    )
+    .expect("GDP on enumerable benchmark");
+    // The enumeration fixes the first live group on cluster 0; fold
+    // GDP's mapping into the same half-space so its point lands inside
+    // the enumerated bracket (RHOP itself is not swap-invariant because
+    // calls pin to cluster 0, so the labeling matters).
+    let mut gdp_mapping = dp.group_cluster.clone();
+    if let Some(&first) = groups.live_groups().first() {
+        if gdp_mapping[first] == ClusterId::new(1) {
+            for c in &mut gdp_mapping {
+                *c = ClusterId::new(1 - c.index());
+            }
+        }
+    }
+    let gdp_point = evaluate_mapping(&program, &w.profile, &machine, &groups, &gdp_mapping, &rhop)?;
     // Profile Max mapping.
-    let (pm_placement, _) = profile_max_partition(
-        &program,
-        &access,
-        &w.profile,
-        &machine,
-        &groups,
-        &rhop,
-        0.10,
-    );
+    let (pm_placement, _) =
+        profile_max_partition(&program, &access, &w.profile, &machine, &groups, &rhop, 0.10)?;
     let pm_mapping: Vec<ClusterId> = groups
         .groups
         .iter()
         .map(|members| pm_placement.object_home[members[0]].unwrap_or(ClusterId::new(0)))
         .collect();
     let profile_max_point =
-        evaluate_mapping(&program, &w.profile, &machine, &groups, &pm_mapping, &rhop);
+        evaluate_mapping(&program, &w.profile, &machine, &groups, &pm_mapping, &rhop)?;
     Ok(Fig9 { benchmark: w.name.to_string(), points, gdp_point, profile_max_point })
 }
 
@@ -262,14 +269,18 @@ pub fn ablation_merge(workloads: &[Workload]) -> Vec<MergeAblationRow> {
         .map(|w| {
             let unified = run_method(w, &machine, Method::Unified).cycles as f64;
             let mut base_cfg = PipelineConfig::new(Method::Gdp);
-            let base =
-                run_pipeline(&w.program, &w.profile, &machine, &base_cfg).cycles() as f64;
+            let base = run_pipeline(&w.program, &w.profile, &machine, &base_cfg)
+                .expect("pipeline")
+                .cycles() as f64;
             base_cfg.gdp.merge_dependent_ops = true;
-            let merged =
-                run_pipeline(&w.program, &w.profile, &machine, &base_cfg).cycles() as f64;
+            let merged = run_pipeline(&w.program, &w.profile, &machine, &base_cfg)
+                .expect("pipeline")
+                .cycles() as f64;
             let mut ob_cfg = PipelineConfig::new(Method::Gdp);
             ob_cfg.gdp.balance_ops = true;
-            let ob = run_pipeline(&w.program, &w.profile, &machine, &ob_cfg).cycles() as f64;
+            let ob = run_pipeline(&w.program, &w.profile, &machine, &ob_cfg)
+                .expect("pipeline")
+                .cycles() as f64;
             MergeAblationRow {
                 benchmark: w.name.to_string(),
                 default_rel: unified / base,
@@ -300,7 +311,7 @@ pub fn ablation_balance(w: &Workload, tolerances: &[f64]) -> Vec<BalanceSweepPoi
         .map(|&eps| {
             let mut cfg = PipelineConfig::new(Method::Gdp);
             cfg.gdp.imbalance = eps;
-            let r = run_pipeline(&w.program, &w.profile, &machine, &cfg);
+            let r = run_pipeline(&w.program, &w.profile, &machine, &cfg).expect("pipeline");
             let total: u64 = r.data_bytes.iter().sum();
             let byte_skew = if total == 0 {
                 0.5
@@ -341,7 +352,13 @@ pub fn ext_regfile(workloads: &[Workload], sizes: &[u32]) -> Vec<RegFileRow> {
                 for c in &mut machine.clusters {
                     c.regfile_size = size;
                 }
-                let r = run_pipeline(&w.program, &w.profile, &machine, &PipelineConfig::new(Method::Gdp));
+                let r = run_pipeline(
+                    &w.program,
+                    &w.profile,
+                    &machine,
+                    &PipelineConfig::new(Method::Gdp),
+                )
+                .expect("pipeline");
                 let p = register_pressure(&r.program, &r.placement, &machine, &w.profile);
                 spill_cycles.push(p.spill_cycles);
                 let packed = Placement::all_on_cluster0(&r.program);
@@ -378,7 +395,7 @@ pub fn ext_swp(workloads: &[Workload]) -> Vec<SwpRow> {
             let run4 = |method: Method, swp: bool| {
                 let mut cfg = PipelineConfig::new(method);
                 cfg.software_pipelining = swp;
-                run_pipeline(&w.program, &w.profile, &machine, &cfg).cycles()
+                run_pipeline(&w.program, &w.profile, &machine, &cfg).expect("pipeline").cycles()
             };
             let uni_flat = run4(Method::Unified, false) as f64;
             let gdp_flat = run4(Method::Gdp, false) as f64;
@@ -427,9 +444,12 @@ pub fn ext_hetero(workloads: &[Workload]) -> Vec<HeteroRow> {
     workloads
         .iter()
         .map(|w| {
-            let h = run_pipeline(&w.program, &w.profile, &hetero, &PipelineConfig::new(Method::Gdp));
+            let h =
+                run_pipeline(&w.program, &w.profile, &hetero, &PipelineConfig::new(Method::Gdp))
+                    .expect("pipeline");
             let base =
-                run_pipeline(&w.program, &w.profile, &homo, &PipelineConfig::new(Method::Gdp));
+                run_pipeline(&w.program, &w.profile, &homo, &PipelineConfig::new(Method::Gdp))
+                    .expect("pipeline");
             let total: u64 = h.data_bytes.iter().sum();
             HeteroRow {
                 benchmark: w.name.to_string(),
@@ -465,13 +485,15 @@ pub fn ext_terechko(workloads: &[Workload]) -> Vec<TerechkoRow> {
         .iter()
         .map(|w| {
             let naive =
-                run_pipeline(&w.program, &w.profile, &machine, &PipelineConfig::new(Method::Naive));
+                run_pipeline(&w.program, &w.profile, &machine, &PipelineConfig::new(Method::Naive))
+                    .expect("pipeline");
             let unified = run_pipeline(
                 &w.program,
                 &w.profile,
                 &machine,
                 &PipelineConfig::new(Method::Unified),
-            );
+            )
+            .expect("pipeline");
             let program = &naive.program;
             let mut data_moves = 0u64;
             let mut all_moves = 0u64;
@@ -487,13 +509,10 @@ pub fn ext_terechko(workloads: &[Workload]) -> Vec<TerechkoRow> {
                     // Data-related: forwards a load result, or feeds a
                     // memory operation.
                     let src = op.srcs[0];
-                    let from_load = du.defs[src]
-                        .iter()
-                        .any(|&d| matches!(f.ops[d].opcode, Opcode::Load(_)));
+                    let from_load =
+                        du.defs[src].iter().any(|&d| matches!(f.ops[d].opcode, Opcode::Load(_)));
                     let dst = op.dsts[0];
-                    let to_mem = du.uses[dst]
-                        .iter()
-                        .any(|&u| f.ops[u].opcode.is_memory());
+                    let to_mem = du.uses[dst].iter().any(|&u| f.ops[u].opcode.is_memory());
                     if from_load || to_mem {
                         data_moves += freq;
                     }
@@ -532,10 +551,11 @@ pub fn ablation_opt(workloads: &[Workload]) -> Vec<OptAblationRow> {
             for (i, pre) in [false, true].into_iter().enumerate() {
                 let mut ucfg = PipelineConfig::new(Method::Unified);
                 ucfg.pre_optimize = pre;
-                let unified = run_pipeline(&w.program, &w.profile, &machine, &ucfg);
+                let unified =
+                    run_pipeline(&w.program, &w.profile, &machine, &ucfg).expect("pipeline");
                 let mut cfg = PipelineConfig::new(Method::Gdp);
                 cfg.pre_optimize = pre;
-                let r = run_pipeline(&w.program, &w.profile, &machine, &cfg);
+                let r = run_pipeline(&w.program, &w.profile, &machine, &cfg).expect("pipeline");
                 rels[i] = unified.cycles() as f64 / r.cycles() as f64;
                 // Count ops before move insertion by re-optimizing a copy.
                 ops[i] = if pre {
@@ -578,7 +598,7 @@ pub fn ablation_hoist(workloads: &[Workload]) -> Vec<HoistAblationRow> {
             for strategy in [MoveStrategy::PerUseBlock, MoveStrategy::ProfileHoisted] {
                 let mut cfg = PipelineConfig::new(Method::Gdp);
                 cfg.move_strategy = strategy;
-                let r = run_pipeline(&w.program, &w.profile, &machine, &cfg);
+                let r = run_pipeline(&w.program, &w.profile, &machine, &cfg).expect("pipeline");
                 results.push((r.cycles(), r.dynamic_moves()));
             }
             HoistAblationRow {
@@ -612,20 +632,14 @@ pub fn ext_cache(workloads: &[Workload], penalties: &[u32]) -> Vec<CacheExtensio
         .iter()
         .map(|w| {
             let base = Machine::paper_2cluster(5);
-            let unified = run_pipeline(
-                &w.program,
-                &w.profile,
-                &base,
-                &PipelineConfig::new(Method::Unified),
-            )
-            .cycles() as f64;
-            let part = run_pipeline(
-                &w.program,
-                &w.profile,
-                &base,
-                &PipelineConfig::new(Method::Gdp),
-            )
-            .cycles() as f64;
+            let unified =
+                run_pipeline(&w.program, &w.profile, &base, &PipelineConfig::new(Method::Unified))
+                    .expect("pipeline")
+                    .cycles() as f64;
+            let part =
+                run_pipeline(&w.program, &w.profile, &base, &PipelineConfig::new(Method::Gdp))
+                    .expect("pipeline")
+                    .cycles() as f64;
             let mut coherent_rel = Vec::new();
             let mut remote_accesses = Vec::new();
             for &p in penalties {
@@ -635,7 +649,8 @@ pub fn ext_cache(workloads: &[Workload], penalties: &[u32]) -> Vec<CacheExtensio
                     &w.profile,
                     &machine,
                     &PipelineConfig::new(Method::Gdp),
-                );
+                )
+                .expect("pipeline");
                 coherent_rel.push(unified / r.cycles() as f64);
                 remote_accesses.push(r.report.dynamic_remote_accesses);
             }
@@ -668,21 +683,19 @@ pub fn ablation_regions(workloads: &[Workload]) -> Vec<RegionScopeRow> {
         .iter()
         .map(|w| {
             let mut rels = [0.0f64; 3];
-            for (i, scope) in [
-                RegionScope::PerBlock,
-                RegionScope::LoopNests,
-                RegionScope::WholeFunction,
-            ]
-            .into_iter()
-            .enumerate()
+            for (i, scope) in
+                [RegionScope::PerBlock, RegionScope::LoopNests, RegionScope::WholeFunction]
+                    .into_iter()
+                    .enumerate()
             {
                 // Both sides use the same scope for a fair comparison.
                 let mut ucfg = PipelineConfig::new(Method::Unified);
                 ucfg.rhop.region_scope = scope;
-                let unified = run_pipeline(&w.program, &w.profile, &machine, &ucfg);
+                let unified =
+                    run_pipeline(&w.program, &w.profile, &machine, &ucfg).expect("pipeline");
                 let mut cfg = PipelineConfig::new(Method::Gdp);
                 cfg.rhop.region_scope = scope;
-                let r = run_pipeline(&w.program, &w.profile, &machine, &cfg);
+                let r = run_pipeline(&w.program, &w.profile, &machine, &cfg).expect("pipeline");
                 rels[i] = unified.cycles() as f64 / r.cycles() as f64;
             }
             RegionScopeRow { benchmark: w.name.to_string(), rel: (rels[0], rels[1], rels[2]) }

@@ -58,10 +58,7 @@ pub fn parse_args(args: &[String]) -> (Vec<Workload>, Option<u32>) {
         i += 1;
     }
     let workloads = match selected {
-        Some(names) => names
-            .iter()
-            .filter_map(|n| mcpart_workloads::by_name(n))
-            .collect(),
+        Some(names) => names.iter().filter_map(|n| mcpart_workloads::by_name(n)).collect(),
         None => mcpart_workloads::all(),
     };
     (workloads, latency)
@@ -73,8 +70,10 @@ mod tests {
 
     #[test]
     fn arg_parsing() {
-        let args: Vec<String> =
-            ["--benchmarks", "rawcaudio,fft", "--latency", "10"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--benchmarks", "rawcaudio,fft", "--latency", "10"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let (ws, lat) = parse_args(&args);
         assert_eq!(ws.len(), 2);
         assert_eq!(lat, Some(10));

@@ -58,10 +58,7 @@ mod tests {
         let t = render_table(
             "Demo",
             &["bench", "value"],
-            &[
-                vec!["rawcaudio".into(), "1.0".into()],
-                vec!["fft".into(), "0.95".into()],
-            ],
+            &[vec!["rawcaudio".into(), "1.0".into()], vec!["fft".into(), "0.95".into()]],
         );
         assert!(t.contains("Demo"));
         assert!(t.contains("rawcaudio"));

@@ -1,6 +1,7 @@
 //! The three comparison schemes of Table 1: Unified Memory, Naïve
 //! object placement, and Profile Max object partitioning.
 
+use crate::error::RhopError;
 use crate::groups::ObjectGroups;
 use crate::rhop::{rhop_partition, RhopConfig, RhopStats};
 use mcpart_analysis::AccessInfo;
@@ -11,13 +12,17 @@ use mcpart_sched::Placement;
 /// Unified-memory partitioning: ordinary RHOP with no object homes (a
 /// single multiported memory reachable from every cluster). This is the
 /// paper's upper-bound configuration.
+///
+/// # Errors
+///
+/// Propagates [`RhopError`] from the underlying RHOP run.
 pub fn unified_partition(
     program: &Program,
     access: &AccessInfo,
     profile: &Profile,
     machine: &Machine,
     config: &RhopConfig,
-) -> (Placement, RhopStats) {
+) -> Result<(Placement, RhopStats), RhopError> {
     let unified = machine.clone().with_unified_memory();
     let homes: EntityMap<ObjectId, Option<ClusterId>> =
         EntityMap::with_default(program.objects.len(), None);
@@ -29,6 +34,10 @@ pub fn unified_partition(
 /// is dynamically accessed most often. No memory balance, no re-run of
 /// the computation partitioner — required remote-access moves are left
 /// to placement normalization.
+///
+/// # Errors
+///
+/// Propagates [`RhopError`] from the underlying RHOP run.
 pub fn naive_partition(
     program: &Program,
     access: &AccessInfo,
@@ -36,21 +45,17 @@ pub fn naive_partition(
     machine: &Machine,
     groups: &ObjectGroups,
     config: &RhopConfig,
-) -> (Placement, RhopStats) {
-    let (mut placement, stats) = unified_partition(program, access, profile, machine, config);
+) -> Result<(Placement, RhopStats), RhopError> {
+    let (mut placement, stats) = unified_partition(program, access, profile, machine, config)?;
     let freq = group_cluster_frequencies(program, access, profile, &placement, groups, machine);
     for (g, per_cluster) in freq.iter().enumerate() {
-        let best = per_cluster
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, &f)| f)
-            .map(|(c, _)| c)
-            .unwrap_or(0);
+        let best =
+            per_cluster.iter().enumerate().max_by_key(|&(_, &f)| f).map(|(c, _)| c).unwrap_or(0);
         for &obj in &groups.groups[g] {
             placement.object_home[obj] = Some(ClusterId::new(best));
         }
     }
-    (placement, stats)
+    Ok((placement, stats))
 }
 
 /// Profile Max object partitioning (§4.1): RHOP is run twice. The first
@@ -60,6 +65,10 @@ pub fn naive_partition(
 /// cluster, spilling to the lightest cluster once the preferred memory
 /// exceeds its balance threshold. A second RHOP run partitions
 /// computation with the objects locked in place.
+///
+/// # Errors
+///
+/// Propagates [`RhopError`] from either underlying RHOP run.
 pub fn profile_max_partition(
     program: &Program,
     access: &AccessInfo,
@@ -68,9 +77,9 @@ pub fn profile_max_partition(
     groups: &ObjectGroups,
     config: &RhopConfig,
     balance_threshold: f64,
-) -> (Placement, RhopStats) {
+) -> Result<(Placement, RhopStats), RhopError> {
     // First detailed run: unified memory.
-    let (first, stats1) = unified_partition(program, access, profile, machine, config);
+    let (first, stats1) = unified_partition(program, access, profile, machine, config)?;
     let freq = group_cluster_frequencies(program, access, profile, &first, groups, machine);
 
     // Greedy placement by descending total dynamic frequency.
@@ -90,18 +99,12 @@ pub fn profile_max_partition(
     let mut homes: EntityMap<ObjectId, Option<ClusterId>> =
         EntityMap::with_default(program.objects.len(), None);
     for &g in &order {
-        let preferred = freq[g]
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, &f)| f)
-            .map(|(c, _)| c)
-            .unwrap_or(0);
+        let preferred =
+            freq[g].iter().enumerate().max_by_key(|&(_, &f)| f).map(|(c, _)| c).unwrap_or(0);
         let chosen = if (bytes[preferred] + groups.group_size[g]) as f64 <= limit[preferred] {
             preferred
         } else {
-            (0..nclusters)
-                .min_by_key(|&c| bytes[c] + groups.group_size[g])
-                .expect("at least one cluster")
+            (0..nclusters).min_by_key(|&c| bytes[c] + groups.group_size[g]).unwrap_or(0)
         };
         bytes[chosen] += groups.group_size[g];
         for &obj in &groups.groups[g] {
@@ -110,13 +113,13 @@ pub fn profile_max_partition(
     }
 
     // Second detailed run: cognizant of the object locations.
-    let (placement, stats2) = rhop_partition(program, access, profile, machine, &homes, config);
+    let (placement, stats2) = rhop_partition(program, access, profile, machine, &homes, config)?;
     let stats = RhopStats {
         regions: stats1.regions + stats2.regions,
         estimator_calls: stats1.estimator_calls + stats2.estimator_calls,
         moves_accepted: stats1.moves_accepted + stats2.moves_accepted,
     };
-    (placement, stats)
+    Ok((placement, stats))
 }
 
 /// Per object group, the dynamic frequency of its accesses executing on
@@ -183,7 +186,8 @@ mod tests {
         let (profile, access, _) = analyze(&p);
         let machine = Machine::paper_2cluster(5);
         let (placement, _) =
-            unified_partition(&p, &access, &profile, &machine, &RhopConfig::default());
+            unified_partition(&p, &access, &profile, &machine, &RhopConfig::default())
+                .expect("rhop");
         assert!(!placement.has_object_homes());
     }
 
@@ -193,7 +197,8 @@ mod tests {
         let (profile, access, groups) = analyze(&p);
         let machine = Machine::paper_2cluster(5);
         let (placement, _) =
-            naive_partition(&p, &access, &profile, &machine, &groups, &RhopConfig::default());
+            naive_partition(&p, &access, &profile, &machine, &groups, &RhopConfig::default())
+                .expect("rhop");
         assert!(placement.object_home.values().all(Option::is_some));
     }
 
@@ -210,7 +215,8 @@ mod tests {
             &groups,
             &RhopConfig::default(),
             0.10,
-        );
+        )
+        .expect("rhop");
         assert!(placement.object_home.values().all(Option::is_some));
         let bytes = placement.bytes_per_cluster(&p, 2);
         // Two equal groups: balance threshold forces them apart.
@@ -225,8 +231,7 @@ mod tests {
         let (profile, access, groups) = analyze(&p);
         let machine = Machine::paper_2cluster(5);
         let placement = Placement::all_on_cluster0(&p);
-        let freq =
-            group_cluster_frequencies(&p, &access, &profile, &placement, &groups, &machine);
+        let freq = group_cluster_frequencies(&p, &access, &profile, &placement, &groups, &machine);
         for row in &freq {
             assert_eq!(row[1], 0, "all ops on cluster 0");
             assert!(row[0] > 0);

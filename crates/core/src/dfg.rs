@@ -5,7 +5,7 @@
 //! through calls), deliberately coarse: "a more simplified view of the
 //! program behavior is used for the data object partitioning".
 
-use mcpart_ir::{DefUse, FuncId, Opcode, OpId, Profile, Program, Terminator};
+use mcpart_ir::{DefUse, FuncId, OpId, Opcode, Profile, Program, Terminator};
 use std::collections::HashMap;
 
 /// A node of the program-level DFG: an operation in some function.
@@ -163,11 +163,8 @@ mod tests {
         let dfg = ProgramDfg::build(&p, &profile);
         // Edge from the call into the callee's add (parameter use), and
         // from the callee's add (return def) back to the call.
-        let cross: Vec<_> = dfg
-            .edges
-            .iter()
-            .filter(|&&(f, t, _)| dfg.nodes[f].func != dfg.nodes[t].func)
-            .collect();
+        let cross: Vec<_> =
+            dfg.edges.iter().filter(|&&(f, t, _)| dfg.nodes[f].func != dfg.nodes[t].func).collect();
         assert_eq!(cross.len(), 2, "{cross:?}");
     }
 

@@ -7,6 +7,7 @@
 //! paper's Figure 9 (performance vs. balance, with the GDP and Profile
 //! Max choices marked).
 
+use crate::error::RhopError;
 use crate::gdp::data_partition_from_mapping;
 use crate::groups::ObjectGroups;
 use crate::rhop::{rhop_partition, RhopConfig};
@@ -50,8 +51,52 @@ impl std::fmt::Display for TooManyGroups {
 
 impl std::error::Error for TooManyGroups {}
 
+/// A failure of the exhaustive-search experiment.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ExhaustiveError {
+    /// The search space is too large to enumerate.
+    TooManyGroups(TooManyGroups),
+    /// The search is only defined for two-cluster machines.
+    UnsupportedMachine {
+        /// How many clusters the machine actually has.
+        nclusters: usize,
+    },
+    /// An underlying RHOP run failed.
+    Rhop(RhopError),
+}
+
+impl std::fmt::Display for ExhaustiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExhaustiveError::TooManyGroups(e) => write!(f, "{e}"),
+            ExhaustiveError::UnsupportedMachine { nclusters } => {
+                write!(f, "exhaustive search needs a 2-cluster machine, got {nclusters}")
+            }
+            ExhaustiveError::Rhop(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExhaustiveError {}
+
+impl From<TooManyGroups> for ExhaustiveError {
+    fn from(e: TooManyGroups) -> Self {
+        ExhaustiveError::TooManyGroups(e)
+    }
+}
+
+impl From<RhopError> for ExhaustiveError {
+    fn from(e: RhopError) -> Self {
+        ExhaustiveError::Rhop(e)
+    }
+}
+
 /// Evaluates one explicit group mapping end-to-end and returns its
 /// point.
+///
+/// # Errors
+///
+/// Propagates [`RhopError`] from the underlying RHOP run.
 pub fn evaluate_mapping(
     program: &Program,
     profile: &Profile,
@@ -59,11 +104,11 @@ pub fn evaluate_mapping(
     groups: &ObjectGroups,
     mapping: &[ClusterId],
     rhop: &RhopConfig,
-) -> ExhaustivePoint {
+) -> Result<ExhaustivePoint, RhopError> {
     let pts = PointsTo::compute(program);
     let access = AccessInfo::compute(program, &pts, profile);
     let dp = data_partition_from_mapping(program, groups, mapping);
-    let (placement, _) = rhop_partition(program, &access, profile, machine, &dp.object_home, rhop);
+    let (placement, _) = rhop_partition(program, &access, profile, machine, &dp.object_home, rhop)?;
     let normalized = normalize_placement(program, &placement, &access, machine, profile);
     let (moved, moved_placement, _) = insert_moves(program, &normalized, machine);
     let moved_pts = PointsTo::compute(&moved);
@@ -76,12 +121,12 @@ pub fn evaluate_mapping(
     } else {
         bytes.iter().copied().max().unwrap_or(0) as f64 / total as f64
     };
-    ExhaustivePoint {
+    Ok(ExhaustivePoint {
         mapping: mapping.to_vec(),
         cycles: report.total_cycles,
         imbalance,
         dynamic_moves: report.dynamic_moves,
-    }
+    })
 }
 
 /// Enumerates every assignment of *live* object groups to two clusters
@@ -92,23 +137,27 @@ pub fn evaluate_mapping(
 ///
 /// # Errors
 ///
-/// Returns [`TooManyGroups`] when the live group count exceeds `limit`
-/// (the enumeration is `2^(G-1)` pipeline runs).
+/// Returns [`ExhaustiveError::TooManyGroups`] when the live group count
+/// exceeds `limit` (the enumeration is `2^(G-1)` pipeline runs),
+/// [`ExhaustiveError::UnsupportedMachine`] off two clusters, and
+/// propagates RHOP failures.
 pub fn exhaustive_search(
     program: &Program,
     profile: &Profile,
     machine: &Machine,
     rhop: &RhopConfig,
     limit: usize,
-) -> Result<Vec<ExhaustivePoint>, TooManyGroups> {
-    assert_eq!(machine.num_clusters(), 2, "exhaustive search is defined for 2 clusters");
+) -> Result<Vec<ExhaustivePoint>, ExhaustiveError> {
+    if machine.num_clusters() != 2 {
+        return Err(ExhaustiveError::UnsupportedMachine { nclusters: machine.num_clusters() });
+    }
     let program = profile.apply_heap_sizes(program);
     let pts = PointsTo::compute(&program);
     let access = AccessInfo::compute(&program, &pts, profile);
     let groups = ObjectGroups::compute(&program, &access);
     let live = groups.live_groups();
     if live.len() > limit {
-        return Err(TooManyGroups { groups: live.len(), limit });
+        return Err(TooManyGroups { groups: live.len(), limit }.into());
     }
     let free = live.len().saturating_sub(1);
     let mut points = Vec::with_capacity(1usize << free);
@@ -119,7 +168,7 @@ pub fn exhaustive_search(
                 mapping[g] = ClusterId::new(1);
             }
         }
-        points.push(evaluate_mapping(&program, profile, machine, &groups, &mapping, rhop));
+        points.push(evaluate_mapping(&program, profile, machine, &groups, &mapping, rhop)?);
     }
     Ok(points)
 }
@@ -150,8 +199,7 @@ mod tests {
         let p = three_object_program();
         let profile = Profile::uniform(&p, 10);
         let machine = Machine::paper_2cluster(5);
-        let points =
-            exhaustive_search(&p, &profile, &machine, &RhopConfig::default(), 8).unwrap();
+        let points = exhaustive_search(&p, &profile, &machine, &RhopConfig::default(), 8).unwrap();
         // 3 live groups, first fixed: 2^2 = 4 points.
         assert_eq!(points.len(), 4);
         for pt in &points {
@@ -165,9 +213,11 @@ mod tests {
         let p = three_object_program();
         let profile = Profile::uniform(&p, 10);
         let machine = Machine::paper_2cluster(5);
-        let err = exhaustive_search(&p, &profile, &machine, &RhopConfig::default(), 2)
-            .unwrap_err();
-        assert_eq!(err.groups, 3);
+        let err = exhaustive_search(&p, &profile, &machine, &RhopConfig::default(), 2).unwrap_err();
+        let ExhaustiveError::TooManyGroups(inner) = &err else {
+            panic!("wrong error: {err}");
+        };
+        assert_eq!(inner.groups, 3);
         assert!(err.to_string().contains("exceeds"));
     }
 
@@ -176,8 +226,7 @@ mod tests {
         let p = three_object_program();
         let profile = Profile::uniform(&p, 10);
         let machine = Machine::paper_2cluster(5);
-        let points =
-            exhaustive_search(&p, &profile, &machine, &RhopConfig::default(), 8).unwrap();
+        let points = exhaustive_search(&p, &profile, &machine, &RhopConfig::default(), 8).unwrap();
         // Sizes are 32/64/96 (total 192): best balance is 96/96 = 0.5,
         // worst is 192/0 = 1.0.
         let min = points.iter().map(|p| p.imbalance).fold(f64::INFINITY, f64::min);

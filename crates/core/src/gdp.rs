@@ -7,6 +7,7 @@
 //! partition assigns every object group a home cluster.
 
 use crate::dfg::ProgramDfg;
+use crate::error::GdpError;
 use crate::groups::ObjectGroups;
 use mcpart_analysis::AccessInfo;
 use mcpart_ir::{ClusterId, EntityMap, ObjectId, Profile, Program};
@@ -35,11 +36,22 @@ pub struct GdpConfig {
     /// evaluated and rejected — "fewer groupings of objects allowed for
     /// more freedom and flexibility in the partitioning process").
     pub merge_dependent_ops: bool,
+    /// Refinement work budget handed to the graph partitioner (`None` =
+    /// unlimited). Exhausting it yields a typed
+    /// [`GdpError::Metis`]/`BudgetExceeded` instead of a long-running
+    /// refinement loop.
+    pub fuel: Option<u64>,
 }
 
 impl Default for GdpConfig {
     fn default() -> Self {
-        GdpConfig { imbalance: 0.20, balance_ops: false, seed: 0xDA7A, merge_dependent_ops: false }
+        GdpConfig {
+            imbalance: 0.20,
+            balance_ops: false,
+            seed: 0xDA7A,
+            merge_dependent_ops: false,
+            fuel: None,
+        }
     }
 }
 
@@ -70,6 +82,13 @@ impl DataPartition {
 
 /// Runs Global Data Partitioning: builds the merged program-level graph
 /// and splits it across the machine's cluster memories.
+///
+/// # Errors
+///
+/// Returns [`GdpError::NoClusters`] for a clusterless machine,
+/// [`GdpError::Metis`] when the graph partitioner rejects its
+/// configuration or exhausts its `config.fuel` budget, and
+/// [`GdpError::Internal`] if graph construction breaks an invariant.
 pub fn gdp_partition(
     program: &Program,
     profile: &Profile,
@@ -77,8 +96,11 @@ pub fn gdp_partition(
     groups: &ObjectGroups,
     machine: &Machine,
     config: &GdpConfig,
-) -> DataPartition {
+) -> Result<DataPartition, GdpError> {
     let nclusters = machine.num_clusters();
+    if nclusters == 0 {
+        return Err(GdpError::NoClusters);
+    }
     let dfg = ProgramDfg::build(program, profile);
 
     // Supernodes: one per live object group (all of the group's access
@@ -134,11 +156,8 @@ pub fn gdp_partition(
             continue;
         }
         let _ = node;
-        let weights: Vec<u64> = if config.balance_ops {
-            vec![0, dfg.node_freq[idx].max(1)]
-        } else {
-            vec![0]
-        };
+        let weights: Vec<u64> =
+            if config.balance_ops { vec![0, dfg.node_freq[idx].max(1)] } else { vec![0] };
         builder.add_vertex(&weights);
         super_of_node[idx] = vertex_count;
         vertex_count += 1;
@@ -152,23 +171,27 @@ pub fn gdp_partition(
     let metis_config = PartitionConfig::new(nclusters)
         .with_imbalance(config.imbalance)
         .with_target_fractions(fractions)
-        .with_seed(config.seed);
-    let result = partition(&graph, &metis_config);
+        .with_seed(config.seed)
+        .with_fuel(config.fuel);
+    let result = partition(&graph, &metis_config)?;
 
     // Extract group homes; dead groups go to the byte-lightest cluster.
     let mut group_cluster = vec![ClusterId::new(0); groups.len()];
     let mut bytes = vec![0u64; nclusters];
     for &g in &live {
-        let v = group_vertex[g].expect("live group has a vertex");
+        let Some(v) = group_vertex[g] else {
+            return Err(GdpError::Internal {
+                message: format!("live object group {g} has no supernode"),
+            });
+        };
         let c = result.assignment[v as usize] as usize;
         group_cluster[g] = ClusterId::new(c);
         bytes[c] += groups.group_size[g];
     }
-    let mut dead: Vec<usize> =
-        (0..groups.len()).filter(|g| !live.contains(g)).collect();
+    let mut dead: Vec<usize> = (0..groups.len()).filter(|g| !live.contains(g)).collect();
     dead.sort_by_key(|&g| std::cmp::Reverse(groups.group_size[g]));
     for g in dead {
-        let c = (0..nclusters).min_by_key(|&c| bytes[c]).expect("at least one cluster");
+        let c = (0..nclusters).min_by_key(|&c| bytes[c]).unwrap_or(0);
         group_cluster[g] = ClusterId::new(c);
         bytes[c] += groups.group_size[g];
     }
@@ -178,7 +201,7 @@ pub fn gdp_partition(
     for (obj, &g) in groups.group_of.iter() {
         object_home[obj] = Some(group_cluster[g]);
     }
-    DataPartition { object_home, group_cluster, cut: result.cut }
+    Ok(DataPartition { object_home, group_cluster, cut: result.cut })
 }
 
 /// Assigns every object group a home from an explicit per-group mapping
@@ -240,7 +263,8 @@ mod tests {
         let (profile, access, groups) = analyze(&p);
         assert_eq!(groups.live_groups().len(), 2);
         let machine = Machine::paper_2cluster(5);
-        let dp = gdp_partition(&p, &profile, &access, &groups, &machine, &GdpConfig::default());
+        let dp = gdp_partition(&p, &profile, &access, &groups, &machine, &GdpConfig::default())
+            .expect("gdp");
         assert_ne!(dp.object_home[t1], dp.object_home[t2], "tables should split");
         let bytes = dp.bytes_per_cluster(&p, 2);
         assert_eq!(bytes, vec![256, 256]);
@@ -254,7 +278,8 @@ mod tests {
         b.ret(Some(v));
         let (profile, access, groups) = analyze(&p);
         let machine = Machine::paper_2cluster(5);
-        let dp = gdp_partition(&p, &profile, &access, &groups, &machine, &GdpConfig::default());
+        let dp = gdp_partition(&p, &profile, &access, &groups, &machine, &GdpConfig::default())
+            .expect("gdp");
         assert!(dp.object_home.is_empty());
     }
 
@@ -269,9 +294,7 @@ mod tests {
             (profile, access, groups)
         };
         let groups = ObjectGroups::compute(&p, &access);
-        let mapping: Vec<ClusterId> = (0..groups.len())
-            .map(|g| ClusterId::new(g % 2))
-            .collect();
+        let mapping: Vec<ClusterId> = (0..groups.len()).map(|g| ClusterId::new(g % 2)).collect();
         let dp = data_partition_from_mapping(&p, &groups, &mapping);
         assert_eq!(dp.object_home[t1].unwrap().index() + dp.object_home[t2].unwrap().index(), 1);
     }
@@ -279,9 +302,8 @@ mod tests {
     #[test]
     fn four_cluster_partition_spreads_bytes() {
         let mut p = Program::new("t");
-        let objs: Vec<_> = (0..8)
-            .map(|i| p.add_object(DataObject::global(format!("t{i}"), 128)))
-            .collect();
+        let objs: Vec<_> =
+            (0..8).map(|i| p.add_object(DataObject::global(format!("t{i}"), 128))).collect();
         let mut b = FunctionBuilder::entry(&mut p);
         for &o in &objs {
             let base = b.addrof(o);
@@ -292,7 +314,8 @@ mod tests {
         b.ret(None);
         let (profile, access, groups) = analyze(&p);
         let machine = Machine::homogeneous(4, 5);
-        let dp = gdp_partition(&p, &profile, &access, &groups, &machine, &GdpConfig::default());
+        let dp = gdp_partition(&p, &profile, &access, &groups, &machine, &GdpConfig::default())
+            .expect("gdp");
         let bytes = dp.bytes_per_cluster(&p, 4);
         assert_eq!(bytes.iter().sum::<u64>(), 1024);
         for (c, &bb) in bytes.iter().enumerate() {
@@ -303,9 +326,8 @@ mod tests {
     #[test]
     fn memory_weights_bias_the_split() {
         let mut p = Program::new("t");
-        let objs: Vec<_> = (0..8)
-            .map(|i| p.add_object(DataObject::global(format!("t{i}"), 128)))
-            .collect();
+        let objs: Vec<_> =
+            (0..8).map(|i| p.add_object(DataObject::global(format!("t{i}"), 128))).collect();
         let mut b = FunctionBuilder::entry(&mut p);
         for &o in &objs {
             let base = b.addrof(o);
@@ -316,7 +338,8 @@ mod tests {
         let (profile, access, groups) = analyze(&p);
         let mut machine = Machine::paper_2cluster(5);
         machine.clusters[0].memory_weight = 3;
-        let dp = gdp_partition(&p, &profile, &access, &groups, &machine, &GdpConfig::default());
+        let dp = gdp_partition(&p, &profile, &access, &groups, &machine, &GdpConfig::default())
+            .expect("gdp");
         let bytes = dp.bytes_per_cluster(&p, 2);
         assert!(
             bytes[0] >= bytes[1] * 2,
@@ -334,9 +357,23 @@ mod tests {
         b.ret(None);
         let (profile, access, groups) = analyze(&p);
         let machine = Machine::paper_2cluster(5);
-        let dp = gdp_partition(&p, &profile, &access, &groups, &machine, &GdpConfig::default());
+        let dp = gdp_partition(&p, &profile, &access, &groups, &machine, &GdpConfig::default())
+            .expect("gdp");
         let bytes = dp.bytes_per_cluster(&p, 2);
         assert_eq!(bytes[0] + bytes[1], 600);
         assert!((bytes[0] as i64 - bytes[1] as i64).abs() <= 100, "{bytes:?}");
+    }
+
+    #[test]
+    fn exhausted_fuel_is_a_typed_error() {
+        let (p, _, _) = two_pipeline_program();
+        let (profile, access, groups) = analyze(&p);
+        let machine = Machine::paper_2cluster(5);
+        let cfg = GdpConfig { fuel: Some(0), ..GdpConfig::default() };
+        let e = gdp_partition(&p, &profile, &access, &groups, &machine, &cfg).unwrap_err();
+        assert!(
+            matches!(e, GdpError::Metis(mcpart_metis::MetisError::BudgetExceeded { .. })),
+            "{e}"
+        );
     }
 }

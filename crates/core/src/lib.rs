@@ -35,7 +35,8 @@
 //!
 //! let machine = Machine::paper_2cluster(5);
 //! let profile = Profile::uniform(&program, 100);
-//! let result = run_pipeline(&program, &profile, &machine, &PipelineConfig::new(Method::Gdp));
+//! let result = run_pipeline(&program, &profile, &machine, &PipelineConfig::new(Method::Gdp))
+//!     .expect("pipeline");
 //! assert!(result.cycles() > 0);
 //! ```
 
@@ -44,6 +45,7 @@
 
 mod baselines;
 mod dfg;
+mod error;
 mod exhaustive;
 mod gdp;
 mod groups;
@@ -54,7 +56,12 @@ pub use baselines::{
     group_cluster_frequencies, naive_partition, profile_max_partition, unified_partition,
 };
 pub use dfg::{ProgramDfg, ProgramNode};
-pub use exhaustive::{evaluate_mapping, exhaustive_search, ExhaustivePoint, TooManyGroups};
+pub use error::{
+    Downgrade, GdpError, McpartError, PipelineError, PipelineErrorKind, RhopError, Stage,
+};
+pub use exhaustive::{
+    evaluate_mapping, exhaustive_search, ExhaustiveError, ExhaustivePoint, TooManyGroups,
+};
 pub use gdp::{data_partition_from_mapping, gdp_partition, DataPartition, GdpConfig};
 pub use groups::ObjectGroups;
 pub use pipeline::{run_all_methods, run_pipeline, Method, PipelineConfig, PipelineResult};

@@ -1,15 +1,22 @@
 //! The end-to-end compilation pipeline: analyses → data partitioning →
 //! computation partitioning → normalization → move insertion →
 //! scheduling and evaluation.
+//!
+//! Every stage reports failure through [`PipelineError`], and a
+//! graceful-degradation ladder retries recoverable GDP failures with
+//! Profile Max and then Naive placement, recording each downgrade in
+//! the [`PipelineResult`] so reports stay honest about what actually
+//! ran.
 
 use crate::baselines::{naive_partition, profile_max_partition, unified_partition};
+use crate::error::{Downgrade, PipelineError, PipelineErrorKind, Stage};
 use crate::gdp::{gdp_partition, GdpConfig};
 use crate::groups::ObjectGroups;
-use crate::rhop::{rhop_partition, RhopConfig, RhopStats};
-use mcpart_analysis::{AccessInfo, PointsTo};
+use crate::rhop::{RhopConfig, RhopStats};
+use mcpart_analysis::{validate_profile, AccessInfo, PointsTo};
 use mcpart_ir::{Profile, Program};
 use mcpart_machine::Machine;
-use mcpart_sched::{evaluate, normalize_placement, PerfReport, Placement};
+use mcpart_sched::{evaluate, normalize_placement, validate_placement, PerfReport, Placement};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -42,6 +49,18 @@ impl Method {
             _ => 1,
         }
     }
+
+    /// The next rung of the graceful-degradation ladder: the simpler
+    /// method the pipeline retries with when this one fails
+    /// recoverably. GDP falls back to Profile Max, Profile Max to
+    /// Naive; Naive and Unified have nowhere simpler to go.
+    pub fn fallback(self) -> Option<Method> {
+        match self {
+            Method::Gdp => Some(Method::ProfileMax),
+            Method::ProfileMax => Some(Method::Naive),
+            Method::Naive | Method::Unified => None,
+        }
+    }
 }
 
 impl fmt::Display for Method {
@@ -61,16 +80,30 @@ impl fmt::Display for Method {
 pub struct PipelineConfig {
     /// Which scheme to run.
     pub method: Method,
-    /// GDP first-pass options.
+    /// GDP first-pass options (including its refinement fuel budget).
     pub gdp: GdpConfig,
-    /// RHOP second-pass options.
+    /// RHOP second-pass options (including its estimator-call budget).
     pub rhop: RhopConfig,
     /// Profile Max memory balance threshold.
     pub profile_max_balance: f64,
     /// When `true`, the pipeline additionally executes the original and
-    /// transformed programs and asserts identical behaviour (slow;
-    /// meant for tests).
+    /// transformed programs and checks identical behaviour (slow; meant
+    /// for tests). A mismatch is a typed
+    /// [`PipelineErrorKind::SemanticsChanged`] error.
     pub validate: bool,
+    /// Interpreter limits for the semantic-validation runs (step budget
+    /// and call depth), so a runaway transformed program yields a typed
+    /// error instead of a hang.
+    pub exec: mcpart_sim::ExecConfig,
+    /// Wall-clock budget per pipeline stage (`None` = unlimited). A
+    /// stage that overruns yields [`PipelineErrorKind::Timeout`];
+    /// because the check runs between stages, a long stage finishes
+    /// first and is then reported.
+    pub stage_budget: Option<Duration>,
+    /// When `false` (the default is `true`), skip the post-move
+    /// placement validation. Validation is cheap and catches partitioner
+    /// bugs, so leave it on outside microbenchmarks.
+    pub check_placement: bool,
     /// Where intercluster transfers are placed.
     pub move_strategy: mcpart_sched::MoveStrategy,
     /// Run the scalar optimizer (DCE, CSE, copy propagation, constant
@@ -93,6 +126,9 @@ impl PipelineConfig {
             rhop: RhopConfig::default(),
             profile_max_balance: 0.10,
             validate: false,
+            exec: mcpart_sim::ExecConfig::default(),
+            stage_budget: None,
+            check_placement: true,
             move_strategy: mcpart_sched::MoveStrategy::default(),
             pre_optimize: false,
             software_pipelining: false,
@@ -104,8 +140,15 @@ impl PipelineConfig {
 /// triple.
 #[derive(Clone, Debug)]
 pub struct PipelineResult {
-    /// The method that ran.
+    /// The method that actually produced this result (after any
+    /// downgrades).
     pub method: Method,
+    /// The method originally requested. Differs from `method` exactly
+    /// when `downgrades` is non-empty.
+    pub requested_method: Method,
+    /// The degradation ladder's record of abandoned methods, oldest
+    /// first. Empty on a clean run.
+    pub downgrades: Vec<Downgrade>,
     /// The transformed program (intercluster moves inserted).
     pub program: Program,
     /// The final placement of the transformed program.
@@ -134,23 +177,102 @@ impl PipelineResult {
     pub fn dynamic_moves(&self) -> u64 {
         self.report.dynamic_moves
     }
+
+    /// Whether the degradation ladder fired (the result was produced by
+    /// a simpler method than requested).
+    pub fn was_downgraded(&self) -> bool {
+        !self.downgrades.is_empty()
+    }
 }
 
 /// Runs the full pipeline for one method.
 ///
-/// # Panics
+/// The input program is verified and the profile shape-checked before
+/// any partitioning work. If the requested method fails recoverably
+/// (partitioner budget exhaustion, an invalid placement, a semantic
+/// mismatch, a stage timeout), the pipeline walks the degradation
+/// ladder — GDP → Profile Max → Naive — and records each rung in
+/// [`PipelineResult::downgrades`].
 ///
-/// Panics if `config.validate` is set and the transformed program does
-/// not behave identically to the original (this indicates a bug in the
-/// partitioner or move inserter, and is always a reportable defect).
+/// # Errors
+///
+/// Returns a [`PipelineError`] naming the failing stage when the input
+/// is unusable or when the last rung of the ladder also fails.
 pub fn run_pipeline(
     program: &Program,
     profile: &Profile,
     machine: &Machine,
     config: &PipelineConfig,
-) -> PipelineResult {
+) -> Result<PipelineResult, PipelineError> {
+    let fail = |stage: Stage, kind: PipelineErrorKind| PipelineError {
+        program: program.name.clone(),
+        method: config.method,
+        stage,
+        kind,
+    };
+    mcpart_ir::verify_program(program)
+        .map_err(|e| fail(Stage::Verify, PipelineErrorKind::Verify(e)))?;
+    validate_profile(program, profile)
+        .map_err(|e| fail(Stage::Analysis, PipelineErrorKind::Profile(e)))?;
+    if machine.num_clusters() == 0 {
+        return Err(fail(
+            Stage::Verify,
+            PipelineErrorKind::Machine { message: "machine has no clusters".into() },
+        ));
+    }
+
+    let mut downgrades = Vec::new();
+    let mut method = config.method;
+    loop {
+        let mut attempt = config.clone();
+        attempt.method = method;
+        match run_method(program, profile, machine, &attempt) {
+            Ok(mut result) => {
+                result.requested_method = config.method;
+                result.downgrades = downgrades;
+                return Ok(result);
+            }
+            Err(e) if e.is_recoverable() => match method.fallback() {
+                Some(next) => {
+                    downgrades.push(Downgrade { from: method, to: next, reason: e.to_string() });
+                    method = next;
+                }
+                None => return Err(e),
+            },
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One strict attempt with one method: any stage failure is returned,
+/// never retried.
+fn run_method(
+    program: &Program,
+    profile: &Profile,
+    machine: &Machine,
+    config: &PipelineConfig,
+) -> Result<PipelineResult, PipelineError> {
+    let fail = |stage: Stage, kind: PipelineErrorKind| PipelineError {
+        program: program.name.clone(),
+        method: config.method,
+        stage,
+        kind,
+    };
+    // Stage clock: each stage must individually finish within the
+    // configured wall-clock budget.
+    let check_clock = |stage: Stage, started: Instant| -> Result<(), PipelineError> {
+        if let Some(budget) = config.stage_budget {
+            let elapsed = started.elapsed();
+            if elapsed > budget {
+                return Err(fail(stage, PipelineErrorKind::Timeout { budget, elapsed }));
+            }
+        }
+        Ok(())
+    };
+
     // Prepartitioning analyses (§3.2): heap sizes applied, points-to,
     // access relationship, object groups.
+    let clock = Instant::now();
     let mut program = profile.apply_heap_sizes(program);
     if config.pre_optimize {
         mcpart_ir::optimize(&mut program);
@@ -159,32 +281,66 @@ pub fn run_pipeline(
     let pts = PointsTo::compute(&program);
     let access = AccessInfo::compute(&program, &pts, profile);
     let groups = ObjectGroups::compute(&program, &access);
+    check_clock(Stage::Analysis, clock)?;
 
     let start = Instant::now();
     let (placement, rhop_stats) = match config.method {
         Method::Gdp => {
-            let dp = gdp_partition(&program, profile, &access, &groups, machine, &config.gdp);
-            rhop_partition(&program, &access, profile, machine, &dp.object_home, &config.rhop)
+            let clock = Instant::now();
+            let dp = gdp_partition(&program, profile, &access, &groups, machine, &config.gdp)
+                .map_err(|e| fail(Stage::DataPartition, PipelineErrorKind::Gdp(e)))?;
+            check_clock(Stage::DataPartition, clock)?;
+            let clock = Instant::now();
+            let out = crate::rhop::rhop_partition(
+                &program,
+                &access,
+                profile,
+                machine,
+                &dp.object_home,
+                &config.rhop,
+            )
+            .map_err(|e| fail(Stage::ComputationPartition, PipelineErrorKind::Rhop(e)))?;
+            check_clock(Stage::ComputationPartition, clock)?;
+            out
         }
-        Method::ProfileMax => profile_max_partition(
-            &program,
-            &access,
-            profile,
-            machine,
-            &groups,
-            &config.rhop,
-            config.profile_max_balance,
-        ),
+        Method::ProfileMax => {
+            let clock = Instant::now();
+            let out = profile_max_partition(
+                &program,
+                &access,
+                profile,
+                machine,
+                &groups,
+                &config.rhop,
+                config.profile_max_balance,
+            )
+            .map_err(|e| fail(Stage::ComputationPartition, PipelineErrorKind::Rhop(e)))?;
+            check_clock(Stage::ComputationPartition, clock)?;
+            out
+        }
         Method::Naive => {
-            naive_partition(&program, &access, profile, machine, &groups, &config.rhop)
+            let clock = Instant::now();
+            let out = naive_partition(&program, &access, profile, machine, &groups, &config.rhop)
+                .map_err(|e| fail(Stage::ComputationPartition, PipelineErrorKind::Rhop(e)))?;
+            check_clock(Stage::ComputationPartition, clock)?;
+            out
         }
-        Method::Unified => unified_partition(&program, &access, profile, machine, &config.rhop),
+        Method::Unified => {
+            let clock = Instant::now();
+            let out = unified_partition(&program, &access, profile, machine, &config.rhop)
+                .map_err(|e| fail(Stage::ComputationPartition, PipelineErrorKind::Rhop(e)))?;
+            check_clock(Stage::ComputationPartition, clock)?;
+            out
+        }
     };
     let eval_machine = match config.method {
         Method::Unified => machine.clone().with_unified_memory(),
         _ => machine.clone(),
     };
+    let clock = Instant::now();
     let normalized = normalize_placement(&program, &placement, &access, &eval_machine, profile);
+    check_clock(Stage::Normalize, clock)?;
+    let clock = Instant::now();
     let (moved_program, moved_placement, move_stats) = mcpart_sched::insert_moves_with(
         &program,
         &normalized,
@@ -192,23 +348,36 @@ pub fn run_pipeline(
         Some(profile),
         config.move_strategy,
     );
+    check_clock(Stage::MoveInsertion, clock)?;
     let partition_time = start.elapsed();
 
-    if config.validate {
-        let ok = mcpart_sim::semantically_equivalent(
-            &program,
-            &moved_program,
-            &[],
-            mcpart_sim::ExecConfig::default(),
-        )
-        .expect("both program variants must execute");
-        assert!(ok, "{} transformation changed program semantics", config.method);
-    }
-
-    // Re-analyze the moved program (op ids shifted) for scheduling
-    // disambiguation, then evaluate.
+    // Re-analyze the moved program (op ids shifted) for placement
+    // validation and scheduling disambiguation.
     let moved_pts = PointsTo::compute(&moved_program);
     let moved_access = AccessInfo::compute(&moved_program, &moved_pts, profile);
+
+    // Post-partition validation: every memory op on its object's home
+    // cluster, every cross-cluster def bridged by a move. A violation
+    // here marks the placement unusable and (for GDP / Profile Max)
+    // drives the degradation ladder.
+    if config.check_placement {
+        let clock = Instant::now();
+        validate_placement(&moved_program, &moved_placement, &moved_access, &eval_machine)
+            .map_err(|e| fail(Stage::PlacementValidation, PipelineErrorKind::Placement(e)))?;
+        check_clock(Stage::PlacementValidation, clock)?;
+    }
+
+    if config.validate {
+        let clock = Instant::now();
+        let ok = mcpart_sim::semantically_equivalent(&program, &moved_program, &[], config.exec)
+            .map_err(|e| fail(Stage::SemanticValidation, PipelineErrorKind::Exec(e)))?;
+        if !ok {
+            return Err(fail(Stage::SemanticValidation, PipelineErrorKind::SemanticsChanged));
+        }
+        check_clock(Stage::SemanticValidation, clock)?;
+    }
+
+    let clock = Instant::now();
     let report = if config.software_pipelining {
         mcpart_sched::evaluate_pipelined(
             &moved_program,
@@ -220,10 +389,13 @@ pub fn run_pipeline(
     } else {
         evaluate(&moved_program, &moved_placement, &eval_machine, profile, &moved_access)
     };
+    check_clock(Stage::Evaluation, clock)?;
 
     let data_bytes = moved_placement.bytes_per_cluster(&moved_program, machine.num_clusters());
-    PipelineResult {
+    Ok(PipelineResult {
         method: config.method,
+        requested_method: config.method,
+        downgrades: Vec::new(),
         program: moved_program,
         placement: moved_placement,
         report,
@@ -232,16 +404,21 @@ pub fn run_pipeline(
         data_bytes,
         moves_inserted: move_stats.moves_inserted,
         partition_time,
-    }
+    })
 }
 
 /// Runs all four methods on one program/machine, returning results in
 /// [`Method::ALL`] order. Convenience for the experiment harness.
+///
+/// # Errors
+///
+/// Returns the first method's [`PipelineError`] that survives its
+/// degradation ladder.
 pub fn run_all_methods(
     program: &Program,
     profile: &Profile,
     machine: &Machine,
-) -> Vec<PipelineResult> {
+) -> Result<Vec<PipelineResult>, PipelineError> {
     Method::ALL
         .iter()
         .map(|&m| run_pipeline(program, profile, machine, &PipelineConfig::new(m)))
@@ -251,6 +428,7 @@ pub fn run_all_methods(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::GdpError;
     use mcpart_ir::{DataObject, FunctionBuilder, MemWidth};
 
     fn bench_program() -> Program {
@@ -285,8 +463,9 @@ mod tests {
         for method in Method::ALL {
             let mut cfg = PipelineConfig::new(method);
             cfg.validate = true;
-            let result = run_pipeline(&p, &profile, &machine, &cfg);
+            let result = run_pipeline(&p, &profile, &machine, &cfg).expect("pipeline");
             assert!(result.cycles() > 0, "{method} produced zero cycles");
+            assert!(!result.was_downgraded(), "{method} should run cleanly");
             mcpart_ir::verify_program(&result.program).unwrap();
         }
     }
@@ -298,9 +477,10 @@ mod tests {
         let p = bench_program();
         let profile = Profile::uniform(&p, 10);
         let machine = Machine::paper_2cluster(10);
-        let unified =
-            run_pipeline(&p, &profile, &machine, &PipelineConfig::new(Method::Unified));
-        let naive = run_pipeline(&p, &profile, &machine, &PipelineConfig::new(Method::Naive));
+        let unified = run_pipeline(&p, &profile, &machine, &PipelineConfig::new(Method::Unified))
+            .expect("pipeline");
+        let naive = run_pipeline(&p, &profile, &machine, &PipelineConfig::new(Method::Naive))
+            .expect("pipeline");
         assert!(
             unified.cycles() <= naive.cycles() + 2,
             "unified {} vs naive {}",
@@ -314,9 +494,11 @@ mod tests {
         let p = bench_program();
         let profile = Profile::uniform(&p, 10);
         let machine = Machine::paper_2cluster(5);
-        let pm = run_pipeline(&p, &profile, &machine, &PipelineConfig::new(Method::ProfileMax));
+        let pm = run_pipeline(&p, &profile, &machine, &PipelineConfig::new(Method::ProfileMax))
+            .expect("pipeline");
         assert_eq!(pm.detailed_runs, 2);
-        let gdp = run_pipeline(&p, &profile, &machine, &PipelineConfig::new(Method::Gdp));
+        let gdp = run_pipeline(&p, &profile, &machine, &PipelineConfig::new(Method::Gdp))
+            .expect("pipeline");
         assert_eq!(gdp.detailed_runs, 1);
     }
 
@@ -326,5 +508,118 @@ mod tests {
         assert_eq!(Method::ProfileMax.to_string(), "Profile Max");
         assert_eq!(Method::Naive.to_string(), "Naive");
         assert_eq!(Method::Unified.to_string(), "Unified");
+    }
+
+    #[test]
+    fn starved_gdp_downgrades_to_profile_max() {
+        let p = bench_program();
+        let profile = Profile::uniform(&p, 10);
+        let machine = Machine::paper_2cluster(5);
+        let mut cfg = PipelineConfig::new(Method::Gdp);
+        cfg.gdp.fuel = Some(0); // the graph partitioner cannot refine at all
+        cfg.validate = true;
+        let result = run_pipeline(&p, &profile, &machine, &cfg).expect("ladder recovers");
+        assert_eq!(result.requested_method, Method::Gdp);
+        assert_eq!(result.method, Method::ProfileMax);
+        assert_eq!(result.downgrades.len(), 1);
+        assert_eq!(result.downgrades[0].from, Method::Gdp);
+        assert_eq!(result.downgrades[0].to, Method::ProfileMax);
+        assert!(result.downgrades[0].reason.contains("budget"), "{}", result.downgrades[0]);
+        assert!(result.cycles() > 0);
+    }
+
+    #[test]
+    fn ladder_bottoms_out_at_naive() {
+        // Starve GDP *and* RHOP: GDP fails on fuel, Profile Max and
+        // Naive fail on the estimator budget, so the error that
+        // surfaces is the last rung's.
+        let p = bench_program();
+        let profile = Profile::uniform(&p, 10);
+        let machine = Machine::paper_2cluster(5);
+        let mut cfg = PipelineConfig::new(Method::Gdp);
+        cfg.gdp.fuel = Some(0);
+        cfg.rhop.max_estimator_calls = Some(1);
+        let e = run_pipeline(&p, &profile, &machine, &cfg).unwrap_err();
+        assert_eq!(e.method, Method::Naive, "the surfaced error names the last rung tried");
+        assert!(matches!(e.kind, PipelineErrorKind::Rhop(_)), "{e}");
+    }
+
+    #[test]
+    fn unverifiable_program_is_rejected_up_front() {
+        let mut p = Program::new("broken");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let v = b.iconst(1);
+        b.ret(Some(v));
+        // Truncate the entry block's terminator.
+        let entry = p.entry;
+        let eb = p.functions[entry].entry;
+        p.functions[entry].blocks[eb].term = None;
+        let profile = Profile::uniform(&p, 1);
+        let machine = Machine::paper_2cluster(5);
+        let e =
+            run_pipeline(&p, &profile, &machine, &PipelineConfig::new(Method::Gdp)).unwrap_err();
+        assert_eq!(e.stage, Stage::Verify);
+        assert!(matches!(e.kind, PipelineErrorKind::Verify(_)), "{e}");
+    }
+
+    #[test]
+    fn mismatched_profile_is_rejected_up_front() {
+        let p = bench_program();
+        let other = Program::new("other");
+        let profile = Profile::uniform(&other, 1);
+        let machine = Machine::paper_2cluster(5);
+        let e =
+            run_pipeline(&p, &profile, &machine, &PipelineConfig::new(Method::Naive)).unwrap_err();
+        assert_eq!(e.stage, Stage::Analysis);
+        assert!(!e.is_recoverable());
+    }
+
+    #[test]
+    fn zero_stage_budget_times_out() {
+        let p = bench_program();
+        let profile = Profile::uniform(&p, 10);
+        let machine = Machine::paper_2cluster(5);
+        let mut cfg = PipelineConfig::new(Method::Unified);
+        cfg.stage_budget = Some(Duration::ZERO);
+        let e = run_pipeline(&p, &profile, &machine, &cfg).unwrap_err();
+        assert!(matches!(e.kind, PipelineErrorKind::Timeout { .. }), "{e}");
+    }
+
+    #[test]
+    fn timeout_is_recoverable_through_the_ladder() {
+        // With a per-stage budget of zero, GDP times out, Profile Max
+        // times out, Naive times out: the surfaced error is a timeout
+        // (recoverable kind) from the final rung.
+        let p = bench_program();
+        let profile = Profile::uniform(&p, 10);
+        let machine = Machine::paper_2cluster(5);
+        let mut cfg = PipelineConfig::new(Method::Gdp);
+        cfg.stage_budget = Some(Duration::ZERO);
+        let e = run_pipeline(&p, &profile, &machine, &cfg).unwrap_err();
+        assert!(e.is_recoverable());
+    }
+
+    #[test]
+    fn run_all_methods_reports_each_method() {
+        let p = bench_program();
+        let profile = Profile::uniform(&p, 10);
+        let machine = Machine::paper_2cluster(5);
+        let results = run_all_methods(&p, &profile, &machine).expect("all methods");
+        assert_eq!(results.len(), 4);
+        for (r, m) in results.iter().zip(Method::ALL) {
+            assert_eq!(r.method, m);
+        }
+    }
+
+    #[test]
+    fn gdp_internal_errors_render() {
+        // Exercise the Display plumbing end to end.
+        let e = PipelineError {
+            program: "x".into(),
+            method: Method::Gdp,
+            stage: Stage::DataPartition,
+            kind: PipelineErrorKind::Gdp(GdpError::NoClusters),
+        };
+        assert!(e.to_string().contains("no clusters"), "{e}");
     }
 }

@@ -11,15 +11,14 @@
 //! displacing assignment as infeasible, so they never move.
 
 use mcpart_analysis::{AccessInfo, AccessSite};
-use mcpart_ir::{
-    ClusterId, EntityMap, FuncId, ObjectId, Opcode, Profile, Program, VReg,
-};
+use mcpart_ir::{ClusterId, EntityMap, FuncId, ObjectId, Opcode, Profile, Program, VReg};
 use mcpart_machine::Machine;
+use mcpart_rng::rngs::SmallRng;
+use mcpart_rng::seq::SliceRandom;
+use mcpart_rng::SeedableRng;
 use mcpart_sched::{Placement, RegionEstimator, INFEASIBLE};
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
+use crate::error::RhopError;
 use crate::groups::UnionFind;
 
 /// Scope of the regions RHOP partitions one at a time.
@@ -52,6 +51,11 @@ pub struct RhopConfig {
     pub refine_passes: usize,
     /// Region scope (see [`RegionScope`]).
     pub region_scope: RegionScope,
+    /// Budget on schedule-estimator invocations across the whole run
+    /// (`None` = unlimited). The estimator dominates RHOP's compile
+    /// time (§4.5), so this bounds the pass's total work; exhausting it
+    /// yields [`RhopError::EstimatorBudgetExceeded`].
+    pub max_estimator_calls: Option<u64>,
 }
 
 impl Default for RhopConfig {
@@ -61,6 +65,7 @@ impl Default for RhopConfig {
             coarsen_to: 8,
             refine_passes: 2,
             region_scope: RegionScope::PerBlock,
+            max_estimator_calls: None,
         }
     }
 }
@@ -76,12 +81,30 @@ pub struct RhopStats {
     pub moves_accepted: u64,
 }
 
+/// Spends one estimator invocation against the configured budget.
+fn spend_estimate(stats: &mut RhopStats, limit: Option<u64>) -> Result<(), RhopError> {
+    stats.estimator_calls += 1;
+    match limit {
+        Some(l) if stats.estimator_calls > l => {
+            Err(RhopError::EstimatorBudgetExceeded { limit: l })
+        }
+        _ => Ok(()),
+    }
+}
+
 /// Runs RHOP over every region of every function.
 ///
 /// `object_home` supplies the data partition: memory operations
 /// accessing a homed object are locked to that cluster, and `call`s are
 /// locked to cluster 0. Pass a map of `None`s for the unified-memory
 /// model (no locks).
+///
+/// # Errors
+///
+/// Returns [`RhopError::EstimatorBudgetExceeded`] when
+/// `config.max_estimator_calls` runs out mid-pass, and
+/// [`RhopError::Internal`] if the hierarchical partitioner breaks one
+/// of its invariants.
 pub fn rhop_partition(
     program: &Program,
     access: &AccessInfo,
@@ -89,7 +112,7 @@ pub fn rhop_partition(
     machine: &Machine,
     object_home: &EntityMap<ObjectId, Option<ClusterId>>,
     config: &RhopConfig,
-) -> (Placement, RhopStats) {
+) -> Result<(Placement, RhopStats), RhopError> {
     let mut placement = Placement::all_on_cluster0(program);
     placement.object_home = object_home.clone();
     let mut stats = RhopStats::default();
@@ -99,9 +122,7 @@ pub fn rhop_partition(
             func.regions.values().map(|r| r.blocks.clone()).collect()
         } else {
             match config.region_scope {
-                RegionScope::PerBlock => {
-                    func.blocks.keys().map(|b| vec![b]).collect()
-                }
+                RegionScope::PerBlock => func.blocks.keys().map(|b| vec![b]).collect(),
                 RegionScope::WholeFunction => {
                     vec![func.blocks.keys().collect()]
                 }
@@ -132,11 +153,11 @@ pub fn rhop_partition(
                     &mut placement,
                     &mut stats,
                     &mut rng,
-                );
+                )?;
             }
         }
     }
-    (placement, stats)
+    Ok((placement, stats))
 }
 
 /// One coarsening level: groups of region-node indices.
@@ -161,11 +182,12 @@ fn partition_region(
     placement: &mut Placement,
     stats: &mut RhopStats,
     rng: &mut SmallRng,
-) {
+) -> Result<(), RhopError> {
+    let limit = config.max_estimator_calls;
     let mut est = RegionEstimator::new(program, fid, blocks, access, machine);
     let n = est.len();
     if n == 0 {
-        return;
+        return Ok(());
     }
     if count_region {
         stats.regions += 1;
@@ -187,8 +209,7 @@ fn partition_region(
                     .site_objects
                     .get(&site)
                     .and_then(|objs| objs.iter().find_map(|&o| object_home[o]));
-                match (home, machine.memory.is_partitioned(), machine.memory.coherence_penalty())
-                {
+                match (home, machine.memory.is_partitioned(), machine.memory.coherence_penalty()) {
                     (Some(home), true, _) => est.lock(i, home),
                     (Some(home), false, Some(penalty)) => est.set_mem_home(i, home, penalty),
                     _ => {}
@@ -201,10 +222,8 @@ fn partition_region(
     // Live-in operand homes (second sweep): values defined outside the
     // region consumed here are charged a move when placed remotely.
     if let Some(hints) = live_in_hints {
-        let defined_here: std::collections::HashSet<VReg> = node_ops
-            .iter()
-            .flat_map(|&o| func.ops[o].dsts.iter().copied())
-            .collect();
+        let defined_here: std::collections::HashSet<VReg> =
+            node_ops.iter().flat_map(|&o| func.ops[o].dsts.iter().copied()).collect();
         for (i, &op_id) in node_ops.iter().enumerate() {
             for &src in &func.ops[op_id].srcs {
                 if !defined_here.contains(&src) {
@@ -268,7 +287,9 @@ fn partition_region(
     // Multilevel coarsening by heavy-edge matching over groups.
     let mut levels: Vec<Level> = vec![base];
     loop {
-        let current = levels.last().expect("at least the base level");
+        let Some(current) = levels.last() else {
+            return Err(RhopError::Internal { message: "coarsening lost the base level".into() });
+        };
         let g = current.members.len();
         if g <= config.coarsen_to.max(nclusters) {
             break;
@@ -364,11 +385,8 @@ fn partition_region(
     };
     let mut assign_groups: Vec<u16> = {
         let level = &levels[coarsest];
-        let seed_a: Vec<u16> = level
-            .lock
-            .iter()
-            .map(|l| l.map(|c| c.index() as u16).unwrap_or(0))
-            .collect();
+        let seed_a: Vec<u16> =
+            level.lock.iter().map(|l| l.map(|c| c.index() as u16).unwrap_or(0)).collect();
         let mut seed_b = seed_a.clone();
         let mut next = 0usize;
         for (g, lock) in level.lock.iter().enumerate() {
@@ -386,13 +404,14 @@ fn partition_region(
                 n,
                 nclusters,
                 config.refine_passes.max(2) + 2,
+                limit,
                 stats,
                 rng,
-            );
+            )?;
             let full = expand_full(level, &cand);
             let e = est.estimate(&full);
             let peak = est.resource_peak(&full);
-            stats.estimator_calls += 1;
+            spend_estimate(stats, limit)?;
             let better = match &best {
                 None => true,
                 Some((_, be, bp)) => e < *be || (e == *be && peak < *bp),
@@ -401,7 +420,14 @@ fn partition_region(
                 best = Some((cand, e, peak));
             }
         }
-        best.expect("two candidates").0
+        match best {
+            Some((cand, _, _)) => cand,
+            None => {
+                return Err(RhopError::Internal {
+                    message: "no initial candidate assignment survived".into(),
+                })
+            }
+        }
     };
 
     // Uncoarsening: project and refine at each finer level.
@@ -416,12 +442,19 @@ fn partition_region(
                 node_cluster[m as usize] = assign_groups[g];
             }
         }
-        let mut fine_assign: Vec<u16> = fine
-            .members
-            .iter()
-            .map(|members| node_cluster[members[0] as usize])
-            .collect();
-        refine_level(fine, &mut fine_assign, &est, n, nclusters, config.refine_passes, stats, rng);
+        let mut fine_assign: Vec<u16> =
+            fine.members.iter().map(|members| node_cluster[members[0] as usize]).collect();
+        refine_level(
+            fine,
+            &mut fine_assign,
+            &est,
+            n,
+            nclusters,
+            config.refine_passes,
+            limit,
+            stats,
+            rng,
+        )?;
         assign_groups = fine_assign;
     }
 
@@ -429,9 +462,14 @@ fn partition_region(
     let finest = &levels[0];
     for (g, members) in finest.members.iter().enumerate() {
         for &m in members {
-            placement.set_cluster(fid, node_ops[m as usize], ClusterId::new(assign_groups[g] as usize));
+            placement.set_cluster(
+                fid,
+                node_ops[m as usize],
+                ClusterId::new(assign_groups[g] as usize),
+            );
         }
     }
+    Ok(())
 }
 
 /// Greedy refinement at one level: move groups between clusters while
@@ -444,9 +482,10 @@ fn refine_level(
     n: usize,
     nclusters: usize,
     passes: usize,
+    limit: Option<u64>,
     stats: &mut RhopStats,
     rng: &mut SmallRng,
-) {
+) -> Result<(), RhopError> {
     let expand = |assign: &[u16]| {
         let mut node_assign = vec![0u16; n];
         for (g, members) in level.members.iter().enumerate() {
@@ -458,11 +497,11 @@ fn refine_level(
     };
     let mut current = est.estimate(&expand(assign));
     let mut current_peak = est.resource_peak(&expand(assign));
-    stats.estimator_calls += 1;
+    spend_estimate(stats, limit)?;
     if current == INFEASIBLE {
         // Locked base assignment should always be feasible; bail out
         // defensively.
-        return;
+        return Ok(());
     }
     let mut order: Vec<usize> = (0..level.members.len()).collect();
     for _ in 0..passes.max(1) {
@@ -481,7 +520,7 @@ fn refine_level(
                 assign[g] = c;
                 let full = expand(assign);
                 let e = est.estimate(&full);
-                stats.estimator_calls += 1;
+                spend_estimate(stats, limit)?;
                 if e == INFEASIBLE {
                     continue;
                 }
@@ -489,12 +528,9 @@ fn refine_level(
                 // Accept strict improvements, or equal estimates that
                 // lower the resource peak (leaves headroom for the real
                 // scheduler and lets coordinated splits emerge).
-                let improves =
-                    e < current || (e == current && peak < current_peak);
+                let improves = e < current || (e == current && peak < current_peak);
                 if improves
-                    && best
-                        .map(|(_, be, bp)| e < be || (e == be && peak < bp))
-                        .unwrap_or(true)
+                    && best.map(|(_, be, bp)| e < be || (e == be && peak < bp)).unwrap_or(true)
                 {
                     best = Some((c, e, peak));
                 }
@@ -514,6 +550,7 @@ fn refine_level(
             break;
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -552,7 +589,8 @@ mod tests {
         let machine = Machine::paper_2cluster(1);
         let homes = EntityMap::with_default(0, None);
         let (placement, stats) =
-            rhop_partition(&p, &access, &profile, &machine, &homes, &RhopConfig::default());
+            rhop_partition(&p, &access, &profile, &machine, &homes, &RhopConfig::default())
+                .expect("rhop");
         let counts = placement.ops_per_cluster(2);
         assert!(counts[0] > 0 && counts[1] > 0, "both clusters used: {counts:?}");
         assert!(stats.regions >= 1);
@@ -574,12 +612,10 @@ mod tests {
         let machine = Machine::paper_2cluster(10);
         let homes = EntityMap::with_default(0, None);
         let (placement, _) =
-            rhop_partition(&p, &access, &profile, &machine, &homes, &RhopConfig::default());
+            rhop_partition(&p, &access, &profile, &machine, &homes, &RhopConfig::default())
+                .expect("rhop");
         let counts = placement.ops_per_cluster(2);
-        assert!(
-            counts[0] == 0 || counts[1] == 0,
-            "serial chain split needlessly: {counts:?}"
-        );
+        assert!(counts[0] == 0 || counts[1] == 0, "serial chain split needlessly: {counts:?}");
     }
 
     /// Memory operations follow their object's home cluster.
@@ -595,11 +631,11 @@ mod tests {
         b.ret(None);
         let (profile, access) = analyze(&p);
         let machine = Machine::paper_2cluster(5);
-        let mut homes: EntityMap<ObjectId, Option<ClusterId>> =
-            EntityMap::with_default(1, None);
+        let mut homes: EntityMap<ObjectId, Option<ClusterId>> = EntityMap::with_default(1, None);
         homes[t1] = Some(ClusterId::new(1));
         let (placement, _) =
-            rhop_partition(&p, &access, &profile, &machine, &homes, &RhopConfig::default());
+            rhop_partition(&p, &access, &profile, &machine, &homes, &RhopConfig::default())
+                .expect("rhop");
         let func = p.entry_function();
         for (oid, op) in func.ops.iter() {
             if op.opcode.is_memory() {
@@ -629,8 +665,12 @@ mod tests {
         let (profile, access) = analyze(&p);
         let machine = Machine::paper_2cluster(5);
         let homes = EntityMap::with_default(2, None);
-        let (a, _) = rhop_partition(&p, &access, &profile, &machine, &homes, &RhopConfig::default());
-        let (b2, _) = rhop_partition(&p, &access, &profile, &machine, &homes, &RhopConfig::default());
+        let (a, _) =
+            rhop_partition(&p, &access, &profile, &machine, &homes, &RhopConfig::default())
+                .expect("rhop");
+        let (b2, _) =
+            rhop_partition(&p, &access, &profile, &machine, &homes, &RhopConfig::default())
+                .expect("rhop");
         assert_eq!(a.op_cluster, b2.op_cluster);
     }
 
@@ -661,7 +701,8 @@ mod tests {
         let machine = Machine::paper_2cluster(5);
         let homes = EntityMap::with_default(0, None);
         let (placement, _) =
-            rhop_partition(&p, &access, &profile, &machine, &homes, &RhopConfig::default());
+            rhop_partition(&p, &access, &profile, &machine, &homes, &RhopConfig::default())
+                .expect("rhop");
         // Defs of i: the entry iconst and the body mov — note they sit
         // in different regions (per-block), so only normalization can
         // unify across regions; within the body region the mov and its
@@ -695,7 +736,7 @@ mod tests {
         for scope in [RegionScope::PerBlock, RegionScope::LoopNests, RegionScope::WholeFunction] {
             let cfg = RhopConfig { region_scope: scope, ..RhopConfig::default() };
             let (placement, _) =
-                rhop_partition(&p, &access, &profile, &machine, &homes, &cfg);
+                rhop_partition(&p, &access, &profile, &machine, &homes, &cfg).expect("rhop");
             for (oid, op) in p.entry_function().ops.iter() {
                 if op.opcode.is_memory() {
                     assert_eq!(
@@ -728,12 +769,12 @@ mod tests {
         mcpart_ir::verify_program(&p).unwrap();
         let (profile, access) = analyze(&p);
         let machine = Machine::paper_2cluster(5);
-        let mut homes: EntityMap<ObjectId, Option<ClusterId>> =
-            EntityMap::with_default(2, None);
+        let mut homes: EntityMap<ObjectId, Option<ClusterId>> = EntityMap::with_default(2, None);
         homes[t1] = Some(ClusterId::new(0));
         homes[t2] = Some(ClusterId::new(1));
         let (placement, _) =
-            rhop_partition(&p, &access, &profile, &machine, &homes, &RhopConfig::default());
+            rhop_partition(&p, &access, &profile, &machine, &homes, &RhopConfig::default())
+                .expect("rhop");
         let normalized = normalize_placement(&p, &placement, &access, &machine, &profile);
         let (moved, moved_placement, _) = insert_moves(&p, &normalized, &machine);
         mcpart_ir::verify_program(&moved).unwrap();
@@ -746,7 +787,42 @@ mod tests {
         .unwrap());
         let pts = PointsTo::compute(&moved);
         let moved_access = AccessInfo::compute(&moved, &pts, &Profile::uniform(&moved, 100));
-        let report = evaluate(&moved, &moved_placement, &machine, &Profile::uniform(&moved, 100), &moved_access);
+        let report = evaluate(
+            &moved,
+            &moved_placement,
+            &machine,
+            &Profile::uniform(&moved, 100),
+            &moved_access,
+        );
         assert!(report.total_cycles > 0);
+    }
+
+    /// A starved estimator budget is a typed error, never a hang, and a
+    /// generous one changes nothing.
+    #[test]
+    fn estimator_budget_is_enforced() {
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let mut chains: Vec<_> = (0..4).map(|i| b.iconst(i)).collect();
+        for _ in 0..8 {
+            for c in chains.iter_mut() {
+                *c = b.add(*c, *c);
+            }
+        }
+        b.ret(Some(chains[0]));
+        let (profile, access) = analyze(&p);
+        let machine = Machine::paper_2cluster(1);
+        let homes = EntityMap::with_default(0, None);
+        let starved = RhopConfig { max_estimator_calls: Some(2), ..RhopConfig::default() };
+        let e = rhop_partition(&p, &access, &profile, &machine, &homes, &starved).unwrap_err();
+        assert!(matches!(e, RhopError::EstimatorBudgetExceeded { limit: 2 }), "{e}");
+        let generous = RhopConfig { max_estimator_calls: Some(1_000_000), ..RhopConfig::default() };
+        let (a, stats) =
+            rhop_partition(&p, &access, &profile, &machine, &homes, &generous).expect("rhop");
+        let (b2, _) =
+            rhop_partition(&p, &access, &profile, &machine, &homes, &RhopConfig::default())
+                .expect("rhop");
+        assert_eq!(a.op_cluster, b2.op_cluster);
+        assert!(stats.estimator_calls > 2);
     }
 }

@@ -65,7 +65,8 @@ mod tests {
     #[test]
     fn terminator_successors() {
         assert_eq!(Terminator::Jump(BlockId(3)).successors(), vec![BlockId(3)]);
-        let b = Terminator::Branch { cond: VReg(0), then_block: BlockId(1), else_block: BlockId(2) };
+        let b =
+            Terminator::Branch { cond: VReg(0), then_block: BlockId(1), else_block: BlockId(2) };
         assert_eq!(b.successors(), vec![BlockId(1), BlockId(2)]);
         assert!(Terminator::Return(None).successors().is_empty());
     }

@@ -58,17 +58,15 @@ pub use block::{Block, Terminator};
 pub use builder::FunctionBuilder;
 pub use dfg::DefUse;
 pub use func::{Function, Region};
-pub use ids::{
-    BlockId, ClusterId, EntityId, EntityMap, FuncId, ObjectId, OpId, RegionId, VReg,
-};
+pub use ids::{BlockId, ClusterId, EntityId, EntityMap, FuncId, ObjectId, OpId, RegionId, VReg};
 pub use object::{DataObject, ObjectKind};
 pub use op::{Op, OpRef};
 pub use opcode::{Cmp, FloatBinOp, FuKind, IntBinOp, MemWidth, Opcode};
 pub use parse::{parse_program, ParseError};
 pub use print::{function_to_string, program_to_string};
 pub use profile::{FuncProfile, Profile};
+pub use program::Program;
 pub use transform::{
     copy_propagation, dce_function, fold_constants, lvn_function, optimize, OptStats,
 };
-pub use program::Program;
 pub use verify::{verify_program, VerifyError};

@@ -15,39 +15,61 @@ use crate::program::Program;
 use std::error::Error;
 use std::fmt;
 
-/// A parse failure, with the 1-based line number.
+/// A parse failure, with the 1-based line and column numbers.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ParseError {
     /// 1-based line of the failure.
     pub line: usize,
+    /// 1-based column of the offending token (1 when the whole line is
+    /// at fault or the exact position is unknown).
+    pub column: usize,
     /// Description of the problem.
     pub message: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}, column {}: {}", self.line, self.column, self.message)
     }
 }
 
 impl Error for ParseError {}
 
-fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { line, message: message.into() })
+/// Source position of a token: 1-based line and column.
+#[derive(Clone, Copy)]
+struct Pos {
+    line: usize,
+    column: usize,
 }
 
-fn parse_id<K: EntityId>(line: usize, token: &str, prefix: &str) -> Result<K, ParseError> {
-    match token.strip_prefix(prefix).and_then(|t| t.parse::<usize>().ok()) {
-        Some(i) => Ok(K::new(i)),
-        None => err(line, format!("expected `{prefix}N`, found `{token}`")),
+impl Pos {
+    fn start(line: usize) -> Self {
+        Pos { line, column: 1 }
+    }
+
+    /// Position of `token` within `text` (the raw source line); falls
+    /// back to column 1 when the token cannot be located.
+    fn of(line: usize, text: &str, token: &str) -> Self {
+        Pos { line, column: text.find(token).map_or(1, |i| i + 1) }
     }
 }
 
-fn parse_vreg(line: usize, token: &str) -> Result<VReg, ParseError> {
-    parse_id::<VReg>(line, token.trim_end_matches(','), "v")
+fn err<T>(pos: Pos, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line: pos.line, column: pos.column, message: message.into() })
 }
 
-fn parse_cmp(line: usize, token: &str) -> Result<Cmp, ParseError> {
+fn parse_id<K: EntityId>(pos: Pos, token: &str, prefix: &str) -> Result<K, ParseError> {
+    match token.strip_prefix(prefix).and_then(|t| t.parse::<usize>().ok()) {
+        Some(i) => Ok(K::new(i)),
+        None => err(pos, format!("expected `{prefix}N`, found `{token}`")),
+    }
+}
+
+fn parse_vreg(pos: Pos, token: &str) -> Result<VReg, ParseError> {
+    parse_id::<VReg>(pos, token.trim_end_matches(','), "v")
+}
+
+fn parse_cmp(pos: Pos, token: &str) -> Result<Cmp, ParseError> {
     Ok(match token {
         "eq" => Cmp::Eq,
         "ne" => Cmp::Ne,
@@ -55,46 +77,50 @@ fn parse_cmp(line: usize, token: &str) -> Result<Cmp, ParseError> {
         "le" => Cmp::Le,
         "gt" => Cmp::Gt,
         "ge" => Cmp::Ge,
-        _ => return err(line, format!("unknown comparison `{token}`")),
+        _ => return err(pos, format!("unknown comparison `{token}`")),
     })
 }
 
-fn parse_width(line: usize, token: &str) -> Result<MemWidth, ParseError> {
+fn parse_width(pos: Pos, token: &str) -> Result<MemWidth, ParseError> {
     Ok(match token {
         "1" => MemWidth::B1,
         "2" => MemWidth::B2,
         "4" => MemWidth::B4,
         "8" => MemWidth::B8,
-        _ => return err(line, format!("unknown access width `{token}`")),
+        _ => return err(pos, format!("unknown access width `{token}`")),
     })
 }
 
-fn parse_opcode(line: usize, mnemonic: &str, arg: Option<&str>) -> Result<Opcode, ParseError> {
+fn parse_opcode(pos: Pos, mnemonic: &str, arg: Option<&str>) -> Result<Opcode, ParseError> {
     let int_bin = |op| Ok(Opcode::IntBin(op));
     let float_bin = |op| Ok(Opcode::FloatBin(op));
     match mnemonic {
         "iconst" => {
-            let v = arg
-                .and_then(|a| a.parse::<i64>().ok())
-                .ok_or_else(|| ParseError { line, message: "iconst needs an integer".into() })?;
+            let v = arg.and_then(|a| a.parse::<i64>().ok()).ok_or(ParseError {
+                line: pos.line,
+                column: pos.column,
+                message: "iconst needs an integer".into(),
+            })?;
             Ok(Opcode::ConstInt(v))
         }
         "fconst" => {
-            let v = arg
-                .and_then(|a| a.parse::<f64>().ok())
-                .ok_or_else(|| ParseError { line, message: "fconst needs a float".into() })?;
+            let v = arg.and_then(|a| a.parse::<f64>().ok()).ok_or(ParseError {
+                line: pos.line,
+                column: pos.column,
+                message: "fconst needs a float".into(),
+            })?;
             Ok(Opcode::ConstFloat(v.to_bits()))
         }
         "addrof" => {
-            let obj = parse_id::<ObjectId>(line, arg.unwrap_or(""), "obj")?;
+            let obj = parse_id::<ObjectId>(pos, arg.unwrap_or(""), "obj")?;
             Ok(Opcode::AddrOf(obj))
         }
         "malloc" => {
-            let obj = parse_id::<ObjectId>(line, arg.unwrap_or(""), "obj")?;
+            let obj = parse_id::<ObjectId>(pos, arg.unwrap_or(""), "obj")?;
             Ok(Opcode::Malloc(obj))
         }
         "call" => {
-            let f = parse_id::<FuncId>(line, arg.unwrap_or(""), "fn")?;
+            let f = parse_id::<FuncId>(pos, arg.unwrap_or(""), "fn")?;
             Ok(Opcode::Call(f))
         }
         "add" => int_bin(IntBinOp::Add),
@@ -122,18 +148,18 @@ fn parse_opcode(line: usize, mnemonic: &str, arg: Option<&str>) -> Result<Opcode
         "ret" => Ok(Opcode::Ret),
         _ => {
             if let Some(c) = mnemonic.strip_prefix("icmp.") {
-                return Ok(Opcode::IntCmp(parse_cmp(line, c)?));
+                return Ok(Opcode::IntCmp(parse_cmp(pos, c)?));
             }
             if let Some(c) = mnemonic.strip_prefix("fcmp.") {
-                return Ok(Opcode::FloatCmp(parse_cmp(line, c)?));
+                return Ok(Opcode::FloatCmp(parse_cmp(pos, c)?));
             }
             if let Some(w) = mnemonic.strip_prefix("load.") {
-                return Ok(Opcode::Load(parse_width(line, w)?));
+                return Ok(Opcode::Load(parse_width(pos, w)?));
             }
             if let Some(w) = mnemonic.strip_prefix("store.") {
-                return Ok(Opcode::Store(parse_width(line, w)?));
+                return Ok(Opcode::Store(parse_width(pos, w)?));
             }
-            err(line, format!("unknown opcode `{mnemonic}`"))
+            err(pos, format!("unknown opcode `{mnemonic}`"))
         }
     }
 }
@@ -142,31 +168,32 @@ fn parse_opcode(line: usize, mnemonic: &str, arg: Option<&str>) -> Result<Opcode
 ///
 /// # Errors
 ///
-/// Returns a [`ParseError`] (with line number) for malformed input.
-/// The result is *structurally* parsed but not semantically verified —
-/// run [`crate::verify_program`] afterwards.
+/// Returns a [`ParseError`] (with 1-based line and column) for
+/// malformed input. The result is *structurally* parsed but not
+/// semantically verified — run [`crate::verify_program`] afterwards.
 pub fn parse_program(text: &str) -> Result<Program, ParseError> {
     let mut lines = text.lines().enumerate().peekable();
 
     // Header: `program <name>`.
-    let (ln, first) = lines.next().ok_or(ParseError { line: 1, message: "empty input".into() })?;
+    let (ln, first) =
+        lines.next().ok_or(ParseError { line: 1, column: 1, message: "empty input".into() })?;
     let name = first
         .strip_prefix("program ")
-        .ok_or(ParseError { line: ln + 1, message: "expected `program <name>`".into() })?
+        .ok_or(ParseError { line: ln + 1, column: 1, message: "expected `program <name>`".into() })?
         .trim()
         .to_string();
 
     // `entry fnN`.
-    let (ln, entry_line) =
-        lines.next().ok_or(ParseError { line: ln + 2, message: "missing entry line".into() })?;
-    let entry: FuncId = parse_id(
-        ln + 1,
-        entry_line
-            .strip_prefix("entry ")
-            .ok_or(ParseError { line: ln + 1, message: "expected `entry fnN`".into() })?
-            .trim(),
-        "fn",
-    )?;
+    let (ln, entry_line) = lines.next().ok_or(ParseError {
+        line: ln + 2,
+        column: 1,
+        message: "missing entry line".into(),
+    })?;
+    let entry_tok = entry_line
+        .strip_prefix("entry ")
+        .ok_or(ParseError { line: ln + 1, column: 1, message: "expected `entry fnN`".into() })?
+        .trim();
+    let entry: FuncId = parse_id(Pos::of(ln + 1, entry_line, entry_tok), entry_tok, "fn")?;
 
     let mut program = Program::new(name.clone());
     program.name = name;
@@ -182,20 +209,27 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
         }
         lines.next();
         let lno = ln + 1;
-        let (id_part, rest) = trimmed
-            .split_once(": ")
-            .ok_or(ParseError { line: lno, message: "expected `objN: ...`".into() })?;
-        let oid: ObjectId = parse_id(lno, id_part, "obj")?;
+        let (id_part, rest) = trimmed.split_once(": ").ok_or(ParseError {
+            line: lno,
+            column: Pos::of(lno, line, trimmed).column,
+            message: "expected `objN: ...`".into(),
+        })?;
+        let oid: ObjectId = parse_id(Pos::of(lno, line, id_part), id_part, "obj")?;
         if oid.index() != program.objects.len() {
-            return err(lno, format!("object ids must be dense, found {id_part}"));
+            return err(
+                Pos::of(lno, line, id_part),
+                format!("object ids must be dense, found {id_part}"),
+            );
         }
         let mut parts = rest.split_whitespace();
         let kind = parts.next().unwrap_or("");
         let obj_name = parts.next().unwrap_or("");
         let size_tok = parts.next().unwrap_or("").trim_start_matches('(');
-        let size: u64 = size_tok
-            .parse()
-            .map_err(|_| ParseError { line: lno, message: format!("bad size `{size_tok}`") })?;
+        let size: u64 = size_tok.parse().map_err(|_| ParseError {
+            line: lno,
+            column: Pos::of(lno, line, size_tok).column,
+            message: format!("bad size `{size_tok}`"),
+        })?;
         let object = match kind {
             "global" => {
                 let mut o = DataObject::global(obj_name, size);
@@ -207,7 +241,7 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
                 o.size = size;
                 o
             }
-            _ => return err(lno, format!("unknown object kind `{kind}`")),
+            _ => return err(Pos::of(lno, line, kind), format!("unknown object kind `{kind}`")),
         };
         program.add_object(object);
     }
@@ -220,20 +254,27 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
             continue;
         }
         let Some(header) = trimmed.strip_prefix("func ") else {
-            return err(lno, format!("expected `func <name>(...)`, found `{trimmed}`"));
+            return err(
+                Pos::of(lno, line, trimmed),
+                format!("expected `func <name>(...)`, found `{trimmed}`"),
+            );
         };
-        let open = header
-            .find('(')
-            .ok_or(ParseError { line: lno, message: "missing `(` in function header".into() })?;
+        let open = header.find('(').ok_or(ParseError {
+            line: lno,
+            column: Pos::of(lno, line, header).column,
+            message: "missing `(` in function header".into(),
+        })?;
         let fname = header[..open].trim().to_string();
-        let close = header
-            .find(')')
-            .ok_or(ParseError { line: lno, message: "missing `)` in function header".into() })?;
+        let close = header.find(')').ok_or(ParseError {
+            line: lno,
+            column: Pos::of(lno, line, header).column,
+            message: "missing `)` in function header".into(),
+        })?;
         let params: Vec<VReg> = header[open + 1..close]
             .split(',')
             .map(str::trim)
             .filter(|s| !s.is_empty())
-            .map(|t| parse_vreg(lno, t))
+            .map(|t| parse_vreg(Pos::of(lno, line, t), t))
             .collect::<Result<_, _>>()?;
 
         let mut func = Function::new(fname);
@@ -250,7 +291,7 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
         let mut current: Option<BlockId> = None;
         loop {
             let Some((ln, line)) = lines.next() else {
-                return err(lno, "unterminated function (missing `}`)");
+                return err(Pos::start(lno), "unterminated function (missing `}`)");
             };
             let lno = ln + 1;
             let trimmed = line.trim();
@@ -267,16 +308,22 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
                     Some((i, l)) => (i, l.trim().trim_start_matches('(').trim_end_matches(')')),
                     None => (body, ""),
                 };
-                let bid: BlockId = parse_id(lno, id_part, "bb")?;
+                let bid: BlockId = parse_id(Pos::of(lno, line, id_part), id_part, "bb")?;
                 if bid.index() != func.blocks.len() {
-                    return err(lno, format!("block ids must be dense, found {id_part}"));
+                    return err(
+                        Pos::of(lno, line, id_part),
+                        format!("block ids must be dense, found {id_part}"),
+                    );
                 }
                 current = Some(func.add_block(label_part));
                 block_op_ids.push(Vec::new());
                 continue;
             }
             let Some(block) = current else {
-                return err(lno, format!("statement outside a block: `{trimmed}`"));
+                return err(
+                    Pos::of(lno, line, trimmed),
+                    format!("statement outside a block: `{trimmed}`"),
+                );
             };
             if let Some(term) = trimmed.strip_prefix("-> ") {
                 let term = term.trim();
@@ -285,46 +332,51 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
                     if v.is_empty() {
                         Terminator::Return(None)
                     } else {
-                        Terminator::Return(Some(parse_vreg(lno, v)?))
+                        Terminator::Return(Some(parse_vreg(Pos::of(lno, line, v), v)?))
                     }
                 } else if let Some(rest) = term.strip_prefix("if ") {
                     // `if vN then bbA else bbB`
                     let tokens: Vec<&str> = rest.split_whitespace().collect();
                     if tokens.len() != 5 || tokens[1] != "then" || tokens[3] != "else" {
-                        return err(lno, format!("malformed branch `{term}`"));
+                        return err(Pos::of(lno, line, term), format!("malformed branch `{term}`"));
                     }
                     Terminator::Branch {
-                        cond: parse_vreg(lno, tokens[0])?,
-                        then_block: parse_id(lno, tokens[2], "bb")?,
-                        else_block: parse_id(lno, tokens[4], "bb")?,
+                        cond: parse_vreg(Pos::of(lno, line, tokens[0]), tokens[0])?,
+                        then_block: parse_id(Pos::of(lno, line, tokens[2]), tokens[2], "bb")?,
+                        else_block: parse_id(Pos::of(lno, line, tokens[4]), tokens[4], "bb")?,
                     }
                 } else {
-                    Terminator::Jump(parse_id(lno, term, "bb")?)
+                    Terminator::Jump(parse_id(Pos::of(lno, line, term), term, "bb")?)
                 };
                 func.terminate(block, terminator);
                 current = None; // ops after a terminator are an error via append_op
                 continue;
             }
             // Operation: `opN: [dsts =] mnemonic [arg] [srcs]`.
-            let (id_part, stmt) = trimmed
-                .split_once(": ")
-                .ok_or(ParseError { line: lno, message: format!("expected `opN: ...`: `{trimmed}`") })?;
-            let op_id: crate::ids::OpId = parse_id(lno, id_part, "op")?;
+            let (id_part, stmt) = trimmed.split_once(": ").ok_or(ParseError {
+                line: lno,
+                column: Pos::of(lno, line, trimmed).column,
+                message: format!("expected `opN: ...`: `{trimmed}`"),
+            })?;
+            let op_id: crate::ids::OpId = parse_id(Pos::of(lno, line, id_part), id_part, "op")?;
             let (dsts, rhs) = match stmt.split_once(" = ") {
                 Some((lhs, rhs)) => {
                     let dsts: Vec<VReg> = lhs
                         .split(',')
                         .map(str::trim)
                         .filter(|s| !s.is_empty())
-                        .map(|t| parse_vreg(lno, t))
+                        .map(|t| parse_vreg(Pos::of(lno, line, t), t))
                         .collect::<Result<_, _>>()?;
                     (dsts, rhs)
                 }
                 None => (Vec::new(), stmt),
             };
             let mut tokens = rhs.split_whitespace();
-            let mnemonic =
-                tokens.next().ok_or(ParseError { line: lno, message: "missing opcode".into() })?;
+            let mnemonic = tokens.next().ok_or(ParseError {
+                line: lno,
+                column: Pos::of(lno, line, trimmed).column,
+                message: "missing opcode".into(),
+            })?;
             let rest: Vec<&str> = tokens.collect();
             // Opcodes with an immediate/entity argument consume the
             // first token; remaining tokens are source registers.
@@ -337,10 +389,10 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
             } else {
                 (None, rest)
             };
-            let opcode = parse_opcode(lno, mnemonic, arg)?;
+            let opcode = parse_opcode(Pos::of(lno, line, mnemonic), mnemonic, arg)?;
             let srcs: Vec<VReg> = src_tokens
                 .iter()
-                .map(|t| parse_vreg(lno, t))
+                .map(|t| parse_vreg(Pos::of(lno, line, t), t))
                 .collect::<Result<_, _>>()?;
             for &r in dsts.iter().chain(srcs.iter()) {
                 max_vreg = max_vreg.max(r.index() as i64);
@@ -358,7 +410,7 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
         parsed_ops.sort_by_key(|&(id, _, _)| id);
         for (expected, (id, lno, _)) in parsed_ops.iter().enumerate() {
             if *id != expected {
-                return err(*lno, format!("op ids must be dense, found op{id}"));
+                return err(Pos::start(*lno), format!("op ids must be dense, found op{id}"));
             }
         }
         func.ops = parsed_ops.into_iter().map(|(_, _, op)| op).collect();
@@ -370,7 +422,7 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
     }
 
     if program.entry.index() >= program.functions.len() {
-        return err(1, format!("entry {} out of range", program.entry));
+        return err(Pos::start(1), format!("entry {} out of range", program.entry));
     }
     Ok(program)
 }
@@ -485,6 +537,22 @@ mod tests {
         let e = parse_program(text).unwrap_err();
         assert_eq!(e.line, 5);
         assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn parse_error_reports_column_of_offending_token() {
+        let text = "program x\nentry fn0\nfunc main() {\nbb0 (entry):\n  op0: v0 = bogus\n  -> return\n}\n";
+        let e = parse_program(text).unwrap_err();
+        // `bogus` starts at byte 12 of `  op0: v0 = bogus` → column 13.
+        assert_eq!(e.column, 13, "{e}");
+        assert!(e.to_string().starts_with("line 5, column 13:"), "{e}");
+    }
+
+    #[test]
+    fn parse_error_column_points_at_bad_register() {
+        let text = "program x\nentry fn0\nfunc main() {\nbb0 (entry):\n  op0: v0 = add wrong, v0\n  -> return v0\n}\n";
+        let e = parse_program(text).unwrap_err();
+        assert_eq!((e.line, e.column), (5, 17), "{e}");
     }
 
     #[test]

@@ -16,7 +16,8 @@ pub fn function_to_string(func: &Function) -> String {
             let op = &func.ops[op_id];
             let dsts: Vec<String> = op.dsts.iter().map(|d| d.to_string()).collect();
             let srcs: Vec<String> = op.srcs.iter().map(|s| s.to_string()).collect();
-            let lhs = if dsts.is_empty() { String::new() } else { format!("{} = ", dsts.join(", ")) };
+            let lhs =
+                if dsts.is_empty() { String::new() } else { format!("{} = ", dsts.join(", ")) };
             let srcs_str = srcs.join(", ");
             let sep = if srcs_str.is_empty() { "" } else { " " };
             let _ = writeln!(out, "  {op_id}: {lhs}{}{sep}{srcs_str}", op.opcode);
@@ -29,11 +30,8 @@ pub fn function_to_string(func: &Function) -> String {
                 let _ = writeln!(out, "  -> if {cond} then {then_block} else {else_block}");
             }
             Some(Terminator::Return(v)) => {
-                let _ = writeln!(
-                    out,
-                    "  -> return{}",
-                    v.map(|v| format!(" {v}")).unwrap_or_default()
-                );
+                let _ =
+                    writeln!(out, "  -> return{}", v.map(|v| format!(" {v}")).unwrap_or_default());
             }
             None => {
                 let _ = writeln!(out, "  -> <unterminated>");

@@ -115,8 +115,7 @@ fn rebuild_without(func: &mut Function, dead: &[OpId]) -> usize {
         return 0;
     }
     let dead_set: std::collections::HashSet<OpId> = dead.iter().copied().collect();
-    let mut remap: EntityMap<OpId, Option<OpId>> =
-        EntityMap::with_default(func.ops.len(), None);
+    let mut remap: EntityMap<OpId, Option<OpId>> = EntityMap::with_default(func.ops.len(), None);
     let mut new_ops: EntityMap<OpId, Op> = EntityMap::new();
     for (oid, op) in func.ops.iter() {
         if !dead_set.contains(&oid) {
@@ -170,11 +169,8 @@ pub fn lvn_function(func: &mut Function) -> usize {
         let mut table: HashMap<(Opcode, Vec<VReg>), VReg> = HashMap::new();
         for oid in op_ids {
             // Rewrite sources through current bindings first.
-            let resolved: Vec<VReg> = func.ops[oid]
-                .srcs
-                .iter()
-                .map(|s| binding.get(s).copied().unwrap_or(*s))
-                .collect();
+            let resolved: Vec<VReg> =
+                func.ops[oid].srcs.iter().map(|s| binding.get(s).copied().unwrap_or(*s)).collect();
             func.ops[oid].srcs = resolved;
             let op = func.ops[oid].clone();
             // Any definition invalidates bindings and expressions

@@ -71,7 +71,10 @@ fn verify_function(program: &Program, fid: FuncId, func: &Function) -> Result<()
                 return Err(fe(format!("{op_id} appears in more than one block")));
             }
             if func.ops[op_id].block != bid {
-                return Err(fe(format!("{op_id} backref says {} but lives in {bid}", func.ops[op_id].block)));
+                return Err(fe(format!(
+                    "{op_id} backref says {} but lives in {bid}",
+                    func.ops[op_id].block
+                )));
             }
         }
         match &block.term {

@@ -35,11 +35,7 @@ impl FuMix {
 
 impl fmt::Display for FuMix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}I/{}F/{}M/{}B",
-            self.counts[0], self.counts[1], self.counts[2], self.counts[3]
-        )
+        write!(f, "{}I/{}F/{}M/{}B", self.counts[0], self.counts[1], self.counts[2], self.counts[3])
     }
 }
 

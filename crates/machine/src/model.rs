@@ -64,10 +64,7 @@ impl Machine {
     /// given move latency (1, 5 or 10 in the paper; 5 is the default).
     pub fn paper_2cluster(move_latency: u32) -> Self {
         Machine {
-            clusters: vec![
-                Cluster::new("c0", FuMix::paper()),
-                Cluster::new("c1", FuMix::paper()),
-            ],
+            clusters: vec![Cluster::new("c0", FuMix::paper()), Cluster::new("c1", FuMix::paper())],
             interconnect: Interconnect::bus(move_latency),
             memory: MemoryModel::Partitioned,
             latency: LatencyTable::itanium_like(),

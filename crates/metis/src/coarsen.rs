@@ -1,8 +1,8 @@
 //! Multilevel coarsening via heavy-edge matching.
 
 use crate::graph::{Graph, GraphBuilder};
-use rand::seq::SliceRandom;
-use rand::Rng;
+use mcpart_rng::seq::SliceRandom;
+use mcpart_rng::Rng;
 
 /// One level of the coarsening hierarchy: the coarse graph plus the
 /// projection map from fine vertices to coarse vertices.
@@ -47,10 +47,13 @@ pub fn coarsen_once<R: Rng>(graph: &Graph, max_vwgt: &[u64], rng: &mut R) -> Opt
         }
         let mut best: Option<(u32, u64)> = None;
         for (u, w) in graph.neighbors(v) {
-            if partner[u as usize] == UNMATCHED && u != v && fits(v, u)
-                && best.map(|(_, bw)| w > bw).unwrap_or(true) {
-                    best = Some((u, w));
-                }
+            if partner[u as usize] == UNMATCHED
+                && u != v
+                && fits(v, u)
+                && best.map(|(_, bw)| w > bw).unwrap_or(true)
+            {
+                best = Some((u, w));
+            }
         }
         match best {
             Some((u, _)) => {
@@ -121,8 +124,8 @@ pub fn default_max_vwgt(graph: &Graph, coarsen_to: usize) -> Vec<u64> {
 mod tests {
     use super::*;
     use crate::graph::GraphBuilder;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use mcpart_rng::rngs::SmallRng;
+    use mcpart_rng::SeedableRng;
 
     fn ring(n: usize) -> Graph {
         let mut b = GraphBuilder::new(1);

@@ -1,0 +1,134 @@
+//! Typed partitioner failures and the refinement fuel meter.
+
+use std::error::Error;
+use std::fmt;
+
+/// A failure of the multilevel partitioner.
+///
+/// The partitioner never panics on bad input: configuration problems
+/// and exhausted work budgets surface here so callers (the GDP data
+/// partitioner, ultimately the whole pipeline) can degrade gracefully.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MetisError {
+    /// The [`crate::PartitionConfig`] is unusable as given.
+    InvalidConfig {
+        /// What is wrong with it.
+        message: String,
+    },
+    /// The refinement fuel budget ran out before the partitioner
+    /// converged.
+    BudgetExceeded {
+        /// The configured fuel limit that was exhausted.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for MetisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetisError::InvalidConfig { message } => {
+                write!(f, "invalid partitioner configuration: {message}")
+            }
+            MetisError::BudgetExceeded { limit } => {
+                write!(f, "partitioner fuel budget of {limit} refinement steps exhausted")
+            }
+        }
+    }
+}
+
+impl Error for MetisError {}
+
+/// A work budget threaded through refinement and rebalancing.
+///
+/// Each boundary-vertex evaluation in [`crate::refine`] and each
+/// eviction round in [`crate::rebalance`] spends one unit. When the
+/// meter runs dry the refinement loops stop early and
+/// [`crate::partition`] reports [`MetisError::BudgetExceeded`] instead
+/// of spinning — the guard that turns a potential hang into a typed
+/// error.
+#[derive(Clone, Debug)]
+pub struct Fuel {
+    limit: Option<u64>,
+    spent: u64,
+}
+
+impl Fuel {
+    /// A meter that never runs out.
+    pub fn unlimited() -> Self {
+        Fuel { limit: None, spent: 0 }
+    }
+
+    /// A meter with `limit` units of work.
+    pub fn limited(limit: u64) -> Self {
+        Fuel { limit: Some(limit), spent: 0 }
+    }
+
+    /// Builds a meter from an optional limit (`None` = unlimited).
+    pub fn from_limit(limit: Option<u64>) -> Self {
+        Fuel { limit, spent: 0 }
+    }
+
+    /// Spends one unit. Returns `false` when the budget is exhausted
+    /// (callers must stop working).
+    pub fn spend(&mut self) -> bool {
+        self.spent = self.spent.saturating_add(1);
+        !self.is_exhausted()
+    }
+
+    /// Whether more work was requested than the budget allows.
+    pub fn is_exhausted(&self) -> bool {
+        match self.limit {
+            Some(limit) => self.spent > limit,
+            None => false,
+        }
+    }
+
+    /// Units spent so far.
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+
+    /// The configured limit, if any.
+    pub fn limit(&self) -> Option<u64> {
+        self.limit
+    }
+}
+
+impl Default for Fuel {
+    fn default() -> Self {
+        Fuel::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let mut fuel = Fuel::unlimited();
+        for _ in 0..10_000 {
+            assert!(fuel.spend());
+        }
+        assert!(!fuel.is_exhausted());
+    }
+
+    #[test]
+    fn limited_exhausts_at_limit() {
+        let mut fuel = Fuel::limited(3);
+        assert!(fuel.spend());
+        assert!(fuel.spend());
+        assert!(fuel.spend());
+        assert!(!fuel.spend(), "fourth unit exceeds the budget");
+        assert!(fuel.is_exhausted());
+        assert_eq!(fuel.spent(), 4);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = MetisError::InvalidConfig { message: "nparts is zero".into() };
+        assert!(e.to_string().contains("nparts"));
+        let e = MetisError::BudgetExceeded { limit: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+}

@@ -1,10 +1,11 @@
 //! Initial partitioning of the coarsest graph.
 
 use crate::balance::BalanceModel;
+use crate::error::Fuel;
 use crate::graph::Graph;
 use crate::refine::{rebalance, refine};
-use rand::seq::SliceRandom;
-use rand::Rng;
+use mcpart_rng::seq::SliceRandom;
+use mcpart_rng::Rng;
 
 /// Greedy graph growing: grows each part from a random seed by
 /// repeatedly absorbing the unassigned vertex most connected to it,
@@ -78,12 +79,10 @@ fn grow<R: Rng>(graph: &Graph, balance: &BalanceModel, rng: &mut R) -> Vec<u32> 
                 .min_by(|&a, &b| {
                     let oa = balance.max_overweight(&[pw[a].clone()]);
                     let ob = balance.max_overweight(&[pw[b].clone()]);
-                    oa.partial_cmp(&ob).unwrap()
+                    oa.total_cmp(&ob)
                 })
                 .unwrap_or_else(|| {
-                    (0..nparts)
-                        .min_by_key(|&q| pw[q].iter().sum::<u64>())
-                        .expect("at least one part")
+                    (0..nparts).min_by_key(|&q| pw[q].iter().sum::<u64>()).unwrap_or(0)
                 })
         };
         for (c, &w) in vw.iter().enumerate() {
@@ -95,7 +94,7 @@ fn grow<R: Rng>(graph: &Graph, balance: &BalanceModel, rng: &mut R) -> Vec<u32> 
     #[allow(clippy::needless_range_loop)]
     for v in 0..n {
         if assignment[v] == UNASSIGNED {
-            let p = (0..nparts).min_by_key(|&q| pw[q].iter().sum::<u64>()).unwrap();
+            let p = (0..nparts).min_by_key(|&q| pw[q].iter().sum::<u64>()).unwrap_or(0);
             for (c, &w) in graph.vertex_weight(v as u32).iter().enumerate() {
                 pw[p][c] += w;
             }
@@ -112,14 +111,15 @@ pub fn initial_partition<R: Rng>(
     graph: &Graph,
     balance: &BalanceModel,
     tries: usize,
+    fuel: &mut Fuel,
     rng: &mut R,
 ) -> Vec<u32> {
     let mut best: Option<(Vec<u32>, bool, u64)> = None;
     for _ in 0..tries.max(1) {
         let mut assignment = grow(graph, balance, rng);
         let mut pw = graph.part_weights(&assignment, balance.nparts());
-        rebalance(graph, &mut assignment, balance, &mut pw, rng);
-        refine(graph, &mut assignment, balance, &mut pw, 4, rng);
+        rebalance(graph, &mut assignment, balance, &mut pw, fuel, rng);
+        refine(graph, &mut assignment, balance, &mut pw, 4, fuel, rng);
         let balanced = balance.is_balanced(&pw);
         let cut = graph.edge_cut(&assignment);
         let better = match &best {
@@ -134,15 +134,20 @@ pub fn initial_partition<R: Rng>(
             best = Some((assignment, balanced, cut));
         }
     }
-    best.expect("tries >= 1").0
+    match best {
+        Some((assignment, _, _)) => assignment,
+        // Unreachable in practice (the loop runs at least once), but a
+        // quiet fallback beats a panic on the partitioning hot path.
+        None => vec![0u32; graph.num_vertices()],
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::graph::GraphBuilder;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use mcpart_rng::rngs::SmallRng;
+    use mcpart_rng::SeedableRng;
 
     fn grid(w: usize, h: usize) -> Graph {
         let mut b = GraphBuilder::new(1);
@@ -168,7 +173,7 @@ mod tests {
         let g = grid(6, 4);
         let balance = BalanceModel::uniform(&g, 2, 0.1);
         let mut rng = SmallRng::seed_from_u64(11);
-        let assignment = initial_partition(&g, &balance, 4, &mut rng);
+        let assignment = initial_partition(&g, &balance, 4, &mut Fuel::unlimited(), &mut rng);
         let pw = g.part_weights(&assignment, 2);
         assert!(balance.is_balanced(&pw), "{pw:?}");
         // A 6x4 grid has a 4-edge bisection; allow some slack.
@@ -180,7 +185,7 @@ mod tests {
         let g = grid(8, 8);
         let balance = BalanceModel::uniform(&g, 4, 0.1);
         let mut rng = SmallRng::seed_from_u64(2);
-        let assignment = initial_partition(&g, &balance, 4, &mut rng);
+        let assignment = initial_partition(&g, &balance, 4, &mut Fuel::unlimited(), &mut rng);
         for p in 0..4u32 {
             assert!(assignment.contains(&p), "part {p} empty");
         }
@@ -195,7 +200,7 @@ mod tests {
         let g = b.build();
         let balance = BalanceModel::uniform(&g, 2, 0.1);
         let mut rng = SmallRng::seed_from_u64(2);
-        let assignment = initial_partition(&g, &balance, 2, &mut rng);
+        let assignment = initial_partition(&g, &balance, 2, &mut Fuel::unlimited(), &mut rng);
         assert_eq!(assignment.len(), 1);
     }
 }

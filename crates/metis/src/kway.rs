@@ -2,11 +2,12 @@
 
 use crate::balance::BalanceModel;
 use crate::coarsen::{coarsen_once, default_max_vwgt, CoarseLevel};
+use crate::error::{Fuel, MetisError};
 use crate::graph::Graph;
 use crate::initial::initial_partition;
 use crate::refine::{rebalance, refine};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use mcpart_rng::rngs::SmallRng;
+use mcpart_rng::SeedableRng;
 
 /// Configuration of a k-way partitioning run.
 #[derive(Clone, Debug)]
@@ -28,6 +29,10 @@ pub struct PartitionConfig {
     pub initial_tries: usize,
     /// Refinement passes per uncoarsening level.
     pub refine_passes: usize,
+    /// Total refinement work budget (boundary-vertex evaluations plus
+    /// rebalance rounds) across the whole run. `None` = unlimited.
+    /// Exhausting it yields [`MetisError::BudgetExceeded`].
+    pub fuel: Option<u64>,
 }
 
 impl PartitionConfig {
@@ -42,6 +47,7 @@ impl PartitionConfig {
             coarsen_to: (nparts * 16).max(32),
             initial_tries: 4,
             refine_passes: 8,
+            fuel: None,
         }
     }
 
@@ -61,6 +67,37 @@ impl PartitionConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Sets the refinement fuel budget (`None` = unlimited).
+    pub fn with_fuel(mut self, fuel: Option<u64>) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Checks the configuration against a concrete graph.
+    fn validate(&self, graph: &Graph) -> Result<(), MetisError> {
+        let invalid = |message: String| MetisError::InvalidConfig { message };
+        if self.nparts == 0 {
+            return Err(invalid("nparts must be positive".into()));
+        }
+        if !self.imbalance.is_finite() || self.imbalance < 0.0 {
+            return Err(invalid(format!("imbalance {} must be finite and >= 0", self.imbalance)));
+        }
+        if let Some(fractions) = &self.target_fractions {
+            if fractions.len() != self.nparts {
+                return Err(invalid(format!(
+                    "{} target fractions given for {} parts",
+                    fractions.len(),
+                    self.nparts
+                )));
+            }
+            if fractions.iter().any(|f| !f.is_finite() || *f <= 0.0) {
+                return Err(invalid("target fractions must be finite and positive".into()));
+            }
+        }
+        let _ = graph;
+        Ok(())
     }
 }
 
@@ -98,17 +135,21 @@ fn make_balance(graph: &Graph, config: &PartitionConfig) -> BalanceModel {
 /// multilevel k-way scheme of METIS used by the paper's data
 /// partitioner.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `config.nparts` is zero.
-pub fn partition(graph: &Graph, config: &PartitionConfig) -> Partitioning {
-    assert!(config.nparts > 0, "nparts must be positive");
+/// Returns [`MetisError::InvalidConfig`] for an unusable configuration
+/// (zero parts, malformed target fractions, non-finite imbalance) and
+/// [`MetisError::BudgetExceeded`] when `config.fuel` ran out before
+/// refinement converged.
+pub fn partition(graph: &Graph, config: &PartitionConfig) -> Result<Partitioning, MetisError> {
+    config.validate(graph)?;
     let n = graph.num_vertices();
     let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut fuel = Fuel::from_limit(config.fuel);
 
     if config.nparts == 1 || n <= 1 {
         let assignment = vec![0u32; n];
-        return finish(graph, config, assignment);
+        return Ok(finish(graph, config, assignment));
     }
 
     // Coarsening phase.
@@ -128,20 +169,29 @@ pub fn partition(graph: &Graph, config: &PartitionConfig) -> Partitioning {
     // Initial partition at the coarsest level.
     let coarse_balance = make_balance(&current, config);
     let mut assignment =
-        initial_partition(&current, &coarse_balance, config.initial_tries, &mut rng);
+        initial_partition(&current, &coarse_balance, config.initial_tries, &mut fuel, &mut rng);
 
-    // Uncoarsening with refinement.
-    for level in levels.iter().rev() {
-        // Project coarse assignment onto the finer graph.
-        let fine_graph = find_fine_graph(graph, levels.as_slice(), level);
+    // Uncoarsening with refinement. Level `idx` refines on the graph one
+    // step finer: the original graph for the first stored level,
+    // otherwise the previous level's coarse graph.
+    for idx in (0..levels.len()).rev() {
+        let fine_graph = if idx == 0 { graph } else { &levels[idx - 1].graph };
         let mut fine_assignment = vec![0u32; fine_graph.num_vertices()];
-        for (fine_v, &coarse_v) in level.map.iter().enumerate() {
+        for (fine_v, &coarse_v) in levels[idx].map.iter().enumerate() {
             fine_assignment[fine_v] = assignment[coarse_v as usize];
         }
         let balance = make_balance(fine_graph, config);
         let mut pw = fine_graph.part_weights(&fine_assignment, config.nparts);
-        rebalance(fine_graph, &mut fine_assignment, &balance, &mut pw, &mut rng);
-        refine(fine_graph, &mut fine_assignment, &balance, &mut pw, config.refine_passes, &mut rng);
+        rebalance(fine_graph, &mut fine_assignment, &balance, &mut pw, &mut fuel, &mut rng);
+        refine(
+            fine_graph,
+            &mut fine_assignment,
+            &balance,
+            &mut pw,
+            config.refine_passes,
+            &mut fuel,
+            &mut rng,
+        );
         assignment = fine_assignment;
     }
 
@@ -149,27 +199,12 @@ pub fn partition(graph: &Graph, config: &PartitionConfig) -> Partitioning {
     // path).
     let balance = make_balance(graph, config);
     let mut pw = graph.part_weights(&assignment, config.nparts);
-    rebalance(graph, &mut assignment, &balance, &mut pw, &mut rng);
-    refine(graph, &mut assignment, &balance, &mut pw, config.refine_passes, &mut rng);
-    finish(graph, config, assignment)
-}
-
-/// The graph one level finer than `level`: the original graph for the
-/// first stored level, otherwise the previous level's coarse graph.
-fn find_fine_graph<'a>(
-    original: &'a Graph,
-    levels: &'a [CoarseLevel],
-    level: &CoarseLevel,
-) -> &'a Graph {
-    let idx = levels
-        .iter()
-        .position(|l| std::ptr::eq(l, level))
-        .expect("level belongs to hierarchy");
-    if idx == 0 {
-        original
-    } else {
-        &levels[idx - 1].graph
+    rebalance(graph, &mut assignment, &balance, &mut pw, &mut fuel, &mut rng);
+    refine(graph, &mut assignment, &balance, &mut pw, config.refine_passes, &mut fuel, &mut rng);
+    if fuel.is_exhausted() {
+        return Err(MetisError::BudgetExceeded { limit: config.fuel.unwrap_or(0) });
     }
+    Ok(finish(graph, config, assignment))
 }
 
 fn finish(graph: &Graph, config: &PartitionConfig, assignment: Vec<u32>) -> Partitioning {
@@ -207,7 +242,7 @@ mod tests {
     #[test]
     fn bisects_large_grid_well() {
         let g = grid(16, 16);
-        let result = partition(&g, &PartitionConfig::new(2));
+        let result = partition(&g, &PartitionConfig::new(2)).expect("partitions");
         assert!(result.balanced, "{:?}", result.part_weights);
         // Optimal bisection of a 16x16 grid cuts 16 edges.
         assert!(result.cut <= 24, "cut = {}", result.cut);
@@ -217,7 +252,7 @@ mod tests {
     #[test]
     fn four_way_partition_of_grid() {
         let g = grid(16, 16);
-        let result = partition(&g, &PartitionConfig::new(4));
+        let result = partition(&g, &PartitionConfig::new(4)).expect("partitions");
         assert!(result.balanced, "{:?}", result.part_weights);
         assert!(result.cut <= 56, "cut = {}", result.cut);
         for p in 0..4u32 {
@@ -229,16 +264,50 @@ mod tests {
     fn deterministic_given_seed() {
         let g = grid(10, 10);
         let cfg = PartitionConfig::new(2).with_seed(99);
-        let a = partition(&g, &cfg);
-        let b = partition(&g, &cfg);
+        let a = partition(&g, &cfg).expect("partitions");
+        let b = partition(&g, &cfg).expect("partitions");
         assert_eq!(a.assignment, b.assignment);
         assert_eq!(a.cut, b.cut);
     }
 
     #[test]
+    fn zero_parts_is_typed_error() {
+        let g = grid(3, 3);
+        let e = partition(&g, &PartitionConfig::new(0)).unwrap_err();
+        assert!(matches!(e, MetisError::InvalidConfig { .. }), "{e}");
+    }
+
+    #[test]
+    fn bad_target_fractions_are_typed_errors() {
+        let g = grid(3, 3);
+        let cfg = PartitionConfig::new(2).with_target_fractions(vec![1.0]);
+        assert!(matches!(partition(&g, &cfg).unwrap_err(), MetisError::InvalidConfig { .. }));
+        let cfg = PartitionConfig::new(2).with_target_fractions(vec![1.0, -2.0]);
+        assert!(matches!(partition(&g, &cfg).unwrap_err(), MetisError::InvalidConfig { .. }));
+        let cfg = PartitionConfig::new(2).with_imbalance(f64::NAN);
+        assert!(matches!(partition(&g, &cfg).unwrap_err(), MetisError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn tiny_fuel_budget_is_typed_error() {
+        let g = grid(16, 16);
+        let cfg = PartitionConfig::new(2).with_fuel(Some(3));
+        let e = partition(&g, &cfg).unwrap_err();
+        assert!(matches!(e, MetisError::BudgetExceeded { limit: 3 }), "{e}");
+    }
+
+    #[test]
+    fn generous_fuel_budget_succeeds() {
+        let g = grid(8, 8);
+        let cfg = PartitionConfig::new(2).with_fuel(Some(1_000_000));
+        let result = partition(&g, &cfg).expect("enough fuel");
+        assert!(result.balanced);
+    }
+
+    #[test]
     fn single_part_trivial() {
         let g = grid(3, 3);
-        let result = partition(&g, &PartitionConfig::new(1));
+        let result = partition(&g, &PartitionConfig::new(1)).expect("partitions");
         assert_eq!(result.cut, 0);
         assert!(result.assignment.iter().all(|&p| p == 0));
     }
@@ -246,7 +315,7 @@ mod tests {
     #[test]
     fn empty_graph() {
         let g = GraphBuilder::new(1).build();
-        let result = partition(&g, &PartitionConfig::new(2));
+        let result = partition(&g, &PartitionConfig::new(2)).expect("partitions");
         assert!(result.assignment.is_empty());
         assert_eq!(result.cut, 0);
     }
@@ -254,10 +323,9 @@ mod tests {
     #[test]
     fn weighted_targets_shift_weight() {
         let g = grid(8, 8);
-        let cfg = PartitionConfig::new(2)
-            .with_target_fractions(vec![3.0, 1.0])
-            .with_imbalance(0.05);
-        let result = partition(&g, &cfg);
+        let cfg =
+            PartitionConfig::new(2).with_target_fractions(vec![3.0, 1.0]).with_imbalance(0.05);
+        let result = partition(&g, &cfg).expect("partitions");
         let w0 = result.part_weights[0][0];
         let w1 = result.part_weights[1][0];
         assert!(w0 > w1 * 2, "w0={w0} w1={w1}");
@@ -276,10 +344,9 @@ mod tests {
             b.add_edge(i, i + 1, 2);
         }
         let g = b.build();
-        let cfg = PartitionConfig::new(2)
-            .with_target_fractions(vec![2.0, 1.0])
-            .with_imbalance(0.25);
-        let result = partition(&g, &cfg);
+        let cfg =
+            PartitionConfig::new(2).with_target_fractions(vec![2.0, 1.0]).with_imbalance(0.25);
+        let result = partition(&g, &cfg).expect("partitions");
         assert!(result.balanced, "{:?}", result.part_weights);
         // Part 0 should carry roughly twice of each constraint.
         assert!(result.part_weights[0][1] > result.part_weights[1][1]);
@@ -296,7 +363,7 @@ mod tests {
         b.add_edge(a, free, 100); // free wants to sit with a
         b.add_edge(free, c, 1);
         let g = b.build();
-        let result = partition(&g, &PartitionConfig::new(2));
+        let result = partition(&g, &PartitionConfig::new(2)).expect("partitions");
         assert_eq!(
             result.assignment[a as usize], result.assignment[free as usize],
             "zero-weight vertex should follow its heavy edge"
@@ -317,7 +384,8 @@ mod tests {
             b.add_edge(i, i + 1, 1);
         }
         let g = b.build();
-        let result = partition(&g, &PartitionConfig::new(2).with_imbalance(0.3));
+        let result =
+            partition(&g, &PartitionConfig::new(2).with_imbalance(0.3)).expect("partitions");
         assert!(result.balanced, "{:?}", result.part_weights);
         // Both heavy-data parts get some of the 4 heavy vertices.
         assert!(result.part_weights[0][0] > 0);

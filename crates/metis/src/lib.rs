@@ -26,7 +26,7 @@
 //! b.add_edge(v[2], v[3], 10);
 //! b.add_edge(v[1], v[2], 1); // light bridge: the natural cut
 //! let graph = b.build();
-//! let result = partition(&graph, &PartitionConfig::new(2));
+//! let result = partition(&graph, &PartitionConfig::new(2)).expect("partitions");
 //! assert_eq!(result.cut, 1);
 //! assert_eq!(result.assignment[0], result.assignment[1]);
 //! assert_eq!(result.assignment[2], result.assignment[3]);
@@ -37,6 +37,7 @@
 
 mod balance;
 mod coarsen;
+mod error;
 mod graph;
 mod initial;
 mod kway;
@@ -44,6 +45,7 @@ mod refine;
 
 pub use balance::BalanceModel;
 pub use coarsen::{coarsen_once, default_max_vwgt, CoarseLevel};
+pub use error::{Fuel, MetisError};
 pub use graph::{Graph, GraphBuilder};
 pub use initial::initial_partition;
 pub use kway::{partition, PartitionConfig, Partitioning};

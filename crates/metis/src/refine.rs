@@ -1,9 +1,10 @@
 //! Greedy k-way refinement (Fiduccia–Mattheyses style) and rebalancing.
 
 use crate::balance::BalanceModel;
+use crate::error::Fuel;
 use crate::graph::Graph;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use mcpart_rng::seq::SliceRandom;
+use mcpart_rng::Rng;
 
 /// Connectivity of a vertex to each part.
 fn external_degrees(graph: &Graph, assignment: &[u32], v: u32, nparts: usize) -> Vec<i64> {
@@ -14,13 +15,7 @@ fn external_degrees(graph: &Graph, assignment: &[u32], v: u32, nparts: usize) ->
     ed
 }
 
-fn apply_move(
-    graph: &Graph,
-    assignment: &mut [u32],
-    pw: &mut [Vec<u64>],
-    v: u32,
-    to: usize,
-) {
+fn apply_move(graph: &Graph, assignment: &mut [u32], pw: &mut [Vec<u64>], v: u32, to: usize) {
     let from = assignment[v as usize] as usize;
     let vw = graph.vertex_weight(v);
     for (c, &w) in vw.iter().enumerate() {
@@ -36,12 +31,17 @@ fn apply_move(
 /// the destination within its balance limits; zero-gain moves are taken
 /// when they strictly reduce the maximum relative overweight. Returns
 /// the total number of moves performed.
+///
+/// Every boundary-vertex evaluation spends one unit of `fuel`; when the
+/// meter runs dry the pass stops immediately (the driver reports the
+/// exhaustion as a typed error).
 pub fn refine<R: Rng>(
     graph: &Graph,
     assignment: &mut [u32],
     balance: &BalanceModel,
     pw: &mut [Vec<u64>],
     passes: usize,
+    fuel: &mut Fuel,
     rng: &mut R,
 ) -> usize {
     let nparts = balance.nparts();
@@ -52,6 +52,9 @@ pub fn refine<R: Rng>(
         order.shuffle(rng);
         let mut moved = 0;
         for &v in &order {
+            if !fuel.spend() {
+                return total_moves + moved;
+            }
             let from = assignment[v as usize] as usize;
             let ed = external_degrees(graph, assignment, v, nparts);
             let internal = ed[from];
@@ -119,12 +122,16 @@ pub fn rebalance<R: Rng>(
     assignment: &mut [u32],
     balance: &BalanceModel,
     pw: &mut [Vec<u64>],
+    fuel: &mut Fuel,
     rng: &mut R,
 ) {
     let nparts = balance.nparts();
     let n = graph.num_vertices();
     // Bounded number of eviction rounds to guarantee termination.
     for _ in 0..n.max(8) {
+        if !fuel.spend() {
+            return;
+        }
         // Find the most overweight (part, constraint).
         let mut worst: Option<(usize, f64)> = None;
         #[allow(clippy::needless_range_loop)]
@@ -176,8 +183,8 @@ pub fn rebalance<R: Rng>(
 mod tests {
     use super::*;
     use crate::graph::GraphBuilder;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use mcpart_rng::rngs::SmallRng;
+    use mcpart_rng::SeedableRng;
 
     /// Two 4-cliques joined by a single light edge: the natural
     /// bisection separates the cliques.
@@ -204,7 +211,7 @@ mod tests {
         let mut assignment: Vec<u32> = (0..8).map(|i| (i % 2) as u32).collect();
         let mut pw = g.part_weights(&assignment, 2);
         let mut rng = SmallRng::seed_from_u64(42);
-        refine(&g, &mut assignment, &balance, &mut pw, 8, &mut rng);
+        refine(&g, &mut assignment, &balance, &mut pw, 8, &mut Fuel::unlimited(), &mut rng);
         assert_eq!(g.edge_cut(&assignment), 1, "assignment: {assignment:?}");
         assert!(balance.is_balanced(&pw));
     }
@@ -217,7 +224,7 @@ mod tests {
         let mut pw = g.part_weights(&assignment, 2);
         assert!(!balance.is_balanced(&pw));
         let mut rng = SmallRng::seed_from_u64(3);
-        rebalance(&g, &mut assignment, &balance, &mut pw, &mut rng);
+        rebalance(&g, &mut assignment, &balance, &mut pw, &mut Fuel::unlimited(), &mut rng);
         assert!(balance.is_balanced(&pw), "weights: {pw:?}");
         assert_eq!(pw, g.part_weights(&assignment, 2));
     }
@@ -229,7 +236,7 @@ mod tests {
         let mut assignment: Vec<u32> = (0..8).map(|i| (i / 4) as u32).collect();
         let mut pw = g.part_weights(&assignment, 2);
         let mut rng = SmallRng::seed_from_u64(5);
-        refine(&g, &mut assignment, &balance, &mut pw, 4, &mut rng);
+        refine(&g, &mut assignment, &balance, &mut pw, 4, &mut Fuel::unlimited(), &mut rng);
         assert_eq!(pw, g.part_weights(&assignment, 2));
     }
 }

@@ -1,7 +1,7 @@
 //! Dependence graphs over operations, for scheduling and estimation.
 
 use mcpart_analysis::{AccessInfo, AccessSite};
-use mcpart_ir::{BlockId, FuncId, Opcode, OpId, Program, VReg};
+use mcpart_ir::{BlockId, FuncId, OpId, Opcode, Program, VReg};
 use std::collections::HashMap;
 
 /// The kind of a dependence edge.
@@ -310,9 +310,7 @@ impl DepGraph {
         let alap = self.alap(horizon);
         self.deps
             .iter()
-            .map(|d| {
-                alap[d.to as usize].saturating_sub(asap[d.from as usize] + d.latency)
-            })
+            .map(|d| alap[d.to as usize].saturating_sub(asap[d.from as usize] + d.latency))
             .collect()
     }
 }
@@ -365,10 +363,10 @@ mod tests {
         });
         let entry = p.entry_function().entry;
         let g = DepGraph::for_block(&p, p.entry, entry, &access, &unit_latency);
-        assert!(!g.deps.iter().any(|d| matches!(
-            d.kind,
-            DepKind::MemFlow | DepKind::MemAnti | DepKind::MemOutput
-        )));
+        assert!(!g
+            .deps
+            .iter()
+            .any(|d| matches!(d.kind, DepKind::MemFlow | DepKind::MemAnti | DepKind::MemOutput)));
     }
 
     #[test]
@@ -431,10 +429,7 @@ mod tests {
         let entry = p.entry_function().entry;
         let g = DepGraph::for_region(&p, p.entry, &[entry, b2], &access, &unit_latency);
         let xi = g.index[&p.entry_function().blocks[entry].ops[0]];
-        assert!(g
-            .deps
-            .iter()
-            .any(|d| d.from == xi && d.kind == DepKind::Flow));
+        assert!(g.deps.iter().any(|d| d.from == xi && d.kind == DepKind::Flow));
     }
 
     #[test]

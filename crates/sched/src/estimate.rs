@@ -260,8 +260,7 @@ impl RegionEstimator {
                 for &di in &self.dg.succs[iu] {
                     let d = self.dg.deps[di as usize];
                     let t = d.to as usize;
-                    let cut_flow =
-                        d.kind == DepKind::Flow && assign[t] != assign[iu];
+                    let cut_flow = d.kind == DepKind::Flow && assign[t] != assign[iu];
                     if cut_flow {
                         let key = (i, assign[t]);
                         if transfer_requested.insert(key) {

@@ -53,6 +53,7 @@ mod moves;
 mod perf;
 mod placement;
 mod pressure;
+mod validate;
 mod viz;
 
 pub use depgraph::{Dep, DepGraph, DepKind};
@@ -66,4 +67,5 @@ pub use moves::{
 pub use perf::{evaluate, PerfReport};
 pub use placement::Placement;
 pub use pressure::{register_pressure, PressureReport};
+pub use validate::{validate_placement, PlacementError};
 pub use viz::schedule_to_string;

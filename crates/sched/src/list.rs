@@ -74,9 +74,8 @@ pub fn schedule_block(
             let site = mcpart_analysis::AccessSite { func, op };
             let Some(objs) = access.site_objects.get(&site) else { continue };
             let cluster = placement.cluster_of(func, op);
-            if objs.iter().any(|&o| {
-                placement.object_home[o].map(|h| h != cluster).unwrap_or(false)
-            }) {
+            if objs.iter().any(|&o| placement.object_home[o].map(|h| h != cluster).unwrap_or(false))
+            {
                 coherence_extra.insert(op, penalty);
                 remote_accesses += 1;
             }
@@ -112,18 +111,19 @@ pub fn schedule_block(
 
     let is_control = |i: usize| {
         let opc = f.ops[dg.ops[i]].opcode;
-        matches!(opc, mcpart_ir::Opcode::BranchCond | mcpart_ir::Opcode::Jump | mcpart_ir::Opcode::Ret)
+        matches!(
+            opc,
+            mcpart_ir::Opcode::BranchCond | mcpart_ir::Opcode::Jump | mcpart_ir::Opcode::Ret
+        )
     };
-    let is_ic_move: Vec<bool> = (0..n)
-        .map(|i| is_intercluster_move(program, func, dg.ops[i], placement, &homes))
-        .collect();
+    let is_ic_move: Vec<bool> =
+        (0..n).map(|i| is_intercluster_move(program, func, dg.ops[i], placement, &homes)).collect();
 
     let mut issue = vec![u32::MAX; n];
     let mut ready_cycle = vec![0u32; n];
     let mut unissued_preds: Vec<usize> = (0..n).map(|i| dg.preds[i].len()).collect();
     let mut issued_count = 0usize;
-    let mut non_control_left =
-        (0..n).filter(|&i| !is_control(i)).count();
+    let mut non_control_left = (0..n).filter(|&i| !is_control(i)).count();
 
     // (cluster, kind) -> cycle -> used units; network: cycle -> used.
     let mut fu_used: HashMap<(usize, usize, u32), u32> = HashMap::new();

@@ -93,8 +93,10 @@ fn carried_deps(
     // Memory recurrences: any intra-iteration ordering edge (x before y)
     // also constrains y of this iteration against x of the next.
     for d in &dg.deps {
-        if matches!(d.kind, DepKind::MemFlow | DepKind::MemAnti | DepKind::MemOutput | DepKind::Side)
-        {
+        if matches!(
+            d.kind,
+            DepKind::MemFlow | DepKind::MemAnti | DepKind::MemOutput | DepKind::Side
+        ) {
             deps.push(CarriedDep { from: d.to, to: d.from, latency: d.latency });
         }
     }
@@ -130,9 +132,8 @@ pub fn modulo_schedule_block(
     let nclusters = machine.num_clusters();
     let mut counts = vec![[0u32; 4]; nclusters];
     let mut net = 0u32;
-    let is_ic: Vec<bool> = (0..n)
-        .map(|i| is_intercluster_move(program, func, dg.ops[i], placement, &homes))
-        .collect();
+    let is_ic: Vec<bool> =
+        (0..n).map(|i| is_intercluster_move(program, func, dg.ops[i], placement, &homes)).collect();
     for (i, &op) in dg.ops.iter().enumerate() {
         if is_ic[i] {
             net += 1;
@@ -189,8 +190,7 @@ pub fn modulo_schedule_block(
                 }
                 let slot = t % ii;
                 let free = if is_ic[i] {
-                    net_used.get(&slot).copied().unwrap_or(0)
-                        < machine.interconnect.moves_per_cycle
+                    net_used.get(&slot).copied().unwrap_or(0) < machine.interconnect.moves_per_cycle
                 } else {
                     let c = placement.cluster_of(func, op).index();
                     let k = f.ops[op].opcode.fu_kind().index();
@@ -334,8 +334,8 @@ mod tests {
         let (profile, access) = analyze(&p);
         let placement = Placement::all_on_cluster0(&p);
         let m = Machine::paper_2cluster(5);
-        let ms = modulo_schedule_block(&p, p.entry, body, &placement, &m, &access)
-            .expect("pipelinable");
+        let ms =
+            modulo_schedule_block(&p, p.entry, body, &placement, &m, &access).expect("pipelinable");
         let flat = schedule_block(&p, p.entry, body, &placement, &m, &access);
         assert!(
             ms.ii <= flat.length / 2,

@@ -2,9 +2,7 @@
 
 use crate::placement::Placement;
 use mcpart_analysis::{AccessInfo, AccessSite};
-use mcpart_ir::{
-    ClusterId, EntityMap, FuncId, Function, Op, Opcode, OpId, Program, VReg,
-};
+use mcpart_ir::{ClusterId, EntityMap, FuncId, Function, Op, OpId, Opcode, Program, VReg};
 use mcpart_machine::Machine;
 use std::collections::HashMap;
 
@@ -70,9 +68,7 @@ pub fn normalize_placement(
                 _ if op.opcode.is_memory() && machine.memory.is_partitioned() => {
                     let site = AccessSite { func: fid, op: oid };
                     if let Some(objs) = access.site_objects.get(&site) {
-                        if let Some(home) =
-                            objs.iter().find_map(|&o| placement.object_home[o])
-                        {
+                        if let Some(home) = objs.iter().find_map(|&o| placement.object_home[o]) {
                             pinned.insert(oid, home);
                         }
                     }
@@ -234,8 +230,10 @@ pub fn insert_moves_with(
             let profile = profile.expect("checked above");
             let du = mcpart_ir::DefUse::compute(f);
             let mut consumer_freq: HashMap<(VReg, ClusterId), u64> = HashMap::new();
-            let mut consumer_blocks: HashMap<(VReg, ClusterId), std::collections::HashSet<mcpart_ir::BlockId>> =
-                HashMap::new();
+            let mut consumer_blocks: HashMap<
+                (VReg, ClusterId),
+                std::collections::HashSet<mcpart_ir::BlockId>,
+            > = HashMap::new();
             for (oid, op) in f.ops.iter() {
                 let need = placement.cluster_of(fid, oid);
                 for &s in &op.srcs {
@@ -435,7 +433,10 @@ mod tests {
         // The move executes on the consumer cluster and is flagged
         // intercluster.
         let homes = vreg_homes(&np, f, &npl);
-        let moves: Vec<_> = np.entry_function().ops.keys()
+        let moves: Vec<_> = np
+            .entry_function()
+            .ops
+            .keys()
             .filter(|&o| is_intercluster_move(&np, f, o, &npl, &homes))
             .collect();
         assert_eq!(moves.len(), 1);
@@ -475,7 +476,8 @@ mod tests {
         let mov = func.blocks[func.entry].ops[3];
         let mut pl = Placement::all_on_cluster0(&p);
         pl.set_cluster(f, mov, ClusterId::new(1));
-        let npl = normalize_placement(&p, &pl, &access_of(&p), &machine(), &Profile::uniform(&p, 1));
+        let npl =
+            normalize_placement(&p, &pl, &access_of(&p), &machine(), &Profile::uniform(&p, 1));
         let iconst0 = func.blocks[func.entry].ops[0];
         // Both defs of x end up on the same cluster.
         assert_eq!(npl.cluster_of(f, iconst0), npl.cluster_of(f, mov));
@@ -535,13 +537,8 @@ mod tests {
         let mut pl = Placement::all_on_cluster0(&p);
         pl.object_home[obj] = Some(ClusterId::new(1));
         let coherent = Machine::paper_2cluster(5).with_coherent_cache(4);
-        let npl = normalize_placement(
-            &p,
-            &pl,
-            &access,
-            &coherent,
-            &mcpart_ir::Profile::uniform(&p, 1),
-        );
+        let npl =
+            normalize_placement(&p, &pl, &access, &coherent, &mcpart_ir::Profile::uniform(&p, 1));
         let func = p.entry_function();
         let load = func.blocks[func.entry].ops[1];
         // The load keeps its computation cluster; only partitioned
@@ -565,7 +562,8 @@ mod tests {
         let call = func.blocks[func.entry].ops[0];
         let mut pl = Placement::all_on_cluster0(&p);
         pl.set_cluster(f, call, ClusterId::new(1));
-        let npl = normalize_placement(&p, &pl, &access_of(&p), &machine(), &Profile::uniform(&p, 1));
+        let npl =
+            normalize_placement(&p, &pl, &access_of(&p), &machine(), &Profile::uniform(&p, 1));
         assert_eq!(npl.cluster_of(f, call), ClusterId::new(0));
     }
 

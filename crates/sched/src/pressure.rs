@@ -37,8 +37,7 @@ pub fn register_pressure(
 ) -> PressureReport {
     let nclusters = machine.num_clusters();
     // Spill = store + reload of one register through the local memory.
-    let spill_cost =
-        u64::from(machine.latency.store + machine.latency.load);
+    let spill_cost = u64::from(machine.latency.store + machine.latency.load);
     let mut demand: EntityMap<FuncId, EntityMap<BlockId, Vec<u32>>> = EntityMap::new();
     let mut spill_cycles = 0u64;
     for (fid, func) in program.functions.iter() {

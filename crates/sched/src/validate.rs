@@ -1,0 +1,314 @@
+//! Post-partition placement validation.
+//!
+//! After data partitioning, normalization and move insertion, a
+//! placement must satisfy the machine's execution rules before it can
+//! be scheduled or claimed correct. This validator re-checks those
+//! rules from scratch, so a buggy or corrupted partitioning stage is
+//! caught here — and the pipeline's graceful-degradation ladder can
+//! fall back to a simpler method — instead of producing silently wrong
+//! schedules or panicking downstream.
+
+use crate::moves::vreg_homes;
+use crate::placement::Placement;
+use mcpart_analysis::{AccessInfo, AccessSite};
+use mcpart_ir::{ClusterId, EntityId, FuncId, OpId, Opcode, Program};
+use mcpart_machine::Machine;
+use std::error::Error;
+use std::fmt;
+
+/// A way in which a placement violates the machine's execution rules.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PlacementError {
+    /// The placement's maps do not match the program's shape (wrong
+    /// function count, op count, or object count) — typical of a stale
+    /// or corrupted placement applied to the wrong program.
+    Shape {
+        /// What does not line up.
+        message: String,
+    },
+    /// An operation is assigned to a cluster the machine does not have.
+    ClusterOutOfRange {
+        /// Function containing the operation.
+        func: FuncId,
+        /// The operation.
+        op: OpId,
+        /// The out-of-range cluster.
+        cluster: ClusterId,
+        /// How many clusters the machine has.
+        nclusters: usize,
+    },
+    /// An object's home cluster is out of range for the machine.
+    ObjectHomeOutOfRange {
+        /// Index of the object in the program's object table.
+        object: usize,
+        /// The out-of-range home.
+        cluster: ClusterId,
+        /// How many clusters the machine has.
+        nclusters: usize,
+    },
+    /// Under partitioned memory, a memory operation is placed off the
+    /// home cluster of the object it accesses.
+    MemopOffHome {
+        /// Function containing the operation.
+        func: FuncId,
+        /// The memory operation.
+        op: OpId,
+        /// The accessed object's home cluster.
+        home: ClusterId,
+        /// Where the operation actually sits.
+        actual: ClusterId,
+    },
+    /// A call is placed off cluster 0, violating the calling convention.
+    CallOffCluster0 {
+        /// Function containing the call.
+        func: FuncId,
+        /// The call operation.
+        op: OpId,
+        /// Where the call actually sits.
+        actual: ClusterId,
+    },
+    /// A non-move operation reads a register homed on another cluster —
+    /// the cross-cluster def was never bridged by an intercluster move.
+    UnreachedOperand {
+        /// Function containing the operation.
+        func: FuncId,
+        /// The consuming operation.
+        op: OpId,
+        /// Cluster the consumer executes on.
+        need: ClusterId,
+        /// Cluster the operand value lives on.
+        home: ClusterId,
+    },
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::Shape { message } => {
+                write!(f, "placement shape mismatch: {message}")
+            }
+            PlacementError::ClusterOutOfRange { func, op, cluster, nclusters } => write!(
+                f,
+                "{func}/{op} assigned to {cluster} but the machine has {nclusters} clusters"
+            ),
+            PlacementError::ObjectHomeOutOfRange { object, cluster, nclusters } => write!(
+                f,
+                "object #{object} homed on {cluster} but the machine has {nclusters} clusters"
+            ),
+            PlacementError::MemopOffHome { func, op, home, actual } => {
+                write!(f, "memory op {func}/{op} runs on {actual} but its object lives on {home}")
+            }
+            PlacementError::CallOffCluster0 { func, op, actual } => {
+                write!(f, "call {func}/{op} runs on {actual}, not cluster 0")
+            }
+            PlacementError::UnreachedOperand { func, op, need, home } => write!(
+                f,
+                "{func}/{op} on {need} reads a value homed on {home} with no bridging move"
+            ),
+        }
+    }
+}
+
+impl Error for PlacementError {}
+
+/// Checks that `placement` is executable for `program` on `machine`:
+/// maps match the program's shape, every cluster index is in range,
+/// every call sits on cluster 0, under partitioned memory every memory
+/// operation sits on its object's home cluster, and every operand of a
+/// non-move operation is homed on the consuming operation's cluster
+/// (i.e. every cross-cluster def is reached through an inserted move).
+///
+/// Intended to run on the *post-move-insertion* program/placement pair,
+/// where all of these must hold simultaneously.
+///
+/// # Errors
+///
+/// Returns the first violated rule.
+pub fn validate_placement(
+    program: &Program,
+    placement: &Placement,
+    access: &AccessInfo,
+    machine: &Machine,
+) -> Result<(), PlacementError> {
+    let nclusters = machine.num_clusters();
+    if placement.op_cluster.len() != program.functions.len() {
+        return Err(PlacementError::Shape {
+            message: format!(
+                "placement covers {} functions, program has {}",
+                placement.op_cluster.len(),
+                program.functions.len()
+            ),
+        });
+    }
+    if placement.object_home.len() != program.objects.len() {
+        return Err(PlacementError::Shape {
+            message: format!(
+                "placement homes {} objects, program has {}",
+                placement.object_home.len(),
+                program.objects.len()
+            ),
+        });
+    }
+    for (obj, home) in placement.object_home.iter() {
+        if let Some(c) = home {
+            if c.index() >= nclusters {
+                return Err(PlacementError::ObjectHomeOutOfRange {
+                    object: obj.index(),
+                    cluster: *c,
+                    nclusters,
+                });
+            }
+        }
+    }
+    for (fid, f) in program.functions.iter() {
+        if placement.op_cluster[fid].len() != f.ops.len() {
+            return Err(PlacementError::Shape {
+                message: format!(
+                    "placement covers {} ops in {fid}, function has {}",
+                    placement.op_cluster[fid].len(),
+                    f.ops.len()
+                ),
+            });
+        }
+        let homes = vreg_homes(program, fid, placement);
+        for (oid, op) in f.ops.iter() {
+            let cluster = placement.cluster_of(fid, oid);
+            if cluster.index() >= nclusters {
+                return Err(PlacementError::ClusterOutOfRange {
+                    func: fid,
+                    op: oid,
+                    cluster,
+                    nclusters,
+                });
+            }
+            match op.opcode {
+                Opcode::Call(_) if cluster.index() != 0 => {
+                    return Err(PlacementError::CallOffCluster0 {
+                        func: fid,
+                        op: oid,
+                        actual: cluster,
+                    });
+                }
+                Opcode::Call(_) => {}
+                _ if op.opcode.is_memory() && machine.memory.is_partitioned() => {
+                    let site = AccessSite { func: fid, op: oid };
+                    if let Some(objs) = access.site_objects.get(&site) {
+                        if let Some(home) = objs.iter().find_map(|&o| placement.object_home[o]) {
+                            if home != cluster {
+                                return Err(PlacementError::MemopOffHome {
+                                    func: fid,
+                                    op: oid,
+                                    home,
+                                    actual: cluster,
+                                });
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+            // Moves are the transfer mechanism: they may read remotely.
+            if !matches!(op.opcode, Opcode::Move) && nclusters > 1 {
+                for &s in &op.srcs {
+                    if homes[s] != cluster {
+                        return Err(PlacementError::UnreachedOperand {
+                            func: fid,
+                            op: oid,
+                            need: cluster,
+                            home: homes[s],
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moves::insert_moves;
+    use mcpart_analysis::PointsTo;
+    use mcpart_ir::{DataObject, FunctionBuilder, MemWidth, Profile};
+
+    fn setup() -> (Program, AccessInfo, Machine) {
+        let mut p = Program::new("t");
+        let obj = p.add_object(DataObject::global("g", 16));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let a = b.addrof(obj);
+        let v = b.load(MemWidth::B4, a);
+        let w = b.add(v, v);
+        b.ret(Some(w));
+        let pts = PointsTo::compute(&p);
+        let access = AccessInfo::compute(&p, &pts, &Profile::uniform(&p, 1));
+        (p, access, Machine::paper_2cluster(5))
+    }
+
+    #[test]
+    fn all_on_cluster0_is_valid() {
+        let (p, access, machine) = setup();
+        let pl = Placement::all_on_cluster0(&p);
+        validate_placement(&p, &pl, &access, &machine).expect("valid");
+    }
+
+    #[test]
+    fn unbridged_cross_cluster_read_rejected() {
+        let (p, access, machine) = setup();
+        let mut pl = Placement::all_on_cluster0(&p);
+        let f = p.entry;
+        let func = p.entry_function();
+        let add = func.blocks[func.entry].ops[2];
+        pl.set_cluster(f, add, ClusterId::new(1));
+        let e = validate_placement(&p, &pl, &access, &machine).unwrap_err();
+        assert!(matches!(e, PlacementError::UnreachedOperand { .. }), "{e}");
+        // After move insertion the same split is valid.
+        let (np, npl, _) = insert_moves(&p, &pl, &machine);
+        let pts = PointsTo::compute(&np);
+        let access2 = AccessInfo::compute(&np, &pts, &Profile::uniform(&np, 1));
+        validate_placement(&np, &npl, &access2, &machine).expect("moves bridge the read");
+    }
+
+    #[test]
+    fn memop_off_home_rejected() {
+        let (p, access, machine) = setup();
+        let mut pl = Placement::all_on_cluster0(&p);
+        for home in pl.object_home.values_mut() {
+            *home = Some(ClusterId::new(1));
+        }
+        let e = validate_placement(&p, &pl, &access, &machine).unwrap_err();
+        assert!(matches!(e, PlacementError::MemopOffHome { .. }), "{e}");
+    }
+
+    #[test]
+    fn out_of_range_cluster_rejected() {
+        let (p, access, machine) = setup();
+        let mut pl = Placement::all_on_cluster0(&p);
+        let f = p.entry;
+        let func = p.entry_function();
+        let op0 = func.blocks[func.entry].ops[0];
+        pl.set_cluster(f, op0, ClusterId::new(7));
+        let e = validate_placement(&p, &pl, &access, &machine).unwrap_err();
+        assert!(matches!(e, PlacementError::ClusterOutOfRange { .. }), "{e}");
+    }
+
+    #[test]
+    fn out_of_range_object_home_rejected() {
+        let (p, access, machine) = setup();
+        let mut pl = Placement::all_on_cluster0(&p);
+        for home in pl.object_home.values_mut() {
+            *home = Some(ClusterId::new(9));
+        }
+        let e = validate_placement(&p, &pl, &access, &machine).unwrap_err();
+        assert!(matches!(e, PlacementError::ObjectHomeOutOfRange { .. }), "{e}");
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let (p, access, machine) = setup();
+        let other = Program::new("other");
+        let pl = Placement::all_on_cluster0(&other);
+        let e = validate_placement(&p, &pl, &access, &machine).unwrap_err();
+        assert!(matches!(e, PlacementError::Shape { .. }), "{e}");
+    }
+}

@@ -36,7 +36,9 @@ pub fn schedule_to_string(
     let width = rows
         .iter()
         .flat_map(|r| r.iter())
-        .map(|cells| cells.iter().map(String::len).sum::<usize>() + cells.len().saturating_sub(1) * 2)
+        .map(|cells| {
+            cells.iter().map(String::len).sum::<usize>() + cells.len().saturating_sub(1) * 2
+        })
         .max()
         .unwrap_or(8)
         .max(8);

@@ -42,6 +42,144 @@ pub fn dynamic_move_count(program: &Program, placement: &Placement, profile: &Pr
     total
 }
 
+/// Fault-injection utilities: systematic, deterministic corruptions of
+/// programs, profiles, and placements.
+///
+/// These drive the robustness test harness (`tests/fault_injection.rs`
+/// in the workspace root): every corruption models a realistic failure
+/// of an upstream producer — a frontend that emitted a block without a
+/// terminator, a stale profile from a different build, a partitioner
+/// bug that invented a cluster — and every pipeline entry point is
+/// expected to reject the result with a typed error rather than panic
+/// or hang.
+pub mod fault {
+    use mcpart_ir::{ClusterId, EntityId, FuncId, ObjectId, Opcode, Profile, Program, Terminator};
+    use mcpart_sched::Placement;
+
+    /// Removes the terminator of the entry function's entry block,
+    /// modeling a truncated/partially-emitted IR stream. The program no
+    /// longer verifies; interpreters must report a missing terminator
+    /// instead of walking off the block.
+    pub fn truncate_entry_block(program: &mut Program) {
+        let f = program.entry;
+        let eb = program.functions[f].entry;
+        program.functions[f].blocks[eb].term = None;
+    }
+
+    /// Rewrites the first `addrof`/`malloc` operation to reference an
+    /// object id beyond the object table. Returns `false` when the
+    /// program has no such operation to corrupt.
+    pub fn dangle_object_id(program: &mut Program) -> bool {
+        let bad = ObjectId::new(program.objects.len() + 7);
+        for func in program.functions.values_mut() {
+            for op in func.ops.values_mut() {
+                if matches!(op.opcode, Opcode::AddrOf(_) | Opcode::Malloc(_)) {
+                    op.opcode = Opcode::AddrOf(bad);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Shrinks every data object to zero bytes — a degenerate but
+    /// structurally valid program that stresses size-driven balance
+    /// logic (divisions by total bytes, per-cluster capacity math).
+    pub fn zero_object_sizes(program: &mut Program) {
+        for obj in program.objects.values_mut() {
+            obj.size = 0;
+        }
+    }
+
+    /// Redirects every `return` in the entry function back to its entry
+    /// block, closing the CFG into a cycle with no exit. Execution must
+    /// be stopped by the interpreter's step budget, never by wall-clock
+    /// patience.
+    pub fn make_cyclic(program: &mut Program) {
+        let f = program.entry;
+        let entry = program.functions[f].entry;
+        for block in program.functions[f].blocks.values_mut() {
+            if matches!(block.term, Some(Terminator::Return(_))) {
+                block.term = Some(Terminator::Jump(entry));
+            }
+        }
+    }
+
+    /// Grows the first function's block-frequency table past its block
+    /// count, modeling a profile collected from a different build of the
+    /// program. Profile validation must reject the shape mismatch.
+    pub fn corrupt_profile(profile: &mut Profile) {
+        if !profile.funcs.is_empty() {
+            profile.funcs[FuncId::new(0)].block_freq.push(999);
+        }
+    }
+
+    /// Sends the first operation to a cluster that does not exist on
+    /// any machine under test. Returns `false` for an empty placement.
+    pub fn misplace_op(placement: &mut Placement) -> bool {
+        for per_func in placement.op_cluster.values_mut() {
+            if let Some(c) = per_func.values_mut().next() {
+                *c = ClusterId::new(999);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Sends the first homed object to a cluster that does not exist.
+    /// Returns `false` when no object has a home (unified memory).
+    pub fn misplace_object(placement: &mut Placement) -> bool {
+        for home in placement.object_home.values_mut() {
+            if home.is_some() {
+                *home = Some(ClusterId::new(999));
+                return true;
+            }
+        }
+        false
+    }
+
+    /// A battery of hostile `.mcir` inputs, each with a label. Every
+    /// one must produce a parse or verification error — never a panic —
+    /// from `parse_program` and from the `mcpart exec` CLI path.
+    pub fn hostile_mcir() -> Vec<(&'static str, &'static str)> {
+        vec![
+            ("empty", ""),
+            ("not-a-program", "#!/bin/sh\nrm -rf /\n"),
+            ("header-only", "program ghost\n"),
+            ("bad-entry", "program x\nentry banana\n"),
+            ("entry-out-of-range", "program x\nentry fn9\n"),
+            (
+                "unknown-opcode",
+                "program x\nentry fn0\nfunc main() {\nbb0 (entry):\n  op0: v0 = summon v1\n  -> return\n}\n",
+            ),
+            (
+                "sparse-op-ids",
+                "program x\nentry fn0\nfunc main() {\nbb0 (entry):\n  op8: v0 = iconst 1\n  -> return v0\n}\n",
+            ),
+            (
+                "unterminated-function",
+                "program x\nentry fn0\nfunc main() {\nbb0 (entry):\n  op0: v0 = iconst 1\n",
+            ),
+            (
+                "statement-outside-block",
+                "program x\nentry fn0\nfunc main() {\n  op0: v0 = iconst 1\n}\n",
+            ),
+            (
+                "dangling-object",
+                "program x\nentry fn0\nfunc main() {\nbb0 (entry):\n  op0: v0 = addrof obj3\n  -> return\n}\n",
+            ),
+            (
+                "giant-object-size",
+                "program x\nentry fn0\n  obj0: global g (999999999999999999999 bytes)\nfunc main() {\nbb0 (entry):\n  -> return\n}\n",
+            ),
+            (
+                "undefined-register",
+                "program x\nentry fn0\nfunc main() {\nbb0 (entry):\n  op0: v1 = add v7, v7\n  -> return v1\n}\n",
+            ),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -45,6 +45,8 @@ pub enum ExecError {
     MultiResultCall,
     /// The function's argument count did not match its parameters.
     ArgCount,
+    /// A block had no terminator (the program was never verified).
+    MissingTerminator,
 }
 
 impl std::fmt::Display for ExecError {
@@ -58,6 +60,9 @@ impl std::fmt::Display for ExecError {
             ExecError::UndefinedRead => f.write_str("read of undefined register"),
             ExecError::MultiResultCall => f.write_str("calls may define at most one register"),
             ExecError::ArgCount => f.write_str("argument count mismatch"),
+            ExecError::MissingTerminator => {
+                f.write_str("block has no terminator (unverified program)")
+            }
         }
     }
 }
@@ -221,7 +226,7 @@ impl<'a> Interp<'a> {
                     regs[dst.0 as usize] = Some(v);
                 }
             }
-            match f.blocks[block].term.as_ref().expect("verified program") {
+            match f.blocks[block].term.as_ref().ok_or(ExecError::MissingTerminator)? {
                 Terminator::Jump(t) => block = *t,
                 Terminator::Branch { cond, then_block, else_block } => {
                     let c = regs[cond.0 as usize].ok_or(ExecError::UndefinedRead)?;
@@ -331,12 +336,7 @@ pub fn run(program: &Program, args: &[Value], config: ExecConfig) -> Result<Exec
             .collect(),
         heap_bytes: interp.mem.heap_bytes.clone(),
     };
-    Ok(ExecResult {
-        return_value,
-        memory: interp.mem.snapshot(),
-        steps: interp.steps,
-        profile,
-    })
+    Ok(ExecResult { return_value, memory: interp.mem.snapshot(), steps: interp.steps, profile })
 }
 
 /// Runs a program and returns only its profile — the "profiling run" of
@@ -513,8 +513,7 @@ mod tests {
         let mut b = FunctionBuilder::entry(&mut p);
         let r = b.call(f1, vec![], 1);
         b.ret(Some(r[0]));
-        let e = run(&p, &[], ExecConfig { step_limit: 1_000_000, max_call_depth: 16 })
-            .unwrap_err();
+        let e = run(&p, &[], ExecConfig { step_limit: 1_000_000, max_call_depth: 16 }).unwrap_err();
         assert_eq!(e, ExecError::CallDepth);
     }
 

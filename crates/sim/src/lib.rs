@@ -35,7 +35,7 @@ mod interp;
 mod memory;
 mod value;
 
-pub use check::{dynamic_move_count, semantically_equivalent};
+pub use check::{dynamic_move_count, fault, semantically_equivalent};
 pub use interp::{profile_run, run, ExecConfig, ExecError, ExecResult};
 pub use memory::{MemError, Memory};
 pub use value::Value;

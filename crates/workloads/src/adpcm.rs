@@ -19,7 +19,11 @@ const SAMPLES: i64 = 256;
 /// way it does with the paper's real inputs).
 const PASSES: i64 = 8;
 
-fn build_tables(b: &mut FunctionBuilder<'_>, stepsize: mcpart_ir::ObjectId, indextab: mcpart_ir::ObjectId) {
+fn build_tables(
+    b: &mut FunctionBuilder<'_>,
+    stepsize: mcpart_ir::ObjectId,
+    indextab: mcpart_ir::ObjectId,
+) {
     // stepsizeTable[i] = 7 + 3*i + (i*i >> 2): positive, monotone-ish,
     // like the real exponential table.
     counted_loop(b, 89, |b, i| {
@@ -82,48 +86,48 @@ pub fn rawcaudio() -> Workload {
     // Encoder main loop (unrolled x2 for ILP), streaming PASSES frames.
     counted_loop(&mut b, PASSES, |b, _pass| {
         unrolled_loop(b, SAMPLES, 2, |b, i| {
-        let spred = b.addrof(state);
-        let valpred = b.load(MemWidth::B4, spred);
-        let sbase = b.addrof(state);
-        let four_off = b.iconst(4);
-        let sidx = b.add(sbase, four_off);
-        let index = b.load(MemWidth::B4, sidx);
-        let sample = load_ptr4(b, inp, i);
-        let diff0 = b.sub(sample, valpred);
-        let zero = b.iconst(0);
-        let neg = b.icmp(Cmp::Lt, diff0, zero);
-        let negd = b.sub(zero, diff0);
-        let diff = b.select(neg, negd, diff0);
-        let step = load_elem4(b, stepsize, index);
-        let four = b.iconst(4);
-        let scaled = b.mul(diff, four);
-        let delta0 = b.ibin(IntBinOp::Div, scaled, step);
-        let delta = clamp_const(b, delta0, 0, 7);
-        // Index update via the index table.
-        let adj = load_elem4(b, indextab, delta);
-        let index1 = b.add(index, adj);
-        let index2 = clamp_const(b, index1, 0, 88);
-        b.store(MemWidth::B4, sidx, index2);
-        // Predictor update.
-        let dstep = b.mul(delta, step);
-        let two = b.iconst(2);
-        let vpdiff = b.shr(dstep, two);
-        let vplus = b.add(valpred, vpdiff);
-        let vminus = b.sub(valpred, vpdiff);
-        let valpred1 = b.select(neg, vminus, vplus);
-        let valpred2 = clamp_const(b, valpred1, -32768, 32767);
-        b.store(MemWidth::B4, spred, valpred2);
-        // Output nibble: delta | sign bit.
-        let eight = b.iconst(8);
-        let sbit = b.select(neg, eight, zero);
-        let nibble = b.or(delta, sbit);
-        store_ptr4(b, outp, i, nibble);
-        // Count encoded samples.
-        let cnt = b.addrof(n_encoded);
-        let c0 = b.load(MemWidth::B4, cnt);
-        let one = b.iconst(1);
-        let c1 = b.add(c0, one);
-        b.store(MemWidth::B4, cnt, c1);
+            let spred = b.addrof(state);
+            let valpred = b.load(MemWidth::B4, spred);
+            let sbase = b.addrof(state);
+            let four_off = b.iconst(4);
+            let sidx = b.add(sbase, four_off);
+            let index = b.load(MemWidth::B4, sidx);
+            let sample = load_ptr4(b, inp, i);
+            let diff0 = b.sub(sample, valpred);
+            let zero = b.iconst(0);
+            let neg = b.icmp(Cmp::Lt, diff0, zero);
+            let negd = b.sub(zero, diff0);
+            let diff = b.select(neg, negd, diff0);
+            let step = load_elem4(b, stepsize, index);
+            let four = b.iconst(4);
+            let scaled = b.mul(diff, four);
+            let delta0 = b.ibin(IntBinOp::Div, scaled, step);
+            let delta = clamp_const(b, delta0, 0, 7);
+            // Index update via the index table.
+            let adj = load_elem4(b, indextab, delta);
+            let index1 = b.add(index, adj);
+            let index2 = clamp_const(b, index1, 0, 88);
+            b.store(MemWidth::B4, sidx, index2);
+            // Predictor update.
+            let dstep = b.mul(delta, step);
+            let two = b.iconst(2);
+            let vpdiff = b.shr(dstep, two);
+            let vplus = b.add(valpred, vpdiff);
+            let vminus = b.sub(valpred, vpdiff);
+            let valpred1 = b.select(neg, vminus, vplus);
+            let valpred2 = clamp_const(b, valpred1, -32768, 32767);
+            b.store(MemWidth::B4, spred, valpred2);
+            // Output nibble: delta | sign bit.
+            let eight = b.iconst(8);
+            let sbit = b.select(neg, eight, zero);
+            let nibble = b.or(delta, sbit);
+            store_ptr4(b, outp, i, nibble);
+            // Count encoded samples.
+            let cnt = b.addrof(n_encoded);
+            let c0 = b.load(MemWidth::B4, cnt);
+            let one = b.iconst(1);
+            let c1 = b.add(c0, one);
+            b.store(MemWidth::B4, cnt, c1);
         });
     });
     let cnt = b.addrof(n_encoded);
@@ -159,38 +163,38 @@ pub fn rawdaudio() -> Workload {
     // Decoder main loop (unrolled x2 for ILP), streaming PASSES frames.
     counted_loop(&mut b, PASSES, |b, _pass| {
         unrolled_loop(b, SAMPLES, 2, |b, i| {
-        let spred = b.addrof(state);
-        let valpred = b.load(MemWidth::B4, spred);
-        let sbase = b.addrof(state);
-        let four_off = b.iconst(4);
-        let sidx = b.add(sbase, four_off);
-        let index = b.load(MemWidth::B4, sidx);
-        let code = load_ptr4(b, inp, i);
-        let seven = b.iconst(7);
-        let delta = b.and(code, seven);
-        let eight = b.iconst(8);
-        let signbit = b.and(code, eight);
-        let zero = b.iconst(0);
-        let neg = b.icmp(Cmp::Ne, signbit, zero);
-        let step = load_elem4(b, stepsize, index);
-        let adj = load_elem4(b, indextab, delta);
-        let index1 = b.add(index, adj);
-        let index2 = clamp_const(b, index1, 0, 88);
-        b.store(MemWidth::B4, sidx, index2);
-        let dstep = b.mul(delta, step);
-        let two = b.iconst(2);
-        let vpdiff = b.shr(dstep, two);
-        let vplus = b.add(valpred, vpdiff);
-        let vminus = b.sub(valpred, vpdiff);
-        let valpred1 = b.select(neg, vminus, vplus);
-        let valpred2 = clamp_const(b, valpred1, -32768, 32767);
-        b.store(MemWidth::B4, spred, valpred2);
-        store_ptr4(b, outp, i, valpred2);
-        // Fold into a checksum.
-        let csa = b.addrof(checksum);
-        let cs = b.load(MemWidth::B4, csa);
-        let cs1 = b.add(cs, valpred2);
-        b.store(MemWidth::B4, csa, cs1);
+            let spred = b.addrof(state);
+            let valpred = b.load(MemWidth::B4, spred);
+            let sbase = b.addrof(state);
+            let four_off = b.iconst(4);
+            let sidx = b.add(sbase, four_off);
+            let index = b.load(MemWidth::B4, sidx);
+            let code = load_ptr4(b, inp, i);
+            let seven = b.iconst(7);
+            let delta = b.and(code, seven);
+            let eight = b.iconst(8);
+            let signbit = b.and(code, eight);
+            let zero = b.iconst(0);
+            let neg = b.icmp(Cmp::Ne, signbit, zero);
+            let step = load_elem4(b, stepsize, index);
+            let adj = load_elem4(b, indextab, delta);
+            let index1 = b.add(index, adj);
+            let index2 = clamp_const(b, index1, 0, 88);
+            b.store(MemWidth::B4, sidx, index2);
+            let dstep = b.mul(delta, step);
+            let two = b.iconst(2);
+            let vpdiff = b.shr(dstep, two);
+            let vplus = b.add(valpred, vpdiff);
+            let vminus = b.sub(valpred, vpdiff);
+            let valpred1 = b.select(neg, vminus, vplus);
+            let valpred2 = clamp_const(b, valpred1, -32768, 32767);
+            b.store(MemWidth::B4, spred, valpred2);
+            store_ptr4(b, outp, i, valpred2);
+            // Fold into a checksum.
+            let csa = b.addrof(checksum);
+            let cs = b.load(MemWidth::B4, csa);
+            let cs1 = b.add(cs, valpred2);
+            b.store(MemWidth::B4, csa, cs1);
         });
     });
     let csa = b.addrof(checksum);

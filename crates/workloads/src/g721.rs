@@ -107,7 +107,13 @@ fn predictor(b: &mut FunctionBuilder<'_>, o: &G721Objects) -> mcpart_ir::VReg {
 
 /// Quantizer-scale update shared by encoder and decoder: adapts yu/yl
 /// from the table entry for `code` and rotates the histories.
-fn update_state(b: &mut FunctionBuilder<'_>, o: &G721Objects, code: mcpart_ir::VReg, dq: mcpart_ir::VReg, sr: mcpart_ir::VReg) {
+fn update_state(
+    b: &mut FunctionBuilder<'_>,
+    o: &G721Objects,
+    code: mcpart_ir::VReg,
+    dq: mcpart_ir::VReg,
+    sr: mcpart_ir::VReg,
+) {
     let wi = load_elem4(b, o.witab, code);
     let fi = load_elem4(b, o.fitab, code);
     // yu = y + ((wi - y) >> 5), yl = yl + yu - (yl >> 6)
@@ -204,37 +210,37 @@ pub fn g721encode() -> Workload {
     });
     counted_loop(&mut b, PASSES, |b, _pass| {
         counted_loop(b, SAMPLES, |b, i| {
-        let sl = load_ptr4(b, inp, i);
-        let se = predictor(b, &o);
-        let d = b.sub(sl, se);
-        // Log quantization against qtab: count decision levels below |d|.
-        let zero = b.iconst(0);
-        let nd = b.sub(zero, d);
-        let mag = b.ibin(IntBinOp::Max, d, nd);
-        let code0 = b.iconst(0);
-        let code = b.mov(code0);
-        counted_loop(b, 7, |b, j| {
-            let q = load_elem4(b, o.qtab, j);
-            let over = b.icmp(Cmp::Gt, mag, q);
-            let one = b.iconst(1);
-            let z = b.iconst(0);
-            let inc = b.select(over, one, z);
-            let c1 = b.add(code, inc);
-            b.mov_to(code, c1);
-        });
-        let neg = b.icmp(Cmp::Lt, d, zero);
-        let eight = b.iconst(8);
-        let sbit = b.select(neg, eight, zero);
-        let tx = b.or(code, sbit);
-        store_ptr4(b, outp, i, tx);
-        // Reconstruct dq/sr and update the adaptive state.
-        let dqln = load_elem4(b, o.dqlntab, code);
-        let seven_s = b.iconst(7);
-        let dqmag = b.shr(dqln, seven_s);
-        let ndq = b.sub(zero, dqmag);
-        let dq = b.select(neg, ndq, dqmag);
-        let sr = b.add(se, dq);
-        update_state(b, &o, code, dq, sr);
+            let sl = load_ptr4(b, inp, i);
+            let se = predictor(b, &o);
+            let d = b.sub(sl, se);
+            // Log quantization against qtab: count decision levels below |d|.
+            let zero = b.iconst(0);
+            let nd = b.sub(zero, d);
+            let mag = b.ibin(IntBinOp::Max, d, nd);
+            let code0 = b.iconst(0);
+            let code = b.mov(code0);
+            counted_loop(b, 7, |b, j| {
+                let q = load_elem4(b, o.qtab, j);
+                let over = b.icmp(Cmp::Gt, mag, q);
+                let one = b.iconst(1);
+                let z = b.iconst(0);
+                let inc = b.select(over, one, z);
+                let c1 = b.add(code, inc);
+                b.mov_to(code, c1);
+            });
+            let neg = b.icmp(Cmp::Lt, d, zero);
+            let eight = b.iconst(8);
+            let sbit = b.select(neg, eight, zero);
+            let tx = b.or(code, sbit);
+            store_ptr4(b, outp, i, tx);
+            // Reconstruct dq/sr and update the adaptive state.
+            let dqln = load_elem4(b, o.dqlntab, code);
+            let seven_s = b.iconst(7);
+            let dqmag = b.shr(dqln, seven_s);
+            let ndq = b.sub(zero, dqmag);
+            let dq = b.select(neg, ndq, dqmag);
+            let sr = b.add(se, dq);
+            update_state(b, &o, code, dq, sr);
         });
     });
     let last = b.iconst(SAMPLES - 1);
@@ -264,23 +270,23 @@ pub fn g721decode() -> Workload {
     });
     counted_loop(&mut b, PASSES, |b, _pass| {
         counted_loop(b, SAMPLES, |b, i| {
-        let word = load_ptr4(b, inp, i);
-        let seven = b.iconst(7);
-        let code = b.and(word, seven);
-        let eight = b.iconst(8);
-        let sbits = b.and(word, eight);
-        let zero = b.iconst(0);
-        let neg = b.icmp(Cmp::Ne, sbits, zero);
-        let se = predictor(b, &o);
-        let dqln = load_elem4(b, o.dqlntab, code);
-        let seven_s = b.iconst(7);
-        let dqmag = b.shr(dqln, seven_s);
-        let ndq = b.sub(zero, dqmag);
-        let dq = b.select(neg, ndq, dqmag);
-        let sr0 = b.add(se, dq);
-        let sr = clamp_const(b, sr0, -32768, 32767);
-        store_ptr4(b, outp, i, sr);
-        update_state(b, &o, code, dq, sr);
+            let word = load_ptr4(b, inp, i);
+            let seven = b.iconst(7);
+            let code = b.and(word, seven);
+            let eight = b.iconst(8);
+            let sbits = b.and(word, eight);
+            let zero = b.iconst(0);
+            let neg = b.icmp(Cmp::Ne, sbits, zero);
+            let se = predictor(b, &o);
+            let dqln = load_elem4(b, o.dqlntab, code);
+            let seven_s = b.iconst(7);
+            let dqmag = b.shr(dqln, seven_s);
+            let ndq = b.sub(zero, dqmag);
+            let dq = b.select(neg, ndq, dqmag);
+            let sr0 = b.add(se, dq);
+            let sr = clamp_const(b, sr0, -32768, 32767);
+            store_ptr4(b, outp, i, sr);
+            update_state(b, &o, code, dq, sr);
         });
     });
     let last = b.iconst(SAMPLES - 1);

@@ -1,8 +1,6 @@
 //! Shared scaffolding for workload generators.
 
-use mcpart_ir::{
-    BlockId, Cmp, FunctionBuilder, MemWidth, ObjectId, Profile, Program, VReg,
-};
+use mcpart_ir::{BlockId, Cmp, FunctionBuilder, MemWidth, ObjectId, Profile, Program, VReg};
 use mcpart_sim::{profile_run, ExecConfig};
 use std::fmt;
 

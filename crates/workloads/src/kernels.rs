@@ -43,38 +43,38 @@ pub fn fir() -> Workload {
     });
     counted_loop(&mut b, PASSES, |b, _pass| {
         counted_loop(b, N, |b, i| {
-        // Shift the delay line and insert the new sample.
-        let x = load_ptr4(b, inp, i);
-        counted_loop(b, TAPS - 1, |b, j| {
-            let taps1 = b.iconst(TAPS - 2);
-            let rev = b.sub(taps1, j); // TAPS-2 .. 0
-            let v = load_elem4(b, delay, rev);
-            let one = b.iconst(1);
-            let dst = b.add(rev, one);
-            store_elem4(b, delay, dst, v);
-        });
-        let zero = b.iconst(0);
-        store_elem4(b, delay, zero, x);
-        // Convolution.
-        let acc_init = b.iconst(0);
-        let acc = b.mov(acc_init);
-        unrolled_loop(b, TAPS, 4, |b, j| {
-            let c = load_elem4(b, coefs, j);
-            let d = load_elem4(b, delay, j);
-            let prod = b.mul(c, d);
-            let sum = b.add(acc, prod);
-            b.mov_to(acc, sum);
-        });
-        let five = b.iconst(5);
-        let y = b.shr(acc, five);
-        store_ptr4(b, outp, i, y);
-        let ea = b.addrof(energy);
-        let e = b.load(MemWidth::B4, ea);
-        let z = b.iconst(0);
-        let ny = b.sub(z, y);
-        let ay = b.ibin(IntBinOp::Max, y, ny);
-        let e1 = b.add(e, ay);
-        b.store(MemWidth::B4, ea, e1);
+            // Shift the delay line and insert the new sample.
+            let x = load_ptr4(b, inp, i);
+            counted_loop(b, TAPS - 1, |b, j| {
+                let taps1 = b.iconst(TAPS - 2);
+                let rev = b.sub(taps1, j); // TAPS-2 .. 0
+                let v = load_elem4(b, delay, rev);
+                let one = b.iconst(1);
+                let dst = b.add(rev, one);
+                store_elem4(b, delay, dst, v);
+            });
+            let zero = b.iconst(0);
+            store_elem4(b, delay, zero, x);
+            // Convolution.
+            let acc_init = b.iconst(0);
+            let acc = b.mov(acc_init);
+            unrolled_loop(b, TAPS, 4, |b, j| {
+                let c = load_elem4(b, coefs, j);
+                let d = load_elem4(b, delay, j);
+                let prod = b.mul(c, d);
+                let sum = b.add(acc, prod);
+                b.mov_to(acc, sum);
+            });
+            let five = b.iconst(5);
+            let y = b.shr(acc, five);
+            store_ptr4(b, outp, i, y);
+            let ea = b.addrof(energy);
+            let e = b.load(MemWidth::B4, ea);
+            let z = b.iconst(0);
+            let ny = b.sub(z, y);
+            let ay = b.ibin(IntBinOp::Max, y, ny);
+            let e1 = b.add(e, ay);
+            b.store(MemWidth::B4, ea, e1);
         });
     });
     let ea = b.addrof(energy);
@@ -95,8 +95,7 @@ pub fn fft() -> Workload {
     let tw_im = p.add_object(DataObject::global("twiddleIm", (N / 2 * 4) as u64));
     let check = p.add_object(DataObject::global("checksum", 4));
     let mut b = FunctionBuilder::entry(&mut p);
-    for (obj, mul, mask) in [(re, 17, 0x1FF), (im, 23, 0x1FF), (tw_re, 7, 0xFF), (tw_im, 5, 0xFF)]
-    {
+    for (obj, mul, mask) in [(re, 17, 0x1FF), (im, 23, 0x1FF), (tw_re, 7, 0xFF), (tw_im, 5, 0xFF)] {
         let elems = if obj == re || obj == im { N } else { N / 2 };
         counted_loop(&mut b, elems, |b, i| {
             let k = b.iconst(mul);
@@ -265,7 +264,9 @@ pub fn sobel() -> Workload {
     let maxg = p.add_object(DataObject::global("maxGradient", 4));
     let mut b = FunctionBuilder::entry(&mut p);
     // Gx = [-1 0 1; -2 0 2; -1 0 1], Gy = transpose.
-    for (obj, vals) in [(gx, [-1i64, 0, 1, -2, 0, 2, -1, 0, 1]), (gy, [-1, -2, -1, 0, 0, 0, 1, 2, 1])] {
+    for (obj, vals) in
+        [(gx, [-1i64, 0, 1, -2, 0, 2, -1, 0, 1]), (gy, [-1, -2, -1, 0, 0, 0, 1, 2, 1])]
+    {
         for (i, v) in vals.into_iter().enumerate() {
             let idx = b.iconst(i as i64);
             let val = b.iconst(v);

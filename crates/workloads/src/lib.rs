@@ -29,8 +29,8 @@ mod pegwit;
 mod tests_structure;
 
 pub use gen::{
-    clamp_const, counted_loop, init_table4, load_elem4, load_ptr4, store_elem4, store_ptr4,
-    Loop, Suite, Workload,
+    clamp_const, counted_loop, init_table4, load_elem4, load_ptr4, store_elem4, store_ptr4, Loop,
+    Suite, Workload,
 };
 
 /// All workloads, Mediabench first, then the DSP kernels.

@@ -12,7 +12,7 @@ use crate::gen::{
     clamp_const, counted_loop, load_elem4, load_ptr4, store_elem4, store_ptr4, unrolled_loop,
     Suite, Workload,
 };
-use mcpart_ir::{DataObject, FunctionBuilder, FuncId, MemWidth, ObjectId, Program};
+use mcpart_ir::{DataObject, FuncId, FunctionBuilder, MemWidth, ObjectId, Program};
 
 const W: i64 = 64; // luma width in pixels (8 blocks)
 const H: i64 = 32; // luma height (4 block rows)
@@ -164,11 +164,7 @@ fn build(name: &'static str, decode: bool) -> Workload {
         unrolled_loop(b, 64, 4, |b, i| {
             let zz = load_elem4(b, o.zigzag, i);
             let v = load_elem4(b, o.block, zz);
-            let qm = if decode {
-                load_elem4(b, o.inter_q, i)
-            } else {
-                load_elem4(b, o.intra_q, i)
-            };
+            let qm = if decode { load_elem4(b, o.inter_q, i) } else { load_elem4(b, o.intra_q, i) };
             let qs = b.mul(qm, q);
             let out = if decode {
                 let r0 = b.mul(v, qs);
@@ -233,13 +229,8 @@ mod tests {
     fn dct_callee_is_hot() {
         let w = mpeg2enc();
         // The DCT function's blocks execute once per macroblock.
-        let dct_fid = w
-            .program
-            .functions
-            .iter()
-            .find(|(_, f)| f.name == "fdct")
-            .map(|(id, _)| id)
-            .unwrap();
+        let dct_fid =
+            w.program.functions.iter().find(|(_, f)| f.name == "fdct").map(|(id, _)| id).unwrap();
         let entry_block = w.program.functions[dct_fid].entry;
         assert_eq!(w.profile.block_freq(dct_fid, entry_block), BLOCKS as u64);
     }

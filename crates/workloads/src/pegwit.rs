@@ -7,8 +7,7 @@
 //! word arrays, and heap message/ciphertext buffers.
 
 use crate::gen::{
-    counted_loop, load_elem4, load_ptr4, store_elem4, store_ptr4, unrolled_loop, Suite,
-    Workload,
+    counted_loop, load_elem4, load_ptr4, store_elem4, store_ptr4, unrolled_loop, Suite, Workload,
 };
 use mcpart_ir::{Cmp, DataObject, FunctionBuilder, IntBinOp, Program};
 

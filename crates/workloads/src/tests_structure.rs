@@ -19,19 +19,9 @@ fn every_workload_has_partitionable_data() {
     // objects where making a partitioning choice about the memory was
     // important" — ours must all qualify.
     for w in all() {
-        assert!(
-            w.num_objects() >= 4,
-            "{}: only {} objects",
-            w.name,
-            w.num_objects()
-        );
-        let sized = w
-            .profile
-            .apply_heap_sizes(&w.program)
-            .objects
-            .values()
-            .filter(|o| o.size > 0)
-            .count();
+        assert!(w.num_objects() >= 4, "{}: only {} objects", w.name, w.num_objects());
+        let sized =
+            w.profile.apply_heap_sizes(&w.program).objects.values().filter(|o| o.size > 0).count();
         assert!(sized >= 3, "{}: only {sized} sized objects", w.name);
     }
 }

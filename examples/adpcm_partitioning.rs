@@ -30,8 +30,7 @@ fn main() {
     let groups = ObjectGroups::compute(&program, &access);
     println!("-- object groups after access-pattern merging:");
     for (g, members) in groups.groups.iter().enumerate() {
-        let names: Vec<&str> =
-            members.iter().map(|&o| program.objects[o].name.as_str()).collect();
+        let names: Vec<&str> = members.iter().map(|&o| program.objects[o].name.as_str()).collect();
         println!(
             "   group {g}: {:?} ({} bytes, {} dynamic accesses)",
             names, groups.group_size[g], groups.group_freq[g]
@@ -39,7 +38,8 @@ fn main() {
     }
 
     // §3.3.2: the data partition.
-    let dp = gdp_partition(&program, &w.profile, &access, &groups, &machine, &GdpConfig::default());
+    let dp = gdp_partition(&program, &w.profile, &access, &groups, &machine, &GdpConfig::default())
+        .expect("gdp");
     println!("-- GDP data partition (cut = {}):", dp.cut);
     for (obj, home) in dp.object_home.iter() {
         if let Some(c) = home {
@@ -56,7 +56,8 @@ fn main() {
         &machine,
         &dp.object_home,
         &RhopConfig::default(),
-    );
+    )
+    .expect("rhop");
     println!(
         "-- RHOP: {} regions, {} estimator calls, {} moves accepted",
         stats.regions, stats.estimator_calls, stats.moves_accepted

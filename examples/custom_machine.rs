@@ -12,9 +12,11 @@ fn main() {
     // 1. The paper's machine at the three evaluated latencies.
     for latency in [1u32, 5, 10] {
         let machine = Machine::paper_2cluster(latency);
-        let gdp = run_pipeline(&w.program, &w.profile, &machine, &PipelineConfig::new(Method::Gdp));
+        let gdp = run_pipeline(&w.program, &w.profile, &machine, &PipelineConfig::new(Method::Gdp))
+            .expect("pipeline");
         let uni =
-            run_pipeline(&w.program, &w.profile, &machine, &PipelineConfig::new(Method::Unified));
+            run_pipeline(&w.program, &w.profile, &machine, &PipelineConfig::new(Method::Unified))
+                .expect("pipeline");
         println!(
             "2 clusters, {latency:>2}-cycle moves: GDP {:>8} cycles ({:.1}% of unified)",
             gdp.cycles(),
@@ -24,7 +26,8 @@ fn main() {
 
     // 2. Scaling to 4 clusters.
     let machine4 = Machine::homogeneous(4, 5);
-    let gdp4 = run_pipeline(&w.program, &w.profile, &machine4, &PipelineConfig::new(Method::Gdp));
+    let gdp4 = run_pipeline(&w.program, &w.profile, &machine4, &PipelineConfig::new(Method::Gdp))
+        .expect("pipeline");
     println!(
         "4 clusters, 5-cycle moves: GDP {:>8} cycles, data bytes {:?}",
         gdp4.cycles(),
@@ -43,7 +46,8 @@ fn main() {
         latency: LatencyTable::itanium_like(),
     };
     let gdp_custom =
-        run_pipeline(&w.program, &w.profile, &custom, &PipelineConfig::new(Method::Gdp));
+        run_pipeline(&w.program, &w.profile, &custom, &PipelineConfig::new(Method::Gdp))
+            .expect("pipeline");
     println!(
         "asymmetric machine: GDP {:>8} cycles, data bytes {:?} (3:1 capacity target)",
         gdp_custom.cycles(),

@@ -42,7 +42,9 @@ fn main() {
             _ => '@',
         };
     }
-    println!("   y = size imbalance (bottom balanced, top skewed); x = performance (right is faster)");
+    println!(
+        "   y = size imbalance (bottom balanced, top skewed); x = performance (right is faster)"
+    );
     for row in grid.iter().rev() {
         let line: String = row.iter().collect();
         println!("   |{line}");
@@ -54,9 +56,11 @@ fn main() {
     let pts = PointsTo::compute(&program);
     let access = AccessInfo::compute(&program, &pts, &w.profile);
     let groups = ObjectGroups::compute(&program, &access);
-    let dp = gdp_partition(&program, &w.profile, &access, &groups, &machine, &GdpConfig::default());
+    let dp = gdp_partition(&program, &w.profile, &access, &groups, &machine, &GdpConfig::default())
+        .expect("gdp");
     let gdp_point =
-        evaluate_mapping(&program, &w.profile, &machine, &groups, &dp.group_cluster, &rhop);
+        evaluate_mapping(&program, &w.profile, &machine, &groups, &dp.group_cluster, &rhop)
+            .expect("rhop");
     println!(
         "   GDP chose a mapping at {:.1}% of best performance with imbalance {:.2}",
         best / gdp_point.cycles as f64 * 100.0,

@@ -54,10 +54,7 @@ fn figure4() {
     let access = AccessInfo::compute(&p, &pts, &profile);
     let groups = ObjectGroups::compute(&p, &access);
     println!("   objects: x (heap), value1, value2");
-    println!(
-        "   -> {} groups after merging (x and value1 must share a memory):",
-        groups.len()
-    );
+    println!("   -> {} groups after merging (x and value1 must share a memory):", groups.len());
     for (g, members) in groups.groups.iter().enumerate() {
         let names: Vec<&str> = members.iter().map(|&o| p.objects[o].name.as_str()).collect();
         println!("      group {g}: {names:?}");
@@ -100,13 +97,15 @@ fn figures5_and_6() {
     let access = AccessInfo::compute(&p, &pts, &profile);
     let groups = ObjectGroups::compute(&p, &access);
     let machine = Machine::paper_2cluster(5);
-    let dp = gdp_partition(&p, &profile, &access, &groups, &machine, &GdpConfig::default());
+    let dp = gdp_partition(&p, &profile, &access, &groups, &machine, &GdpConfig::default())
+        .expect("gdp");
     let bytes = dp.bytes_per_cluster(&p, 2);
     println!("   first pass: data bytes per cluster = {bytes:?} (total 352)");
     assert!(bytes[0] > 0 && bytes[1] > 0, "both memories used");
 
     let (placement, stats) =
-        rhop_partition(&p, &access, &profile, &machine, &dp.object_home, &RhopConfig::default());
+        rhop_partition(&p, &access, &profile, &machine, &dp.object_home, &RhopConfig::default())
+            .expect("rhop");
     let ops = placement.ops_per_cluster(2);
     println!(
         "   second pass: {} estimator calls moved {} groups; ops per cluster = {ops:?}",

@@ -44,10 +44,15 @@ fn main() {
     // memories.
     let machine = Machine::paper_2cluster(5);
 
-    println!("== quickstart: {} operations, {} data objects", program.num_ops(), program.objects.len());
+    println!(
+        "== quickstart: {} operations, {} data objects",
+        program.num_ops(),
+        program.objects.len()
+    );
     let mut unified_cycles = 0u64;
     for method in Method::ALL {
-        let run = run_pipeline(&program, &profile, &machine, &PipelineConfig::new(method));
+        let run = run_pipeline(&program, &profile, &machine, &PipelineConfig::new(method))
+            .expect("pipeline");
         if method == Method::Unified {
             unified_cycles = run.cycles();
         }
@@ -58,7 +63,8 @@ fn main() {
             run.data_bytes,
         );
     }
-    let gdp = run_pipeline(&program, &profile, &machine, &PipelineConfig::new(Method::Gdp));
+    let gdp = run_pipeline(&program, &profile, &machine, &PipelineConfig::new(Method::Gdp))
+        .expect("pipeline");
     println!(
         "GDP achieves {:.1}% of unified-memory performance",
         unified_cycles as f64 / gdp.cycles() as f64 * 100.0

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Single CI/PR gate for the mcpart workspace: build, test, lint, format.
+# Referenced from .claude/skills/verify/SKILL.md — every PR runs this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== all checks passed"

@@ -13,6 +13,7 @@
 //! | [`machine`] | `mcpart-machine` | clustered-VLIW machine model |
 //! | [`sched`] | `mcpart-sched` | list scheduler, move insertion, RHOP estimator, cycle accounting |
 //! | [`sim`] | `mcpart-sim` | functional interpreter, profiling, semantic validation |
+//! | [`rng`] | `mcpart-rng` | small deterministic PRNG used by the partitioners and tests |
 //! | [`core`] | `mcpart-core` | GDP, RHOP, baselines, pipeline, exhaustive search |
 //! | [`workloads`] | `mcpart-workloads` | synthetic Mediabench / DSP benchmark generators |
 //!
@@ -29,13 +30,15 @@
 //!     &workload.profile,
 //!     &machine,
 //!     &PipelineConfig::new(Method::Gdp),
-//! );
+//! )
+//! .expect("pipeline");
 //! let unified = run_pipeline(
 //!     &workload.program,
 //!     &workload.profile,
 //!     &machine,
 //!     &PipelineConfig::new(Method::Unified),
-//! );
+//! )
+//! .expect("pipeline");
 //! let relative = unified.cycles() as f64 / gdp.cycles() as f64;
 //! assert!(relative > 0.5, "GDP should be in the unified ballpark");
 //! ```
@@ -48,6 +51,7 @@ pub use mcpart_core as core;
 pub use mcpart_ir as ir;
 pub use mcpart_machine as machine;
 pub use mcpart_metis as metis;
+pub use mcpart_rng as rng;
 pub use mcpart_sched as sched;
 pub use mcpart_sim as sim;
 pub use mcpart_workloads as workloads;

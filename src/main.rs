@@ -8,8 +8,12 @@
 //! mcpart exec program.mcir --method gdp         # partition a text-IR file
 //! mcpart partition rawcaudio                    # object homes chosen by GDP
 //! ```
+//!
+//! Exit codes: `0` success, `1` pipeline or input failure (unreadable
+//! file, parse error, partitioner failure), `2` usage error (unknown
+//! command or malformed flags).
 
-use mcpart::core::{run_pipeline, Method, PipelineConfig};
+use mcpart::core::{run_pipeline, Method, PipelineConfig, PipelineResult};
 use mcpart::ir::{parse_program, program_to_string, Profile, Program};
 use mcpart::machine::Machine;
 use mcpart::sim::{profile_run, ExecConfig};
@@ -27,11 +31,38 @@ macro_rules! outln {
     }};
 }
 
+const USAGE: &str = "usage: mcpart <list|run|compare|dump|exec|partition|schedule> [args]
+options: --method gdp|profile-max|naive|unified  --latency <cycles>
+         --clusters <n>  --memory partitioned|unified|coherent:<penalty>
+         --gdp-fuel <n>  (cap GDP refinement; exhaustion triggers the
+                          ProfileMax/Naive fallback ladder)";
+
+/// A CLI failure, split by whose fault it is: `Usage` means the command
+/// line itself was malformed (exit 2), `Runtime` means the inputs or
+/// the pipeline failed (exit 1).
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> Self {
+        CliError::Usage(msg.into())
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Runtime(msg)
+    }
+}
+
 struct Options {
     latency: u32,
     clusters: usize,
     memory: MemoryChoice,
     method: Method,
+    gdp_fuel: Option<u64>,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -48,6 +79,7 @@ impl Default for Options {
             clusters: 2,
             memory: MemoryChoice::Partitioned,
             method: Method::Gdp,
+            gdp_fuel: None,
         }
     }
 }
@@ -79,6 +111,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .get(i + 1)
                     .and_then(|v| v.parse().ok())
                     .ok_or("--clusters needs a number")?;
+                if o.clusters == 0 {
+                    return Err("--clusters must be at least 1".into());
+                }
                 i += 1;
             }
             "--method" => {
@@ -86,6 +121,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .get(i + 1)
                     .and_then(|v| parse_method(v))
                     .ok_or("--method must be gdp|profile-max|naive|unified")?;
+                i += 1;
+            }
+            "--gdp-fuel" => {
+                o.gdp_fuel = Some(
+                    args.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--gdp-fuel needs a number")?,
+                );
                 i += 1;
             }
             "--memory" => {
@@ -108,6 +151,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         i += 1;
     }
     Ok(o)
+}
+
+fn config_of(o: &Options, method: Method) -> PipelineConfig {
+    let mut cfg = PipelineConfig::new(method);
+    cfg.gdp.fuel = o.gdp_fuel;
+    cfg
 }
 
 fn machine_of(o: &Options) -> Machine {
@@ -137,14 +186,32 @@ fn load_target(name_or_path: &str) -> Result<(Program, Profile), String> {
     ))
 }
 
-fn report_run(program: &Program, profile: &Profile, o: &Options) {
+/// Announces any degradation-ladder activity on stderr so scripted
+/// consumers of stdout still see the warning.
+fn report_downgrades(run: &PipelineResult) {
+    for d in &run.downgrades {
+        eprintln!("warning: downgraded {d}");
+    }
+}
+
+fn report_run(program: &Program, profile: &Profile, o: &Options) -> Result<(), String> {
     let machine = machine_of(o);
-    let run = run_pipeline(program, profile, &machine, &PipelineConfig::new(o.method));
+    let run = run_pipeline(program, profile, &machine, &config_of(o, o.method))
+        .map_err(|e| e.to_string())?;
+    report_downgrades(&run);
     outln!("benchmark: {}", program.name);
     outln!("machine:   {} clusters, {}-cycle moves", o.clusters, o.latency);
-    outln!("method:    {}", o.method);
+    if run.was_downgraded() {
+        outln!("method:    {} (downgraded from {})", run.method, run.requested_method);
+    } else {
+        outln!("method:    {}", run.method);
+    }
     outln!("cycles:    {}", run.cycles());
-    outln!("moves:     {} dynamic intercluster ({} static)", run.dynamic_moves(), run.moves_inserted);
+    outln!(
+        "moves:     {} dynamic intercluster ({} static)",
+        run.dynamic_moves(),
+        run.moves_inserted
+    );
     if run.report.dynamic_remote_accesses > 0 {
         outln!("remote:    {} dynamic remote accesses", run.report.dynamic_remote_accesses);
     }
@@ -159,17 +226,25 @@ fn report_run(program: &Program, profile: &Profile, o: &Options) {
         .unwrap_or(0);
     outln!("pressure:  {pressure} live registers at the worst block boundary");
     outln!("partition: {:.1} ms", run.partition_time.as_secs_f64() * 1e3);
+    Ok(())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().map(String::as_str) else {
-        eprintln!("usage: mcpart <list|run|compare|dump|exec|partition|schedule> [args]");
-        return ExitCode::FAILURE;
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
     };
-    let result = match command {
+    let result: Result<(), CliError> = match command {
         "list" => {
-            outln!("{:<12} {:>6} {:>8} {:>9} {:>12}", "benchmark", "ops", "objects", "bytes", "suite");
+            outln!(
+                "{:<12} {:>6} {:>8} {:>9} {:>12}",
+                "benchmark",
+                "ops",
+                "objects",
+                "bytes",
+                "suite"
+            );
             for w in mcpart::workloads::all() {
                 outln!(
                     "{:<12} {:>6} {:>8} {:>9} {:>12}",
@@ -183,31 +258,42 @@ fn main() -> ExitCode {
             Ok(())
         }
         "run" | "exec" => (|| {
-            let target = args.get(1).ok_or("run needs a benchmark name or .mcir file")?;
-            let o = parse_options(&args[2..])?;
+            let target = args.get(1).ok_or_else(|| {
+                CliError::usage(format!("{command} needs a benchmark name or .mcir file"))
+            })?;
+            let o = parse_options(&args[2..]).map_err(CliError::Usage)?;
             let (program, profile) = load_target(target)?;
-            report_run(&program, &profile, &o);
+            report_run(&program, &profile, &o)?;
             Ok(())
         })(),
         "compare" => (|| {
-            let target = args.get(1).ok_or("compare needs a benchmark name or file")?;
-            let o = parse_options(&args[2..])?;
+            let target = args
+                .get(1)
+                .ok_or_else(|| CliError::usage("compare needs a benchmark name or file"))?;
+            let o = parse_options(&args[2..]).map_err(CliError::Usage)?;
             let (program, profile) = load_target(target)?;
             let machine = machine_of(&o);
             let mut unified = 0u64;
             let mut rows = Vec::new();
             for method in Method::ALL {
-                let run = run_pipeline(&program, &profile, &machine, &PipelineConfig::new(method));
+                let run = run_pipeline(&program, &profile, &machine, &config_of(&o, method))
+                    .map_err(|e| e.to_string())?;
+                report_downgrades(&run);
                 if method == Method::Unified {
                     unified = run.cycles();
                 }
-                rows.push((method, run.cycles(), run.dynamic_moves()));
+                let label = if run.was_downgraded() {
+                    format!("{}->{}", run.requested_method, run.method)
+                } else {
+                    method.to_string()
+                };
+                rows.push((label, run.cycles(), run.dynamic_moves()));
             }
             outln!("{:<14} {:>10} {:>10} {:>10}", "method", "cycles", "moves", "vs unified");
-            for (method, cycles, moves) in rows {
+            for (label, cycles, moves) in rows {
                 outln!(
                     "{:<14} {:>10} {:>10} {:>9.1}%",
-                    method.to_string(),
+                    label,
                     cycles,
                     moves,
                     unified as f64 / cycles as f64 * 100.0
@@ -216,7 +302,8 @@ fn main() -> ExitCode {
             Ok(())
         })(),
         "dump" => (|| {
-            let target = args.get(1).ok_or("dump needs a benchmark name")?;
+            let target =
+                args.get(1).ok_or_else(|| CliError::usage("dump needs a benchmark name"))?;
             let (program, _) = load_target(target)?;
             print!("{}", program_to_string(&program));
             Ok(())
@@ -224,11 +311,15 @@ fn main() -> ExitCode {
         "schedule" => (|| {
             // Show the timeline of the hottest block under the chosen
             // method.
-            let target = args.get(1).ok_or("schedule needs a benchmark name or file")?;
-            let o = parse_options(&args[2..])?;
+            let target = args
+                .get(1)
+                .ok_or_else(|| CliError::usage("schedule needs a benchmark name or file"))?;
+            let o = parse_options(&args[2..]).map_err(CliError::Usage)?;
             let (program, profile) = load_target(target)?;
             let machine = machine_of(&o);
-            let run = run_pipeline(&program, &profile, &machine, &PipelineConfig::new(o.method));
+            let run = run_pipeline(&program, &profile, &machine, &config_of(&o, o.method))
+                .map_err(|e| e.to_string())?;
+            report_downgrades(&run);
             let mut hottest = None;
             for (fid, f) in run.program.functions.iter() {
                 for bid in f.blocks.keys() {
@@ -239,10 +330,13 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            let (weight, fid, bid) = hottest.ok_or("program has no blocks")?;
+            let (weight, fid, bid) =
+                hottest.ok_or_else(|| CliError::Runtime("program has no blocks".into()))?;
             outln!(
                 "hottest block: {}/{bid} ({} weighted cycles) under {}",
-                run.program.functions[fid].name, weight, o.method
+                run.program.functions[fid].name,
+                weight,
+                run.method
             );
             outln!(
                 "{}",
@@ -257,8 +351,10 @@ fn main() -> ExitCode {
             Ok(())
         })(),
         "partition" => (|| {
-            let target = args.get(1).ok_or("partition needs a benchmark name or file")?;
-            let o = parse_options(&args[2..])?;
+            let target = args
+                .get(1)
+                .ok_or_else(|| CliError::usage("partition needs a benchmark name or file"))?;
+            let o = parse_options(&args[2..]).map_err(CliError::Usage)?;
             let (program, profile) = load_target(target)?;
             let machine = machine_of(&o);
             let program = profile.apply_heap_sizes(&program);
@@ -272,23 +368,32 @@ fn main() -> ExitCode {
                 &groups,
                 &machine,
                 &mcpart::core::GdpConfig::default(),
-            );
+            )
+            .map_err(|e| e.to_string())?;
             outln!("object homes for {} (cut {}):", program.name, dp.cut);
             for (obj, home) in dp.object_home.iter() {
                 if let Some(c) = home {
                     outln!("  {:<28} -> {}", program.objects[obj].name, c);
                 }
             }
-            outln!("bytes per cluster: {:?}", dp.bytes_per_cluster(&program, machine.num_clusters()));
+            outln!(
+                "bytes per cluster: {:?}",
+                dp.bytes_per_cluster(&program, machine.num_clusters())
+            );
             Ok(())
         })(),
-        other => Err(format!("unknown command `{other}`")),
+        other => Err(CliError::usage(format!("unknown command `{other}`"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(CliError::Runtime(e)) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
+        }
+        Err(CliError::Usage(e)) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
         }
     }
 }
@@ -313,6 +418,28 @@ mod tests {
     fn rejects_unknown_option() {
         let args = vec!["--bogus".to_string()];
         assert!(parse_options(&args).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_clusters() {
+        let args: Vec<String> = ["--clusters", "0"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_options(&args).is_err());
+    }
+
+    #[test]
+    fn rejects_non_numeric_latency() {
+        let args: Vec<String> = ["--latency", "fast"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_options(&args).is_err());
+    }
+
+    #[test]
+    fn gdp_fuel_option_feeds_the_config() {
+        let args: Vec<String> = ["--gdp-fuel", "0"].iter().map(|s| s.to_string()).collect();
+        let o = parse_options(&args).unwrap();
+        assert_eq!(o.gdp_fuel, Some(0));
+        assert_eq!(config_of(&o, Method::Gdp).gdp.fuel, Some(0));
+        let bad: Vec<String> = ["--gdp-fuel", "lots"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_options(&bad).is_err());
     }
 
     #[test]

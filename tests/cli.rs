@@ -3,15 +3,19 @@
 use std::process::Command;
 
 fn mcpart(args: &[&str]) -> (String, String, bool) {
-    let out = Command::new(env!("CARGO_BIN_EXE_mcpart"))
-        .args(args)
-        .output()
-        .expect("binary runs");
+    let out = Command::new(env!("CARGO_BIN_EXE_mcpart")).args(args).output().expect("binary runs");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
         out.status.success(),
     )
+}
+
+/// Like [`mcpart`] but returns the raw exit code, for tests that
+/// distinguish usage errors (2) from runtime failures (1).
+fn mcpart_code(args: &[&str]) -> (String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_mcpart")).args(args).output().expect("binary runs");
+    (String::from_utf8_lossy(&out.stderr).into_owned(), out.status.code())
 }
 
 #[test]
@@ -49,8 +53,7 @@ fn dump_exec_roundtrip_through_a_file() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("histogram.mcir");
     std::fs::write(&path, &text).unwrap();
-    let (stdout, stderr, ok) =
-        mcpart(&["exec", path.to_str().unwrap(), "--method", "naive"]);
+    let (stdout, stderr, ok) = mcpart(&["exec", path.to_str().unwrap(), "--method", "naive"]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("cycles:"), "{stdout}");
     std::fs::remove_file(&path).ok();
@@ -81,4 +84,66 @@ fn bad_input_fails_cleanly() {
     let (_, stderr, ok) = mcpart(&["frobnicate"]);
     assert!(!ok);
     assert!(stderr.contains("unknown command"), "{stderr}");
+}
+
+#[test]
+fn usage_errors_exit_2_with_usage_on_stderr() {
+    for args in [
+        &["run", "fir", "--method", "quantum"][..],
+        &["run", "fir", "--latency", "fast"],
+        &["run", "fir", "--clusters", "0"],
+        &["compare", "fir", "--gdp-fuel", "lots"],
+        &["frobnicate"],
+        &[],
+    ] {
+        let (stderr, code) = mcpart_code(args);
+        assert_eq!(code, Some(2), "args {args:?}\nstderr: {stderr}");
+        assert!(stderr.contains("usage:"), "args {args:?}\nstderr: {stderr}");
+    }
+}
+
+#[test]
+fn runtime_failures_exit_1_without_usage_spam() {
+    for args in [
+        &["run", "not-a-benchmark"][..],
+        &["exec", "/nonexistent/program.mcir"],
+        &["dump", "also-not-a-benchmark"],
+    ] {
+        let (stderr, code) = mcpart_code(args);
+        assert_eq!(code, Some(1), "args {args:?}\nstderr: {stderr}");
+        assert!(stderr.starts_with("error:"), "args {args:?}\nstderr: {stderr}");
+        assert!(!stderr.contains("usage:"), "args {args:?}\nstderr: {stderr}");
+    }
+}
+
+#[test]
+fn success_exits_0() {
+    let (stderr, code) = mcpart_code(&["list"]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+}
+
+#[test]
+fn exec_runtime_failure_reports_execution_error() {
+    // A structurally valid program that divides by zero: the CLI must
+    // report the execution failure with exit 1, not unwind.
+    let text = "\
+program crashy
+entry fn0
+func main() {
+bb0 (entry):
+  op0: v0 = iconst 1
+  op1: v1 = iconst 0
+  op2: v2 = div v0, v1
+  -> return v2
+}
+";
+    let dir = std::env::temp_dir().join("mcpart_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("crashy.mcir");
+    std::fs::write(&path, text).unwrap();
+    let (stderr, code) = mcpart_code(&["exec", path.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "stderr: {stderr}");
+    assert!(stderr.contains("execution failed"), "{stderr}");
+    assert!(stderr.contains("division by zero"), "{stderr}");
+    std::fs::remove_file(&path).ok();
 }

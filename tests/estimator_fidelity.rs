@@ -5,8 +5,8 @@ use mcpart::analysis::{AccessInfo, PointsTo};
 use mcpart::ir::ClusterId;
 use mcpart::machine::Machine;
 use mcpart::sched::{schedule_block, Placement, RegionEstimator, INFEASIBLE};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use mcpart_rng::rngs::SmallRng;
+use mcpart_rng::{Rng, SeedableRng};
 
 /// For every block of a workload, under a few random placements, the
 /// estimator's length must stay within a modest band of the real
@@ -29,8 +29,7 @@ fn estimator_tracks_scheduler_on_blocks() {
                 let est = RegionEstimator::new(&program, fid, &[bid], &access, &machine);
                 for _ in 0..3 {
                     let mut placement = Placement::all_on_cluster0(&program);
-                    let assign: Vec<u16> =
-                        (0..est.len()).map(|_| rng.gen_range(0..2u16)).collect();
+                    let assign: Vec<u16> = (0..est.len()).map(|_| rng.gen_range(0..2u16)).collect();
                     // A consistent placement: defs of the same register
                     // must share a cluster — enforce by clustering per
                     // node independently, then letting vreg_homes use
@@ -105,11 +104,7 @@ fn estimator_monotone_in_move_latency() {
     let access = AccessInfo::compute(&program, &pts, &w.profile);
     let fid = program.entry;
     let f = &program.functions[fid];
-    let (bid, _) = f
-        .blocks
-        .iter()
-        .max_by_key(|(_, b)| b.ops.len())
-        .expect("nonempty function");
+    let (bid, _) = f.blocks.iter().max_by_key(|(_, b)| b.ops.len()).expect("nonempty function");
     let fast = Machine::paper_2cluster(1);
     let slow = Machine::paper_2cluster(10);
     let est_fast = RegionEstimator::new(&program, fid, &[bid], &access, &fast);

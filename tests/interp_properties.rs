@@ -1,12 +1,11 @@
 //! Property-based tests of the functional interpreter: random
 //! straight-line programs over a scratch object, determinism, and
-//! profile consistency.
+//! profile consistency. Driven by a deterministic seeded PRNG so every
+//! run explores the same inputs.
 
-use mcpart::ir::{
-    Cmp, DataObject, FunctionBuilder, IntBinOp, MemWidth, Program, VReg,
-};
+use mcpart::ir::{Cmp, DataObject, FunctionBuilder, IntBinOp, MemWidth, Program, VReg};
+use mcpart::rng::prelude::*;
 use mcpart::sim::{run, ExecConfig};
-use proptest::prelude::*;
 
 /// A tiny op-plan language for random program generation.
 #[derive(Clone, Debug)]
@@ -19,18 +18,30 @@ enum PlanOp {
     Load(u8),
 }
 
-fn arb_plan() -> impl Strategy<Value = Vec<PlanOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (-1000i64..1000).prop_map(PlanOp::Const),
-            (0u8..9, 0usize..64, 0usize..64).prop_map(|(k, a, b)| PlanOp::Bin(k, a, b)),
-            (0u8..6, 0usize..64, 0usize..64).prop_map(|(k, a, b)| PlanOp::Cmp(k, a, b)),
-            (0usize..64, 0usize..64, 0usize..64).prop_map(|(c, a, b)| PlanOp::Select(c, a, b)),
-            (0usize..64, 0u8..14).prop_map(|(v, o)| PlanOp::Store(v, o)),
-            (0u8..14).prop_map(PlanOp::Load),
-        ],
-        1..60,
-    )
+fn gen_plan(rng: &mut SmallRng) -> Vec<PlanOp> {
+    let n = rng.gen_range(1..60usize);
+    (0..n)
+        .map(|_| match rng.gen_range(0..6u32) {
+            0 => PlanOp::Const(rng.gen_range(-1000i64..1000)),
+            1 => PlanOp::Bin(
+                rng.gen_range(0..9u32) as u8,
+                rng.gen_range(0..64usize),
+                rng.gen_range(0..64usize),
+            ),
+            2 => PlanOp::Cmp(
+                rng.gen_range(0..6u32) as u8,
+                rng.gen_range(0..64usize),
+                rng.gen_range(0..64usize),
+            ),
+            3 => PlanOp::Select(
+                rng.gen_range(0..64usize),
+                rng.gen_range(0..64usize),
+                rng.gen_range(0..64usize),
+            ),
+            4 => PlanOp::Store(rng.gen_range(0..64usize), rng.gen_range(0..14u32) as u8),
+            _ => PlanOp::Load(rng.gen_range(0..14u32) as u8),
+        })
+        .collect()
 }
 
 fn realize(plan: &[PlanOp]) -> Program {
@@ -87,34 +98,39 @@ fn realize(plan: &[PlanOp]) -> Program {
     p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn gen_clusters(rng: &mut SmallRng, max_len: usize) -> Vec<u16> {
+    let len = rng.gen_range(1..max_len);
+    (0..len).map(|_| rng.gen_range(0..2u32) as u16).collect()
+}
 
-    /// Random straight-line programs verify, execute without errors,
-    /// and are deterministic.
-    #[test]
-    fn random_programs_execute_deterministically(plan in arb_plan()) {
-        let p = realize(&plan);
+/// Random straight-line programs verify, execute without errors, and
+/// are deterministic.
+#[test]
+fn random_programs_execute_deterministically() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0x1337 ^ case);
+        let p = realize(&gen_plan(&mut rng));
         mcpart::ir::verify_program(&p).expect("generated programs verify");
         let a = run(&p, &[], ExecConfig::default()).expect("executes");
         let b = run(&p, &[], ExecConfig::default()).expect("executes");
-        prop_assert_eq!(a.return_value, b.return_value);
-        prop_assert_eq!(a.memory, b.memory);
-        prop_assert_eq!(a.steps, b.steps);
+        assert_eq!(a.return_value, b.return_value, "case {case}");
+        assert_eq!(a.memory, b.memory, "case {case}");
+        assert_eq!(a.steps, b.steps, "case {case}");
         // Entry block runs exactly once.
         let entry = p.entry_function().entry;
-        prop_assert_eq!(a.profile.block_freq(p.entry, entry), 1);
+        assert_eq!(a.profile.block_freq(p.entry, entry), 1, "case {case}");
     }
+}
 
-    /// Random placements over random programs preserve semantics after
-    /// move insertion (the cornerstone invariant of the whole system).
-    #[test]
-    fn random_program_random_placement_equivalence(
-        plan in arb_plan(),
-        clusters in prop::collection::vec(0u16..2, 1..200),
-        homes in prop::collection::vec(0u16..2, 1..4),
-    ) {
-        let p = realize(&plan);
+/// Random placements over random programs preserve semantics after move
+/// insertion (the cornerstone invariant of the whole system).
+#[test]
+fn random_program_random_placement_equivalence() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xE0 ^ case);
+        let p = realize(&gen_plan(&mut rng));
+        let clusters = gen_clusters(&mut rng, 200);
+        let homes = gen_clusters(&mut rng, 4);
         let machine = mcpart::machine::Machine::paper_2cluster(5);
         let profile = mcpart::ir::Profile::uniform(&p, 1);
         let mut placement = mcpart::sched::Placement::all_on_cluster0(&p);
@@ -133,23 +149,21 @@ proptest! {
             mcpart::sched::normalize_placement(&p, &placement, &access, &machine, &profile);
         let (moved, _, _) = mcpart::sched::insert_moves(&p, &normalized, &machine);
         mcpart::ir::verify_program(&moved).expect("moved program verifies");
-        prop_assert!(mcpart::sim::semantically_equivalent(
-            &p,
-            &moved,
-            &[],
-            ExecConfig::default()
-        )
-        .unwrap());
+        assert!(
+            mcpart::sim::semantically_equivalent(&p, &moved, &[], ExecConfig::default()).unwrap(),
+            "case {case}"
+        );
     }
+}
 
-    /// The scheduler produces legal schedules for random programs under
-    /// random placements: dependences respected, lengths positive.
-    #[test]
-    fn random_program_schedules_are_legal(
-        plan in arb_plan(),
-        clusters in prop::collection::vec(0u16..2, 1..200),
-    ) {
-        let p = realize(&plan);
+/// The scheduler produces legal schedules for random programs under
+/// random placements: dependences respected, lengths positive.
+#[test]
+fn random_program_schedules_are_legal() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0x5c4ed ^ case);
+        let p = realize(&gen_plan(&mut rng));
+        let clusters = gen_clusters(&mut rng, 200);
         let machine = mcpart::machine::Machine::paper_2cluster(5);
         let profile = mcpart::ir::Profile::uniform(&p, 1);
         let mut placement = mcpart::sched::Placement::all_on_cluster0(&p);
@@ -168,13 +182,18 @@ proptest! {
         let f = &moved.functions[fid];
         for (bid, block) in f.blocks.iter() {
             let s = mcpart::sched::schedule_block(
-                &moved, fid, bid, &moved_placement, &machine, &access_of(&moved, &profile),
+                &moved,
+                fid,
+                bid,
+                &moved_placement,
+                &machine,
+                &access_of(&moved, &profile),
             );
             if !block.ops.is_empty() {
-                prop_assert!(s.length >= 1);
+                assert!(s.length >= 1, "case {case}");
             }
             // Dependence legality: every flow edge respected.
-            prop_assert_eq!(s.ops.len(), block.ops.len());
+            assert_eq!(s.ops.len(), block.ops.len(), "case {case}");
         }
     }
 }

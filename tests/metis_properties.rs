@@ -1,15 +1,13 @@
-//! Property-based tests for the multilevel graph partitioner.
+//! Property-based tests for the multilevel graph partitioner, driven by
+//! a deterministic seeded PRNG so every run explores the same inputs.
 
 use mcpart::metis::{
-    coarsen_once, default_max_vwgt, partition, BalanceModel, Graph, GraphBuilder,
-    PartitionConfig,
+    coarsen_once, default_max_vwgt, partition, BalanceModel, Graph, GraphBuilder, PartitionConfig,
 };
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use mcpart::rng::prelude::*;
 
-/// Builds a random connected graph from a proptest plan: `n` vertices,
-/// extra edges over a spanning path.
+/// Builds a random connected graph: `n` vertices, cyclic weights, extra
+/// edges over a spanning path.
 fn build_graph(n: usize, weights: &[u64], extra_edges: &[(usize, usize, u64)]) -> Graph {
     let mut b = GraphBuilder::new(1);
     for i in 0..n {
@@ -24,90 +22,126 @@ fn build_graph(n: usize, weights: &[u64], extra_edges: &[(usize, usize, u64)]) -
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn gen_weights(rng: &mut SmallRng, lo: u64, hi: u64, max_len: usize) -> Vec<u64> {
+    let len = rng.gen_range(1..max_len);
+    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+}
 
-    /// Any partition result covers every vertex with a valid part index
-    /// and reports a consistent cut and part weights.
-    #[test]
-    fn partition_is_well_formed(
-        n in 2usize..120,
-        nparts in 2usize..5,
-        weights in prop::collection::vec(1u64..50, 1..8),
-        edges in prop::collection::vec((0usize..200, 0usize..200, 0u64..100), 0..200),
-        seed in 0u64..1_000_000,
-    ) {
+fn gen_edges(
+    rng: &mut SmallRng,
+    max_idx: usize,
+    max_w: u64,
+    max_len: usize,
+) -> Vec<(usize, usize, u64)> {
+    let len = rng.gen_range(0..max_len);
+    (0..len)
+        .map(|_| (rng.gen_range(0..max_idx), rng.gen_range(0..max_idx), rng.gen_range(0..max_w)))
+        .collect()
+}
+
+/// Any partition result covers every vertex with a valid part index and
+/// reports a consistent cut and part weights.
+#[test]
+fn partition_is_well_formed() {
+    for case in 0..24u64 {
+        let mut rng = SmallRng::seed_from_u64(0xA11 ^ case);
+        let n = rng.gen_range(2..120usize);
+        let nparts = rng.gen_range(2..5usize);
+        let weights = gen_weights(&mut rng, 1, 50, 8);
+        let edges = gen_edges(&mut rng, 200, 100, 200);
+        let seed = rng.gen_range(0..1_000_000u64);
         let g = build_graph(n, &weights, &edges);
         let cfg = PartitionConfig::new(nparts).with_seed(seed);
-        let result = partition(&g, &cfg);
-        prop_assert_eq!(result.assignment.len(), n);
-        prop_assert!(result.assignment.iter().all(|&p| (p as usize) < nparts));
-        prop_assert_eq!(result.cut, g.edge_cut(&result.assignment));
-        prop_assert_eq!(&result.part_weights, &g.part_weights(&result.assignment, nparts));
+        let result = partition(&g, &cfg).expect("partition");
+        assert_eq!(result.assignment.len(), n, "case {case}");
+        assert!(result.assignment.iter().all(|&p| (p as usize) < nparts), "case {case}");
+        assert_eq!(result.cut, g.edge_cut(&result.assignment), "case {case}");
+        assert_eq!(&result.part_weights, &g.part_weights(&result.assignment, nparts));
         // Total weight is conserved.
         let total: u64 = result.part_weights.iter().map(|p| p[0]).sum();
-        prop_assert_eq!(total, g.total_weights()[0]);
+        assert_eq!(total, g.total_weights()[0], "case {case}");
     }
+}
 
-    /// Coarsening conserves total vertex weight and maps every fine
-    /// vertex to a valid coarse vertex.
-    #[test]
-    fn coarsening_conserves_weight(
-        n in 4usize..150,
-        weights in prop::collection::vec(1u64..20, 1..6),
-        edges in prop::collection::vec((0usize..200, 0usize..200, 0u64..20), 0..250),
-        seed in 0u64..1_000_000,
-    ) {
+/// Coarsening conserves total vertex weight and maps every fine vertex
+/// to a valid coarse vertex.
+#[test]
+fn coarsening_conserves_weight() {
+    for case in 0..24u64 {
+        let mut rng = SmallRng::seed_from_u64(0xC0A ^ case);
+        let n = rng.gen_range(4..150usize);
+        let weights = gen_weights(&mut rng, 1, 20, 6);
+        let edges = gen_edges(&mut rng, 200, 20, 250);
+        let seed = rng.gen_range(0..1_000_000u64);
         let g = build_graph(n, &weights, &edges);
-        let mut rng = SmallRng::seed_from_u64(seed);
-        if let Some(level) = coarsen_once(&g, &default_max_vwgt(&g, 4), &mut rng) {
-            prop_assert_eq!(level.graph.total_weights(), g.total_weights());
-            prop_assert_eq!(level.map.len(), n);
+        let mut grng = SmallRng::seed_from_u64(seed);
+        if let Some(level) = coarsen_once(&g, &default_max_vwgt(&g, 4), &mut grng) {
+            assert_eq!(level.graph.total_weights(), g.total_weights(), "case {case}");
+            assert_eq!(level.map.len(), n, "case {case}");
             let coarse_n = level.graph.num_vertices();
-            prop_assert!(level.map.iter().all(|&c| (c as usize) < coarse_n));
-            prop_assert!(coarse_n < n);
+            assert!(level.map.iter().all(|&c| (c as usize) < coarse_n), "case {case}");
+            assert!(coarse_n < n, "case {case}");
             // Cut of any projected partition is identical on both levels.
-            let coarse_assign: Vec<u32> =
-                (0..coarse_n).map(|i| (i % 2) as u32).collect();
+            let coarse_assign: Vec<u32> = (0..coarse_n).map(|i| (i % 2) as u32).collect();
             let fine_assign: Vec<u32> =
                 level.map.iter().map(|&c| coarse_assign[c as usize]).collect();
-            prop_assert_eq!(
+            assert_eq!(
                 level.graph.edge_cut(&coarse_assign),
-                g.edge_cut(&fine_assign)
+                g.edge_cut(&fine_assign),
+                "case {case}"
             );
         }
     }
+}
 
-    /// With generous imbalance, bisections of uniform graphs are
-    /// balanced.
-    #[test]
-    fn uniform_bisection_is_balanced(
-        n in 8usize..100,
-        edges in prop::collection::vec((0usize..200, 0usize..200, 0u64..10), 0..120),
-        seed in 0u64..1_000_000,
-    ) {
+/// With generous imbalance, bisections of uniform graphs are balanced.
+#[test]
+fn uniform_bisection_is_balanced() {
+    for case in 0..24u64 {
+        let mut rng = SmallRng::seed_from_u64(0xB15 ^ case);
+        let n = rng.gen_range(8..100usize);
+        let edges = gen_edges(&mut rng, 200, 10, 120);
+        let seed = rng.gen_range(0..1_000_000u64);
         let g = build_graph(n, &[1], &edges);
         let cfg = PartitionConfig::new(2).with_seed(seed).with_imbalance(0.2);
-        let result = partition(&g, &cfg);
+        let result = partition(&g, &cfg).expect("partition");
         let balance = BalanceModel::uniform(&g, 2, 0.2);
-        prop_assert!(
+        assert!(
             balance.is_balanced(&result.part_weights),
-            "weights {:?}", result.part_weights
+            "case {case}: weights {:?}",
+            result.part_weights
         );
     }
+}
 
-    /// Determinism: equal seeds give equal results.
-    #[test]
-    fn partition_deterministic(
-        n in 2usize..80,
-        edges in prop::collection::vec((0usize..100, 0usize..100, 0u64..10), 0..100),
-        seed in 0u64..1_000_000,
-    ) {
+/// Determinism: equal seeds give equal results.
+#[test]
+fn partition_deterministic() {
+    for case in 0..24u64 {
+        let mut rng = SmallRng::seed_from_u64(0xDE7 ^ case);
+        let n = rng.gen_range(2..80usize);
+        let edges = gen_edges(&mut rng, 100, 10, 100);
+        let seed = rng.gen_range(0..1_000_000u64);
         let g = build_graph(n, &[1, 3], &edges);
         let cfg = PartitionConfig::new(2).with_seed(seed);
-        let a = partition(&g, &cfg);
-        let b = partition(&g, &cfg);
-        prop_assert_eq!(a.assignment, b.assignment);
+        let a = partition(&g, &cfg).expect("partition");
+        let b = partition(&g, &cfg).expect("partition");
+        assert_eq!(a.assignment, b.assignment, "case {case}");
+    }
+}
+
+/// An exhausted refinement budget is a typed error, not a panic or a
+/// hang, for any graph with at least two vertices.
+#[test]
+fn starved_fuel_is_a_typed_error() {
+    for case in 0..8u64 {
+        let mut rng = SmallRng::seed_from_u64(0xF0E1 ^ case);
+        let n = rng.gen_range(2..60usize);
+        let edges = gen_edges(&mut rng, 100, 10, 60);
+        let g = build_graph(n, &[1], &edges);
+        let cfg = PartitionConfig::new(2).with_fuel(Some(0));
+        let e = partition(&g, &cfg).expect_err("zero fuel must fail");
+        assert!(matches!(e, mcpart::metis::MetisError::BudgetExceeded { .. }), "case {case}: {e}");
     }
 }
 
@@ -128,6 +162,6 @@ fn communities_are_separated() {
     }
     b.add_edge(0, k as u32, 1);
     let g = b.build();
-    let result = partition(&g, &PartitionConfig::new(2));
+    let result = partition(&g, &PartitionConfig::new(2)).expect("partition");
     assert_eq!(result.cut, 1, "only the bridge should be cut");
 }

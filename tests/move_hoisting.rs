@@ -1,9 +1,7 @@
 //! Profile-guided move hoisting: semantics preservation and dynamic
 //! transfer reduction.
 
-use mcpart::ir::{
-    Cmp, ClusterId, DataObject, FunctionBuilder, MemWidth, Profile, Program,
-};
+use mcpart::ir::{ClusterId, Cmp, DataObject, FunctionBuilder, MemWidth, Profile, Program};
 use mcpart::machine::Machine;
 use mcpart::sched::{
     insert_moves, insert_moves_with, normalize_placement, MoveStrategy, Placement,
@@ -62,13 +60,8 @@ fn hoisted_moves_preserve_semantics_in_loops() {
     let m = machine();
     let norm = normalize_placement(&p, &pl, &access_of(&p), &m, &profile);
     let (plain, _, plain_stats) = insert_moves(&p, &norm, &m);
-    let (hoisted, hoisted_pl, hoist_stats) = insert_moves_with(
-        &p,
-        &norm,
-        &m,
-        Some(&profile),
-        MoveStrategy::ProfileHoisted,
-    );
+    let (hoisted, hoisted_pl, hoist_stats) =
+        insert_moves_with(&p, &norm, &m, Some(&profile), MoveStrategy::ProfileHoisted);
     mcpart::ir::verify_program(&hoisted).unwrap();
     assert!(hoist_stats.moves_hoisted > 0, "{hoist_stats:?}");
     // Semantics unchanged under both strategies.
@@ -87,10 +80,6 @@ fn hoisted_moves_preserve_semantics_in_loops() {
     };
     let plain_dyn = mcpart::sim::dynamic_move_count(&plain, &plain_pl, &profile);
     let hoist_dyn = mcpart::sim::dynamic_move_count(&hoisted, &hoisted_pl, &profile);
-    assert!(
-        hoist_dyn < plain_dyn,
-        "hoisted {hoist_dyn} should beat per-block {plain_dyn}"
-    );
+    assert!(hoist_dyn < plain_dyn, "hoisted {hoist_dyn} should beat per-block {plain_dyn}");
     let _ = plain_stats;
 }
-

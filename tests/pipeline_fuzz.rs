@@ -1,15 +1,18 @@
 //! Full-stack differential fuzzing: random programs with loops,
 //! branches and memory traffic run through the complete pipeline for
 //! every method, validating semantics and report invariants.
+//!
+//! Programs are generated from a deterministic seeded PRNG
+//! (`mcpart::rng`), so every run explores the same inputs and a failure
+//! reproduces from its seed alone.
 
 use mcpart::core::{run_pipeline, Method, PipelineConfig};
-use mcpart::ir::{
-    Cmp, DataObject, FunctionBuilder, IntBinOp, MemWidth, Program, VReg,
-};
+use mcpart::ir::{Cmp, DataObject, FunctionBuilder, IntBinOp, MemWidth, Program, VReg};
 use mcpart::machine::Machine;
+use mcpart::rng::prelude::*;
 use mcpart::sim::{profile_run, ExecConfig};
 use mcpart::workloads::counted_loop;
-use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// One straight-line operation of a segment.
 #[derive(Clone, Debug)]
@@ -30,31 +33,47 @@ enum Segment {
     Diamond(usize, Vec<SegOp>, Vec<SegOp>),
 }
 
-fn arb_segops(max: usize) -> impl Strategy<Value = Vec<SegOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (-100i64..100).prop_map(SegOp::Const),
-            (0u8..9, 0usize..64, 0usize..64).prop_map(|(k, a, b)| SegOp::Bin(k, a, b)),
-            (0u8..6, 0usize..64, 0usize..64).prop_map(|(k, a, b)| SegOp::Cmp(k, a, b)),
-            (0usize..64, 0usize..64, 0usize..64)
-                .prop_map(|(c, a, b)| SegOp::Select(c, a, b)),
-            (0u8..4, 0usize..16).prop_map(|(o, i)| SegOp::Load(o, i)),
-            (0u8..4, 0usize..16, 0usize..64).prop_map(|(o, i, v)| SegOp::Store(o, i, v)),
-        ],
-        1..max,
-    )
+fn gen_segops(rng: &mut SmallRng, max: usize) -> Vec<SegOp> {
+    let n = rng.gen_range(1..max.max(2));
+    (0..n)
+        .map(|_| match rng.gen_range(0..6u32) {
+            0 => SegOp::Const(rng.gen_range(-100i64..100)),
+            1 => SegOp::Bin(
+                rng.gen_range(0..9u32) as u8,
+                rng.gen_range(0..64usize),
+                rng.gen_range(0..64usize),
+            ),
+            2 => SegOp::Cmp(
+                rng.gen_range(0..6u32) as u8,
+                rng.gen_range(0..64usize),
+                rng.gen_range(0..64usize),
+            ),
+            3 => SegOp::Select(
+                rng.gen_range(0..64usize),
+                rng.gen_range(0..64usize),
+                rng.gen_range(0..64usize),
+            ),
+            4 => SegOp::Load(rng.gen_range(0..4u32) as u8, rng.gen_range(0..16usize)),
+            _ => SegOp::Store(
+                rng.gen_range(0..4u32) as u8,
+                rng.gen_range(0..16usize),
+                rng.gen_range(0..64usize),
+            ),
+        })
+        .collect()
 }
 
-fn arb_program() -> impl Strategy<Value = Vec<Segment>> {
-    prop::collection::vec(
-        prop_oneof![
-            arb_segops(12).prop_map(Segment::Straight),
-            (1u8..6, arb_segops(10)).prop_map(|(t, ops)| Segment::Loop(t, ops)),
-            (0usize..64, arb_segops(8), arb_segops(8))
-                .prop_map(|(c, a, b)| Segment::Diamond(c, a, b)),
-        ],
-        1..5,
-    )
+fn gen_program(rng: &mut SmallRng) -> Vec<Segment> {
+    let n = rng.gen_range(1..5usize);
+    (0..n)
+        .map(|_| match rng.gen_range(0..3u32) {
+            0 => Segment::Straight(gen_segops(rng, 12)),
+            1 => Segment::Loop(rng.gen_range(1..6u32) as u8, gen_segops(rng, 10)),
+            _ => {
+                Segment::Diamond(rng.gen_range(0..64usize), gen_segops(rng, 8), gen_segops(rng, 8))
+            }
+        })
+        .collect()
 }
 
 fn emit_segops(
@@ -114,9 +133,8 @@ fn emit_segops(
 
 fn realize(segments: &[Segment]) -> Program {
     let mut p = Program::new("fuzz");
-    let objects: Vec<_> = (0..4)
-        .map(|i| p.add_object(DataObject::global(format!("g{i}"), 64)))
-        .collect();
+    let objects: Vec<_> =
+        (0..4).map(|i| p.add_object(DataObject::global(format!("g{i}"), 64))).collect();
     let mut b = FunctionBuilder::entry(&mut p);
     let seed = b.iconst(1);
     let mut values = vec![seed];
@@ -158,24 +176,26 @@ fn realize(segments: &[Segment]) -> Program {
     p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Every method's full pipeline preserves semantics and produces
-    /// coherent reports on random CFG programs.
-    #[test]
-    fn pipeline_is_sound_on_random_programs(segments in arb_program(), latency in 1u32..11) {
-        let program = realize(&segments);
+/// Every method's full pipeline preserves semantics and produces
+/// coherent reports on random CFG programs.
+#[test]
+fn pipeline_is_sound_on_random_programs() {
+    for seed in 0..12u64 {
+        let mut rng = SmallRng::seed_from_u64(0x9e3779b9 ^ seed);
+        let program = realize(&gen_program(&mut rng));
         mcpart::ir::verify_program(&program).expect("generated program verifies");
-        let profile = profile_run(&program, &[], ExecConfig::default())
-            .expect("generated program executes");
+        let profile =
+            profile_run(&program, &[], ExecConfig::default()).expect("generated program executes");
+        let latency = rng.gen_range(1..11u32);
         let machine = Machine::paper_2cluster(latency);
         let mut unified_cycles = None;
         for method in Method::ALL {
             let mut cfg = PipelineConfig::new(method);
             cfg.validate = true; // semantic equivalence, checked inside
-            let run = run_pipeline(&program, &profile, &machine, &cfg);
-            prop_assert!(run.cycles() > 0);
+            let run = run_pipeline(&program, &profile, &machine, &cfg)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(run.cycles() > 0, "seed {seed}");
+            assert!(!run.was_downgraded(), "seed {seed}: {method} downgraded");
             mcpart::ir::verify_program(&run.program).expect("transformed program verifies");
             if method == Method::Unified {
                 unified_cycles = Some(run.cycles());
@@ -184,38 +204,93 @@ proptest! {
         // Sanity: nothing is an order of magnitude from unified on these
         // tiny programs.
         let unified = unified_cycles.expect("unified ran") as f64;
-        let gdp = run_pipeline(&program, &profile, &machine, &PipelineConfig::new(Method::Gdp));
-        prop_assert!((gdp.cycles() as f64) < unified * 10.0 + 1000.0);
+        let gdp = run_pipeline(&program, &profile, &machine, &PipelineConfig::new(Method::Gdp))
+            .expect("pipeline");
+        assert!((gdp.cycles() as f64) < unified * 10.0 + 1000.0, "seed {seed}");
     }
+}
 
-    /// The optimizer composes with the pipeline on random programs.
-    #[test]
-    fn optimizer_composes_with_pipeline(segments in arb_program()) {
-        let program = realize(&segments);
+/// The optimizer composes with the pipeline on random programs.
+#[test]
+fn optimizer_composes_with_pipeline() {
+    for seed in 0..12u64 {
+        let mut rng = SmallRng::seed_from_u64(0xc0ffee ^ seed);
+        let program = realize(&gen_program(&mut rng));
         let profile = profile_run(&program, &[], ExecConfig::default()).expect("executes");
         let machine = Machine::paper_2cluster(5);
         let mut cfg = PipelineConfig::new(Method::Gdp);
         cfg.pre_optimize = true;
         cfg.validate = true; // optimize + partition + moves must preserve semantics
-        let run = run_pipeline(&program, &profile, &machine, &cfg);
-        prop_assert!(run.cycles() > 0);
+        let run = run_pipeline(&program, &profile, &machine, &cfg)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert!(run.cycles() > 0, "seed {seed}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Textual round-trip holds for arbitrary CFG programs, and the
-    /// reparsed program behaves identically.
-    #[test]
-    fn random_programs_roundtrip_through_text(segments in arb_program()) {
-        let program = realize(&segments);
+/// Textual round-trip holds for arbitrary CFG programs, and the
+/// reparsed program behaves identically.
+#[test]
+fn random_programs_roundtrip_through_text() {
+    for seed in 0..16u64 {
+        let mut rng = SmallRng::seed_from_u64(0x5eed ^ seed);
+        let program = realize(&gen_program(&mut rng));
         let text = mcpart::ir::program_to_string(&program);
         let parsed = mcpart::ir::parse_program(&text).expect("round-trip parse");
-        prop_assert_eq!(&text, &mcpart::ir::program_to_string(&parsed));
+        assert_eq!(&text, &mcpart::ir::program_to_string(&parsed), "seed {seed}");
         let a = mcpart::sim::run(&program, &[], ExecConfig::default()).expect("original runs");
         let b = mcpart::sim::run(&parsed, &[], ExecConfig::default()).expect("reparsed runs");
-        prop_assert_eq!(a.return_value, b.return_value);
-        prop_assert_eq!(a.memory, b.memory);
+        assert_eq!(a.return_value, b.return_value, "seed {seed}");
+        assert_eq!(a.memory, b.memory, "seed {seed}");
     }
+}
+
+/// Whatever the pipeline thinks of a random program — success, typed
+/// error, anything — it must never panic. The Result boundary is the
+/// contract; a panic is a bug even on inputs the pipeline rejects.
+#[test]
+fn pipeline_never_panics_on_random_programs() {
+    for seed in 0..24u64 {
+        let mut rng = SmallRng::seed_from_u64(0xdead ^ seed);
+        let program = realize(&gen_program(&mut rng));
+        let profile = profile_run(&program, &[], ExecConfig::default()).expect("executes");
+        // Hostile configurations: starved budgets, zero timeouts.
+        let configs: Vec<PipelineConfig> = Method::ALL
+            .iter()
+            .flat_map(|&m| {
+                let mut starved = PipelineConfig::new(m);
+                starved.gdp.fuel = Some(rng.gen_range(0..3u64));
+                starved.rhop.max_estimator_calls = Some(rng.gen_range(0..5u64));
+                let mut timed = PipelineConfig::new(m);
+                timed.stage_budget = Some(std::time::Duration::ZERO);
+                vec![PipelineConfig::new(m), starved, timed]
+            })
+            .collect();
+        for cfg in configs {
+            let machine = Machine::paper_2cluster(5);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let _ = run_pipeline(&program, &profile, &machine, &cfg);
+            }));
+            assert!(outcome.is_ok(), "seed {seed}: pipeline panicked under method {}", cfg.method);
+        }
+    }
+}
+
+/// Regression: a starved GDP run walks the fallback ladder instead of
+/// failing outright, and the result records the downgrade chain.
+#[test]
+fn starved_gdp_falls_back_through_the_ladder() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let program = realize(&gen_program(&mut rng));
+    let profile = profile_run(&program, &[], ExecConfig::default()).expect("executes");
+    let machine = Machine::paper_2cluster(5);
+    let mut cfg = PipelineConfig::new(Method::Gdp);
+    cfg.gdp.fuel = Some(0); // GDP's graph partitioner cannot take a single step
+    cfg.validate = true;
+    let run = run_pipeline(&program, &profile, &machine, &cfg).expect("ladder recovers");
+    assert_eq!(run.requested_method, Method::Gdp);
+    assert_eq!(run.method, Method::ProfileMax);
+    assert_eq!(run.downgrades.len(), 1);
+    assert_eq!(run.downgrades[0].from, Method::Gdp);
+    assert_eq!(run.downgrades[0].to, Method::ProfileMax);
+    assert!(run.cycles() > 0);
 }

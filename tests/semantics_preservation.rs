@@ -5,11 +5,10 @@
 use mcpart::analysis::{AccessInfo, PointsTo};
 use mcpart::ir::{ClusterId, EntityId, Profile};
 use mcpart::machine::Machine;
+use mcpart::rng::rngs::SmallRng;
+use mcpart::rng::{Rng, SeedableRng};
 use mcpart::sched::{insert_moves, normalize_placement, Placement};
 use mcpart::sim::{semantically_equivalent, ExecConfig};
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Applies a pseudo-random placement (seeded) to a workload and checks
 /// equivalence of the transformed program.
@@ -39,22 +38,24 @@ fn random_placement_preserves(benchmark: &str, seed: u64, nclusters: usize) {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
-
-    #[test]
-    fn random_placements_preserve_rawcaudio(seed in 0u64..1000) {
-        random_placement_preserves("rawcaudio", seed, 2);
+#[test]
+fn random_placements_preserve_rawcaudio() {
+    for seed in 0..6u64 {
+        random_placement_preserves("rawcaudio", seed * 131 + 17, 2);
     }
+}
 
-    #[test]
-    fn random_placements_preserve_fir(seed in 0u64..1000) {
-        random_placement_preserves("fir", seed, 2);
+#[test]
+fn random_placements_preserve_fir() {
+    for seed in 0..6u64 {
+        random_placement_preserves("fir", seed * 131 + 29, 2);
     }
+}
 
-    #[test]
-    fn random_placements_preserve_fsed_four_clusters(seed in 0u64..1000) {
-        random_placement_preserves("fsed", seed, 4);
+#[test]
+fn random_placements_preserve_fsed_four_clusters() {
+    for seed in 0..6u64 {
+        random_placement_preserves("fsed", seed * 131 + 43, 4);
     }
 }
 

@@ -8,8 +8,8 @@ use mcpart::sim::{run, ExecConfig};
 fn all_workloads_roundtrip_through_text() {
     for w in mcpart::workloads::all() {
         let text = program_to_string(&w.program);
-        let parsed = parse_program(&text)
-            .unwrap_or_else(|e| panic!("{}: parse failed: {e}", w.name));
+        let parsed =
+            parse_program(&text).unwrap_or_else(|e| panic!("{}: parse failed: {e}", w.name));
         verify_program(&parsed).unwrap_or_else(|e| panic!("{}: reparse invalid: {e}", w.name));
         let text2 = program_to_string(&parsed);
         assert_eq!(text, text2, "{}: textual form not stable", w.name);
@@ -30,7 +30,8 @@ fn moved_programs_roundtrip_through_text() {
     use mcpart::machine::Machine;
     let w = mcpart::workloads::by_name("rawcaudio").unwrap();
     let machine = Machine::paper_2cluster(5);
-    let result = run_pipeline(&w.program, &w.profile, &machine, &PipelineConfig::new(Method::Gdp));
+    let result = run_pipeline(&w.program, &w.profile, &machine, &PipelineConfig::new(Method::Gdp))
+        .expect("pipeline");
     let text = program_to_string(&result.program);
     let parsed = parse_program(&text).unwrap();
     assert_eq!(text, program_to_string(&parsed));
