@@ -1,6 +1,12 @@
 //! The experiment implementations behind every table and figure of the
 //! paper. Each function returns structured results; the `bin/` targets
 //! render them and EXPERIMENTS.md records them.
+//!
+//! Every experiment fans its independent pipeline runs out over the
+//! process-default worker pool ([`mcpart_par::default_jobs`], set by
+//! the harness `--jobs` flag). Each run is a pure function of its
+//! (workload, method, machine) inputs and the results are reduced in
+//! input order, so the numbers are identical at every worker count.
 
 use mcpart_analysis::{AccessInfo, PointsTo};
 use mcpart_core::{
@@ -24,6 +30,16 @@ pub struct MethodResult {
     pub partition_time: Duration,
     /// Detailed-partitioner runs.
     pub detailed_runs: usize,
+}
+
+/// Maps `f` over the workloads on the process-default worker pool,
+/// preserving workload order.
+fn par_workloads<R, F>(workloads: &[Workload], f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&Workload) -> R + Sync,
+{
+    mcpart_par::parallel_map(mcpart_par::default_jobs(), workloads, |_, w| f(w))
 }
 
 fn run_method(w: &Workload, machine: &Machine, method: Method) -> MethodResult {
@@ -50,21 +66,18 @@ pub struct Fig2Row {
 
 /// Runs the Figure 2 experiment.
 pub fn fig2(workloads: &[Workload], latencies: &[u32]) -> Vec<Fig2Row> {
-    workloads
-        .iter()
-        .map(|w| {
-            let increase_pct = latencies
-                .iter()
-                .map(|&lat| {
-                    let machine = Machine::paper_2cluster(lat);
-                    let naive = run_method(w, &machine, Method::Naive);
-                    let unified = run_method(w, &machine, Method::Unified);
-                    (naive.cycles as f64 / unified.cycles.max(1) as f64 - 1.0) * 100.0
-                })
-                .collect();
-            Fig2Row { benchmark: w.name.to_string(), increase_pct }
-        })
-        .collect()
+    par_workloads(workloads, |w| {
+        let increase_pct = latencies
+            .iter()
+            .map(|&lat| {
+                let machine = Machine::paper_2cluster(lat);
+                let naive = run_method(w, &machine, Method::Naive);
+                let unified = run_method(w, &machine, Method::Unified);
+                (naive.cycles as f64 / unified.cycles.max(1) as f64 - 1.0) * 100.0
+            })
+            .collect();
+        Fig2Row { benchmark: w.name.to_string(), increase_pct }
+    })
 }
 
 /// Figures 7 / 8a / 8b: performance of GDP and Profile Max relative to
@@ -96,13 +109,22 @@ pub struct Fig78 {
 /// Runs the Figure 7/8 experiment at one latency.
 pub fn fig7_8(workloads: &[Workload], latency: u32) -> Fig78 {
     let machine = Machine::paper_2cluster(latency);
+    // Fan out at (workload × method) granularity: methods vary widely
+    // in cost (GDP runs RHOP three times, Naïve once), so pair-level
+    // stealing balances the pool better than whole-workload items.
+    const METHODS: [Method; 4] = [Method::Unified, Method::Gdp, Method::ProfileMax, Method::Naive];
+    let pairs: Vec<(usize, Method)> =
+        (0..workloads.len()).flat_map(|i| METHODS.iter().map(move |&m| (i, m))).collect();
+    let runs = mcpart_par::parallel_map(mcpart_par::default_jobs(), &pairs, |_, &(i, m)| {
+        run_method(&workloads[i], &machine, m)
+    });
     let rows: Vec<Fig78Row> = workloads
         .iter()
-        .map(|w| {
-            let unified = run_method(w, &machine, Method::Unified);
-            let gdp = run_method(w, &machine, Method::Gdp);
-            let pm = run_method(w, &machine, Method::ProfileMax);
-            let naive = run_method(w, &machine, Method::Naive);
+        .enumerate()
+        .map(|(i, w)| {
+            let base = i * METHODS.len();
+            let (unified, gdp, pm, naive) =
+                (&runs[base], &runs[base + 1], &runs[base + 2], &runs[base + 3]);
             Fig78Row {
                 benchmark: w.name.to_string(),
                 gdp_rel: unified.cycles as f64 / gdp.cycles.max(1) as f64,
@@ -202,20 +224,17 @@ pub struct Fig10Row {
 /// Runs the Figure 10 experiment.
 pub fn fig10(workloads: &[Workload]) -> Vec<Fig10Row> {
     let machine = Machine::paper_2cluster(5);
-    workloads
-        .iter()
-        .map(|w| {
-            let unified = run_method(w, &machine, Method::Unified);
-            let gdp = run_method(w, &machine, Method::Gdp);
-            let pm = run_method(w, &machine, Method::ProfileMax);
-            let base = unified.dynamic_moves.max(1) as f64;
-            Fig10Row {
-                benchmark: w.name.to_string(),
-                gdp_pct: (gdp.dynamic_moves as f64 / base - 1.0) * 100.0,
-                profile_max_pct: (pm.dynamic_moves as f64 / base - 1.0) * 100.0,
-            }
-        })
-        .collect()
+    par_workloads(workloads, |w| {
+        let unified = run_method(w, &machine, Method::Unified);
+        let gdp = run_method(w, &machine, Method::Gdp);
+        let pm = run_method(w, &machine, Method::ProfileMax);
+        let base = unified.dynamic_moves.max(1) as f64;
+        Fig10Row {
+            benchmark: w.name.to_string(),
+            gdp_pct: (gdp.dynamic_moves as f64 / base - 1.0) * 100.0,
+            profile_max_pct: (pm.dynamic_moves as f64 / base - 1.0) * 100.0,
+        }
+    })
 }
 
 /// §4.5: compile-time comparison. Returns per-benchmark partitioning
@@ -235,13 +254,24 @@ pub struct CompileTimeRow {
 /// Runs the compile-time experiment.
 pub fn compile_time(workloads: &[Workload]) -> Vec<CompileTimeRow> {
     let machine = Machine::paper_2cluster(5);
+    // (workload × method) fan-out, as in `fig7_8`.
+    const METHODS: [Method; 3] = [Method::Gdp, Method::ProfileMax, Method::Naive];
+    let pairs: Vec<(usize, Method)> =
+        (0..workloads.len()).flat_map(|i| METHODS.iter().map(move |&m| (i, m))).collect();
+    let runs = mcpart_par::parallel_map(mcpart_par::default_jobs(), &pairs, |_, &(i, m)| {
+        run_method(&workloads[i], &machine, m).partition_time
+    });
     workloads
         .iter()
-        .map(|w| CompileTimeRow {
-            benchmark: w.name.to_string(),
-            gdp: run_method(w, &machine, Method::Gdp).partition_time,
-            profile_max: run_method(w, &machine, Method::ProfileMax).partition_time,
-            naive: run_method(w, &machine, Method::Naive).partition_time,
+        .enumerate()
+        .map(|(i, w)| {
+            let base = i * METHODS.len();
+            CompileTimeRow {
+                benchmark: w.name.to_string(),
+                gdp: runs[base],
+                profile_max: runs[base + 1],
+                naive: runs[base + 2],
+            }
         })
         .collect()
 }
@@ -264,31 +294,27 @@ pub struct MergeAblationRow {
 /// Runs the merge ablation at 5-cycle latency.
 pub fn ablation_merge(workloads: &[Workload]) -> Vec<MergeAblationRow> {
     let machine = Machine::paper_2cluster(5);
-    workloads
-        .iter()
-        .map(|w| {
-            let unified = run_method(w, &machine, Method::Unified).cycles as f64;
-            let mut base_cfg = PipelineConfig::new(Method::Gdp);
-            let base = run_pipeline(&w.program, &w.profile, &machine, &base_cfg)
-                .expect("pipeline")
-                .cycles() as f64;
-            base_cfg.gdp.merge_dependent_ops = true;
-            let merged = run_pipeline(&w.program, &w.profile, &machine, &base_cfg)
-                .expect("pipeline")
-                .cycles() as f64;
-            let mut ob_cfg = PipelineConfig::new(Method::Gdp);
-            ob_cfg.gdp.balance_ops = true;
-            let ob = run_pipeline(&w.program, &w.profile, &machine, &ob_cfg)
-                .expect("pipeline")
-                .cycles() as f64;
-            MergeAblationRow {
-                benchmark: w.name.to_string(),
-                default_rel: unified / base,
-                merged_rel: unified / merged,
-                op_balance_rel: unified / ob,
-            }
-        })
-        .collect()
+    par_workloads(workloads, |w| {
+        let unified = run_method(w, &machine, Method::Unified).cycles as f64;
+        let mut base_cfg = PipelineConfig::new(Method::Gdp);
+        let base = run_pipeline(&w.program, &w.profile, &machine, &base_cfg)
+            .expect("pipeline")
+            .cycles() as f64;
+        base_cfg.gdp.merge_dependent_ops = true;
+        let merged = run_pipeline(&w.program, &w.profile, &machine, &base_cfg)
+            .expect("pipeline")
+            .cycles() as f64;
+        let mut ob_cfg = PipelineConfig::new(Method::Gdp);
+        ob_cfg.gdp.balance_ops = true;
+        let ob = run_pipeline(&w.program, &w.profile, &machine, &ob_cfg).expect("pipeline").cycles()
+            as f64;
+        MergeAblationRow {
+            benchmark: w.name.to_string(),
+            default_rel: unified / base,
+            merged_rel: unified / merged,
+            op_balance_rel: unified / ob,
+        }
+    })
 }
 
 /// Ablation (§4.3): sweep of the METIS balance tolerance — looser
@@ -342,32 +368,25 @@ pub struct RegFileRow {
 /// Runs the register-pressure sweep for GDP placements (5-cycle moves).
 pub fn ext_regfile(workloads: &[Workload], sizes: &[u32]) -> Vec<RegFileRow> {
     use mcpart_sched::{register_pressure, Placement};
-    workloads
-        .iter()
-        .map(|w| {
-            let mut spill_cycles = Vec::new();
-            let mut packed_spills = Vec::new();
-            for &size in sizes {
-                let mut machine = Machine::paper_2cluster(5);
-                for c in &mut machine.clusters {
-                    c.regfile_size = size;
-                }
-                let r = run_pipeline(
-                    &w.program,
-                    &w.profile,
-                    &machine,
-                    &PipelineConfig::new(Method::Gdp),
-                )
-                .expect("pipeline");
-                let p = register_pressure(&r.program, &r.placement, &machine, &w.profile);
-                spill_cycles.push(p.spill_cycles);
-                let packed = Placement::all_on_cluster0(&r.program);
-                let pp = register_pressure(&r.program, &packed, &machine, &w.profile);
-                packed_spills.push(pp.spill_cycles);
+    par_workloads(workloads, |w| {
+        let mut spill_cycles = Vec::new();
+        let mut packed_spills = Vec::new();
+        for &size in sizes {
+            let mut machine = Machine::paper_2cluster(5);
+            for c in &mut machine.clusters {
+                c.regfile_size = size;
             }
-            RegFileRow { benchmark: w.name.to_string(), spill_cycles, packed_spills }
-        })
-        .collect()
+            let r =
+                run_pipeline(&w.program, &w.profile, &machine, &PipelineConfig::new(Method::Gdp))
+                    .expect("pipeline");
+            let p = register_pressure(&r.program, &r.placement, &machine, &w.profile);
+            spill_cycles.push(p.spill_cycles);
+            let packed = Placement::all_on_cluster0(&r.program);
+            let pp = register_pressure(&r.program, &packed, &machine, &w.profile);
+            packed_spills.push(pp.spill_cycles);
+        }
+        RegFileRow { benchmark: w.name.to_string(), spill_cycles, packed_spills }
+    })
 }
 
 /// Extension: software pipelining. Modulo-scheduling the loop kernels
@@ -389,26 +408,23 @@ pub struct SwpRow {
 /// Runs the software-pipelining extension at 5-cycle latency.
 pub fn ext_swp(workloads: &[Workload]) -> Vec<SwpRow> {
     let machine = Machine::paper_2cluster(5);
-    workloads
-        .iter()
-        .map(|w| {
-            let run4 = |method: Method, swp: bool| {
-                let mut cfg = PipelineConfig::new(method);
-                cfg.software_pipelining = swp;
-                run_pipeline(&w.program, &w.profile, &machine, &cfg).expect("pipeline").cycles()
-            };
-            let uni_flat = run4(Method::Unified, false) as f64;
-            let gdp_flat = run4(Method::Gdp, false) as f64;
-            let uni_piped = run4(Method::Unified, true) as f64;
-            let gdp_piped = run4(Method::Gdp, true) as f64;
-            SwpRow {
-                benchmark: w.name.to_string(),
-                flat_rel: uni_flat / gdp_flat,
-                piped_rel: uni_piped / gdp_piped,
-                gdp_speedup: gdp_flat / gdp_piped,
-            }
-        })
-        .collect()
+    par_workloads(workloads, |w| {
+        let run4 = |method: Method, swp: bool| {
+            let mut cfg = PipelineConfig::new(method);
+            cfg.software_pipelining = swp;
+            run_pipeline(&w.program, &w.profile, &machine, &cfg).expect("pipeline").cycles()
+        };
+        let uni_flat = run4(Method::Unified, false) as f64;
+        let gdp_flat = run4(Method::Gdp, false) as f64;
+        let uni_piped = run4(Method::Unified, true) as f64;
+        let gdp_piped = run4(Method::Gdp, true) as f64;
+        SwpRow {
+            benchmark: w.name.to_string(),
+            flat_rel: uni_flat / gdp_flat,
+            piped_rel: uni_piped / gdp_piped,
+            gdp_speedup: gdp_flat / gdp_piped,
+        }
+    })
 }
 
 /// Extension: heterogeneous machines. GDP on a 2-cluster machine whose
@@ -441,23 +457,18 @@ pub fn ext_hetero(workloads: &[Workload]) -> Vec<HeteroRow> {
         latency: LatencyTable::itanium_like(),
     };
     let homo = Machine::paper_2cluster(5);
-    workloads
-        .iter()
-        .map(|w| {
-            let h =
-                run_pipeline(&w.program, &w.profile, &hetero, &PipelineConfig::new(Method::Gdp))
-                    .expect("pipeline");
-            let base =
-                run_pipeline(&w.program, &w.profile, &homo, &PipelineConfig::new(Method::Gdp))
-                    .expect("pipeline");
-            let total: u64 = h.data_bytes.iter().sum();
-            HeteroRow {
-                benchmark: w.name.to_string(),
-                big_cluster_share: h.data_bytes[0] as f64 / total.max(1) as f64,
-                vs_homogeneous: base.cycles() as f64 / h.cycles() as f64,
-            }
-        })
-        .collect()
+    par_workloads(workloads, |w| {
+        let h = run_pipeline(&w.program, &w.profile, &hetero, &PipelineConfig::new(Method::Gdp))
+            .expect("pipeline");
+        let base = run_pipeline(&w.program, &w.profile, &homo, &PipelineConfig::new(Method::Gdp))
+            .expect("pipeline");
+        let total: u64 = h.data_bytes.iter().sum();
+        HeteroRow {
+            benchmark: w.name.to_string(),
+            big_cluster_share: h.data_bytes[0] as f64 / total.max(1) as f64,
+            vs_homogeneous: base.cycles() as f64 / h.cycles() as f64,
+        }
+    })
 }
 
 /// §2 background experiment (after Terechko et al., cited by the
@@ -481,50 +492,43 @@ pub fn ext_terechko(workloads: &[Workload]) -> Vec<TerechkoRow> {
     use mcpart_ir::{DefUse, Opcode};
     use mcpart_sched::{is_intercluster_move, vreg_homes};
     let machine = Machine::paper_2cluster(5);
-    workloads
-        .iter()
-        .map(|w| {
-            let naive =
-                run_pipeline(&w.program, &w.profile, &machine, &PipelineConfig::new(Method::Naive))
-                    .expect("pipeline");
-            let unified = run_pipeline(
-                &w.program,
-                &w.profile,
-                &machine,
-                &PipelineConfig::new(Method::Unified),
-            )
-            .expect("pipeline");
-            let program = &naive.program;
-            let mut data_moves = 0u64;
-            let mut all_moves = 0u64;
-            for (fid, f) in program.functions.iter() {
-                let homes = vreg_homes(program, fid, &naive.placement);
-                let du = DefUse::compute(f);
-                for (oid, op) in f.ops.iter() {
-                    if !is_intercluster_move(program, fid, oid, &naive.placement, &homes) {
-                        continue;
-                    }
-                    let freq = w.profile.op_freq(program, fid, oid);
-                    all_moves += freq;
-                    // Data-related: forwards a load result, or feeds a
-                    // memory operation.
-                    let src = op.srcs[0];
-                    let from_load =
-                        du.defs[src].iter().any(|&d| matches!(f.ops[d].opcode, Opcode::Load(_)));
-                    let dst = op.dsts[0];
-                    let to_mem = du.uses[dst].iter().any(|&u| f.ops[u].opcode.is_memory());
-                    if from_load || to_mem {
-                        data_moves += freq;
-                    }
+    par_workloads(workloads, |w| {
+        let naive =
+            run_pipeline(&w.program, &w.profile, &machine, &PipelineConfig::new(Method::Naive))
+                .expect("pipeline");
+        let unified =
+            run_pipeline(&w.program, &w.profile, &machine, &PipelineConfig::new(Method::Unified))
+                .expect("pipeline");
+        let program = &naive.program;
+        let mut data_moves = 0u64;
+        let mut all_moves = 0u64;
+        for (fid, f) in program.functions.iter() {
+            let homes = vreg_homes(program, fid, &naive.placement);
+            let du = DefUse::compute(f);
+            for (oid, op) in f.ops.iter() {
+                if !is_intercluster_move(program, fid, oid, &naive.placement, &homes) {
+                    continue;
+                }
+                let freq = w.profile.op_freq(program, fid, oid);
+                all_moves += freq;
+                // Data-related: forwards a load result, or feeds a
+                // memory operation.
+                let src = op.srcs[0];
+                let from_load =
+                    du.defs[src].iter().any(|&d| matches!(f.ops[d].opcode, Opcode::Load(_)));
+                let dst = op.dsts[0];
+                let to_mem = du.uses[dst].iter().any(|&u| f.ops[u].opcode.is_memory());
+                if from_load || to_mem {
+                    data_moves += freq;
                 }
             }
-            TerechkoRow {
-                benchmark: w.name.to_string(),
-                data_move_fraction: data_moves as f64 / all_moves.max(1) as f64,
-                overhead: naive.cycles() as f64 / unified.cycles().max(1) as f64 - 1.0,
-            }
-        })
-        .collect()
+        }
+        TerechkoRow {
+            benchmark: w.name.to_string(),
+            data_move_fraction: data_moves as f64 / all_moves.max(1) as f64,
+            overhead: naive.cycles() as f64 / unified.cycles().max(1) as f64 - 1.0,
+        }
+    })
 }
 
 /// Ablation: scalar pre-optimization (DCE/CSE/copy-prop/const-fold)
@@ -543,36 +547,32 @@ pub struct OptAblationRow {
 /// Runs the pre-optimization ablation for GDP at 5-cycle latency.
 pub fn ablation_opt(workloads: &[Workload]) -> Vec<OptAblationRow> {
     let machine = Machine::paper_2cluster(5);
-    workloads
-        .iter()
-        .map(|w| {
-            let mut rels = [0.0f64; 2];
-            let mut ops = [0usize; 2];
-            for (i, pre) in [false, true].into_iter().enumerate() {
-                let mut ucfg = PipelineConfig::new(Method::Unified);
-                ucfg.pre_optimize = pre;
-                let unified =
-                    run_pipeline(&w.program, &w.profile, &machine, &ucfg).expect("pipeline");
-                let mut cfg = PipelineConfig::new(Method::Gdp);
-                cfg.pre_optimize = pre;
-                let r = run_pipeline(&w.program, &w.profile, &machine, &cfg).expect("pipeline");
-                rels[i] = unified.cycles() as f64 / r.cycles() as f64;
-                // Count ops before move insertion by re-optimizing a copy.
-                ops[i] = if pre {
-                    let mut p = w.profile.apply_heap_sizes(&w.program);
-                    mcpart_ir::optimize(&mut p);
-                    p.num_ops()
-                } else {
-                    w.program.num_ops()
-                };
-            }
-            OptAblationRow {
-                benchmark: w.name.to_string(),
-                ops: (ops[0], ops[1]),
-                gdp_rel: (rels[0], rels[1]),
-            }
-        })
-        .collect()
+    par_workloads(workloads, |w| {
+        let mut rels = [0.0f64; 2];
+        let mut ops = [0usize; 2];
+        for (i, pre) in [false, true].into_iter().enumerate() {
+            let mut ucfg = PipelineConfig::new(Method::Unified);
+            ucfg.pre_optimize = pre;
+            let unified = run_pipeline(&w.program, &w.profile, &machine, &ucfg).expect("pipeline");
+            let mut cfg = PipelineConfig::new(Method::Gdp);
+            cfg.pre_optimize = pre;
+            let r = run_pipeline(&w.program, &w.profile, &machine, &cfg).expect("pipeline");
+            rels[i] = unified.cycles() as f64 / r.cycles() as f64;
+            // Count ops before move insertion by re-optimizing a copy.
+            ops[i] = if pre {
+                let mut p = w.profile.apply_heap_sizes(&w.program);
+                mcpart_ir::optimize(&mut p);
+                p.num_ops()
+            } else {
+                w.program.num_ops()
+            };
+        }
+        OptAblationRow {
+            benchmark: w.name.to_string(),
+            ops: (ops[0], ops[1]),
+            gdp_rel: (rels[0], rels[1]),
+        }
+    })
 }
 
 /// Ablation: move-placement strategy — per-use-block transfers vs
@@ -591,23 +591,20 @@ pub struct HoistAblationRow {
 pub fn ablation_hoist(workloads: &[Workload]) -> Vec<HoistAblationRow> {
     use mcpart_sched::MoveStrategy;
     let machine = Machine::paper_2cluster(5);
-    workloads
-        .iter()
-        .map(|w| {
-            let mut results = Vec::new();
-            for strategy in [MoveStrategy::PerUseBlock, MoveStrategy::ProfileHoisted] {
-                let mut cfg = PipelineConfig::new(Method::Gdp);
-                cfg.move_strategy = strategy;
-                let r = run_pipeline(&w.program, &w.profile, &machine, &cfg).expect("pipeline");
-                results.push((r.cycles(), r.dynamic_moves()));
-            }
-            HoistAblationRow {
-                benchmark: w.name.to_string(),
-                cycles: (results[0].0, results[1].0),
-                moves: (results[0].1, results[1].1),
-            }
-        })
-        .collect()
+    par_workloads(workloads, |w| {
+        let mut results = Vec::new();
+        for strategy in [MoveStrategy::PerUseBlock, MoveStrategy::ProfileHoisted] {
+            let mut cfg = PipelineConfig::new(Method::Gdp);
+            cfg.move_strategy = strategy;
+            let r = run_pipeline(&w.program, &w.profile, &machine, &cfg).expect("pipeline");
+            results.push((r.cycles(), r.dynamic_moves()));
+        }
+        HoistAblationRow {
+            benchmark: w.name.to_string(),
+            cycles: (results[0].0, results[1].0),
+            moves: (results[0].1, results[1].1),
+        }
+    })
 }
 
 /// Extension (the paper's §2 middle ground / §5 future work): GDP under
@@ -628,40 +625,32 @@ pub struct CacheExtensionRow {
 
 /// Runs the coherent-cache extension experiment (5-cycle moves).
 pub fn ext_cache(workloads: &[Workload], penalties: &[u32]) -> Vec<CacheExtensionRow> {
-    workloads
-        .iter()
-        .map(|w| {
-            let base = Machine::paper_2cluster(5);
-            let unified =
-                run_pipeline(&w.program, &w.profile, &base, &PipelineConfig::new(Method::Unified))
-                    .expect("pipeline")
-                    .cycles() as f64;
-            let part =
-                run_pipeline(&w.program, &w.profile, &base, &PipelineConfig::new(Method::Gdp))
-                    .expect("pipeline")
-                    .cycles() as f64;
-            let mut coherent_rel = Vec::new();
-            let mut remote_accesses = Vec::new();
-            for &p in penalties {
-                let machine = Machine::paper_2cluster(5).with_coherent_cache(p);
-                let r = run_pipeline(
-                    &w.program,
-                    &w.profile,
-                    &machine,
-                    &PipelineConfig::new(Method::Gdp),
-                )
-                .expect("pipeline");
-                coherent_rel.push(unified / r.cycles() as f64);
-                remote_accesses.push(r.report.dynamic_remote_accesses);
-            }
-            CacheExtensionRow {
-                benchmark: w.name.to_string(),
-                partitioned_rel: unified / part,
-                coherent_rel,
-                remote_accesses,
-            }
-        })
-        .collect()
+    par_workloads(workloads, |w| {
+        let base = Machine::paper_2cluster(5);
+        let unified =
+            run_pipeline(&w.program, &w.profile, &base, &PipelineConfig::new(Method::Unified))
+                .expect("pipeline")
+                .cycles() as f64;
+        let part = run_pipeline(&w.program, &w.profile, &base, &PipelineConfig::new(Method::Gdp))
+            .expect("pipeline")
+            .cycles() as f64;
+        let mut coherent_rel = Vec::new();
+        let mut remote_accesses = Vec::new();
+        for &p in penalties {
+            let machine = Machine::paper_2cluster(5).with_coherent_cache(p);
+            let r =
+                run_pipeline(&w.program, &w.profile, &machine, &PipelineConfig::new(Method::Gdp))
+                    .expect("pipeline");
+            coherent_rel.push(unified / r.cycles() as f64);
+            remote_accesses.push(r.report.dynamic_remote_accesses);
+        }
+        CacheExtensionRow {
+            benchmark: w.name.to_string(),
+            partitioned_rel: unified / part,
+            coherent_rel,
+            remote_accesses,
+        }
+    })
 }
 
 /// Ablation: RHOP region scope (per-block + live-in sweeps vs loop
@@ -679,28 +668,24 @@ pub struct RegionScopeRow {
 pub fn ablation_regions(workloads: &[Workload]) -> Vec<RegionScopeRow> {
     use mcpart_core::RegionScope;
     let machine = Machine::paper_2cluster(5);
-    workloads
-        .iter()
-        .map(|w| {
-            let mut rels = [0.0f64; 3];
-            for (i, scope) in
-                [RegionScope::PerBlock, RegionScope::LoopNests, RegionScope::WholeFunction]
-                    .into_iter()
-                    .enumerate()
-            {
-                // Both sides use the same scope for a fair comparison.
-                let mut ucfg = PipelineConfig::new(Method::Unified);
-                ucfg.rhop.region_scope = scope;
-                let unified =
-                    run_pipeline(&w.program, &w.profile, &machine, &ucfg).expect("pipeline");
-                let mut cfg = PipelineConfig::new(Method::Gdp);
-                cfg.rhop.region_scope = scope;
-                let r = run_pipeline(&w.program, &w.profile, &machine, &cfg).expect("pipeline");
-                rels[i] = unified.cycles() as f64 / r.cycles() as f64;
-            }
-            RegionScopeRow { benchmark: w.name.to_string(), rel: (rels[0], rels[1], rels[2]) }
-        })
-        .collect()
+    par_workloads(workloads, |w| {
+        let mut rels = [0.0f64; 3];
+        for (i, scope) in
+            [RegionScope::PerBlock, RegionScope::LoopNests, RegionScope::WholeFunction]
+                .into_iter()
+                .enumerate()
+        {
+            // Both sides use the same scope for a fair comparison.
+            let mut ucfg = PipelineConfig::new(Method::Unified);
+            ucfg.rhop.region_scope = scope;
+            let unified = run_pipeline(&w.program, &w.profile, &machine, &ucfg).expect("pipeline");
+            let mut cfg = PipelineConfig::new(Method::Gdp);
+            cfg.rhop.region_scope = scope;
+            let r = run_pipeline(&w.program, &w.profile, &machine, &cfg).expect("pipeline");
+            rels[i] = unified.cycles() as f64 / r.cycles() as f64;
+        }
+        RegionScopeRow { benchmark: w.name.to_string(), rel: (rels[0], rels[1], rels[2]) }
+    })
 }
 
 /// Ablation: cluster-count scaling (beyond the paper's 2 clusters).
@@ -715,19 +700,16 @@ pub struct ClusterScaleRow {
 
 /// Runs the cluster-scaling ablation at 5-cycle latency.
 pub fn ablation_clusters(workloads: &[Workload], cluster_counts: &[usize]) -> Vec<ClusterScaleRow> {
-    workloads
-        .iter()
-        .map(|w| {
-            let gdp_rel = cluster_counts
-                .iter()
-                .map(|&n| {
-                    let machine = Machine::homogeneous(n, 5);
-                    let unified = run_method(w, &machine, Method::Unified);
-                    let gdp = run_method(w, &machine, Method::Gdp);
-                    unified.cycles as f64 / gdp.cycles.max(1) as f64
-                })
-                .collect();
-            ClusterScaleRow { benchmark: w.name.to_string(), gdp_rel }
-        })
-        .collect()
+    par_workloads(workloads, |w| {
+        let gdp_rel = cluster_counts
+            .iter()
+            .map(|&n| {
+                let machine = Machine::homogeneous(n, 5);
+                let unified = run_method(w, &machine, Method::Unified);
+                let gdp = run_method(w, &machine, Method::Gdp);
+                unified.cycles as f64 / gdp.cycles.max(1) as f64
+            })
+            .collect();
+        ClusterScaleRow { benchmark: w.name.to_string(), gdp_rel }
+    })
 }

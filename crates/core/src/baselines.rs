@@ -114,11 +114,8 @@ pub fn profile_max_partition(
 
     // Second detailed run: cognizant of the object locations.
     let (placement, stats2) = rhop_partition(program, access, profile, machine, &homes, config)?;
-    let stats = RhopStats {
-        regions: stats1.regions + stats2.regions,
-        estimator_calls: stats1.estimator_calls + stats2.estimator_calls,
-        moves_accepted: stats1.moves_accepted + stats2.moves_accepted,
-    };
+    let mut stats = stats1;
+    stats.add(&stats2);
     Ok((placement, stats))
 }
 

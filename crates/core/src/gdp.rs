@@ -41,6 +41,10 @@ pub struct GdpConfig {
     /// [`GdpError::Metis`]/`BudgetExceeded` instead of a long-running
     /// refinement loop.
     pub fuel: Option<u64>,
+    /// Worker threads handed to the graph partitioner for its
+    /// initial-partition restarts (`1` = sequential, `0` = all
+    /// available cores; never changes results).
+    pub jobs: usize,
 }
 
 impl Default for GdpConfig {
@@ -51,6 +55,7 @@ impl Default for GdpConfig {
             seed: 0xDA7A,
             merge_dependent_ops: false,
             fuel: None,
+            jobs: 1,
         }
     }
 }
@@ -172,7 +177,8 @@ pub fn gdp_partition(
         .with_imbalance(config.imbalance)
         .with_target_fractions(fractions)
         .with_seed(config.seed)
-        .with_fuel(config.fuel);
+        .with_fuel(config.fuel)
+        .with_jobs(config.jobs);
     let result = partition(&graph, &metis_config)?;
 
     // Extract group homes; dead groups go to the byte-lightest cluster.

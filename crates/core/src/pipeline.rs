@@ -134,6 +134,16 @@ impl PipelineConfig {
             software_pipelining: false,
         }
     }
+
+    /// Sets the worker-thread count of every parallel stage (RHOP's
+    /// per-function fan-out and the graph partitioner's restarts): `1`
+    /// = sequential, `0` = all available cores. Never changes results —
+    /// only wall-clock time.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.rhop.jobs = jobs;
+        self.gdp.jobs = jobs;
+        self
+    }
 }
 
 /// Everything the pipeline produces for one (program, machine, method)

@@ -9,14 +9,39 @@
 //! the schedule-length estimate improves. Memory operations whose data
 //! object has a home cluster are *locked*: the estimator reports any
 //! displacing assignment as infeasible, so they never move.
+//!
+//! ## Performance structure
+//!
+//! The pass is organized for speed without giving up determinism:
+//!
+//! * **Per-function parallelism.** Functions are independent — a
+//!   function's sweeps read and write only its own operations — so they
+//!   are fanned out over [`mcpart_par::parallel_map`] with one RNG
+//!   stream per function ([`mcpart_rng::derive_seed`] of the config
+//!   seed and the function index). Results are bit-identical for every
+//!   [`RhopConfig::jobs`] value, including `1`.
+//! * **Cached region contexts.** The dependence graph, estimator,
+//!   locks, def-grouping and base edge weights of a region are built
+//!   once ([`RegionCtx`]) and reused by all three sweeps, instead of
+//!   being recomputed per sweep.
+//! * **Incremental probe evaluation.** Refinement probes run through
+//!   [`IncrementalEstimator`]: one scratch assignment mutated by
+//!   try-move/rollback (no per-probe clone), occupancy buckets updated
+//!   only for moved nodes, and an exact lower bound that prunes probes
+//!   which provably cannot improve the incumbent. Pruned probes still
+//!   charge the estimator-call budget, so
+//!   [`RhopConfig::max_estimator_calls`] retains its meaning.
 
 use mcpart_analysis::{AccessInfo, AccessSite};
-use mcpart_ir::{ClusterId, EntityMap, FuncId, ObjectId, Opcode, Profile, Program, VReg};
+use mcpart_ir::{
+    BlockId, ClusterId, EntityId, EntityMap, FuncId, ObjectId, OpId, Opcode, Profile, Program, VReg,
+};
 use mcpart_machine::Machine;
+use mcpart_par::SharedBudget;
 use mcpart_rng::rngs::SmallRng;
 use mcpart_rng::seq::SliceRandom;
-use mcpart_rng::SeedableRng;
-use mcpart_sched::{Placement, RegionEstimator, INFEASIBLE};
+use mcpart_rng::{derive_seed, SeedableRng};
+use mcpart_sched::{IncrementalEstimator, Placement, RegionEstimator, INFEASIBLE};
 
 use crate::error::RhopError;
 use crate::groups::UnionFind;
@@ -43,7 +68,9 @@ pub enum RegionScope {
 /// Configuration of the RHOP computation partitioner.
 #[derive(Clone, Debug)]
 pub struct RhopConfig {
-    /// RNG seed (refinement visit order).
+    /// RNG seed (refinement visit order). Each function derives its own
+    /// stream from this seed, so placements do not depend on how
+    /// functions are scheduled across workers.
     pub seed: u64,
     /// Coarsening stops when a region has at most this many groups.
     pub coarsen_to: usize,
@@ -54,8 +81,20 @@ pub struct RhopConfig {
     /// Budget on schedule-estimator invocations across the whole run
     /// (`None` = unlimited). The estimator dominates RHOP's compile
     /// time (§4.5), so this bounds the pass's total work; exhausting it
-    /// yields [`RhopError::EstimatorBudgetExceeded`].
+    /// yields [`RhopError::EstimatorBudgetExceeded`]. Pruned probes
+    /// charge the budget exactly like full evaluations, so the budget's
+    /// meaning is independent of [`RhopConfig::incremental`].
     pub max_estimator_calls: Option<u64>,
+    /// Worker threads partitioning functions concurrently: `1` =
+    /// sequential (the default for library users), `0` = all available
+    /// cores. Placements, statistics and errors are bit-identical for
+    /// every value.
+    pub jobs: usize,
+    /// Prune refinement probes with an exact lower bound (default on).
+    /// Pruning never changes placements or accepted moves — only which
+    /// probes pay for a full schedule simulation — so turning it off is
+    /// useful solely for measuring its benefit.
+    pub incremental: bool,
 }
 
 impl Default for RhopConfig {
@@ -66,6 +105,8 @@ impl Default for RhopConfig {
             refine_passes: 2,
             region_scope: RegionScope::PerBlock,
             max_estimator_calls: None,
+            jobs: 1,
+            incremental: true,
         }
     }
 }
@@ -75,20 +116,36 @@ impl Default for RhopConfig {
 pub struct RhopStats {
     /// Regions partitioned.
     pub regions: usize,
-    /// Total schedule-estimator invocations.
+    /// Total schedule-estimator invocations (budgeted work units; a
+    /// pruned probe counts exactly like a fully simulated one).
     pub estimator_calls: u64,
     /// Total groups moved during refinement.
     pub moves_accepted: u64,
+    /// Probes that paid for a full schedule simulation.
+    pub full_evals: u64,
+    /// Probes answered by the exact lower bound alone.
+    pub pruned_evals: u64,
 }
 
-/// Spends one estimator invocation against the configured budget.
-fn spend_estimate(stats: &mut RhopStats, limit: Option<u64>) -> Result<(), RhopError> {
+impl RhopStats {
+    /// Accumulates another run's counters (merging per-function or
+    /// per-phase results).
+    pub fn add(&mut self, other: &RhopStats) {
+        self.regions += other.regions;
+        self.estimator_calls += other.estimator_calls;
+        self.moves_accepted += other.moves_accepted;
+        self.full_evals += other.full_evals;
+        self.pruned_evals += other.pruned_evals;
+    }
+}
+
+/// Spends one estimator invocation against the shared budget.
+fn spend_estimate(stats: &mut RhopStats, budget: &SharedBudget) -> Result<(), RhopError> {
     stats.estimator_calls += 1;
-    match limit {
-        Some(l) if stats.estimator_calls > l => {
-            Err(RhopError::EstimatorBudgetExceeded { limit: l })
-        }
-        _ => Ok(()),
+    if budget.spend() {
+        Ok(())
+    } else {
+        Err(RhopError::EstimatorBudgetExceeded { limit: budget.limit().unwrap_or(0) })
     }
 }
 
@@ -98,6 +155,9 @@ fn spend_estimate(stats: &mut RhopStats, limit: Option<u64>) -> Result<(), RhopE
 /// accessing a homed object are locked to that cluster, and `call`s are
 /// locked to cluster 0. Pass a map of `None`s for the unified-memory
 /// model (no locks).
+///
+/// Functions are partitioned concurrently on [`RhopConfig::jobs`]
+/// workers; the result does not depend on the worker count.
 ///
 /// # Errors
 ///
@@ -115,52 +175,86 @@ pub fn rhop_partition(
 ) -> Result<(Placement, RhopStats), RhopError> {
     let mut placement = Placement::all_on_cluster0(program);
     placement.object_home = object_home.clone();
+    // The budget is shared across workers. Whether it runs out depends
+    // only on the total demand (which is fixed), so the ok/exceeded
+    // outcome — and with the fid-order reduction below, the reported
+    // error — is deterministic.
+    let budget = SharedBudget::new(config.max_estimator_calls);
+    let fids: Vec<FuncId> = program.functions.keys().collect();
+    let results = mcpart_par::parallel_map(config.jobs, &fids, |_, &fid| {
+        partition_function(program, fid, access, machine, object_home, config, &budget)
+    });
     let mut stats = RhopStats::default();
-    let mut rng = SmallRng::seed_from_u64(config.seed);
-    for (fid, func) in program.functions.iter() {
-        let regions: Vec<Vec<mcpart_ir::BlockId>> = if !func.regions.is_empty() {
-            func.regions.values().map(|r| r.blocks.clone()).collect()
-        } else {
-            match config.region_scope {
-                RegionScope::PerBlock => func.blocks.keys().map(|b| vec![b]).collect(),
-                RegionScope::WholeFunction => {
-                    vec![func.blocks.keys().collect()]
-                }
-                RegionScope::LoopNests => mcpart_analysis::loop_regions(func),
-            }
-        };
-        // Sweep 1: partition each region in isolation. Sweep 2:
-        // re-partition with the homes of live-in registers (from sweep
-        // 1's global result) charged by the estimator, coordinating
-        // placement across blocks.
-        for sweep in 0..3 {
-            let hints: Option<EntityMap<VReg, ClusterId>> = if sweep == 0 {
-                None
-            } else {
-                Some(mcpart_sched::vreg_homes(program, fid, &placement))
-            };
-            for blocks in &regions {
-                partition_region(
-                    program,
-                    fid,
-                    blocks,
-                    access,
-                    machine,
-                    object_home,
-                    config,
-                    hints.as_ref(),
-                    sweep == 0,
-                    &mut placement,
-                    &mut stats,
-                    &mut rng,
-                )?;
-            }
-        }
+    for (&fid, result) in fids.iter().zip(results) {
+        let (op_clusters, func_stats) = result?;
+        placement.op_cluster[fid] = op_clusters;
+        stats.add(&func_stats);
     }
     Ok((placement, stats))
 }
 
+/// Partitions all regions of one function (all three sweeps). Pure in
+/// `(program, fid, config)` plus the shared budget: reads only `fid`'s
+/// operations and returns only `fid`'s cluster map, which is what makes
+/// the per-function fan-out deterministic.
+fn partition_function(
+    program: &Program,
+    fid: FuncId,
+    access: &AccessInfo,
+    machine: &Machine,
+    object_home: &EntityMap<ObjectId, Option<ClusterId>>,
+    config: &RhopConfig,
+    budget: &SharedBudget,
+) -> Result<(EntityMap<OpId, ClusterId>, RhopStats), RhopError> {
+    let func = &program.functions[fid];
+    let mut op_clusters: EntityMap<OpId, ClusterId> =
+        EntityMap::with_default(func.num_ops(), ClusterId::new(0));
+    let mut stats = RhopStats::default();
+    let mut rng = SmallRng::seed_from_u64(derive_seed(config.seed, fid.index() as u64));
+    let regions: Vec<Vec<BlockId>> = if !func.regions.is_empty() {
+        func.regions.values().map(|r| r.blocks.clone()).collect()
+    } else {
+        match config.region_scope {
+            RegionScope::PerBlock => func.blocks.keys().map(|b| vec![b]).collect(),
+            RegionScope::WholeFunction => {
+                vec![func.blocks.keys().collect()]
+            }
+            RegionScope::LoopNests => mcpart_analysis::loop_regions(func),
+        }
+    };
+    // Build each region's dependence graph, estimator, locks and base
+    // grouping once; all three sweeps reuse them.
+    let mut ctxs: Vec<RegionCtx> = regions
+        .iter()
+        .map(|blocks| RegionCtx::build(program, fid, blocks, access, machine, object_home))
+        .collect();
+    let nclusters = machine.num_clusters();
+    // Sweep 1: partition each region in isolation. Sweep 2:
+    // re-partition with the homes of live-in registers (from sweep
+    // 1's global result) charged by the estimator, coordinating
+    // placement across blocks.
+    for sweep in 0..3 {
+        let hints: Option<EntityMap<VReg, ClusterId>> =
+            if sweep == 0 { None } else { Some(mcpart_sched::vreg_homes_of(func, &op_clusters)) };
+        for ctx in &mut ctxs {
+            partition_region(
+                ctx,
+                nclusters,
+                config,
+                hints.as_ref(),
+                sweep == 0,
+                &mut op_clusters,
+                &mut stats,
+                &mut rng,
+                budget,
+            )?;
+        }
+    }
+    Ok((op_clusters, stats))
+}
+
 /// One coarsening level: groups of region-node indices.
+#[derive(Clone)]
 struct Level {
     /// Node members per group.
     members: Vec<Vec<u32>>,
@@ -168,124 +262,167 @@ struct Level {
     lock: Vec<Option<ClusterId>>,
 }
 
+/// Everything about a region that is invariant across the three RHOP
+/// sweeps: the estimator (dependence graph, latencies, locks, memory
+/// homes), the operation list, the def-grouped base level and its
+/// slack-weighted edges, and the live-in consumption sites. Building
+/// this dominates a sweep's fixed cost, so it is done once per region.
+struct RegionCtx {
+    est: RegionEstimator,
+    node_ops: Vec<OpId>,
+    base: Level,
+    group_edges: std::collections::HashMap<(usize, usize), u64>,
+    /// `(node, source register)` per live-in operand occurrence, for
+    /// re-annotating the estimator each hinted sweep.
+    live_ins: Vec<(u32, VReg)>,
+}
+
+impl RegionCtx {
+    fn build(
+        program: &Program,
+        fid: FuncId,
+        blocks: &[BlockId],
+        access: &AccessInfo,
+        machine: &Machine,
+        object_home: &EntityMap<ObjectId, Option<ClusterId>>,
+    ) -> Self {
+        let mut est = RegionEstimator::new(program, fid, blocks, access, machine);
+        let n = est.len();
+        let func = &program.functions[fid];
+
+        // Locks: calls to cluster 0; memory ops to their object's home
+        // (hard lock under partitioned memory, latency penalty under the
+        // coherent-cache model).
+        let node_ops: Vec<OpId> = est.dg.ops.clone();
+        for (i, &op_id) in node_ops.iter().enumerate() {
+            let op = &func.ops[op_id];
+            match op.opcode {
+                Opcode::Call(_) => est.lock(i, ClusterId::new(0)),
+                _ if op.opcode.is_memory() => {
+                    let site = AccessSite { func: fid, op: op_id };
+                    let home = access
+                        .site_objects
+                        .get(&site)
+                        .and_then(|objs| objs.iter().find_map(|&o| object_home[o]));
+                    match (
+                        home,
+                        machine.memory.is_partitioned(),
+                        machine.memory.coherence_penalty(),
+                    ) {
+                        (Some(home), true, _) => est.lock(i, home),
+                        (Some(home), false, Some(penalty)) => est.set_mem_home(i, home, penalty),
+                        _ => {}
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Live-in operand sites: values defined outside the region
+        // consumed here, annotated with their home clusters on the
+        // hinted sweeps.
+        let defined_here: std::collections::HashSet<VReg> =
+            node_ops.iter().flat_map(|&o| func.ops[o].dsts.iter().copied()).collect();
+        let mut live_ins = Vec::new();
+        for (i, &op_id) in node_ops.iter().enumerate() {
+            for &src in &func.ops[op_id].srcs {
+                if !defined_here.contains(&src) {
+                    live_ins.push((i as u32, src));
+                }
+            }
+        }
+
+        // Base grouping: definitions of the same register stay together
+        // so every value has a unique home register file.
+        let mut uf = UnionFind::new(n);
+        let mut def_node: std::collections::HashMap<VReg, u32> = std::collections::HashMap::new();
+        for (i, &op_id) in node_ops.iter().enumerate() {
+            for &d in &func.ops[op_id].dsts {
+                match def_node.entry(d) {
+                    std::collections::hash_map::Entry::Occupied(e) => uf.union(*e.get(), i as u32),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(i as u32);
+                    }
+                }
+            }
+        }
+        let mut base = Level { members: Vec::new(), lock: Vec::new() };
+        let mut root_group: std::collections::HashMap<u32, usize> =
+            std::collections::HashMap::new();
+        let mut group_of_node = vec![0usize; n];
+        for i in 0..n as u32 {
+            let root = uf.find(i);
+            let g = *root_group.entry(root).or_insert_with(|| {
+                base.members.push(Vec::new());
+                base.lock.push(None);
+                base.members.len() - 1
+            });
+            base.members[g].push(i);
+            group_of_node[i as usize] = g;
+            if base.lock[g].is_none() {
+                base.lock[g] = est.lock_of(i as usize);
+            }
+        }
+
+        // Edge weights between base groups: low slack ⇒ high weight,
+        // scaled so critical edges dominate the matching order.
+        let slacks = est.dg.edge_slacks();
+        let max_slack = slacks.iter().copied().max().unwrap_or(0) as u64;
+        let mut group_edges: std::collections::HashMap<(usize, usize), u64> =
+            std::collections::HashMap::new();
+        for (ei, d) in est.dg.deps.iter().enumerate() {
+            if d.kind != mcpart_sched::DepKind::Flow {
+                continue;
+            }
+            let a = group_of_node[d.from as usize];
+            let b = group_of_node[d.to as usize];
+            if a == b {
+                continue;
+            }
+            let key = (a.min(b), a.max(b));
+            let w = max_slack + 1 - slacks[ei] as u64;
+            *group_edges.entry(key).or_insert(0) += w;
+        }
+
+        RegionCtx { est, node_ops, base, group_edges, live_ins }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn partition_region(
-    program: &Program,
-    fid: FuncId,
-    blocks: &[mcpart_ir::BlockId],
-    access: &AccessInfo,
-    machine: &Machine,
-    object_home: &EntityMap<ObjectId, Option<ClusterId>>,
+    ctx: &mut RegionCtx,
+    nclusters: usize,
     config: &RhopConfig,
     live_in_hints: Option<&EntityMap<VReg, ClusterId>>,
     count_region: bool,
-    placement: &mut Placement,
+    op_clusters: &mut EntityMap<OpId, ClusterId>,
     stats: &mut RhopStats,
     rng: &mut SmallRng,
+    budget: &SharedBudget,
 ) -> Result<(), RhopError> {
-    let limit = config.max_estimator_calls;
-    let mut est = RegionEstimator::new(program, fid, blocks, access, machine);
-    let n = est.len();
+    let n = ctx.est.len();
     if n == 0 {
         return Ok(());
     }
     if count_region {
         stats.regions += 1;
     }
-    let nclusters = machine.num_clusters();
-    let func = &program.functions[fid];
 
-    // Locks: calls to cluster 0; memory ops to their object's home
-    // (hard lock under partitioned memory, latency penalty under the
-    // coherent-cache model).
-    let node_ops: Vec<mcpart_ir::OpId> = est.dg.ops.clone();
-    for (i, &op_id) in node_ops.iter().enumerate() {
-        let op = &func.ops[op_id];
-        match op.opcode {
-            Opcode::Call(_) => est.lock(i, ClusterId::new(0)),
-            _ if op.opcode.is_memory() => {
-                let site = AccessSite { func: fid, op: op_id };
-                let home = access
-                    .site_objects
-                    .get(&site)
-                    .and_then(|objs| objs.iter().find_map(|&o| object_home[o]));
-                match (home, machine.memory.is_partitioned(), machine.memory.coherence_penalty()) {
-                    (Some(home), true, _) => est.lock(i, home),
-                    (Some(home), false, Some(penalty)) => est.set_mem_home(i, home, penalty),
-                    _ => {}
-                }
-            }
-            _ => {}
-        }
-    }
-
-    // Live-in operand homes (second sweep): values defined outside the
-    // region consumed here are charged a move when placed remotely.
+    // Re-annotate the (cached) estimator with this sweep's live-in
+    // operand homes; everything else in the context is sweep-invariant.
+    ctx.est.clear_live_in_homes();
     if let Some(hints) = live_in_hints {
-        let defined_here: std::collections::HashSet<VReg> =
-            node_ops.iter().flat_map(|&o| func.ops[o].dsts.iter().copied()).collect();
-        for (i, &op_id) in node_ops.iter().enumerate() {
-            for &src in &func.ops[op_id].srcs {
-                if !defined_here.contains(&src) {
-                    est.add_live_in_home(i, hints[src]);
-                }
-            }
+        for &(i, src) in &ctx.live_ins {
+            ctx.est.add_live_in_home(i as usize, hints[src]);
         }
     }
+    let est = &ctx.est;
+    let mut inc = IncrementalEstimator::new(est);
 
-    // Base grouping: definitions of the same register stay together so
-    // every value has a unique home register file.
-    let mut uf = UnionFind::new(n);
-    let mut def_node: std::collections::HashMap<VReg, u32> = std::collections::HashMap::new();
-    for (i, &op_id) in node_ops.iter().enumerate() {
-        for &d in &func.ops[op_id].dsts {
-            match def_node.entry(d) {
-                std::collections::hash_map::Entry::Occupied(e) => uf.union(*e.get(), i as u32),
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(i as u32);
-                }
-            }
-        }
-    }
-    let mut base = Level { members: Vec::new(), lock: Vec::new() };
-    let mut root_group: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
-    let mut group_of_node = vec![0usize; n];
-    for i in 0..n as u32 {
-        let root = uf.find(i);
-        let g = *root_group.entry(root).or_insert_with(|| {
-            base.members.push(Vec::new());
-            base.lock.push(None);
-            base.members.len() - 1
-        });
-        base.members[g].push(i);
-        group_of_node[i as usize] = g;
-        if base.lock[g].is_none() {
-            base.lock[g] = est.lock_of(i as usize);
-        }
-    }
-
-    // Edge weights between base groups: low slack ⇒ high weight, scaled
-    // so critical edges dominate the matching order.
-    let slacks = est.dg.edge_slacks();
-    let max_slack = slacks.iter().copied().max().unwrap_or(0) as u64;
-    let mut group_edges: std::collections::HashMap<(usize, usize), u64> =
-        std::collections::HashMap::new();
-    for (ei, d) in est.dg.deps.iter().enumerate() {
-        if d.kind != mcpart_sched::DepKind::Flow {
-            continue;
-        }
-        let a = group_of_node[d.from as usize];
-        let b = group_of_node[d.to as usize];
-        if a == b {
-            continue;
-        }
-        let key = (a.min(b), a.max(b));
-        let w = max_slack + 1 - slacks[ei] as u64;
-        *group_edges.entry(key).or_insert(0) += w;
-    }
-
-    // Multilevel coarsening by heavy-edge matching over groups.
-    let mut levels: Vec<Level> = vec![base];
+    // Multilevel coarsening by heavy-edge matching over groups, from
+    // the cached base level.
+    let mut group_edges = ctx.group_edges.clone();
+    let mut levels: Vec<Level> = vec![ctx.base.clone()];
     loop {
         let Some(current) = levels.last() else {
             return Err(RhopError::Internal { message: "coarsening lost the base level".into() });
@@ -374,15 +511,6 @@ fn partition_region(
     // single-cluster start and a balanced round-robin start, refine
     // each, and keep the better one.
     let coarsest = levels.len() - 1;
-    let expand_full = |level: &Level, assign: &[u16]| {
-        let mut node_assign = vec![0u16; n];
-        for (g, members) in level.members.iter().enumerate() {
-            for &m in members {
-                node_assign[m as usize] = assign[g];
-            }
-        }
-        node_assign
-    };
     let mut assign_groups: Vec<u16> = {
         let level = &levels[coarsest];
         let seed_a: Vec<u16> =
@@ -397,21 +525,21 @@ fn partition_region(
         }
         let mut best: Option<(Vec<u16>, u32, u32)> = None;
         for mut cand in [seed_a, seed_b] {
-            refine_level(
+            let (e, peak) = refine_level(
                 level,
                 &mut cand,
-                &est,
-                n,
+                &mut inc,
                 nclusters,
                 config.refine_passes.max(2) + 2,
-                limit,
+                config.incremental,
                 stats,
                 rng,
+                budget,
             )?;
-            let full = expand_full(level, &cand);
-            let e = est.estimate(&full);
-            let peak = est.resource_peak(&full);
-            spend_estimate(stats, limit)?;
+            // The refined candidate's final (estimate, peak) is already
+            // exact; charge the comparison like the re-evaluation it
+            // replaces so budgets keep their historical meaning.
+            spend_estimate(stats, budget)?;
             let better = match &best {
                 None => true,
                 Some((_, be, bp)) => e < *be || (e == *be && peak < *bp),
@@ -447,61 +575,61 @@ fn partition_region(
         refine_level(
             fine,
             &mut fine_assign,
-            &est,
-            n,
+            &mut inc,
             nclusters,
             config.refine_passes,
-            limit,
+            config.incremental,
             stats,
             rng,
+            budget,
         )?;
         assign_groups = fine_assign;
     }
 
-    // Write node clusters into the placement.
+    // Write node clusters into the function's cluster map.
     let finest = &levels[0];
     for (g, members) in finest.members.iter().enumerate() {
         for &m in members {
-            placement.set_cluster(
-                fid,
-                node_ops[m as usize],
-                ClusterId::new(assign_groups[g] as usize),
-            );
+            op_clusters[ctx.node_ops[m as usize]] = ClusterId::new(assign_groups[g] as usize);
         }
     }
+    stats.full_evals += inc.full_evals;
+    stats.pruned_evals += inc.pruned_evals;
     Ok(())
 }
 
 /// Greedy refinement at one level: move groups between clusters while
-/// the schedule estimate improves.
+/// the schedule estimate improves. Returns the final `(estimate, peak)`
+/// of the refined assignment.
+///
+/// Probes go through the incremental evaluator: each candidate is a
+/// try-move, judged either by the exact lower bound (pruned) or by a
+/// full allocation-free simulation, then rolled back — the accepted
+/// best move is re-applied and committed. Every probe charges the
+/// budget exactly once regardless of how it was answered, and pruning
+/// rejects precisely the probes the acceptance test below would reject,
+/// so placements, accepted moves and budget-exhaustion points are
+/// identical to exhaustive evaluation.
 #[allow(clippy::too_many_arguments)]
 fn refine_level(
     level: &Level,
     assign: &mut [u16],
-    est: &RegionEstimator,
-    n: usize,
+    inc: &mut IncrementalEstimator<'_>,
     nclusters: usize,
     passes: usize,
-    limit: Option<u64>,
+    incremental: bool,
     stats: &mut RhopStats,
     rng: &mut SmallRng,
-) -> Result<(), RhopError> {
-    let expand = |assign: &[u16]| {
-        let mut node_assign = vec![0u16; n];
-        for (g, members) in level.members.iter().enumerate() {
-            for &m in members {
-                node_assign[m as usize] = assign[g];
-            }
-        }
-        node_assign
-    };
-    let mut current = est.estimate(&expand(assign));
-    let mut current_peak = est.resource_peak(&expand(assign));
-    spend_estimate(stats, limit)?;
+    budget: &SharedBudget,
+) -> Result<(u32, u32), RhopError> {
+    inc.load_groups(&level.members, assign);
+    let mut current = inc.estimate();
+    let mut current_peak = inc.resource_peak();
+    spend_estimate(stats, budget)?;
     if current == INFEASIBLE {
         // Locked base assignment should always be feasible; bail out
         // defensively.
-        return Ok(());
+        return Ok((current, current_peak));
     }
     let mut order: Vec<usize> = (0..level.members.len()).collect();
     for _ in 0..passes.max(1) {
@@ -517,40 +645,47 @@ fn refine_level(
                 if c == original {
                     continue;
                 }
-                assign[g] = c;
-                let full = expand(assign);
-                let e = est.estimate(&full);
-                spend_estimate(stats, limit)?;
-                if e == INFEASIBLE {
-                    continue;
-                }
-                let peak = est.resource_peak(&full);
-                // Accept strict improvements, or equal estimates that
-                // lower the resource peak (leaves headroom for the real
-                // scheduler and lets coordinated splits emerge).
-                let improves = e < current || (e == current && peak < current_peak);
-                if improves
-                    && best.map(|(_, be, bp)| e < be || (e == be && peak < bp)).unwrap_or(true)
-                {
-                    best = Some((c, e, peak));
+                inc.try_move(&level.members[g], c);
+                spend_estimate(stats, budget)?;
+                let probe = if incremental {
+                    inc.estimate_unless_worse(current, current_peak)
+                } else {
+                    let e = inc.estimate();
+                    if e == INFEASIBLE {
+                        None
+                    } else {
+                        Some((e, inc.resource_peak()))
+                    }
+                };
+                inc.rollback();
+                if let Some((e, peak)) = probe {
+                    // Accept strict improvements, or equal estimates
+                    // that lower the resource peak (leaves headroom for
+                    // the real scheduler and lets coordinated splits
+                    // emerge).
+                    let improves = e < current || (e == current && peak < current_peak);
+                    if improves
+                        && best.map(|(_, be, bp)| e < be || (e == be && peak < bp)).unwrap_or(true)
+                    {
+                        best = Some((c, e, peak));
+                    }
                 }
             }
-            match best {
-                Some((c, e, peak)) => {
-                    assign[g] = c;
-                    current = e;
-                    current_peak = peak;
-                    moved += 1;
-                    stats.moves_accepted += 1;
-                }
-                None => assign[g] = original,
+            if let Some((c, e, peak)) = best {
+                assign[g] = c;
+                inc.try_move(&level.members[g], c);
+                inc.commit();
+                current = e;
+                current_peak = peak;
+                moved += 1;
+                stats.moves_accepted += 1;
             }
         }
         if moved == 0 {
             break;
         }
     }
-    Ok(())
+    Ok((current, current_peak))
 }
 
 #[cfg(test)]
@@ -672,6 +807,58 @@ mod tests {
             rhop_partition(&p, &access, &profile, &machine, &homes, &RhopConfig::default())
                 .expect("rhop");
         assert_eq!(a.op_cluster, b2.op_cluster);
+    }
+
+    /// Worker count never changes the result: placements and statistics
+    /// from `jobs = 1` and `jobs = 8` are bit-identical, and pruning
+    /// (`incremental`) changes only how probes are answered, not the
+    /// placement, the accepted moves or the budgeted call count.
+    #[test]
+    fn jobs_and_pruning_do_not_change_results() {
+        let mut p = Program::new("t");
+        let t1 = p.add_object(DataObject::global("t1", 64));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let base = b.addrof(t1);
+        let v = b.load(MemWidth::B4, base);
+        let mut acc = v;
+        for i in 0..6 {
+            let k = b.iconst(i);
+            acc = b.add(acc, k);
+        }
+        b.store(MemWidth::B4, base, acc);
+        b.ret(None);
+        // A second function so the fan-out actually has two tasks.
+        let mut b2 = FunctionBuilder::new_function(&mut p, "aux");
+        let mut x = b2.iconst(3);
+        for _ in 0..5 {
+            x = b2.mul(x, x);
+        }
+        b2.ret(Some(x));
+        let (profile, access) = analyze(&p);
+        let machine = Machine::paper_2cluster(5);
+        let mut homes: EntityMap<ObjectId, Option<ClusterId>> = EntityMap::with_default(1, None);
+        homes[t1] = Some(ClusterId::new(1));
+        let seq = RhopConfig { jobs: 1, ..RhopConfig::default() };
+        let par = RhopConfig { jobs: 8, ..RhopConfig::default() };
+        let full = RhopConfig { incremental: false, ..RhopConfig::default() };
+        let (pl_seq, st_seq) =
+            rhop_partition(&p, &access, &profile, &machine, &homes, &seq).expect("rhop");
+        let (pl_par, st_par) =
+            rhop_partition(&p, &access, &profile, &machine, &homes, &par).expect("rhop");
+        let (pl_full, st_full) =
+            rhop_partition(&p, &access, &profile, &machine, &homes, &full).expect("rhop");
+        assert_eq!(pl_seq.op_cluster, pl_par.op_cluster);
+        assert_eq!(st_seq, st_par);
+        assert_eq!(pl_seq.op_cluster, pl_full.op_cluster);
+        assert_eq!(st_seq.estimator_calls, st_full.estimator_calls);
+        assert_eq!(st_seq.moves_accepted, st_full.moves_accepted);
+        assert!(st_seq.pruned_evals > 0, "pruning should answer some probes: {st_seq:?}");
+        assert_eq!(st_full.pruned_evals, 0);
+        assert_eq!(
+            st_seq.full_evals + st_seq.pruned_evals,
+            st_full.full_evals,
+            "every probe is answered exactly once either way"
+        );
     }
 
     /// Loop-carried registers (multi-def) are pre-merged: both defining
@@ -798,7 +985,8 @@ mod tests {
     }
 
     /// A starved estimator budget is a typed error, never a hang, and a
-    /// generous one changes nothing.
+    /// generous one changes nothing. The budget's exhaustion point is
+    /// deterministic even with parallel workers.
     #[test]
     fn estimator_budget_is_enforced() {
         let mut p = Program::new("t");
@@ -813,9 +1001,12 @@ mod tests {
         let (profile, access) = analyze(&p);
         let machine = Machine::paper_2cluster(1);
         let homes = EntityMap::with_default(0, None);
-        let starved = RhopConfig { max_estimator_calls: Some(2), ..RhopConfig::default() };
-        let e = rhop_partition(&p, &access, &profile, &machine, &homes, &starved).unwrap_err();
-        assert!(matches!(e, RhopError::EstimatorBudgetExceeded { limit: 2 }), "{e}");
+        for jobs in [1, 4] {
+            let starved =
+                RhopConfig { max_estimator_calls: Some(2), jobs, ..RhopConfig::default() };
+            let e = rhop_partition(&p, &access, &profile, &machine, &homes, &starved).unwrap_err();
+            assert!(matches!(e, RhopError::EstimatorBudgetExceeded { limit: 2 }), "{e}");
+        }
         let generous = RhopConfig { max_estimator_calls: Some(1_000_000), ..RhopConfig::default() };
         let (a, stats) =
             rhop_partition(&p, &access, &profile, &machine, &homes, &generous).expect("rhop");

@@ -75,6 +75,14 @@ impl Fuel {
         !self.is_exhausted()
     }
 
+    /// Bulk-spends `units` at once — absorbing work metered elsewhere,
+    /// such as parallel restart tries that ran on their own unlimited
+    /// meters. Returns `false` when the budget is exhausted.
+    pub fn charge(&mut self, units: u64) -> bool {
+        self.spent = self.spent.saturating_add(units);
+        !self.is_exhausted()
+    }
+
     /// Whether more work was requested than the budget allows.
     pub fn is_exhausted(&self) -> bool {
         match self.limit {

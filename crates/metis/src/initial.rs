@@ -4,8 +4,9 @@ use crate::balance::BalanceModel;
 use crate::error::Fuel;
 use crate::graph::Graph;
 use crate::refine::{rebalance, refine};
+use mcpart_rng::rngs::SmallRng;
 use mcpart_rng::seq::SliceRandom;
-use mcpart_rng::Rng;
+use mcpart_rng::{Rng, SeedableRng};
 
 /// Greedy graph growing: grows each part from a random seed by
 /// repeatedly absorbing the unassigned vertex most connected to it,
@@ -107,21 +108,56 @@ fn grow<R: Rng>(graph: &Graph, balance: &BalanceModel, rng: &mut R) -> Vec<u32> 
 /// Produces an initial partition of the (coarsest) graph: several
 /// greedy-growing attempts, each polished by refinement, keeping the
 /// best balanced result (falling back to the lowest-cut unbalanced one).
+///
+/// Each try runs on its own RNG stream seeded from `rng` up front, so
+/// the caller's stream advances by exactly `tries` draws and the tries
+/// are order-independent. With unlimited `fuel` the tries fan out over
+/// `jobs` workers ([`mcpart_par::parallel_map`]) and reduce in try
+/// order (first best wins) — the result is identical for every `jobs`
+/// value. With a finite budget the tries stay sequential so the
+/// exhaustion point is deterministic; the shared meter is charged for
+/// parallel tries' work afterwards either way.
 pub fn initial_partition<R: Rng>(
     graph: &Graph,
     balance: &BalanceModel,
     tries: usize,
+    jobs: usize,
     fuel: &mut Fuel,
     rng: &mut R,
 ) -> Vec<u32> {
-    let mut best: Option<(Vec<u32>, bool, u64)> = None;
-    for _ in 0..tries.max(1) {
-        let mut assignment = grow(graph, balance, rng);
+    let tries = tries.max(1);
+    let seeds: Vec<u64> = (0..tries).map(|_| rng.next_u64()).collect();
+    let run_try = |seed: u64, fuel: &mut Fuel| -> (Vec<u32>, bool, u64) {
+        let mut trng = SmallRng::seed_from_u64(seed);
+        let mut assignment = grow(graph, balance, &mut trng);
         let mut pw = graph.part_weights(&assignment, balance.nparts());
-        rebalance(graph, &mut assignment, balance, &mut pw, fuel, rng);
-        refine(graph, &mut assignment, balance, &mut pw, 4, fuel, rng);
+        rebalance(graph, &mut assignment, balance, &mut pw, fuel, &mut trng);
+        refine(graph, &mut assignment, balance, &mut pw, 4, fuel, &mut trng);
         let balanced = balance.is_balanced(&pw);
         let cut = graph.edge_cut(&assignment);
+        (assignment, balanced, cut)
+    };
+    let results: Vec<(Vec<u32>, bool, u64)> = if fuel.limit().is_none() && jobs != 1 {
+        let outs = mcpart_par::parallel_map(jobs, &seeds, |_, &seed| {
+            let mut local = Fuel::unlimited();
+            let result = run_try(seed, &mut local);
+            (result, local.spent())
+        });
+        let mut total = 0u64;
+        let results = outs
+            .into_iter()
+            .map(|(result, spent)| {
+                total += spent;
+                result
+            })
+            .collect();
+        fuel.charge(total);
+        results
+    } else {
+        seeds.iter().map(|&seed| run_try(seed, fuel)).collect()
+    };
+    let mut best: Option<(Vec<u32>, bool, u64)> = None;
+    for (assignment, balanced, cut) in results {
         let better = match &best {
             None => true,
             Some((_, bbal, bcut)) => match (balanced, *bbal) {
@@ -173,7 +209,7 @@ mod tests {
         let g = grid(6, 4);
         let balance = BalanceModel::uniform(&g, 2, 0.1);
         let mut rng = SmallRng::seed_from_u64(11);
-        let assignment = initial_partition(&g, &balance, 4, &mut Fuel::unlimited(), &mut rng);
+        let assignment = initial_partition(&g, &balance, 4, 1, &mut Fuel::unlimited(), &mut rng);
         let pw = g.part_weights(&assignment, 2);
         assert!(balance.is_balanced(&pw), "{pw:?}");
         // A 6x4 grid has a 4-edge bisection; allow some slack.
@@ -185,7 +221,7 @@ mod tests {
         let g = grid(8, 8);
         let balance = BalanceModel::uniform(&g, 4, 0.1);
         let mut rng = SmallRng::seed_from_u64(2);
-        let assignment = initial_partition(&g, &balance, 4, &mut Fuel::unlimited(), &mut rng);
+        let assignment = initial_partition(&g, &balance, 4, 1, &mut Fuel::unlimited(), &mut rng);
         for p in 0..4u32 {
             assert!(assignment.contains(&p), "part {p} empty");
         }
@@ -200,7 +236,24 @@ mod tests {
         let g = b.build();
         let balance = BalanceModel::uniform(&g, 2, 0.1);
         let mut rng = SmallRng::seed_from_u64(2);
-        let assignment = initial_partition(&g, &balance, 2, &mut Fuel::unlimited(), &mut rng);
+        let assignment = initial_partition(&g, &balance, 2, 1, &mut Fuel::unlimited(), &mut rng);
         assert_eq!(assignment.len(), 1);
+    }
+
+    #[test]
+    fn parallel_restarts_match_sequential() {
+        let g = grid(8, 8);
+        let balance = BalanceModel::uniform(&g, 2, 0.1);
+        let run = |jobs: usize| {
+            let mut rng = SmallRng::seed_from_u64(17);
+            let mut fuel = Fuel::unlimited();
+            let assignment = initial_partition(&g, &balance, 6, jobs, &mut fuel, &mut rng);
+            // The caller's stream must advance identically too.
+            (assignment, fuel.spent(), rng.next_u64())
+        };
+        let seq = run(1);
+        for jobs in [2, 4, 8] {
+            assert_eq!(run(jobs), seq, "jobs={jobs}");
+        }
     }
 }

@@ -33,6 +33,12 @@ pub struct PartitionConfig {
     /// rebalance rounds) across the whole run. `None` = unlimited.
     /// Exhausting it yields [`MetisError::BudgetExceeded`].
     pub fuel: Option<u64>,
+    /// Worker threads for the initial-partition restarts: `1` =
+    /// sequential, `0` = all available cores. Results are identical for
+    /// every value (restarts run on independent derived RNG streams and
+    /// reduce in try order); with a finite [`PartitionConfig::fuel`]
+    /// the restarts stay sequential so the exhaustion point is exact.
+    pub jobs: usize,
 }
 
 impl PartitionConfig {
@@ -48,6 +54,7 @@ impl PartitionConfig {
             initial_tries: 4,
             refine_passes: 8,
             fuel: None,
+            jobs: 1,
         }
     }
 
@@ -72,6 +79,13 @@ impl PartitionConfig {
     /// Sets the refinement fuel budget (`None` = unlimited).
     pub fn with_fuel(mut self, fuel: Option<u64>) -> Self {
         self.fuel = fuel;
+        self
+    }
+
+    /// Sets the worker-thread count for initial-partition restarts
+    /// (`0` = all available cores; never changes results).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
         self
     }
 
@@ -168,8 +182,14 @@ pub fn partition(graph: &Graph, config: &PartitionConfig) -> Result<Partitioning
 
     // Initial partition at the coarsest level.
     let coarse_balance = make_balance(&current, config);
-    let mut assignment =
-        initial_partition(&current, &coarse_balance, config.initial_tries, &mut fuel, &mut rng);
+    let mut assignment = initial_partition(
+        &current,
+        &coarse_balance,
+        config.initial_tries,
+        config.jobs,
+        &mut fuel,
+        &mut rng,
+    );
 
     // Uncoarsening with refinement. Level `idx` refines on the graph one
     // step finer: the original graph for the first stored level,

@@ -14,6 +14,8 @@ use crate::depgraph::{DepGraph, DepKind};
 use mcpart_analysis::AccessInfo;
 use mcpart_ir::{BlockId, ClusterId, FuKind, FuncId, OpId, Program};
 use mcpart_machine::Machine;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
 
 /// Estimate value representing an infeasible assignment (a locked
 /// operation displaced from its home cluster).
@@ -39,6 +41,10 @@ pub struct RegionEstimator {
     mem_home_penalty: Vec<Option<(u16, u32)>>,
     /// Per-cluster, per-kind unit counts.
     fu_counts: Vec<[u32; 4]>,
+    /// Dependence-height issue priority per node. Assignment-independent
+    /// (base latencies only), so it is computed once here instead of per
+    /// [`RegionEstimator::estimate`] call.
+    height: Vec<u64>,
     move_latency: u32,
     moves_per_cycle: u32,
 }
@@ -70,6 +76,14 @@ impl RegionEstimator {
                 counts
             })
             .collect();
+        let mut height = vec![0u64; dg.len()];
+        for i in (0..dg.len()).rev() {
+            height[i] = base_lat[i].max(1) as u64;
+            for &di in &dg.succs[i] {
+                let d = dg.deps[di as usize];
+                height[i] = height[i].max(d.latency as u64 + height[d.to as usize]);
+            }
+        }
         RegionEstimator {
             dg,
             fu_kind,
@@ -78,6 +92,7 @@ impl RegionEstimator {
             live_in_homes,
             mem_home_penalty,
             fu_counts,
+            height,
             move_latency: machine.move_latency(),
             moves_per_cycle: machine.interconnect.moves_per_cycle.max(1),
         }
@@ -144,6 +159,15 @@ impl RegionEstimator {
     ///
     /// Panics if `assign.len()` differs from the node count.
     pub fn estimate(&self, assign: &[u16]) -> u32 {
+        let mut ws = EstimateWorkspace::default();
+        self.estimate_with(assign, &mut ws)
+    }
+
+    /// [`RegionEstimator::estimate`] with caller-provided scratch
+    /// buffers. One [`EstimateWorkspace`] can serve any sequence of
+    /// calls (across estimators of different sizes too); reusing it
+    /// removes every per-call heap allocation from RHOP's inner loop.
+    pub fn estimate_with(&self, assign: &[u16], ws: &mut EstimateWorkspace) -> u32 {
         assert_eq!(assign.len(), self.len());
         for (i, lock) in self.locked.iter().enumerate() {
             if let Some(c) = lock {
@@ -157,43 +181,55 @@ impl RegionEstimator {
             return 0;
         }
         let nclusters = self.fu_counts.len();
+        // Wakeup buckets: nodes to (re)consider at a given cycle.
+        let horizon = (n as u32 + 4) * (self.move_latency.max(8) + 4);
 
-        // Height priority over the dependence graph (precomputable per
-        // assignment only because cut edges change latencies; base
-        // heights are a good enough priority).
-        let mut height = vec![0u64; n];
-        for i in (0..n).rev() {
-            height[i] = self.base_lat[i].max(1) as u64;
-            for &di in &self.dg.succs[i] {
-                let d = self.dg.deps[di as usize];
-                height[i] = height[i].max(d.latency as u64 + height[d.to as usize]);
+        // Reset the workspace. Only buckets the previous call pushed
+        // into are cleared (tracked in `touched`), so the reset is
+        // O(pushes), not O(horizon).
+        let EstimateWorkspace {
+            unissued_preds,
+            ready_cycle,
+            issued,
+            wakeup,
+            touched,
+            transfers,
+            transfer_requested,
+            fu_free,
+            candidates,
+        } = ws;
+        for &t in touched.iter() {
+            if let Some(bucket) = wakeup.get_mut(t as usize) {
+                bucket.clear();
             }
         }
-
-        let mut unissued_preds: Vec<u32> = (0..n).map(|i| self.dg.preds[i].len() as u32).collect();
-        let mut ready_cycle = vec![0u32; n];
+        touched.clear();
+        if wakeup.len() < horizon as usize + 2 {
+            wakeup.resize_with(horizon as usize + 2, Vec::new);
+        }
+        transfers.clear();
+        transfer_requested.clear();
+        unissued_preds.clear();
+        unissued_preds.extend((0..n).map(|i| self.dg.preds[i].len() as u32));
+        ready_cycle.clear();
+        ready_cycle.resize(n, 0);
         for (i, homes) in self.live_in_homes.iter().enumerate() {
             if homes.iter().any(|&h| h != assign[i]) {
                 ready_cycle[i] = self.move_latency;
             }
         }
-        let mut issued = vec![false; n];
-        // Wakeup buckets: nodes to (re)consider at a given cycle.
-        let horizon = (n as u32 + 4) * (self.move_latency.max(8) + 4);
-        let mut wakeup: Vec<Vec<u32>> = vec![Vec::new(); horizon as usize + 2];
+        issued.clear();
+        issued.resize(n, false);
+        fu_free.clear();
+        fu_free.resize(nclusters, [0u32; 4]);
         for i in 0..n {
             if unissued_preds[i] == 0 {
-                wakeup[ready_cycle[i].min(horizon) as usize].push(i as u32);
+                let at = ready_cycle[i].min(horizon);
+                wakeup[at as usize].push(i as u32);
+                touched.push(at);
             }
         }
-        // Pending transfers: (available_from, producer, dest cluster).
-        use std::cmp::Reverse;
-        use std::collections::BinaryHeap;
-        let mut transfers: BinaryHeap<Reverse<(u32, u32, u16)>> = BinaryHeap::new();
-        let mut transfer_requested: std::collections::HashSet<(u32, u16)> =
-            std::collections::HashSet::new();
 
-        let mut fu_free = vec![[0u32; 4]; nclusters];
         let mut issued_count = 0usize;
         let mut max_completion = 0u32;
         let mut cycle = 0u32;
@@ -221,6 +257,7 @@ impl RegionEstimator {
                                 if unissued_preds[t] == 0 {
                                     let at = ready_cycle[t].max(cycle + 1).min(horizon);
                                     wakeup[at as usize].push(d.to);
+                                    touched.push(at);
                                 }
                             }
                         }
@@ -230,13 +267,16 @@ impl RegionEstimator {
                 }
             }
             // Issue ready operations, highest priority first.
-            let mut candidates = std::mem::take(&mut wakeup[cycle as usize]);
-            candidates.sort_by_key(|&i| Reverse(height[i as usize]));
-            for i in candidates {
+            candidates.clear();
+            candidates.append(&mut wakeup[cycle as usize]);
+            candidates.sort_by_key(|&i| Reverse(self.height[i as usize]));
+            for &i in candidates.iter() {
                 let iu = i as usize;
                 if issued[iu] || unissued_preds[iu] != 0 || ready_cycle[iu] > cycle {
                     if !issued[iu] && unissued_preds[iu] == 0 && ready_cycle[iu] > cycle {
-                        wakeup[ready_cycle[iu].min(horizon) as usize].push(i);
+                        let at = ready_cycle[iu].min(horizon);
+                        wakeup[at as usize].push(i);
+                        touched.push(at);
                     }
                     continue;
                 }
@@ -244,7 +284,9 @@ impl RegionEstimator {
                 let k = self.fu_kind[iu].index();
                 if fu_free[c][k] == 0 {
                     // Retry next cycle.
-                    wakeup[(cycle + 1).min(horizon) as usize].push(i);
+                    let at = (cycle + 1).min(horizon);
+                    wakeup[at as usize].push(i);
+                    touched.push(at);
                     continue;
                 }
                 fu_free[c][k] -= 1;
@@ -283,6 +325,7 @@ impl RegionEstimator {
                             // cycle's bucket has already been drained.
                             let at = ready_cycle[t].max(cycle + 1).min(horizon);
                             wakeup[at as usize].push(d.to);
+                            touched.push(at);
                         }
                     }
                 }
@@ -322,6 +365,264 @@ impl RegionEstimator {
             }
         }
         peak
+    }
+}
+
+/// Reusable scratch buffers for [`RegionEstimator::estimate_with`].
+///
+/// The estimator's list-schedule simulation needs nine growable
+/// buffers; allocating them per call dominated RHOP refinement, which
+/// evaluates thousands of candidate assignments per region. A single
+/// workspace amortizes those allocations across all calls.
+#[derive(Clone, Debug, Default)]
+pub struct EstimateWorkspace {
+    unissued_preds: Vec<u32>,
+    ready_cycle: Vec<u32>,
+    issued: Vec<bool>,
+    wakeup: Vec<Vec<u32>>,
+    /// Bucket indices pushed into during the last run, so the next
+    /// reset clears O(pushes) buckets instead of O(horizon).
+    touched: Vec<u32>,
+    transfers: BinaryHeap<Reverse<(u32, u32, u16)>>,
+    transfer_requested: HashSet<(u32, u16)>,
+    fu_free: Vec<[u32; 4]>,
+    candidates: Vec<u32>,
+}
+
+/// Incremental candidate-move evaluation on top of a [`RegionEstimator`].
+///
+/// RHOP refinement probes every unlocked group against every other
+/// cluster; evaluating each probe with [`RegionEstimator::estimate`]
+/// used to clone the whole node assignment and re-walk the region from
+/// scratch. This wrapper keeps the candidate state incremental:
+///
+/// * one scratch node assignment mutated in place by
+///   [`IncrementalEstimator::try_move`] and restored by
+///   [`IncrementalEstimator::rollback`] — no per-probe clone,
+/// * per-(cluster, kind) occupancy buckets updated only for the moved
+///   nodes, so [`IncrementalEstimator::resource_peak`] and the resource
+///   lower bound cost O(clusters × kinds) instead of O(nodes),
+/// * a lazily recomputed cut-aware critical path (one O(V+E) pass, no
+///   heap or sort) that combines with the resource bound to prune
+///   probes which provably cannot beat the incumbent,
+/// * a persistent [`EstimateWorkspace`] for the probes that do need the
+///   full simulation.
+///
+/// Pruning is **exact**: a probe is skipped only when its lower bound
+/// already rules out improving on the incumbent `(estimate, peak)`
+/// pair, so refinement accepts exactly the same moves — and produces
+/// bit-identical placements — as full evaluation of every probe.
+#[derive(Clone, Debug)]
+pub struct IncrementalEstimator<'a> {
+    est: &'a RegionEstimator,
+    assign: Vec<u16>,
+    /// Per-(cluster, kind) node counts for the current `assign`.
+    counts: Vec<[u32; 4]>,
+    /// Undo log of the uncommitted moves: (node, previous cluster).
+    trial: Vec<(u32, u16)>,
+    ws: EstimateWorkspace,
+    asap: Vec<u64>,
+    /// Probes answered by the full simulation.
+    pub full_evals: u64,
+    /// Probes answered by the lower bound alone.
+    pub pruned_evals: u64,
+}
+
+impl<'a> IncrementalEstimator<'a> {
+    /// A fresh evaluator with every node on cluster 0.
+    pub fn new(est: &'a RegionEstimator) -> Self {
+        let n = est.len();
+        let mut inc = IncrementalEstimator {
+            est,
+            assign: vec![0u16; n],
+            counts: vec![[0u32; 4]; est.fu_counts.len()],
+            trial: Vec::new(),
+            ws: EstimateWorkspace::default(),
+            asap: Vec::new(),
+            full_evals: 0,
+            pruned_evals: 0,
+        };
+        inc.rebuild_counts();
+        inc
+    }
+
+    /// Loads a node-level assignment, discarding any uncommitted moves.
+    pub fn load(&mut self, assign: &[u16]) {
+        assert_eq!(assign.len(), self.est.len());
+        self.trial.clear();
+        self.assign.copy_from_slice(assign);
+        self.rebuild_counts();
+    }
+
+    /// Loads a group-level assignment: node `m` gets
+    /// `group_assign[g]` for each `m` in `members[g]`. Replaces the
+    /// per-probe `expand` allocation RHOP previously performed.
+    pub fn load_groups(&mut self, members: &[Vec<u32>], group_assign: &[u16]) {
+        self.trial.clear();
+        for (g, ms) in members.iter().enumerate() {
+            for &m in ms {
+                self.assign[m as usize] = group_assign[g];
+            }
+        }
+        self.rebuild_counts();
+    }
+
+    fn rebuild_counts(&mut self) {
+        for c in &mut self.counts {
+            *c = [0u32; 4];
+        }
+        for (i, &kind) in self.est.fu_kind.iter().enumerate() {
+            self.counts[self.assign[i] as usize][kind.index()] += 1;
+        }
+    }
+
+    /// The current (trial) node assignment.
+    pub fn assign(&self) -> &[u16] {
+        &self.assign
+    }
+
+    /// Tentatively moves `nodes` to cluster `to`, updating the
+    /// occupancy buckets for just those nodes. Stacks until
+    /// [`IncrementalEstimator::commit`] or
+    /// [`IncrementalEstimator::rollback`].
+    pub fn try_move(&mut self, nodes: &[u32], to: u16) {
+        for &m in nodes {
+            let iu = m as usize;
+            let from = self.assign[iu];
+            self.trial.push((m, from));
+            let k = self.est.fu_kind[iu].index();
+            self.counts[from as usize][k] -= 1;
+            self.counts[to as usize][k] += 1;
+            self.assign[iu] = to;
+        }
+    }
+
+    /// Reverts all uncommitted moves.
+    pub fn rollback(&mut self) {
+        while let Some((m, from)) = self.trial.pop() {
+            let iu = m as usize;
+            let to = self.assign[iu];
+            let k = self.est.fu_kind[iu].index();
+            self.counts[to as usize][k] -= 1;
+            self.counts[from as usize][k] += 1;
+            self.assign[iu] = from;
+        }
+    }
+
+    /// Accepts all uncommitted moves as the new baseline.
+    pub fn commit(&mut self) {
+        self.trial.clear();
+    }
+
+    /// The peak per-(cluster, kind) occupancy of the current
+    /// assignment, maintained incrementally; exactly
+    /// [`RegionEstimator::resource_peak`].
+    pub fn resource_peak(&self) -> u32 {
+        let mut peak = 0u32;
+        for (c, kinds) in self.counts.iter().enumerate() {
+            for (k, &count) in kinds.iter().enumerate() {
+                if count > 0 {
+                    peak = peak.max(count.div_ceil(self.est.fu_counts[c][k].max(1)));
+                }
+            }
+        }
+        peak
+    }
+
+    /// Full schedule-length estimate of the current assignment, exactly
+    /// [`RegionEstimator::estimate`] but allocation-free.
+    pub fn estimate(&mut self) -> u32 {
+        self.full_evals += 1;
+        self.est.estimate_with(&self.assign, &mut self.ws)
+    }
+
+    /// Evaluates the current (trial) assignment against the incumbent
+    /// `(bound, peak_bound)`: returns `Some((estimate, peak))` when the
+    /// trial *could* improve on the incumbent (and therefore was fully
+    /// evaluated), `None` when it provably cannot.
+    ///
+    /// `None` is exact, never heuristic: it is returned only when a
+    /// displaced lock makes the trial infeasible, or when the lower
+    /// bound (max of the resource bound and the cut-aware critical
+    /// path) shows the trial's estimate `e` satisfies `e > bound`, or
+    /// `e >= bound` while its peak ties or worsens `peak_bound` — the
+    /// exact cases RHOP's acceptance test `e < bound || (e == bound &&
+    /// peak < peak_bound)` rejects.
+    pub fn estimate_unless_worse(&mut self, bound: u32, peak_bound: u32) -> Option<(u32, u32)> {
+        for &(m, _) in &self.trial {
+            if let Some(c) = self.est.locked[m as usize] {
+                if self.assign[m as usize] as usize != c.index() {
+                    self.pruned_evals += 1;
+                    return None;
+                }
+            }
+        }
+        let peak = self.resource_peak();
+        // The schedule cannot be shorter than the busiest unit's
+        // occupancy, nor than the cut-aware critical path.
+        let lb = (peak as u64).max(self.path_lower_bound());
+        if lb > bound as u64 || (lb == bound as u64 && peak >= peak_bound) {
+            self.pruned_evals += 1;
+            return None;
+        }
+        let e = self.estimate();
+        Some((e, peak))
+    }
+
+    /// A lower bound on [`RegionEstimator::estimate`] for the current
+    /// assignment: an ASAP pass in node order (valid because region dep
+    /// graphs are topologically ordered by program order) using
+    /// *effective* latencies.
+    ///
+    /// Soundness per edge `u -> v`:
+    /// * a cut `Flow` edge forces a transfer that lands no earlier than
+    ///   `issue(u) + d.latency + move_latency` (the transfer waits for
+    ///   `finish(u) >= issue(u) + d.latency`, then takes
+    ///   `move_latency`; `u`'s coherence penalty is deliberately *not*
+    ///   added — `finish` includes it, but `d.latency` alone is the
+    ///   only portion guaranteed on every path through the simulator),
+    /// * an uncut value edge (`Flow`/`MemFlow`) delays `v` by
+    ///   `d.latency` plus `u`'s coherence penalty,
+    /// * ordering edges delay by `d.latency`.
+    ///
+    /// Each node then completes no earlier than
+    /// `asap + max(1, base_lat + coherence)`, and live-in values homed
+    /// off-cluster hold their consumer until `move_latency`. Every term
+    /// also bounds the simulation from below, so
+    /// `path_lower_bound() <= estimate()` always.
+    fn path_lower_bound(&mut self) -> u64 {
+        let n = self.est.len();
+        let est = self.est;
+        self.asap.clear();
+        self.asap.resize(n, 0);
+        let mut lb = 0u64;
+        for i in 0..n {
+            let ci = self.assign[i];
+            let mut ready = self.asap[i];
+            if est.live_in_homes[i].iter().any(|&h| h != ci) {
+                ready = ready.max(est.move_latency as u64);
+            }
+            let coherence = match est.mem_home_penalty[i] {
+                Some((home, penalty)) if home != ci => penalty as u64,
+                _ => 0,
+            };
+            lb = lb.max(ready + (est.base_lat[i] as u64 + coherence).max(1));
+            for &di in &est.dg.succs[i] {
+                let d = est.dg.deps[di as usize];
+                let t = d.to as usize;
+                let eff = if d.kind == DepKind::Flow && self.assign[t] != ci {
+                    d.latency as u64 + est.move_latency as u64
+                } else {
+                    d.latency as u64
+                        + match d.kind {
+                            DepKind::Flow | DepKind::MemFlow => coherence,
+                            _ => 0,
+                        }
+                };
+                self.asap[t] = self.asap[t].max(ready + eff);
+            }
+        }
+        lb
     }
 }
 
@@ -446,6 +747,134 @@ mod tests {
         // transfer for the address).
         let at_home = est.estimate(&[0, 1, 1]);
         assert!(at_home < remote, "at_home {at_home} vs remote {remote}");
+    }
+
+    // A mixed region exercising locks, live-ins, memory homes, cut
+    // edges and FU contention, for the incremental-vs-full checks.
+    fn mixed_estimator() -> (Program, Machine) {
+        let mut p = Program::new("t");
+        let obj = p.add_object(mcpart_ir::DataObject::global("g", 16));
+        let mut b = mcpart_ir::FunctionBuilder::entry(&mut p);
+        let a = b.addrof(obj);
+        let v = b.load(mcpart_ir::MemWidth::B4, a);
+        let mut accum = v;
+        for i in 0..6 {
+            let c = b.iconst(i);
+            accum = b.add(accum, c);
+        }
+        let w = b.mul(accum, accum);
+        b.store(mcpart_ir::MemWidth::B4, a, w);
+        b.ret(Some(w));
+        let m = Machine::paper_2cluster(5).with_coherent_cache(9);
+        (p, m)
+    }
+
+    #[test]
+    fn incremental_matches_full_evaluation() {
+        let (p, m) = mixed_estimator();
+        let pts = mcpart_analysis::PointsTo::compute(&p);
+        let access = AccessInfo::compute(&p, &pts, &Profile::uniform(&p, 1));
+        let mut est = RegionEstimator::new(&p, p.entry, &[p.entry_function().entry], &access, &m);
+        est.set_mem_home(1, ClusterId::new(1), 9);
+        est.add_live_in_home(2, ClusterId::new(1));
+        let n = est.len();
+        let mut inc = IncrementalEstimator::new(&est);
+        // Walk through a deterministic pseudo-random sequence of
+        // assignments via try_move, checking estimate and peak against
+        // the from-scratch evaluator at every step.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for step in 0..64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let node = (state >> 33) as usize % n;
+            let to = ((state >> 17) & 1) as u16;
+            inc.try_move(&[node as u32], to);
+            if step % 3 == 0 {
+                inc.rollback();
+            } else {
+                inc.commit();
+            }
+            let expect_e = est.estimate(inc.assign());
+            let expect_p = est.resource_peak(inc.assign());
+            assert_eq!(inc.estimate(), expect_e, "step {step}");
+            assert_eq!(inc.resource_peak(), expect_p, "step {step}");
+        }
+    }
+
+    #[test]
+    fn path_lower_bound_never_exceeds_estimate() {
+        let (p, m) = mixed_estimator();
+        let pts = mcpart_analysis::PointsTo::compute(&p);
+        let access = AccessInfo::compute(&p, &pts, &Profile::uniform(&p, 1));
+        let mut est = RegionEstimator::new(&p, p.entry, &[p.entry_function().entry], &access, &m);
+        est.set_mem_home(1, ClusterId::new(1), 9);
+        est.add_live_in_home(2, ClusterId::new(1));
+        let n = est.len();
+        let mut inc = IncrementalEstimator::new(&est);
+        let mut state = 0xdead_beef_cafe_f00du64;
+        for _ in 0..64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let node = (state >> 33) as usize % n;
+            inc.try_move(&[node as u32], ((state >> 17) & 1) as u16);
+            inc.commit();
+            let lb = (inc.resource_peak() as u64).max(inc.path_lower_bound());
+            let e = est.estimate(inc.assign());
+            assert!(lb <= e as u64, "lb {lb} > estimate {e}");
+        }
+    }
+
+    #[test]
+    fn estimate_unless_worse_prunes_exactly() {
+        let (p, m) = mixed_estimator();
+        let pts = mcpart_analysis::PointsTo::compute(&p);
+        let access = AccessInfo::compute(&p, &pts, &Profile::uniform(&p, 1));
+        let est = RegionEstimator::new(&p, p.entry, &[p.entry_function().entry], &access, &m);
+        let n = est.len();
+        let mut inc = IncrementalEstimator::new(&est);
+        let bound = inc.estimate();
+        let peak_bound = inc.resource_peak();
+        let mut pruned = 0usize;
+        for node in 0..n {
+            inc.try_move(&[node as u32], 1);
+            match inc.estimate_unless_worse(bound, peak_bound) {
+                Some((e, peak)) => {
+                    assert_eq!(e, est.estimate(inc.assign()));
+                    assert_eq!(peak, est.resource_peak(inc.assign()));
+                }
+                None => {
+                    // Pruned: the probe must genuinely fail RHOP's
+                    // acceptance test against (bound, peak_bound).
+                    let e = est.estimate(inc.assign());
+                    let peak = est.resource_peak(inc.assign());
+                    let improves = e < bound || (e == bound && peak < peak_bound);
+                    assert!(!improves, "pruned an improving move: e={e} peak={peak}");
+                    pruned += 1;
+                }
+            }
+            inc.rollback();
+        }
+        assert_eq!(inc.pruned_evals as usize, pruned);
+        // The workspace path and the allocating path agree after reuse.
+        assert_eq!(inc.estimate(), bound);
+    }
+
+    #[test]
+    fn load_groups_expands_group_assignments() {
+        let (p, m) = mixed_estimator();
+        let pts = mcpart_analysis::PointsTo::compute(&p);
+        let access = AccessInfo::compute(&p, &pts, &Profile::uniform(&p, 1));
+        let est = RegionEstimator::new(&p, p.entry, &[p.entry_function().entry], &access, &m);
+        let n = est.len();
+        // Two groups: even nodes and odd nodes.
+        let members: Vec<Vec<u32>> = vec![
+            (0..n as u32).filter(|i| i % 2 == 0).collect(),
+            (0..n as u32).filter(|i| i % 2 == 1).collect(),
+        ];
+        let mut inc = IncrementalEstimator::new(&est);
+        inc.load_groups(&members, &[0, 1]);
+        let expect: Vec<u16> = (0..n).map(|i| (i % 2) as u16).collect();
+        assert_eq!(inc.assign(), &expect[..]);
+        assert_eq!(inc.estimate(), est.estimate(&expect));
+        assert_eq!(inc.resource_peak(), est.resource_peak(&expect));
     }
 
     #[test]

@@ -57,12 +57,12 @@ mod validate;
 mod viz;
 
 pub use depgraph::{Dep, DepGraph, DepKind};
-pub use estimate::{RegionEstimator, INFEASIBLE};
+pub use estimate::{EstimateWorkspace, IncrementalEstimator, RegionEstimator, INFEASIBLE};
 pub use list::{effective_latency, schedule_block, BlockSchedule};
 pub use modulo::{evaluate_pipelined, modulo_schedule_block, ModuloSchedule};
 pub use moves::{
     insert_moves, insert_moves_with, intercluster_moves_per_block, is_intercluster_move,
-    normalize_placement, vreg_homes, MoveStats, MoveStrategy,
+    normalize_placement, vreg_homes, vreg_homes_of, MoveStats, MoveStrategy,
 };
 pub use perf::{evaluate, PerfReport};
 pub use placement::Placement;

@@ -18,14 +18,23 @@ pub fn vreg_homes(
     func: FuncId,
     placement: &Placement,
 ) -> EntityMap<VReg, ClusterId> {
-    let f = &program.functions[func];
+    vreg_homes_of(&program.functions[func], &placement.op_cluster[func])
+}
+
+/// [`vreg_homes`] from a bare per-operation cluster map, for callers
+/// (like the per-function RHOP tasks) that partition one function
+/// without materializing a whole-program [`Placement`].
+pub fn vreg_homes_of(
+    f: &Function,
+    clusters: &EntityMap<OpId, ClusterId>,
+) -> EntityMap<VReg, ClusterId> {
     let mut homes: EntityMap<VReg, ClusterId> =
         EntityMap::with_default(f.num_vregs, ClusterId::new(0));
     let mut fixed = vec![false; f.num_vregs];
     for (oid, op) in f.ops.iter() {
         for &d in &op.dsts {
             if !std::mem::replace(&mut fixed[d.0 as usize], true) {
-                homes[d] = placement.cluster_of(func, oid);
+                homes[d] = clusters[oid];
             }
         }
     }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Partitioning-pipeline performance benchmark. Builds the harness in
+# release mode and runs `bench_partition`, which writes a JSON report
+# (per-workload stage wall-clock, estimator-call accounting, the
+# incremental-estimation ablation and the parallel suite speedup).
+#
+#   scripts/bench.sh                  # full run -> BENCH_partition.json
+#   scripts/bench.sh --quick          # 3-workload smoke run, 1 rep
+#   scripts/bench.sh --jobs 4         # pin the worker count
+#   scripts/bench.sh --out path.json  # report path
+#
+# Extra arguments are forwarded to the binary (e.g. --benchmarks a,b).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p mcpart-bench --bin bench_partition
+exec target/release/bench_partition "$@"

@@ -13,7 +13,14 @@ cargo test --workspace -q
 echo "== cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo clippy --workspace --all-targets -- -W clippy::perf"
+cargo clippy --workspace --all-targets -- -W clippy::perf
+
 echo "== cargo fmt --check"
 cargo fmt --check
+
+echo "== scripts/bench.sh --quick (smoke)"
+scripts/bench.sh --quick --out /tmp/BENCH_partition.quick.json >/dev/null
+test -s /tmp/BENCH_partition.quick.json
 
 echo "== all checks passed"

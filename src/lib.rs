@@ -51,6 +51,7 @@ pub use mcpart_core as core;
 pub use mcpart_ir as ir;
 pub use mcpart_machine as machine;
 pub use mcpart_metis as metis;
+pub use mcpart_par as par;
 pub use mcpart_rng as rng;
 pub use mcpart_sched as sched;
 pub use mcpart_sim as sim;

@@ -35,7 +35,9 @@ const USAGE: &str = "usage: mcpart <list|run|compare|dump|exec|partition|schedul
 options: --method gdp|profile-max|naive|unified  --latency <cycles>
          --clusters <n>  --memory partitioned|unified|coherent:<penalty>
          --gdp-fuel <n>  (cap GDP refinement; exhaustion triggers the
-                          ProfileMax/Naive fallback ladder)";
+                          ProfileMax/Naive fallback ladder)
+         --jobs <n>      (worker threads for partitioning; 0 = all
+                          cores, the default; never changes results)";
 
 /// A CLI failure, split by whose fault it is: `Usage` means the command
 /// line itself was malformed (exit 2), `Runtime` means the inputs or
@@ -63,6 +65,7 @@ struct Options {
     memory: MemoryChoice,
     method: Method,
     gdp_fuel: Option<u64>,
+    jobs: usize,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -80,6 +83,7 @@ impl Default for Options {
             memory: MemoryChoice::Partitioned,
             method: Method::Gdp,
             gdp_fuel: None,
+            jobs: 0,
         }
     }
 }
@@ -131,6 +135,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 );
                 i += 1;
             }
+            "--jobs" => {
+                o.jobs =
+                    args.get(i + 1).and_then(|v| v.parse().ok()).ok_or("--jobs needs a number")?;
+                i += 1;
+            }
             "--memory" => {
                 let v = args.get(i + 1).ok_or("--memory needs a value")?;
                 o.memory = if v == "partitioned" {
@@ -154,7 +163,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 }
 
 fn config_of(o: &Options, method: Method) -> PipelineConfig {
-    let mut cfg = PipelineConfig::new(method);
+    let mut cfg = PipelineConfig::new(method).with_jobs(o.jobs);
     cfg.gdp.fuel = o.gdp_fuel;
     cfg
 }
@@ -361,15 +370,10 @@ fn main() -> ExitCode {
             let pts = mcpart::analysis::PointsTo::compute(&program);
             let access = mcpart::analysis::AccessInfo::compute(&program, &pts, &profile);
             let groups = mcpart::core::ObjectGroups::compute(&program, &access);
-            let dp = mcpart::core::gdp_partition(
-                &program,
-                &profile,
-                &access,
-                &groups,
-                &machine,
-                &mcpart::core::GdpConfig::default(),
-            )
-            .map_err(|e| e.to_string())?;
+            let gcfg = mcpart::core::GdpConfig { jobs: o.jobs, ..Default::default() };
+            let dp =
+                mcpart::core::gdp_partition(&program, &profile, &access, &groups, &machine, &gcfg)
+                    .map_err(|e| e.to_string())?;
             outln!("object homes for {} (cut {}):", program.name, dp.cut);
             for (obj, home) in dp.object_home.iter() {
                 if let Some(c) = home {
@@ -439,6 +443,19 @@ mod tests {
         assert_eq!(o.gdp_fuel, Some(0));
         assert_eq!(config_of(&o, Method::Gdp).gdp.fuel, Some(0));
         let bad: Vec<String> = ["--gdp-fuel", "lots"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_options(&bad).is_err());
+    }
+
+    #[test]
+    fn jobs_option_feeds_the_config() {
+        let args: Vec<String> = ["--jobs", "4"].iter().map(|s| s.to_string()).collect();
+        let o = parse_options(&args).unwrap();
+        assert_eq!(o.jobs, 4);
+        assert_eq!(config_of(&o, Method::Gdp).rhop.jobs, 4);
+        assert_eq!(config_of(&o, Method::Gdp).gdp.jobs, 4);
+        // Default is 0 = auto.
+        assert_eq!(parse_options(&[]).unwrap().jobs, 0);
+        let bad: Vec<String> = ["--jobs", "many"].iter().map(|s| s.to_string()).collect();
         assert!(parse_options(&bad).is_err());
     }
 

@@ -1,0 +1,106 @@
+//! Parallel determinism: `--jobs N` must reproduce `--jobs 1` exactly.
+//!
+//! The partitioning pipeline fans out per function (RHOP), per METIS
+//! restart (GDP) and per workload (the experiment harness), all under
+//! the `mcpart-par` contract: per-task RNG streams and input-order
+//! reduction. These tests pin the observable consequence — placements,
+//! schedule estimates, downgrade records and work counters are
+//! bit-identical at every worker count — on every bundled workload.
+
+use mcpart::core::{run_pipeline, Method, PipelineConfig, PipelineResult};
+use mcpart::machine::Machine;
+
+fn run_with_jobs(w: &mcpart::workloads::Workload, method: Method, jobs: usize) -> PipelineResult {
+    let machine = Machine::paper_2cluster(5);
+    let cfg = PipelineConfig::new(method).with_jobs(jobs);
+    run_pipeline(&w.program, &w.profile, &machine, &cfg).expect("pipeline")
+}
+
+/// Asserts the observable pipeline outputs are identical between runs.
+fn assert_same(name: &str, method: Method, a: &PipelineResult, b: &PipelineResult) {
+    let ctx = format!("{name}/{method}");
+    assert_eq!(a.placement.op_cluster, b.placement.op_cluster, "{ctx}: op placements differ");
+    assert_eq!(a.placement.object_home, b.placement.object_home, "{ctx}: object homes differ");
+    assert_eq!(a.cycles(), b.cycles(), "{ctx}: schedule estimates differ");
+    assert_eq!(a.dynamic_moves(), b.dynamic_moves(), "{ctx}: move traffic differs");
+    assert_eq!(a.downgrades, b.downgrades, "{ctx}: downgrade records differ");
+    assert_eq!(a.method, b.method, "{ctx}: resolved method differs");
+    assert_eq!(a.rhop_stats, b.rhop_stats, "{ctx}: RHOP work counters differ");
+    assert_eq!(a.data_bytes, b.data_bytes, "{ctx}: data distribution differs");
+}
+
+#[test]
+fn gdp_is_identical_across_worker_counts_on_every_workload() {
+    for w in mcpart::workloads::all() {
+        let seq = run_with_jobs(&w, Method::Gdp, 1);
+        let par = run_with_jobs(&w, Method::Gdp, 8);
+        assert_same(w.name, Method::Gdp, &seq, &par);
+    }
+}
+
+#[test]
+fn every_method_is_identical_across_worker_counts() {
+    // The non-GDP methods exercise different RHOP lock patterns; a
+    // couple of mid-sized workloads cover them without an hour of
+    // debug-build runtime.
+    for name in ["rawcaudio", "fft"] {
+        let w = mcpart::workloads::by_name(name).expect("bundled workload");
+        for method in Method::ALL {
+            let seq = run_with_jobs(&w, method, 1);
+            let par = run_with_jobs(&w, method, 8);
+            assert_same(w.name, method, &seq, &par);
+        }
+    }
+}
+
+#[test]
+fn auto_jobs_matches_sequential() {
+    // jobs = 0 resolves to the host parallelism; results must not
+    // depend on what that happens to be.
+    let w = mcpart::workloads::by_name("rawcaudio").expect("bundled workload");
+    let seq = run_with_jobs(&w, Method::Gdp, 1);
+    let auto = run_with_jobs(&w, Method::Gdp, 0);
+    assert_same(w.name, Method::Gdp, &seq, &auto);
+}
+
+#[test]
+fn downgrade_records_are_identical_across_worker_counts() {
+    // Starve GDP's refinement fuel so the degradation ladder fires
+    // (GDP -> Profile Max), and check the recorded ladder is the same
+    // at every worker count.
+    let w = mcpart::workloads::by_name("rawcaudio").expect("bundled workload");
+    let machine = Machine::paper_2cluster(5);
+    let run = |jobs: usize| {
+        let mut cfg = PipelineConfig::new(Method::Gdp).with_jobs(jobs);
+        cfg.gdp.fuel = Some(0);
+        run_pipeline(&w.program, &w.profile, &machine, &cfg).expect("pipeline")
+    };
+    let seq = run(1);
+    assert!(seq.was_downgraded(), "zero GDP fuel must trip the ladder");
+    for jobs in [2, 8] {
+        let par = run(jobs);
+        assert_same(w.name, Method::Gdp, &seq, &par);
+    }
+}
+
+#[test]
+fn budget_exhaustion_error_is_identical_across_worker_counts() {
+    // When the shared estimator budget kills every rung, even the
+    // surfaced error must be the same at every worker count: the
+    // exceeded outcome depends only on total demand, not scheduling.
+    let w = mcpart::workloads::by_name("rawcaudio").expect("bundled workload");
+    let machine = Machine::paper_2cluster(5);
+    let run = |jobs: usize| {
+        let mut cfg = PipelineConfig::new(Method::Gdp).with_jobs(jobs);
+        cfg.rhop.max_estimator_calls = Some(3);
+        run_pipeline(&w.program, &w.profile, &machine, &cfg)
+            .expect_err("a 3-call budget cannot finish any rung")
+    };
+    let seq = run(1);
+    for jobs in [2, 8] {
+        let par = run(jobs);
+        assert_eq!(seq.method, par.method, "jobs={jobs}: error rung differs");
+        assert_eq!(seq.stage, par.stage, "jobs={jobs}: error stage differs");
+        assert_eq!(seq.to_string(), par.to_string(), "jobs={jobs}: rendered error differs");
+    }
+}
