@@ -19,17 +19,26 @@ struct Options {
     jobs: usize,
     out: String,
     reps: usize,
+    metrics: bool,
 }
 
 fn parse_options(args: &[String]) -> Options {
-    let mut opts =
-        Options { quick: false, jobs: 0, out: "BENCH_partition.json".to_string(), reps: 3 };
+    let mut opts = Options {
+        quick: false,
+        jobs: 0,
+        out: "BENCH_partition.json".to_string(),
+        reps: 3,
+        metrics: false,
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => {
                 opts.quick = true;
                 opts.reps = 1;
+            }
+            "--metrics" => {
+                opts.metrics = true;
             }
             "--jobs" => {
                 if let Some(v) = args.get(i + 1) {
@@ -104,8 +113,12 @@ fn main() {
     let mut suite_seq = Duration::ZERO;
     let mut suite_seq_full = Duration::ZERO;
     for w in &workloads {
-        // Incremental estimation ON (the default), sequential.
-        let cfg = PipelineConfig::new(Method::Gdp).with_jobs(1);
+        // Incremental estimation ON (the default), sequential. With
+        // `--metrics` an observability sink rides along and its final
+        // counter values are folded into the report row.
+        let obs =
+            if opts.metrics { mcpart_obs::Obs::enabled() } else { mcpart_obs::Obs::disabled() };
+        let cfg = PipelineConfig::new(Method::Gdp).with_jobs(1).with_obs(obs.clone());
         let (part, total, r) = best_of(opts.reps, w, &machine, &cfg);
         suite_seq += total;
         // Incremental estimation OFF: every probe pays a full schedule
@@ -121,7 +134,7 @@ fn main() {
             w.name
         );
         let st = &r.rhop_stats;
-        rows.push(Json::Obj(vec![
+        let mut row = vec![
             ("benchmark".into(), Json::Str(w.name.to_string())),
             ("partition_secs".into(), Json::Num(secs(part))),
             ("pipeline_secs".into(), Json::Num(secs(total))),
@@ -130,9 +143,21 @@ fn main() {
             ("estimator_calls".into(), Json::Int(st.estimator_calls as i64)),
             ("full_evals".into(), Json::Int(st.full_evals as i64)),
             ("pruned_evals".into(), Json::Int(st.pruned_evals as i64)),
+            ("pruned_lock".into(), Json::Int(st.pruned_lock as i64)),
+            ("pruned_bound".into(), Json::Int(st.pruned_bound as i64)),
             ("moves_accepted".into(), Json::Int(st.moves_accepted as i64)),
             ("cycles".into(), Json::Int(r.report.total_cycles as i64)),
-        ]));
+            ("stall_cycles".into(), Json::Int(r.report.stall_cycles as i64)),
+            ("transfer_cycles".into(), Json::Int(r.report.transfer_cycles as i64)),
+        ];
+        if opts.metrics {
+            for (counter, key) in [("cut", "gdp_cut"), ("balance_x1000", "gdp_balance_x1000")] {
+                if let Some(v) = obs.last_counter("gdp", counter) {
+                    row.push((key.into(), Json::Int(v)));
+                }
+            }
+        }
+        rows.push(Json::Obj(row));
         eprintln!(
             "{:<16} partition {:>8.3}s  pipeline {:>8.3}s (no-incr {:>8.3}s)  \
              probes {} = {} full + {} pruned",
@@ -192,7 +217,8 @@ fn main() {
     let doc = Json::Obj(vec![
         ("benchmark".into(), Json::Str("partition-pipeline".to_string())),
         ("jobs".into(), Json::Int(jobs as i64)),
-        ("quick".into(), Json::Str(opts.quick.to_string())),
+        ("quick".into(), Json::Bool(opts.quick)),
+        ("metrics".into(), Json::Bool(opts.metrics)),
         ("host_parallelism".into(), Json::Int(mcpart_par::available_jobs() as i64)),
         ("workloads".into(), Json::Arr(rows)),
         ("suite_secs_sequential".into(), Json::Num(secs(best_seq))),

@@ -78,6 +78,9 @@ mod tests {
 /// dependency-free; experiment records are flat and numeric).
 #[derive(Clone, Debug)]
 pub enum Json {
+    /// A boolean (serialized as the literal `true`/`false`, never a
+    /// quoted string).
+    Bool(bool),
     /// A float (serialized with full precision).
     Num(f64),
     /// An integer.
@@ -94,6 +97,7 @@ impl Json {
     /// Serializes the value.
     pub fn render(&self) -> String {
         match self {
+            Json::Bool(b) => b.to_string(),
             Json::Num(x) => {
                 if x.is_finite() {
                     format!("{x}")
@@ -155,5 +159,16 @@ mod json_tests {
     #[test]
     fn json_non_finite_is_null() {
         assert_eq!(Json::Num(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn json_bool_is_a_bare_literal() {
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Bool(false).render(), "false");
+        let v = Json::Obj(vec![("quick".into(), Json::Bool(false))]);
+        // A strict parser must see a JSON boolean, not the string
+        // "false" (the bug this variant fixes).
+        let parsed = mcpart_obs::json::parse(&v.render()).unwrap();
+        assert_eq!(parsed.get("quick").and_then(|b| b.as_bool()), Some(false));
     }
 }

@@ -45,6 +45,10 @@ pub struct GdpConfig {
     /// initial-partition restarts (`1` = sequential, `0` = all
     /// available cores; never changes results).
     pub jobs: usize,
+    /// Observability sink (spans for DFG build and the partition,
+    /// counters for cut and per-cluster bytes); the default records
+    /// nothing.
+    pub obs: mcpart_obs::Obs,
 }
 
 impl Default for GdpConfig {
@@ -56,6 +60,7 @@ impl Default for GdpConfig {
             merge_dependent_ops: false,
             fuel: None,
             jobs: 1,
+            obs: mcpart_obs::Obs::disabled(),
         }
     }
 }
@@ -106,7 +111,15 @@ pub fn gdp_partition(
     if nclusters == 0 {
         return Err(GdpError::NoClusters);
     }
+    let total_clock = std::time::Instant::now();
+    let dfg_clock = std::time::Instant::now();
     let dfg = ProgramDfg::build(program, profile);
+    config.obs.span_args(
+        "gdp",
+        "dfg",
+        dfg_clock,
+        &[("nodes", dfg.len() as i64), ("edges", dfg.edges.len() as i64)],
+    );
 
     // Supernodes: one per live object group (all of the group's access
     // sites merged), one per remaining operation.
@@ -171,6 +184,8 @@ pub fn gdp_partition(
         builder.add_edge(super_of_node[from] as u32, super_of_node[to] as u32, w);
     }
     let graph = builder.build();
+    config.obs.counter("gdp", "supernodes", vertex_count as i64);
+    config.obs.counter("gdp", "merged_sites", (dfg.len() - vertex_count) as i64);
 
     let fractions: Vec<f64> = machine.memory_weights().iter().map(|&w| w as f64).collect();
     let metis_config = PartitionConfig::new(nclusters)
@@ -178,7 +193,8 @@ pub fn gdp_partition(
         .with_target_fractions(fractions)
         .with_seed(config.seed)
         .with_fuel(config.fuel)
-        .with_jobs(config.jobs);
+        .with_jobs(config.jobs)
+        .with_obs(config.obs.clone());
     let result = partition(&graph, &metis_config)?;
 
     // Extract group homes; dead groups go to the byte-lightest cluster.
@@ -207,7 +223,23 @@ pub fn gdp_partition(
     for (obj, &g) in groups.group_of.iter() {
         object_home[obj] = Some(group_cluster[g]);
     }
-    Ok(DataPartition { object_home, group_cluster, cut: result.cut })
+    let dp = DataPartition { object_home, group_cluster, cut: result.cut };
+    if config.obs.is_enabled() {
+        config.obs.counter("gdp", "cut", dp.cut as i64);
+        let final_bytes = dp.bytes_per_cluster(program, nclusters);
+        for (c, &b) in final_bytes.iter().enumerate() {
+            config.obs.counter_args("gdp", "cluster_bytes", b as i64, &[("cluster", c as i64)]);
+        }
+        // Balance as max-over-ideal, scaled ×1000 (1000 = perfect).
+        let total: u64 = final_bytes.iter().sum();
+        if total > 0 {
+            let ideal = total as f64 / nclusters as f64;
+            let worst = final_bytes.iter().copied().max().unwrap_or(0) as f64;
+            config.obs.counter("gdp", "balance_x1000", (worst / ideal * 1000.0) as i64);
+        }
+        config.obs.span_since("gdp", "partition", total_clock);
+    }
+    Ok(dp)
 }
 
 /// Assigns every object group a home from an explicit per-group mapping

@@ -115,6 +115,10 @@ pub struct PipelineConfig {
     /// iteration. Off by default (the paper's model schedules each
     /// iteration acyclically).
     pub software_pipelining: bool,
+    /// Observability sink shared by every stage (set it with
+    /// [`PipelineConfig::with_obs`] so the GDP/RHOP sub-configs share
+    /// the same sink). The default records nothing.
+    pub obs: mcpart_obs::Obs,
 }
 
 impl PipelineConfig {
@@ -132,6 +136,7 @@ impl PipelineConfig {
             move_strategy: mcpart_sched::MoveStrategy::default(),
             pre_optimize: false,
             software_pipelining: false,
+            obs: mcpart_obs::Obs::disabled(),
         }
     }
 
@@ -143,6 +148,27 @@ impl PipelineConfig {
         self.rhop.jobs = jobs;
         self.gdp.jobs = jobs;
         self
+    }
+
+    /// Attaches one observability sink to the whole pipeline: stage
+    /// spans and counters here, plus the GDP, METIS and RHOP events of
+    /// the sub-configs (they all share the sink, so a downgrade ladder
+    /// accumulates every attempt's events in order).
+    pub fn with_obs(mut self, obs: mcpart_obs::Obs) -> Self {
+        self.gdp.obs = obs.clone();
+        self.rhop.obs = obs.clone();
+        self.obs = obs;
+        self
+    }
+}
+
+/// Stable method ordinal for pinned event args (events carry integers).
+fn method_ord(method: Method) -> i64 {
+    match method {
+        Method::Gdp => 0,
+        Method::ProfileMax => 1,
+        Method::Naive => 2,
+        Method::Unified => 3,
     }
 }
 
@@ -244,6 +270,12 @@ pub fn run_pipeline(
             }
             Err(e) if e.is_recoverable() => match method.fallback() {
                 Some(next) => {
+                    config.obs.counter_args(
+                        "pipeline",
+                        "downgrade",
+                        (downgrades.len() + 1) as i64,
+                        &[("from", method_ord(method)), ("to", method_ord(next))],
+                    );
                     downgrades.push(Downgrade { from: method, to: next, reason: e.to_string() });
                     method = next;
                 }
@@ -290,7 +322,28 @@ fn run_method(
     let program = program;
     let pts = PointsTo::compute(&program);
     let access = AccessInfo::compute(&program, &pts, profile);
+    let merge_clock = Instant::now();
     let groups = ObjectGroups::compute(&program, &access);
+    if config.obs.is_enabled() {
+        let singletons = groups.groups.iter().filter(|g| g.len() == 1).count();
+        config.obs.span_args(
+            "pipeline",
+            "merge",
+            merge_clock,
+            &[
+                ("objects", program.objects.len() as i64),
+                ("groups", groups.len() as i64),
+                ("merged", (program.objects.len() - groups.len()) as i64),
+                ("singletons", singletons as i64),
+            ],
+        );
+        config.obs.span_args(
+            "pipeline",
+            "analysis",
+            clock,
+            &[("method", method_ord(config.method))],
+        );
+    }
     check_clock(Stage::Analysis, clock)?;
 
     let start = Instant::now();
@@ -349,6 +402,7 @@ fn run_method(
     };
     let clock = Instant::now();
     let normalized = normalize_placement(&program, &placement, &access, &eval_machine, profile);
+    config.obs.span_since("pipeline", "normalize", clock);
     check_clock(Stage::Normalize, clock)?;
     let clock = Instant::now();
     let (moved_program, moved_placement, move_stats) = mcpart_sched::insert_moves_with(
@@ -357,6 +411,12 @@ fn run_method(
         &eval_machine,
         Some(profile),
         config.move_strategy,
+    );
+    config.obs.span_args(
+        "pipeline",
+        "moves",
+        clock,
+        &[("moves_inserted", move_stats.moves_inserted as i64)],
     );
     check_clock(Stage::MoveInsertion, clock)?;
     let partition_time = start.elapsed();
@@ -374,6 +434,7 @@ fn run_method(
         let clock = Instant::now();
         validate_placement(&moved_program, &moved_placement, &moved_access, &eval_machine)
             .map_err(|e| fail(Stage::PlacementValidation, PipelineErrorKind::Placement(e)))?;
+        config.obs.span_since("pipeline", "validate_placement", clock);
         check_clock(Stage::PlacementValidation, clock)?;
     }
 
@@ -384,6 +445,7 @@ fn run_method(
         if !ok {
             return Err(fail(Stage::SemanticValidation, PipelineErrorKind::SemanticsChanged));
         }
+        config.obs.span_since("pipeline", "validate_semantics", clock);
         check_clock(Stage::SemanticValidation, clock)?;
     }
 
@@ -399,9 +461,28 @@ fn run_method(
     } else {
         evaluate(&moved_program, &moved_placement, &eval_machine, profile, &moved_access)
     };
+    if config.obs.is_enabled() {
+        config.obs.counter("sim", "cycles", report.total_cycles as i64);
+        config.obs.counter("sim", "stall_cycles", report.stall_cycles as i64);
+        config.obs.counter("sim", "transfer_cycles", report.transfer_cycles as i64);
+        config.obs.counter("sim", "dynamic_moves", report.dynamic_moves as i64);
+        config.obs.counter("sim", "static_moves", report.static_moves as i64);
+        config.obs.counter("sim", "remote_accesses", report.dynamic_remote_accesses as i64);
+        config.obs.span_since("pipeline", "sim", clock);
+    }
     check_clock(Stage::Evaluation, clock)?;
 
     let data_bytes = moved_placement.bytes_per_cluster(&moved_program, machine.num_clusters());
+    if config.obs.is_enabled() {
+        for (cluster, &bytes) in data_bytes.iter().enumerate() {
+            config.obs.counter_args(
+                "pipeline",
+                "data_bytes",
+                bytes as i64,
+                &[("cluster", cluster as i64)],
+            );
+        }
+    }
     Ok(PipelineResult {
         method: config.method,
         requested_method: config.method,

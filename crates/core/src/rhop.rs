@@ -95,6 +95,12 @@ pub struct RhopConfig {
     /// probes pay for a full schedule simulation — so turning it off is
     /// useful solely for measuring its benefit.
     pub incremental: bool,
+    /// Observability sink. Workers record into private buffers that are
+    /// flushed in function order, so the pinned event log of a
+    /// successful run is byte-identical for every [`RhopConfig::jobs`]
+    /// value; on a failed run no RHOP events are flushed at all. The
+    /// default records nothing.
+    pub obs: mcpart_obs::Obs,
 }
 
 impl Default for RhopConfig {
@@ -107,6 +113,7 @@ impl Default for RhopConfig {
             max_estimator_calls: None,
             jobs: 1,
             incremental: true,
+            obs: mcpart_obs::Obs::disabled(),
         }
     }
 }
@@ -123,8 +130,13 @@ pub struct RhopStats {
     pub moves_accepted: u64,
     /// Probes that paid for a full schedule simulation.
     pub full_evals: u64,
-    /// Probes answered by the exact lower bound alone.
+    /// Probes answered by the exact lower bound alone
+    /// (`pruned_lock + pruned_bound`).
     pub pruned_evals: u64,
+    /// Pruned probes rejected for displacing a locked operation.
+    pub pruned_lock: u64,
+    /// Pruned probes rejected by the resource/critical-path bound.
+    pub pruned_bound: u64,
 }
 
 impl RhopStats {
@@ -136,6 +148,8 @@ impl RhopStats {
         self.moves_accepted += other.moves_accepted;
         self.full_evals += other.full_evals;
         self.pruned_evals += other.pruned_evals;
+        self.pruned_lock += other.pruned_lock;
+        self.pruned_bound += other.pruned_bound;
     }
 }
 
@@ -173,6 +187,7 @@ pub fn rhop_partition(
     object_home: &EntityMap<ObjectId, Option<ClusterId>>,
     config: &RhopConfig,
 ) -> Result<(Placement, RhopStats), RhopError> {
+    let clock = std::time::Instant::now();
     let mut placement = Placement::all_on_cluster0(program);
     placement.object_home = object_home.clone();
     // The budget is shared across workers. Whether it runs out depends
@@ -185,10 +200,28 @@ pub fn rhop_partition(
         partition_function(program, fid, access, machine, object_home, config, &budget)
     });
     let mut stats = RhopStats::default();
+    // Worker event buffers are held back until every function succeeded,
+    // then flushed in function order: the sink sees the same sequence
+    // for every worker count, and a failed run flushes nothing.
+    let mut bufs = Vec::with_capacity(fids.len());
     for (&fid, result) in fids.iter().zip(results) {
-        let (op_clusters, func_stats) = result?;
+        let (op_clusters, func_stats, buf) = result?;
         placement.op_cluster[fid] = op_clusters;
         stats.add(&func_stats);
+        bufs.push(buf);
+    }
+    for buf in bufs {
+        config.obs.append(buf);
+    }
+    if config.obs.is_enabled() {
+        config.obs.counter("rhop", "regions", stats.regions as i64);
+        config.obs.counter("rhop", "estimator_calls", stats.estimator_calls as i64);
+        config.obs.counter("rhop", "moves_accepted", stats.moves_accepted as i64);
+        config.obs.counter("rhop", "full_evals", stats.full_evals as i64);
+        config.obs.counter("rhop", "pruned_evals", stats.pruned_evals as i64);
+        config.obs.counter("rhop", "pruned_lock", stats.pruned_lock as i64);
+        config.obs.counter("rhop", "pruned_bound", stats.pruned_bound as i64);
+        config.obs.span_since("rhop", "partition", clock);
     }
     Ok((placement, stats))
 }
@@ -205,7 +238,9 @@ fn partition_function(
     object_home: &EntityMap<ObjectId, Option<ClusterId>>,
     config: &RhopConfig,
     budget: &SharedBudget,
-) -> Result<(EntityMap<OpId, ClusterId>, RhopStats), RhopError> {
+) -> Result<(EntityMap<OpId, ClusterId>, RhopStats, mcpart_obs::EventBuf), RhopError> {
+    let clock = std::time::Instant::now();
+    let mut buf = config.obs.buffer();
     let func = &program.functions[fid];
     let mut op_clusters: EntityMap<OpId, ClusterId> =
         EntityMap::with_default(func.num_ops(), ClusterId::new(0));
@@ -250,7 +285,20 @@ fn partition_function(
             )?;
         }
     }
-    Ok((op_clusters, stats))
+    buf.span_args(
+        "rhop",
+        "function",
+        clock,
+        &[
+            ("func", fid.index() as i64),
+            ("regions", stats.regions as i64),
+            ("estimator_calls", stats.estimator_calls as i64),
+            ("moves_accepted", stats.moves_accepted as i64),
+            ("full_evals", stats.full_evals as i64),
+            ("pruned_evals", stats.pruned_evals as i64),
+        ],
+    );
+    Ok((op_clusters, stats, buf))
 }
 
 /// One coarsening level: groups of region-node indices.
@@ -595,6 +643,8 @@ fn partition_region(
     }
     stats.full_evals += inc.full_evals;
     stats.pruned_evals += inc.pruned_evals;
+    stats.pruned_lock += inc.pruned_lock;
+    stats.pruned_bound += inc.pruned_bound;
     Ok(())
 }
 
@@ -853,6 +903,11 @@ mod tests {
         assert_eq!(st_seq.estimator_calls, st_full.estimator_calls);
         assert_eq!(st_seq.moves_accepted, st_full.moves_accepted);
         assert!(st_seq.pruned_evals > 0, "pruning should answer some probes: {st_seq:?}");
+        assert_eq!(
+            st_seq.pruned_lock + st_seq.pruned_bound,
+            st_seq.pruned_evals,
+            "the prune-reason split must cover every pruned probe"
+        );
         assert_eq!(st_full.pruned_evals, 0);
         assert_eq!(
             st_seq.full_evals + st_seq.pruned_evals,

@@ -39,6 +39,8 @@ pub struct PartitionConfig {
     /// reduce in try order); with a finite [`PartitionConfig::fuel`]
     /// the restarts stay sequential so the exhaustion point is exact.
     pub jobs: usize,
+    /// Observability sink; the default records nothing.
+    pub obs: mcpart_obs::Obs,
 }
 
 impl PartitionConfig {
@@ -55,6 +57,7 @@ impl PartitionConfig {
             refine_passes: 8,
             fuel: None,
             jobs: 1,
+            obs: mcpart_obs::Obs::disabled(),
         }
     }
 
@@ -86,6 +89,13 @@ impl PartitionConfig {
     /// (`0` = all available cores; never changes results).
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Attaches an observability sink ([`partition`] records a span
+    /// with coarsening/cut/fuel statistics into it).
+    pub fn with_obs(mut self, obs: mcpart_obs::Obs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -157,13 +167,16 @@ fn make_balance(graph: &Graph, config: &PartitionConfig) -> BalanceModel {
 /// refinement converged.
 pub fn partition(graph: &Graph, config: &PartitionConfig) -> Result<Partitioning, MetisError> {
     config.validate(graph)?;
+    let clock = std::time::Instant::now();
     let n = graph.num_vertices();
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let mut fuel = Fuel::from_limit(config.fuel);
 
     if config.nparts == 1 || n <= 1 {
         let assignment = vec![0u32; n];
-        return Ok(finish(graph, config, assignment));
+        let result = finish(graph, config, assignment);
+        record_partition(config, clock, n, 0, n, 0, &result);
+        return Ok(result);
     }
 
     // Coarsening phase.
@@ -224,7 +237,36 @@ pub fn partition(graph: &Graph, config: &PartitionConfig) -> Result<Partitioning
     if fuel.is_exhausted() {
         return Err(MetisError::BudgetExceeded { limit: config.fuel.unwrap_or(0) });
     }
-    Ok(finish(graph, config, assignment))
+    let coarsest = levels.last().map_or(n, |l| l.graph.num_vertices());
+    let result = finish(graph, config, assignment);
+    record_partition(config, clock, n, levels.len(), coarsest, fuel.spent(), &result);
+    Ok(result)
+}
+
+/// Records the whole run as one `metis/partition` span: coarsening
+/// shape, final cut and balance, fuel consumed.
+fn record_partition(
+    config: &PartitionConfig,
+    clock: std::time::Instant,
+    vertices: usize,
+    levels: usize,
+    coarsest: usize,
+    fuel_spent: u64,
+    result: &Partitioning,
+) {
+    config.obs.span_args(
+        "metis",
+        "partition",
+        clock,
+        &[
+            ("vertices", vertices as i64),
+            ("levels", levels as i64),
+            ("coarsest_vertices", coarsest as i64),
+            ("cut", result.cut as i64),
+            ("balanced", result.balanced as i64),
+            ("fuel_spent", fuel_spent as i64),
+        ],
+    );
 }
 
 fn finish(graph: &Graph, config: &PartitionConfig, assignment: Vec<u32>) -> Partitioning {
@@ -257,6 +299,22 @@ mod tests {
             }
         }
         b.build()
+    }
+
+    #[test]
+    fn partition_records_an_obs_span() {
+        let g = grid(8, 8);
+        let obs = mcpart_obs::Obs::enabled();
+        let cfg = PartitionConfig::new(2).with_obs(obs.clone());
+        let result = partition(&g, &cfg).expect("partitions");
+        let events = obs.events();
+        assert_eq!(events.len(), 1, "one span for the whole run");
+        let e = &events[0];
+        assert_eq!((e.cat, e.name.as_str()), ("metis", "partition"));
+        let arg = |k: &str| e.args.iter().find(|(n, _)| n == k).map(|&(_, v)| v);
+        assert_eq!(arg("vertices"), Some(64));
+        assert_eq!(arg("cut"), Some(result.cut as i64));
+        assert_eq!(arg("balanced"), Some(result.balanced as i64));
     }
 
     #[test]

@@ -424,8 +424,13 @@ pub struct IncrementalEstimator<'a> {
     asap: Vec<u64>,
     /// Probes answered by the full simulation.
     pub full_evals: u64,
-    /// Probes answered by the lower bound alone.
+    /// Probes answered without simulation
+    /// (`pruned_lock + pruned_bound`).
     pub pruned_evals: u64,
+    /// Probes rejected because a trial move displaced a locked node.
+    pub pruned_lock: u64,
+    /// Probes rejected by the resource/critical-path lower bound.
+    pub pruned_bound: u64,
 }
 
 impl<'a> IncrementalEstimator<'a> {
@@ -441,6 +446,8 @@ impl<'a> IncrementalEstimator<'a> {
             asap: Vec::new(),
             full_evals: 0,
             pruned_evals: 0,
+            pruned_lock: 0,
+            pruned_bound: 0,
         };
         inc.rebuild_counts();
         inc
@@ -553,6 +560,7 @@ impl<'a> IncrementalEstimator<'a> {
             if let Some(c) = self.est.locked[m as usize] {
                 if self.assign[m as usize] as usize != c.index() {
                     self.pruned_evals += 1;
+                    self.pruned_lock += 1;
                     return None;
                 }
             }
@@ -563,6 +571,7 @@ impl<'a> IncrementalEstimator<'a> {
         let lb = (peak as u64).max(self.path_lower_bound());
         if lb > bound as u64 || (lb == bound as u64 && peak >= peak_bound) {
             self.pruned_evals += 1;
+            self.pruned_bound += 1;
             return None;
         }
         let e = self.estimate();

@@ -23,6 +23,13 @@ pub struct PerfReport {
     pub static_moves: u64,
     /// Dynamic remote memory accesses (coherent-cache model only).
     pub dynamic_remote_accesses: u64,
+    /// Dynamic cycles in which no operation issued (schedule bubbles
+    /// from dependence latency and transfer waits), profile-weighted.
+    pub stall_cycles: u64,
+    /// Dynamic cycles spent on the interconnect: intercluster moves ×
+    /// network move latency, profile-weighted. Overlapping transfers
+    /// each count in full, so this is occupancy, not elapsed time.
+    pub transfer_cycles: u64,
     /// Per-function, per-block schedules (for inspection).
     pub schedules: EntityMap<FuncId, EntityMap<BlockId, BlockSchedule>>,
 }
@@ -58,6 +65,8 @@ pub fn evaluate(
     let mut dynamic_moves = 0u64;
     let mut static_moves = 0u64;
     let mut dynamic_remote_accesses = 0u64;
+    let mut stall_cycles = 0u64;
+    let mut transfer_cycles = 0u64;
     let mut schedules: EntityMap<FuncId, EntityMap<BlockId, BlockSchedule>> = EntityMap::new();
     for (fid, func) in program.functions.iter() {
         let mut per_block: EntityMap<BlockId, BlockSchedule> = EntityMap::new();
@@ -68,11 +77,27 @@ pub fn evaluate(
             dynamic_moves += schedule.intercluster_moves as u64 * freq;
             static_moves += schedule.intercluster_moves as u64;
             dynamic_remote_accesses += schedule.remote_accesses as u64 * freq;
+            // Stall cycles: schedule length minus the cycles in which
+            // at least one operation issued.
+            let mut busy: Vec<u32> = schedule.issue.clone();
+            busy.sort_unstable();
+            busy.dedup();
+            stall_cycles += (schedule.length as u64).saturating_sub(busy.len() as u64) * freq;
+            transfer_cycles +=
+                schedule.intercluster_moves as u64 * machine.move_latency() as u64 * freq;
             per_block.push(schedule);
         }
         schedules.push(per_block);
     }
-    PerfReport { total_cycles, dynamic_moves, static_moves, dynamic_remote_accesses, schedules }
+    PerfReport {
+        total_cycles,
+        dynamic_moves,
+        static_moves,
+        dynamic_remote_accesses,
+        stall_cycles,
+        transfer_cycles,
+        schedules,
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +130,7 @@ mod tests {
         let body_len = report.schedules[p.entry][body].length as u64;
         assert!(report.total_cycles >= 100 * body_len);
         assert_eq!(report.dynamic_moves, 0);
+        assert_eq!(report.transfer_cycles, 0, "no moves, no transfer occupancy");
     }
 
     #[test]
@@ -130,6 +156,10 @@ mod tests {
         let report = evaluate(&p, &pl, &m, &profile, &access);
         assert_eq!(report.static_moves, 1);
         assert_eq!(report.dynamic_moves, 7);
+        // One move per iteration at latency 5, frequency 7.
+        assert_eq!(report.transfer_cycles, 7 * 5);
+        // The move's latency opens bubbles the single block cannot fill.
+        assert!(report.stall_cycles > 0, "a cut critical edge must stall");
     }
 
     #[test]

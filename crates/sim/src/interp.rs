@@ -75,6 +75,20 @@ impl From<MemError> for ExecError {
     }
 }
 
+/// Dynamic operation counts gathered during a run, for observability
+/// (`sim/*` counters) and workload characterization.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ExecStats {
+    /// Dynamic loads executed.
+    pub loads: u64,
+    /// Dynamic stores executed.
+    pub stores: u64,
+    /// Dynamic `malloc`s executed.
+    pub mallocs: u64,
+    /// Function calls executed (the entry call excluded).
+    pub calls: u64,
+}
+
 /// The outcome of a program run.
 #[derive(Clone, PartialEq, Debug)]
 pub struct ExecResult {
@@ -85,6 +99,8 @@ pub struct ExecResult {
     pub memory: Vec<Vec<u8>>,
     /// Operations executed.
     pub steps: u64,
+    /// Dynamic operation-mix counters.
+    pub stats: ExecStats,
     /// The gathered execution profile.
     pub profile: Profile,
 }
@@ -94,6 +110,7 @@ struct Interp<'a> {
     mem: Memory,
     config: ExecConfig,
     steps: u64,
+    stats: ExecStats,
     block_counts: EntityMap<FuncId, EntityMap<mcpart_ir::BlockId, u64>>,
 }
 
@@ -186,6 +203,7 @@ impl<'a> Interp<'a> {
                         let Value::Ptr { obj, offset } = addr else {
                             return Err(ExecError::Type("load address is not a pointer"));
                         };
+                        self.stats.loads += 1;
                         Some(self.mem.load(obj, offset, width)?)
                     }
                     Opcode::Store(width) => {
@@ -194,11 +212,13 @@ impl<'a> Interp<'a> {
                         let Value::Ptr { obj, offset } = addr else {
                             return Err(ExecError::Type("store address is not a pointer"));
                         };
+                        self.stats.stores += 1;
                         self.mem.store(obj, offset, width, value)?;
                         None
                     }
                     Opcode::Malloc(site) => {
                         let size = read(&regs, 0)?.as_int().map_err(ExecError::Type)?;
+                        self.stats.mallocs += 1;
                         let offset = self.mem.malloc(site, size.max(0) as u64);
                         Some(Value::Ptr { obj: site, offset })
                     }
@@ -212,6 +232,7 @@ impl<'a> Interp<'a> {
                         for i in 0..op.srcs.len() {
                             call_args.push(read(&regs, i)?);
                         }
+                        self.stats.calls += 1;
                         let ret = self.exec_function(callee, &call_args, depth + 1)?;
                         match (op.dsts.first(), ret) {
                             (Some(_), Some(v)) => Some(v),
@@ -321,6 +342,7 @@ pub fn run(program: &Program, args: &[Value], config: ExecConfig) -> Result<Exec
         mem: Memory::new(program),
         config,
         steps: 0,
+        stats: ExecStats::default(),
         block_counts: program
             .functions
             .values()
@@ -336,7 +358,13 @@ pub fn run(program: &Program, args: &[Value], config: ExecConfig) -> Result<Exec
             .collect(),
         heap_bytes: interp.mem.heap_bytes.clone(),
     };
-    Ok(ExecResult { return_value, memory: interp.mem.snapshot(), steps: interp.steps, profile })
+    Ok(ExecResult {
+        return_value,
+        memory: interp.mem.snapshot(),
+        steps: interp.steps,
+        stats: interp.stats,
+        profile,
+    })
 }
 
 /// Runs a program and returns only its profile — the "profiling run" of
@@ -426,6 +454,29 @@ mod tests {
         let r = run(&p, &[], ExecConfig::default()).unwrap();
         assert_eq!(r.return_value, Some(Value::Int(5)));
         assert_eq!(r.profile.heap_bytes[site], 64);
+        assert_eq!(r.stats, ExecStats { loads: 1, stores: 1, mallocs: 1, calls: 0 });
+    }
+
+    #[test]
+    fn exec_stats_count_dynamic_operations() {
+        let mut p = Program::new("t");
+        let callee = {
+            let mut cb = FunctionBuilder::new_function(&mut p, "id");
+            let a = cb.param();
+            cb.ret(Some(a));
+            cb.func_id()
+        };
+        let g = p.add_object(DataObject::global("g", 8));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let a = b.addrof(g);
+        let v = b.iconst(3);
+        b.store(MemWidth::B4, a, v);
+        let w = b.load(MemWidth::B4, a);
+        let r = b.call(callee, vec![w], 1);
+        b.ret(Some(r[0]));
+        let out = run(&p, &[], ExecConfig::default()).unwrap();
+        assert_eq!(out.return_value, Some(Value::Int(3)));
+        assert_eq!(out.stats, ExecStats { loads: 1, stores: 1, mallocs: 0, calls: 1 });
     }
 
     #[test]

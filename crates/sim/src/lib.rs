@@ -36,6 +36,6 @@ mod memory;
 mod value;
 
 pub use check::{dynamic_move_count, fault, semantically_equivalent};
-pub use interp::{profile_run, run, ExecConfig, ExecError, ExecResult};
+pub use interp::{profile_run, run, ExecConfig, ExecError, ExecResult, ExecStats};
 pub use memory::{MemError, Memory};
 pub use value::Value;

@@ -137,10 +137,14 @@ impl Memory {
         let bytes = raw.to_le_bytes();
         self.arenas[obj][start..start + width.bytes() as usize]
             .copy_from_slice(&bytes[..width.bytes() as usize]);
+        // Any overlay entry whose 8-byte extent overlaps the written
+        // range is dead: even a 1-byte store into the middle of a
+        // stored pointer must drop it, or a later B8 load at the old
+        // offset would resurrect the pointer over the mutated bytes.
+        let end = offset + width.bytes() as i64;
+        self.ptr_overlay[obj].retain(|&k, _| k + 8 <= offset || k >= end);
         if matches!(value, Value::Ptr { .. } | Value::Float(_)) && width == MemWidth::B8 {
             self.ptr_overlay[obj].insert(offset, value);
-        } else {
-            self.ptr_overlay[obj].remove(&offset);
         }
         Ok(())
     }
@@ -226,5 +230,59 @@ mod tests {
         // Overwriting with an int clears the overlay.
         m.store(o, 0, MemWidth::B8, Value::Int(1)).unwrap();
         assert_eq!(m.load(o, 0, MemWidth::B8).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn narrow_store_invalidates_overlapping_overlay_entry() {
+        // Regression: a narrow store that partially overwrites a stored
+        // pointer must kill the overlay entry, not just the entry at its
+        // own offset — otherwise a later B8 load resurrects the dead
+        // pointer over the mutated bytes.
+        let (p, o) = program_with_global(16);
+        let mut m = Memory::new(&p);
+        let ptr = Value::Ptr { obj: o, offset: 8 };
+        m.store(o, 0, MemWidth::B8, ptr).unwrap();
+        // Clobber one byte in the middle of the pointer's extent.
+        m.store(o, 3, MemWidth::B1, Value::Int(0x5A)).unwrap();
+        let reloaded = m.load(o, 0, MemWidth::B8).unwrap();
+        assert_ne!(reloaded, ptr, "stale pointer resurrected after partial overwrite");
+        // The reload is the raw byte image: zeros (the pointer's byte
+        // encoding) with 0x5A at byte 3.
+        assert_eq!(reloaded, Value::Int(0x5A << 24));
+    }
+
+    #[test]
+    fn narrow_store_before_pointer_start_invalidates_tail_overlap() {
+        // A 4-byte store at offset 6 overlaps bytes 6..10, clipping the
+        // tail of a pointer stored at 4 (bytes 4..12) and the head of
+        // nothing else; the entry at 4 must die while one at 12 lives.
+        let (p, o) = program_with_global(24);
+        let mut m = Memory::new(&p);
+        m.store(o, 4, MemWidth::B8, Value::Float(1.5)).unwrap();
+        m.store(o, 12, MemWidth::B8, Value::Float(2.5)).unwrap();
+        m.store(o, 6, MemWidth::B4, Value::Int(7)).unwrap();
+        // The entry at 4 is dead: the reload is the raw byte image
+        // (float bits with 7 spliced into bytes 6..10), not the float.
+        let reloaded = m.load(o, 4, MemWidth::B8).unwrap();
+        assert!(matches!(reloaded, Value::Int(_)), "got {reloaded:?}");
+        assert_eq!(m.load(o, 12, MemWidth::B8).unwrap(), Value::Float(2.5));
+    }
+
+    #[test]
+    fn overlapping_wide_stores_keep_only_the_newest_entry() {
+        // Two misaligned B8 pointer stores overlap; the older entry
+        // must be invalidated, and the adjacent (non-overlapping)
+        // neighbour entries must survive.
+        let (p, o) = program_with_global(32);
+        let mut m = Memory::new(&p);
+        m.store(o, 0, MemWidth::B8, Value::Float(1.0)).unwrap();
+        m.store(o, 8, MemWidth::B8, Value::Float(2.0)).unwrap();
+        m.store(o, 16, MemWidth::B8, Value::Float(3.0)).unwrap();
+        // Bytes 12..20: kills the entries at 8 and 16, leaves 0 alone.
+        m.store(o, 12, MemWidth::B8, Value::Float(9.0)).unwrap();
+        assert_eq!(m.load(o, 0, MemWidth::B8).unwrap(), Value::Float(1.0));
+        assert_eq!(m.load(o, 12, MemWidth::B8).unwrap(), Value::Float(9.0));
+        assert_ne!(m.load(o, 8, MemWidth::B8).unwrap(), Value::Float(2.0));
+        assert_ne!(m.load(o, 16, MemWidth::B8).unwrap(), Value::Float(3.0));
     }
 }

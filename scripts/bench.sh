@@ -10,8 +10,11 @@
 #   scripts/bench.sh --out path.json  # report path
 #
 # Extra arguments are forwarded to the binary (e.g. --benchmarks a,b).
+# The observability metrics (--metrics: GDP cut and balance folded into
+# the per-workload rows) are always on here; pass-through callers that
+# want the raw binary without them can invoke it directly.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release -p mcpart-bench --bin bench_partition
-exec target/release/bench_partition "$@"
+exec target/release/bench_partition --metrics "$@"

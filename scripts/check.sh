@@ -23,4 +23,9 @@ echo "== scripts/bench.sh --quick (smoke)"
 scripts/bench.sh --quick --out /tmp/BENCH_partition.quick.json >/dev/null
 test -s /tmp/BENCH_partition.quick.json
 
+echo "== trace export smoke (--trace-out + trace-check)"
+target/release/mcpart run rawcaudio --trace-out /tmp/mcpart_trace.json --metrics >/dev/null
+target/release/mcpart trace-check /tmp/mcpart_trace.json \
+  --require gdp/cut,rhop/estimator_calls,sim/cycles,sim/stall_cycles,sim/transfer_cycles
+
 echo "== all checks passed"

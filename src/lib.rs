@@ -13,6 +13,7 @@
 //! | [`machine`] | `mcpart-machine` | clustered-VLIW machine model |
 //! | [`sched`] | `mcpart-sched` | list scheduler, move insertion, RHOP estimator, cycle accounting |
 //! | [`sim`] | `mcpart-sim` | functional interpreter, profiling, semantic validation |
+//! | [`obs`] | `mcpart-obs` | observability: spans, counters, Chrome trace export, summary tables |
 //! | [`rng`] | `mcpart-rng` | small deterministic PRNG used by the partitioners and tests |
 //! | [`core`] | `mcpart-core` | GDP, RHOP, baselines, pipeline, exhaustive search |
 //! | [`workloads`] | `mcpart-workloads` | synthetic Mediabench / DSP benchmark generators |
@@ -51,6 +52,7 @@ pub use mcpart_core as core;
 pub use mcpart_ir as ir;
 pub use mcpart_machine as machine;
 pub use mcpart_metis as metis;
+pub use mcpart_obs as obs;
 pub use mcpart_par as par;
 pub use mcpart_rng as rng;
 pub use mcpart_sched as sched;

@@ -31,13 +31,17 @@ macro_rules! outln {
     }};
 }
 
-const USAGE: &str = "usage: mcpart <list|run|compare|dump|exec|partition|schedule> [args]
+const USAGE: &str =
+    "usage: mcpart <list|run|compare|dump|exec|partition|schedule|trace-check> [args]
 options: --method gdp|profile-max|naive|unified  --latency <cycles>
          --clusters <n>  --memory partitioned|unified|coherent:<penalty>
          --gdp-fuel <n>  (cap GDP refinement; exhaustion triggers the
                           ProfileMax/Naive fallback ladder)
          --jobs <n>      (worker threads for partitioning; 0 = all
-                          cores, the default; never changes results)";
+                          cores, the default; never changes results)
+         --trace-out <path>  (write a Chrome trace_event JSON of the run)
+         --metrics           (print the observability summary table)
+trace-check <path> [--require cat/name,...]  validates a trace file";
 
 /// A CLI failure, split by whose fault it is: `Usage` means the command
 /// line itself was malformed (exit 2), `Runtime` means the inputs or
@@ -66,6 +70,8 @@ struct Options {
     method: Method,
     gdp_fuel: Option<u64>,
     jobs: usize,
+    trace_out: Option<String>,
+    metrics: bool,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -84,6 +90,8 @@ impl Default for Options {
             method: Method::Gdp,
             gdp_fuel: None,
             jobs: 0,
+            trace_out: None,
+            metrics: false,
         }
     }
 }
@@ -140,6 +148,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     args.get(i + 1).and_then(|v| v.parse().ok()).ok_or("--jobs needs a number")?;
                 i += 1;
             }
+            "--trace-out" => {
+                o.trace_out = Some(args.get(i + 1).ok_or("--trace-out needs a path")?.to_string());
+                i += 1;
+            }
+            "--metrics" => {
+                o.metrics = true;
+            }
             "--memory" => {
                 let v = args.get(i + 1).ok_or("--memory needs a value")?;
                 o.memory = if v == "partitioned" {
@@ -166,6 +181,29 @@ fn config_of(o: &Options, method: Method) -> PipelineConfig {
     let mut cfg = PipelineConfig::new(method).with_jobs(o.jobs);
     cfg.gdp.fuel = o.gdp_fuel;
     cfg
+}
+
+/// One observability sink per invocation: recording only when the user
+/// asked for a trace file or the metrics table.
+fn obs_of(o: &Options) -> mcpart::obs::Obs {
+    if o.trace_out.is_some() || o.metrics {
+        mcpart::obs::Obs::enabled()
+    } else {
+        mcpart::obs::Obs::disabled()
+    }
+}
+
+/// Writes the Chrome trace and/or prints the summary table, as
+/// requested by `--trace-out` / `--metrics`.
+fn emit_obs(o: &Options, obs: &mcpart::obs::Obs) -> Result<(), String> {
+    if let Some(path) = &o.trace_out {
+        std::fs::write(path, obs.chrome_trace())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if o.metrics {
+        outln!("{}", obs.summary());
+    }
+    Ok(())
 }
 
 fn machine_of(o: &Options) -> Machine {
@@ -205,8 +243,9 @@ fn report_downgrades(run: &PipelineResult) {
 
 fn report_run(program: &Program, profile: &Profile, o: &Options) -> Result<(), String> {
     let machine = machine_of(o);
-    let run = run_pipeline(program, profile, &machine, &config_of(o, o.method))
-        .map_err(|e| e.to_string())?;
+    let obs = obs_of(o);
+    let config = config_of(o, o.method).with_obs(obs.clone());
+    let run = run_pipeline(program, profile, &machine, &config).map_err(|e| e.to_string())?;
     report_downgrades(&run);
     outln!("benchmark: {}", program.name);
     outln!("machine:   {} clusters, {}-cycle moves", o.clusters, o.latency);
@@ -235,7 +274,7 @@ fn report_run(program: &Program, profile: &Profile, o: &Options) -> Result<(), S
         .unwrap_or(0);
     outln!("pressure:  {pressure} live registers at the worst block boundary");
     outln!("partition: {:.1} ms", run.partition_time.as_secs_f64() * 1e3);
-    Ok(())
+    emit_obs(o, &obs)
 }
 
 fn main() -> ExitCode {
@@ -282,10 +321,12 @@ fn main() -> ExitCode {
             let o = parse_options(&args[2..]).map_err(CliError::Usage)?;
             let (program, profile) = load_target(target)?;
             let machine = machine_of(&o);
+            let obs = obs_of(&o);
             let mut unified = 0u64;
             let mut rows = Vec::new();
             for method in Method::ALL {
-                let run = run_pipeline(&program, &profile, &machine, &config_of(&o, method))
+                let config = config_of(&o, method).with_obs(obs.clone());
+                let run = run_pipeline(&program, &profile, &machine, &config)
                     .map_err(|e| e.to_string())?;
                 report_downgrades(&run);
                 if method == Method::Unified {
@@ -308,6 +349,7 @@ fn main() -> ExitCode {
                     unified as f64 / cycles as f64 * 100.0
                 );
             }
+            emit_obs(&o, &obs)?;
             Ok(())
         })(),
         "dump" => (|| {
@@ -326,8 +368,10 @@ fn main() -> ExitCode {
             let o = parse_options(&args[2..]).map_err(CliError::Usage)?;
             let (program, profile) = load_target(target)?;
             let machine = machine_of(&o);
-            let run = run_pipeline(&program, &profile, &machine, &config_of(&o, o.method))
-                .map_err(|e| e.to_string())?;
+            let obs = obs_of(&o);
+            let config = config_of(&o, o.method).with_obs(obs.clone());
+            let run =
+                run_pipeline(&program, &profile, &machine, &config).map_err(|e| e.to_string())?;
             report_downgrades(&run);
             let mut hottest = None;
             for (fid, f) in run.program.functions.iter() {
@@ -357,6 +401,7 @@ fn main() -> ExitCode {
                     o.clusters,
                 )
             );
+            emit_obs(&o, &obs)?;
             Ok(())
         })(),
         "partition" => (|| {
@@ -370,7 +415,9 @@ fn main() -> ExitCode {
             let pts = mcpart::analysis::PointsTo::compute(&program);
             let access = mcpart::analysis::AccessInfo::compute(&program, &pts, &profile);
             let groups = mcpart::core::ObjectGroups::compute(&program, &access);
-            let gcfg = mcpart::core::GdpConfig { jobs: o.jobs, ..Default::default() };
+            let obs = obs_of(&o);
+            let gcfg =
+                mcpart::core::GdpConfig { jobs: o.jobs, obs: obs.clone(), ..Default::default() };
             let dp =
                 mcpart::core::gdp_partition(&program, &profile, &access, &groups, &machine, &gcfg)
                     .map_err(|e| e.to_string())?;
@@ -383,6 +430,49 @@ fn main() -> ExitCode {
             outln!(
                 "bytes per cluster: {:?}",
                 dp.bytes_per_cluster(&program, machine.num_clusters())
+            );
+            emit_obs(&o, &obs)?;
+            Ok(())
+        })(),
+        "trace-check" => (|| {
+            let path = args
+                .get(1)
+                .ok_or_else(|| CliError::usage("trace-check needs a trace file path"))?;
+            let mut require: Vec<String> = Vec::new();
+            let rest = &args[2..];
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--require" => {
+                        let v = rest.get(i + 1).ok_or_else(|| {
+                            CliError::usage("--require needs a comma-separated counter list")
+                        })?;
+                        require.extend(v.split(',').filter(|s| !s.is_empty()).map(str::to_string));
+                        i += 1;
+                    }
+                    other => return Err(CliError::usage(format!("unknown option `{other}`"))),
+                }
+                i += 1;
+            }
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let stats = mcpart::obs::json::validate_trace(&text)
+                .map_err(|e| format!("{path}: invalid trace: {e}"))?;
+            if stats.events == 0 {
+                return Err(CliError::Runtime(format!("{path}: trace has no events")));
+            }
+            for label in &require {
+                if !stats.has_counter(label) {
+                    return Err(CliError::Runtime(format!(
+                        "{path}: missing required counter `{label}`"
+                    )));
+                }
+            }
+            outln!(
+                "{path}: ok ({} events: {} spans, {} counter samples)",
+                stats.events,
+                stats.spans,
+                stats.counters
             );
             Ok(())
         })(),
@@ -457,6 +547,30 @@ mod tests {
         assert_eq!(parse_options(&[]).unwrap().jobs, 0);
         let bad: Vec<String> = ["--jobs", "many"].iter().map(|s| s.to_string()).collect();
         assert!(parse_options(&bad).is_err());
+    }
+
+    #[test]
+    fn trace_and_metrics_options() {
+        let args: Vec<String> =
+            ["--trace-out", "t.json", "--metrics"].iter().map(|s| s.to_string()).collect();
+        let o = parse_options(&args).unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some("t.json"));
+        assert!(o.metrics);
+        assert!(obs_of(&o).is_enabled());
+        // Either flag alone turns the sink on; neither leaves it off.
+        let just_metrics = parse_options(&["--metrics".to_string()]).unwrap();
+        assert!(obs_of(&just_metrics).is_enabled());
+        assert!(!obs_of(&Options::default()).is_enabled());
+        assert!(parse_options(&["--trace-out".to_string()]).is_err());
+    }
+
+    #[test]
+    fn obs_flows_into_every_stage_config() {
+        let o = parse_options(&["--metrics".to_string()]).unwrap();
+        let cfg = config_of(&o, Method::Gdp).with_obs(obs_of(&o));
+        assert!(cfg.obs.is_enabled());
+        assert!(cfg.gdp.obs.is_enabled());
+        assert!(cfg.rhop.obs.is_enabled());
     }
 
     #[test]

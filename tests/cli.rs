@@ -77,6 +77,46 @@ fn partition_lists_object_homes() {
 }
 
 #[test]
+fn trace_out_writes_a_valid_chrome_trace() {
+    let dir = std::env::temp_dir().join("mcpart_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fir_trace.json");
+    let path_str = path.to_str().unwrap();
+    let (stdout, stderr, ok) = mcpart(&["run", "fir", "--trace-out", path_str, "--metrics"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("observability summary"), "{stdout}");
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let stats = mcpart::obs::json::validate_trace(&text).expect("trace parses");
+    assert!(stats.spans > 0, "trace has no spans");
+    for label in ["gdp/cut", "rhop/estimator_calls", "sim/cycles"] {
+        assert!(stats.has_counter(label), "trace missing counter {label}");
+    }
+
+    // The bundled validator agrees, and enforces required counters.
+    let (stdout, _, ok) = mcpart(&["trace-check", path_str, "--require", "gdp/cut,sim/cycles"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("ok ("), "{stdout}");
+    let (stderr, code) = mcpart_code(&["trace-check", path_str, "--require", "no/such"]);
+    assert_eq!(code, Some(1), "stderr: {stderr}");
+    assert!(stderr.contains("missing required counter"), "{stderr}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn trace_check_rejects_malformed_traces() {
+    let dir = std::env::temp_dir().join("mcpart_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bogus_trace.json");
+    std::fs::write(&path, "{\"traceEvents\":[{\"ph\":\"X\"}]}").unwrap();
+    let (stderr, code) = mcpart_code(&["trace-check", path.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "stderr: {stderr}");
+    assert!(stderr.contains("invalid trace"), "{stderr}");
+    std::fs::remove_file(&path).ok();
+    let (stderr, code) = mcpart_code(&["trace-check"]);
+    assert_eq!(code, Some(2), "stderr: {stderr}");
+}
+
+#[test]
 fn bad_input_fails_cleanly() {
     let (_, stderr, ok) = mcpart(&["run", "not-a-benchmark"]);
     assert!(!ok);

@@ -84,6 +84,51 @@ fn downgrade_records_are_identical_across_worker_counts() {
 }
 
 #[test]
+fn obs_event_log_is_identical_across_worker_counts() {
+    // The pinned event log (sequence, categories, names, kinds, args —
+    // everything except wall-clock timestamps) must be byte-identical
+    // at every worker count: worker buffers are flushed in input order,
+    // never in completion order.
+    let w = mcpart::workloads::by_name("rawcaudio").expect("bundled workload");
+    let machine = Machine::paper_2cluster(5);
+    let run = |jobs: usize| {
+        let obs = mcpart::obs::Obs::enabled();
+        let cfg = PipelineConfig::new(Method::Gdp).with_jobs(jobs).with_obs(obs.clone());
+        run_pipeline(&w.program, &w.profile, &machine, &cfg).expect("pipeline");
+        obs.pinned_log()
+    };
+    let seq = run(1);
+    assert!(!seq.is_empty(), "an enabled sink must record events");
+    for stage in ["gdp/dfg", "pipeline/merge", "metis/partition", "rhop/partition", "pipeline/sim"]
+    {
+        assert!(seq.contains(stage), "event log must cover stage {stage}:\n{seq}");
+    }
+    let par = run(8);
+    assert_eq!(seq, par, "pinned event log differs between jobs=1 and jobs=8");
+}
+
+#[test]
+fn obs_event_log_on_failed_runs_is_identical_across_worker_counts() {
+    // On a budget-exhaustion failure, which function trips the budget
+    // first depends on thread interleaving — so RHOP worker events are
+    // withheld entirely and the surviving log must still be identical.
+    let w = mcpart::workloads::by_name("rawcaudio").expect("bundled workload");
+    let machine = Machine::paper_2cluster(5);
+    let run = |jobs: usize| {
+        let obs = mcpart::obs::Obs::enabled();
+        let mut cfg = PipelineConfig::new(Method::Gdp).with_jobs(jobs).with_obs(obs.clone());
+        cfg.rhop.max_estimator_calls = Some(3);
+        run_pipeline(&w.program, &w.profile, &machine, &cfg)
+            .expect_err("a 3-call budget cannot finish any rung");
+        obs.pinned_log()
+    };
+    let seq = run(1);
+    for jobs in [2, 8] {
+        assert_eq!(seq, run(jobs), "jobs={jobs}: pinned event log differs on the error path");
+    }
+}
+
+#[test]
 fn budget_exhaustion_error_is_identical_across_worker_counts() {
     // When the shared estimator budget kills every rung, even the
     // surfaced error must be the same at every worker count: the
