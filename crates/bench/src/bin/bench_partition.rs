@@ -149,7 +149,19 @@ fn main() {
             ("cycles".into(), Json::Int(r.report.total_cycles as i64)),
             ("stall_cycles".into(), Json::Int(r.report.stall_cycles as i64)),
             ("transfer_cycles".into(), Json::Int(r.report.transfer_cycles as i64)),
+            // Supervision accounting: unit retries plus method
+            // downgrades, and the quarantine outcome. All zero on a
+            // healthy suite — nonzero values in a benchmark report
+            // flag that the numbers were produced on degraded paths.
+            ("retries".into(), Json::Int(st.retries as i64 + r.downgrades.len() as i64)),
+            ("quarantined".into(), Json::Int(st.quarantine.len() as i64)),
         ];
+        if !st.quarantine.is_empty() {
+            row.push((
+                "quarantine".into(),
+                Json::Arr(st.quarantine.names().iter().map(|n| Json::Str(n.to_string())).collect()),
+            ));
+        }
         if opts.metrics {
             for (counter, key) in [("cut", "gdp_cut"), ("balance_x1000", "gdp_balance_x1000")] {
                 if let Some(v) = obs.last_counter("gdp", counter) {

@@ -1,0 +1,942 @@
+//! Checkpoint/resume for pipeline work units (crash-only operation).
+//!
+//! A *unit* at this level is one `(program, method)` pipeline run — the
+//! granularity of the CLI's `run`/`exec`/`compare` commands and of the
+//! bench sweep. After each completed unit the driver appends one
+//! serde-free JSON line (rendered and parsed with [`mcpart_obs::json`])
+//! to the checkpoint file; a resumed run validates the header, skips
+//! the recorded units (replaying their pinned obs events), and runs
+//! only what is missing — producing output byte-identical to an
+//! uninterrupted run.
+//!
+//! ## File format
+//!
+//! Line 1 is the **header**: the format version plus everything a
+//! result depends on — program name and content hash, RHOP seed,
+//! machine shape (clusters, latency, memory mode) and GDP fuel. A
+//! mismatch on resume is rejected with
+//! [`CheckpointError::Mismatch`] (exit 2 at the CLI) rather than
+//! silently mixing incompatible placements. Every subsequent line is
+//! one [`UnitRecord`].
+//!
+//! ## Crash tolerance
+//!
+//! The writer appends one `\n`-terminated line per unit and flushes it
+//! before reporting the unit done. A process killed mid-append leaves
+//! at most one unterminated final line; the loader treats that
+//! unterminated tail as a crash artifact and discards it (the unit
+//! simply reruns). A *terminated* line that fails to parse is real
+//! corruption and is rejected with a line/column diagnostic — never a
+//! panic.
+
+use crate::error::Downgrade;
+use crate::pipeline::{Method, PipelineConfig, PipelineResult};
+use crate::{run_pipeline, McpartError};
+use mcpart_ir::{ClusterId, EntityMap, Profile, Program};
+use mcpart_machine::Machine;
+use mcpart_obs::json::{self, JsonValue};
+use mcpart_obs::EventKind;
+use mcpart_par::supervise::{QuarantineReport, QuarantinedUnit};
+use mcpart_sched::Placement;
+use std::fmt;
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+/// Checkpoint format version (bumped on incompatible changes).
+pub const CHECKPOINT_VERSION: i64 = 1;
+
+/// FNV-1a hash of a byte string — the content fingerprint used to tie
+/// a checkpoint to its program text.
+pub fn fingerprint(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The content fingerprint of a program (hash of its textual IR).
+pub fn program_fingerprint(program: &Program) -> u64 {
+    fingerprint(mcpart_ir::program_to_string(program).as_bytes())
+}
+
+/// Stable lowercase slug of a method, used in unit keys and records.
+pub fn method_slug(method: Method) -> &'static str {
+    match method {
+        Method::Gdp => "gdp",
+        Method::ProfileMax => "profile-max",
+        Method::Naive => "naive",
+        Method::Unified => "unified",
+    }
+}
+
+/// Inverse of [`method_slug`].
+pub fn method_from_slug(slug: &str) -> Option<Method> {
+    Some(match slug {
+        "gdp" => Method::Gdp,
+        "profile-max" => Method::ProfileMax,
+        "naive" => Method::Naive,
+        "unified" => Method::Unified,
+        _ => return None,
+    })
+}
+
+/// Everything a unit's result depends on; written as the checkpoint's
+/// first line and validated on resume.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointHeader {
+    /// Program (workload) name.
+    pub program: String,
+    /// Content hash of the program's textual IR.
+    pub program_hash: u64,
+    /// RHOP seed.
+    pub seed: u64,
+    /// Cluster count of the machine.
+    pub clusters: usize,
+    /// Intercluster move latency.
+    pub latency: u32,
+    /// Memory mode slug (`partitioned`, `unified`, `coherent:<p>`).
+    pub memory: String,
+    /// GDP refinement fuel (`None` = unlimited).
+    pub gdp_fuel: Option<u64>,
+}
+
+impl CheckpointHeader {
+    /// Renders the header as its JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"mcpart_checkpoint\":{CHECKPOINT_VERSION},\"program\":\"{}\",\
+             \"program_hash\":\"{:016x}\",\"seed\":\"{}\",\"clusters\":{},\
+             \"latency\":{},\"memory\":\"{}\",\"gdp_fuel\":{}}}",
+            json::escape(&self.program),
+            self.program_hash,
+            self.seed,
+            self.clusters,
+            self.latency,
+            json::escape(&self.memory),
+            self.gdp_fuel.map_or(-1i64, |f| f as i64),
+        );
+        s
+    }
+
+    fn from_json(doc: &JsonValue) -> Result<CheckpointHeader, String> {
+        let version = doc
+            .get("mcpart_checkpoint")
+            .and_then(JsonValue::as_num)
+            .ok_or("not a checkpoint file (missing 'mcpart_checkpoint' version)")?;
+        if version as i64 != CHECKPOINT_VERSION {
+            return Err(format!(
+                "unsupported checkpoint version {version} (expected {CHECKPOINT_VERSION})"
+            ));
+        }
+        let field_str = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or(format!("header missing '{key}'"))
+        };
+        let field_num = |key: &str| -> Result<f64, String> {
+            doc.get(key).and_then(JsonValue::as_num).ok_or(format!("header missing '{key}'"))
+        };
+        let program_hash = u64::from_str_radix(&field_str("program_hash")?, 16)
+            .map_err(|_| "header 'program_hash' is not a hex hash".to_string())?;
+        let seed = field_str("seed")?
+            .parse::<u64>()
+            .map_err(|_| "header 'seed' is not an integer".to_string())?;
+        let gdp_fuel = match field_num("gdp_fuel")? as i64 {
+            -1 => None,
+            f if f >= 0 => Some(f as u64),
+            _ => return Err("header 'gdp_fuel' must be -1 or non-negative".to_string()),
+        };
+        Ok(CheckpointHeader {
+            program: field_str("program")?,
+            program_hash,
+            seed,
+            clusters: field_num("clusters")? as usize,
+            latency: field_num("latency")? as u32,
+            memory: field_str("memory")?,
+            gdp_fuel,
+        })
+    }
+
+    /// First header field that differs from `expected`, if any.
+    fn mismatch_against(&self, expected: &CheckpointHeader) -> Option<(String, String, String)> {
+        let fields: [(&str, String, String); 7] = [
+            ("program", expected.program.clone(), self.program.clone()),
+            (
+                "program_hash",
+                format!("{:016x}", expected.program_hash),
+                format!("{:016x}", self.program_hash),
+            ),
+            ("seed", expected.seed.to_string(), self.seed.to_string()),
+            ("clusters", expected.clusters.to_string(), self.clusters.to_string()),
+            ("latency", expected.latency.to_string(), self.latency.to_string()),
+            ("memory", expected.memory.clone(), self.memory.clone()),
+            ("gdp_fuel", format!("{:?}", expected.gdp_fuel), format!("{:?}", self.gdp_fuel)),
+        ];
+        fields
+            .into_iter()
+            .find(|(_, want, got)| want != got)
+            .map(|(name, want, got)| (name.to_string(), want, got))
+    }
+}
+
+/// The pinned projection of one obs event, carried by a [`UnitRecord`]
+/// so a resumed run can replay the unit's trace contribution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PinnedEvent {
+    /// Event category.
+    pub cat: String,
+    /// Event name.
+    pub name: String,
+    /// `Some(value)` for counters, `None` for spans.
+    pub counter: Option<i64>,
+    /// Pinned integer attributes.
+    pub args: Vec<(String, i64)>,
+}
+
+/// One completed unit: its identity, placement, downgrade records,
+/// report scalars, quarantine state and pinned obs events.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UnitRecord {
+    /// Unit key: `program/method-slug` of the *requested* method.
+    pub unit: String,
+    /// Requested method.
+    pub requested: Method,
+    /// Method that actually produced the result.
+    pub method: Method,
+    /// Degradation-ladder records, oldest first.
+    pub downgrades: Vec<Downgrade>,
+    /// Operation clusters per function (input order).
+    pub op_cluster: Vec<Vec<u32>>,
+    /// Object home clusters (`-1` = unhomed).
+    pub object_home: Vec<i64>,
+    /// Total dynamic cycles.
+    pub cycles: u64,
+    /// Dynamic intercluster moves.
+    pub dynamic_moves: u64,
+    /// Dynamic remote accesses (coherent model).
+    pub remote: u64,
+    /// Static intercluster moves inserted.
+    pub moves_inserted: usize,
+    /// Detailed-partitioner runs (compile-time proxy).
+    pub detailed_runs: usize,
+    /// Data bytes homed per cluster.
+    pub data_bytes: Vec<u64>,
+    /// Panicking function attempts that were retried successfully.
+    pub retries: u64,
+    /// Function units replaced by the quarantine fallback.
+    pub quarantine: Vec<QuarantinedUnit>,
+    /// Peak boundary register pressure of the transformed program.
+    pub pressure: u64,
+    /// Partitioning wall-clock milliseconds (non-pinned; informational).
+    pub partition_ms: f64,
+    /// Pinned obs events recorded while the unit ran.
+    pub events: Vec<PinnedEvent>,
+}
+
+impl UnitRecord {
+    /// Builds a record from a finished pipeline run. `events` is the
+    /// slice of the obs log recorded *during* this unit (the caller
+    /// snapshots the sink length before the run).
+    pub fn from_result(
+        unit: &str,
+        result: &PipelineResult,
+        events: &[mcpart_obs::Event],
+    ) -> UnitRecord {
+        let pressure = result
+            .program
+            .functions
+            .values()
+            .map(|f| mcpart_analysis::Liveness::compute(f).peak_boundary_pressure())
+            .max()
+            .unwrap_or(0) as u64;
+        UnitRecord {
+            unit: unit.to_string(),
+            requested: result.requested_method,
+            method: result.method,
+            downgrades: result.downgrades.clone(),
+            op_cluster: result
+                .placement
+                .op_cluster
+                .values()
+                .map(|ops| ops.values().map(|c| c.index() as u32).collect())
+                .collect(),
+            object_home: result
+                .placement
+                .object_home
+                .values()
+                .map(|h| h.map_or(-1, |c| c.index() as i64))
+                .collect(),
+            cycles: result.cycles(),
+            dynamic_moves: result.dynamic_moves(),
+            remote: result.report.dynamic_remote_accesses,
+            moves_inserted: result.moves_inserted,
+            detailed_runs: result.detailed_runs,
+            data_bytes: result.data_bytes.clone(),
+            retries: result.rhop_stats.retries,
+            quarantine: result.rhop_stats.quarantine.units.clone(),
+            pressure,
+            // Quantized to the serialized precision (microseconds) so the
+            // record roundtrips bit-for-bit through its JSON line.
+            partition_ms: (result.partition_time.as_secs_f64() * 1e6).round() / 1e3,
+            events: events
+                .iter()
+                .map(|e| PinnedEvent {
+                    cat: e.cat.to_string(),
+                    name: e.name.clone(),
+                    counter: match e.kind {
+                        EventKind::Counter(v) => Some(v),
+                        EventKind::Span => None,
+                    },
+                    args: e.args.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds the placement this record describes.
+    pub fn placement(&self) -> Placement {
+        Placement {
+            op_cluster: self
+                .op_cluster
+                .iter()
+                .map(|ops| {
+                    ops.iter().map(|&c| ClusterId::new(c as usize)).collect::<EntityMap<_, _>>()
+                })
+                .collect(),
+            object_home: self
+                .object_home
+                .iter()
+                .map(|&h| if h < 0 { None } else { Some(ClusterId::new(h as usize)) })
+                .collect(),
+        }
+    }
+
+    /// The quarantine report carried by this record.
+    pub fn quarantine_report(&self) -> QuarantineReport {
+        QuarantineReport { units: self.quarantine.clone() }
+    }
+
+    /// Replays the unit's pinned obs events into a sink, so a resumed
+    /// run's pinned log is byte-identical to an uninterrupted one.
+    pub fn replay_events(&self, obs: &mcpart_obs::Obs) {
+        for e in &self.events {
+            let kind = match e.counter {
+                Some(v) => EventKind::Counter(v),
+                None => EventKind::Span,
+            };
+            obs.replay(mcpart_obs::intern_cat(&e.cat), &e.name, kind, e.args.clone());
+        }
+    }
+
+    /// Renders the record as its JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"unit\":\"{}\",\"requested\":\"{}\",\"method\":\"{}\"",
+            json::escape(&self.unit),
+            method_slug(self.requested),
+            method_slug(self.method)
+        );
+        s.push_str(",\"downgrades\":[");
+        for (i, d) in self.downgrades.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"from\":\"{}\",\"to\":\"{}\",\"reason\":\"{}\"}}",
+                method_slug(d.from),
+                method_slug(d.to),
+                json::escape(&d.reason)
+            );
+        }
+        s.push_str("],\"op_cluster\":[");
+        for (i, ops) in self.op_cluster.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('[');
+            for (j, c) in ops.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{c}");
+            }
+            s.push(']');
+        }
+        s.push_str("],\"object_home\":[");
+        for (i, h) in self.object_home.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{h}");
+        }
+        let _ = write!(
+            s,
+            "],\"cycles\":{},\"dynamic_moves\":{},\"remote\":{},\"moves_inserted\":{},\
+             \"detailed_runs\":{},\"retries\":{},\"pressure\":{},\"partition_ms\":{:.3}",
+            self.cycles,
+            self.dynamic_moves,
+            self.remote,
+            self.moves_inserted,
+            self.detailed_runs,
+            self.retries,
+            self.pressure,
+            self.partition_ms
+        );
+        s.push_str(",\"data_bytes\":[");
+        for (i, b) in self.data_bytes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{b}");
+        }
+        s.push_str("],\"quarantine\":[");
+        for (i, q) in self.quarantine.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"unit\":\"{}\",\"attempts\":{},\"reason\":\"{}\"}}",
+                json::escape(&q.unit),
+                q.attempts,
+                json::escape(&q.reason)
+            );
+        }
+        s.push_str("],\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"cat\":\"{}\",\"name\":\"{}\"",
+                json::escape(&e.cat),
+                json::escape(&e.name)
+            );
+            if let Some(v) = e.counter {
+                let _ = write!(s, ",\"counter\":{v}");
+            }
+            s.push_str(",\"args\":[");
+            for (j, (k, v)) in e.args.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "[\"{}\",{}]", json::escape(k), v);
+            }
+            s.push_str("]}");
+        }
+        s.push_str("]}");
+        s
+    }
+
+    fn from_json(doc: &JsonValue) -> Result<UnitRecord, String> {
+        let str_field = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or(format!("record missing '{key}'"))
+        };
+        let num_field = |key: &str| -> Result<f64, String> {
+            doc.get(key).and_then(JsonValue::as_num).ok_or(format!("record missing '{key}'"))
+        };
+        let arr_field = |key: &str| -> Result<&[JsonValue], String> {
+            doc.get(key).and_then(JsonValue::as_arr).ok_or(format!("record missing '{key}'"))
+        };
+        let method_field = |key: &str| -> Result<Method, String> {
+            let slug = str_field(key)?;
+            method_from_slug(&slug).ok_or(format!("record '{key}': unknown method '{slug}'"))
+        };
+        let mut downgrades = Vec::new();
+        for d in arr_field("downgrades")? {
+            let slug_of = |key: &str| -> Result<Method, String> {
+                let s = d
+                    .get(key)
+                    .and_then(JsonValue::as_str)
+                    .ok_or(format!("downgrade missing '{key}'"))?;
+                method_from_slug(s).ok_or(format!("downgrade '{key}': unknown method '{s}'"))
+            };
+            downgrades.push(Downgrade {
+                from: slug_of("from")?,
+                to: slug_of("to")?,
+                reason: d
+                    .get("reason")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("downgrade missing 'reason'")?
+                    .to_string(),
+            });
+        }
+        let mut op_cluster = Vec::new();
+        for func in arr_field("op_cluster")? {
+            let ops = func.as_arr().ok_or("op_cluster entry is not an array")?;
+            let mut clusters = Vec::with_capacity(ops.len());
+            for c in ops {
+                clusters.push(c.as_num().ok_or("op_cluster value is not a number")? as u32);
+            }
+            op_cluster.push(clusters);
+        }
+        let mut object_home = Vec::new();
+        for h in arr_field("object_home")? {
+            object_home.push(h.as_num().ok_or("object_home value is not a number")? as i64);
+        }
+        let mut data_bytes = Vec::new();
+        for b in arr_field("data_bytes")? {
+            data_bytes.push(b.as_num().ok_or("data_bytes value is not a number")? as u64);
+        }
+        let mut quarantine = Vec::new();
+        for q in arr_field("quarantine")? {
+            quarantine.push(QuarantinedUnit {
+                unit: q
+                    .get("unit")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("quarantine entry missing 'unit'")?
+                    .to_string(),
+                attempts: q
+                    .get("attempts")
+                    .and_then(JsonValue::as_num)
+                    .ok_or("quarantine entry missing 'attempts'")? as u32,
+                reason: q
+                    .get("reason")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("quarantine entry missing 'reason'")?
+                    .to_string(),
+            });
+        }
+        let mut events = Vec::new();
+        for e in arr_field("events")? {
+            let mut args = Vec::new();
+            for pair in e.get("args").and_then(JsonValue::as_arr).ok_or("event missing 'args'")? {
+                let kv = pair.as_arr().ok_or("event arg is not a pair")?;
+                if kv.len() != 2 {
+                    return Err("event arg is not a [key, value] pair".to_string());
+                }
+                args.push((
+                    kv[0].as_str().ok_or("event arg key is not a string")?.to_string(),
+                    kv[1].as_num().ok_or("event arg value is not a number")? as i64,
+                ));
+            }
+            events.push(PinnedEvent {
+                cat: e
+                    .get("cat")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("event missing 'cat'")?
+                    .to_string(),
+                name: e
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("event missing 'name'")?
+                    .to_string(),
+                counter: e.get("counter").and_then(JsonValue::as_num).map(|v| v as i64),
+                args,
+            });
+        }
+        Ok(UnitRecord {
+            unit: str_field("unit")?,
+            requested: method_field("requested")?,
+            method: method_field("method")?,
+            downgrades,
+            op_cluster,
+            object_home,
+            cycles: num_field("cycles")? as u64,
+            dynamic_moves: num_field("dynamic_moves")? as u64,
+            remote: num_field("remote")? as u64,
+            moves_inserted: num_field("moves_inserted")? as usize,
+            detailed_runs: num_field("detailed_runs")? as usize,
+            data_bytes,
+            retries: num_field("retries")? as u64,
+            quarantine,
+            pressure: num_field("pressure")? as u64,
+            partition_ms: num_field("partition_ms")?,
+            events,
+        })
+    }
+}
+
+/// Why a checkpoint could not be used.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(String),
+    /// A newline-terminated line is malformed (real corruption, not a
+    /// crash artifact). `line`/`column` are 1-based.
+    Corrupt {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based byte column within the line.
+        column: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The header does not match the requested run configuration.
+    Mismatch {
+        /// Header field that differs.
+        field: String,
+        /// Value the current run requires.
+        expected: String,
+        /// Value found in the file.
+        found: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Corrupt { line, column, message } => {
+                write!(f, "checkpoint corrupt at line {line}, column {column}: {message}")
+            }
+            CheckpointError::Mismatch { field, expected, found } => write!(
+                f,
+                "checkpoint header mismatch: {field} is `{found}` but this run requires \
+                 `{expected}` (delete the checkpoint or rerun with matching options)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// A loaded checkpoint: validated header, completed unit records, and
+/// whether a crash artifact (unterminated tail line) was discarded.
+#[derive(Debug)]
+pub struct Checkpoint {
+    /// The validated header.
+    pub header: CheckpointHeader,
+    /// Completed units, in file order.
+    pub records: Vec<UnitRecord>,
+    /// Whether an unterminated final line was dropped (the killed
+    /// process died mid-append; the unit will simply rerun).
+    pub dropped_partial_tail: bool,
+}
+
+impl Checkpoint {
+    /// The record for a unit key, if the unit completed before the
+    /// crash.
+    pub fn record_for(&self, unit: &str) -> Option<&UnitRecord> {
+        self.records.iter().find(|r| r.unit == unit)
+    }
+}
+
+/// Loads and validates a checkpoint file against the header the
+/// current run would write.
+pub fn load_checkpoint(
+    path: &str,
+    expected: &CheckpointHeader,
+) -> Result<Checkpoint, CheckpointError> {
+    let bytes =
+        std::fs::read(path).map_err(|e| CheckpointError::Io(format!("cannot read {path}: {e}")))?;
+    let text = checkpoint_utf8(&bytes)?;
+    parse_checkpoint(text, expected)
+}
+
+/// Decodes checkpoint bytes, classifying invalid UTF-8 as corruption at
+/// a 1-based line/column rather than as an I/O failure: garbage on disk
+/// is a configuration problem (exit 2), not a transient runtime error.
+fn checkpoint_utf8(bytes: &[u8]) -> Result<&str, CheckpointError> {
+    std::str::from_utf8(bytes).map_err(|e| {
+        let at = e.valid_up_to();
+        let prefix = &bytes[..at];
+        let line = prefix.iter().filter(|&&b| b == b'\n').count() + 1;
+        let column = at - prefix.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1) + 1;
+        CheckpointError::Corrupt { line, column, message: format!("invalid UTF-8 at byte {at}") }
+    })
+}
+
+/// [`load_checkpoint`] on in-memory text (the testable core).
+pub fn parse_checkpoint(
+    text: &str,
+    expected: &CheckpointHeader,
+) -> Result<Checkpoint, CheckpointError> {
+    parse_checkpoint_inner(text, Some(expected))
+}
+
+/// [`load_checkpoint`] without header validation — loads a file for
+/// `checkpoint-diff`, which compares two checkpoints on their own
+/// terms.
+pub fn load_checkpoint_any(path: &str) -> Result<Checkpoint, CheckpointError> {
+    let bytes =
+        std::fs::read(path).map_err(|e| CheckpointError::Io(format!("cannot read {path}: {e}")))?;
+    parse_checkpoint_any(checkpoint_utf8(&bytes)?)
+}
+
+/// Parses a checkpoint without validating its header against a run
+/// configuration — the `checkpoint-diff` tool's entry point, which
+/// compares two files on their own terms.
+pub fn parse_checkpoint_any(text: &str) -> Result<Checkpoint, CheckpointError> {
+    parse_checkpoint_inner(text, None)
+}
+
+fn parse_checkpoint_inner(
+    text: &str,
+    expected: Option<&CheckpointHeader>,
+) -> Result<Checkpoint, CheckpointError> {
+    let corrupt = |line_no: usize, message: String| {
+        // Parse errors embed a byte offset within the line; surface it
+        // as a 1-based column.
+        let column = json::error_byte(&message).map_or(1, |b| b + 1);
+        CheckpointError::Corrupt { line: line_no, column, message }
+    };
+    let mut lines: Vec<(usize, &str, bool)> = Vec::new();
+    let mut line_no = 0;
+    for piece in text.split_inclusive('\n') {
+        line_no += 1;
+        let terminated = piece.ends_with('\n');
+        let body = piece.trim_end_matches(['\n', '\r']);
+        lines.push((line_no, body, terminated));
+    }
+    // Drop an unterminated tail: a process killed mid-append leaves one.
+    let mut dropped_partial_tail = false;
+    if let Some(&(_, body, terminated)) = lines.last() {
+        if !terminated && json::parse(body).is_err() {
+            lines.pop();
+            dropped_partial_tail = true;
+        }
+    }
+    let Some(&(_, header_line, _)) = lines.first() else {
+        return Err(corrupt(1, "missing checkpoint header".to_string()));
+    };
+    let header_doc = json::parse(header_line).map_err(|e| corrupt(1, e))?;
+    let header = CheckpointHeader::from_json(&header_doc).map_err(|e| corrupt(1, e))?;
+    if let Some(expected) = expected {
+        if let Some((field, expected, found)) = header.mismatch_against(expected) {
+            return Err(CheckpointError::Mismatch { field, expected, found });
+        }
+    }
+    let mut records = Vec::new();
+    for &(n, body, _) in &lines[1..] {
+        if body.is_empty() {
+            continue;
+        }
+        let doc = json::parse(body).map_err(|e| corrupt(n, e))?;
+        records.push(UnitRecord::from_json(&doc).map_err(|e| corrupt(n, e))?);
+    }
+    Ok(Checkpoint { header, records, dropped_partial_tail })
+}
+
+/// Appends unit records to a checkpoint file, one flushed line each.
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    file: std::fs::File,
+    path: String,
+}
+
+impl CheckpointWriter {
+    /// Creates (truncating) a checkpoint file and writes the header.
+    pub fn create(path: &str, header: &CheckpointHeader) -> Result<Self, CheckpointError> {
+        let mut file = std::fs::File::create(path)
+            .map_err(|e| CheckpointError::Io(format!("cannot create {path}: {e}")))?;
+        writeln!(file, "{}", header.to_json())
+            .map_err(|e| CheckpointError::Io(format!("cannot write {path}: {e}")))?;
+        let mut w = CheckpointWriter { file, path: path.to_string() };
+        w.flush()?;
+        Ok(w)
+    }
+
+    /// Re-creates the file from a validated resume: header plus the
+    /// surviving records (this drops any crash artifact from the tail
+    /// so subsequent appends start on a clean line).
+    pub fn resume(
+        path: &str,
+        header: &CheckpointHeader,
+        records: &[UnitRecord],
+    ) -> Result<Self, CheckpointError> {
+        let mut w = CheckpointWriter::create(path, header)?;
+        for r in records {
+            w.append(r)?;
+        }
+        Ok(w)
+    }
+
+    /// Appends one record and flushes it to the OS before returning,
+    /// so a later SIGKILL cannot lose a unit that was reported done.
+    pub fn append(&mut self, record: &UnitRecord) -> Result<(), CheckpointError> {
+        writeln!(self.file, "{}", record.to_json())
+            .map_err(|e| CheckpointError::Io(format!("cannot write {}: {e}", self.path)))?;
+        self.flush()
+    }
+
+    fn flush(&mut self) -> Result<(), CheckpointError> {
+        self.file
+            .flush()
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| CheckpointError::Io(format!("cannot flush {}: {e}", self.path)))
+    }
+}
+
+/// Runs one checkpointable unit: snapshots the obs log, runs the
+/// pipeline, and packages the result (placement, downgrades, report
+/// scalars, quarantine, the unit's pinned events) as a [`UnitRecord`].
+///
+/// A terminal worker panic surfaces as
+/// [`McpartError::WorkerPanic`] naming this unit.
+pub fn run_unit(
+    program: &Program,
+    profile: &Profile,
+    machine: &Machine,
+    config: &PipelineConfig,
+) -> Result<UnitRecord, McpartError> {
+    let unit = format!("{}/{}", program.name, method_slug(config.method));
+    let before = config.obs.events().len();
+    let result = run_pipeline(program, profile, machine, config)
+        .map_err(|e| McpartError::from_unit_failure(&unit, e))?;
+    let events = config.obs.events();
+    Ok(UnitRecord::from_result(&unit, &result, &events[before..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpart_ir::{DataObject, FunctionBuilder, MemWidth};
+
+    fn demo_program() -> (Program, Profile) {
+        let mut program = Program::new("demo");
+        let table = program.add_object(DataObject::global("table", 64));
+        let mut b = FunctionBuilder::entry(&mut program);
+        let base = b.addrof(table);
+        let v = b.load(MemWidth::B4, base);
+        let w = b.add(v, v);
+        b.store(MemWidth::B4, base, w);
+        b.ret(None);
+        let profile = Profile::uniform(&program, 100);
+        (program, profile)
+    }
+
+    fn demo_header(program: &Program) -> CheckpointHeader {
+        CheckpointHeader {
+            program: program.name.clone(),
+            program_hash: program_fingerprint(program),
+            seed: 0x4409,
+            clusters: 2,
+            latency: 5,
+            memory: "partitioned".to_string(),
+            gdp_fuel: None,
+        }
+    }
+
+    #[test]
+    fn header_roundtrips() {
+        let (program, _) = demo_program();
+        let h = demo_header(&program);
+        let doc = json::parse(&h.to_json()).expect("header is valid JSON");
+        let parsed = CheckpointHeader::from_json(&doc).expect("header parses back");
+        assert_eq!(parsed, h);
+        let mut other = h.clone();
+        other.seed = 7;
+        assert!(parsed.mismatch_against(&h).is_none());
+        let (field, _, _) = parsed.mismatch_against(&other).expect("seed differs");
+        assert_eq!(field, "seed");
+    }
+
+    #[test]
+    fn unit_record_roundtrips_through_json() {
+        let (program, profile) = demo_program();
+        let machine = Machine::paper_2cluster(5);
+        let obs = mcpart_obs::Obs::enabled();
+        let config = PipelineConfig::new(Method::Gdp).with_obs(obs.clone());
+        let record = run_unit(&program, &profile, &machine, &config).expect("unit runs");
+        assert_eq!(record.unit, "demo/gdp");
+        assert!(!record.events.is_empty(), "obs events captured");
+        let doc = json::parse(&record.to_json()).expect("record is valid JSON");
+        let parsed = UnitRecord::from_json(&doc).expect("record parses back");
+        assert_eq!(parsed, record);
+        // The rebuilt placement matches the live one.
+        let result = run_pipeline(&program, &profile, &machine, &config).expect("pipeline");
+        assert_eq!(record.placement().op_cluster, result.placement.op_cluster);
+        assert_eq!(record.placement().object_home, result.placement.object_home);
+    }
+
+    #[test]
+    fn replay_reproduces_the_pinned_log() {
+        let (program, profile) = demo_program();
+        let machine = Machine::paper_2cluster(5);
+        let live = mcpart_obs::Obs::enabled();
+        let config = PipelineConfig::new(Method::Gdp).with_obs(live.clone());
+        let record = run_unit(&program, &profile, &machine, &config).expect("unit runs");
+        let resumed = mcpart_obs::Obs::enabled();
+        record.replay_events(&resumed);
+        assert_eq!(live.pinned_log(), resumed.pinned_log());
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_and_tolerates_partial_tail() {
+        let (program, profile) = demo_program();
+        let machine = Machine::paper_2cluster(5);
+        let config = PipelineConfig::new(Method::Gdp);
+        let record = run_unit(&program, &profile, &machine, &config).expect("unit runs");
+        let header = demo_header(&program);
+        let mut text = format!("{}\n{}\n", header.to_json(), record.to_json());
+        let ck = parse_checkpoint(&text, &header).expect("clean checkpoint parses");
+        assert_eq!(ck.records.len(), 1);
+        assert!(!ck.dropped_partial_tail);
+        assert!(ck.record_for("demo/gdp").is_some());
+        assert!(ck.record_for("demo/naive").is_none());
+        // A SIGKILL mid-append leaves an unterminated prefix of the next
+        // record: dropped as a crash artifact, not an error.
+        let half = &record.to_json()[..40];
+        text.push_str(half);
+        let ck = parse_checkpoint(&text, &header).expect("partial tail tolerated");
+        assert_eq!(ck.records.len(), 1);
+        assert!(ck.dropped_partial_tail);
+    }
+
+    #[test]
+    fn terminated_garbage_is_corruption_with_line_and_column() {
+        let (program, _) = demo_program();
+        let header = demo_header(&program);
+        let text = format!("{}\n{{\"unit\": }}\n", header.to_json());
+        match parse_checkpoint(&text, &header) {
+            Err(CheckpointError::Corrupt { line, column, .. }) => {
+                assert_eq!(line, 2);
+                assert!(column > 1, "column {column} should point into the line");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // A header mismatch is a Mismatch, not corruption.
+        let mut other_header = header.clone();
+        other_header.clusters = 4;
+        let text = format!("{}\n", header.to_json());
+        match parse_checkpoint(&text, &other_header) {
+            Err(CheckpointError::Mismatch { field, .. }) => assert_eq!(field, "clusters"),
+            other => panic!("expected Mismatch, got {other:?}"),
+        }
+        // An empty file has no header.
+        assert!(matches!(
+            parse_checkpoint("", &header),
+            Err(CheckpointError::Corrupt { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn writer_appends_flushed_lines() {
+        let (program, profile) = demo_program();
+        let machine = Machine::paper_2cluster(5);
+        let config = PipelineConfig::new(Method::Gdp);
+        let record = run_unit(&program, &profile, &machine, &config).expect("unit runs");
+        let header = demo_header(&program);
+        let dir = std::env::temp_dir().join("mcpart_checkpoint_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("unit.ckpt");
+        let path_str = path.to_str().expect("utf-8 path");
+        {
+            let mut w = CheckpointWriter::create(path_str, &header).expect("create");
+            w.append(&record).expect("append");
+        }
+        let ck = load_checkpoint(path_str, &header).expect("load");
+        assert_eq!(ck.records.len(), 1);
+        assert_eq!(ck.records[0], record);
+        // Resume rewrites the file with the surviving records.
+        {
+            let _w = CheckpointWriter::resume(path_str, &header, &ck.records).expect("resume");
+        }
+        let again = load_checkpoint(path_str, &header).expect("reload");
+        assert_eq!(again.records.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

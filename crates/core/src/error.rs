@@ -35,6 +35,9 @@ pub enum Stage {
     SemanticValidation,
     /// Schedule construction and cycle accounting.
     Evaluation,
+    /// The supervision layer itself: a caught worker panic whose
+    /// failing stage is unknown (the unwind crossed stage boundaries).
+    Supervision,
 }
 
 impl fmt::Display for Stage {
@@ -49,6 +52,7 @@ impl fmt::Display for Stage {
             Stage::PlacementValidation => "placement validation",
             Stage::SemanticValidation => "semantic validation",
             Stage::Evaluation => "evaluation",
+            Stage::Supervision => "supervision",
         };
         f.write_str(s)
     }
@@ -111,6 +115,9 @@ pub enum RhopError {
         /// Which invariant broke.
         message: String,
     },
+    /// The unit watchdog fired: the partition exceeded its wall-clock
+    /// ceiling and the shared budget refused further fuel charges.
+    Aborted,
 }
 
 impl fmt::Display for RhopError {
@@ -121,6 +128,9 @@ impl fmt::Display for RhopError {
             }
             RhopError::Internal { message } => {
                 write!(f, "internal invariant broken: {message}")
+            }
+            RhopError::Aborted => {
+                f.write_str("unit watchdog aborted the partition (wall-clock ceiling exceeded)")
             }
         }
     }
@@ -159,6 +169,13 @@ pub enum PipelineErrorKind {
         /// How long the stage actually ran.
         elapsed: Duration,
     },
+    /// A supervised worker panicked while running this method; the
+    /// panic was caught (panic isolation), its obs events were
+    /// withheld, and the payload preserved here.
+    WorkerPanic {
+        /// The rendered panic payload.
+        payload: String,
+    },
 }
 
 impl fmt::Display for PipelineErrorKind {
@@ -180,6 +197,9 @@ impl fmt::Display for PipelineErrorKind {
                 budget.as_secs_f64() * 1e3,
                 elapsed.as_secs_f64() * 1e3
             ),
+            PipelineErrorKind::WorkerPanic { payload } => {
+                write!(f, "worker panicked: {payload}")
+            }
         }
     }
 }
@@ -214,6 +234,7 @@ impl PipelineError {
                 | PipelineErrorKind::Placement(_)
                 | PipelineErrorKind::SemanticsChanged
                 | PipelineErrorKind::Timeout { .. }
+                | PipelineErrorKind::WorkerPanic { .. }
         )
     }
 }
@@ -261,6 +282,31 @@ pub enum McpartError {
     Exec(mcpart_sim::ExecError),
     /// The pipeline itself failed.
     Pipeline(PipelineError),
+    /// A supervised work unit panicked and exhausted its retries. The
+    /// panic never unwound past the supervisor; `unit` names the work
+    /// item (`workload/method` at the driver level, a function name at
+    /// the partitioner level) and `payload` is its rendered panic
+    /// message.
+    WorkerPanic {
+        /// The supervised unit that died.
+        unit: String,
+        /// The rendered panic payload.
+        payload: String,
+    },
+}
+
+impl McpartError {
+    /// Wraps a terminal pipeline failure, lifting worker panics into
+    /// the dedicated [`McpartError::WorkerPanic`] variant so drivers
+    /// can report the unit that died.
+    pub fn from_unit_failure(unit: &str, e: PipelineError) -> Self {
+        match e.kind {
+            PipelineErrorKind::WorkerPanic { payload } => {
+                McpartError::WorkerPanic { unit: unit.to_string(), payload }
+            }
+            _ => McpartError::Pipeline(e),
+        }
+    }
 }
 
 impl fmt::Display for McpartError {
@@ -270,6 +316,9 @@ impl fmt::Display for McpartError {
             McpartError::Verify(e) => write!(f, "verification error: {e}"),
             McpartError::Exec(e) => write!(f, "execution error: {e}"),
             McpartError::Pipeline(e) => write!(f, "{e}"),
+            McpartError::WorkerPanic { unit, payload } => {
+                write!(f, "worker panicked in unit `{unit}`: {payload}")
+            }
         }
     }
 }
@@ -281,6 +330,7 @@ impl Error for McpartError {
             McpartError::Verify(e) => Some(e),
             McpartError::Exec(e) => Some(e),
             McpartError::Pipeline(e) => Some(e),
+            McpartError::WorkerPanic { .. } => None,
         }
     }
 }
@@ -344,6 +394,32 @@ mod tests {
         assert!(!e.is_recoverable());
         let e = sample(PipelineErrorKind::Exec(mcpart_sim::ExecError::StepLimit));
         assert!(!e.is_recoverable());
+    }
+
+    #[test]
+    fn worker_panics_are_recoverable_and_lift_to_mcpart_error() {
+        let e = sample(PipelineErrorKind::WorkerPanic { payload: "boom".into() });
+        assert!(e.is_recoverable(), "panics must feed the degradation ladder");
+        let lifted = McpartError::from_unit_failure("fir/gdp", e);
+        match &lifted {
+            McpartError::WorkerPanic { unit, payload } => {
+                assert_eq!(unit, "fir/gdp");
+                assert_eq!(payload, "boom");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        let s = lifted.to_string();
+        assert!(s.contains("fir/gdp") && s.contains("boom"), "{s}");
+        // Non-panic failures keep the Pipeline wrapping.
+        let e = sample(PipelineErrorKind::Gdp(GdpError::NoClusters));
+        assert!(matches!(McpartError::from_unit_failure("u", e), McpartError::Pipeline(_)));
+    }
+
+    #[test]
+    fn watchdog_abort_renders_and_recovers() {
+        let e = sample(PipelineErrorKind::Rhop(RhopError::Aborted));
+        assert!(e.is_recoverable());
+        assert!(e.to_string().contains("watchdog"), "{e}");
     }
 
     #[test]

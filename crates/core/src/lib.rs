@@ -42,8 +42,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod baselines;
+mod checkpoint;
 mod dfg;
 mod error;
 mod exhaustive;
@@ -55,6 +57,11 @@ mod rhop;
 pub use baselines::{
     group_cluster_frequencies, naive_partition, profile_max_partition, unified_partition,
 };
+pub use checkpoint::{
+    load_checkpoint, load_checkpoint_any, method_from_slug, method_slug, parse_checkpoint,
+    parse_checkpoint_any, program_fingerprint, run_unit, Checkpoint, CheckpointError,
+    CheckpointHeader, CheckpointWriter, PinnedEvent, UnitRecord, CHECKPOINT_VERSION,
+};
 pub use dfg::{ProgramDfg, ProgramNode};
 pub use error::{
     Downgrade, GdpError, McpartError, PipelineError, PipelineErrorKind, RhopError, Stage,
@@ -65,4 +72,4 @@ pub use exhaustive::{
 pub use gdp::{data_partition_from_mapping, gdp_partition, DataPartition, GdpConfig};
 pub use groups::ObjectGroups;
 pub use pipeline::{run_all_methods, run_pipeline, Method, PipelineConfig, PipelineResult};
-pub use rhop::{rhop_partition, RegionScope, RhopConfig, RhopStats};
+pub use rhop::{rhop_partition, PanicPlan, RegionScope, RhopConfig, RhopStats};

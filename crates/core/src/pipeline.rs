@@ -119,6 +119,22 @@ pub struct PipelineConfig {
     /// [`PipelineConfig::with_obs`] so the GDP/RHOP sub-configs share
     /// the same sink). The default records nothing.
     pub obs: mcpart_obs::Obs,
+    /// Run-level retry cap: how many times a recoverable failure (or a
+    /// caught worker panic) may advance the degradation ladder one rung
+    /// before the run fails. The default of 2 admits the full
+    /// GDP → Profile Max → Naive ladder.
+    pub retries: u32,
+    /// Per-unit wall-clock ceiling enforced by a watchdog thread: when
+    /// a method attempt runs longer than this, the watchdog flags the
+    /// attempt's shared budget so its next fuel charge fails cleanly
+    /// (a typed, recoverable error feeding the same ladder). `None`
+    /// (default) disables the watchdog and keeps the run fully
+    /// deterministic.
+    pub unit_timeout: Option<Duration>,
+    /// Fault injection for supervision tests: method attempts listed
+    /// here panic at entry (caught by panic isolation, advancing the
+    /// ladder). Empty in production.
+    pub fault_methods: Vec<Method>,
 }
 
 impl PipelineConfig {
@@ -137,7 +153,19 @@ impl PipelineConfig {
             pre_optimize: false,
             software_pipelining: false,
             obs: mcpart_obs::Obs::disabled(),
+            retries: 2,
+            unit_timeout: None,
+            fault_methods: Vec::new(),
         }
+    }
+
+    /// Sets the retry cap at both supervision levels: the run-level
+    /// ladder (this config) and the per-function unit supervisor
+    /// (`rhop.retries`).
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self.rhop.retries = retries;
+        self
     }
 
     /// Sets the worker-thread count of every parallel stage (RHOP's
@@ -219,6 +247,12 @@ impl PipelineResult {
     pub fn was_downgraded(&self) -> bool {
         !self.downgrades.is_empty()
     }
+
+    /// Function units that exhausted their retries and run on the
+    /// trivial fallback placement (empty on a healthy run).
+    pub fn quarantine(&self) -> &mcpart_par::supervise::QuarantineReport {
+        &self.rhop_stats.quarantine
+    }
 }
 
 /// Runs the full pipeline for one method.
@@ -262,25 +296,65 @@ pub fn run_pipeline(
     loop {
         let mut attempt = config.clone();
         attempt.method = method;
-        match run_method(program, profile, machine, &attempt) {
+        // Arm the per-attempt watchdog: it fires the abort handle that
+        // this attempt's shared budget checks on every fuel charge, so
+        // a runaway unit fails at its next spend with a typed,
+        // recoverable error — no thread is killed. The guard disarms
+        // the watchdog when the attempt returns.
+        let _watchdog = config.unit_timeout.map(|ceiling| {
+            let handle = mcpart_par::supervise::AbortHandle::armed();
+            attempt.rhop.abort = handle.clone();
+            mcpart_par::supervise::Watchdog::arm(ceiling, handle)
+        });
+        // Panic isolation: a worker panic anywhere inside the attempt
+        // is caught here, converted into a typed recoverable error, and
+        // fed to the same ladder as ordinary partitioning failures. The
+        // attempt's obs events stay withheld exactly as on the error
+        // path, preserving the pinned-log determinism contract.
+        let outcome =
+            mcpart_par::supervise::catch_unit(|| run_method(program, profile, machine, &attempt))
+                .unwrap_or_else(|payload| {
+                    Err(PipelineError {
+                        program: program.name.clone(),
+                        method,
+                        stage: Stage::Supervision,
+                        kind: PipelineErrorKind::WorkerPanic { payload },
+                    })
+                });
+        match outcome {
             Ok(mut result) => {
                 result.requested_method = config.method;
                 result.downgrades = downgrades;
+                if config.obs.is_enabled() {
+                    let stats = &result.rhop_stats;
+                    config.obs.counter(
+                        "supervise",
+                        "retries",
+                        stats.retries as i64 + result.downgrades.len() as i64,
+                    );
+                    config.obs.counter("supervise", "quarantined", stats.quarantine.len() as i64);
+                }
                 return Ok(result);
             }
-            Err(e) if e.is_recoverable() => match method.fallback() {
-                Some(next) => {
-                    config.obs.counter_args(
-                        "pipeline",
-                        "downgrade",
-                        (downgrades.len() + 1) as i64,
-                        &[("from", method_ord(method)), ("to", method_ord(next))],
-                    );
-                    downgrades.push(Downgrade { from: method, to: next, reason: e.to_string() });
-                    method = next;
+            Err(e) if e.is_recoverable() && downgrades.len() < config.retries as usize => {
+                match method.fallback() {
+                    Some(next) => {
+                        config.obs.counter_args(
+                            "pipeline",
+                            "downgrade",
+                            (downgrades.len() + 1) as i64,
+                            &[("from", method_ord(method)), ("to", method_ord(next))],
+                        );
+                        downgrades.push(Downgrade {
+                            from: method,
+                            to: next,
+                            reason: e.to_string(),
+                        });
+                        method = next;
+                    }
+                    None => return Err(e),
                 }
-                None => return Err(e),
-            },
+            }
             Err(e) => return Err(e),
         }
     }
@@ -294,6 +368,9 @@ fn run_method(
     machine: &Machine,
     config: &PipelineConfig,
 ) -> Result<PipelineResult, PipelineError> {
+    if config.fault_methods.contains(&config.method) {
+        panic!("injected fault in method {}", config.method);
+    }
     let fail = |stage: Stage, kind: PipelineErrorKind| PipelineError {
         program: program.name.clone(),
         method: config.method,
@@ -301,8 +378,13 @@ fn run_method(
         kind,
     };
     // Stage clock: each stage must individually finish within the
-    // configured wall-clock budget.
+    // configured wall-clock budget, and react to the watchdog's abort
+    // between stages (stages without a shared budget of their own).
     let check_clock = |stage: Stage, started: Instant| -> Result<(), PipelineError> {
+        if config.rhop.abort.is_aborted() {
+            let budget = config.unit_timeout.unwrap_or_default();
+            return Err(fail(stage, PipelineErrorKind::Timeout { budget, elapsed: budget }));
+        }
         if let Some(budget) = config.stage_budget {
             let elapsed = started.elapsed();
             if elapsed > budget {

@@ -37,6 +37,9 @@ use mcpart_ir::{
     BlockId, ClusterId, EntityId, EntityMap, FuncId, ObjectId, OpId, Opcode, Profile, Program, VReg,
 };
 use mcpart_machine::Machine;
+use mcpart_par::supervise::{
+    supervise_unit, AbortHandle, QuarantineReport, RetryPolicy, UnitOutcome,
+};
 use mcpart_par::SharedBudget;
 use mcpart_rng::rngs::SmallRng;
 use mcpart_rng::seq::SliceRandom;
@@ -101,6 +104,40 @@ pub struct RhopConfig {
     /// value; on a failed run no RHOP events are flushed at all. The
     /// default records nothing.
     pub obs: mcpart_obs::Obs,
+    /// Extra attempts a *panicking* function unit gets before it is
+    /// quarantined. Typed errors (budget exhaustion) are never retried
+    /// here — they are deterministic and feed the pipeline's ladder.
+    pub retries: u32,
+    /// Base backoff fuel charged against the estimator budget before a
+    /// retry (doubling per retry). Fuel-denominated so the retry
+    /// decision never consults a clock: `--jobs N` stays bit-identical.
+    pub backoff_fuel: u64,
+    /// Fault injection: panic inside the named function's partition
+    /// while the 0-based attempt number is below `panics`. Used by the
+    /// supervision tests and the CLI's `--inject-panic`.
+    pub inject_panic: Option<PanicPlan>,
+    /// Abort handle checked by every budget charge; a watchdog fires it
+    /// to stop a runaway unit at its next fuel spend. Disarmed by
+    /// default.
+    pub abort: AbortHandle,
+}
+
+/// A deterministic injected fault: panic in `func` while the attempt
+/// number is below `panics` (so `panics = 1` exercises
+/// retry-then-succeed, `u32::MAX` exercises quarantine).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PanicPlan {
+    /// Name of the function whose partition panics.
+    pub func: String,
+    /// Number of leading attempts that panic.
+    pub panics: u32,
+}
+
+impl PanicPlan {
+    /// A plan that panics on every attempt (quarantine path).
+    pub fn always(func: &str) -> Self {
+        PanicPlan { func: func.to_string(), panics: u32::MAX }
+    }
 }
 
 impl Default for RhopConfig {
@@ -114,12 +151,16 @@ impl Default for RhopConfig {
             jobs: 1,
             incremental: true,
             obs: mcpart_obs::Obs::disabled(),
+            retries: 2,
+            backoff_fuel: 16,
+            inject_panic: None,
+            abort: AbortHandle::default(),
         }
     }
 }
 
 /// Statistics of one RHOP run (for the compile-time experiment, §4.5).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct RhopStats {
     /// Regions partitioned.
     pub regions: usize,
@@ -137,6 +178,11 @@ pub struct RhopStats {
     pub pruned_lock: u64,
     /// Pruned probes rejected by the resource/critical-path bound.
     pub pruned_bound: u64,
+    /// Panicking attempts that were retried and then completed.
+    pub retries: u64,
+    /// Function units that exhausted their retries and were replaced by
+    /// the trivial all-on-cluster-0 fallback instead of failing the run.
+    pub quarantine: QuarantineReport,
 }
 
 impl RhopStats {
@@ -150,14 +196,20 @@ impl RhopStats {
         self.pruned_evals += other.pruned_evals;
         self.pruned_lock += other.pruned_lock;
         self.pruned_bound += other.pruned_bound;
+        self.retries += other.retries;
+        self.quarantine.merge(&other.quarantine);
     }
 }
 
-/// Spends one estimator invocation against the shared budget.
+/// Spends one estimator invocation against the shared budget. A failed
+/// spend is the watchdog's abort when the handle fired, and plain
+/// budget exhaustion otherwise.
 fn spend_estimate(stats: &mut RhopStats, budget: &SharedBudget) -> Result<(), RhopError> {
     stats.estimator_calls += 1;
     if budget.spend() {
         Ok(())
+    } else if budget.is_aborted() {
+        Err(RhopError::Aborted)
     } else {
         Err(RhopError::EstimatorBudgetExceeded { limit: budget.limit().unwrap_or(0) })
     }
@@ -194,21 +246,54 @@ pub fn rhop_partition(
     // only on the total demand (which is fixed), so the ok/exceeded
     // outcome — and with the fid-order reduction below, the reported
     // error — is deterministic.
-    let budget = SharedBudget::new(config.max_estimator_calls);
+    let budget = SharedBudget::with_abort(config.max_estimator_calls, config.abort.clone());
     let fids: Vec<FuncId> = program.functions.keys().collect();
+    let policy = RetryPolicy { retries: config.retries, backoff_fuel: config.backoff_fuel };
+    // Each function is a supervised unit: a panicking attempt is caught
+    // (its events withheld), retried with fuel-denominated backoff, and
+    // finally quarantined behind a trivial fallback placement. Panics
+    // and backoff charges are pure functions of `(function, attempt)`,
+    // so the supervision outcome is identical for every worker count.
     let results = mcpart_par::parallel_map(config.jobs, &fids, |_, &fid| {
-        partition_function(program, fid, access, machine, object_home, config, &budget)
+        supervise_unit(
+            &program.functions[fid].name,
+            policy,
+            |fuel| budget.charge(fuel),
+            |attempt| {
+                partition_function(
+                    program,
+                    fid,
+                    access,
+                    machine,
+                    object_home,
+                    config,
+                    &budget,
+                    attempt,
+                )
+            },
+        )
     });
     let mut stats = RhopStats::default();
     // Worker event buffers are held back until every function succeeded,
     // then flushed in function order: the sink sees the same sequence
     // for every worker count, and a failed run flushes nothing.
     let mut bufs = Vec::with_capacity(fids.len());
-    for (&fid, result) in fids.iter().zip(results) {
-        let (op_clusters, func_stats, buf) = result?;
-        placement.op_cluster[fid] = op_clusters;
-        stats.add(&func_stats);
-        bufs.push(buf);
+    for (&fid, outcome) in fids.iter().zip(results) {
+        match outcome {
+            UnitOutcome::Completed { value: (op_clusters, func_stats, buf), retries, .. } => {
+                placement.op_cluster[fid] = op_clusters;
+                stats.add(&func_stats);
+                stats.retries += u64::from(retries);
+                bufs.push(buf);
+            }
+            UnitOutcome::Failed(e) => return Err(e),
+            UnitOutcome::Quarantined(q) => {
+                // The unit never completed: leave the function on the
+                // all-on-cluster-0 fallback, withhold its events, and
+                // report it instead of failing the workload.
+                stats.quarantine.units.push(q);
+            }
+        }
     }
     for buf in bufs {
         config.obs.append(buf);
@@ -227,9 +312,12 @@ pub fn rhop_partition(
 }
 
 /// Partitions all regions of one function (all three sweeps). Pure in
-/// `(program, fid, config)` plus the shared budget: reads only `fid`'s
-/// operations and returns only `fid`'s cluster map, which is what makes
-/// the per-function fan-out deterministic.
+/// `(program, fid, config, attempt)` plus the shared budget: reads only
+/// `fid`'s operations and returns only `fid`'s cluster map, which is
+/// what makes the per-function fan-out deterministic. `attempt` is the
+/// supervisor's 0-based retry counter, consumed only by fault
+/// injection.
+#[allow(clippy::too_many_arguments)]
 fn partition_function(
     program: &Program,
     fid: FuncId,
@@ -238,10 +326,16 @@ fn partition_function(
     object_home: &EntityMap<ObjectId, Option<ClusterId>>,
     config: &RhopConfig,
     budget: &SharedBudget,
+    attempt: u32,
 ) -> Result<(EntityMap<OpId, ClusterId>, RhopStats, mcpart_obs::EventBuf), RhopError> {
     let clock = std::time::Instant::now();
     let mut buf = config.obs.buffer();
     let func = &program.functions[fid];
+    if let Some(plan) = &config.inject_panic {
+        if plan.func == func.name && attempt < plan.panics {
+            panic!("injected fault in `{}` (attempt {attempt})", func.name);
+        }
+    }
     let mut op_clusters: EntityMap<OpId, ClusterId> =
         EntityMap::with_default(func.num_ops(), ClusterId::new(0));
     let mut stats = RhopStats::default();

@@ -276,6 +276,31 @@ pub fn escape(s: &str) -> String {
     out
 }
 
+/// Extracts the byte offset embedded in this module's parse-error
+/// messages ("... at byte N" / "... at N"), if present.
+pub fn error_byte(message: &str) -> Option<usize> {
+    let digits: String = message
+        .rsplit(|c: char| !c.is_ascii_digit())
+        .next()
+        .map(str::to_string)
+        .unwrap_or_default();
+    if message.ends_with(&digits) && !digits.is_empty() {
+        digits.parse().ok()
+    } else {
+        None
+    }
+}
+
+/// Converts a byte offset into 1-based `(line, column)` coordinates
+/// for diagnostics (column counts bytes, matching the parser).
+pub fn line_col(text: &str, byte: usize) -> (usize, usize) {
+    let byte = byte.min(text.len());
+    let prefix = &text.as_bytes()[..byte];
+    let line = prefix.iter().filter(|&&b| b == b'\n').count() + 1;
+    let col = byte - prefix.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1) + 1;
+    (line, col)
+}
+
 /// Structural statistics of a validated Chrome trace.
 #[derive(Clone, Debug, Default)]
 pub struct TraceStats {
@@ -287,6 +312,9 @@ pub struct TraceStats {
     pub counters: usize,
     /// `cat/name` labels of every counter event.
     pub counter_names: BTreeSet<String>,
+    /// Non-fatal structural oddities (unknown top-level keys): the
+    /// trace is usable, but a tool should surface these.
+    pub warnings: Vec<String>,
 }
 
 impl TraceStats {
@@ -305,6 +333,17 @@ pub fn validate_trace(text: &str) -> Result<TraceStats, String> {
     let events =
         doc.get("traceEvents").and_then(JsonValue::as_arr).ok_or("missing 'traceEvents' array")?;
     let mut stats = TraceStats { events: events.len(), ..TraceStats::default() };
+    // The Chrome trace format tolerates extra metadata keys; unknown
+    // ones are worth a warning (typos, version skew) but not an error.
+    const KNOWN_TOP: &[&str] =
+        &["traceEvents", "displayTimeUnit", "otherData", "metadata", "systemTraceEvents"];
+    if let JsonValue::Obj(fields) = &doc {
+        for (key, _) in fields {
+            if !KNOWN_TOP.contains(&key.as_str()) {
+                stats.warnings.push(format!("unknown top-level key '{key}'"));
+            }
+        }
+    }
     for (i, e) in events.iter().enumerate() {
         let name =
             e.get("name").and_then(JsonValue::as_str).ok_or(format!("event {i}: missing name"))?;
@@ -381,6 +420,28 @@ mod tests {
         assert_eq!((stats.events, stats.spans, stats.counters), (2, 1, 1));
         assert!(stats.has_counter("g/c"));
         assert!(!stats.has_counter("g/missing"));
+    }
+
+    #[test]
+    fn unknown_top_level_keys_warn_but_pass() {
+        let text = r#"{"traceEvents":[],"frobs":1,"displayTimeUnit":"ms"}"#;
+        let stats = validate_trace(text).unwrap();
+        assert_eq!(stats.warnings.len(), 1, "{:?}", stats.warnings);
+        assert!(stats.warnings[0].contains("frobs"), "{:?}", stats.warnings);
+        let clean = validate_trace(r#"{"traceEvents":[]}"#).unwrap();
+        assert!(clean.warnings.is_empty());
+    }
+
+    #[test]
+    fn error_byte_and_line_col_locate_failures() {
+        let text = "{\"ok\": 1}\n{\"bad\": }";
+        let err = parse(&text[10..]).unwrap_err();
+        let byte = error_byte(&err).expect("offset in message");
+        assert_eq!(byte, 8, "{err}");
+        assert_eq!(line_col(text, 10 + byte), (2, 9));
+        assert_eq!(line_col(text, 0), (1, 1));
+        assert_eq!(line_col(text, 1_000_000), (2, 10), "clamped to end");
+        assert_eq!(error_byte("no offset here"), None);
     }
 
     #[test]

@@ -143,6 +143,31 @@ impl EventBuf {
     }
 }
 
+/// Maps a category string (e.g. parsed back out of a checkpoint file)
+/// onto the `&'static str` that [`Event::cat`] requires. The known
+/// pipeline categories are returned without allocation; unknown ones
+/// are leaked once — categories are a small closed set in practice, so
+/// the leak is bounded and keeps `Event` allocation-free on the hot
+/// recording path.
+pub fn intern_cat(cat: &str) -> &'static str {
+    const KNOWN: &[&str] = &[
+        "pipeline",
+        "gdp",
+        "metis",
+        "rhop",
+        "sched",
+        "sim",
+        "exec",
+        "supervise",
+        "checkpoint",
+        "bench",
+    ];
+    if let Some(k) = KNOWN.iter().find(|&&k| k == cat) {
+        return k;
+    }
+    Box::leak(cat.to_string().into_boxed_str())
+}
+
 fn stamp(zero: Instant, started: Option<Instant>) -> (u64, u64) {
     match started {
         Some(start) => {
@@ -211,6 +236,20 @@ impl Obs {
     /// Records a span with pinned integer attributes.
     pub fn span_args(&self, cat: &'static str, name: &str, started: Instant, args: &[(&str, i64)]) {
         self.record(cat, name, EventKind::Span, args, Some(started));
+    }
+
+    /// Re-records the pinned fields of a previously exported event —
+    /// the checkpoint-resume path, which replays a completed unit's
+    /// events so a resumed run's [`Obs::pinned_log`] is byte-identical
+    /// to an uninterrupted one. The sequence number is reassigned at
+    /// record time; the timestamp is "now" and the duration 0 (both
+    /// non-pinned).
+    pub fn replay(&self, cat: &'static str, name: &str, kind: EventKind, args: Vec<(String, i64)>) {
+        let Some(sink) = &self.inner else { return };
+        let (ts_us, dur_us) = stamp(sink.zero, None);
+        let mut events = sink.events.lock().expect("obs sink poisoned");
+        let seq = events.len() as u64;
+        events.push(Event { seq, cat, name: name.to_string(), kind, args, ts_us, dur_us });
     }
 
     /// A private buffer for one parallel work item. The buffer shares
@@ -475,6 +514,28 @@ mod tests {
         // count column for the repeated span and counter
         assert!(s.lines().any(|l| l.contains("p/stage") && l.contains(" 2 ")), "{s}");
         assert!(s.lines().any(|l| l.contains("c/v") && l.contains(" 5")), "{s}");
+    }
+
+    #[test]
+    fn replay_reproduces_the_pinned_projection() {
+        let live = Obs::enabled();
+        live.counter_args("rhop", "estimator_calls", 7, &[("func", 2)]);
+        live.span_args("pipeline", "sim", Instant::now(), &[("cycles", 123)]);
+        // Replaying the pinned fields into a fresh sink (the resume
+        // path) must reproduce the pinned log byte for byte.
+        let resumed = Obs::enabled();
+        for e in live.events() {
+            resumed.replay(intern_cat(e.cat), &e.name, e.kind, e.args.clone());
+        }
+        assert_eq!(live.pinned_log(), resumed.pinned_log());
+    }
+
+    #[test]
+    fn intern_cat_is_stable() {
+        assert_eq!(intern_cat("rhop"), "rhop");
+        assert_eq!(intern_cat("supervise"), "supervise");
+        let leaked = intern_cat("custom-cat");
+        assert_eq!(leaked, "custom-cat");
     }
 
     #[test]

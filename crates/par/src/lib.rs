@@ -28,10 +28,15 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod supervise;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
+
+use supervise::AbortHandle;
 
 /// The parallelism the host offers (≥ 1). Falls back to 1 when the OS
 /// cannot report it.
@@ -130,22 +135,52 @@ where
 pub struct SharedBudget {
     limit: Option<u64>,
     spent: std::sync::atomic::AtomicU64,
+    abort: AbortHandle,
 }
 
 impl SharedBudget {
     /// A meter with an optional limit (`None` = unlimited).
     pub fn new(limit: Option<u64>) -> Self {
-        SharedBudget { limit, spent: std::sync::atomic::AtomicU64::new(0) }
+        SharedBudget::with_abort(limit, AbortHandle::default())
+    }
+
+    /// A meter whose spends also fail once `abort` fires — the hook the
+    /// [`supervise::Watchdog`] uses to stop a runaway unit at its next
+    /// fuel charge instead of killing its thread.
+    pub fn with_abort(limit: Option<u64>, abort: AbortHandle) -> Self {
+        SharedBudget { limit, spent: std::sync::atomic::AtomicU64::new(0), abort }
     }
 
     /// Spends one unit; returns `false` once the total crosses the
-    /// limit (callers must stop working).
+    /// limit or the abort handle fired (callers must stop working).
     pub fn spend(&self) -> bool {
+        if self.abort.is_aborted() {
+            return false;
+        }
         let total = self.spent.fetch_add(1, Ordering::Relaxed) + 1;
         match self.limit {
             Some(limit) => total <= limit,
             None => true,
         }
+    }
+
+    /// Spends `n` units at once (retry backoff fuel); returns `false`
+    /// once the total crosses the limit or the abort handle fired.
+    pub fn charge(&self, n: u64) -> bool {
+        if self.abort.is_aborted() {
+            return false;
+        }
+        let total = self.spent.fetch_add(n, Ordering::Relaxed).saturating_add(n);
+        match self.limit {
+            Some(limit) => total <= limit,
+            None => true,
+        }
+    }
+
+    /// Whether a failed spend was caused by the watchdog rather than
+    /// the meter itself.
+    pub fn is_aborted(&self) -> bool {
+        self.abort.is_aborted()
     }
 
     /// The configured limit, if any.

@@ -1,0 +1,443 @@
+//! Supervision primitives for crash-only work units.
+//!
+//! A *unit of work* (one function's RHOP partition, one workload×method
+//! pipeline run) is supervised so that its death does not kill the run:
+//!
+//! * [`catch_unit`] — panic isolation: runs a closure under
+//!   [`std::panic::catch_unwind`] and converts an unwind into a typed
+//!   `Err(String)` payload. The default panic hook is suppressed for
+//!   supervised frames so injected faults do not spray backtraces.
+//! * [`supervise_unit`] — quarantine-and-retry: a panicking unit is
+//!   retried up to [`RetryPolicy::retries`] times with *deterministic,
+//!   fuel-denominated* backoff (no wall-clock in the retry decision,
+//!   so `--jobs N` stays bit-identical); units that never complete are
+//!   collected into a [`QuarantineReport`] instead of failing the run.
+//! * [`Watchdog`] — a monitor thread enforcing a per-unit wall-clock
+//!   ceiling by flipping an [`AbortHandle`] that the unit's
+//!   [`SharedBudget`](crate::SharedBudget) checks on every fuel charge,
+//!   so a runaway unit fails cleanly at its next spend.
+//!
+//! ## The backoff determinism rule
+//!
+//! Retry decisions must be pure functions of `(unit, attempt)` — never
+//! of wall-clock time or thread interleaving. Backoff is therefore
+//! *fuel-denominated*: before retry `k` the supervisor charges
+//! `backoff_fuel << k` units against the caller-supplied meter, and
+//! gives up (quarantines) when the meter declines. Two runs with the
+//! same seed and budgets make identical retry/quarantine decisions at
+//! every `--jobs` count. Wall-clock enters only through the watchdog,
+//! which is an explicitly non-deterministic opt-in (`--unit-timeout`).
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Once};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Renders a panic payload into a human-readable one-line reason.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+thread_local! {
+    /// Depth of [`catch_unit`] frames on this thread; non-zero means a
+    /// panic here is supervised and the hook should stay quiet.
+    static SUPERVISED_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+static QUIET_HOOK: Once = Once::new();
+
+/// Installs (once) a panic hook that stays silent for supervised
+/// frames and defers to the previous hook everywhere else.
+fn install_quiet_hook() {
+    QUIET_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if SUPERVISED_DEPTH.with(|d| d.get()) == 0 {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f` with panic isolation: a panic becomes `Err(reason)` instead
+/// of unwinding into (and tearing down) the worker pool.
+///
+/// The closure is wrapped in [`AssertUnwindSafe`]; callers must ensure
+/// a panicking unit leaves no half-written *shared* state behind — the
+/// pipeline guarantees this by keeping each unit's outputs (placement,
+/// obs event buffer) private until the unit completes.
+pub fn catch_unit<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    install_quiet_hook();
+    SUPERVISED_DEPTH.with(|d| d.set(d.get() + 1));
+    let result = catch_unwind(AssertUnwindSafe(f));
+    SUPERVISED_DEPTH.with(|d| d.set(d.get() - 1));
+    result.map_err(|payload| panic_message(payload.as_ref()))
+}
+
+/// How often and how expensively a failed unit is retried.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (0 = fail fast).
+    pub retries: u32,
+    /// Base fuel charged before the first retry; doubles per retry
+    /// (`backoff_fuel << attempt`), mirroring exponential backoff
+    /// without consulting a clock.
+    pub backoff_fuel: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { retries: 2, backoff_fuel: 16 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `retries` extra attempts and the default base fuel.
+    pub fn new(retries: u32) -> Self {
+        RetryPolicy { retries, ..RetryPolicy::default() }
+    }
+
+    /// Fuel charged before retrying after failed attempt `attempt`
+    /// (0-based): `backoff_fuel << attempt`, saturating.
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        if attempt >= 64 {
+            return if self.backoff_fuel == 0 { 0 } else { u64::MAX };
+        }
+        self.backoff_fuel.saturating_mul(1u64 << attempt)
+    }
+}
+
+/// One unit that exhausted its retries without completing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantinedUnit {
+    /// Stable unit name (e.g. the function name or `workload/method`).
+    pub unit: String,
+    /// Attempts made, including the first.
+    pub attempts: u32,
+    /// The last panic payload (or abort reason) observed.
+    pub reason: String,
+}
+
+/// Per-run collection of quarantined units, reported instead of
+/// failing the workload.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QuarantineReport {
+    /// The quarantined units, in input (unit) order.
+    pub units: Vec<QuarantinedUnit>,
+}
+
+impl QuarantineReport {
+    /// True when nothing was quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// Number of quarantined units.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Appends another report's units (input order preserved by the
+    /// caller reducing in input order).
+    pub fn merge(&mut self, other: &QuarantineReport) {
+        self.units.extend(other.units.iter().cloned());
+    }
+
+    /// The unit names, for compact reporting.
+    pub fn names(&self) -> Vec<&str> {
+        self.units.iter().map(|u| u.unit.as_str()).collect()
+    }
+}
+
+/// The outcome of supervising one unit of work.
+#[derive(Debug)]
+pub enum UnitOutcome<R, E> {
+    /// The unit completed, possibly after retries; `backoff_spent` is
+    /// the total fuel charged for those retries.
+    Completed {
+        /// The unit body's result.
+        value: R,
+        /// Panicking attempts that preceded success.
+        retries: u32,
+        /// Total backoff fuel charged.
+        backoff_spent: u64,
+    },
+    /// The unit returned a typed error. Typed errors are deterministic
+    /// (budget exhaustion, validation failure) so they are *not*
+    /// retried here — they feed the caller's degradation ladder.
+    Failed(E),
+    /// The unit panicked on every attempt (or backoff fuel ran out).
+    Quarantined(QuarantinedUnit),
+}
+
+/// Supervises one unit: panic isolation plus quarantine-and-retry.
+///
+/// `body(attempt)` runs the unit (`attempt` is 0-based so fault
+/// injection can panic on early attempts only); `charge_backoff(fuel)`
+/// spends retry fuel against the caller's meter and returns `false`
+/// when the meter declines (the unit is then quarantined rather than
+/// retried forever).
+pub fn supervise_unit<R, E>(
+    unit: &str,
+    policy: RetryPolicy,
+    mut charge_backoff: impl FnMut(u64) -> bool,
+    mut body: impl FnMut(u32) -> Result<R, E>,
+) -> UnitOutcome<R, E> {
+    let mut backoff_spent = 0u64;
+    let mut attempt = 0u32;
+    loop {
+        match catch_unit(|| body(attempt)) {
+            Ok(Ok(value)) => {
+                return UnitOutcome::Completed { value, retries: attempt, backoff_spent }
+            }
+            Ok(Err(e)) => return UnitOutcome::Failed(e),
+            Err(reason) => {
+                if attempt >= policy.retries {
+                    return UnitOutcome::Quarantined(QuarantinedUnit {
+                        unit: unit.to_string(),
+                        attempts: attempt + 1,
+                        reason,
+                    });
+                }
+                let fuel = policy.backoff(attempt);
+                backoff_spent = backoff_spent.saturating_add(fuel);
+                if !charge_backoff(fuel) {
+                    return UnitOutcome::Quarantined(QuarantinedUnit {
+                        unit: unit.to_string(),
+                        attempts: attempt + 1,
+                        reason: format!("{reason} (backoff fuel exhausted)"),
+                    });
+                }
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// A shareable abort flag. The default handle is *disarmed*: it can
+/// never fire, costs one branch to check, and lets configs embed a
+/// handle unconditionally.
+#[derive(Clone, Debug, Default)]
+pub struct AbortHandle {
+    flag: Option<Arc<AtomicBool>>,
+}
+
+impl AbortHandle {
+    /// A live handle that [`Watchdog`] (or anyone) can fire.
+    pub fn armed() -> Self {
+        AbortHandle { flag: Some(Arc::new(AtomicBool::new(false))) }
+    }
+
+    /// Fires the abort; disarmed handles ignore this.
+    pub fn abort(&self) {
+        if let Some(flag) = &self.flag {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the abort fired.
+    pub fn is_aborted(&self) -> bool {
+        self.flag.as_ref().is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+}
+
+struct WatchState {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// Lock a mutex, tolerating poisoning: a supervised panic elsewhere
+/// must not cascade into the watchdog.
+fn lock_done(state: &WatchState) -> std::sync::MutexGuard<'_, bool> {
+    match state.done.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A monitor thread enforcing a per-unit wall-clock ceiling.
+///
+/// While armed, the watchdog waits on a condvar; if the ceiling passes
+/// before the guard is dropped it fires the [`AbortHandle`], which
+/// makes the unit's next [`SharedBudget::spend`](crate::SharedBudget)
+/// return `false` — the unit then fails through its normal typed error
+/// path (no thread is killed). Dropping the watchdog disarms it.
+pub struct Watchdog {
+    state: Arc<WatchState>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Arms a watchdog that fires `handle` once `ceiling` elapses.
+    pub fn arm(ceiling: Duration, handle: AbortHandle) -> Watchdog {
+        let state = Arc::new(WatchState { done: Mutex::new(false), cv: Condvar::new() });
+        let thread_state = Arc::clone(&state);
+        let thread = thread::spawn(move || {
+            let start = Instant::now();
+            let mut done = lock_done(&thread_state);
+            while !*done {
+                let elapsed = start.elapsed();
+                if elapsed >= ceiling {
+                    handle.abort();
+                    return;
+                }
+                let (guard, _timeout) = match thread_state.cv.wait_timeout(done, ceiling - elapsed)
+                {
+                    Ok(pair) => pair,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                done = guard;
+            }
+        });
+        Watchdog { state, thread: Some(thread) }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        *lock_done(&self.state) = true;
+        self.state.cv.notify_all();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SharedBudget;
+
+    #[test]
+    fn catch_unit_converts_panics() {
+        assert_eq!(catch_unit(|| 42), Ok(42));
+        let err = catch_unit(|| -> u32 { panic!("boom {}", 7) }).unwrap_err();
+        assert_eq!(err, "boom 7");
+        let err = catch_unit(|| -> u32 { panic!("static boom") }).unwrap_err();
+        assert_eq!(err, "static boom");
+    }
+
+    #[test]
+    fn supervise_retries_then_succeeds() {
+        let mut charged = Vec::new();
+        let outcome = supervise_unit(
+            "u",
+            RetryPolicy { retries: 3, backoff_fuel: 4 },
+            |fuel| {
+                charged.push(fuel);
+                true
+            },
+            |attempt| -> Result<u32, ()> {
+                if attempt < 2 {
+                    panic!("flaky");
+                }
+                Ok(attempt)
+            },
+        );
+        match outcome {
+            UnitOutcome::Completed { value, retries, backoff_spent } => {
+                assert_eq!(value, 2);
+                assert_eq!(retries, 2);
+                assert_eq!(backoff_spent, 4 + 8);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(charged, vec![4, 8]);
+    }
+
+    #[test]
+    fn supervise_quarantines_after_exhausted_retries() {
+        let outcome = supervise_unit(
+            "always-bad",
+            RetryPolicy { retries: 2, backoff_fuel: 1 },
+            |_| true,
+            |_| -> Result<(), ()> { panic!("hopeless") },
+        );
+        match outcome {
+            UnitOutcome::Quarantined(q) => {
+                assert_eq!(q.unit, "always-bad");
+                assert_eq!(q.attempts, 3);
+                assert_eq!(q.reason, "hopeless");
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn supervise_does_not_retry_typed_errors() {
+        let mut calls = 0;
+        let outcome = supervise_unit(
+            "typed",
+            RetryPolicy { retries: 5, backoff_fuel: 1 },
+            |_| true,
+            |_| -> Result<(), &'static str> {
+                calls += 1;
+                Err("deterministic failure")
+            },
+        );
+        assert!(matches!(outcome, UnitOutcome::Failed("deterministic failure")));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn backoff_fuel_exhaustion_quarantines() {
+        let outcome = supervise_unit(
+            "starved",
+            RetryPolicy { retries: 10, backoff_fuel: 100 },
+            |_| false, // meter declines immediately
+            |_| -> Result<(), ()> { panic!("boom") },
+        );
+        match outcome {
+            UnitOutcome::Quarantined(q) => {
+                assert_eq!(q.attempts, 1);
+                assert!(q.reason.contains("backoff fuel exhausted"), "{}", q.reason);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_aborts_budget_spends() {
+        let handle = AbortHandle::armed();
+        let budget = SharedBudget::with_abort(None, handle.clone());
+        assert!(budget.spend());
+        {
+            let _dog = Watchdog::arm(Duration::from_millis(1), handle.clone());
+            // Wait for the dog to bite.
+            let start = Instant::now();
+            while !handle.is_aborted() && start.elapsed() < Duration::from_secs(5) {
+                thread::yield_now();
+            }
+        }
+        assert!(handle.is_aborted(), "watchdog never fired");
+        assert!(!budget.spend(), "spend must fail after abort");
+        assert!(budget.is_aborted());
+    }
+
+    #[test]
+    fn disarmed_watchdog_never_fires() {
+        let handle = AbortHandle::armed();
+        {
+            let _dog = Watchdog::arm(Duration::from_secs(3600), handle.clone());
+        } // dropped immediately: disarmed long before the ceiling
+        assert!(!handle.is_aborted());
+        let disabled = AbortHandle::default();
+        disabled.abort();
+        assert!(!disabled.is_aborted(), "default handle can never fire");
+    }
+
+    #[test]
+    fn backoff_saturates() {
+        let p = RetryPolicy { retries: 0, backoff_fuel: u64::MAX };
+        assert_eq!(p.backoff(1), u64::MAX);
+        assert_eq!(p.backoff(200), u64::MAX);
+    }
+}

@@ -26,6 +26,23 @@ test -s /tmp/BENCH_partition.quick.json
 echo "== trace export smoke (--trace-out + trace-check)"
 target/release/mcpart run rawcaudio --trace-out /tmp/mcpart_trace.json --metrics >/dev/null
 target/release/mcpart trace-check /tmp/mcpart_trace.json \
-  --require gdp/cut,rhop/estimator_calls,sim/cycles,sim/stall_cycles,sim/transfer_cycles
+  --require gdp/cut,rhop/estimator_calls,sim/cycles,sim/stall_cycles,sim/transfer_cycles,supervise/retries,supervise/quarantined
+
+echo "== kill-and-resume smoke (SIGKILL mid-run, --resume, checkpoint-diff)"
+rm -f /tmp/mcpart_ck_clean.json /tmp/mcpart_ck_killed.json
+target/release/mcpart compare rawcaudio --checkpoint /tmp/mcpart_ck_clean.json >/dev/null
+target/release/mcpart compare rawcaudio --checkpoint /tmp/mcpart_ck_killed.json >/dev/null &
+MCPART_PID=$!
+sleep 0.05
+kill -9 "$MCPART_PID" 2>/dev/null || true
+wait "$MCPART_PID" 2>/dev/null || true
+# If the run won the race and finished, truncate its checkpoint to a
+# prefix plus a half-written record so the resume still has work to do.
+if target/release/mcpart checkpoint-diff /tmp/mcpart_ck_clean.json /tmp/mcpart_ck_killed.json >/dev/null 2>&1; then
+  { head -n 2 /tmp/mcpart_ck_clean.json; sed -n '3p' /tmp/mcpart_ck_clean.json | head -c 40; } \
+    > /tmp/mcpart_ck_killed.json
+fi
+target/release/mcpart compare rawcaudio --checkpoint /tmp/mcpart_ck_killed.json --resume >/dev/null
+target/release/mcpart checkpoint-diff /tmp/mcpart_ck_clean.json /tmp/mcpart_ck_killed.json
 
 echo "== all checks passed"

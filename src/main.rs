@@ -13,11 +13,15 @@
 //! file, parse error, partitioner failure), `2` usage error (unknown
 //! command or malformed flags).
 
-use mcpart::core::{run_pipeline, Method, PipelineConfig, PipelineResult};
+use mcpart::core::{
+    load_checkpoint, method_slug, program_fingerprint, run_pipeline, run_unit, CheckpointError,
+    CheckpointHeader, CheckpointWriter, Downgrade, Method, PanicPlan, PipelineConfig, UnitRecord,
+};
 use mcpart::ir::{parse_program, program_to_string, Profile, Program};
 use mcpart::machine::Machine;
 use mcpart::sim::{profile_run, ExecConfig};
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// Prints a line to stdout, exiting quietly when the consumer has gone
 /// away (e.g. `mcpart list | head`): a broken pipe is a normal way for
@@ -32,7 +36,8 @@ macro_rules! outln {
 }
 
 const USAGE: &str =
-    "usage: mcpart <list|run|compare|dump|exec|partition|schedule|trace-check> [args]
+    "usage: mcpart <list|run|compare|dump|exec|partition|schedule|trace-check|checkpoint-diff> \
+     [args]
 options: --method gdp|profile-max|naive|unified  --latency <cycles>
          --clusters <n>  --memory partitioned|unified|coherent:<penalty>
          --gdp-fuel <n>  (cap GDP refinement; exhaustion triggers the
@@ -41,13 +46,27 @@ options: --method gdp|profile-max|naive|unified  --latency <cycles>
                           cores, the default; never changes results)
          --trace-out <path>  (write a Chrome trace_event JSON of the run)
          --metrics           (print the observability summary table)
-trace-check <path> [--require cat/name,...]  validates a trace file";
+         --retries <n>       (panic retry budget per work unit; default 2)
+         --checkpoint <path> (append one JSON record per finished unit)
+         --resume            (with --checkpoint: skip recorded units and
+                              replay their results; crash-safe)
+         --unit-timeout <ms> (wall-clock ceiling per partition attempt)
+         --allow-quarantine  (exit 0 even when units were quarantined)
+         --inject-panic <func[:n]> (testing: panic while partitioning
+                              `func`, the first n attempts; default all)
+trace-check <path> [--require cat/name,...]  validates a trace file
+         (supervision counters: supervise/retries, supervise/quarantined)
+checkpoint-diff <a> <b>  compares two checkpoint files, ignoring
+         non-pinned fields (wall-clock); exit 1 on any difference";
 
 /// A CLI failure, split by whose fault it is: `Usage` means the command
-/// line itself was malformed (exit 2), `Runtime` means the inputs or
+/// line itself was malformed (exit 2, with usage text), `Config` means
+/// the configuration on disk is unusable — a corrupt or mismatched
+/// checkpoint (exit 2, diagnostic only), `Runtime` means the inputs or
 /// the pipeline failed (exit 1).
 enum CliError {
     Usage(String),
+    Config(String),
     Runtime(String),
 }
 
@@ -72,6 +91,12 @@ struct Options {
     jobs: usize,
     trace_out: Option<String>,
     metrics: bool,
+    retries: u32,
+    checkpoint: Option<String>,
+    resume: bool,
+    unit_timeout_ms: Option<u64>,
+    allow_quarantine: bool,
+    inject_panic: Option<PanicPlan>,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -92,6 +117,12 @@ impl Default for Options {
             jobs: 0,
             trace_out: None,
             metrics: false,
+            retries: 2,
+            checkpoint: None,
+            resume: false,
+            unit_timeout_ms: None,
+            allow_quarantine: false,
+            inject_panic: None,
         }
     }
 }
@@ -155,6 +186,46 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--metrics" => {
                 o.metrics = true;
             }
+            "--retries" => {
+                o.retries = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--retries needs a number")?;
+                i += 1;
+            }
+            "--checkpoint" => {
+                o.checkpoint =
+                    Some(args.get(i + 1).ok_or("--checkpoint needs a path")?.to_string());
+                i += 1;
+            }
+            "--resume" => {
+                o.resume = true;
+            }
+            "--unit-timeout" => {
+                o.unit_timeout_ms = Some(
+                    args.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&ms| ms > 0)
+                        .ok_or("--unit-timeout needs a positive millisecond count")?,
+                );
+                i += 1;
+            }
+            "--allow-quarantine" => {
+                o.allow_quarantine = true;
+            }
+            "--inject-panic" => {
+                let v = args.get(i + 1).ok_or("--inject-panic needs a function name")?;
+                o.inject_panic = Some(match v.split_once(':') {
+                    Some((func, count)) => PanicPlan {
+                        func: func.to_string(),
+                        panics: count
+                            .parse()
+                            .map_err(|_| "--inject-panic <func[:n]> needs a numeric count")?,
+                    },
+                    None => PanicPlan::always(v),
+                });
+                i += 1;
+            }
             "--memory" => {
                 let v = args.get(i + 1).ok_or("--memory needs a value")?;
                 o.memory = if v == "partitioned" {
@@ -174,12 +245,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         }
         i += 1;
     }
+    if o.resume && o.checkpoint.is_none() {
+        return Err("--resume requires --checkpoint <path>".into());
+    }
     Ok(o)
 }
 
 fn config_of(o: &Options, method: Method) -> PipelineConfig {
-    let mut cfg = PipelineConfig::new(method).with_jobs(o.jobs);
+    let mut cfg = PipelineConfig::new(method).with_jobs(o.jobs).with_retries(o.retries);
     cfg.gdp.fuel = o.gdp_fuel;
+    cfg.unit_timeout = o.unit_timeout_ms.map(Duration::from_millis);
+    cfg.rhop.inject_panic = o.inject_panic.clone();
     cfg
 }
 
@@ -235,46 +311,162 @@ fn load_target(name_or_path: &str) -> Result<(Program, Profile), String> {
 
 /// Announces any degradation-ladder activity on stderr so scripted
 /// consumers of stdout still see the warning.
-fn report_downgrades(run: &PipelineResult) {
-    for d in &run.downgrades {
+fn report_downgrades(downgrades: &[Downgrade]) {
+    for d in downgrades {
         eprintln!("warning: downgraded {d}");
     }
 }
 
-fn report_run(program: &Program, profile: &Profile, o: &Options) -> Result<(), String> {
+/// Stable slug of the memory model, recorded in checkpoint headers.
+fn memory_slug(m: MemoryChoice) -> String {
+    match m {
+        MemoryChoice::Partitioned => "partitioned".to_string(),
+        MemoryChoice::Unified => "unified".to_string(),
+        MemoryChoice::Coherent(p) => format!("coherent:{p}"),
+    }
+}
+
+/// The checkpoint header this invocation would write: everything a
+/// unit's result depends on. A `--resume` against a file whose header
+/// differs is rejected before any unit is skipped.
+fn header_of(o: &Options, program: &Program) -> CheckpointHeader {
+    CheckpointHeader {
+        program: program.name.clone(),
+        program_hash: program_fingerprint(program),
+        seed: PipelineConfig::new(o.method).rhop.seed,
+        clusters: o.clusters,
+        latency: o.latency,
+        memory: memory_slug(o.memory),
+        gdp_fuel: o.gdp_fuel,
+    }
+}
+
+/// Splits checkpoint failures by exit code: a corrupt or mismatched
+/// file is a configuration problem (exit 2, diagnostic only); an I/O
+/// failure is a runtime one (exit 1).
+fn ck_err(e: CheckpointError) -> CliError {
+    match e {
+        CheckpointError::Io(_) => CliError::Runtime(e.to_string()),
+        _ => CliError::Config(e.to_string()),
+    }
+}
+
+/// An open checkpoint file: previously completed units (on `--resume`)
+/// plus the writer that appends each newly finished one.
+struct CheckpointSession {
+    writer: CheckpointWriter,
+    resumed: Vec<UnitRecord>,
+}
+
+impl CheckpointSession {
+    /// Opens the checkpoint named by `--checkpoint`, if any. With
+    /// `--resume` and an existing file, the file is validated against
+    /// this run's header and its completed units are carried over
+    /// (rewriting the file drops any crash artifact from the tail);
+    /// otherwise a fresh file is created.
+    fn open(o: &Options, program: &Program) -> Result<Option<CheckpointSession>, CliError> {
+        let Some(path) = &o.checkpoint else { return Ok(None) };
+        let header = header_of(o, program);
+        if o.resume && std::path::Path::new(path).exists() {
+            let ck = load_checkpoint(path, &header).map_err(ck_err)?;
+            if ck.dropped_partial_tail {
+                eprintln!("note: {path}: discarded a partial trailing record (crash artifact)");
+            }
+            let writer = CheckpointWriter::resume(path, &header, &ck.records).map_err(ck_err)?;
+            Ok(Some(CheckpointSession { writer, resumed: ck.records }))
+        } else {
+            let writer = CheckpointWriter::create(path, &header).map_err(ck_err)?;
+            Ok(Some(CheckpointSession { writer, resumed: Vec::new() }))
+        }
+    }
+
+    fn resumed_record(&self, unit: &str) -> Option<UnitRecord> {
+        self.resumed.iter().find(|r| r.unit == unit).cloned()
+    }
+}
+
+/// Runs (or replays) one checkpointable unit. A unit recorded in the
+/// resumed checkpoint is replayed — its pinned obs events re-enter the
+/// sink, so the final trace is byte-identical to an uninterrupted run —
+/// without recomputation; a live unit runs the pipeline and is flushed
+/// to the checkpoint before its result is reported.
+fn run_or_resume(
+    program: &Program,
+    profile: &Profile,
+    machine: &Machine,
+    o: &Options,
+    method: Method,
+    obs: &mcpart::obs::Obs,
+    session: &mut Option<CheckpointSession>,
+) -> Result<UnitRecord, CliError> {
+    let unit = format!("{}/{}", program.name, method_slug(method));
+    if let Some(s) = session {
+        if let Some(rec) = s.resumed_record(&unit) {
+            rec.replay_events(obs);
+            return Ok(rec);
+        }
+    }
+    let config = config_of(o, method).with_obs(obs.clone());
+    let rec = run_unit(program, profile, machine, &config)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    if let Some(s) = session {
+        s.writer.append(&rec).map_err(ck_err)?;
+    }
+    Ok(rec)
+}
+
+/// Surfaces quarantined function units: one warning per unit on
+/// stderr, a report in `--metrics` output, and exit 1 unless
+/// `--allow-quarantine` accepts the fallback placement.
+fn report_quarantine(o: &Options, records: &[UnitRecord]) -> Result<(), CliError> {
+    let quarantined: Vec<_> = records.iter().flat_map(|r| r.quarantine.iter()).collect();
+    if quarantined.is_empty() {
+        return Ok(());
+    }
+    for q in &quarantined {
+        eprintln!("warning: quarantined `{}` after {} attempts: {}", q.unit, q.attempts, q.reason);
+    }
+    if o.metrics {
+        outln!("quarantine report: {} unit(s)", quarantined.len());
+        for q in &quarantined {
+            outln!("  {} ({} attempts): {}", q.unit, q.attempts, q.reason);
+        }
+    }
+    if o.allow_quarantine {
+        Ok(())
+    } else {
+        Err(CliError::Runtime(format!(
+            "{} unit(s) quarantined (rerun with --allow-quarantine to accept the fallback \
+             placement)",
+            quarantined.len()
+        )))
+    }
+}
+
+fn report_run(program: &Program, profile: &Profile, o: &Options) -> Result<(), CliError> {
     let machine = machine_of(o);
     let obs = obs_of(o);
-    let config = config_of(o, o.method).with_obs(obs.clone());
-    let run = run_pipeline(program, profile, &machine, &config).map_err(|e| e.to_string())?;
-    report_downgrades(&run);
+    let mut session = CheckpointSession::open(o, program)?;
+    let rec = run_or_resume(program, profile, &machine, o, o.method, &obs, &mut session)?;
+    report_downgrades(&rec.downgrades);
     outln!("benchmark: {}", program.name);
     outln!("machine:   {} clusters, {}-cycle moves", o.clusters, o.latency);
-    if run.was_downgraded() {
-        outln!("method:    {} (downgraded from {})", run.method, run.requested_method);
+    if rec.requested != rec.method {
+        outln!("method:    {} (downgraded from {})", rec.method, rec.requested);
     } else {
-        outln!("method:    {}", run.method);
+        outln!("method:    {}", rec.method);
     }
-    outln!("cycles:    {}", run.cycles());
-    outln!(
-        "moves:     {} dynamic intercluster ({} static)",
-        run.dynamic_moves(),
-        run.moves_inserted
-    );
-    if run.report.dynamic_remote_accesses > 0 {
-        outln!("remote:    {} dynamic remote accesses", run.report.dynamic_remote_accesses);
+    outln!("cycles:    {}", rec.cycles);
+    outln!("moves:     {} dynamic intercluster ({} static)", rec.dynamic_moves, rec.moves_inserted);
+    if rec.remote > 0 {
+        outln!("remote:    {} dynamic remote accesses", rec.remote);
     }
-    outln!("data:      {:?} bytes per cluster", run.data_bytes);
-    outln!("ops:       {:?} per cluster", run.placement.ops_per_cluster(o.clusters));
-    let pressure = run
-        .program
-        .functions
-        .values()
-        .map(|f| mcpart::analysis::Liveness::compute(f).peak_boundary_pressure())
-        .max()
-        .unwrap_or(0);
-    outln!("pressure:  {pressure} live registers at the worst block boundary");
-    outln!("partition: {:.1} ms", run.partition_time.as_secs_f64() * 1e3);
-    emit_obs(o, &obs)
+    outln!("data:      {:?} bytes per cluster", rec.data_bytes);
+    outln!("ops:       {:?} per cluster", rec.placement().ops_per_cluster(o.clusters));
+    outln!("pressure:  {} live registers at the worst block boundary", rec.pressure);
+    outln!("partition: {:.1} ms", rec.partition_ms);
+    emit_obs(o, &obs)?;
+    report_quarantine(o, std::slice::from_ref(&rec))
 }
 
 fn main() -> ExitCode {
@@ -322,22 +514,24 @@ fn main() -> ExitCode {
             let (program, profile) = load_target(target)?;
             let machine = machine_of(&o);
             let obs = obs_of(&o);
+            let mut session = CheckpointSession::open(&o, &program)?;
             let mut unified = 0u64;
             let mut rows = Vec::new();
+            let mut records = Vec::new();
             for method in Method::ALL {
-                let config = config_of(&o, method).with_obs(obs.clone());
-                let run = run_pipeline(&program, &profile, &machine, &config)
-                    .map_err(|e| e.to_string())?;
-                report_downgrades(&run);
+                let rec =
+                    run_or_resume(&program, &profile, &machine, &o, method, &obs, &mut session)?;
+                report_downgrades(&rec.downgrades);
                 if method == Method::Unified {
-                    unified = run.cycles();
+                    unified = rec.cycles;
                 }
-                let label = if run.was_downgraded() {
-                    format!("{}->{}", run.requested_method, run.method)
+                let label = if rec.requested != rec.method {
+                    format!("{}->{}", rec.requested, rec.method)
                 } else {
                     method.to_string()
                 };
-                rows.push((label, run.cycles(), run.dynamic_moves()));
+                rows.push((label, rec.cycles, rec.dynamic_moves));
+                records.push(rec);
             }
             outln!("{:<14} {:>10} {:>10} {:>10}", "method", "cycles", "moves", "vs unified");
             for (label, cycles, moves) in rows {
@@ -350,7 +544,7 @@ fn main() -> ExitCode {
                 );
             }
             emit_obs(&o, &obs)?;
-            Ok(())
+            report_quarantine(&o, &records)
         })(),
         "dump" => (|| {
             let target =
@@ -372,7 +566,7 @@ fn main() -> ExitCode {
             let config = config_of(&o, o.method).with_obs(obs.clone());
             let run =
                 run_pipeline(&program, &profile, &machine, &config).map_err(|e| e.to_string())?;
-            report_downgrades(&run);
+            report_downgrades(&run.downgrades);
             let mut hottest = None;
             for (fid, f) in run.program.functions.iter() {
                 for bid in f.blocks.keys() {
@@ -458,6 +652,9 @@ fn main() -> ExitCode {
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let stats = mcpart::obs::json::validate_trace(&text)
                 .map_err(|e| format!("{path}: invalid trace: {e}"))?;
+            for w in &stats.warnings {
+                eprintln!("warning: {path}: {w}");
+            }
             if stats.events == 0 {
                 return Err(CliError::Runtime(format!("{path}: trace has no events")));
             }
@@ -476,6 +673,47 @@ fn main() -> ExitCode {
             );
             Ok(())
         })(),
+        "checkpoint-diff" => (|| {
+            let (a, b) = match (args.get(1), args.get(2)) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return Err(CliError::usage("checkpoint-diff needs two checkpoint paths")),
+            };
+            let load = |path: &str| -> Result<Vec<UnitRecord>, CliError> {
+                let ck = mcpart::core::load_checkpoint_any(path).map_err(|e| match e {
+                    CheckpointError::Io(m) => CliError::Runtime(m),
+                    other => CliError::Config(format!("{path}: {other}")),
+                })?;
+                Ok(ck.records)
+            };
+            // Wall-clock is the one non-pinned record field; everything
+            // else (placements, downgrades, quarantine, pinned events)
+            // must match exactly.
+            let strip = |mut r: UnitRecord| {
+                r.partition_ms = 0.0;
+                r
+            };
+            let a_records: Vec<UnitRecord> = load(a)?.into_iter().map(strip).collect();
+            let b_records: Vec<UnitRecord> = load(b)?.into_iter().map(strip).collect();
+            if a_records.len() != b_records.len() {
+                return Err(CliError::Runtime(format!(
+                    "checkpoints differ: {a} has {} unit(s), {b} has {}",
+                    a_records.len(),
+                    b_records.len()
+                )));
+            }
+            for (ra, rb) in a_records.iter().zip(&b_records) {
+                if ra != rb {
+                    let what = if ra.unit != rb.unit {
+                        format!("unit order differs (`{}` vs `{}`)", ra.unit, rb.unit)
+                    } else {
+                        format!("unit `{}` differs", ra.unit)
+                    };
+                    return Err(CliError::Runtime(format!("checkpoints differ: {what}")));
+                }
+            }
+            outln!("checkpoints match: {} unit(s)", a_records.len());
+            Ok(())
+        })(),
         other => Err(CliError::usage(format!("unknown command `{other}`"))),
     };
     match result {
@@ -483,6 +721,10 @@ fn main() -> ExitCode {
         Err(CliError::Runtime(e)) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
+        }
+        Err(CliError::Config(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
         }
         Err(CliError::Usage(e)) => {
             eprintln!("error: {e}");

@@ -116,6 +116,37 @@ fn trace_check_rejects_malformed_traces() {
     assert_eq!(code, Some(2), "stderr: {stderr}");
 }
 
+/// Unknown top-level keys are forward-compatibility territory:
+/// trace-check warns on stderr but still exits 0. The supervision
+/// counters (`supervise/retries`, `supervise/quarantined`) are emitted
+/// on every metrics run, so they are part of the `--require`
+/// vocabulary.
+#[test]
+fn trace_check_warns_on_unknown_top_level_keys_and_requires_supervision_counters() {
+    let dir = std::env::temp_dir().join("mcpart_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("future_trace.json");
+    let path_str = path.to_str().unwrap();
+    let (_, stderr, ok) = mcpart(&["run", "fir", "--trace-out", path_str]);
+    assert!(ok, "stderr: {stderr}");
+    // A newer producer added a top-level section this build does not
+    // know about.
+    let text = std::fs::read_to_string(&path).expect("trace written");
+    let future = text.replacen('{', "{\"futureExtension\":{\"v\":2},", 1);
+    std::fs::write(&path, future).unwrap();
+    let (stdout, stderr, ok) = mcpart(&["trace-check", path_str]);
+    assert!(ok, "unknown keys must not fail validation: {stderr}");
+    assert!(stdout.contains("ok ("), "{stdout}");
+    assert!(
+        stderr.contains("warning") && stderr.contains("futureExtension"),
+        "no warning for the unknown key: {stderr}"
+    );
+    let (_, stderr, ok) =
+        mcpart(&["trace-check", path_str, "--require", "supervise/retries,supervise/quarantined"]);
+    assert!(ok, "supervision counters missing from the trace: {stderr}");
+    std::fs::remove_file(&path).ok();
+}
+
 #[test]
 fn bad_input_fails_cleanly() {
     let (_, stderr, ok) = mcpart(&["run", "not-a-benchmark"]);

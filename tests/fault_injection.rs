@@ -184,6 +184,56 @@ fn cli_exec_parse_errors_carry_line_and_column() {
     std::fs::remove_file(&path).ok();
 }
 
+/// Every injection scenario behaves identically at `--jobs 4` and
+/// `--jobs 1`: the same outcome (typed error string, or cycles + final
+/// method + quarantine set on recovery) and a byte-identical pinned
+/// observability log. Supervision — retries, quarantine, the
+/// degradation ladder — must not leak worker-count nondeterminism.
+#[test]
+fn every_injection_scenario_is_jobs_invariant() {
+    use mcpart::core::PanicPlan;
+    type Mutate = fn(&mut Program, &mut Profile, &mut PipelineConfig);
+    let scenarios: [(&str, &str, Mutate); 7] = [
+        ("truncated-block", "fir", |p, _, _| fault::truncate_entry_block(p)),
+        ("dangling-object", "rawcaudio", |p, _, _| {
+            fault::dangle_object_id(p);
+        }),
+        ("zero-size-objects", "rawcaudio", |p, _, _| fault::zero_object_sizes(p)),
+        ("corrupt-profile", "fir", |_, prof, _| fault::corrupt_profile(prof)),
+        ("cyclic-program", "fir", |p, _, cfg| {
+            fault::make_cyclic(p);
+            cfg.validate = true;
+            cfg.exec = mcpart::sim::ExecConfig { step_limit: 10_000, ..Default::default() };
+        }),
+        ("starved-gdp-ladder", "fir", |_, _, cfg| cfg.gdp.fuel = Some(0)),
+        ("quarantined-panic", "rawcaudio", |_, _, cfg| {
+            cfg.rhop.inject_panic = Some(PanicPlan::always("main"));
+        }),
+    ];
+    let machine = Machine::paper_2cluster(5);
+    for (label, name, mutate) in scenarios {
+        let (mut program, mut profile) = workload(name);
+        let mut base = PipelineConfig::new(Method::Gdp);
+        mutate(&mut program, &mut profile, &mut base);
+        let run_at = |jobs: usize| {
+            let obs = mcpart::obs::Obs::enabled();
+            let cfg = base.clone().with_jobs(jobs).with_obs(obs.clone());
+            let outcome = run_pipeline(&program, &profile, &machine, &cfg)
+                .map(|r| {
+                    let quarantined: Vec<String> =
+                        r.quarantine().names().iter().map(|s| s.to_string()).collect();
+                    (r.cycles(), r.method, r.downgrades.len(), quarantined)
+                })
+                .map_err(|e| e.to_string());
+            (outcome, obs.pinned_log())
+        };
+        let (ref_outcome, ref_log) = run_at(1);
+        let (par_outcome, par_log) = run_at(4);
+        assert_eq!(ref_outcome, par_outcome, "{label}: outcome changed with --jobs 4");
+        assert_eq!(ref_log, par_log, "{label}: pinned trace changed with --jobs 4");
+    }
+}
+
 #[test]
 fn cli_compare_reports_the_downgrade() {
     let (stdout, stderr, code) = mcpart_cli(&["compare", "fir", "--gdp-fuel", "0"]);

@@ -275,6 +275,116 @@ fn pipeline_never_panics_on_random_programs() {
     }
 }
 
+fn mcpart_cli(args: &[&str]) -> (String, String, Option<i32>) {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_mcpart"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+/// Corrupted checkpoint files must be rejected by `--resume` with exit
+/// code 2 and a line/column diagnostic — never a panic. The one
+/// sanctioned exception is an *unterminated* trailing line: that is the
+/// artifact an honest crash leaves behind, and resume discards it with
+/// a note and continues.
+#[test]
+fn corrupted_checkpoints_are_rejected_with_a_position_and_never_a_panic() {
+    let dir = std::env::temp_dir().join("mcpart_checkpoint_fuzz");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let base = dir.join("base.json");
+    std::fs::remove_file(&base).ok();
+    let (_, stderr, code) = mcpart_cli(&["compare", "fir", "--checkpoint", base.to_str().unwrap()]);
+    assert_eq!(code, Some(0), "seed checkpoint run failed: {stderr}");
+    let full = std::fs::read_to_string(&base).expect("checkpoint exists");
+    assert!(full.lines().count() >= 3, "expected header + records:\n{full}");
+
+    let resume = |path: &std::path::Path| {
+        mcpart_cli(&["compare", "fir", "--checkpoint", path.to_str().unwrap(), "--resume"])
+    };
+    let case = dir.join("case.json");
+    let mut rejected = 0usize;
+
+    // Structured corruption: every record line, in turn, gets its JSON
+    // punctuation broken while staying newline-terminated. That is
+    // garbage-on-disk, not a crash artifact, and must be refused with a
+    // position.
+    for (i, line) in full.lines().enumerate().skip(1) {
+        let broken: String = full
+            .lines()
+            .enumerate()
+            .map(|(j, l)| if i == j { l.replacen(':', ";", 1) } else { l.to_string() } + "\n")
+            .collect();
+        std::fs::write(&case, broken).expect("write corpus case");
+        let (_, stderr, code) = resume(&case);
+        assert_eq!(code, Some(2), "broken line {i} must be a config error: {stderr}");
+        assert!(!stderr.contains("panicked"), "line {i}: {stderr}");
+        assert!(
+            stderr.contains(&format!("line {}", i + 1)) && stderr.contains("column"),
+            "line {i}: diagnostic lost its position: {stderr}"
+        );
+        let _ = line;
+        rejected += 1;
+    }
+    assert!(rejected >= 2, "corpus did not exercise multiple records");
+
+    // Headerless and non-JSON files: refused up front, still exit 2.
+    for (label, bytes) in [
+        ("empty", Vec::new()),
+        ("garbage", b"this is not a checkpoint\n".to_vec()),
+        ("binary", vec![0x00, 0xff, 0xfe, 0x07, 0x00, 0x0a]),
+        ("json-but-not-a-header", b"{\"hello\":1}\n".to_vec()),
+    ] {
+        std::fs::write(&case, bytes).expect("write corpus case");
+        let (_, stderr, code) = resume(&case);
+        assert_eq!(code, Some(2), "{label}: expected config-error exit 2: {stderr}");
+        assert!(!stderr.contains("panicked"), "{label}: {stderr}");
+        assert!(stderr.starts_with("error:"), "{label}: {stderr}");
+    }
+
+    // Truncation sweep: cut the file at ~16 evenly spread byte
+    // offsets. Past the header, any cut leaves either a clean record
+    // prefix or a tolerated unterminated crash artifact — both resume
+    // (exit 0). A cut inside the header loses the file's identity and
+    // is refused (exit 2). Nothing may panic or mis-classify.
+    let header_len = full.lines().next().map(str::len).unwrap_or(0);
+    for cut in (1..full.len()).step_by((full.len() / 16).max(1)) {
+        std::fs::write(&case, &full.as_bytes()[..cut]).expect("write corpus case");
+        let (_, stderr, code) = resume(&case);
+        assert!(!stderr.contains("panicked"), "cut at {cut}: {stderr}");
+        if cut >= header_len {
+            assert_eq!(code, Some(0), "cut at byte {cut} must resume: {stderr}");
+        } else {
+            assert_eq!(code, Some(2), "mid-header cut at {cut} must be refused: {stderr}");
+        }
+    }
+
+    // Random single-byte mutations from the deterministic PRNG. A
+    // mutation may happen to leave a valid checkpoint (resume -> 0) or
+    // break a pinned-field hash (config error -> 2); it must never
+    // panic and never hit a non-diagnostic exit.
+    let mut rng = SmallRng::seed_from_u64(0xc4ec);
+    for _ in 0..24 {
+        let mut bytes = full.clone().into_bytes();
+        let at = rng.gen_range(0..bytes.len() as u64) as usize;
+        bytes[at] = rng.gen_range(0..256u64) as u8;
+        std::fs::write(&case, &bytes).expect("write corpus case");
+        let (_, stderr, code) = resume(&case);
+        assert!(!stderr.contains("panicked"), "mutation at {at}: {stderr}");
+        assert!(
+            code == Some(0) || code == Some(2),
+            "mutation at {at}: exit {code:?} is neither resume nor diagnostic: {stderr}"
+        );
+        if code == Some(2) {
+            assert!(stderr.starts_with("error:"), "mutation at {at}: {stderr}");
+        }
+    }
+}
+
 /// Regression: a starved GDP run walks the fallback ladder instead of
 /// failing outright, and the result records the downgrade chain.
 #[test]
