@@ -226,6 +226,50 @@ fn main() {
         secs(best_par),
     );
 
+    // Service-mode throughput: every workload spooled as a job file and
+    // drained twice through the in-process serve engine. The cold pass
+    // computes and caches every artifact; the warm pass must be pure
+    // verified cache hits, and the warm/cold ratio is what a
+    // long-lived `mcpart serve` saves a resubmitting client.
+    let spool = std::env::temp_dir().join(format!("mcpart_bench_serve_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spool);
+    std::fs::create_dir_all(&spool).expect("serve spool");
+    let loader = |name: &str| {
+        mcpart_workloads::by_name(name)
+            .map(|w| (w.program, w.profile))
+            .ok_or_else(|| format!("unknown benchmark {name}"))
+    };
+    let serve_cfg = mcpart_core::ServeConfig { jobs, drain: true, ..Default::default() };
+    let shutdown = std::sync::atomic::AtomicBool::new(false);
+    let drain = |spool: &std::path::Path| {
+        for w in &workloads {
+            std::fs::write(
+                spool.join(format!("{}.job", w.name)),
+                format!("{{\"mcpart_job\":1,\"program\":\"{}\"}}\n", w.name),
+            )
+            .expect("spool job");
+        }
+        let start = Instant::now();
+        let sum = mcpart_core::serve(spool, &serve_cfg, &loader, &shutdown).expect("serve");
+        (start.elapsed(), sum)
+    };
+    let (serve_cold, cold_sum) = drain(&spool);
+    let (serve_warm, warm_sum) = drain(&spool);
+    assert_eq!(cold_sum.completed, workloads.len() as u64, "cold drain did not complete all jobs");
+    assert_eq!(warm_sum.cache_hits, warm_sum.admitted, "warm drain was not all cache hits");
+    let serve_admitted = cold_sum.admitted + warm_sum.admitted;
+    let hit_rate = (cold_sum.cache_hits + warm_sum.cache_hits) as f64 / serve_admitted as f64;
+    let warm_jobs_per_sec = workloads.len() as f64 / secs(serve_warm).max(1e-9);
+    eprintln!(
+        "serve: cold {:.3}s, warm {:.3}s ({} jobs, cache hit rate {:.0}%, {:.1} jobs/s warm)",
+        secs(serve_cold),
+        secs(serve_warm),
+        workloads.len(),
+        hit_rate * 100.0,
+        warm_jobs_per_sec,
+    );
+    let _ = std::fs::remove_dir_all(&spool);
+
     let doc = Json::Obj(vec![
         ("benchmark".into(), Json::Str("partition-pipeline".to_string())),
         ("jobs".into(), Json::Int(jobs as i64)),
@@ -237,6 +281,21 @@ fn main() {
         ("suite_secs_parallel".into(), Json::Num(secs(best_par))),
         ("parallel_speedup".into(), Json::Num(speedup)),
         ("incremental_speedup".into(), Json::Num(incr_speedup)),
+        ("serve_cold_secs".into(), Json::Num(secs(serve_cold))),
+        ("serve_warm_secs".into(), Json::Num(secs(serve_warm))),
+        ("serve_cache_hit_rate".into(), Json::Num(hit_rate)),
+        ("serve_warm_jobs_per_sec".into(), Json::Num(warm_jobs_per_sec)),
+        ("serve_admitted".into(), Json::Int(serve_admitted as i64)),
+        ("serve_rejected".into(), Json::Int((cold_sum.rejected + warm_sum.rejected) as i64)),
+        ("serve_cache_hits".into(), Json::Int((cold_sum.cache_hits + warm_sum.cache_hits) as i64)),
+        (
+            "serve_cache_evictions".into(),
+            Json::Int((cold_sum.cache_evictions + warm_sum.cache_evictions) as i64),
+        ),
+        (
+            "serve_quarantined".into(),
+            Json::Int((cold_sum.quarantined + warm_sum.quarantined) as i64),
+        ),
     ]);
     std::fs::write(&opts.out, doc.render() + "\n").expect("write report");
     eprintln!("wrote {}", opts.out);

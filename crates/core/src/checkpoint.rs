@@ -762,6 +762,21 @@ impl CheckpointWriter {
         self.flush()
     }
 
+    /// Crash-injection hook for the kill-and-resume tests: appends
+    /// only the first half of the record's line — no terminating
+    /// newline — and flushes, reproducing bit-for-bit the on-disk
+    /// state of a process killed mid-append. The caller is expected to
+    /// abort immediately afterwards; a resumed load classifies the
+    /// unterminated tail as a tolerated crash artifact and drops it.
+    pub fn append_partial(&mut self, record: &UnitRecord) -> Result<(), CheckpointError> {
+        let line = record.to_json();
+        let half = &line.as_bytes()[..line.len() / 2];
+        self.file
+            .write_all(half)
+            .map_err(|e| CheckpointError::Io(format!("cannot write {}: {e}", self.path)))?;
+        self.flush()
+    }
+
     fn flush(&mut self) -> Result<(), CheckpointError> {
         self.file
             .flush()

@@ -53,14 +53,16 @@ mod gdp;
 mod groups;
 mod pipeline;
 mod rhop;
+mod serve;
 
 pub use baselines::{
     group_cluster_frequencies, naive_partition, profile_max_partition, unified_partition,
 };
 pub use checkpoint::{
-    load_checkpoint, load_checkpoint_any, method_from_slug, method_slug, parse_checkpoint,
-    parse_checkpoint_any, program_fingerprint, run_unit, Checkpoint, CheckpointError,
-    CheckpointHeader, CheckpointWriter, PinnedEvent, UnitRecord, CHECKPOINT_VERSION,
+    fingerprint, load_checkpoint, load_checkpoint_any, method_from_slug, method_slug,
+    parse_checkpoint, parse_checkpoint_any, program_fingerprint, run_unit, Checkpoint,
+    CheckpointError, CheckpointHeader, CheckpointWriter, PinnedEvent, UnitRecord,
+    CHECKPOINT_VERSION,
 };
 pub use dfg::{ProgramDfg, ProgramNode};
 pub use error::{
@@ -73,3 +75,7 @@ pub use gdp::{data_partition_from_mapping, gdp_partition, DataPartition, GdpConf
 pub use groups::ObjectGroups;
 pub use pipeline::{run_all_methods, run_pipeline, Method, PipelineConfig, PipelineResult};
 pub use rhop::{rhop_partition, PanicPlan, RegionScope, RhopConfig, RhopStats};
+pub use serve::{
+    cache_key, parse_job, render_cache_entry, serve, verify_cache_entry, JobLoader, JobSpec,
+    MemoryModel, ServeConfig, ServeError, ServeSummary, JOB_VERSION,
+};

@@ -1,0 +1,1036 @@
+//! `mcpart serve` — a crash-only partition service over a spool
+//! directory.
+//!
+//! The engine behind the CLI's `serve` command: it watches a spool
+//! directory for job files (program + method + machine config + seed),
+//! admits them in deterministic batches under a bounded queue, runs
+//! each through the supervised pipeline, and writes one result file per
+//! job with the same status vocabulary as one-shot runs. Results are
+//! backed by a **content-addressed artifact cache** keyed by everything
+//! a result depends on (the [`CheckpointHeader`] fields plus the
+//! method), stored in the checkpoint record format with a checksum
+//! footer so every hit can be integrity-verified before it is served.
+//!
+//! ## Crash-only lifecycle
+//!
+//! A job moves through the spool as files, and every transition is an
+//! atomic rename, so any `kill -9` leaves only *tolerated* artifacts:
+//!
+//! ```text
+//! <spool>/name.job      spooled   (submitted, not yet claimed)
+//! <spool>/work/name.job claimed   (in flight; requeued on restart)
+//! <spool>/out/name.json done      (written via .tmp + rename)
+//! <spool>/failed/name.job + name.reason   quarantined / invalid
+//! <spool>/cache/<key>.json        artifact cache entry
+//! ```
+//!
+//! On startup [`serve`] removes stray `*.tmp` files (a crash mid-write)
+//! and renames everything in `work/` back into the spool root (a crash
+//! mid-batch), so interrupted jobs are simply redone — usually as cache
+//! hits. Poison jobs leave the queue through `failed/` with a
+//! diagnostic instead of wedging it, and overload sheds
+//! deterministically: job names are processed in lexicographic order
+//! and everything past the admission bound gets a typed `overloaded`
+//! result file, never a silent drop.
+//!
+//! Result files contain only pinned (deterministic) fields, so a cache
+//! hit, a recompute, and a crash-interrupted redo all produce
+//! byte-identical bytes on disk.
+
+use crate::checkpoint::{
+    fingerprint, method_from_slug, method_slug, parse_checkpoint, program_fingerprint, run_unit,
+    CheckpointHeader, UnitRecord,
+};
+use crate::pipeline::{Method, PipelineConfig};
+use crate::rhop::PanicPlan;
+use mcpart_ir::{Profile, Program};
+use mcpart_machine::Machine;
+use mcpart_obs::{json, Obs};
+use mcpart_par::supervise::{supervise_unit, RetryPolicy, UnitOutcome};
+use mcpart_par::{parallel_map, resolve_jobs};
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Version tag of the job-file format (`"mcpart_job"` key).
+pub const JOB_VERSION: i64 = 1;
+
+/// Loads a program by the name given in a job file. The service engine
+/// is loader-agnostic so `mcpart-core` needs no dependency on the
+/// workload corpus: the CLI passes its benchmark-or-`.mcir`-path
+/// resolver, the bench harness passes the workload table.
+pub type JobLoader<'a> = dyn Fn(&str) -> Result<(Program, Profile), String> + Sync + 'a;
+
+/// A service-level failure: the spool directory itself is unusable.
+/// Per-job failures never surface here — they become result files and
+/// `failed/` entries so one poison job cannot take the service down.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The spool directory could not be prepared, scanned, or written.
+    Io(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Configuration of one [`serve`] run.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads per batch (`0` = all cores).
+    pub jobs: usize,
+    /// Jobs claimed and computed together; commits happen in job-name
+    /// order within each batch regardless of worker count.
+    pub batch: usize,
+    /// Admission bound per spool scan: jobs past this many (in
+    /// lexicographic name order) are shed with a typed `overloaded`
+    /// result file.
+    pub queue: usize,
+    /// Spool scan interval when idle (daemon mode).
+    pub poll: Duration,
+    /// Process everything currently spooled, then exit instead of
+    /// polling — one-shot semantics for tests and scripts.
+    pub drain: bool,
+    /// Panic retry budget per job (the supervision ladder's
+    /// `--retries`).
+    pub retries: u32,
+    /// Wall-clock ceiling per partition attempt (`--unit-timeout`).
+    pub unit_timeout: Option<Duration>,
+    /// Crash-injection hook for the crash-consistency tests: after
+    /// committing this many jobs, abort the process with the next
+    /// job's output half-written and its claimed work file still in
+    /// place — exactly the on-disk state `kill -9` mid-commit leaves.
+    pub halt_after: Option<u64>,
+    /// Observability sink: receives the `serve/*` counters and a
+    /// replay of every job's pinned pipeline events in commit order.
+    pub obs: Obs,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            jobs: 0,
+            batch: 8,
+            queue: 256,
+            poll: Duration::from_millis(200),
+            drain: false,
+            retries: 2,
+            unit_timeout: None,
+            halt_after: None,
+            obs: Obs::disabled(),
+        }
+    }
+}
+
+/// Totals of one [`serve`] run, also surfaced as `serve/*` counters on
+/// the configured observability sink.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Jobs admitted past the queue bound (includes failed ones).
+    pub admitted: u64,
+    /// Jobs shed by admission control with an `overloaded` result.
+    pub rejected: u64,
+    /// Results served from a verified cache entry.
+    pub cache_hits: u64,
+    /// Cache entries that failed integrity verification and were
+    /// deleted (their jobs were then recomputed).
+    pub cache_evictions: u64,
+    /// Jobs moved to `failed/` because the pipeline quarantined them.
+    pub quarantined: u64,
+    /// Jobs moved to `failed/` for any other reason (unparseable job
+    /// file, unknown program, pipeline error).
+    pub failed: u64,
+    /// Jobs that completed with an `ok` result.
+    pub completed: u64,
+    /// Claimed jobs re-queued by crash recovery at startup.
+    pub requeued: u64,
+}
+
+impl ServeSummary {
+    /// One greppable line, printed by the CLI after every serve run.
+    pub fn line(&self) -> String {
+        format!(
+            "serve summary: admitted={} rejected={} cache_hits={} cache_evictions={} \
+             quarantined={} failed={} completed={} requeued={}",
+            self.admitted,
+            self.rejected,
+            self.cache_hits,
+            self.cache_evictions,
+            self.quarantined,
+            self.failed,
+            self.completed,
+            self.requeued
+        )
+    }
+
+    /// Records the `serve/*` counters (always all of them, so
+    /// `trace-check --require serve/...` holds on every serve trace).
+    fn record(&self, obs: &Obs) {
+        obs.counter("serve", "admitted", self.admitted as i64);
+        obs.counter("serve", "rejected", self.rejected as i64);
+        obs.counter("serve", "cache_hits", self.cache_hits as i64);
+        obs.counter("serve", "cache_evictions", self.cache_evictions as i64);
+        obs.counter("serve", "quarantined", self.quarantined as i64);
+    }
+}
+
+/// A parsed job file: one JSON object per file.
+///
+/// ```json
+/// {"mcpart_job":1,"program":"rawcaudio","method":"gdp","clusters":2,
+///  "latency":5,"memory":"partitioned","seed":17417,"gdp_fuel":1000}
+/// ```
+///
+/// Only `program` is required; everything else defaults to the
+/// one-shot CLI defaults. Unknown keys are ignored (forward
+/// compatibility), an unknown *value* is an invalid job.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Benchmark name or `.mcir` path, resolved by the [`JobLoader`].
+    pub program: String,
+    /// Partitioning method (default GDP).
+    pub method: Method,
+    /// Cluster count (default 2).
+    pub clusters: usize,
+    /// Intercluster move latency in cycles (default 5).
+    pub latency: u32,
+    /// Memory model slug: `partitioned`, `unified`, or
+    /// `coherent:<penalty>`.
+    pub memory: MemoryModel,
+    /// RHOP seed override (default: the method's builtin seed).
+    pub seed: Option<u64>,
+    /// GDP refinement fuel cap (default unlimited).
+    pub gdp_fuel: Option<u64>,
+    /// Fault injection (`"func"` or `"func:n"`), for poison-job tests.
+    pub inject_panic: Option<PanicPlan>,
+}
+
+/// The machine's memory model, as named in job files and checkpoint
+/// headers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemoryModel {
+    /// Per-cluster memories (the paper's machine).
+    Partitioned,
+    /// One shared memory.
+    Unified,
+    /// Shared memory with a remote-access penalty.
+    Coherent(u32),
+}
+
+impl MemoryModel {
+    /// Parses the slug used by `--memory`, job files, and checkpoint
+    /// headers.
+    pub fn parse(slug: &str) -> Result<MemoryModel, String> {
+        if slug == "partitioned" {
+            Ok(MemoryModel::Partitioned)
+        } else if slug == "unified" {
+            Ok(MemoryModel::Unified)
+        } else if let Some(p) = slug.strip_prefix("coherent:") {
+            p.parse().map(MemoryModel::Coherent).map_err(|_| {
+                format!("memory `coherent:{p}`: penalty must be a non-negative integer")
+            })
+        } else {
+            Err(format!("unknown memory model `{slug}` (partitioned|unified|coherent:<penalty>)"))
+        }
+    }
+
+    /// The stable slug (inverse of [`MemoryModel::parse`]).
+    pub fn slug(&self) -> String {
+        match self {
+            MemoryModel::Partitioned => "partitioned".to_string(),
+            MemoryModel::Unified => "unified".to_string(),
+            MemoryModel::Coherent(p) => format!("coherent:{p}"),
+        }
+    }
+
+    /// Applies the model to a machine description.
+    pub fn apply(&self, machine: Machine) -> Machine {
+        match self {
+            MemoryModel::Partitioned => machine,
+            MemoryModel::Unified => machine.with_unified_memory(),
+            MemoryModel::Coherent(p) => machine.with_coherent_cache(*p),
+        }
+    }
+}
+
+/// Reads an optional unsigned integer field from a job document.
+fn num_field(doc: &json::JsonValue, key: &str) -> Result<Option<u64>, String> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(v) => {
+            let n = v.as_num().ok_or_else(|| format!("`{key}` must be a number"))?;
+            if n < 0.0 || n.fract() != 0.0 {
+                return Err(format!("`{key}` must be a non-negative integer"));
+            }
+            Ok(Some(n as u64))
+        }
+    }
+}
+
+/// Parses one job file. Errors are diagnostic strings destined for the
+/// job's `failed/` entry and `invalid` result file.
+pub fn parse_job(text: &str) -> Result<JobSpec, String> {
+    let doc = json::parse(text.trim()).map_err(|e| format!("not a JSON job file: {e}"))?;
+    let version = doc
+        .get("mcpart_job")
+        .and_then(json::JsonValue::as_num)
+        .ok_or("not a job file (missing `mcpart_job` version)")?;
+    if version as i64 != JOB_VERSION {
+        return Err(format!("unsupported job version {version} (expected {JOB_VERSION})"));
+    }
+    let program = doc
+        .get("program")
+        .and_then(json::JsonValue::as_str)
+        .ok_or("job is missing the `program` field")?
+        .to_string();
+    let method = match doc.get("method").and_then(json::JsonValue::as_str) {
+        None => Method::Gdp,
+        Some(slug) => method_from_slug(slug).ok_or_else(|| format!("unknown method `{slug}`"))?,
+    };
+    let clusters = num_field(&doc, "clusters")?.unwrap_or(2) as usize;
+    if clusters == 0 {
+        return Err("`clusters` must be at least 1".to_string());
+    }
+    let latency = num_field(&doc, "latency")?.unwrap_or(5) as u32;
+    let memory = match doc.get("memory").and_then(json::JsonValue::as_str) {
+        None => MemoryModel::Partitioned,
+        Some(slug) => MemoryModel::parse(slug)?,
+    };
+    let seed = num_field(&doc, "seed")?;
+    let gdp_fuel = num_field(&doc, "gdp_fuel")?;
+    let inject_panic = match doc.get("inject_panic").and_then(json::JsonValue::as_str) {
+        None => None,
+        Some(v) => Some(match v.split_once(':') {
+            Some((func, count)) => PanicPlan {
+                func: func.to_string(),
+                panics: count
+                    .parse()
+                    .map_err(|_| "`inject_panic` count must be a number".to_string())?,
+            },
+            None => PanicPlan::always(v),
+        }),
+    };
+    Ok(JobSpec { program, method, clusters, latency, memory, seed, gdp_fuel, inject_panic })
+}
+
+/// The content address of a job's artifact: an FNV-1a fingerprint of
+/// the checkpoint header (program hash, seed, clusters, latency,
+/// memory, GDP fuel) plus the method slug — everything a result
+/// depends on, nothing it doesn't.
+pub fn cache_key(header: &CheckpointHeader, method: Method) -> String {
+    let material = format!("{}|{}", header.to_json(), method_slug(method));
+    format!("{:016x}", fingerprint(material.as_bytes()))
+}
+
+/// Key of the checksum footer line terminating every cache entry.
+const CACHE_SUM_KEY: &str = "mcpart_cache_sum";
+
+/// Renders a cache entry: a one-record checkpoint (header line + unit
+/// record line) followed by a footer carrying the FNV-1a fingerprint
+/// of the preceding bytes. The footer is what makes the cache
+/// *self-healing*: any truncation or bit flip — even one that still
+/// parses — breaks the fingerprint and the entry is evicted instead of
+/// served.
+pub fn render_cache_entry(header: &CheckpointHeader, record: &UnitRecord) -> String {
+    let body = format!("{}\n{}\n", header.to_json(), record.to_json());
+    let sum = fingerprint(body.as_bytes());
+    format!("{body}{{\"{CACHE_SUM_KEY}\":\"{sum:016x}\"}}\n")
+}
+
+/// Verifies a cache entry end to end: checksum over the raw bytes
+/// first (catches truncation, bit flips, and invalid UTF-8 before any
+/// parsing), then a full checkpoint parse against the expected header,
+/// then the unit key. Returns the verified record or the reason the
+/// entry must be evicted.
+pub fn verify_cache_entry(
+    bytes: &[u8],
+    expected: &CheckpointHeader,
+    unit: &str,
+) -> Result<UnitRecord, String> {
+    let Some(last) = bytes.last() else { return Err("empty entry".to_string()) };
+    if *last != b'\n' {
+        return Err("truncated entry (no trailing newline)".to_string());
+    }
+    let body = &bytes[..bytes.len() - 1];
+    let footer_start = body.iter().rposition(|&b| b == b'\n').map(|p| p + 1).unwrap_or(0);
+    if footer_start == 0 {
+        return Err("missing checksum footer".to_string());
+    }
+    let prefix = &bytes[..footer_start];
+    let footer = std::str::from_utf8(&body[footer_start..])
+        .map_err(|_| "checksum footer is not UTF-8".to_string())?;
+    let doc = json::parse(footer).map_err(|e| format!("bad checksum footer: {e}"))?;
+    let sum_hex = doc
+        .get(CACHE_SUM_KEY)
+        .and_then(json::JsonValue::as_str)
+        .ok_or_else(|| format!("footer is missing `{CACHE_SUM_KEY}`"))?;
+    let sum =
+        u64::from_str_radix(sum_hex, 16).map_err(|_| format!("unreadable checksum `{sum_hex}`"))?;
+    let actual = fingerprint(prefix);
+    if actual != sum {
+        return Err(format!("checksum mismatch (stored {sum:016x}, computed {actual:016x})"));
+    }
+    let text = std::str::from_utf8(prefix).map_err(|_| "entry is not UTF-8".to_string())?;
+    let ck = parse_checkpoint(text, expected).map_err(|e| format!("unusable entry: {e}"))?;
+    match ck.records.as_slice() {
+        [record] if record.unit == unit => Ok(record.clone()),
+        [record] => Err(format!("entry is for unit `{}`, wanted `{unit}`", record.unit)),
+        records => Err(format!("entry holds {} records, wanted 1", records.len())),
+    }
+}
+
+/// Terminal status of one job, mirroring the one-shot exit codes:
+/// `0` ok, `1` runtime failure (including quarantine and shed load),
+/// `2` unusable job file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum JobStatus {
+    Ok,
+    Quarantined,
+    Failed,
+    Invalid,
+    Overloaded,
+}
+
+impl JobStatus {
+    fn slug(self) -> &'static str {
+        match self {
+            JobStatus::Ok => "ok",
+            JobStatus::Quarantined => "quarantined",
+            JobStatus::Failed => "failed",
+            JobStatus::Invalid => "invalid",
+            JobStatus::Overloaded => "overloaded",
+        }
+    }
+
+    fn exit(self) -> i64 {
+        match self {
+            JobStatus::Ok => 0,
+            JobStatus::Quarantined | JobStatus::Failed | JobStatus::Overloaded => 1,
+            JobStatus::Invalid => 2,
+        }
+    }
+}
+
+/// How a job's result was obtained.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum CacheNote {
+    Hit,
+    Miss,
+    Evicted(String),
+}
+
+/// Everything the sequential commit phase needs about one computed
+/// job. Workers produce these in parallel; all file-system effects
+/// except cache eviction happen at commit time, in job-name order.
+struct JobOutcome {
+    file_name: String,
+    stem: String,
+    status: JobStatus,
+    reason: String,
+    record: Option<UnitRecord>,
+    cache: CacheNote,
+    /// Cache entry to publish on a fresh successful compute.
+    entry: Option<(PathBuf, CheckpointHeader)>,
+}
+
+/// Renders a job's result file: one JSON line of pinned fields only
+/// (no wall-clock, no cache provenance), so a cache hit, a fresh
+/// compute, and a post-crash redo write byte-identical files.
+fn render_result(
+    stem: &str,
+    status: JobStatus,
+    reason: &str,
+    record: Option<&UnitRecord>,
+) -> String {
+    let mut s = format!(
+        "{{\"mcpart_result\":1,\"job\":\"{}\",\"status\":\"{}\",\"exit\":{}",
+        json::escape(stem),
+        status.slug(),
+        status.exit()
+    );
+    if let Some(r) = record {
+        s.push_str(&format!(
+            ",\"unit\":\"{}\",\"requested\":\"{}\",\"method\":\"{}\",\"downgrades\":{}",
+            json::escape(&r.unit),
+            method_slug(r.requested),
+            method_slug(r.method),
+            r.downgrades.len()
+        ));
+        s.push_str(&format!(
+            ",\"cycles\":{},\"dynamic_moves\":{},\"remote\":{},\"moves_inserted\":{}",
+            r.cycles, r.dynamic_moves, r.remote, r.moves_inserted
+        ));
+        s.push_str(&format!(",\"retries\":{},\"pressure\":{}", r.retries, r.pressure));
+        s.push_str(",\"quarantine\":[");
+        for (i, q) in r.quarantine.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\"", json::escape(&q.unit)));
+        }
+        s.push_str("],\"data_bytes\":[");
+        for (i, b) in r.data_bytes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&b.to_string());
+        }
+        s.push(']');
+    }
+    if !reason.is_empty() {
+        s.push_str(&format!(",\"reason\":\"{}\"", json::escape(reason)));
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// The spool's subdirectories. All paths live under one root so a
+/// single rename moves a job between lifecycle states.
+struct SpoolDirs {
+    root: PathBuf,
+    work: PathBuf,
+    out: PathBuf,
+    failed: PathBuf,
+    cache: PathBuf,
+}
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> ServeError {
+    ServeError::Io(format!("cannot {what} {}: {e}", path.display()))
+}
+
+impl SpoolDirs {
+    fn prepare(root: &Path) -> Result<SpoolDirs, ServeError> {
+        let dirs = SpoolDirs {
+            root: root.to_path_buf(),
+            work: root.join("work"),
+            out: root.join("out"),
+            failed: root.join("failed"),
+            cache: root.join("cache"),
+        };
+        for d in [&dirs.root, &dirs.work, &dirs.out, &dirs.failed, &dirs.cache] {
+            fs::create_dir_all(d).map_err(|e| io_err("create", d, e))?;
+        }
+        Ok(dirs)
+    }
+
+    /// Crash recovery: removes half-written `*.tmp` artifacts and
+    /// requeues claimed-but-uncommitted jobs. Returns (requeued jobs,
+    /// removed tmp files).
+    fn recover(&self) -> Result<(u64, u64), ServeError> {
+        let mut tmps = 0;
+        for dir in [&self.out, &self.cache] {
+            for entry in fs::read_dir(dir).map_err(|e| io_err("read", dir, e))? {
+                let entry = entry.map_err(|e| io_err("read", dir, e))?;
+                let path = entry.path();
+                if path.extension().and_then(|e| e.to_str()) == Some("tmp") {
+                    fs::remove_file(&path).map_err(|e| io_err("remove", &path, e))?;
+                    tmps += 1;
+                }
+            }
+        }
+        let mut requeued = 0;
+        for name in list_jobs(&self.work)? {
+            let from = self.work.join(&name);
+            let to = self.root.join(&name);
+            fs::rename(&from, &to).map_err(|e| io_err("requeue", &from, e))?;
+            requeued += 1;
+        }
+        Ok((requeued, tmps))
+    }
+}
+
+/// Job files (`*.job`) directly inside `dir`, in lexicographic order —
+/// the deterministic admission order.
+fn list_jobs(dir: &Path) -> Result<Vec<String>, ServeError> {
+    let mut names = Vec::new();
+    for entry in fs::read_dir(dir).map_err(|e| io_err("read", dir, e))? {
+        let entry = entry.map_err(|e| io_err("read", dir, e))?;
+        if !entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+            continue;
+        }
+        if let Some(name) = entry.file_name().to_str() {
+            if name.ends_with(".job") {
+                names.push(name.to_string());
+            }
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
+/// Publishes a file atomically: write to `<path>.tmp`, sync, rename.
+/// A crash leaves either the old content, the new content, or a
+/// `.tmp` that recovery deletes — never a half-written final file.
+fn write_atomic(path: &Path, text: &str) -> Result<(), ServeError> {
+    let tmp = path.with_extension("tmp");
+    let mut file = fs::File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+    file.write_all(text.as_bytes())
+        .and_then(|()| file.sync_data())
+        .map_err(|e| io_err("write", &tmp, e))?;
+    drop(file);
+    fs::rename(&tmp, path).map_err(|e| io_err("publish", path, e))
+}
+
+/// One progress line on stdout. Write errors are swallowed: losing a
+/// log line to a closed pipe must not take the service down.
+fn progress(line: &str) {
+    let mut out = std::io::stdout();
+    let _ = writeln!(out, "{line}");
+    let _ = out.flush();
+}
+
+/// Computes one claimed job (the parallel phase — no spool mutation
+/// except cache eviction, which is keyed and idempotent).
+fn process_job(
+    dirs: &SpoolDirs,
+    cfg: &ServeConfig,
+    loader: &JobLoader<'_>,
+    file_name: &str,
+) -> JobOutcome {
+    let stem = file_name.strip_suffix(".job").unwrap_or(file_name).to_string();
+    let invalid = |stem: &str, reason: String| JobOutcome {
+        file_name: file_name.to_string(),
+        stem: stem.to_string(),
+        status: JobStatus::Invalid,
+        reason,
+        record: None,
+        cache: CacheNote::Miss,
+        entry: None,
+    };
+    let path = dirs.work.join(file_name);
+    let text = match fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => return invalid(&stem, format!("cannot read job file: {e}")),
+    };
+    let spec = match parse_job(&text) {
+        Ok(s) => s,
+        Err(e) => return invalid(&stem, e),
+    };
+    let (program, profile) = match loader(&spec.program) {
+        Ok(p) => p,
+        Err(e) => return invalid(&stem, e),
+    };
+    let machine = spec.memory.apply(Machine::homogeneous(spec.clusters, spec.latency));
+    let seed = spec.seed.unwrap_or_else(|| PipelineConfig::new(spec.method).rhop.seed);
+    let header = CheckpointHeader {
+        program: program.name.clone(),
+        program_hash: program_fingerprint(&program),
+        seed,
+        clusters: spec.clusters,
+        latency: spec.latency,
+        memory: spec.memory.slug(),
+        gdp_fuel: spec.gdp_fuel,
+    };
+    let unit = format!("{}/{}", program.name, method_slug(spec.method));
+    let entry_path = dirs.cache.join(format!("{}.json", cache_key(&header, spec.method)));
+
+    let mut cache = CacheNote::Miss;
+    if let Ok(bytes) = fs::read(&entry_path) {
+        match verify_cache_entry(&bytes, &header, &unit) {
+            Ok(record) => {
+                return JobOutcome {
+                    file_name: file_name.to_string(),
+                    stem,
+                    status: JobStatus::Ok,
+                    reason: String::new(),
+                    record: Some(record),
+                    cache: CacheNote::Hit,
+                    entry: None,
+                };
+            }
+            Err(why) => {
+                // Never serve a suspect entry: evict and recompute.
+                let _ = fs::remove_file(&entry_path);
+                cache = CacheNote::Evicted(why);
+            }
+        }
+    }
+
+    let mut pcfg = PipelineConfig::new(spec.method)
+        .with_jobs(1)
+        .with_retries(cfg.retries)
+        .with_obs(Obs::enabled());
+    pcfg.gdp.fuel = spec.gdp_fuel;
+    pcfg.rhop.seed = seed;
+    pcfg.rhop.inject_panic = spec.inject_panic.clone();
+    pcfg.unit_timeout = cfg.unit_timeout;
+
+    match supervise_unit(
+        &unit,
+        RetryPolicy::new(cfg.retries),
+        |_| true,
+        |_| run_unit(&program, &profile, &machine, &pcfg),
+    ) {
+        UnitOutcome::Completed { value: record, .. } => {
+            let (status, reason) = if record.quarantine.is_empty() {
+                (JobStatus::Ok, String::new())
+            } else {
+                let units: Vec<String> = record
+                    .quarantine
+                    .iter()
+                    .map(|q| format!("{} ({} attempts): {}", q.unit, q.attempts, q.reason))
+                    .collect();
+                (JobStatus::Quarantined, units.join("; "))
+            };
+            let entry = if status == JobStatus::Ok { Some((entry_path, header)) } else { None };
+            JobOutcome {
+                file_name: file_name.to_string(),
+                stem,
+                status,
+                reason,
+                record: Some(record),
+                cache,
+                entry,
+            }
+        }
+        UnitOutcome::Failed(e) => JobOutcome {
+            file_name: file_name.to_string(),
+            stem,
+            status: JobStatus::Failed,
+            reason: e.to_string(),
+            record: None,
+            cache,
+            entry: None,
+        },
+        UnitOutcome::Quarantined(q) => JobOutcome {
+            file_name: file_name.to_string(),
+            stem,
+            status: JobStatus::Quarantined,
+            reason: format!("{} ({} attempts): {}", q.unit, q.attempts, q.reason),
+            record: None,
+            cache,
+            entry: None,
+        },
+    }
+}
+
+/// Commits one outcome: result file, cache entry, work-file
+/// disposition, counters — all in job-name order, so the on-disk
+/// effects of a batch are independent of the worker count.
+fn commit(
+    dirs: &SpoolDirs,
+    cfg: &ServeConfig,
+    outcome: &JobOutcome,
+    sum: &mut ServeSummary,
+) -> Result<(), ServeError> {
+    let out_path = dirs.out.join(format!("{}.json", outcome.stem));
+    let text =
+        render_result(&outcome.stem, outcome.status, &outcome.reason, outcome.record.as_ref());
+
+    // Publish the cache entry before the result: a crash between the
+    // two costs one recompute-turned-cache-hit, never a result whose
+    // artifact vanished.
+    if let (Some((entry_path, header)), Some(record)) = (&outcome.entry, &outcome.record) {
+        write_atomic(entry_path, &render_cache_entry(header, record))?;
+    }
+
+    let committed = sum.completed + sum.quarantined + sum.failed;
+    if cfg.halt_after == Some(committed) {
+        // Crash injection: die with this job's output half-written
+        // and its work file still claimed — the exact state kill -9
+        // leaves — so the restart path is exercised deterministically.
+        let tmp = out_path.with_extension("tmp");
+        let half = &text.as_bytes()[..text.len() / 2];
+        let _ = fs::write(&tmp, half);
+        std::process::abort();
+    }
+
+    write_atomic(&out_path, &text)?;
+    if let Some(record) = &outcome.record {
+        record.replay_events(&cfg.obs);
+    }
+
+    let work_path = dirs.work.join(&outcome.file_name);
+    match outcome.status {
+        JobStatus::Ok => {
+            fs::remove_file(&work_path).map_err(|e| io_err("retire", &work_path, e))?;
+            sum.completed += 1;
+        }
+        JobStatus::Quarantined | JobStatus::Failed | JobStatus::Invalid => {
+            let dest = dirs.failed.join(&outcome.file_name);
+            fs::rename(&work_path, &dest).map_err(|e| io_err("quarantine", &work_path, e))?;
+            let reason_path = dirs.failed.join(format!("{}.reason", outcome.stem));
+            write_atomic(
+                &reason_path,
+                &format!("{}: {}\n", outcome.status.slug(), outcome.reason),
+            )?;
+            if outcome.status == JobStatus::Quarantined {
+                sum.quarantined += 1;
+            } else {
+                sum.failed += 1;
+            }
+        }
+        JobStatus::Overloaded => unreachable!("overload is shed before claiming"),
+    }
+    match (&outcome.cache, outcome.status) {
+        (CacheNote::Hit, _) => {
+            sum.cache_hits += 1;
+            progress(&format!("job {}: {} (cache hit)", outcome.stem, outcome.status.slug()));
+        }
+        (CacheNote::Evicted(why), _) => {
+            sum.cache_evictions += 1;
+            progress(&format!(
+                "job {}: {} (cache entry evicted: {}; recomputed)",
+                outcome.stem,
+                outcome.status.slug(),
+                why
+            ));
+        }
+        (CacheNote::Miss, JobStatus::Ok) => {
+            progress(&format!("job {}: ok (computed)", outcome.stem));
+        }
+        (CacheNote::Miss, _) => {
+            progress(&format!(
+                "job {}: {}: {}",
+                outcome.stem,
+                outcome.status.slug(),
+                outcome.reason
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Runs the partition service over `spool` until it is told to stop:
+/// in drain mode, when the spool is empty; in daemon mode, when
+/// `shutdown` becomes true (the CLI's SIGTERM handler sets it), after
+/// which the in-flight batch is drained and the function returns
+/// normally — crash-only shutdown has no other cleanup to do.
+pub fn serve(
+    spool: &Path,
+    cfg: &ServeConfig,
+    loader: &JobLoader<'_>,
+    shutdown: &AtomicBool,
+) -> Result<ServeSummary, ServeError> {
+    let dirs = SpoolDirs::prepare(spool)?;
+    let (requeued, tmps) = dirs.recover()?;
+    if requeued > 0 || tmps > 0 {
+        progress(&format!(
+            "recovery: requeued {requeued} interrupted job(s), removed {tmps} partial artifact(s)"
+        ));
+    }
+    let mut sum = ServeSummary { requeued, ..ServeSummary::default() };
+    let workers = resolve_jobs(cfg.jobs);
+    'scan: loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let pending = list_jobs(&dirs.root)?;
+        if pending.is_empty() {
+            if cfg.drain {
+                break;
+            }
+            let step = Duration::from_millis(25).min(cfg.poll.max(Duration::from_millis(1)));
+            let mut slept = Duration::ZERO;
+            while slept < cfg.poll && !shutdown.load(Ordering::SeqCst) {
+                std::thread::sleep(step);
+                slept += step;
+            }
+            continue;
+        }
+        // Deterministic admission: lexicographic order, bounded queue.
+        let bound = pending.len().min(cfg.queue.max(1));
+        let (admitted, shed) = pending.split_at(bound);
+        for name in shed {
+            let stem = name.strip_suffix(".job").unwrap_or(name);
+            let reason = format!("admission queue full (bound {})", cfg.queue.max(1));
+            let text = render_result(stem, JobStatus::Overloaded, &reason, None);
+            write_atomic(&dirs.out.join(format!("{stem}.json")), &text)?;
+            let job_path = dirs.root.join(name);
+            fs::remove_file(&job_path).map_err(|e| io_err("shed", &job_path, e))?;
+            sum.rejected += 1;
+            progress(&format!("job {stem}: overloaded (shed)"));
+        }
+        sum.admitted += admitted.len() as u64;
+        for chunk in admitted.chunks(cfg.batch.max(1)) {
+            if shutdown.load(Ordering::SeqCst) {
+                // Unclaimed jobs stay spooled for the next run.
+                sum.admitted -= chunk.len() as u64;
+                break 'scan;
+            }
+            for name in chunk {
+                let from = dirs.root.join(name);
+                let to = dirs.work.join(name);
+                fs::rename(&from, &to).map_err(|e| io_err("claim", &from, e))?;
+            }
+            let outcomes =
+                parallel_map(workers, chunk, |_, name| process_job(&dirs, cfg, loader, name));
+            for outcome in &outcomes {
+                commit(&dirs, cfg, outcome, &mut sum)?;
+            }
+        }
+        // A shutdown between chunks also lands here with admitted
+        // jobs subtracted; recount what is left for the next pass.
+    }
+    sum.record(&cfg.obs);
+    progress(&sum.line());
+    Ok(sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpart_ir::{DataObject, FunctionBuilder, MemWidth};
+
+    fn demo() -> (Program, Profile) {
+        let mut program = Program::new("demo");
+        let table = program.add_object(DataObject::global("table", 64));
+        let mut b = FunctionBuilder::entry(&mut program);
+        let base = b.addrof(table);
+        let v = b.load(MemWidth::B4, base);
+        let w = b.add(v, v);
+        b.store(MemWidth::B4, base, w);
+        b.ret(None);
+        let profile = Profile::uniform(&program, 100);
+        (program, profile)
+    }
+
+    fn demo_header(program: &Program) -> CheckpointHeader {
+        CheckpointHeader {
+            program: program.name.clone(),
+            program_hash: program_fingerprint(program),
+            seed: PipelineConfig::new(Method::Gdp).rhop.seed,
+            clusters: 2,
+            latency: 5,
+            memory: "partitioned".to_string(),
+            gdp_fuel: None,
+        }
+    }
+
+    fn demo_record(program: &Program, profile: &Profile) -> UnitRecord {
+        let machine = Machine::homogeneous(2, 5);
+        let cfg = PipelineConfig::new(Method::Gdp);
+        run_unit(program, profile, &machine, &cfg).expect("demo pipeline runs")
+    }
+
+    #[test]
+    fn job_parsing_defaults_and_errors() {
+        let spec = parse_job(r#"{"mcpart_job":1,"program":"fir"}"#).expect("minimal job");
+        assert_eq!(spec.program, "fir");
+        assert_eq!(spec.method, Method::Gdp);
+        assert_eq!(spec.clusters, 2);
+        assert_eq!(spec.latency, 5);
+        assert_eq!(spec.memory, MemoryModel::Partitioned);
+        assert!(spec.seed.is_none());
+
+        let spec = parse_job(
+            r#"{"mcpart_job":1,"program":"fir","method":"naive","clusters":4,
+                "latency":9,"memory":"coherent:3","seed":7,"gdp_fuel":100,
+                "inject_panic":"main:2"}"#,
+        )
+        .expect("full job");
+        assert_eq!(spec.method, Method::Naive);
+        assert_eq!(spec.clusters, 4);
+        assert_eq!(spec.memory, MemoryModel::Coherent(3));
+        assert_eq!(spec.seed, Some(7));
+        assert_eq!(spec.inject_panic.as_ref().map(|p| p.panics), Some(2));
+
+        for bad in [
+            "not json",
+            "{}",
+            r#"{"mcpart_job":2,"program":"fir"}"#,
+            r#"{"mcpart_job":1}"#,
+            r#"{"mcpart_job":1,"program":"fir","method":"quantum"}"#,
+            r#"{"mcpart_job":1,"program":"fir","clusters":0}"#,
+            r#"{"mcpart_job":1,"program":"fir","memory":"ram"}"#,
+            r#"{"mcpart_job":1,"program":"fir","seed":-3}"#,
+        ] {
+            assert!(parse_job(bad).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn cache_entry_roundtrip_and_verification() {
+        let (program, profile) = demo();
+        let header = demo_header(&program);
+        let record = demo_record(&program, &profile);
+        let entry = render_cache_entry(&header, &record);
+        let verified = verify_cache_entry(entry.as_bytes(), &header, &record.unit)
+            .expect("pristine entry verifies");
+        assert_eq!(verified, record);
+    }
+
+    #[test]
+    fn cache_verification_rejects_every_corruption() {
+        let (program, profile) = demo();
+        let header = demo_header(&program);
+        let record = demo_record(&program, &profile);
+        let entry = render_cache_entry(&header, &record);
+        let bytes = entry.as_bytes();
+
+        // Truncation sweep: every proper prefix must be rejected.
+        for keep in [0, 1, bytes.len() / 4, bytes.len() / 2, bytes.len() - 2, bytes.len() - 1] {
+            assert!(
+                verify_cache_entry(&bytes[..keep], &header, &record.unit).is_err(),
+                "accepted a {keep}-byte truncation"
+            );
+        }
+        // Bit flips: every byte is covered by the checksum.
+        for pos in (0..bytes.len()).step_by(bytes.len() / 23 + 1) {
+            let mut flipped = bytes.to_vec();
+            flipped[pos] ^= 0x10;
+            assert!(
+                verify_cache_entry(&flipped, &header, &record.unit).is_err(),
+                "accepted a bit flip at byte {pos}"
+            );
+        }
+        // Headerless / foreign content.
+        for junk in ["", "\n", "{\"x\":1}\n", "plain text\n"] {
+            assert!(verify_cache_entry(junk.as_bytes(), &header, &record.unit).is_err());
+        }
+        // A wrong unit or mismatched header is stale, not servable.
+        assert!(verify_cache_entry(bytes, &header, "other/gdp").is_err());
+        let mut other = header.clone();
+        other.seed ^= 1;
+        assert!(verify_cache_entry(bytes, &other, &record.unit).is_err());
+    }
+
+    #[test]
+    fn cache_key_separates_configurations() {
+        let (program, _) = demo();
+        let header = demo_header(&program);
+        let base = cache_key(&header, Method::Gdp);
+        assert_eq!(base, cache_key(&header, Method::Gdp));
+        assert_ne!(base, cache_key(&header, Method::Naive));
+        let mut seeded = header.clone();
+        seeded.seed += 1;
+        assert_ne!(base, cache_key(&seeded, Method::Gdp));
+        let mut wider = header.clone();
+        wider.clusters = 4;
+        assert_ne!(base, cache_key(&wider, Method::Gdp));
+    }
+
+    #[test]
+    fn memory_model_slug_roundtrip() {
+        for slug in ["partitioned", "unified", "coherent:7"] {
+            assert_eq!(MemoryModel::parse(slug).expect("parses").slug(), slug);
+        }
+        assert!(MemoryModel::parse("coherent:-1").is_err());
+        assert!(MemoryModel::parse("fast").is_err());
+    }
+
+    #[test]
+    fn result_files_are_pinned_and_typed() {
+        let (program, profile) = demo();
+        let record = demo_record(&program, &profile);
+        let ok = render_result("j1", JobStatus::Ok, "", Some(&record));
+        assert!(ok.contains("\"status\":\"ok\",\"exit\":0"));
+        assert!(ok.contains("\"cycles\":"));
+        assert!(!ok.contains("partition_ms"), "wall-clock leaked into a result file");
+        let shed =
+            render_result("j2", JobStatus::Overloaded, "admission queue full (bound 1)", None);
+        assert!(shed.contains("\"status\":\"overloaded\",\"exit\":1"));
+        assert!(shed.contains("queue full"));
+        let invalid = render_result("j3", JobStatus::Invalid, "not a JSON job file: x", None);
+        assert!(invalid.contains("\"exit\":2"));
+    }
+}

@@ -32,6 +32,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod json;
 
@@ -160,6 +161,7 @@ pub fn intern_cat(cat: &str) -> &'static str {
         "exec",
         "supervise",
         "checkpoint",
+        "serve",
         "bench",
     ];
     if let Some(k) = KNOWN.iter().find(|&&k| k == cat) {

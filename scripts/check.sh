@@ -28,21 +28,44 @@ target/release/mcpart run rawcaudio --trace-out /tmp/mcpart_trace.json --metrics
 target/release/mcpart trace-check /tmp/mcpart_trace.json \
   --require gdp/cut,rhop/estimator_calls,sim/cycles,sim/stall_cycles,sim/transfer_cycles,supervise/retries,supervise/quarantined
 
-echo "== kill-and-resume smoke (SIGKILL mid-run, --resume, checkpoint-diff)"
+echo "== kill-and-resume smoke (deterministic mid-append halt, --resume, checkpoint-diff)"
+# --halt-after 2 dies mid-append of the second unit record (half a
+# line, no terminator, then abort) — the exact artifact kill -9 leaves,
+# with none of the scheduling race a real SIGKILL has.
 rm -f /tmp/mcpart_ck_clean.json /tmp/mcpart_ck_killed.json
 target/release/mcpart compare rawcaudio --checkpoint /tmp/mcpart_ck_clean.json >/dev/null
-target/release/mcpart compare rawcaudio --checkpoint /tmp/mcpart_ck_killed.json >/dev/null &
-MCPART_PID=$!
-sleep 0.05
-kill -9 "$MCPART_PID" 2>/dev/null || true
-wait "$MCPART_PID" 2>/dev/null || true
-# If the run won the race and finished, truncate its checkpoint to a
-# prefix plus a half-written record so the resume still has work to do.
-if target/release/mcpart checkpoint-diff /tmp/mcpart_ck_clean.json /tmp/mcpart_ck_killed.json >/dev/null 2>&1; then
-  { head -n 2 /tmp/mcpart_ck_clean.json; sed -n '3p' /tmp/mcpart_ck_clean.json | head -c 40; } \
-    > /tmp/mcpart_ck_killed.json
+if target/release/mcpart compare rawcaudio --checkpoint /tmp/mcpart_ck_killed.json --halt-after 2 >/dev/null 2>&1; then
+  echo "halted run unexpectedly survived"; exit 1
 fi
-target/release/mcpart compare rawcaudio --checkpoint /tmp/mcpart_ck_killed.json --resume >/dev/null
+RESUME_NOTES=$(target/release/mcpart compare rawcaudio --checkpoint /tmp/mcpart_ck_killed.json --resume 2>&1 >/dev/null)
+echo "$RESUME_NOTES" | grep -q "partial trailing record" \
+  || { echo "resume did not report the crash artifact: $RESUME_NOTES"; exit 1; }
 target/release/mcpart checkpoint-diff /tmp/mcpart_ck_clean.json /tmp/mcpart_ck_killed.json
+
+echo "== serve smoke (spool three jobs, die mid-batch, restart, verify cache hits)"
+SERVE_CLEAN=/tmp/mcpart_serve_clean
+SERVE_KILLED=/tmp/mcpart_serve_killed
+rm -rf "$SERVE_CLEAN" "$SERVE_KILLED"
+mkdir -p "$SERVE_CLEAN" "$SERVE_KILLED"
+for b in fir latnrm rawcaudio; do
+  echo "{\"mcpart_job\":1,\"program\":\"$b\"}" > "$SERVE_CLEAN/$b.job"
+  echo "{\"mcpart_job\":1,\"program\":\"$b\"}" > "$SERVE_KILLED/$b.job"
+done
+target/release/mcpart serve "$SERVE_CLEAN" --drain >/dev/null
+# Die mid-batch: one job committed, the next output half-written, the
+# rest still claimed in work/ — what kill -9 leaves, deterministically.
+if target/release/mcpart serve "$SERVE_KILLED" --drain --halt-after 1 >/dev/null 2>&1; then
+  echo "halted serve run unexpectedly survived"; exit 1
+fi
+RESTART_LOG=$(target/release/mcpart serve "$SERVE_KILLED" --drain --metrics \
+  --trace-out /tmp/mcpart_serve_trace.json)
+echo "$RESTART_LOG" | grep -q "cache hit" \
+  || { echo "restart reported no cache hits: $RESTART_LOG"; exit 1; }
+for b in fir latnrm rawcaudio; do
+  cmp "$SERVE_CLEAN/out/$b.json" "$SERVE_KILLED/out/$b.json" \
+    || { echo "$b: post-crash output differs from clean run"; exit 1; }
+done
+target/release/mcpart trace-check /tmp/mcpart_serve_trace.json \
+  --require serve/admitted,serve/rejected,serve/cache_hits,serve/cache_evictions,serve/quarantined
 
 echo "== all checks passed"

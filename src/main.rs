@@ -15,7 +15,8 @@
 
 use mcpart::core::{
     load_checkpoint, method_slug, program_fingerprint, run_pipeline, run_unit, CheckpointError,
-    CheckpointHeader, CheckpointWriter, Downgrade, Method, PanicPlan, PipelineConfig, UnitRecord,
+    CheckpointHeader, CheckpointWriter, Downgrade, Method, PanicPlan, PipelineConfig, ServeConfig,
+    UnitRecord,
 };
 use mcpart::ir::{parse_program, program_to_string, Profile, Program};
 use mcpart::machine::Machine;
@@ -36,8 +37,8 @@ macro_rules! outln {
 }
 
 const USAGE: &str =
-    "usage: mcpart <list|run|compare|dump|exec|partition|schedule|trace-check|checkpoint-diff> \
-     [args]
+    "usage: mcpart <list|run|compare|dump|exec|partition|schedule|serve|trace-check|\
+     checkpoint-diff> [args]
 options: --method gdp|profile-max|naive|unified  --latency <cycles>
          --clusters <n>  --memory partitioned|unified|coherent:<penalty>
          --gdp-fuel <n>  (cap GDP refinement; exhaustion triggers the
@@ -54,6 +55,12 @@ options: --method gdp|profile-max|naive|unified  --latency <cycles>
          --allow-quarantine  (exit 0 even when units were quarantined)
          --inject-panic <func[:n]> (testing: panic while partitioning
                               `func`, the first n attempts; default all)
+         --halt-after <n>    (testing: die mid-write after n completed
+                              units/jobs, simulating kill -9)
+serve <spool-dir> [--drain] [--batch n] [--queue n] [--poll-ms n]
+         long-running partition service: submit jobs as
+         <spool-dir>/*.job files, read results from <spool-dir>/out/;
+         repeat submissions are integrity-verified cache hits
 trace-check <path> [--require cat/name,...]  validates a trace file
          (supervision counters: supervise/retries, supervise/quarantined)
 checkpoint-diff <a> <b>  compares two checkpoint files, ignoring
@@ -97,6 +104,7 @@ struct Options {
     unit_timeout_ms: Option<u64>,
     allow_quarantine: bool,
     inject_panic: Option<PanicPlan>,
+    halt_after: Option<u64>,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -123,6 +131,7 @@ impl Default for Options {
             unit_timeout_ms: None,
             allow_quarantine: false,
             inject_panic: None,
+            halt_after: None,
         }
     }
 }
@@ -212,6 +221,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--allow-quarantine" => {
                 o.allow_quarantine = true;
+            }
+            "--halt-after" => {
+                o.halt_after = Some(
+                    args.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or("--halt-after needs a positive count")?,
+                );
+                i += 1;
             }
             "--inject-panic" => {
                 let v = args.get(i + 1).ok_or("--inject-panic needs a function name")?;
@@ -356,6 +374,13 @@ fn ck_err(e: CheckpointError) -> CliError {
 struct CheckpointSession {
     writer: CheckpointWriter,
     resumed: Vec<UnitRecord>,
+    /// Units appended so far, for the `--halt-after` crash hook.
+    appended: u64,
+    /// `--halt-after n`: write only half of the nth appended record —
+    /// no terminator — and abort, leaving exactly the file a process
+    /// killed mid-append leaves. Deterministic where a raced SIGKILL
+    /// is not, so the kill-and-resume smoke never flakes.
+    halt_after: Option<u64>,
 }
 
 impl CheckpointSession {
@@ -373,11 +398,32 @@ impl CheckpointSession {
                 eprintln!("note: {path}: discarded a partial trailing record (crash artifact)");
             }
             let writer = CheckpointWriter::resume(path, &header, &ck.records).map_err(ck_err)?;
-            Ok(Some(CheckpointSession { writer, resumed: ck.records }))
+            Ok(Some(CheckpointSession {
+                writer,
+                resumed: ck.records,
+                appended: 0,
+                halt_after: o.halt_after,
+            }))
         } else {
             let writer = CheckpointWriter::create(path, &header).map_err(ck_err)?;
-            Ok(Some(CheckpointSession { writer, resumed: Vec::new() }))
+            Ok(Some(CheckpointSession {
+                writer,
+                resumed: Vec::new(),
+                appended: 0,
+                halt_after: o.halt_after,
+            }))
         }
+    }
+
+    /// Appends a finished unit, honouring the `--halt-after` crash
+    /// injection point.
+    fn append(&mut self, rec: &UnitRecord) -> Result<(), CliError> {
+        self.appended += 1;
+        if self.halt_after == Some(self.appended) {
+            self.writer.append_partial(rec).map_err(ck_err)?;
+            std::process::abort();
+        }
+        self.writer.append(rec).map_err(ck_err)
     }
 
     fn resumed_record(&self, unit: &str) -> Option<UnitRecord> {
@@ -410,7 +456,7 @@ fn run_or_resume(
     let rec = run_unit(program, profile, machine, &config)
         .map_err(|e| CliError::Runtime(e.to_string()))?;
     if let Some(s) = session {
-        s.writer.append(&rec).map_err(ck_err)?;
+        s.append(&rec)?;
     }
     Ok(rec)
 }
@@ -468,6 +514,119 @@ fn report_run(program: &Program, profile: &Profile, o: &Options) -> Result<(), C
     emit_obs(o, &obs)?;
     report_quarantine(o, std::slice::from_ref(&rec))
 }
+
+/// Options of `mcpart serve`, split from [`Options`] because most
+/// one-shot flags (checkpointing, per-run method/machine choices) are
+/// carried by the job files instead.
+struct ServeOptions {
+    cfg: ServeConfig,
+    trace_out: Option<String>,
+    metrics: bool,
+}
+
+fn parse_serve_options(args: &[String]) -> Result<ServeOptions, String> {
+    let mut cfg = ServeConfig::default();
+    let mut trace_out = None;
+    let mut metrics = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--drain" => cfg.drain = true,
+            "--jobs" => {
+                cfg.jobs =
+                    args.get(i + 1).and_then(|v| v.parse().ok()).ok_or("--jobs needs a number")?;
+                i += 1;
+            }
+            "--batch" => {
+                cfg.batch = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--batch needs a positive count")?;
+                i += 1;
+            }
+            "--queue" => {
+                cfg.queue = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--queue needs a positive count")?;
+                i += 1;
+            }
+            "--poll-ms" => {
+                let ms: u64 = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--poll-ms needs a millisecond count")?;
+                cfg.poll = Duration::from_millis(ms);
+                i += 1;
+            }
+            "--retries" => {
+                cfg.retries = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--retries needs a number")?;
+                i += 1;
+            }
+            "--unit-timeout" => {
+                let ms: u64 = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&ms| ms > 0)
+                    .ok_or("--unit-timeout needs a positive millisecond count")?;
+                cfg.unit_timeout = Some(Duration::from_millis(ms));
+                i += 1;
+            }
+            "--halt-after" => {
+                cfg.halt_after = Some(
+                    args.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--halt-after needs a count")?,
+                );
+                i += 1;
+            }
+            "--trace-out" => {
+                trace_out = Some(args.get(i + 1).ok_or("--trace-out needs a path")?.to_string());
+                i += 1;
+            }
+            "--metrics" => metrics = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(ServeOptions { cfg, trace_out, metrics })
+}
+
+/// Set by the signal handler; polled by the serve loop, which drains
+/// the in-flight batch and exits 0 — crash-only shutdown.
+static SERVE_SHUTDOWN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn serve_shutdown_handler(_signum: i32) {
+    // Only async-signal-safe work here: set the flag, nothing else.
+    SERVE_SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Installs SIGTERM/SIGINT handlers that request a drain-and-exit.
+/// `libc::signal` via a minimal FFI declaration: the workspace takes
+/// no external dependencies, and storing to a static `AtomicBool` is
+/// the one thing a handler may safely do.
+#[cfg(unix)]
+fn install_shutdown_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // SAFETY: `signal` is the C standard library's handler
+    // registration; the handler only stores to an atomic.
+    unsafe {
+        signal(SIGTERM, serve_shutdown_handler as *const () as usize);
+        signal(SIGINT, serve_shutdown_handler as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_shutdown_handler() {}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -626,6 +785,26 @@ fn main() -> ExitCode {
                 dp.bytes_per_cluster(&program, machine.num_clusters())
             );
             emit_obs(&o, &obs)?;
+            Ok(())
+        })(),
+        "serve" => (|| {
+            let spool =
+                args.get(1).ok_or_else(|| CliError::usage("serve needs a spool directory path"))?;
+            let so = parse_serve_options(&args[2..]).map_err(CliError::Usage)?;
+            let mut cfg = so.cfg;
+            if so.trace_out.is_some() || so.metrics {
+                cfg.obs = mcpart::obs::Obs::enabled();
+            }
+            install_shutdown_handler();
+            mcpart::core::serve(std::path::Path::new(spool), &cfg, &load_target, &SERVE_SHUTDOWN)
+                .map_err(|e| CliError::Runtime(e.to_string()))?;
+            if let Some(path) = &so.trace_out {
+                std::fs::write(path, cfg.obs.chrome_trace())
+                    .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
+            }
+            if so.metrics {
+                outln!("{}", cfg.obs.summary());
+            }
             Ok(())
         })(),
         "trace-check" => (|| {

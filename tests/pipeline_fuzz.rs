@@ -385,6 +385,105 @@ fn corrupted_checkpoints_are_rejected_with_a_position_and_never_a_panic() {
     }
 }
 
+/// The serve artifact cache is self-healing: every corruption of a
+/// cache entry — truncation at any offset, random bit flips,
+/// headerless or foreign content — must be *detected* (the verifier
+/// refuses it), *evicted* (the corrupt file is deleted), and
+/// *recomputed* with a final result file byte-identical to the clean
+/// run's. A corrupt artifact may never be served.
+#[test]
+fn corrupted_cache_entries_are_detected_evicted_and_recomputed() {
+    use mcpart::core::{
+        program_fingerprint, verify_cache_entry, CheckpointHeader, Method, PipelineConfig,
+    };
+
+    let dir = std::env::temp_dir().join(format!("mcpart_cache_fuzz_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("spool dir");
+    let submit = || {
+        std::fs::write(dir.join("fir.job"), "{\"mcpart_job\":1,\"program\":\"fir\"}\n")
+            .expect("submit job");
+    };
+    let drain = || mcpart_cli(&["serve", dir.to_str().unwrap(), "--drain"]);
+
+    submit();
+    let (_, stderr, code) = drain();
+    assert_eq!(code, Some(0), "seed serve run failed: {stderr}");
+    let baseline = std::fs::read(dir.join("out/fir.json")).expect("baseline result");
+    let entry_path = std::fs::read_dir(dir.join("cache"))
+        .expect("cache dir")
+        .map(|e| e.expect("entry").path())
+        .find(|p| p.extension().and_then(|e| e.to_str()) == Some("json"))
+        .expect("cache entry exists");
+    let pristine = std::fs::read(&entry_path).expect("cache entry");
+
+    // The verifier's view of this entry, for the in-memory corpus.
+    let workload = mcpart::workloads::by_name("fir").expect("fir exists");
+    let header = CheckpointHeader {
+        program: workload.program.name.clone(),
+        program_hash: program_fingerprint(&workload.program),
+        seed: PipelineConfig::new(Method::Gdp).rhop.seed,
+        clusters: 2,
+        latency: 5,
+        memory: "partitioned".to_string(),
+        gdp_fuel: None,
+    };
+    assert!(
+        verify_cache_entry(&pristine, &header, "fir/gdp").is_ok(),
+        "pristine entry must verify"
+    );
+
+    // Corruption corpus: truncation sweep, deterministic random bit
+    // flips, headerless/foreign files.
+    let mut corpus: Vec<(String, Vec<u8>)> = Vec::new();
+    for cut in (0..pristine.len()).step_by((pristine.len() / 16).max(1)) {
+        corpus.push((format!("truncation at {cut}"), pristine[..cut].to_vec()));
+    }
+    let mut rng = SmallRng::seed_from_u64(0xcac4e);
+    for _ in 0..24 {
+        let at = rng.gen_range(0..pristine.len() as u64) as usize;
+        let bit = 1u8 << rng.gen_range(0..8u64);
+        let mut bytes = pristine.clone();
+        bytes[at] ^= bit;
+        corpus.push((format!("bit flip {bit:#04x} at {at}"), bytes));
+    }
+    corpus.push(("empty".into(), Vec::new()));
+    corpus.push(("headerless".into(), b"{\"hello\":1}\n".to_vec()));
+    corpus.push(("garbage".into(), b"not a cache entry\n".to_vec()));
+    corpus.push(("binary".into(), vec![0x00, 0xff, 0xfe, 0x07, 0x0a]));
+
+    for (i, (label, bytes)) in corpus.iter().enumerate() {
+        // Every corpus member is detected by the verifier (the
+        // checksum footer covers every byte, so even a single-bit
+        // flip that still parses is caught).
+        assert!(
+            verify_cache_entry(bytes, &header, "fir/gdp").is_err(),
+            "{label}: verifier served a corrupt entry"
+        );
+        // End to end, on a spread of cases (each costs a recompute):
+        // detection is reported, the entry is evicted, and the final
+        // output is byte-identical to the clean run's.
+        if i % 6 == 0 {
+            std::fs::write(&entry_path, bytes).expect("plant corrupt entry");
+            submit();
+            let (stdout, stderr, code) = drain();
+            assert_eq!(code, Some(0), "{label}: serve failed: {stderr}");
+            assert!(
+                stdout.contains("cache entry evicted"),
+                "{label}: eviction not reported: {stdout}"
+            );
+            assert!(!stdout.contains("cache hit"), "{label}: served corrupt entry: {stdout}");
+            let redone = std::fs::read(dir.join("out/fir.json")).expect("result");
+            assert_eq!(redone, baseline, "{label}: recomputed output differs");
+            let healed = std::fs::read(&entry_path).expect("entry rewritten after eviction");
+            assert!(
+                verify_cache_entry(&healed, &header, "fir/gdp").is_ok(),
+                "{label}: healed entry does not verify"
+            );
+        }
+    }
+}
+
 /// Regression: a starved GDP run walks the fallback ladder instead of
 /// failing outright, and the result records the downgrade chain.
 #[test]

@@ -1,0 +1,273 @@
+//! Acceptance tests for `mcpart serve`: the resilient partition
+//! service. Each test drives the real binary over a private spool
+//! directory and asserts on the on-disk artifacts, because the
+//! service's contract *is* its file-system protocol.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// A fresh private spool directory for one test.
+fn spool(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mcpart_serve_test_{test}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create spool");
+    dir
+}
+
+/// Drops a job file into the spool.
+fn submit(dir: &Path, name: &str, body: &str) {
+    fs::write(dir.join(format!("{name}.job")), body).expect("write job");
+}
+
+fn job(program: &str) -> String {
+    format!("{{\"mcpart_job\":1,\"program\":\"{program}\"}}")
+}
+
+/// Runs `mcpart serve <dir> <args...>` to completion.
+fn serve(dir: &Path, args: &[&str]) -> (String, String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_mcpart"))
+        .arg("serve")
+        .arg(dir)
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+fn result_of(dir: &Path, name: &str) -> String {
+    fs::read_to_string(dir.join("out").join(format!("{name}.json")))
+        .unwrap_or_else(|e| panic!("missing result for {name}: {e}"))
+}
+
+fn cache_entries(dir: &Path) -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = fs::read_dir(dir.join("cache"))
+        .expect("cache dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("json"))
+        .collect();
+    v.sort();
+    v
+}
+
+/// Acceptance (a): resubmitting an identical job is a verified cache
+/// hit with byte-identical output.
+#[test]
+fn resubmission_is_a_verified_cache_hit_with_byte_identical_output() {
+    let dir = spool("cache_hit");
+    submit(&dir, "fir", &job("fir"));
+    let (stdout, stderr, code) = serve(&dir, &["--drain"]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("job fir: ok (computed)"), "{stdout}");
+    let first = result_of(&dir, "fir");
+    assert_eq!(cache_entries(&dir).len(), 1, "one artifact cached");
+
+    submit(&dir, "fir", &job("fir"));
+    let (stdout, stderr, code) = serve(&dir, &["--drain"]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("job fir: ok (cache hit)"), "{stdout}");
+    assert!(stdout.contains("cache_hits=1"), "{stdout}");
+    let second = result_of(&dir, "fir");
+    assert_eq!(first, second, "cache hit must rewrite byte-identical output");
+}
+
+/// Acceptance (b): a corrupted cache entry is detected, evicted, and
+/// recomputed — never served. The full corruption corpus (truncation
+/// sweep, bit flips, headerless files) lives in `tests/pipeline_fuzz.rs`.
+#[test]
+fn corrupted_cache_entry_is_evicted_and_recomputed() {
+    let dir = spool("cache_evict");
+    submit(&dir, "fir", &job("fir"));
+    let (_, _, code) = serve(&dir, &["--drain"]);
+    assert_eq!(code, Some(0));
+    let baseline = result_of(&dir, "fir");
+    let entry = cache_entries(&dir).pop().expect("entry exists");
+    let pristine = fs::read(&entry).expect("read entry");
+
+    // Flip one bit in the middle of the record line.
+    let mut bytes = pristine.clone();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x04;
+    fs::write(&entry, &bytes).expect("corrupt entry");
+
+    submit(&dir, "fir", &job("fir"));
+    let (stdout, stderr, code) = serve(&dir, &["--drain"]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("cache entry evicted"), "corruption not detected: {stdout}");
+    assert!(stdout.contains("cache_evictions=1"), "{stdout}");
+    assert!(!stdout.contains("cache hit"), "served a corrupt entry: {stdout}");
+    assert_eq!(result_of(&dir, "fir"), baseline, "recompute must be byte-identical");
+
+    // The healed entry verifies again (entries carry one non-pinned
+    // wall-clock field, so byte-equality with the original is not
+    // expected): the next submission is a verified hit.
+    let healed = fs::read(cache_entries(&dir).pop().expect("rewritten")).expect("read");
+    assert_ne!(healed, bytes, "corrupt bytes were left in place");
+    submit(&dir, "fir", &job("fir"));
+    let (stdout, _, code) = serve(&dir, &["--drain"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("cache hit"), "{stdout}");
+}
+
+/// Acceptance (c): a crash mid-batch (the `--halt-after` hook aborts
+/// the process with one output half-written and claimed jobs still in
+/// `work/` — the state kill -9 leaves) followed by a restart drains
+/// all spooled jobs with outputs byte-identical to an uninterrupted
+/// run.
+#[test]
+fn crash_mid_batch_then_restart_drains_byte_identical_outputs() {
+    let programs = ["fir", "latnrm", "rawcaudio"];
+
+    let clean = spool("crash_clean");
+    for p in &programs {
+        submit(&clean, p, &job(p));
+    }
+    let (_, stderr, code) = serve(&clean, &["--drain"]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+
+    let crashed = spool("crash_killed");
+    for p in &programs {
+        submit(&crashed, p, &job(p));
+    }
+    let (stdout, _, code) = serve(&crashed, &["--drain", "--halt-after", "1"]);
+    assert_ne!(code, Some(0), "the halted run must die: {stdout}");
+    // The crash left tolerated artifacts only: claimed jobs and a
+    // half-written output.
+    let work: Vec<_> = fs::read_dir(crashed.join("work")).expect("work dir").collect();
+    assert!(!work.is_empty(), "no in-flight jobs left behind — halt landed too late");
+
+    let (stdout, stderr, code) = serve(&crashed, &["--drain"]);
+    assert_eq!(code, Some(0), "restart failed: {stderr}");
+    assert!(stdout.contains("recovery: requeued"), "{stdout}");
+    assert!(stdout.contains("cache hit"), "interrupted job should re-land as a hit: {stdout}");
+    for p in &programs {
+        assert_eq!(
+            result_of(&crashed, p),
+            result_of(&clean, p),
+            "{p}: post-crash output differs from the uninterrupted run"
+        );
+    }
+    // No stray temporary artifacts survive recovery.
+    for sub in ["out", "cache"] {
+        for e in fs::read_dir(crashed.join(sub)).expect("dir") {
+            let p = e.expect("entry").path();
+            assert_ne!(p.extension().and_then(|e| e.to_str()), Some("tmp"), "stray {p:?}");
+        }
+    }
+}
+
+/// Acceptance (d): a poison job exits the queue via quarantine (job
+/// file moved to `failed/` with a diagnostic) while subsequent jobs
+/// still complete.
+#[test]
+fn poison_job_quarantines_while_the_queue_continues() {
+    let dir = spool("poison");
+    submit(&dir, "a_poison", r#"{"mcpart_job":1,"program":"fir","inject_panic":"main"}"#);
+    submit(&dir, "b_good", &job("latnrm"));
+    let (stdout, stderr, code) = serve(&dir, &["--drain"]);
+    assert_eq!(code, Some(0), "a poison job must not take the service down: {stderr}");
+    assert!(stdout.contains("job a_poison: quarantined"), "{stdout}");
+    assert!(stdout.contains("job b_good: ok"), "queue wedged behind the poison job: {stdout}");
+    assert!(stdout.contains("quarantined=1"), "{stdout}");
+
+    assert!(dir.join("failed").join("a_poison.job").exists(), "job not quarantined to failed/");
+    let reason =
+        fs::read_to_string(dir.join("failed").join("a_poison.reason")).expect("diagnostic");
+    assert!(reason.contains("injected fault"), "diagnostic missing the cause: {reason}");
+    let result = result_of(&dir, "a_poison");
+    assert!(result.contains("\"status\":\"quarantined\",\"exit\":1"), "{result}");
+    // The poisoned result is never cached: resubmission recomputes.
+    submit(&dir, "a_poison", r#"{"mcpart_job":1,"program":"fir","inject_panic":"main"}"#);
+    let (stdout, _, code) = serve(&dir, &["--drain"]);
+    assert_eq!(code, Some(0));
+    assert!(!stdout.contains("cache hit"), "served a quarantined result from cache: {stdout}");
+}
+
+/// Overload sheds deterministically: a bounded admission queue, and
+/// everything past the bound gets a typed `overloaded` result file —
+/// never a silent drop. Lexicographic order decides who is admitted.
+#[test]
+fn overload_sheds_deterministically_with_typed_results() {
+    let dir = spool("overload");
+    for name in ["j1", "j2", "j3"] {
+        submit(&dir, name, &job("fir"));
+    }
+    let (stdout, stderr, code) = serve(&dir, &["--drain", "--queue", "1"]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("rejected=2"), "{stdout}");
+    // Deterministic: the lexicographically-first job is admitted.
+    assert!(result_of(&dir, "j1").contains("\"status\":\"ok\""));
+    for shed in ["j2", "j3"] {
+        let r = result_of(&dir, shed);
+        assert!(r.contains("\"status\":\"overloaded\",\"exit\":1"), "{shed}: {r}");
+        assert!(r.contains("admission queue full"), "{shed}: {r}");
+    }
+}
+
+/// Unparseable job files and unknown programs become typed `invalid`
+/// results (exit vocabulary 2) in `failed/`, not service failures.
+#[test]
+fn invalid_jobs_fail_typed_without_wedging_the_service() {
+    let dir = spool("invalid");
+    submit(&dir, "bad", "this is not json");
+    submit(&dir, "unknown", &job("no-such-benchmark"));
+    submit(&dir, "good", &job("fir"));
+    let (stdout, stderr, code) = serve(&dir, &["--drain"]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("job good: ok"), "{stdout}");
+    for bad in ["bad", "unknown"] {
+        let r = result_of(&dir, bad);
+        assert!(r.contains("\"status\":\"invalid\",\"exit\":2"), "{bad}: {r}");
+        assert!(dir.join("failed").join(format!("{bad}.job")).exists());
+    }
+}
+
+/// The `serve/*` counters are always present on a serve trace, so
+/// they are part of the `trace-check --require` vocabulary.
+#[test]
+fn serve_counters_survive_trace_check_require() {
+    let dir = spool("counters");
+    submit(&dir, "fir", &job("fir"));
+    let trace = dir.join("trace.json");
+    let trace_str = trace.to_str().expect("utf8 path");
+    let (stdout, stderr, code) = serve(&dir, &["--drain", "--metrics", "--trace-out", trace_str]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("observability summary"), "{stdout}");
+    assert!(stdout.contains("serve/admitted"), "{stdout}");
+    let out = Command::new(env!("CARGO_BIN_EXE_mcpart"))
+        .args([
+            "trace-check",
+            trace_str,
+            "--require",
+            "serve/admitted,serve/rejected,serve/cache_hits,serve/cache_evictions,\
+             serve/quarantined",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+/// SIGTERM drains and exits 0 (crash-only shutdown), leaving any
+/// unclaimed jobs spooled for the next run.
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_in_flight_work_and_exits_zero() {
+    let dir = spool("sigterm");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mcpart"))
+        .arg("serve")
+        .arg(&dir)
+        .args(["--poll-ms", "50"])
+        .spawn()
+        .expect("daemon starts");
+    // Let the daemon reach its idle poll, then ask it to stop.
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let term =
+        Command::new("kill").args(["-TERM", &child.id().to_string()]).status().expect("kill runs");
+    assert!(term.success(), "could not signal the daemon");
+    let status = child.wait().expect("daemon exits");
+    assert_eq!(status.code(), Some(0), "SIGTERM must drain and exit 0");
+}
