@@ -271,6 +271,7 @@ fn main() {
     let _ = std::fs::remove_dir_all(&spool);
 
     let doc = Json::Obj(vec![
+        ("schema_version".into(), Json::Int(mcpart_bench::diff::BENCH_SCHEMA_VERSION)),
         ("benchmark".into(), Json::Str("partition-pipeline".to_string())),
         ("jobs".into(), Json::Int(jobs as i64)),
         ("quick".into(), Json::Bool(opts.quick)),

@@ -1,0 +1,429 @@
+//! `mcpart bench-diff` — the PR-over-PR bench regression gate.
+//!
+//! Compares two `BENCH_partition.json` files and classifies every
+//! shared metric as pass, regression, or improvement. Both files are
+//! strict-parsed (the same serde-free parser that validates traces)
+//! and structurally validated — a malformed artifact is a hard
+//! [`DiffError::Malformed`], never a silent comparison of garbage.
+//!
+//! Metrics split into two classes with independent thresholds:
+//!
+//! * **work** — deterministic, work-denominated counters (cycles,
+//!   estimator calls, retries, GDP cut). Tight default threshold,
+//!   because two runs of the same binary produce identical values.
+//! * **time** — wall-clock seconds and their derived ratios. Loose
+//!   default threshold, because hosts are noisy.
+//!
+//! A self-diff always exits clean: equal values pass any non-negative
+//! threshold.
+
+use crate::report::pct;
+use mcpart_obs::json::{self, JsonValue};
+use std::fmt;
+
+/// Version stamped into `BENCH_partition.json` as `schema_version`.
+/// Bump when the file's structure changes incompatibly.
+pub const BENCH_SCHEMA_VERSION: i64 = 1;
+
+/// Thresholds for [`diff_bench`], as fractions (0.05 = 5%).
+#[derive(Clone, Copy, Debug)]
+pub struct DiffConfig {
+    /// Allowed relative growth of work-denominated counters.
+    pub work_threshold: f64,
+    /// Allowed relative growth (or shrinkage, for higher-is-better
+    /// rates) of wall-clock metrics.
+    pub time_threshold: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig { work_threshold: 0.05, time_threshold: 0.50 }
+    }
+}
+
+/// Why a comparison could not run at all (exit code 2 territory —
+/// distinct from a regression, which is exit code 1).
+#[derive(Debug)]
+pub enum DiffError {
+    /// One of the inputs failed strict parsing or structural checks.
+    Malformed(String),
+}
+
+impl fmt::Display for DiffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiffError::Malformed(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DiffError {}
+
+/// One metric comparison that crossed a threshold.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiffFinding {
+    /// `workload/metric` or `suite/metric`.
+    pub metric: String,
+    /// Value in the old file.
+    pub old: f64,
+    /// Value in the new file.
+    pub new: f64,
+    /// Relative change, signed ((new-old)/old).
+    pub change: f64,
+}
+
+impl DiffFinding {
+    fn line(&self) -> String {
+        format!(
+            "{}: {} -> {} ({}{})",
+            self.metric,
+            trim_num(self.old),
+            trim_num(self.new),
+            if self.change >= 0.0 { "+" } else { "-" },
+            pct(self.change.abs())
+        )
+    }
+}
+
+/// The outcome of one [`diff_bench`] run.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// Metrics that crossed their regression threshold.
+    pub regressions: Vec<DiffFinding>,
+    /// Metrics that moved the other way by the same margin.
+    pub improvements: Vec<DiffFinding>,
+    /// Total metric pairs compared.
+    pub compared: usize,
+    /// Structural notes (workloads present on one side only, metrics
+    /// missing from the new file).
+    pub notes: Vec<String>,
+}
+
+impl DiffReport {
+    /// True when the gate should fail (nonzero exit).
+    pub fn regressed(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+
+    /// The human-readable report the CLI prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        for f in &self.regressions {
+            out.push_str(&format!("regression: {}\n", f.line()));
+        }
+        for f in &self.improvements {
+            out.push_str(&format!("improvement: {}\n", f.line()));
+        }
+        out.push_str(&format!(
+            "bench-diff: {} metrics compared, {} regression(s), {} improvement(s)\n",
+            self.compared,
+            self.regressions.len(),
+            self.improvements.len()
+        ));
+        out
+    }
+}
+
+fn trim_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Direction of "better" for a metric.
+#[derive(Clone, Copy, PartialEq)]
+enum Better {
+    Lower,
+    Higher,
+}
+
+/// The gated per-workload metrics: `(key, class-is-work, direction)`.
+/// Counters deliberately *not* gated: `regions`, `moves_accepted`, and
+/// the `pruned_*` split — they describe the shape of the search, not
+/// its cost, and legitimately move when the algorithm changes.
+const WORKLOAD_WORK: &[&str] = &[
+    "cycles",
+    "stall_cycles",
+    "transfer_cycles",
+    "estimator_calls",
+    "full_evals",
+    "retries",
+    "quarantined",
+    "gdp_cut",
+];
+const WORKLOAD_TIME: &[&str] = &["partition_secs", "pipeline_secs", "pipeline_secs_no_incremental"];
+const SUITE_TIME_LOWER: &[&str] =
+    &["suite_secs_sequential", "suite_secs_parallel", "serve_cold_secs", "serve_warm_secs"];
+const SUITE_TIME_HIGHER: &[&str] =
+    &["parallel_speedup", "incremental_speedup", "serve_cache_hit_rate", "serve_warm_jobs_per_sec"];
+
+/// Strict-parses and structurally validates one bench artifact:
+/// top-level object, matching `schema_version`, a `workloads` array of
+/// objects each naming its `benchmark`. Returns the parsed document.
+pub fn validate_bench(text: &str, what: &str) -> Result<JsonValue, DiffError> {
+    let doc = json::parse(text).map_err(|e| DiffError::Malformed(format!("{what}: {e}")))?;
+    let JsonValue::Obj(_) = &doc else {
+        return Err(DiffError::Malformed(format!("{what}: top level is not an object")));
+    };
+    let version = doc
+        .get("schema_version")
+        .and_then(JsonValue::as_num)
+        .ok_or_else(|| DiffError::Malformed(format!("{what}: missing `schema_version`")))?;
+    if version as i64 != BENCH_SCHEMA_VERSION || version.fract() != 0.0 {
+        return Err(DiffError::Malformed(format!(
+            "{what}: schema_version {version} (this tool understands {BENCH_SCHEMA_VERSION})"
+        )));
+    }
+    let workloads = doc
+        .get("workloads")
+        .and_then(JsonValue::as_arr)
+        .ok_or_else(|| DiffError::Malformed(format!("{what}: missing `workloads` array")))?;
+    for (i, w) in workloads.iter().enumerate() {
+        let JsonValue::Obj(_) = w else {
+            return Err(DiffError::Malformed(format!("{what}: workload {i} is not an object")));
+        };
+        w.get("benchmark").and_then(JsonValue::as_str).ok_or_else(|| {
+            DiffError::Malformed(format!("{what}: workload {i} is missing `benchmark`"))
+        })?;
+        for key in WORKLOAD_WORK.iter().chain(WORKLOAD_TIME) {
+            if let Some(v) = w.get(key) {
+                v.as_num().ok_or_else(|| {
+                    DiffError::Malformed(format!("{what}: workload {i} `{key}` is not a number"))
+                })?;
+            }
+        }
+    }
+    Ok(doc)
+}
+
+fn compare(
+    report: &mut DiffReport,
+    cfg: &DiffConfig,
+    metric: String,
+    old: f64,
+    new: f64,
+    is_work: bool,
+    better: Better,
+) {
+    report.compared += 1;
+    let threshold = if is_work { cfg.work_threshold } else { cfg.time_threshold };
+    let change = if old == 0.0 {
+        if new == 0.0 {
+            0.0
+        } else {
+            // From zero, any growth is infinite-relative; call it 100%.
+            1.0
+        }
+    } else {
+        (new - old) / old
+    };
+    let worse = match better {
+        Better::Lower => change > threshold,
+        Better::Higher => -change > threshold,
+    };
+    let better_by_margin = match better {
+        Better::Lower => -change > threshold,
+        Better::Higher => change > threshold,
+    };
+    let finding = DiffFinding { metric, old, new, change };
+    if worse {
+        report.regressions.push(finding);
+    } else if better_by_margin {
+        report.improvements.push(finding);
+    }
+}
+
+/// Compares two validated bench artifacts. `old_text` is the baseline.
+pub fn diff_bench(
+    old_text: &str,
+    new_text: &str,
+    cfg: &DiffConfig,
+) -> Result<DiffReport, DiffError> {
+    let old = validate_bench(old_text, "old bench file")?;
+    let new = validate_bench(new_text, "new bench file")?;
+    let mut report = DiffReport::default();
+
+    let rows = |doc: &JsonValue| -> Vec<JsonValue> {
+        doc.get("workloads").and_then(JsonValue::as_arr).unwrap_or(&[]).to_vec()
+    };
+    let name_of = |w: &JsonValue| -> String {
+        w.get("benchmark").and_then(JsonValue::as_str).unwrap_or("?").to_string()
+    };
+    let old_rows = rows(&old);
+    let new_rows = rows(&new);
+
+    for old_row in &old_rows {
+        let name = name_of(old_row);
+        let Some(new_row) = new_rows.iter().find(|w| name_of(w) == name) else {
+            report.regressions.push(DiffFinding {
+                metric: format!("{name}: workload missing from new file"),
+                old: 1.0,
+                new: 0.0,
+                change: -1.0,
+            });
+            continue;
+        };
+        for (keys, is_work) in [(WORKLOAD_WORK, true), (WORKLOAD_TIME, false)] {
+            for key in keys {
+                match (
+                    old_row.get(key).and_then(JsonValue::as_num),
+                    new_row.get(key).and_then(JsonValue::as_num),
+                ) {
+                    (Some(a), Some(b)) => compare(
+                        &mut report,
+                        cfg,
+                        format!("{name}/{key}"),
+                        a,
+                        b,
+                        is_work,
+                        Better::Lower,
+                    ),
+                    (Some(_), None) => {
+                        report.notes.push(format!("{name}/{key}: missing from new file"))
+                    }
+                    (None, _) => {}
+                }
+            }
+        }
+    }
+    for new_row in &new_rows {
+        let name = name_of(new_row);
+        if !old_rows.iter().any(|w| name_of(w) == name) {
+            report.notes.push(format!("{name}: new workload (no baseline)"));
+        }
+    }
+
+    for (keys, better) in [(SUITE_TIME_LOWER, Better::Lower), (SUITE_TIME_HIGHER, Better::Higher)] {
+        for key in keys {
+            match (
+                old.get(key).and_then(JsonValue::as_num),
+                new.get(key).and_then(JsonValue::as_num),
+            ) {
+                (Some(a), Some(b)) => {
+                    compare(&mut report, cfg, format!("suite/{key}"), a, b, false, better)
+                }
+                (Some(_), None) => report.notes.push(format!("suite/{key}: missing from new file")),
+                (None, _) => {}
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_doc(cycles: i64, secs: f64) -> String {
+        format!(
+            r#"{{"schema_version":1,"benchmark":"partition-pipeline",
+  "workloads":[{{"benchmark":"fir","cycles":{cycles},"estimator_calls":500,
+                 "partition_secs":{secs}}}],
+  "suite_secs_parallel":{secs},"parallel_speedup":3.0}}"#
+        )
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let doc = bench_doc(1000, 0.5);
+        let report = diff_bench(&doc, &doc, &DiffConfig::default()).expect("valid");
+        assert!(!report.regressed(), "{}", report.render());
+        assert!(report.improvements.is_empty());
+        assert!(report.compared >= 4, "compared {} metrics", report.compared);
+    }
+
+    #[test]
+    fn work_regression_crosses_the_tight_threshold() {
+        let old = bench_doc(1000, 0.5);
+        let new = bench_doc(1100, 0.5); // +10% cycles
+        let report = diff_bench(&old, &new, &DiffConfig::default()).expect("valid");
+        assert!(report.regressed());
+        assert_eq!(report.regressions.len(), 1, "{}", report.render());
+        assert!(report.regressions[0].metric.contains("fir/cycles"));
+        // Within threshold passes.
+        let small = bench_doc(1030, 0.5); // +3%
+        let report = diff_bench(&old, &small, &DiffConfig::default()).expect("valid");
+        assert!(!report.regressed(), "{}", report.render());
+        // The reverse direction is an improvement, not a regression.
+        let report = diff_bench(&new, &old, &DiffConfig::default()).expect("valid");
+        assert!(!report.regressed());
+        assert_eq!(report.improvements.len(), 1);
+    }
+
+    #[test]
+    fn time_metrics_use_the_loose_threshold_and_direction() {
+        let old = bench_doc(1000, 0.5);
+        let new = bench_doc(1000, 0.6); // +20% wall clock: within 50%
+        let report = diff_bench(&old, &new, &DiffConfig::default()).expect("valid");
+        assert!(!report.regressed(), "{}", report.render());
+        let slow = bench_doc(1000, 1.0); // +100%
+        let report = diff_bench(&old, &slow, &DiffConfig::default()).expect("valid");
+        assert!(report.regressed());
+        // Higher-is-better rates regress downward.
+        let old = r#"{"schema_version":1,"workloads":[],"parallel_speedup":4.0}"#;
+        let new = r#"{"schema_version":1,"workloads":[],"parallel_speedup":1.5}"#;
+        let report = diff_bench(old, new, &DiffConfig::default()).expect("valid");
+        assert!(report.regressed(), "{}", report.render());
+        let report = diff_bench(new, old, &DiffConfig::default()).expect("valid");
+        assert!(!report.regressed());
+    }
+
+    #[test]
+    fn thresholds_are_configurable() {
+        let old = bench_doc(1000, 0.5);
+        let new = bench_doc(1100, 0.5);
+        let loose = DiffConfig { work_threshold: 0.25, time_threshold: 0.5 };
+        assert!(!diff_bench(&old, &new, &loose).expect("valid").regressed());
+        let exact = DiffConfig { work_threshold: 0.0, time_threshold: 0.0 };
+        let tiny = bench_doc(1001, 0.5);
+        assert!(diff_bench(&old, &tiny, &exact).expect("valid").regressed());
+        // Even at zero threshold, a self-diff stays clean.
+        assert!(!diff_bench(&old, &old, &exact).expect("valid").regressed());
+    }
+
+    #[test]
+    fn missing_workload_is_a_regression_new_one_a_note() {
+        let old = r#"{"schema_version":1,"workloads":[
+            {"benchmark":"fir","cycles":10},{"benchmark":"iir","cycles":10}]}"#;
+        let new = r#"{"schema_version":1,"workloads":[
+            {"benchmark":"fir","cycles":10},{"benchmark":"fft","cycles":10}]}"#;
+        let report = diff_bench(old, new, &DiffConfig::default()).expect("valid");
+        assert!(report.regressed());
+        assert!(report.regressions[0].metric.contains("iir"), "{}", report.render());
+        assert!(report.notes.iter().any(|n| n.contains("fft")), "{}", report.render());
+    }
+
+    #[test]
+    fn malformed_artifacts_fail_loudly() {
+        let good = bench_doc(1, 0.1);
+        for bad in [
+            "",
+            "not json",
+            "[1,2,3]",
+            r#"{"workloads":[]}"#,
+            r#"{"schema_version":99,"workloads":[]}"#,
+            r#"{"schema_version":1}"#,
+            r#"{"schema_version":1,"workloads":[{"cycles":1}]}"#,
+            r#"{"schema_version":1,"workloads":[{"benchmark":"fir","cycles":"many"}]}"#,
+        ] {
+            assert!(
+                diff_bench(&good, bad, &DiffConfig::default()).is_err(),
+                "accepted malformed input {bad:?}"
+            );
+            assert!(diff_bench(bad, &good, &DiffConfig::default()).is_err());
+        }
+    }
+
+    #[test]
+    fn zero_baseline_growth_is_flagged() {
+        let old = r#"{"schema_version":1,"workloads":[{"benchmark":"fir","quarantined":0}]}"#;
+        let new = r#"{"schema_version":1,"workloads":[{"benchmark":"fir","quarantined":2}]}"#;
+        let report = diff_bench(old, new, &DiffConfig::default()).expect("valid");
+        assert!(report.regressed(), "{}", report.render());
+    }
+}

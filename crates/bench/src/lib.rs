@@ -19,8 +19,10 @@
 //! for spot checks on a few benchmarks (`-- --benchmarks a,b,c`).
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod experiments;
 pub mod report;
 

@@ -22,6 +22,7 @@
 //! <spool>/out/name.json done      (written via .tmp + rename)
 //! <spool>/failed/name.job + name.reason   quarantined / invalid
 //! <spool>/cache/<key>.json        artifact cache entry
+//! <spool>/telemetry/telemetry.jsonl       flight-recorder snapshots
 //! ```
 //!
 //! On startup [`serve`] removes stray `*.tmp` files (a crash mid-write)
@@ -45,6 +46,8 @@ use crate::pipeline::{Method, PipelineConfig};
 use crate::rhop::PanicPlan;
 use mcpart_ir::{Profile, Program};
 use mcpart_machine::Machine;
+use mcpart_obs::metrics::MetricsRegistry;
+use mcpart_obs::recorder::FlightRecorder;
 use mcpart_obs::{json, Obs};
 use mcpart_par::supervise::{supervise_unit, RetryPolicy, UnitOutcome};
 use mcpart_par::{parallel_map, resolve_jobs};
@@ -53,7 +56,7 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Version tag of the job-file format (`"mcpart_job"` key).
 pub const JOB_VERSION: i64 = 1;
@@ -110,6 +113,10 @@ pub struct ServeConfig {
     /// job's output half-written and its claimed work file still in
     /// place — exactly the on-disk state `kill -9` mid-commit leaves.
     pub halt_after: Option<u64>,
+    /// Flight-recorder cadence: append a telemetry snapshot to
+    /// `<spool>/telemetry/` after this many committed jobs (and once
+    /// more on exit). `0` disables the recorder entirely.
+    pub telemetry_every: u64,
     /// Observability sink: receives the `serve/*` counters and a
     /// replay of every job's pinned pipeline events in commit order.
     pub obs: Obs,
@@ -126,6 +133,7 @@ impl Default for ServeConfig {
             retries: 2,
             unit_timeout: None,
             halt_after: None,
+            telemetry_every: 1,
             obs: Obs::disabled(),
         }
     }
@@ -800,6 +808,47 @@ fn commit(
     Ok(())
 }
 
+/// Folds one committed job into the run's metrics registry: the job's
+/// partition time feeds a wall histogram, its pinned pipeline events
+/// feed pinned histograms (counter values plus span args — which is
+/// how per-job GDP cut, RHOP estimator effort, and stall/transfer
+/// cycle distributions reach the flight recorder).
+fn observe_outcome(registry: &mut MetricsRegistry, outcome: &JobOutcome) {
+    let Some(record) = &outcome.record else { return };
+    registry.observe_wall("serve/job", (record.partition_ms.max(0.0) * 1000.0) as u64);
+    for e in &record.events {
+        let label = format!("{}/{}", e.cat, e.name);
+        if let Some(v) = e.counter {
+            registry.observe(&label, v);
+        }
+        for (k, v) in &e.args {
+            registry.observe(&format!("{label}.{k}"), *v);
+        }
+    }
+}
+
+/// Appends one cumulative snapshot (scalar totals + histograms) to the
+/// flight recorder.
+fn flush_telemetry(
+    recorder: &mut FlightRecorder,
+    sum: &ServeSummary,
+    registry: &MetricsRegistry,
+) -> Result<(), ServeError> {
+    let counters = [
+        ("admitted", sum.admitted as i64),
+        ("rejected", sum.rejected as i64),
+        ("cache_hits", sum.cache_hits as i64),
+        ("cache_evictions", sum.cache_evictions as i64),
+        ("quarantined", sum.quarantined as i64),
+        ("failed", sum.failed as i64),
+        ("completed", sum.completed as i64),
+        ("requeued", sum.requeued as i64),
+    ];
+    recorder
+        .record(&counters, registry)
+        .map_err(|e| ServeError::Io(format!("telemetry append failed: {e}")))
+}
+
 /// Runs the partition service over `spool` until it is told to stop:
 /// in drain mode, when the spool is empty; in daemon mode, when
 /// `shutdown` becomes true (the CLI's SIGTERM handler sets it), after
@@ -820,6 +869,14 @@ pub fn serve(
     }
     let mut sum = ServeSummary { requeued, ..ServeSummary::default() };
     let workers = resolve_jobs(cfg.jobs);
+    let mut recorder = if cfg.telemetry_every > 0 {
+        let dir = spool.join("telemetry");
+        Some(FlightRecorder::open(&dir).map_err(|e| io_err("open telemetry", &dir, e))?)
+    } else {
+        None
+    };
+    let mut registry = MetricsRegistry::new();
+    let mut since_flush = 0u64;
     'scan: loop {
         if shutdown.load(Ordering::SeqCst) {
             break;
@@ -851,12 +908,14 @@ pub fn serve(
             progress(&format!("job {stem}: overloaded (shed)"));
         }
         sum.admitted += admitted.len() as u64;
+        registry.observe("serve/queue_depth", pending.len() as i64);
         for chunk in admitted.chunks(cfg.batch.max(1)) {
             if shutdown.load(Ordering::SeqCst) {
                 // Unclaimed jobs stay spooled for the next run.
                 sum.admitted -= chunk.len() as u64;
                 break 'scan;
             }
+            let batch_start = Instant::now();
             for name in chunk {
                 let from = dirs.root.join(name);
                 let to = dirs.work.join(name);
@@ -866,10 +925,26 @@ pub fn serve(
                 parallel_map(workers, chunk, |_, name| process_job(&dirs, cfg, loader, name));
             for outcome in &outcomes {
                 commit(&dirs, cfg, outcome, &mut sum)?;
+                observe_outcome(&mut registry, outcome);
+                since_flush += 1;
+                if let Some(rec) = recorder.as_mut() {
+                    if since_flush >= cfg.telemetry_every {
+                        flush_telemetry(rec, &sum, &registry)?;
+                        since_flush = 0;
+                    }
+                }
             }
+            registry.observe("serve/batch_jobs", chunk.len() as i64);
+            registry.observe_wall("serve/batch", batch_start.elapsed().as_micros() as u64);
         }
         // A shutdown between chunks also lands here with admitted
         // jobs subtracted; recount what is left for the next pass.
+    }
+    if let Some(rec) = recorder.as_mut() {
+        // Exit snapshot: the batch histograms recorded since the last
+        // per-job flush, and a final cumulative record for this run
+        // even if it committed nothing.
+        flush_telemetry(rec, &sum, &registry)?;
     }
     sum.record(&cfg.obs);
     progress(&sum.line());

@@ -65,7 +65,8 @@ impl GraphBuilder {
         let mut xadj = Vec::with_capacity(n + 1);
         xadj.push(0usize);
         for d in &degree {
-            xadj.push(xadj.last().unwrap() + d);
+            let last = xadj.last().copied().unwrap_or(0);
+            xadj.push(last + d);
         }
         let m2 = xadj[n];
         let mut adjncy = vec![0u32; m2];

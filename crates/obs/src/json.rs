@@ -3,7 +3,12 @@
 //! structural check used by tests, the CLI `trace-check` command and
 //! `scripts/check.sh`.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Maximum container nesting the parser accepts. Our exporters emit
+/// depth ≤ 4; the limit exists so adversarial input (a few kilobytes
+/// of `[`) exhausts an error path instead of the stack.
+pub const MAX_DEPTH: usize = 128;
 
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -70,7 +75,7 @@ impl JsonValue {
 pub fn parse(text: &str) -> Result<JsonValue, String> {
     let bytes = text.as_bytes();
     let mut pos = 0;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing data at byte {pos}"));
@@ -97,11 +102,14 @@ fn expect(bytes: &[u8], pos: &mut usize, want: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
     skip_ws(bytes, pos);
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {}", *pos));
+    }
     match bytes.get(*pos) {
-        Some(b'{') => parse_obj(bytes, pos),
-        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'{') => parse_obj(bytes, pos, depth),
+        Some(b'[') => parse_arr(bytes, pos, depth),
         Some(b'"') => Ok(JsonValue::Str(parse_string(bytes, pos)?)),
         Some(b't') => parse_lit(bytes, pos, "true", JsonValue::Bool(true)),
         Some(b'f') => parse_lit(bytes, pos, "false", JsonValue::Bool(false)),
@@ -150,9 +158,14 @@ fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
         }
     }
     let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii digits");
-    text.parse::<f64>()
-        .map(JsonValue::Num)
-        .map_err(|_| format!("bad number '{text}' at byte {start}"))
+    let num = text.parse::<f64>().map_err(|_| format!("bad number '{text}' at byte {start}"))?;
+    // Rust's f64 parser follows IEEE semantics: overflow yields an
+    // infinity (and underflow rounds to zero). JSON has no infinity,
+    // so an overflowing literal is a hard error, not a silent inf.
+    if !num.is_finite() {
+        return Err(format!("number '{text}' overflows f64 at byte {start}"));
+    }
+    Ok(JsonValue::Num(num))
 }
 
 fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
@@ -209,7 +222,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+fn parse_obj(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
     expect(bytes, pos, b'{')?;
     let mut fields = Vec::new();
     skip_ws(bytes, pos);
@@ -222,7 +235,7 @@ fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
         let key = parse_string(bytes, pos)?;
         skip_ws(bytes, pos);
         expect(bytes, pos, b':')?;
-        let value = parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos, depth + 1)?;
         fields.push((key, value));
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
@@ -236,7 +249,7 @@ fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     }
 }
 
-fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+fn parse_arr(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
     expect(bytes, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -245,7 +258,7 @@ fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
         return Ok(JsonValue::Arr(items));
     }
     loop {
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth + 1)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -312,6 +325,14 @@ pub struct TraceStats {
     pub counters: usize,
     /// `cat/name` labels of every counter event.
     pub counter_names: BTreeSet<String>,
+    /// The **last** sample of each counter, by `cat/name` label (our
+    /// counters are cumulative totals, so the last sample is the
+    /// final value).
+    pub counter_last: BTreeMap<String, i64>,
+    /// Labels of counters that carried a nonzero sample at least once
+    /// (`trace-check --forbid` asserts a label is absent from here:
+    /// an all-zero counter still counts as a clean run).
+    pub counter_nonzero: BTreeSet<String>,
     /// Non-fatal structural oddities (unknown top-level keys): the
     /// trace is usable, but a tool should surface these.
     pub warnings: Vec<String>,
@@ -321,6 +342,11 @@ impl TraceStats {
     /// Whether a counter with the given `cat/name` label was present.
     pub fn has_counter(&self, label: &str) -> bool {
         self.counter_names.contains(label)
+    }
+
+    /// The final (last-sampled) value of a counter, if present.
+    pub fn counter_value(&self, label: &str) -> Option<i64> {
+        self.counter_last.get(label).copied()
     }
 }
 
@@ -359,7 +385,19 @@ pub fn validate_trace(text: &str) -> Result<TraceStats, String> {
             }
             Some("C") => {
                 stats.counters += 1;
-                stats.counter_names.insert(format!("{cat}/{name}"));
+                let label = format!("{cat}/{name}");
+                // The exporter writes the sample under the counter's
+                // own name inside `args`; tolerate its absence (other
+                // producers), recording presence only.
+                if let Some(v) = e.get("args").and_then(|a| a.get(name)).and_then(JsonValue::as_num)
+                {
+                    let v = v as i64;
+                    stats.counter_last.insert(label.clone(), v);
+                    if v != 0 {
+                        stats.counter_nonzero.insert(label.clone());
+                    }
+                }
+                stats.counter_names.insert(label);
             }
             Some(other) => return Err(format!("event {i}: unknown phase '{other}'")),
             None => return Err(format!("event {i}: missing ph")),
@@ -404,6 +442,55 @@ mod tests {
     }
 
     #[test]
+    fn deep_nesting_hits_the_depth_limit_not_the_stack() {
+        // Just inside the limit parses...
+        let ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        // ...one deeper is a clean error, even for pathological input.
+        let too_deep = format!("{}0{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        let err = parse(&too_deep).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        let bomb = "[".repeat(100_000);
+        assert!(parse(&bomb).is_err(), "array bomb must not overflow the stack");
+        let obj_bomb = "{\"k\":".repeat(100_000);
+        assert!(parse(&obj_bomb).is_err(), "object bomb must not overflow the stack");
+    }
+
+    #[test]
+    fn number_overflow_and_underflow_edges() {
+        // Overflow to infinity is a hard error, positive and negative.
+        for bad in ["1e999", "-1e999", "1e308999", "123456789e9999999"] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.contains("overflow"), "{bad}: {err}");
+        }
+        // Underflow follows IEEE round-to-zero: accepted, tiny or zero.
+        assert_eq!(parse("1e-999").unwrap(), JsonValue::Num(0.0));
+        let denormal = parse("5e-324").unwrap().as_num().unwrap();
+        assert!(denormal > 0.0 && denormal < f64::MIN_POSITIVE);
+        // Extreme-but-finite magnitudes still parse.
+        assert_eq!(parse("1.7976931348623157e308").unwrap(), JsonValue::Num(f64::MAX));
+        // Malformed exponents/digits are rejected outright.
+        for bad in ["1e", "1e+", "--1", "+1", ".5"] {
+            assert!(parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn string_escape_edges_are_rejected() {
+        // Lone surrogates in every position, both halves.
+        for bad in ["\"\\ud800\"", "\"\\udfff\"", "\"a\\ud923b\"", "\"\\ud800\\ud800\""] {
+            assert!(parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+        // Invalid escape letters and truncated \u escapes.
+        for bad in ["\"\\x41\"", "\"\\ \"", "\"\\u12\"", "\"\\u12g4\"", "\"\\u\"", "\"\\\""] {
+            assert!(parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+        // Raw control bytes are rejected; escaped ones are fine.
+        assert!(parse("\"a\u{1}b\"").is_err());
+        assert_eq!(parse("\"a\\u0001b\"").unwrap(), JsonValue::Str("a\u{1}b".to_string()));
+    }
+
+    #[test]
     fn escape_makes_strings_safe() {
         let nasty = "a\"b\\c\nd\te\u{1}";
         let doc = format!("\"{}\"", escape(nasty));
@@ -420,6 +507,23 @@ mod tests {
         assert_eq!((stats.events, stats.spans, stats.counters), (2, 1, 1));
         assert!(stats.has_counter("g/c"));
         assert!(!stats.has_counter("g/missing"));
+        assert_eq!(stats.counter_value("g/c"), Some(3));
+        assert_eq!(stats.counter_value("g/missing"), None);
+    }
+
+    #[test]
+    fn counter_values_track_last_sample_and_nonzero_history() {
+        let text = r#"{"traceEvents":[
+            {"name":"retries","cat":"s","ph":"C","ts":1,"args":{"retries":2}},
+            {"name":"retries","cat":"s","ph":"C","ts":2,"args":{"retries":0}},
+            {"name":"quarantined","cat":"s","ph":"C","ts":3,"args":{"quarantined":0}}
+        ]}"#;
+        let stats = validate_trace(text).unwrap();
+        // Last sample wins for the value...
+        assert_eq!(stats.counter_value("s/retries"), Some(0));
+        // ...but nonzero history is remembered for --forbid.
+        assert!(stats.counter_nonzero.contains("s/retries"));
+        assert!(!stats.counter_nonzero.contains("s/quarantined"));
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //! sink, and the sink exports them as a Chrome `trace_event` JSON file
 //! ([`Obs::chrome_trace`]), a human-readable end-of-run summary table
 //! ([`Obs::summary`]) or a deterministic pinned log
-//! ([`Obs::pinned_log`]).
+//! ([`Obs::pinned_log`]). The [`metrics`] module aggregates the log
+//! into fixed-layout log2 histograms with a snapshot API, and the
+//! [`recorder`] module appends those snapshots to a crash-safe
+//! flight-recorder log (serve mode's `<spool>/telemetry/`).
 //!
 //! ## The determinism contract
 //!
@@ -35,6 +38,8 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod json;
+pub mod metrics;
+pub mod recorder;
 
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};

@@ -13,6 +13,9 @@
 //! is stable across platforms and releases, which keeps partition
 //! results and test expectations reproducible.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 /// Core trait: a source of uniformly distributed `u64`s plus the
 /// derived sampling helpers the workspace uses.
 pub trait Rng {

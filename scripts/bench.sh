@@ -8,6 +8,11 @@
 #   scripts/bench.sh --quick          # 3-workload smoke run, 1 rep
 #   scripts/bench.sh --jobs 4         # pin the worker count
 #   scripts/bench.sh --out path.json  # report path
+#   scripts/bench.sh --diff-against old.json
+#                                     # after the run, gate the fresh
+#                                     # report against a baseline with
+#                                     # `mcpart bench-diff` (exit 1 on
+#                                     # regression)
 #
 # Extra arguments are forwarded to the binary (e.g. --benchmarks a,b).
 # The observability metrics (--metrics: GDP cut and balance folded into
@@ -16,5 +21,25 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+BASELINE=""
+OUT=BENCH_partition.json
+ARGS=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --diff-against)
+      BASELINE=${2:?--diff-against needs a baseline path}; shift 2 ;;
+    --out)
+      OUT=${2:?--out needs a path}; ARGS+=("--out" "$OUT"); shift 2 ;;
+    *)
+      ARGS+=("$1"); shift ;;
+  esac
+done
+
 cargo build --release -p mcpart-bench --bin bench_partition
-exec target/release/bench_partition --metrics "$@"
+if [ -n "$BASELINE" ]; then
+  cargo build --release --bin mcpart
+fi
+target/release/bench_partition --metrics ${ARGS+"${ARGS[@]}"}
+if [ -n "$BASELINE" ]; then
+  target/release/mcpart bench-diff "$BASELINE" "$OUT"
+fi

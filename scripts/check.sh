@@ -23,10 +23,28 @@ echo "== scripts/bench.sh --quick (smoke)"
 scripts/bench.sh --quick --out /tmp/BENCH_partition.quick.json >/dev/null
 test -s /tmp/BENCH_partition.quick.json
 
-echo "== trace export smoke (--trace-out + trace-check)"
+echo "== trace export smoke (--trace-out + trace-check + stats)"
 target/release/mcpart run rawcaudio --trace-out /tmp/mcpart_trace.json --metrics >/dev/null
 target/release/mcpart trace-check /tmp/mcpart_trace.json \
   --require gdp/cut,rhop/estimator_calls,sim/cycles,sim/stall_cycles,sim/transfer_cycles,supervise/retries,supervise/quarantined
+# A clean run: supervision counters end at zero and never fired.
+target/release/mcpart trace-check /tmp/mcpart_trace.json \
+  --require supervise/retries=0,supervise/quarantined=0 \
+  --forbid supervise/retries,supervise/quarantined
+STATS_OUT=$(target/release/mcpart stats /tmp/mcpart_trace.json)
+for col in p50 p90 p99 "gdp/cut" "rhop/estimator_calls"; do
+  # grep -q would exit early and SIGPIPE the echo under pipefail.
+  [[ "$STATS_OUT" == *"$col"* ]] \
+    || { echo "stats output missing $col:"; echo "$STATS_OUT"; exit 1; }
+done
+
+echo "== bench-diff gate (self-diff clean, perturbed copy regresses)"
+target/release/mcpart bench-diff /tmp/BENCH_partition.quick.json /tmp/BENCH_partition.quick.json
+# Prefix a 9 onto every cycles value (~10x growth): must trip the gate.
+sed 's/"cycles":/"cycles":9/' /tmp/BENCH_partition.quick.json > /tmp/BENCH_partition.perturbed.json
+if target/release/mcpart bench-diff /tmp/BENCH_partition.quick.json /tmp/BENCH_partition.perturbed.json >/dev/null; then
+  echo "bench-diff missed a 10x cycles regression"; exit 1
+fi
 
 echo "== kill-and-resume smoke (deterministic mid-append halt, --resume, checkpoint-diff)"
 # --halt-after 2 dies mid-append of the second unit record (half a
@@ -66,6 +84,16 @@ for b in fir latnrm rawcaudio; do
     || { echo "$b: post-crash output differs from clean run"; exit 1; }
 done
 target/release/mcpart trace-check /tmp/mcpart_serve_trace.json \
-  --require serve/admitted,serve/rejected,serve/cache_hits,serve/cache_evictions,serve/quarantined
+  --require serve/admitted,serve/rejected,serve/cache_hits,serve/cache_evictions,serve/quarantined \
+  --forbid serve/quarantined
+
+echo "== serve telemetry smoke (flight recorder + stats over the dir)"
+test -s "$SERVE_KILLED/telemetry/telemetry.jsonl" \
+  || { echo "flight recorder wrote no snapshots"; exit 1; }
+TELEMETRY_OUT=$(target/release/mcpart stats "$SERVE_KILLED")
+for needle in "telemetry:" completed "serve/job" p99; do
+  [[ "$TELEMETRY_OUT" == *"$needle"* ]] \
+    || { echo "telemetry stats missing $needle:"; echo "$TELEMETRY_OUT"; exit 1; }
+done
 
 echo "== all checks passed"

@@ -21,6 +21,7 @@ use mcpart::core::{
 use mcpart::ir::{parse_program, program_to_string, Profile, Program};
 use mcpart::machine::Machine;
 use mcpart::sim::{profile_run, ExecConfig};
+use std::collections::BTreeSet;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -37,8 +38,8 @@ macro_rules! outln {
 }
 
 const USAGE: &str =
-    "usage: mcpart <list|run|compare|dump|exec|partition|schedule|serve|trace-check|\
-     checkpoint-diff> [args]
+    "usage: mcpart <list|run|compare|dump|exec|partition|schedule|serve|stats|trace-check|\
+     bench-diff|checkpoint-diff> [args]
 options: --method gdp|profile-max|naive|unified  --latency <cycles>
          --clusters <n>  --memory partitioned|unified|coherent:<penalty>
          --gdp-fuel <n>  (cap GDP refinement; exhaustion triggers the
@@ -58,11 +59,23 @@ options: --method gdp|profile-max|naive|unified  --latency <cycles>
          --halt-after <n>    (testing: die mid-write after n completed
                               units/jobs, simulating kill -9)
 serve <spool-dir> [--drain] [--batch n] [--queue n] [--poll-ms n]
+         [--telemetry-every n]
          long-running partition service: submit jobs as
          <spool-dir>/*.job files, read results from <spool-dir>/out/;
-         repeat submissions are integrity-verified cache hits
-trace-check <path> [--require cat/name,...]  validates a trace file
-         (supervision counters: supervise/retries, supervise/quarantined)
+         repeat submissions are integrity-verified cache hits; the
+         flight recorder appends metric snapshots to
+         <spool-dir>/telemetry/ every n committed jobs (0 disables)
+stats <telemetry-dir|trace.json> [--pinned]  per-stage latency and
+         work-distribution percentile tables (p50/p90/p99) from a serve
+         telemetry directory or a Chrome trace file; --pinned prints
+         only the deterministic work histograms as JSON
+trace-check <path> [--require cat/name[=v],...] [--forbid cat/name,...]
+         validates a trace file; --require checks a counter exists
+         (and equals v, if given), --forbid fails on any nonzero
+         sample (e.g. --forbid supervise/quarantined for clean runs)
+bench-diff <old.json> <new.json> [--threshold pct] [--time-threshold pct]
+         regression gate over two BENCH_partition.json artifacts;
+         exit 1 on regression, 2 on a malformed artifact
 checkpoint-diff <a> <b>  compares two checkpoint files, ignoring
          non-pinned fields (wall-clock); exit 1 on any difference";
 
@@ -585,6 +598,13 @@ fn parse_serve_options(args: &[String]) -> Result<ServeOptions, String> {
                 );
                 i += 1;
             }
+            "--telemetry-every" => {
+                cfg.telemetry_every = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--telemetry-every needs a job count (0 disables)")?;
+                i += 1;
+            }
             "--trace-out" => {
                 trace_out = Some(args.get(i + 1).ok_or("--trace-out needs a path")?.to_string());
                 i += 1;
@@ -811,7 +831,10 @@ fn main() -> ExitCode {
             let path = args
                 .get(1)
                 .ok_or_else(|| CliError::usage("trace-check needs a trace file path"))?;
-            let mut require: Vec<String> = Vec::new();
+            // Each `--require` entry is `cat/name` (presence) or
+            // `cat/name=v` (the counter's last sample must equal v).
+            let mut require: Vec<(String, Option<i64>)> = Vec::new();
+            let mut forbid: Vec<String> = Vec::new();
             let rest = &args[2..];
             let mut i = 0;
             while i < rest.len() {
@@ -820,7 +843,27 @@ fn main() -> ExitCode {
                         let v = rest.get(i + 1).ok_or_else(|| {
                             CliError::usage("--require needs a comma-separated counter list")
                         })?;
-                        require.extend(v.split(',').filter(|s| !s.is_empty()).map(str::to_string));
+                        for item in v.split(',').filter(|s| !s.is_empty()) {
+                            match item.split_once('=') {
+                                Some((label, want)) => {
+                                    let want: i64 = want.parse().map_err(|_| {
+                                        CliError::usage(format!(
+                                            "--require {label}=<value> needs an integer, got \
+                                             `{want}`"
+                                        ))
+                                    })?;
+                                    require.push((label.to_string(), Some(want)));
+                                }
+                                None => require.push((item.to_string(), None)),
+                            }
+                        }
+                        i += 1;
+                    }
+                    "--forbid" => {
+                        let v = rest.get(i + 1).ok_or_else(|| {
+                            CliError::usage("--forbid needs a comma-separated counter list")
+                        })?;
+                        forbid.extend(v.split(',').filter(|s| !s.is_empty()).map(str::to_string));
                         i += 1;
                     }
                     other => return Err(CliError::usage(format!("unknown option `{other}`"))),
@@ -837,10 +880,33 @@ fn main() -> ExitCode {
             if stats.events == 0 {
                 return Err(CliError::Runtime(format!("{path}: trace has no events")));
             }
-            for label in &require {
+            for (label, want) in &require {
                 if !stats.has_counter(label) {
                     return Err(CliError::Runtime(format!(
                         "{path}: missing required counter `{label}`"
+                    )));
+                }
+                if let Some(want) = want {
+                    match stats.counter_value(label) {
+                        Some(got) if got == *want => {}
+                        Some(got) => {
+                            return Err(CliError::Runtime(format!(
+                                "{path}: counter `{label}` is {got}, expected {want}"
+                            )));
+                        }
+                        None => {
+                            return Err(CliError::Runtime(format!(
+                                "{path}: counter `{label}` has no numeric sample to compare \
+                                 against {want}"
+                            )));
+                        }
+                    }
+                }
+            }
+            for label in &forbid {
+                if stats.counter_nonzero.contains(label) {
+                    return Err(CliError::Runtime(format!(
+                        "{path}: forbidden counter `{label}` recorded a nonzero sample"
                     )));
                 }
             }
@@ -850,6 +916,117 @@ fn main() -> ExitCode {
                 stats.spans,
                 stats.counters
             );
+            Ok(())
+        })(),
+        "stats" => (|| {
+            let target = args.get(1).ok_or_else(|| {
+                CliError::usage("stats needs a telemetry directory or trace file path")
+            })?;
+            let mut pinned_only = false;
+            for a in &args[2..] {
+                match a.as_str() {
+                    "--pinned" => pinned_only = true,
+                    other => return Err(CliError::usage(format!("unknown option `{other}`"))),
+                }
+            }
+            let path = std::path::Path::new(target);
+            let telemetry = path.is_dir()
+                || path.file_name().and_then(|n| n.to_str())
+                    == Some(mcpart::obs::recorder::TELEMETRY_LOG);
+            let registry = if telemetry {
+                let log =
+                    mcpart::obs::recorder::read_telemetry_dir(path).map_err(CliError::Runtime)?;
+                if log.skipped > 0 {
+                    eprintln!(
+                        "warning: {target}: skipped {} corrupt telemetry record(s)",
+                        log.skipped
+                    );
+                }
+                if log.snapshots.is_empty() {
+                    return Err(CliError::Runtime(format!(
+                        "{target}: no valid telemetry snapshots"
+                    )));
+                }
+                let (registry, counters) = log.merged();
+                if !pinned_only {
+                    let runs = log.snapshots.iter().map(|s| s.run).collect::<BTreeSet<_>>();
+                    outln!(
+                        "telemetry: {} snapshot(s) across {} run(s)",
+                        log.snapshots.len(),
+                        runs.len()
+                    );
+                    outln!("counters (summed across runs):");
+                    for (name, value) in &counters {
+                        outln!("  {name:<24} {value}");
+                    }
+                }
+                registry
+            } else {
+                let text = std::fs::read_to_string(target)
+                    .map_err(|e| format!("cannot read {target}: {e}"))?;
+                mcpart::obs::metrics::MetricsRegistry::from_trace(&text)
+                    .map_err(|e| CliError::Runtime(format!("{target}: {e}")))?
+            };
+            if pinned_only {
+                outln!("{}", registry.pinned_json());
+                return Ok(());
+            }
+            if registry.is_empty() {
+                outln!("no metric samples recorded");
+            } else {
+                outln!("{}", registry.render_table());
+            }
+            Ok(())
+        })(),
+        "bench-diff" => (|| {
+            let (old, new) = match (args.get(1), args.get(2)) {
+                (Some(a), Some(b)) => (a, b),
+                _ => {
+                    return Err(CliError::usage(
+                        "bench-diff needs two BENCH_partition.json paths (old, new)",
+                    ))
+                }
+            };
+            let mut cfg = mcpart_bench::diff::DiffConfig::default();
+            let rest = &args[3..];
+            let mut i = 0;
+            while i < rest.len() {
+                let pct_arg = |flag: &str| -> Result<f64, CliError> {
+                    rest.get(i + 1)
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .filter(|p| *p >= 0.0)
+                        .map(|p| p / 100.0)
+                        .ok_or_else(|| {
+                            CliError::usage(format!("{flag} needs a non-negative percentage"))
+                        })
+                };
+                match rest[i].as_str() {
+                    "--threshold" => {
+                        cfg.work_threshold = pct_arg("--threshold")?;
+                        i += 1;
+                    }
+                    "--time-threshold" => {
+                        cfg.time_threshold = pct_arg("--time-threshold")?;
+                        i += 1;
+                    }
+                    other => return Err(CliError::usage(format!("unknown option `{other}`"))),
+                }
+                i += 1;
+            }
+            let read = |path: &str| -> Result<String, CliError> {
+                std::fs::read_to_string(path)
+                    .map_err(|e| CliError::Runtime(format!("cannot read {path}: {e}")))
+            };
+            let (old_text, new_text) = (read(old)?, read(new)?);
+            let report = mcpart_bench::diff::diff_bench(&old_text, &new_text, &cfg)
+                .map_err(|e| CliError::Config(e.to_string()))?;
+            outln!("{}", report.render());
+            if report.regressed() {
+                return Err(CliError::Runtime(format!(
+                    "{} regression(s) against {old}",
+                    report.regressions.len()
+                )));
+            }
             Ok(())
         })(),
         "checkpoint-diff" => (|| {

@@ -194,6 +194,176 @@ fn success_exits_0() {
 }
 
 #[test]
+fn trace_check_value_assertions_and_forbid() {
+    let dir = std::env::temp_dir().join("mcpart_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("value_trace.json");
+    let path_str = path.to_str().unwrap();
+    let (_, stderr, ok) = mcpart(&["run", "fir", "--trace-out", path_str]);
+    assert!(ok, "stderr: {stderr}");
+
+    // A clean run: the supervision counters end at zero, and neither
+    // ever carried a nonzero sample.
+    let (stdout, stderr, ok) = mcpart(&[
+        "trace-check",
+        path_str,
+        "--require",
+        "supervise/retries=0,supervise/quarantined=0",
+        "--forbid",
+        "supervise/retries,supervise/quarantined",
+    ]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+
+    // A wrong expected value fails with both values in the message.
+    let (stderr, code) = mcpart_code(&["trace-check", path_str, "--require", "sim/cycles=1"]);
+    assert_eq!(code, Some(1), "stderr: {stderr}");
+    assert!(stderr.contains("expected 1"), "{stderr}");
+
+    // Forbidding a counter that did fire fails.
+    let (stderr, code) = mcpart_code(&["trace-check", path_str, "--forbid", "sim/cycles"]);
+    assert_eq!(code, Some(1), "stderr: {stderr}");
+    assert!(stderr.contains("forbidden counter"), "{stderr}");
+
+    // A non-integer value is a usage error, not a runtime one.
+    let (stderr, code) = mcpart_code(&["trace-check", path_str, "--require", "sim/cycles=fast"]);
+    assert_eq!(code, Some(2), "stderr: {stderr}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn stats_renders_percentiles_from_a_trace() {
+    let dir = std::env::temp_dir().join("mcpart_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("stats_trace.json");
+    let path_str = path.to_str().unwrap();
+    let (_, stderr, ok) = mcpart(&["run", "fir", "--trace-out", path_str]);
+    assert!(ok, "stderr: {stderr}");
+
+    let (stdout, stderr, ok) = mcpart(&["stats", path_str]);
+    assert!(ok, "stderr: {stderr}");
+    for needle in ["p50", "p90", "p99", "pipeline/", "rhop/estimator_calls", "gdp/cut"] {
+        assert!(stdout.contains(needle), "stats output missing {needle}:\n{stdout}");
+    }
+
+    // --pinned prints only the deterministic work histograms as JSON.
+    let (pinned, stderr, ok) = mcpart(&["stats", path_str, "--pinned"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(pinned.contains("\"gdp/cut\""), "{pinned}");
+    assert!(!pinned.contains("p50"), "--pinned must print JSON, not the table: {pinned}");
+    std::fs::remove_file(&path).ok();
+
+    // Missing path is a usage error; unreadable path a runtime one.
+    let (_, code) = mcpart_code(&["stats"]);
+    assert_eq!(code, Some(2));
+    let (_, code) = mcpart_code(&["stats", "/nonexistent/trace.json"]);
+    assert_eq!(code, Some(1));
+}
+
+/// Fresh vs crash-and-resume must agree on the pinned histograms: a
+/// resumed run replays recorded pinned events, so the derived metrics
+/// are byte-identical to an uninterrupted run's.
+#[test]
+fn stats_pinned_payload_is_identical_fresh_vs_resume() {
+    let dir = std::env::temp_dir().join("mcpart_cli_stats_resume");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let ck = dir.join("ck.jsonl");
+    let fresh = dir.join("fresh.json");
+    let resumed = dir.join("resumed.json");
+
+    let (_, stderr, ok) = mcpart(&["compare", "fir", "--trace-out", fresh.to_str().unwrap()]);
+    assert!(ok, "stderr: {stderr}");
+
+    // Die mid-append after two of the four units, then resume. The
+    // obs sink must be on (--metrics) so the surviving checkpoint
+    // records carry their pinned events for replay.
+    let (_, code) = mcpart_code(&[
+        "compare",
+        "fir",
+        "--checkpoint",
+        ck.to_str().unwrap(),
+        "--metrics",
+        "--halt-after",
+        "2",
+    ]);
+    assert_ne!(code, Some(0), "--halt-after must abort");
+    let (_, stderr, ok) = mcpart(&[
+        "compare",
+        "fir",
+        "--checkpoint",
+        ck.to_str().unwrap(),
+        "--resume",
+        "--trace-out",
+        resumed.to_str().unwrap(),
+    ]);
+    assert!(ok, "stderr: {stderr}");
+
+    let (a, stderr, ok) = mcpart(&["stats", fresh.to_str().unwrap(), "--pinned"]);
+    assert!(ok, "stderr: {stderr}");
+    let (b, stderr, ok) = mcpart(&["stats", resumed.to_str().unwrap(), "--pinned"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(!a.trim().is_empty());
+    assert_eq!(a, b, "pinned histograms differ between fresh and resumed runs");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bench_diff_gates_regressions_with_distinct_exit_codes() {
+    let dir = std::env::temp_dir().join("mcpart_cli_bench_diff");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let doc = |cycles: i64| {
+        format!(
+            r#"{{"schema_version":1,"benchmark":"partition-pipeline",
+  "workloads":[{{"benchmark":"fir","cycles":{cycles},"estimator_calls":500,
+                 "partition_secs":0.5}}],
+  "suite_secs_parallel":1.0,"parallel_speedup":3.0}}"#
+        )
+    };
+    let old = dir.join("old.json");
+    let new = dir.join("new.json");
+    let bad = dir.join("bad.json");
+    std::fs::write(&old, doc(1000)).unwrap();
+    std::fs::write(&new, doc(1200)).unwrap(); // +20% cycles
+    std::fs::write(&bad, "{\"workloads\":[]}").unwrap(); // no schema_version
+
+    // Self-diff is clean, exit 0.
+    let (stdout, stderr, ok) =
+        mcpart(&["bench-diff", old.to_str().unwrap(), old.to_str().unwrap()]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("0 regression(s)"), "{stdout}");
+
+    // A work regression exits 1 and names the metric.
+    let (stderr, code) = mcpart_code(&["bench-diff", old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "stderr: {stderr}");
+    let (stdout, _, _) = mcpart(&["bench-diff", old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert!(stdout.contains("regression: fir/cycles"), "{stdout}");
+
+    // A loose threshold lets the same pair pass.
+    let (_, stderr, ok) =
+        mcpart(&["bench-diff", old.to_str().unwrap(), new.to_str().unwrap(), "--threshold", "25"]);
+    assert!(ok, "a 25% threshold must pass a 20% change: {stderr}");
+
+    // A malformed artifact is a configuration error: exit 2.
+    let (stderr, code) = mcpart_code(&["bench-diff", old.to_str().unwrap(), bad.to_str().unwrap()]);
+    assert_eq!(code, Some(2), "stderr: {stderr}");
+    assert!(stderr.contains("schema_version"), "{stderr}");
+
+    // Flag errors are usage errors.
+    let (_, code) = mcpart_code(&["bench-diff", old.to_str().unwrap()]);
+    assert_eq!(code, Some(2));
+    let (_, code) = mcpart_code(&[
+        "bench-diff",
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--threshold",
+        "lots",
+    ]);
+    assert_eq!(code, Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn exec_runtime_failure_reports_execution_error() {
     // A structurally valid program that divides by zero: the CLI must
     // report the execution failure with exit 1, not unwind.

@@ -129,6 +129,29 @@ fn obs_event_log_on_failed_runs_is_identical_across_worker_counts() {
 }
 
 #[test]
+fn pinned_histogram_payload_is_identical_across_worker_counts() {
+    // The metrics layer folds the event stream into histograms; the
+    // pinned (work-denominated) subset must be byte-identical at every
+    // worker count, exactly like the pinned event log it derives from.
+    // Wall-clock histograms are explicitly excluded from the payload.
+    let w = mcpart::workloads::by_name("rawcaudio").expect("bundled workload");
+    let machine = Machine::paper_2cluster(5);
+    let run = |jobs: usize| {
+        let obs = mcpart::obs::Obs::enabled();
+        let cfg = PipelineConfig::new(Method::Gdp).with_jobs(jobs).with_obs(obs.clone());
+        run_pipeline(&w.program, &w.profile, &machine, &cfg).expect("pipeline");
+        mcpart::obs::metrics::MetricsRegistry::from_events(&obs.events()).pinned_json()
+    };
+    let seq = run(1);
+    for label in ["gdp/cut", "rhop/estimator_calls", "sim/cycles"] {
+        assert!(seq.contains(label), "pinned payload must cover {label}:\n{seq}");
+    }
+    for jobs in [4, 8] {
+        assert_eq!(seq, run(jobs), "pinned histograms differ between jobs=1 and jobs={jobs}");
+    }
+}
+
+#[test]
 fn budget_exhaustion_error_is_identical_across_worker_counts() {
     // When the shared estimator budget kills every rung, even the
     // surfaced error must be the same at every worker count: the

@@ -486,6 +486,85 @@ fn corrupted_cache_entries_are_detected_evicted_and_recomputed() {
 
 /// Regression: a starved GDP run walks the fallback ladder instead of
 /// failing outright, and the result records the downgrade chain.
+/// Corruption corpus for flight-recorder telemetry: every truncation
+/// of a valid snapshot stream and a bit-flip sweep over every region
+/// of the record must be *detected* — the damaged record is skipped,
+/// counted, and never misparsed into wrong numbers — while all intact
+/// records still decode.
+#[test]
+fn corrupted_telemetry_records_are_skipped_and_never_misparsed() {
+    use mcpart::obs::metrics::MetricsRegistry;
+    use mcpart::obs::recorder::{parse_telemetry, seal_record};
+
+    // Build a two-record stream the way the recorder frames it.
+    let mut registry = MetricsRegistry::new();
+    let mut rng = SmallRng::seed_from_u64(41);
+    for _ in 0..32 {
+        registry.observe("gdp/cut", rng.gen_range(0i64..5000));
+        registry.observe("rhop/function.estimator_calls", rng.gen_range(0i64..100_000));
+        registry.observe_wall("serve/job", rng.gen_range(0u64..2_000_000));
+    }
+    let record = |run: u64, seq: u64, completed: i64| {
+        seal_record(&format!(
+            "{{\"mcpart_telemetry\":1,\"run\":{run},\"seq\":{seq},\"counters\":{{\
+             \"completed\":{completed}}},\"metrics\":{}",
+            registry.to_json()
+        ))
+    };
+    let stream = format!("{}{}", record(1, 0, 1), record(1, 1, 2));
+    let baseline = parse_telemetry(&stream);
+    assert_eq!((baseline.snapshots.len(), baseline.skipped), (2, 0));
+
+    // Truncation sweep: cutting anywhere inside the second record
+    // loses exactly that record; the first still decodes with its
+    // numbers intact.
+    let first_len = stream.find("\n").expect("newline") + 1;
+    for cut in first_len..stream.len() - 1 {
+        let log = parse_telemetry(&stream[..cut]);
+        assert_eq!(log.snapshots.len(), 1, "cut at {cut}: valid prefix lost");
+        assert_eq!(log.snapshots[0].counters, vec![("completed".to_string(), 1)]);
+    }
+
+    // Bit-flip sweep: every region of a record (framing, counters,
+    // histogram payload, checksum footer) is covered by the checksum.
+    let bytes = stream.as_bytes();
+    for pos in (0..first_len - 1).step_by(7) {
+        for mask in [0x01u8, 0x20] {
+            let mut flipped = bytes.to_vec();
+            flipped[pos] ^= mask;
+            if flipped[pos] == b'\n' || bytes[pos] == b'\n' {
+                continue; // changing framing splits lines; separate case below
+            }
+            let Ok(text) = String::from_utf8(flipped) else { continue };
+            let log = parse_telemetry(&text);
+            assert_eq!(
+                log.snapshots.len(),
+                1,
+                "flip at {pos} (mask {mask:#x}) went undetected or killed record 2"
+            );
+            assert_eq!(log.skipped, 1, "flip at {pos} not counted as skipped");
+            assert_eq!(
+                log.snapshots[0].counters,
+                vec![("completed".to_string(), 2)],
+                "flip at {pos} misparsed into wrong numbers"
+            );
+        }
+    }
+
+    // Garbage lines and torn tails between valid records are skipped.
+    let littered = format!(
+        "not json\n{}{{\"mcpart_telemetry\":1,\"run\":9\n{}",
+        record(1, 0, 1),
+        record(2, 0, 3)
+    );
+    let log = parse_telemetry(&littered);
+    assert_eq!(log.snapshots.len(), 2, "valid records lost among garbage");
+    assert_eq!(log.skipped, 2);
+    let (reg, counters) = log.merged();
+    assert_eq!(counters, vec![("completed".to_string(), 4)], "runs must sum");
+    assert!(!reg.is_empty());
+}
+
 #[test]
 fn starved_gdp_falls_back_through_the_ladder() {
     let mut rng = SmallRng::seed_from_u64(7);

@@ -251,6 +251,85 @@ fn serve_counters_survive_trace_check_require() {
     assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
 }
 
+/// The flight recorder appends one checksummed snapshot per committed
+/// job (default `--telemetry-every 1`) plus a final one, publishes a
+/// `latest.json` mirror, and `mcpart stats <spool>` renders percentile
+/// tables and summed counters from the directory.
+#[test]
+fn flight_recorder_snapshots_render_through_stats() {
+    let dir = spool("telemetry");
+    for p in ["fir", "latnrm"] {
+        submit(&dir, p, &job(p));
+    }
+    let (_, stderr, code) = serve(&dir, &["--drain"]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+
+    let tdir = dir.join("telemetry");
+    assert!(tdir.join("telemetry.jsonl").is_file(), "no flight-recorder log");
+    assert!(tdir.join("latest.json").is_file(), "no latest.json mirror");
+    let log = fs::read_to_string(tdir.join("telemetry.jsonl")).expect("log reads");
+    assert!(log.lines().count() >= 2, "expected one snapshot per job:\n{log}");
+    for line in log.lines() {
+        assert!(line.contains("\"mcpart_telemetry\":1"), "unframed record: {line}");
+        assert!(line.contains("\"sum\":\""), "unchecksummed record: {line}");
+    }
+
+    // stats accepts the spool root, the telemetry dir, and the log file.
+    for target in [dir.clone(), tdir.clone(), tdir.join("telemetry.jsonl")] {
+        let out = Command::new(env!("CARGO_BIN_EXE_mcpart"))
+            .args(["stats", target.to_str().expect("utf8")])
+            .output()
+            .expect("binary runs");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(out.status.success(), "stats {target:?}: {}", String::from_utf8_lossy(&out.stderr));
+        for needle in ["telemetry:", "completed", "serve/job", "p99", "gdp/cut"] {
+            assert!(stdout.contains(needle), "stats {target:?} missing {needle}:\n{stdout}");
+        }
+    }
+
+    // --telemetry-every 0 disables the recorder entirely.
+    let off = spool("telemetry_off");
+    submit(&off, "fir", &job("fir"));
+    let (_, _, code) = serve(&off, &["--drain", "--telemetry-every", "0"]);
+    assert_eq!(code, Some(0));
+    assert!(!off.join("telemetry").exists(), "recorder ran despite --telemetry-every 0");
+}
+
+/// Killing the service mid-append must not poison the telemetry log:
+/// the corrupt tail is skipped with a warning, the valid prefix still
+/// renders, and a restart opens a fresh run whose snapshots land after
+/// the damage.
+#[test]
+fn telemetry_survives_kill_mid_append_and_restart() {
+    let dir = spool("telemetry_crash");
+    for p in ["fir", "latnrm", "rawcaudio"] {
+        submit(&dir, p, &job(p));
+    }
+    let (_, _, code) = serve(&dir, &["--drain", "--halt-after", "1"]);
+    assert_ne!(code, Some(0), "the halted run must die");
+
+    // Simulate the worst tail: a record cut mid-write.
+    let log_path = dir.join("telemetry").join("telemetry.jsonl");
+    let mut log = fs::read_to_string(&log_path).expect("log exists after the crash");
+    log.push_str("{\"mcpart_telemetry\":1,\"run\":1,\"seq\":9,\"counters\":{\"adm");
+    fs::write(&log_path, &log).expect("write torn tail");
+
+    let (_, stderr, code) = serve(&dir, &["--drain"]);
+    assert_eq!(code, Some(0), "restart failed: {stderr}");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_mcpart"))
+        .args(["stats", dir.to_str().expect("utf8")])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stats failed: {stderr}");
+    assert!(stderr.contains("skipped 1 corrupt telemetry record"), "{stderr}");
+    assert!(stdout.contains("2 run(s)"), "restart must open a new run:\n{stdout}");
+    // All three jobs are accounted for across the two runs.
+    assert!(stdout.contains("completed"), "{stdout}");
+}
+
 /// SIGTERM drains and exits 0 (crash-only shutdown), leaving any
 /// unclaimed jobs spooled for the next run.
 #[cfg(unix)]
