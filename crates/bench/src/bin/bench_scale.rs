@@ -1,0 +1,164 @@
+//! Million-op scale trajectory: partitions synthetic programs of 10⁴,
+//! 10⁵, and 10⁶ static operations end-to-end (points-to, access info,
+//! object grouping, GDP) and records ops/sec, peak graph bytes, and the
+//! `--jobs` scaling curve. Correctness rides along: every `--jobs`
+//! level must produce a bit-identical `DataPartition`.
+//!
+//! Writes `BENCH_scale.json` (override with `--out PATH`), a
+//! `bench-diff`-compatible artifact; `scripts/bench.sh --scale` wraps
+//! this binary. `--quick` drops the 10⁶ point and runs one repetition
+//! for smoke testing.
+
+use mcpart_bench::report::Json;
+use mcpart_core::{gdp_partition, DataPartition, GdpConfig, ObjectGroups};
+use mcpart_machine::Machine;
+use mcpart_workloads::Workload;
+use std::time::{Duration, Instant};
+
+struct Options {
+    quick: bool,
+    out: String,
+    reps: usize,
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut opts = Options { quick: false, out: "BENCH_scale.json".to_string(), reps: 2 };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                opts.quick = true;
+                opts.reps = 1;
+            }
+            "--out" => {
+                if let Some(v) = args.get(i + 1) {
+                    opts.out = v.clone();
+                    i += 1;
+                }
+            }
+            "--reps" => {
+                if let Some(v) = args.get(i + 1) {
+                    opts.reps = v.parse().unwrap_or(2).max(1);
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+/// One end-to-end partition of a prepared workload at a given jobs
+/// level: analyses plus GDP, returning the wall time and the partition.
+fn partition_once(w: &Workload, machine: &Machine, jobs: usize) -> (Duration, DataPartition) {
+    let start = Instant::now();
+    let pts = mcpart_analysis::PointsTo::compute(&w.program);
+    let access = mcpart_analysis::AccessInfo::compute(&w.program, &pts, &w.profile);
+    let groups = ObjectGroups::compute(&w.program, &access);
+    let cfg = GdpConfig { jobs, ..GdpConfig::default() };
+    let dp = gdp_partition(&w.program, &w.profile, &access, &groups, machine, &cfg)
+        .expect("gdp partition");
+    (start.elapsed(), dp)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_options(&args);
+    let machine = Machine::paper_2cluster(5);
+    let mut points: Vec<(&str, usize)> =
+        vec![("synth_10k", 10_000), ("synth_100k", 100_000), ("synth_1m", 1_000_000)];
+    if opts.quick {
+        points.truncate(2);
+    }
+    // The full curve runs even on a single-core host (the threads still
+    // exercise the sharded code paths and the bit-identity asserts);
+    // the recorded speedup is whatever the host's parallelism allows.
+    let jobs_curve: [usize; 3] = [1, 2, 4];
+
+    let mut rows: Vec<Json> = Vec::new();
+    let mut speedup_at_max = 1.0f64;
+    for &(name, target_ops) in &points {
+        let gen_start = Instant::now();
+        let w = mcpart_workloads::by_name(name).expect("synthetic preset");
+        let gen_secs = secs(gen_start.elapsed());
+        let ops = w.num_ops();
+
+        // The jobs curve, best-of-reps per level; every level must be
+        // bit-identical to the sequential partition.
+        let mut level_secs: Vec<(usize, f64)> = Vec::new();
+        let mut reference: Option<DataPartition> = None;
+        for &jobs in &jobs_curve {
+            let mut best = Duration::MAX;
+            let mut dp_last = None;
+            for _ in 0..opts.reps {
+                let (t, dp) = partition_once(&w, &machine, jobs);
+                best = best.min(t);
+                dp_last = Some(dp);
+            }
+            let dp = dp_last.expect("reps >= 1");
+            match &reference {
+                None => reference = Some(dp),
+                Some(r) => {
+                    assert_eq!(r, &dp, "{name}: --jobs {jobs} changed the partition");
+                }
+            }
+            level_secs.push((jobs, secs(best)));
+        }
+        let seq_secs = level_secs[0].1;
+        let (max_jobs, par_secs) = *level_secs.last().expect("non-empty curve");
+        let speedup = seq_secs / par_secs.max(1e-9);
+        speedup_at_max = speedup;
+
+        // One untimed observed run for the coarsening trajectory.
+        let obs = mcpart_obs::Obs::enabled();
+        let pts = mcpart_analysis::PointsTo::compute(&w.program);
+        let access = mcpart_analysis::AccessInfo::compute(&w.program, &pts, &w.profile);
+        let groups = ObjectGroups::compute(&w.program, &access);
+        let cfg = GdpConfig { jobs: max_jobs, obs: obs.clone(), ..GdpConfig::default() };
+        let _ = gdp_partition(&w.program, &w.profile, &access, &groups, &machine, &cfg)
+            .expect("gdp partition");
+        let peak_bytes = obs.last_counter("metis", "peak_graph_bytes").unwrap_or(0);
+        let levels = obs.last_counter("metis", "coarsen_levels").unwrap_or(0);
+        let cut = obs.last_counter("gdp", "cut").unwrap_or(0);
+
+        let mut row = vec![
+            ("benchmark".into(), Json::Str(name.to_string())),
+            ("target_ops".into(), Json::Int(target_ops as i64)),
+            ("ops".into(), Json::Int(ops as i64)),
+            ("objects".into(), Json::Int(w.num_objects() as i64)),
+            ("gen_secs".into(), Json::Num(gen_secs)),
+            ("partition_secs".into(), Json::Num(seq_secs)),
+            ("partition_secs_parallel".into(), Json::Num(par_secs)),
+            ("ops_per_sec".into(), Json::Num(ops as f64 / seq_secs.max(1e-9))),
+            ("parallel_speedup".into(), Json::Num(speedup)),
+            ("peak_graph_bytes".into(), Json::Int(peak_bytes)),
+            ("coarsen_levels".into(), Json::Int(levels)),
+            ("gdp_cut".into(), Json::Int(cut)),
+        ];
+        for (jobs, t) in &level_secs {
+            row.push((format!("secs_jobs_{jobs}"), Json::Num(*t)));
+        }
+        rows.push(Json::Obj(row));
+        eprintln!(
+            "{name:<12} {ops:>8} ops  gen {gen_secs:>6.2}s  partition jobs=1 {seq_secs:>6.2}s, \
+             jobs={max_jobs} {par_secs:>6.2}s ({speedup:.2}x)  peak {peak_bytes} B, \
+             {levels} levels, cut {cut}",
+        );
+    }
+
+    let doc = Json::Obj(vec![
+        ("schema_version".into(), Json::Int(mcpart_bench::diff::BENCH_SCHEMA_VERSION)),
+        ("benchmark".into(), Json::Str("scale-trajectory".to_string())),
+        ("quick".into(), Json::Bool(opts.quick)),
+        ("host_parallelism".into(), Json::Int(mcpart_par::available_jobs() as i64)),
+        ("workloads".into(), Json::Arr(rows)),
+        ("parallel_speedup".into(), Json::Num(speedup_at_max)),
+    ]);
+    std::fs::write(&opts.out, doc.render() + "\n").expect("write report");
+    eprintln!("wrote {}", opts.out);
+}

@@ -4,9 +4,16 @@
 //! recorded is data-dependent flow (register def → use, and value flow
 //! through calls), deliberately coarse: "a more simplified view of the
 //! program behavior is used for the data object partitioning".
+//!
+//! The graph is stored flat for million-op programs: node lookup is a
+//! per-function offset plus the dense op index (no hash map), and the
+//! edge list is a CSR keyed by source node. Edge extraction runs
+//! per-function — optionally sharded over `mcpart-par` — and the
+//! per-function sorted runs concatenate into a globally sorted stream
+//! because function node ranges are disjoint and ascending, so the
+//! result is bit-identical for every `jobs` value.
 
-use mcpart_ir::{DefUse, FuncId, OpId, Opcode, Profile, Program, Terminator};
-use std::collections::HashMap;
+use mcpart_ir::{DefUse, EntityId, FuncId, OpId, Opcode, Profile, Program, Terminator};
 
 /// A node of the program-level DFG: an operation in some function.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -17,46 +24,122 @@ pub struct ProgramNode {
     pub op: OpId,
 }
 
-/// The whole-program data-flow graph.
+/// The whole-program data-flow graph, CSR-packed.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ProgramDfg {
     /// All nodes, in (function, op) order.
     pub nodes: Vec<ProgramNode>,
-    /// Node → dense index.
-    pub index: HashMap<ProgramNode, usize>,
-    /// Flow edges `(from, to, dynamic_weight)`; weight is the execution
-    /// frequency of the consumer.
-    pub edges: Vec<(usize, usize, u64)>,
     /// Dynamic execution frequency of each node.
     pub node_freq: Vec<u64>,
+    /// `func_offset[f]` is the dense index of function `f`'s first op;
+    /// one extra sentinel entry holds the total node count.
+    func_offset: Vec<usize>,
+    /// CSR row starts into `edge_to`/`edge_w`, one per node plus a
+    /// sentinel.
+    edge_xadj: Vec<usize>,
+    /// Edge destinations, grouped by source and ascending within each
+    /// group.
+    edge_to: Vec<u32>,
+    /// Edge weights (execution frequency of the consumer).
+    edge_w: Vec<u64>,
+}
+
+/// Collapses runs of equal `(from, to)` keys in a sorted triple list,
+/// keeping the maximum weight (all duplicates carry the consumer's
+/// frequency, so any commutative combine gives the same answer).
+fn dedup_max(edges: &mut Vec<(u32, u32, u64)>) {
+    edges.dedup_by(|next, keep| {
+        if keep.0 == next.0 && keep.1 == next.1 {
+            keep.2 = keep.2.max(next.2);
+            true
+        } else {
+            false
+        }
+    });
+}
+
+/// Merges two sorted, deduplicated triple streams, combining equal keys
+/// with max.
+fn merge_two_max(a: Vec<(u32, u32, u64)>, b: Vec<(u32, u32, u64)>) -> Vec<(u32, u32, u64)> {
+    if a.is_empty() {
+        return b;
+    }
+    if b.is_empty() {
+        return a;
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let ka = (a[i].0, a[i].1);
+        let kb = (b[j].0, b[j].1);
+        match ka.cmp(&kb) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push((ka.0, ka.1, a[i].2.max(b[j].2)));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
 }
 
 impl ProgramDfg {
-    /// Builds the program-level DFG under a profile.
+    /// Builds the program-level DFG under a profile (sequential).
     pub fn build(program: &Program, profile: &Profile) -> Self {
-        let mut nodes = Vec::new();
-        let mut index = HashMap::new();
-        let mut node_freq = Vec::new();
+        Self::build_with_jobs(program, profile, 1)
+    }
+
+    /// Builds the program-level DFG under a profile, sharding the
+    /// per-function edge extraction over `jobs` workers (`0` = all
+    /// available cores). The result is bit-identical for every `jobs`
+    /// value.
+    pub fn build_with_jobs(program: &Program, profile: &Profile, jobs: usize) -> Self {
+        let num_funcs = program.functions.len();
+        let mut nodes = Vec::with_capacity(program.num_ops());
+        let mut node_freq = Vec::with_capacity(program.num_ops());
+        let mut func_offset = Vec::with_capacity(num_funcs + 1);
         for (fid, func) in program.functions.iter() {
+            func_offset.push(nodes.len());
             for (oid, _) in func.ops.iter() {
-                let node = ProgramNode { func: fid, op: oid };
-                index.insert(node, nodes.len());
-                nodes.push(node);
+                // The flat index scheme (offset + dense op index) must
+                // agree with iteration order.
+                debug_assert_eq!(func_offset[fid.index()] + oid.index(), nodes.len());
+                nodes.push(ProgramNode { func: fid, op: oid });
                 node_freq.push(profile.op_freq(program, fid, oid));
             }
         }
-        // Deduplicated edges: a value used twice by one consumer still
-        // needs only one transfer.
-        let mut edge_set: HashMap<(usize, usize), u64> = HashMap::new();
-        let mut add_edge = |from: usize, to: usize, w: u64| {
-            let e = edge_set.entry((from, to)).or_insert(0);
-            *e = (*e).max(w);
-        };
-        for (fid, func) in program.functions.iter() {
-            let du = DefUse::compute(func);
-            // Register flow: every def reaches every use of the same
-            // register (coarse over-approximation for multi-def
-            // registers).
+        func_offset.push(nodes.len());
+
+        // Def-use chains once per function (call sites share the
+        // callee's), then per-function edge extraction. Both stages are
+        // pure per-function maps, so sharding cannot change the output.
+        let fids: Vec<FuncId> = program.functions.keys().collect();
+        let dus: Vec<DefUse> = mcpart_par::parallel_map(jobs, &fids, |_, &fid| {
+            DefUse::compute(&program.functions[fid])
+        });
+        // Each function yields its intra-function edges (sorted and
+        // deduplicated: these concatenate into a globally sorted run)
+        // and its cross-function call edges (merged separately).
+        type EdgeRun = Vec<(u32, u32, u64)>;
+        let per_func: Vec<(EdgeRun, EdgeRun)> = mcpart_par::parallel_map(jobs, &fids, |_, &fid| {
+            let func = &program.functions[fid];
+            let du = &dus[fid.index()];
+            let base = func_offset[fid.index()] as u32;
+            let mut intra = Vec::new();
+            let mut cross = Vec::new();
+            // Register flow: every def reaches every use of the
+            // same register (coarse over-approximation for
+            // multi-def registers).
             for v in 0..func.num_vregs {
                 let v = mcpart_ir::VReg(v as u32);
                 for &def in &du.defs[v] {
@@ -64,42 +147,69 @@ impl ProgramDfg {
                         if def == usage {
                             continue;
                         }
-                        let from = index[&ProgramNode { func: fid, op: def }];
-                        let to = index[&ProgramNode { func: fid, op: usage }];
-                        add_edge(from, to, node_freq[to].max(1));
+                        let from = base + def.index() as u32;
+                        let to = base + usage.index() as u32;
+                        intra.push((from, to, node_freq[to as usize].max(1)));
                     }
                 }
             }
             // Interprocedural value flow through calls.
             for (oid, op) in func.ops.iter() {
                 if let Opcode::Call(callee) = op.opcode {
-                    let call_idx = index[&ProgramNode { func: fid, op: oid }];
+                    let call_idx = base + oid.index() as u32;
                     let cf = &program.functions[callee];
-                    let cdu = DefUse::compute(cf);
+                    let cdu = &dus[callee.index()];
+                    let cbase = func_offset[callee.index()] as u32;
                     // Arguments: call node → uses of the parameter.
                     for &param in &cf.params {
                         for &usage in &cdu.uses[param] {
-                            let to = index[&ProgramNode { func: callee, op: usage }];
-                            add_edge(call_idx, to, node_freq[to].max(1));
+                            let to = cbase + usage.index() as u32;
+                            cross.push((call_idx, to, node_freq[to as usize].max(1)));
                         }
                     }
-                    // Return value: defs of returned registers → call node.
+                    // Return value: defs of returned registers →
+                    // call node.
                     for block in cf.blocks.values() {
                         if let Some(Terminator::Return(Some(v))) = &block.term {
                             for &def in &cdu.defs[*v] {
-                                let from = index[&ProgramNode { func: callee, op: def }];
-                                add_edge(from, call_idx, node_freq[call_idx].max(1));
+                                let from = cbase + def.index() as u32;
+                                cross.push((from, call_idx, node_freq[call_idx as usize].max(1)));
                             }
                         }
                     }
                 }
             }
+            intra.sort_unstable_by_key(|t| (t.0, t.1));
+            dedup_max(&mut intra);
+            (intra, cross)
+        });
+
+        let intra_len: usize = per_func.iter().map(|(i, _)| i.len()).sum();
+        let mut intra_all = Vec::with_capacity(intra_len);
+        let mut cross_all = Vec::new();
+        for (intra, cross) in per_func {
+            intra_all.extend_from_slice(&intra);
+            cross_all.extend_from_slice(&cross);
         }
-        let _ = add_edge;
-        let mut edges: Vec<(usize, usize, u64)> =
-            edge_set.into_iter().map(|((f, t), w)| (f, t, w)).collect();
-        edges.sort_unstable();
-        ProgramDfg { nodes, index, edges, node_freq }
+        cross_all.sort_unstable_by_key(|t| (t.0, t.1));
+        dedup_max(&mut cross_all);
+        let edges = merge_two_max(intra_all, cross_all);
+        // The determinism contract: the final edge order is strictly
+        // increasing in (from, to), independent of jobs.
+        debug_assert!(edges.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+
+        // Pack into CSR.
+        let n = nodes.len();
+        let mut edge_xadj = vec![0usize; n + 1];
+        for &(from, _, _) in &edges {
+            edge_xadj[from as usize + 1] += 1;
+        }
+        for i in 0..n {
+            edge_xadj[i + 1] += edge_xadj[i];
+        }
+        let edge_to: Vec<u32> = edges.iter().map(|&(_, to, _)| to).collect();
+        let edge_w: Vec<u64> = edges.iter().map(|&(_, _, w)| w).collect();
+        ProgramDfg { nodes, node_freq, func_offset, edge_xadj, edge_to, edge_w }
     }
 
     /// Number of nodes.
@@ -112,9 +222,24 @@ impl ProgramDfg {
         self.nodes.is_empty()
     }
 
-    /// The dense index of an operation.
+    /// Number of (deduplicated) flow edges.
+    pub fn num_edges(&self) -> usize {
+        self.edge_to.len()
+    }
+
+    /// The dense index of an operation: the containing function's
+    /// offset plus the op's index within it.
     pub fn index_of(&self, func: FuncId, op: OpId) -> usize {
-        self.index[&ProgramNode { func, op }]
+        self.func_offset[func.index()] + op.index()
+    }
+
+    /// All flow edges `(from, to, weight)` in ascending `(from, to)`
+    /// order; the weight is the execution frequency of the consumer.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, u64)> + '_ {
+        (0..self.nodes.len()).flat_map(move |from| {
+            (self.edge_xadj[from]..self.edge_xadj[from + 1])
+                .map(move |i| (from, self.edge_to[i] as usize, self.edge_w[i]))
+        })
     }
 }
 
@@ -141,7 +266,7 @@ mod tests {
         profile.funcs[p.entry].block_freq[hot] = 500;
         let dfg = ProgramDfg::build(&p, &profile);
         // The addrof → load edge carries the hot block's frequency.
-        let max_w = dfg.edges.iter().map(|&(_, _, w)| w).max().unwrap();
+        let max_w = dfg.edges().map(|(_, _, w)| w).max().unwrap();
         assert_eq!(max_w, 500);
     }
 
@@ -164,7 +289,7 @@ mod tests {
         // Edge from the call into the callee's add (parameter use), and
         // from the callee's add (return def) back to the call.
         let cross: Vec<_> =
-            dfg.edges.iter().filter(|&&(f, t, _)| dfg.nodes[f].func != dfg.nodes[t].func).collect();
+            dfg.edges().filter(|&(f, t, _)| dfg.nodes[f].func != dfg.nodes[t].func).collect();
         assert_eq!(cross.len(), 2, "{cross:?}");
     }
 
@@ -180,5 +305,47 @@ mod tests {
         let dfg = ProgramDfg::build(&p, &Profile::uniform(&p, 1));
         assert_eq!(dfg.len(), p.num_ops());
         assert!(!dfg.is_empty());
+    }
+
+    #[test]
+    fn index_of_matches_node_order() {
+        let mut p = Program::new("t");
+        {
+            let mut cb = FunctionBuilder::new_function(&mut p, "f");
+            let a = cb.iconst(1);
+            let b2 = cb.iconst(2);
+            cb.add(a, b2);
+            cb.ret(None);
+        }
+        let mut b = FunctionBuilder::entry(&mut p);
+        b.iconst(7);
+        b.ret(None);
+        let dfg = ProgramDfg::build(&p, &Profile::uniform(&p, 1));
+        for (i, node) in dfg.nodes.iter().enumerate() {
+            assert_eq!(dfg.index_of(node.func, node.op), i);
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        let mut p = Program::new("t");
+        let callee = {
+            let mut cb = FunctionBuilder::new_function(&mut p, "f");
+            let a = cb.param();
+            let r = cb.add(a, a);
+            cb.ret(Some(r));
+            cb.func_id()
+        };
+        let mut b = FunctionBuilder::entry(&mut p);
+        let x = b.iconst(3);
+        let y = b.iconst(4);
+        let s = b.add(x, y);
+        let r = b.call(callee, vec![s], 1);
+        b.ret(Some(r[0]));
+        let profile = Profile::uniform(&p, 9);
+        let seq = ProgramDfg::build_with_jobs(&p, &profile, 1);
+        for jobs in [2, 4, 0] {
+            assert_eq!(ProgramDfg::build_with_jobs(&p, &profile, jobs), seq, "jobs={jobs}");
+        }
     }
 }

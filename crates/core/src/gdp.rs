@@ -113,12 +113,12 @@ pub fn gdp_partition(
     }
     let total_clock = std::time::Instant::now();
     let dfg_clock = std::time::Instant::now();
-    let dfg = ProgramDfg::build(program, profile);
+    let dfg = ProgramDfg::build_with_jobs(program, profile, config.jobs);
     config.obs.span_args(
         "gdp",
         "dfg",
         dfg_clock,
-        &[("nodes", dfg.len() as i64), ("edges", dfg.edges.len() as i64)],
+        &[("nodes", dfg.len() as i64), ("edges", dfg.num_edges() as i64)],
     );
 
     // Supernodes: one per live object group (all of the group's access
@@ -140,7 +140,7 @@ pub fn gdp_partition(
                 owner[dfg.index_of(site.func, site.op)] = g;
             }
         }
-        for &(from, to, _) in &dfg.edges {
+        for (from, to, _) in dfg.edges() {
             if owner[from] != usize::MAX && owner[to] == usize::MAX {
                 absorbed[owner[from]].push(to);
             } else if owner[to] != usize::MAX && owner[from] == usize::MAX {
@@ -180,10 +180,11 @@ pub fn gdp_partition(
         super_of_node[idx] = vertex_count;
         vertex_count += 1;
     }
-    for &(from, to, w) in &dfg.edges {
+    builder.reserve_edges(dfg.num_edges());
+    for (from, to, w) in dfg.edges() {
         builder.add_edge(super_of_node[from] as u32, super_of_node[to] as u32, w);
     }
-    let graph = builder.build();
+    let graph = builder.build_with_jobs(config.jobs);
     config.obs.counter("gdp", "supernodes", vertex_count as i64);
     config.obs.counter("gdp", "merged_sites", (dfg.len() - vertex_count) as i64);
 

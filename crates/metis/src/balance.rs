@@ -1,4 +1,9 @@
 //! Multi-constraint balance bookkeeping.
+//!
+//! Part-weight matrices are flat `nparts * ncon` row-major buffers
+//! (`pw[p * ncon + c]`), matching [`Graph::part_weights`]; the layout is
+//! touched on every refinement-sweep evaluation, so there is no
+//! per-part allocation anywhere on that path.
 
 use crate::graph::Graph;
 
@@ -16,8 +21,8 @@ pub struct BalanceModel {
     pub targets: Vec<f64>,
     /// Per-constraint total weights.
     pub totals: Vec<u64>,
-    /// `nparts x ncon` upper limits.
-    pub limits: Vec<Vec<u64>>,
+    /// Flat `nparts * ncon` upper limits (`limits[p * ncon + c]`).
+    pub limits: Vec<u64>,
 }
 
 impl BalanceModel {
@@ -41,16 +46,13 @@ impl BalanceModel {
         let totals = graph.total_weights();
         let maxv = graph.max_vertex_weights();
         let ncon = graph.num_constraints();
-        let limits = (0..nparts)
-            .map(|p| {
-                (0..ncon)
-                    .map(|c| {
-                        let ideal = targets[p] * totals[c] as f64;
-                        ((ideal * (1.0 + eps)).ceil() as u64).max(maxv[c])
-                    })
-                    .collect()
-            })
-            .collect();
+        let mut limits = Vec::with_capacity(nparts * ncon);
+        for &target in targets.iter().take(nparts) {
+            for c in 0..ncon {
+                let ideal = target * totals[c] as f64;
+                limits.push(((ideal * (1.0 + eps)).ceil() as u64).max(maxv[c]));
+            }
+        }
         BalanceModel { nparts, ncon, targets, totals, limits }
     }
 
@@ -64,35 +66,62 @@ impl BalanceModel {
         self.nparts
     }
 
-    /// Returns `true` if adding `vw` to part `p` (currently at `pw`)
-    /// keeps every constraint under its limit.
-    pub fn fits(&self, p: usize, pw: &[u64], vw: &[u64]) -> bool {
-        (0..self.ncon).all(|c| pw[c] + vw[c] <= self.limits[p][c])
+    /// Number of balance constraints.
+    pub fn ncon(&self) -> usize {
+        self.ncon
     }
 
-    /// Maximum relative overweight of a part-weight matrix: the largest
-    /// `pw[p][c] / (target[p] * total[c])` over all parts/constraints,
-    /// ignoring zero-total constraints. 1.0 means perfectly at target.
-    #[allow(clippy::needless_range_loop)]
-    pub fn max_overweight(&self, pw: &[Vec<u64>]) -> f64 {
+    /// The upper weight limit of part `p` in constraint `c`.
+    pub fn limit(&self, p: usize, c: usize) -> u64 {
+        self.limits[p * self.ncon + c]
+    }
+
+    /// Returns `true` if adding `vw` to part `p` (currently at the row
+    /// `pw`, `ncon` entries) keeps every constraint under its limit.
+    pub fn fits(&self, p: usize, pw: &[u64], vw: &[u64]) -> bool {
+        (0..self.ncon).all(|c| pw[c] + vw[c] <= self.limits[p * self.ncon + c])
+    }
+
+    /// Maximum relative overweight of a flat part-weight buffer: the
+    /// largest `pw[p*ncon+c] / (target[p] * total[c])` over all
+    /// parts/constraints, ignoring zero-total constraints. 1.0 means
+    /// perfectly at target.
+    pub fn max_overweight(&self, pw: &[u64]) -> f64 {
         let mut worst: f64 = 0.0;
-        for (p, row) in pw.iter().enumerate() {
-            for c in 0..self.ncon {
+        for (p, row) in pw.chunks(self.ncon).enumerate() {
+            for (c, &w) in row.iter().enumerate() {
                 if self.totals[c] == 0 {
                     continue;
                 }
                 let ideal = self.targets[p] * self.totals[c] as f64;
                 if ideal > 0.0 {
-                    worst = worst.max(row[c] as f64 / ideal);
+                    worst = worst.max(w as f64 / ideal);
                 }
             }
         }
         worst
     }
 
+    /// Relative overweight of a single part-weight row, judged against
+    /// part 0's target (the greedy-growing spill comparator ranks
+    /// candidate rows on a common scale).
+    pub fn row_overweight(&self, row: &[u64]) -> f64 {
+        let mut worst: f64 = 0.0;
+        for (c, &w) in row.iter().enumerate().take(self.ncon) {
+            if self.totals[c] == 0 {
+                continue;
+            }
+            let ideal = self.targets[0] * self.totals[c] as f64;
+            if ideal > 0.0 {
+                worst = worst.max(w as f64 / ideal);
+            }
+        }
+        worst
+    }
+
     /// Returns `true` when every part is within its limits.
-    pub fn is_balanced(&self, pw: &[Vec<u64>]) -> bool {
-        pw.iter().enumerate().all(|(p, row)| (0..self.ncon).all(|c| row[c] <= self.limits[p][c]))
+    pub fn is_balanced(&self, pw: &[u64]) -> bool {
+        pw.iter().zip(&self.limits).all(|(w, limit)| w <= limit)
     }
 }
 
@@ -115,7 +144,7 @@ mod tests {
         let g = graph4();
         let m = BalanceModel::uniform(&g, 2, 0.1);
         // total 40, target 20, eps 10% -> 22 (max vertex 10 is smaller).
-        assert_eq!(m.limits[0][0], 22);
+        assert_eq!(m.limit(0, 0), 22);
         assert!(m.fits(0, &[10], &[10]));
         assert!(!m.fits(0, &[20], &[10]));
     }
@@ -124,19 +153,27 @@ mod tests {
     fn weighted_targets() {
         let g = graph4();
         let m = BalanceModel::new(&g, 2, &[3.0, 1.0], 0.0);
-        assert!(m.limits[0][0] > m.limits[1][0]);
+        assert!(m.limit(0, 0) > m.limit(1, 0));
     }
 
     #[test]
     fn overweight_metric() {
         let g = graph4();
         let m = BalanceModel::uniform(&g, 2, 0.1);
-        let balanced = vec![vec![20u64], vec![20u64]];
-        let skewed = vec![vec![40u64], vec![0u64]];
+        let balanced = vec![20u64, 20];
+        let skewed = vec![40u64, 0];
         assert!(m.max_overweight(&balanced) <= 1.0 + 1e-9);
         assert!((m.max_overweight(&skewed) - 2.0).abs() < 1e-9);
         assert!(m.is_balanced(&balanced));
         assert!(!m.is_balanced(&skewed));
+    }
+
+    #[test]
+    fn row_overweight_matches_single_row_matrix() {
+        let g = graph4();
+        let m = BalanceModel::uniform(&g, 2, 0.1);
+        assert_eq!(m.row_overweight(&[20]), m.max_overweight(&[20, 0]));
+        assert!((m.row_overweight(&[40]) - 2.0).abs() < 1e-9);
     }
 
     #[test]
@@ -146,7 +183,7 @@ mod tests {
         b.add_vertex(&[5, 0]);
         let g = b.build();
         let m = BalanceModel::uniform(&g, 2, 0.1);
-        let pw = vec![vec![5, 0], vec![5, 0]];
+        let pw = vec![5, 0, 5, 0];
         assert!(m.is_balanced(&pw));
         assert!(m.max_overweight(&pw) > 0.0);
     }

@@ -1,8 +1,26 @@
-//! Multilevel coarsening via heavy-edge matching.
+//! Multilevel coarsening via deterministic sharded heavy-edge matching.
+//!
+//! Matching runs in two phases. Phase one is embarrassingly parallel:
+//! every vertex independently picks its *preferred* partner — the
+//! neighbor joined by the heaviest edge whose merged weight stays under
+//! the cap, ties broken toward the lower-degree neighbor and then the
+//! lowest vertex index. The preference vector is a pure function of the
+//! graph, so sharding it over `mcpart-par` workers cannot change it.
+//! Phase two walks vertices in ascending index order and greedily
+//! commits matches (preferred partner first, heaviest still-free
+//! neighbor as the fallback), which is sequential but O(edges).
+//! Together the result is bit-identical for every `--jobs` value — the
+//! PR 2 determinism contract — without any RNG in the coarsener.
+//!
+//! The low-degree tie-break matters at scale: GDP graphs contain a few
+//! thousand object-group supernodes of enormous degree, and a pure
+//! lowest-index rule steers every equal-weight tie toward those hubs —
+//! which can each absorb only one partner per level, stalling the
+//! matched fraction near zero. Preferring the lower-degree neighbor
+//! pairs the long operation chains with each other and keeps the
+//! coarsening geometric.
 
-use crate::graph::{Graph, GraphBuilder};
-use mcpart_rng::seq::SliceRandom;
-use mcpart_rng::Rng;
+use crate::graph::{sort_merge_triples, Graph};
 
 /// One level of the coarsening hierarchy: the coarse graph plus the
 /// projection map from fine vertices to coarse vertices.
@@ -14,26 +32,46 @@ pub struct CoarseLevel {
     pub map: Vec<u32>,
 }
 
+/// Reusable scratch buffers for [`coarsen_once`], so a multilevel run
+/// allocates its matching and edge-accumulation vectors once instead of
+/// once per level.
+#[derive(Debug, Default)]
+pub struct CoarsenWorkspace {
+    pref: Vec<u32>,
+    partner: Vec<u32>,
+    triples: Vec<(u32, u32, u64)>,
+}
+
+/// Vertices below this count match sequentially even when `jobs > 1`
+/// (sharding overhead dominates on small graphs).
+const MIN_PARALLEL_MATCH: usize = 4096;
+
 /// Performs one round of heavy-edge matching (HEM) coarsening.
 ///
-/// Vertices are visited in random order; each unmatched vertex matches
-/// its unmatched neighbor connected by the heaviest edge, subject to the
-/// merged vertex staying under `max_vwgt` in every constraint (this is
-/// METIS' guard against unsplittable super-vertices). Unmatchable
-/// vertices survive alone.
+/// Each unmatched vertex matches the unmatched neighbor connected by
+/// the heaviest edge, subject to the merged vertex staying under
+/// `max_vwgt` in every constraint (this is METIS' guard against
+/// unsplittable super-vertices); ties break to the lower-degree
+/// neighbor, then the lowest index (see the module docs for why hubs
+/// must lose ties). Unmatchable vertices survive alone. Matching is sharded
+/// over `jobs` workers (`0` = all available cores) and is deterministic
+/// for every `jobs` value.
 ///
 /// Returns `None` when matching failed to shrink the graph enough to be
 /// useful (coarse size > 95% of fine size), which signals the driver to
 /// stop coarsening.
-pub fn coarsen_once<R: Rng>(graph: &Graph, max_vwgt: &[u64], rng: &mut R) -> Option<CoarseLevel> {
+pub fn coarsen_once(
+    graph: &Graph,
+    max_vwgt: &[u64],
+    jobs: usize,
+    ws: &mut CoarsenWorkspace,
+) -> Option<CoarseLevel> {
     let n = graph.num_vertices();
     if n < 2 {
         return None;
     }
-    const UNMATCHED: u32 = u32::MAX;
-    let mut partner = vec![UNMATCHED; n];
-    let mut order: Vec<u32> = (0..n as u32).collect();
-    order.shuffle(rng);
+    const NONE_V: u32 = u32::MAX;
+    let CoarsenWorkspace { pref, partner, triples } = ws;
 
     let fits = |a: u32, b: u32| -> bool {
         let wa = graph.vertex_weight(a);
@@ -41,22 +79,72 @@ pub fn coarsen_once<R: Rng>(graph: &Graph, max_vwgt: &[u64], rng: &mut R) -> Opt
         wa.iter().zip(wb).zip(max_vwgt).all(|((&x, &y), &m)| x + y <= m)
     };
 
-    for &v in &order {
-        if partner[v as usize] != UNMATCHED {
-            continue;
-        }
-        let mut best: Option<(u32, u64)> = None;
+    // Phase 1: per-vertex preferred partner (pure function of the
+    // graph; shard-safe).
+    let pref_of = |v: u32| -> u32 {
+        let mut best: Option<(u64, usize, u32)> = None;
         for (u, w) in graph.neighbors(v) {
-            if partner[u as usize] == UNMATCHED
-                && u != v
-                && fits(v, u)
-                && best.map(|(_, bw)| w > bw).unwrap_or(true)
-            {
-                best = Some((u, w));
+            if u != v && fits(v, u) {
+                let d = graph.degree(u);
+                let better = match best {
+                    None => true,
+                    Some((bw, bd, bu)) => w > bw || (w == bw && (d < bd || (d == bd && u < bu))),
+                };
+                if better {
+                    best = Some((w, d, u));
+                }
             }
         }
-        match best {
-            Some((u, _)) => {
+        best.map_or(NONE_V, |(_, _, u)| u)
+    };
+    pref.clear();
+    let jobs = mcpart_par::resolve_jobs(jobs);
+    if jobs > 1 && n >= MIN_PARALLEL_MATCH {
+        let shard = (n.div_ceil(jobs * 4)).max(1024);
+        let ranges: Vec<(u32, u32)> =
+            (0..n).step_by(shard).map(|lo| (lo as u32, (lo + shard).min(n) as u32)).collect();
+        let parts = mcpart_par::parallel_map(jobs, &ranges, |_, &(lo, hi)| {
+            (lo..hi).map(pref_of).collect::<Vec<u32>>()
+        });
+        for part in parts {
+            pref.extend_from_slice(&part);
+        }
+    } else {
+        pref.extend((0..n as u32).map(pref_of));
+    }
+
+    // Phase 2: sequential greedy commit in ascending vertex order.
+    partner.clear();
+    partner.resize(n, NONE_V);
+    for v in 0..n as u32 {
+        if partner[v as usize] != NONE_V {
+            continue;
+        }
+        let p = pref[v as usize];
+        let mate = if p != NONE_V && partner[p as usize] == NONE_V {
+            Some(p)
+        } else {
+            // Preferred partner already taken: heaviest still-free
+            // fitting neighbor, same tie-break as phase 1.
+            let mut best: Option<(u64, usize, u32)> = None;
+            for (u, w) in graph.neighbors(v) {
+                if u != v && partner[u as usize] == NONE_V && fits(v, u) {
+                    let d = graph.degree(u);
+                    let better = match best {
+                        None => true,
+                        Some((bw, bd, bu)) => {
+                            w > bw || (w == bw && (d < bd || (d == bd && u < bu)))
+                        }
+                    };
+                    if better {
+                        best = Some((w, d, u));
+                    }
+                }
+            }
+            best.map(|(_, _, u)| u)
+        };
+        match mate {
+            Some(u) => {
                 partner[v as usize] = u;
                 partner[u as usize] = v;
             }
@@ -65,15 +153,15 @@ pub fn coarsen_once<R: Rng>(graph: &Graph, max_vwgt: &[u64], rng: &mut R) -> Opt
     }
 
     // Assign coarse ids: matched pairs collapse; deterministic in fine order.
-    let mut map = vec![UNMATCHED; n];
+    let mut map = vec![NONE_V; n];
     let mut next = 0u32;
     for v in 0..n as u32 {
-        if map[v as usize] != UNMATCHED {
+        if map[v as usize] != NONE_V {
             continue;
         }
         let p = partner[v as usize];
         map[v as usize] = next;
-        if p != v && p != UNMATCHED {
+        if p != v && p != NONE_V {
             map[p as usize] = next;
         }
         next += 1;
@@ -83,26 +171,34 @@ pub fn coarsen_once<R: Rng>(graph: &Graph, max_vwgt: &[u64], rng: &mut R) -> Opt
         return None;
     }
 
+    // Coarse vertex weights, flat.
     let ncon = graph.num_constraints();
-    let mut builder = GraphBuilder::new(ncon);
-    let mut weights = vec![vec![0u64; ncon]; coarse_n];
+    let mut vwgt = vec![0u64; coarse_n * ncon];
     for v in 0..n as u32 {
         let cv = map[v as usize] as usize;
-        for (c, w) in graph.vertex_weight(v).iter().enumerate() {
-            weights[cv][c] += w;
+        for (c, &w) in graph.vertex_weight(v).iter().enumerate() {
+            vwgt[cv * ncon + c] += w;
         }
     }
-    for w in &weights {
-        builder.add_vertex(w);
-    }
+
+    // Coarse edges: project fine edges through the map into the reused
+    // triple buffer, then sort-and-merge (summing parallel edges).
+    triples.clear();
+    triples.reserve(graph.num_edges());
     for v in 0..n as u32 {
+        let cv = map[v as usize];
         for (u, w) in graph.neighbors(v) {
             if u > v {
-                builder.add_edge(map[v as usize], map[u as usize], w);
+                let cu = map[u as usize];
+                if cu != cv {
+                    triples.push((cv.min(cu), cv.max(cu), w));
+                }
             }
         }
     }
-    Some(CoarseLevel { graph: builder.build(), map })
+    sort_merge_triples(jobs, triples, |a, b| a + b);
+    let coarse = Graph::from_sorted_merged_triples(ncon, vwgt, coarse_n, triples);
+    Some(CoarseLevel { graph: coarse, map })
 }
 
 /// Default per-constraint cap on merged vertex weight while coarsening
@@ -124,8 +220,6 @@ pub fn default_max_vwgt(graph: &Graph, coarsen_to: usize) -> Vec<u64> {
 mod tests {
     use super::*;
     use crate::graph::GraphBuilder;
-    use mcpart_rng::rngs::SmallRng;
-    use mcpart_rng::SeedableRng;
 
     fn ring(n: usize) -> Graph {
         let mut b = GraphBuilder::new(1);
@@ -141,8 +235,8 @@ mod tests {
     #[test]
     fn coarsening_halves_a_ring() {
         let g = ring(16);
-        let mut rng = SmallRng::seed_from_u64(7);
-        let lvl = coarsen_once(&g, &[100], &mut rng).expect("should coarsen");
+        let mut ws = CoarsenWorkspace::default();
+        let lvl = coarsen_once(&g, &[100], 1, &mut ws).expect("should coarsen");
         assert!(lvl.graph.num_vertices() <= 12);
         assert!(lvl.graph.num_vertices() >= 8);
         // Weight is conserved.
@@ -159,9 +253,8 @@ mod tests {
         b.add_vertex(&[10]);
         b.add_edge(0, 1, 5);
         let g = b.build();
-        let mut rng = SmallRng::seed_from_u64(1);
         // Cap 15 < 20 so the only possible match is forbidden.
-        assert!(coarsen_once(&g, &[15], &mut rng).is_none());
+        assert!(coarsen_once(&g, &[15], 1, &mut CoarsenWorkspace::default()).is_none());
     }
 
     #[test]
@@ -176,8 +269,8 @@ mod tests {
             }
         }
         let g = b.build();
-        let mut rng = SmallRng::seed_from_u64(3);
-        let lvl = coarsen_once(&g, &default_max_vwgt(&g, 2), &mut rng).unwrap();
+        let mut ws = CoarsenWorkspace::default();
+        let lvl = coarsen_once(&g, &default_max_vwgt(&g, 2), 1, &mut ws).unwrap();
         assert_eq!(lvl.graph.total_weights(), g.total_weights());
     }
 
@@ -189,5 +282,89 @@ mod tests {
         let g = b.build();
         let cap = default_max_vwgt(&g, 10);
         assert!(cap[0] >= 1000);
+    }
+
+    #[test]
+    fn heavy_edges_win_with_deterministic_ties() {
+        // v0 has two neighbors: v1 (weight 5) and v2 (weight 9): the
+        // heavy edge wins. v3 ties between v1 and v4 at weight 2 and
+        // prefers the lower-degree v4, but the ascending commit pairs
+        // v1 with the still-free v3 first — all deterministic.
+        let mut b = GraphBuilder::new(1);
+        for _ in 0..5 {
+            b.add_vertex(&[1]);
+        }
+        b.add_edge(0, 1, 5);
+        b.add_edge(0, 2, 9);
+        b.add_edge(3, 1, 2);
+        b.add_edge(3, 4, 2);
+        let g = b.build();
+        let mut ws = CoarsenWorkspace::default();
+        let lvl = coarsen_once(&g, &[100], 1, &mut ws).expect("coarsens");
+        assert_eq!(lvl.map[0], lvl.map[2]);
+        assert_eq!(lvl.map[1], lvl.map[3]);
+    }
+
+    #[test]
+    fn equal_weight_ties_avoid_high_degree_hubs() {
+        // A hub (lowest index, degree 6) connects to a 6-vertex chain
+        // with the same edge weight as the chain's own edges. A pure
+        // lowest-index tie-break would point every chain vertex at the
+        // hub; the low-degree preference pairs the chain with itself
+        // so the level still shrinks geometrically.
+        let mut b = GraphBuilder::new(1);
+        for _ in 0..7 {
+            b.add_vertex(&[1]);
+        }
+        for i in 1..7u32 {
+            b.add_edge(0, i, 1);
+        }
+        for i in 1..6u32 {
+            b.add_edge(i, i + 1, 1);
+        }
+        let g = b.build();
+        let lvl = coarsen_once(&g, &[100], 1, &mut CoarsenWorkspace::default()).expect("coarsens");
+        assert!(lvl.graph.num_vertices() <= 4, "got {}", lvl.graph.num_vertices());
+    }
+
+    #[test]
+    fn sharded_matching_is_jobs_invariant() {
+        // Big enough to cross MIN_PARALLEL_MATCH and the parallel-sort
+        // threshold: every jobs count must produce the identical level.
+        let n = 6000;
+        let mut b = GraphBuilder::new(1);
+        for i in 0..n as u32 {
+            b.add_vertex(&[1 + u64::from(i % 3)]);
+        }
+        for i in 0..n as u32 {
+            b.add_edge(i, (i + 1) % n as u32, 1 + u64::from(i % 5));
+            b.add_edge(i, (i + 37) % n as u32, 1 + u64::from(i % 7));
+        }
+        let g = b.build();
+        let cap = default_max_vwgt(&g, 8);
+        let run = |jobs: usize| {
+            let mut ws = CoarsenWorkspace::default();
+            let lvl = coarsen_once(&g, &cap, jobs, &mut ws).expect("coarsens");
+            (lvl.graph, lvl.map)
+        };
+        let seq = run(1);
+        for jobs in [2, 4, 8] {
+            assert_eq!(run(jobs), seq, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_levels() {
+        let g = ring(64);
+        let mut ws = CoarsenWorkspace::default();
+        let l1 = coarsen_once(&g, &[100], 1, &mut ws).expect("level 1");
+        let l2 = coarsen_once(&l1.graph, &[100], 1, &mut ws).expect("level 2");
+        assert!(l2.graph.num_vertices() < l1.graph.num_vertices());
+        assert_eq!(l2.graph.total_weights(), g.total_weights());
+        // Reuse must not leak state: a fresh workspace gives the same.
+        let fresh = coarsen_once(&l1.graph, &[100], 1, &mut CoarsenWorkspace::default())
+            .expect("level 2 fresh");
+        assert_eq!(fresh.graph, l2.graph);
+        assert_eq!(fresh.map, l2.map);
     }
 }

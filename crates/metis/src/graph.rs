@@ -1,17 +1,97 @@
 //! Weighted undirected graphs in CSR form.
 
-use std::collections::HashMap;
+/// Sorts edge triples `(a, b, w)` by their `(a, b)` key and folds
+/// duplicates together with `combine`. The sort is sharded over `jobs`
+/// workers for large inputs; because `combine` must be commutative and
+/// associative, the folded result is bit-identical for every `jobs`
+/// value (the `--jobs` determinism contract).
+pub(crate) fn sort_merge_triples(
+    jobs: usize,
+    triples: &mut Vec<(u32, u32, u64)>,
+    combine: impl Fn(u64, u64) -> u64 + Copy + Sync,
+) {
+    par_sort_triples(jobs, triples);
+    merge_sorted_duplicates(triples, combine);
+}
+
+/// Inputs below this length sort sequentially (sharding overhead wins).
+const MIN_PARALLEL_SORT: usize = 1 << 15;
+
+fn par_sort_triples(jobs: usize, triples: &mut Vec<(u32, u32, u64)>) {
+    let key = |t: &(u32, u32, u64)| (t.0, t.1);
+    let jobs = mcpart_par::resolve_jobs(jobs);
+    if jobs <= 1 || triples.len() < MIN_PARALLEL_SORT {
+        triples.sort_unstable_by_key(key);
+        return;
+    }
+    let chunk = triples.len().div_ceil(jobs);
+    let chunks: Vec<&[(u32, u32, u64)]> = triples.chunks(chunk).collect();
+    let mut sorted: Vec<Vec<(u32, u32, u64)>> = mcpart_par::parallel_map(jobs, &chunks, |_, c| {
+        let mut v = c.to_vec();
+        v.sort_unstable_by_key(key);
+        v
+    });
+    // Pairwise merges until one run remains. Equal keys may interleave
+    // differently than a full sort would order them, but duplicates are
+    // folded commutatively afterwards, so the final CSR is identical.
+    while sorted.len() > 1 {
+        let mut next = Vec::with_capacity(sorted.len().div_ceil(2));
+        let mut it = sorted.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(merge_two(a, b)),
+                None => next.push(a),
+            }
+        }
+        sorted = next;
+    }
+    *triples = sorted.pop().unwrap_or_default();
+}
+
+fn merge_two(a: Vec<(u32, u32, u64)>, b: Vec<(u32, u32, u64)>) -> Vec<(u32, u32, u64)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut ai, mut bi) = (0, 0);
+    while ai < a.len() && bi < b.len() {
+        if (a[ai].0, a[ai].1) <= (b[bi].0, b[bi].1) {
+            out.push(a[ai]);
+            ai += 1;
+        } else {
+            out.push(b[bi]);
+            bi += 1;
+        }
+    }
+    out.extend_from_slice(&a[ai..]);
+    out.extend_from_slice(&b[bi..]);
+    out
+}
+
+/// Folds runs of equal `(a, b)` keys in a sorted triple vector.
+fn merge_sorted_duplicates(triples: &mut Vec<(u32, u32, u64)>, combine: impl Fn(u64, u64) -> u64) {
+    let mut out = 0usize;
+    for i in 0..triples.len() {
+        if out > 0 && (triples[out - 1].0, triples[out - 1].1) == (triples[i].0, triples[i].1) {
+            triples[out - 1].2 = combine(triples[out - 1].2, triples[i].2);
+        } else {
+            triples[out] = triples[i];
+            out += 1;
+        }
+    }
+    triples.truncate(out);
+}
 
 /// Builder accumulating vertices and edges before freezing into a
 /// [`Graph`].
 ///
 /// Parallel edges are merged by summing their weights; self-loops are
 /// dropped (they cannot be cut, so they are irrelevant to partitioning).
+/// Edges accumulate in a flat triple vector and are deduplicated by
+/// sort-and-merge at [`GraphBuilder::build`] time — no hashing on the
+/// construction hot path.
 #[derive(Clone, Debug, Default)]
 pub struct GraphBuilder {
     ncon: usize,
     vwgt: Vec<u64>,
-    edges: HashMap<(u32, u32), u64>,
+    edges: Vec<(u32, u32, u64)>,
 }
 
 impl GraphBuilder {
@@ -23,7 +103,12 @@ impl GraphBuilder {
     /// Panics if `ncon` is zero.
     pub fn new(ncon: usize) -> Self {
         assert!(ncon > 0, "at least one balance constraint is required");
-        GraphBuilder { ncon, vwgt: Vec::new(), edges: HashMap::new() }
+        GraphBuilder { ncon, vwgt: Vec::new(), edges: Vec::new() }
+    }
+
+    /// Pre-allocates room for `n` more edges.
+    pub fn reserve_edges(&mut self, n: usize) {
+        self.edges.reserve(n);
     }
 
     /// Adds a vertex with the given constraint weights, returning its
@@ -50,40 +135,22 @@ impl GraphBuilder {
         if a == b || weight == 0 {
             return;
         }
-        let key = (a.min(b), a.max(b));
-        *self.edges.entry(key).or_insert(0) += weight;
+        self.edges.push((a.min(b), a.max(b), weight));
     }
 
-    /// Freezes the builder into a CSR graph.
+    /// Freezes the builder into a CSR graph (sequential sort).
     pub fn build(self) -> Graph {
+        self.build_with_jobs(1)
+    }
+
+    /// Freezes the builder into a CSR graph, sharding the edge sort over
+    /// `jobs` workers (`0` = all available cores; never changes the
+    /// result).
+    pub fn build_with_jobs(self, jobs: usize) -> Graph {
         let n = self.num_vertices();
-        let mut degree = vec![0usize; n];
-        for &(a, b) in self.edges.keys() {
-            degree[a as usize] += 1;
-            degree[b as usize] += 1;
-        }
-        let mut xadj = Vec::with_capacity(n + 1);
-        xadj.push(0usize);
-        for d in &degree {
-            let last = xadj.last().copied().unwrap_or(0);
-            xadj.push(last + d);
-        }
-        let m2 = xadj[n];
-        let mut adjncy = vec![0u32; m2];
-        let mut adjwgt = vec![0u64; m2];
-        let mut cursor = xadj[..n].to_vec();
-        let mut entries: Vec<(&(u32, u32), &u64)> = self.edges.iter().collect();
-        // Deterministic CSR regardless of hash order.
-        entries.sort_by_key(|(k, _)| **k);
-        for (&(a, b), &w) in entries {
-            adjncy[cursor[a as usize]] = b;
-            adjwgt[cursor[a as usize]] = w;
-            cursor[a as usize] += 1;
-            adjncy[cursor[b as usize]] = a;
-            adjwgt[cursor[b as usize]] = w;
-            cursor[b as usize] += 1;
-        }
-        Graph { ncon: self.ncon, vwgt: self.vwgt, xadj, adjncy, adjwgt }
+        let mut triples = self.edges;
+        sort_merge_triples(jobs, &mut triples, |a, b| a + b);
+        Graph::from_sorted_merged_triples(self.ncon, self.vwgt, n, &triples)
     }
 }
 
@@ -100,6 +167,45 @@ pub struct Graph {
 }
 
 impl Graph {
+    /// Builds a CSR graph from a sorted, duplicate-free triple vector
+    /// (`a < b` in every triple, strictly increasing `(a, b)` keys) and
+    /// a flat `n * ncon` vertex-weight buffer.
+    pub(crate) fn from_sorted_merged_triples(
+        ncon: usize,
+        vwgt: Vec<u64>,
+        n: usize,
+        triples: &[(u32, u32, u64)],
+    ) -> Graph {
+        debug_assert!(
+            triples.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)),
+            "edge triples must be strictly sorted and merged"
+        );
+        let mut degree = vec![0usize; n];
+        for &(a, b, _) in triples {
+            degree[a as usize] += 1;
+            degree[b as usize] += 1;
+        }
+        let mut xadj = Vec::with_capacity(n + 1);
+        xadj.push(0usize);
+        for d in &degree {
+            let last = xadj.last().copied().unwrap_or(0);
+            xadj.push(last + d);
+        }
+        let m2 = xadj[n];
+        let mut adjncy = vec![0u32; m2];
+        let mut adjwgt = vec![0u64; m2];
+        let mut cursor = xadj[..n].to_vec();
+        for &(a, b, w) in triples {
+            adjncy[cursor[a as usize]] = b;
+            adjwgt[cursor[a as usize]] = w;
+            cursor[a as usize] += 1;
+            adjncy[cursor[b as usize]] = a;
+            adjwgt[cursor[b as usize]] = w;
+            cursor[b as usize] += 1;
+        }
+        Graph { ncon, vwgt, xadj, adjncy, adjwgt }
+    }
+
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
         self.xadj.len() - 1
@@ -115,10 +221,23 @@ impl Graph {
         self.ncon
     }
 
+    /// Resident bytes of the CSR buffers (vertex weights, adjacency
+    /// offsets, neighbor ids, edge weights) — the memory-model figure
+    /// reported as `metis/peak_graph_bytes`.
+    pub fn csr_bytes(&self) -> u64 {
+        (self.vwgt.len() * 8 + self.xadj.len() * 8 + self.adjncy.len() * 4 + self.adjwgt.len() * 8)
+            as u64
+    }
+
     /// The weight vector of vertex `v`.
     pub fn vertex_weight(&self, v: u32) -> &[u64] {
         let i = v as usize * self.ncon;
         &self.vwgt[i..i + self.ncon]
+    }
+
+    /// Number of neighbors of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.xadj[v as usize + 1] - self.xadj[v as usize]
     }
 
     /// Iterates over `(neighbor, edge_weight)` of `v`.
@@ -170,14 +289,14 @@ impl Graph {
         cut
     }
 
-    /// Per-part, per-constraint weight sums of an assignment.
-    #[allow(clippy::needless_range_loop)]
-    pub fn part_weights(&self, assignment: &[u32], nparts: usize) -> Vec<Vec<u64>> {
-        let mut pw = vec![vec![0u64; self.ncon]; nparts];
-        for v in 0..self.num_vertices() {
-            let p = assignment[v] as usize;
+    /// Per-part, per-constraint weight sums of an assignment, as a
+    /// single `nparts * ncon` row-major buffer (`pw[p * ncon + c]`).
+    pub fn part_weights(&self, assignment: &[u32], nparts: usize) -> Vec<u64> {
+        let mut pw = vec![0u64; nparts * self.ncon];
+        for (v, &p) in assignment.iter().enumerate() {
+            let p = p as usize;
             for c in 0..self.ncon {
-                pw[p][c] += self.vwgt[v * self.ncon + c];
+                pw[p * self.ncon + c] += self.vwgt[v * self.ncon + c];
             }
         }
         pw
@@ -236,8 +355,18 @@ mod tests {
         let cut = g.edge_cut(&[0, 0, 1]);
         assert_eq!(cut, 20);
         let pw = g.part_weights(&[0, 0, 1], 2);
-        assert_eq!(pw[0], vec![3]);
-        assert_eq!(pw[1], vec![3]);
+        assert_eq!(pw, vec![3, 3]);
+    }
+
+    #[test]
+    fn part_weights_are_ncon_strided() {
+        let mut b = GraphBuilder::new(2);
+        b.add_vertex(&[4, 1]);
+        b.add_vertex(&[2, 8]);
+        b.add_vertex(&[1, 1]);
+        let g = b.build();
+        let pw = g.part_weights(&[0, 1, 1], 2);
+        assert_eq!(pw, vec![4, 1, 3, 9]);
     }
 
     #[test]
@@ -262,5 +391,37 @@ mod tests {
     fn wrong_arity_panics() {
         let mut b = GraphBuilder::new(2);
         b.add_vertex(&[1]);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        // Enough duplicated edges to cross the parallel-sort threshold;
+        // every jobs count must freeze to the identical CSR graph.
+        let n = 512u32;
+        let build = |jobs: usize| {
+            let mut b = GraphBuilder::new(1);
+            for _ in 0..n {
+                b.add_vertex(&[1]);
+            }
+            let mut x = 0x9E3779B97F4A7C15u64;
+            for _ in 0..(MIN_PARALLEL_SORT + 1000) {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let a = (x >> 17) as u32 % n;
+                let c = (x >> 41) as u32 % n;
+                b.add_edge(a, c, (x % 7) + 1);
+            }
+            b.build_with_jobs(jobs)
+        };
+        let seq = build(1);
+        for jobs in [2, 4, 8] {
+            assert_eq!(build(jobs), seq, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn csr_bytes_counts_buffers() {
+        let g = path3();
+        // vwgt 3*8 + xadj 4*8 + adjncy 4*4 + adjwgt 4*8 = 104.
+        assert_eq!(g.csr_bytes(), 104);
     }
 }

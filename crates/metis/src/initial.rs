@@ -7,54 +7,65 @@ use crate::refine::{rebalance, refine};
 use mcpart_rng::rngs::SmallRng;
 use mcpart_rng::seq::SliceRandom;
 use mcpart_rng::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Greedy graph growing: grows each part from a random seed by
 /// repeatedly absorbing the unassigned vertex most connected to it,
 /// respecting balance limits when possible.
+///
+/// Connectivity is maintained incrementally: `conn[p][v]` is updated
+/// when a neighbor of `v` joins part `p`, and a per-part lazy max-heap
+/// orders candidates by `(connectivity, lowest index)` — the same
+/// vertex a full rescan would select, found in O(log n) instead of
+/// O(n · degree). The previous rescan-per-grown-vertex implementation
+/// was quadratic and dominated million-op partitioning runs.
 fn grow<R: Rng>(graph: &Graph, balance: &BalanceModel, rng: &mut R) -> Vec<u32> {
     let n = graph.num_vertices();
     let nparts = balance.nparts();
+    let ncon = graph.num_constraints();
     const UNASSIGNED: u32 = u32::MAX;
     let mut assignment = vec![UNASSIGNED; n];
-    let mut pw = vec![vec![0u64; graph.num_constraints()]; nparts];
+    let mut pw = vec![0u64; nparts * ncon];
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.shuffle(rng);
     let mut cursor = 0usize;
+    let mut conn: Vec<Vec<i64>> = vec![vec![0i64; n]; nparts];
+    // Heap entries are (connectivity, Reverse(vertex)): stale entries
+    // (assigned vertex, superseded connectivity) are discarded on peek.
+    let mut heaps: Vec<BinaryHeap<(i64, Reverse<u32>)>> = vec![BinaryHeap::new(); nparts];
+    let mut remaining = n;
 
     // Target fill fraction per part; grow parts round-robin.
     'outer: for round in 0..n * nparts {
         let p = round % nparts;
-        // Is part p already at its fair share? Use the most binding
-        // constraint.
-        let over = (0..graph.num_constraints()).any(|c| {
-            balance.totals[c] > 0
-                && pw[p][c] as f64 >= balance.targets[p] * balance.totals[c] as f64
-        });
-        let any_left = assignment.contains(&UNASSIGNED);
-        if !any_left {
+        if remaining == 0 {
             break;
         }
+        // Is part p already at its fair share? Use the most binding
+        // constraint.
+        let over = (0..ncon).any(|c| {
+            balance.totals[c] > 0
+                && pw[p * ncon + c] as f64 >= balance.targets[p] * balance.totals[c] as f64
+        });
         if over && round < n * (nparts - 1).max(1) {
             continue;
         }
         // Pick the unassigned vertex most connected to part p (or the
         // next unassigned vertex if p has no boundary yet).
-        let mut best: Option<(u32, i64)> = None;
-        for v in 0..n as u32 {
-            if assignment[v as usize] != UNASSIGNED {
+        let mut best: Option<u32> = None;
+        while let Some(&(c, Reverse(v))) = heaps[p].peek() {
+            if assignment[v as usize] != UNASSIGNED || conn[p][v as usize] != c {
+                heaps[p].pop();
                 continue;
             }
-            let conn: i64 = graph
-                .neighbors(v)
-                .filter(|(u, _)| assignment[*u as usize] == p as u32)
-                .map(|(_, w)| w as i64)
-                .sum();
-            if conn > 0 && best.map(|(_, bc)| conn > bc).unwrap_or(true) {
-                best = Some((v, conn));
+            if c > 0 {
+                best = Some(v);
             }
+            break;
         }
         let v = match best {
-            Some((v, _)) => v,
+            Some(v) => v,
             None => {
                 // Seed: next unassigned vertex in random order.
                 loop {
@@ -70,34 +81,44 @@ fn grow<R: Rng>(graph: &Graph, balance: &BalanceModel, rng: &mut R) -> Vec<u32> 
             }
         };
         let vw = graph.vertex_weight(v);
-        let target = if balance.fits(p, &pw[p], vw) {
+        let row = |q: usize| q * ncon..(q + 1) * ncon;
+        let target = if balance.fits(p, &pw[row(p)], vw) {
             p
         } else {
             // Spill to the emptiest feasible part (by overweight), or the
             // lightest part overall if none fit.
             (0..nparts)
-                .filter(|&q| balance.fits(q, &pw[q], vw))
+                .filter(|&q| balance.fits(q, &pw[row(q)], vw))
                 .min_by(|&a, &b| {
-                    let oa = balance.max_overweight(&[pw[a].clone()]);
-                    let ob = balance.max_overweight(&[pw[b].clone()]);
+                    let oa = balance.row_overweight(&pw[row(a)]);
+                    let ob = balance.row_overweight(&pw[row(b)]);
                     oa.total_cmp(&ob)
                 })
                 .unwrap_or_else(|| {
-                    (0..nparts).min_by_key(|&q| pw[q].iter().sum::<u64>()).unwrap_or(0)
+                    (0..nparts).min_by_key(|&q| pw[row(q)].iter().sum::<u64>()).unwrap_or(0)
                 })
         };
         for (c, &w) in vw.iter().enumerate() {
-            pw[target][c] += w;
+            pw[target * ncon + c] += w;
         }
         assignment[v as usize] = target as u32;
+        remaining -= 1;
+        for (u, w) in graph.neighbors(v) {
+            if assignment[u as usize] == UNASSIGNED {
+                conn[target][u as usize] += w as i64;
+                heaps[target].push((conn[target][u as usize], Reverse(u)));
+            }
+        }
     }
     // Any stragglers go to the lightest part.
     #[allow(clippy::needless_range_loop)]
     for v in 0..n {
         if assignment[v] == UNASSIGNED {
-            let p = (0..nparts).min_by_key(|&q| pw[q].iter().sum::<u64>()).unwrap_or(0);
+            let p = (0..nparts)
+                .min_by_key(|&q| pw[q * ncon..(q + 1) * ncon].iter().sum::<u64>())
+                .unwrap_or(0);
             for (c, &w) in graph.vertex_weight(v as u32).iter().enumerate() {
-                pw[p][c] += w;
+                pw[p * ncon + c] += w;
             }
             assignment[v] = p as u32;
         }

@@ -1,7 +1,7 @@
 //! The multilevel k-way driver.
 
 use crate::balance::BalanceModel;
-use crate::coarsen::{coarsen_once, default_max_vwgt, CoarseLevel};
+use crate::coarsen::{coarsen_once, default_max_vwgt, CoarseLevel, CoarsenWorkspace};
 use crate::error::{Fuel, MetisError};
 use crate::graph::Graph;
 use crate::initial::initial_partition;
@@ -132,8 +132,9 @@ pub struct Partitioning {
     pub assignment: Vec<u32>,
     /// Total weight of cut edges.
     pub cut: u64,
-    /// Per-part, per-constraint weights.
-    pub part_weights: Vec<Vec<u64>>,
+    /// Flat per-part, per-constraint weights
+    /// (`part_weights[p * ncon + c]`).
+    pub part_weights: Vec<u64>,
     /// Whether every part is within its balance limit.
     pub balanced: bool,
 }
@@ -179,24 +180,29 @@ pub fn partition(graph: &Graph, config: &PartitionConfig) -> Result<Partitioning
         return Ok(result);
     }
 
-    // Coarsening phase.
+    // Coarsening phase. The finest graph is borrowed, never cloned:
+    // each level owns its coarse graph and the driver looks at
+    // `levels.last()` for the current finest-so-far.
     let mut levels: Vec<CoarseLevel> = Vec::new();
-    let mut current = graph.clone();
-    while current.num_vertices() > config.coarsen_to {
-        let cap = default_max_vwgt(&current, config.nparts.max(2) * 4);
-        match coarsen_once(&current, &cap, &mut rng) {
-            Some(level) => {
-                current = level.graph.clone();
-                levels.push(level);
-            }
+    let mut ws = CoarsenWorkspace::default();
+    loop {
+        let current = levels.last().map_or(graph, |l| &l.graph);
+        if current.num_vertices() <= config.coarsen_to {
+            break;
+        }
+        let cap = default_max_vwgt(current, config.nparts.max(2) * 4);
+        match coarsen_once(current, &cap, config.jobs, &mut ws) {
+            Some(level) => levels.push(level),
             None => break,
         }
     }
+    record_coarsening(config, graph, &levels);
 
     // Initial partition at the coarsest level.
-    let coarse_balance = make_balance(&current, config);
+    let coarsest_graph = levels.last().map_or(graph, |l| &l.graph);
+    let coarse_balance = make_balance(coarsest_graph, config);
     let mut assignment = initial_partition(
-        &current,
+        coarsest_graph,
         &coarse_balance,
         config.initial_tries,
         config.jobs,
@@ -241,6 +247,32 @@ pub fn partition(graph: &Graph, config: &PartitionConfig) -> Result<Partitioning
     let result = finish(graph, config, assignment);
     record_partition(config, clock, n, levels.len(), coarsest, fuel.spent(), &result);
     Ok(result)
+}
+
+/// Records the coarsening trajectory: level count, matched fraction
+/// per level (in thousandths), and the peak resident graph bytes (the
+/// original CSR plus every coarse level, since all levels stay live
+/// through uncoarsening).
+fn record_coarsening(config: &PartitionConfig, graph: &Graph, levels: &[CoarseLevel]) {
+    if !config.obs.is_enabled() {
+        return;
+    }
+    config.obs.counter("metis", "coarsen_levels", levels.len() as i64);
+    let mut fine_n = graph.num_vertices();
+    let mut peak = graph.csr_bytes();
+    for (i, level) in levels.iter().enumerate() {
+        let coarse_n = level.graph.num_vertices();
+        let matched = 2 * fine_n.saturating_sub(coarse_n);
+        config.obs.counter_args(
+            "metis",
+            "matched_frac_x1000",
+            (matched * 1000 / fine_n.max(1)) as i64,
+            &[("level", i as i64)],
+        );
+        peak += level.graph.csr_bytes();
+        fine_n = coarse_n;
+    }
+    config.obs.counter("metis", "peak_graph_bytes", peak as i64);
 }
 
 /// Records the whole run as one `metis/partition` span: coarsening
@@ -308,13 +340,21 @@ mod tests {
         let cfg = PartitionConfig::new(2).with_obs(obs.clone());
         let result = partition(&g, &cfg).expect("partitions");
         let events = obs.events();
-        assert_eq!(events.len(), 1, "one span for the whole run");
-        let e = &events[0];
-        assert_eq!((e.cat, e.name.as_str()), ("metis", "partition"));
+        let e = events
+            .iter()
+            .find(|e| e.cat == "metis" && e.name == "partition")
+            .expect("one span for the whole run");
         let arg = |k: &str| e.args.iter().find(|(n, _)| n == k).map(|&(_, v)| v);
         assert_eq!(arg("vertices"), Some(64));
         assert_eq!(arg("cut"), Some(result.cut as i64));
         assert_eq!(arg("balanced"), Some(result.balanced as i64));
+        // The coarsening trajectory counters ride along.
+        let levels = obs.last_counter("metis", "coarsen_levels").expect("levels counter");
+        assert!(levels >= 1, "levels = {levels}");
+        let peak = obs.last_counter("metis", "peak_graph_bytes").expect("peak counter");
+        assert!(peak >= g.csr_bytes() as i64, "peak = {peak}");
+        let frac = obs.last_counter("metis", "matched_frac_x1000").expect("matched fraction");
+        assert!((0..=1000).contains(&frac), "frac = {frac}");
     }
 
     #[test]
@@ -404,8 +444,8 @@ mod tests {
         let cfg =
             PartitionConfig::new(2).with_target_fractions(vec![3.0, 1.0]).with_imbalance(0.05);
         let result = partition(&g, &cfg).expect("partitions");
-        let w0 = result.part_weights[0][0];
-        let w1 = result.part_weights[1][0];
+        let w0 = result.part_weights[0];
+        let w1 = result.part_weights[1];
         assert!(w0 > w1 * 2, "w0={w0} w1={w1}");
     }
 
@@ -426,8 +466,9 @@ mod tests {
             PartitionConfig::new(2).with_target_fractions(vec![2.0, 1.0]).with_imbalance(0.25);
         let result = partition(&g, &cfg).expect("partitions");
         assert!(result.balanced, "{:?}", result.part_weights);
-        // Part 0 should carry roughly twice of each constraint.
-        assert!(result.part_weights[0][1] > result.part_weights[1][1]);
+        // Part 0 should carry roughly twice of each constraint
+        // (ncon = 2: constraint 1 of part p lives at `p * 2 + 1`).
+        assert!(result.part_weights[1] > result.part_weights[3]);
     }
 
     #[test]
@@ -465,8 +506,9 @@ mod tests {
         let result =
             partition(&g, &PartitionConfig::new(2).with_imbalance(0.3)).expect("partitions");
         assert!(result.balanced, "{:?}", result.part_weights);
-        // Both heavy-data parts get some of the 4 heavy vertices.
-        assert!(result.part_weights[0][0] > 0);
-        assert!(result.part_weights[1][0] > 0);
+        // Both heavy-data parts get some of the 4 heavy vertices
+        // (ncon = 2: constraint 0 of part p lives at `p * 2`).
+        assert!(result.part_weights[0] > 0);
+        assert!(result.part_weights[2] > 0);
     }
 }

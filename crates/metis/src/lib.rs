@@ -45,7 +45,7 @@ mod kway;
 mod refine;
 
 pub use balance::BalanceModel;
-pub use coarsen::{coarsen_once, default_max_vwgt, CoarseLevel};
+pub use coarsen::{coarsen_once, default_max_vwgt, CoarseLevel, CoarsenWorkspace};
 pub use error::{Fuel, MetisError};
 pub use graph::{Graph, GraphBuilder};
 pub use initial::initial_partition;

@@ -1,4 +1,8 @@
 //! Greedy k-way refinement (Fiduccia–Mattheyses style) and rebalancing.
+//!
+//! Part weights travel as flat `nparts * ncon` buffers and the per-part
+//! connectivity scratch is reused across vertex evaluations — the inner
+//! loops allocate nothing.
 
 use crate::balance::BalanceModel;
 use crate::error::Fuel;
@@ -6,21 +10,22 @@ use crate::graph::Graph;
 use mcpart_rng::seq::SliceRandom;
 use mcpart_rng::Rng;
 
-/// Connectivity of a vertex to each part.
-fn external_degrees(graph: &Graph, assignment: &[u32], v: u32, nparts: usize) -> Vec<i64> {
-    let mut ed = vec![0i64; nparts];
+/// Connectivity of a vertex to each part, written into the caller's
+/// reusable scratch buffer.
+fn external_degrees_into(graph: &Graph, assignment: &[u32], v: u32, ed: &mut [i64]) {
+    ed.fill(0);
     for (u, w) in graph.neighbors(v) {
         ed[assignment[u as usize] as usize] += w as i64;
     }
-    ed
 }
 
-fn apply_move(graph: &Graph, assignment: &mut [u32], pw: &mut [Vec<u64>], v: u32, to: usize) {
+fn apply_move(graph: &Graph, assignment: &mut [u32], pw: &mut [u64], v: u32, to: usize) {
+    let ncon = graph.num_constraints();
     let from = assignment[v as usize] as usize;
     let vw = graph.vertex_weight(v);
     for (c, &w) in vw.iter().enumerate() {
-        pw[from][c] -= w;
-        pw[to][c] += w;
+        pw[from * ncon + c] -= w;
+        pw[to * ncon + c] += w;
     }
     assignment[v as usize] = to as u32;
 }
@@ -39,15 +44,17 @@ pub fn refine<R: Rng>(
     graph: &Graph,
     assignment: &mut [u32],
     balance: &BalanceModel,
-    pw: &mut [Vec<u64>],
+    pw: &mut [u64],
     passes: usize,
     fuel: &mut Fuel,
     rng: &mut R,
 ) -> usize {
     let nparts = balance.nparts();
+    let ncon = graph.num_constraints();
     let n = graph.num_vertices();
     let mut total_moves = 0;
     let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut ed = vec![0i64; nparts];
     for _ in 0..passes {
         order.shuffle(rng);
         let mut moved = 0;
@@ -56,7 +63,7 @@ pub fn refine<R: Rng>(
                 return total_moves + moved;
             }
             let from = assignment[v as usize] as usize;
-            let ed = external_degrees(graph, assignment, v, nparts);
+            external_degrees_into(graph, assignment, v, &mut ed);
             let internal = ed[from];
             // Pick the best feasible destination.
             let mut best: Option<(usize, i64)> = None;
@@ -70,7 +77,7 @@ pub fn refine<R: Rng>(
                 if gain < 0 {
                     continue;
                 }
-                if !balance.fits(to, &pw[to], vw) {
+                if !balance.fits(to, &pw[to * ncon..(to + 1) * ncon], vw) {
                     // Soft balance: when the partition is already
                     // overweight (e.g. indivisible objects make exact
                     // balance impossible), still chase cut gains as
@@ -121,12 +128,14 @@ pub fn rebalance<R: Rng>(
     graph: &Graph,
     assignment: &mut [u32],
     balance: &BalanceModel,
-    pw: &mut [Vec<u64>],
+    pw: &mut [u64],
     fuel: &mut Fuel,
     rng: &mut R,
 ) {
     let nparts = balance.nparts();
+    let ncon = graph.num_constraints();
     let n = graph.num_vertices();
+    let mut ed = vec![0i64; nparts];
     // Bounded number of eviction rounds to guarantee termination.
     for _ in 0..n.max(8) {
         if !fuel.spend() {
@@ -134,14 +143,13 @@ pub fn rebalance<R: Rng>(
         }
         // Find the most overweight (part, constraint).
         let mut worst: Option<(usize, f64)> = None;
-        #[allow(clippy::needless_range_loop)]
         for p in 0..nparts {
-            for c in 0..graph.num_constraints() {
+            for c in 0..ncon {
                 if balance.totals[c] == 0 {
                     continue;
                 }
-                if pw[p][c] > balance.limits[p][c] {
-                    let over = pw[p][c] as f64 / balance.limits[p][c] as f64;
+                if pw[p * ncon + c] > balance.limit(p, c) {
+                    let over = pw[p * ncon + c] as f64 / balance.limit(p, c) as f64;
                     if worst.map(|(_, w)| over > w).unwrap_or(true) {
                         worst = Some((p, over));
                     }
@@ -156,14 +164,14 @@ pub fn rebalance<R: Rng>(
         candidates.shuffle(rng);
         let mut best: Option<(u32, usize, i64)> = None;
         for &v in candidates.iter().take(256) {
-            let ed = external_degrees(graph, assignment, v, nparts);
+            external_degrees_into(graph, assignment, v, &mut ed);
             let internal = ed[from];
             let vw = graph.vertex_weight(v);
             if vw.iter().all(|&w| w == 0) {
                 continue; // moving weightless vertices cannot help balance
             }
             for to in 0..nparts {
-                if to == from || !balance.fits(to, &pw[to], vw) {
+                if to == from || !balance.fits(to, &pw[to * ncon..(to + 1) * ncon], vw) {
                     continue;
                 }
                 let gain = ed[to] - internal;

@@ -1,6 +1,8 @@
 //! Shared scaffolding for workload generators.
 
-use mcpart_ir::{BlockId, Cmp, FunctionBuilder, MemWidth, ObjectId, Profile, Program, VReg};
+use mcpart_ir::{
+    BlockId, Cmp, FuncId, FunctionBuilder, MemWidth, ObjectId, Profile, Program, VReg,
+};
 use mcpart_sim::{profile_run, ExecConfig};
 use std::fmt;
 
@@ -12,6 +14,8 @@ pub enum Suite {
     Mediabench,
     /// DSP kernels.
     Dsp,
+    /// Parameterized synthetic scale programs ([`SynthSpec`]).
+    Synthetic,
 }
 
 impl fmt::Display for Suite {
@@ -19,6 +23,7 @@ impl fmt::Display for Suite {
         match self {
             Suite::Mediabench => f.write_str("mediabench"),
             Suite::Dsp => f.write_str("dsp"),
+            Suite::Synthetic => f.write_str("synthetic"),
         }
     }
 }
@@ -30,7 +35,7 @@ impl fmt::Display for Suite {
 #[derive(Clone, Debug)]
 pub struct Workload {
     /// Benchmark name (mirrors the paper's benchmark names).
-    pub name: &'static str,
+    pub name: String,
     /// Suite membership.
     pub suite: Suite,
     /// The program.
@@ -47,11 +52,31 @@ impl Workload {
     ///
     /// Panics if the program fails verification or execution — workload
     /// generators are expected to produce correct programs.
-    pub fn from_program(name: &'static str, suite: Suite, program: Program) -> Self {
+    pub fn from_program(name: impl Into<String>, suite: Suite, program: Program) -> Self {
+        let name = name.into();
         mcpart_ir::verify_program(&program)
             .unwrap_or_else(|e| panic!("workload {name} fails verification: {e}"));
         let profile = profile_run(&program, &[], ExecConfig::default())
             .unwrap_or_else(|e| panic!("workload {name} fails execution: {e}"));
+        Workload { name, suite, program, profile }
+    }
+
+    /// Wraps an already-profiled program: verification only, no
+    /// simulator run. Used by the synthetic generator, whose analytic
+    /// profile makes executing a million-op program unnecessary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails verification.
+    pub fn from_parts(
+        name: impl Into<String>,
+        suite: Suite,
+        program: Program,
+        profile: Profile,
+    ) -> Self {
+        let name = name.into();
+        mcpart_ir::verify_program(&program)
+            .unwrap_or_else(|e| panic!("workload {name} fails verification: {e}"));
         Workload { name, suite, program, profile }
     }
 
@@ -203,6 +228,230 @@ pub fn init_table4(
     })
 }
 
+/// Parameter set for the synthetic scale generator: a seeded,
+/// layer-structured program whose size is controlled precisely enough
+/// to hit a target static operation count (10⁴ … 10⁶ and beyond).
+///
+/// The generated program is a call *tree*: `funcs` functions arranged
+/// in `depth` layers, every function invoked exactly once, each running
+/// one counted loop of `trips` iterations whose body is ~`region_ops`
+/// operations of masked table loads/compute/stores over a subset of
+/// `objects` global tables (`sharing` tables per function, overlapping
+/// across functions so data partitioning has real cross-function
+/// conflicts). Because every function runs exactly once and every loop
+/// is counted, the execution profile is *analytic* — block frequencies
+/// are written down instead of simulated, so million-op programs need
+/// no simulator run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SynthSpec {
+    /// Total function count (≥ 1; clamped up to `depth`).
+    pub funcs: usize,
+    /// Call-graph depth in layers (entry is layer 0).
+    pub depth: usize,
+    /// Approximate operations per loop-body region.
+    pub region_ops: usize,
+    /// Global table count.
+    pub objects: usize,
+    /// Tables accessed per function (sharing across functions rises
+    /// with `funcs * sharing / objects`).
+    pub sharing: usize,
+    /// Loop trip count per function (≥ 1); sets the hot-block
+    /// frequency in the analytic profile.
+    pub trips: i64,
+    /// Seed varying table sizes and per-function access mixes.
+    pub seed: u64,
+}
+
+/// Ops in one load/compute/store body unit (2 mask, 5 load, 1 add,
+/// 5 store).
+const UNIT_OPS: usize = 13;
+/// Fixed per-function op overhead (loop scaffolding, call-argument
+/// seed, return chaining).
+const FUNC_OVERHEAD_OPS: usize = 8;
+
+impl Default for SynthSpec {
+    fn default() -> Self {
+        SynthSpec {
+            funcs: 16,
+            depth: 4,
+            region_ops: 96,
+            objects: 16,
+            sharing: 2,
+            trips: 64,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl SynthSpec {
+    /// A spec sized to produce roughly `ops` static operations, with
+    /// default region size, depth, trips, and seed. Object count scales
+    /// with the function count.
+    pub fn with_target_ops(ops: usize) -> Self {
+        let mut spec = SynthSpec::default();
+        spec.set_target_ops(ops);
+        spec
+    }
+
+    fn set_target_ops(&mut self, ops: usize) {
+        let units = self.region_ops.div_ceil(UNIT_OPS).max(1);
+        let per_func = units * UNIT_OPS + FUNC_OVERHEAD_OPS;
+        self.funcs = (ops / per_func).max(self.depth).max(1);
+        self.objects = (self.funcs / 4).clamp(8, 1 << 16);
+    }
+
+    /// Parses a spec string: either a preset name (`synth_10k`,
+    /// `synth_100k`, `synth_1m`) or a comma-separated `key=value` list
+    /// with keys `ops`, `funcs`, `depth`, `region`, `objects`,
+    /// `sharing`, `trips`, `seed` (e.g.
+    /// `ops=100000,trips=32,seed=7`). Unknown keys are errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unparseable key or value.
+    pub fn parse(spec: &str) -> Result<SynthSpec, String> {
+        match spec {
+            "synth_10k" => return Ok(SynthSpec::with_target_ops(10_000)),
+            "synth_100k" => return Ok(SynthSpec::with_target_ops(100_000)),
+            "synth_1m" => return Ok(SynthSpec::with_target_ops(1_000_000)),
+            _ => {}
+        }
+        let mut out = SynthSpec::default();
+        let mut target_ops = None;
+        for pair in spec.split(',').filter(|s| !s.is_empty()) {
+            let (key, value) =
+                pair.split_once('=').ok_or_else(|| format!("expected key=value, got `{pair}`"))?;
+            let num: u64 =
+                value.parse().map_err(|_| format!("`{key}` needs a number, got `{value}`"))?;
+            match key {
+                "ops" => target_ops = Some(num as usize),
+                "funcs" => out.funcs = (num as usize).max(1),
+                "depth" => out.depth = (num as usize).max(1),
+                "region" => out.region_ops = (num as usize).max(1),
+                "objects" => out.objects = (num as usize).max(1),
+                "sharing" => out.sharing = (num as usize).max(1),
+                "trips" => out.trips = (num as i64).max(1),
+                "seed" => out.seed = num,
+                _ => return Err(format!("unknown spec key `{key}`")),
+            }
+        }
+        if let Some(ops) = target_ops {
+            out.set_target_ops(ops);
+        }
+        Ok(out)
+    }
+
+    /// The analytic profile is exact, so generation is pure IR
+    /// construction plus verification — no simulator run. See
+    /// [`SynthSpec`] for the program shape.
+    pub fn generate(&self, name: impl Into<String>) -> Workload {
+        let funcs = self.funcs.max(self.depth).max(1);
+        let depth = self.depth.min(funcs).max(1);
+        let trips = self.trips.max(1);
+        let units = self.region_ops.div_ceil(UNIT_OPS).max(1);
+        let mut rng = self.seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng >> 33
+        };
+
+        let mut program = Program::new("synth");
+        // Tables: power-of-two element counts so an `and` mask keeps
+        // every access in bounds.
+        let tables: Vec<(ObjectId, i64)> = (0..self.objects.max(1))
+            .map(|k| {
+                let elems = 64i64 << (next() % 4); // 64..512 elements
+                let obj = program
+                    .add_object(mcpart_ir::DataObject::global(format!("tbl{k}"), elems as u64 * 4));
+                (obj, elems - 1)
+            })
+            .collect();
+        let table_of = |f: usize, j: usize, salt: u64| -> (ObjectId, i64) {
+            tables[(f * self.sharing.max(1) + j + salt as usize) % tables.len()]
+        };
+
+        // Layer sizes: entry alone in layer 0, the rest spread evenly.
+        let mut layer_sizes = vec![1usize];
+        let rest = funcs - 1;
+        let lower = depth - 1;
+        for d in 0..lower {
+            layer_sizes.push(rest / lower.max(1) + usize::from(d < rest % lower.max(1)));
+        }
+        layer_sizes.retain(|&s| s > 0);
+
+        // Build deepest layer first so callee ids exist; every function
+        // in layer d+1 is called by exactly one function in layer d
+        // (round-robin), so each function runs exactly once.
+        let mut func_meta: Vec<(FuncId, Loop)> = Vec::new();
+        let mut children: Vec<FuncId> = Vec::new();
+        for d in (1..layer_sizes.len()).rev() {
+            let size = layer_sizes[d];
+            let mut ids = Vec::with_capacity(size);
+            for s in 0..size {
+                let mut b = FunctionBuilder::new_function(&mut program, format!("f{d}_{s}"));
+                let param = b.param();
+                let my_children: Vec<FuncId> = children
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % size == s)
+                    .map(|(_, &c)| c)
+                    .collect();
+                let salt = next();
+                let lp = counted_loop(&mut b, trips, |b, i| {
+                    for u in 0..units {
+                        let (t, mask) = table_of(d * 131 + s, u, salt);
+                        let mkc = b.iconst(mask);
+                        let idx = b.and(i, mkc);
+                        let v = load_elem4(b, t, idx);
+                        let x = b.add(v, param);
+                        store_elem4(b, t, idx, x);
+                    }
+                });
+                let mut acc = param;
+                for &child in &my_children {
+                    let r = b.call(child, vec![acc], 1);
+                    acc = r[0];
+                }
+                b.ret(Some(acc));
+                ids.push(b.func_id());
+                func_meta.push((b.func_id(), lp));
+            }
+            children = ids;
+        }
+        // Entry (layer 0) calls every layer-1 function.
+        let mut b = FunctionBuilder::entry(&mut program);
+        let salt = next();
+        let seed_v = b.iconst((self.seed & 0xFFFF) as i64);
+        let lp = counted_loop(&mut b, trips, |b, i| {
+            for u in 0..units {
+                let (t, mask) = table_of(0, u, salt);
+                let mkc = b.iconst(mask);
+                let idx = b.and(i, mkc);
+                let v = load_elem4(b, t, idx);
+                let x = b.add(v, seed_v);
+                store_elem4(b, t, idx, x);
+            }
+        });
+        let mut acc = seed_v;
+        for &child in &children {
+            let r = b.call(child, vec![acc], 1);
+            acc = r[0];
+        }
+        b.ret(Some(acc));
+        func_meta.push((b.func_id(), lp));
+
+        // Analytic profile: every function runs once, so every block
+        // executes once except the loop header (`trips + 1`) and body
+        // (`trips`).
+        let mut profile = Profile::uniform(&program, 1);
+        for &(fid, lp) in &func_meta {
+            profile.funcs[fid].block_freq[lp.header] = (trips + 1) as u64;
+            profile.funcs[fid].block_freq[lp.body] = trips as u64;
+        }
+        Workload::from_parts(name, Suite::Synthetic, program, profile)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +522,47 @@ mod tests {
         let mut p = Program::new("t");
         let mut b = FunctionBuilder::entry(&mut p);
         unrolled_loop(&mut b, 10, 3, |_b, _i| {});
+    }
+
+    #[test]
+    fn synth_analytic_profile_matches_simulation() {
+        // At small scale the generated program is cheap to actually run:
+        // the analytic profile must agree exactly with the simulator's.
+        let spec = SynthSpec::parse("funcs=9,depth=3,region=40,objects=6,trips=8,seed=11")
+            .expect("valid spec");
+        let w = spec.generate("synth_test");
+        let actual = profile_run(&w.program, &[], ExecConfig::default()).expect("runs");
+        assert_eq!(w.profile, actual);
+    }
+
+    #[test]
+    fn synth_is_deterministic_and_seed_sensitive() {
+        let spec = SynthSpec::parse("ops=2000,seed=5").expect("valid");
+        let a = spec.generate("a");
+        let b = spec.generate("b");
+        assert_eq!(a.program, b.program);
+        assert_eq!(a.profile, b.profile);
+        let other = SynthSpec::parse("ops=2000,seed=6").expect("valid");
+        assert_ne!(other.generate("c").program, a.program, "seed must matter");
+    }
+
+    #[test]
+    fn synth_scales_to_target_ops() {
+        for (target, lo, hi) in [(10_000usize, 8_000, 14_000), (50_000, 40_000, 65_000)] {
+            let w = SynthSpec::with_target_ops(target).generate("t");
+            let ops = w.num_ops();
+            assert!((lo..hi).contains(&ops), "target {target}: ops = {ops}");
+            assert!(w.program.functions.len() > 4);
+            assert!(w.num_objects() >= 8);
+        }
+    }
+
+    #[test]
+    fn synth_spec_parse_rejects_garbage() {
+        assert!(SynthSpec::parse("nope").is_err());
+        assert!(SynthSpec::parse("trips=abc").is_err());
+        assert!(SynthSpec::parse("widgets=3").is_err());
+        assert_eq!(SynthSpec::parse("synth_1m").expect("preset").region_ops, 96);
     }
 
     #[test]

@@ -31,7 +31,7 @@ mod tests_structure;
 
 pub use gen::{
     clamp_const, counted_loop, init_table4, load_elem4, load_ptr4, store_elem4, store_ptr4, Loop,
-    Suite, Workload,
+    Suite, SynthSpec, Workload,
 };
 
 /// All workloads, Mediabench first, then the DSP kernels.
@@ -62,9 +62,23 @@ pub fn all() -> Vec<Workload> {
     ]
 }
 
-/// Looks up one workload by its benchmark name.
+/// Looks up one workload by its benchmark name. Synthetic preset names
+/// (`synth_10k`, `synth_100k`, `synth_1m`) resolve too; arbitrary
+/// synthetic specs go through [`synth`].
 pub fn by_name(name: &str) -> Option<Workload> {
+    if name.starts_with("synth_") {
+        return synth(name);
+    }
     all().into_iter().find(|w| w.name == name)
+}
+
+/// Generates a synthetic workload from a preset name (`synth_10k`,
+/// `synth_100k`, `synth_1m`) or a `key=value,...` spec string
+/// ([`SynthSpec::parse`]). Returns `None` when the string parses as
+/// neither.
+pub fn synth(spec: &str) -> Option<Workload> {
+    let parsed = SynthSpec::parse(spec).ok()?;
+    Some(parsed.generate(spec))
 }
 
 /// The Mediabench subset.
@@ -83,12 +97,24 @@ mod tests {
 
     #[test]
     fn registry_is_consistent() {
-        let names: Vec<_> = all().iter().map(|w| w.name).collect();
-        assert!(names.contains(&"rawcaudio"));
-        assert!(names.contains(&"fsed"));
+        let names: Vec<String> = all().iter().map(|w| w.name.clone()).collect();
+        assert!(names.iter().any(|n| n == "rawcaudio"));
+        assert!(names.iter().any(|n| n == "fsed"));
         let unique: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(unique.len(), names.len(), "duplicate names");
         assert!(by_name("rawdaudio").is_some());
         assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn synth_presets_resolve_through_by_name() {
+        let w = by_name("synth_10k").expect("preset");
+        assert_eq!(w.suite, Suite::Synthetic);
+        assert_eq!(w.name, "synth_10k");
+        // Sized to the target within a generous tolerance.
+        let ops = w.num_ops();
+        assert!((8_000..14_000).contains(&ops), "ops = {ops}");
+        assert!(synth("ops=3000,trips=8,seed=3").is_some());
+        assert!(synth("bogus=1").is_none());
     }
 }

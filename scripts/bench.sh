@@ -13,6 +13,12 @@
 #                                     # report against a baseline with
 #                                     # `mcpart bench-diff` (exit 1 on
 #                                     # regression)
+#   scripts/bench.sh --scale          # run `bench_scale` instead: the
+#                                     # 10^4/10^5/10^6-op synthetic
+#                                     # trajectory -> BENCH_scale.json
+#                                     # (ops/sec, peak graph bytes, the
+#                                     # --jobs curve; combinable with
+#                                     # --quick/--out/--diff-against)
 #
 # Extra arguments are forwarded to the binary (e.g. --benchmarks a,b).
 # The observability metrics (--metrics: GDP cut and balance folded into
@@ -22,10 +28,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BASELINE=""
-OUT=BENCH_partition.json
+BIN=bench_partition
+OUT=""
 ARGS=()
 while [ $# -gt 0 ]; do
   case "$1" in
+    --scale)
+      BIN=bench_scale; shift ;;
     --diff-against)
       BASELINE=${2:?--diff-against needs a baseline path}; shift 2 ;;
     --out)
@@ -34,12 +43,21 @@ while [ $# -gt 0 ]; do
       ARGS+=("$1"); shift ;;
   esac
 done
+if [ -z "$OUT" ]; then
+  if [ "$BIN" = bench_scale ]; then OUT=BENCH_scale.json; else OUT=BENCH_partition.json; fi
+fi
 
-cargo build --release -p mcpart-bench --bin bench_partition
+cargo build --release -p mcpart-bench --bin "$BIN"
 if [ -n "$BASELINE" ]; then
   cargo build --release --bin mcpart
 fi
-target/release/bench_partition --metrics ${ARGS+"${ARGS[@]}"}
+if [ "$BIN" = bench_scale ]; then
+  # bench_scale has no --metrics switch: its observability pass (peak
+  # graph bytes, coarsening levels, cut) is always on.
+  target/release/bench_scale ${ARGS+"${ARGS[@]}"}
+else
+  target/release/bench_partition --metrics ${ARGS+"${ARGS[@]}"}
+fi
 if [ -n "$BASELINE" ]; then
   target/release/mcpart bench-diff "$BASELINE" "$OUT"
 fi

@@ -96,4 +96,18 @@ for needle in "telemetry:" completed "serve/job" p99; do
     || { echo "telemetry stats missing $needle:"; echo "$TELEMETRY_OUT"; exit 1; }
 done
 
+echo "== scale smoke (10^5-op synthetic gen + partition under a wall bound)"
+target/release/mcpart gen synth_100k >/dev/null
+SCALE_START=$(date +%s)
+target/release/mcpart partition synth_100k --jobs 4 \
+  --trace-out /tmp/mcpart_scale_trace.json >/dev/null
+SCALE_SECS=$(( $(date +%s) - SCALE_START ))
+# Generous bound: ~1s release on this host; 60s catches an accidental
+# return to quadratic edge folding without flaking on slow CI.
+if [ "$SCALE_SECS" -gt 60 ]; then
+  echo "10^5-op partition took ${SCALE_SECS}s (>60s wall bound)"; exit 1
+fi
+target/release/mcpart trace-check /tmp/mcpart_scale_trace.json \
+  --require metis/coarsen_levels,metis/matched_frac_x1000,metis/peak_graph_bytes,gdp/cut
+
 echo "== all checks passed"

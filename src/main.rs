@@ -38,8 +38,13 @@ macro_rules! outln {
 }
 
 const USAGE: &str =
-    "usage: mcpart <list|run|compare|dump|exec|partition|schedule|serve|stats|trace-check|\
+    "usage: mcpart <list|gen|run|compare|dump|exec|partition|schedule|serve|stats|trace-check|\
      bench-diff|checkpoint-diff> [args]
+gen <spec> [--out <path>]  generate a synthetic scale program: <spec> is
+         a preset (synth_10k, synth_100k, synth_1m) or key=value,...
+         (keys ops,funcs,depth,region,objects,sharing,trips,seed);
+         prints size stats, --out writes the .mcir text. Synthetic
+         names/specs also work as targets for partition/run/compare.
 options: --method gdp|profile-max|naive|unified  --latency <cycles>
          --clusters <n>  --memory partitioned|unified|coherent:<penalty>
          --gdp-fuel <n>  (cap GDP refinement; exhaustion triggers the
@@ -325,6 +330,12 @@ fn machine_of(o: &Options) -> Machine {
 fn load_target(name_or_path: &str) -> Result<(Program, Profile), String> {
     if let Some(w) = mcpart::workloads::by_name(name_or_path) {
         return Ok((w.program, w.profile));
+    }
+    // A `key=value,...` synthetic spec (`mcpart partition ops=100000`).
+    if name_or_path.contains('=') {
+        if let Some(w) = mcpart::workloads::synth(name_or_path) {
+            return Ok((w.program, w.profile));
+        }
     }
     if std::path::Path::new(name_or_path).exists() {
         let text = std::fs::read_to_string(name_or_path)
@@ -730,6 +741,38 @@ fn main() -> ExitCode {
                 args.get(1).ok_or_else(|| CliError::usage("dump needs a benchmark name"))?;
             let (program, _) = load_target(target)?;
             print!("{}", program_to_string(&program));
+            Ok(())
+        })(),
+        "gen" => (|| {
+            let spec = args.get(1).ok_or_else(|| {
+                CliError::usage("gen needs a spec (synth_10k/synth_100k/synth_1m or key=value,...)")
+            })?;
+            let mut out: Option<&str> = None;
+            let mut rest = args[2..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--out" => {
+                        out = Some(
+                            rest.next()
+                                .ok_or_else(|| CliError::usage("--out needs a path"))?
+                                .as_str(),
+                        );
+                    }
+                    other => return Err(CliError::usage(format!("unknown gen option {other}"))),
+                }
+            }
+            let w = mcpart::workloads::synth(spec)
+                .ok_or_else(|| CliError::usage(format!("`{spec}` is not a synthetic spec")))?;
+            outln!("name:      {}", w.name);
+            outln!("functions: {}", w.program.functions.len());
+            outln!("ops:       {}", w.num_ops());
+            outln!("objects:   {}", w.num_objects());
+            outln!("bytes:     {}", w.program.total_object_size());
+            if let Some(path) = out {
+                std::fs::write(path, program_to_string(&w.program))
+                    .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
+                outln!("wrote:     {path}");
+            }
             Ok(())
         })(),
         "schedule" => (|| {

@@ -34,7 +34,7 @@ fn gdp_is_identical_across_worker_counts_on_every_workload() {
     for w in mcpart::workloads::all() {
         let seq = run_with_jobs(&w, Method::Gdp, 1);
         let par = run_with_jobs(&w, Method::Gdp, 8);
-        assert_same(w.name, Method::Gdp, &seq, &par);
+        assert_same(&w.name, Method::Gdp, &seq, &par);
     }
 }
 
@@ -48,7 +48,7 @@ fn every_method_is_identical_across_worker_counts() {
         for method in Method::ALL {
             let seq = run_with_jobs(&w, method, 1);
             let par = run_with_jobs(&w, method, 8);
-            assert_same(w.name, method, &seq, &par);
+            assert_same(&w.name, method, &seq, &par);
         }
     }
 }
@@ -60,7 +60,7 @@ fn auto_jobs_matches_sequential() {
     let w = mcpart::workloads::by_name("rawcaudio").expect("bundled workload");
     let seq = run_with_jobs(&w, Method::Gdp, 1);
     let auto = run_with_jobs(&w, Method::Gdp, 0);
-    assert_same(w.name, Method::Gdp, &seq, &auto);
+    assert_same(&w.name, Method::Gdp, &seq, &auto);
 }
 
 #[test]
@@ -79,7 +79,7 @@ fn downgrade_records_are_identical_across_worker_counts() {
     assert!(seq.was_downgraded(), "zero GDP fuel must trip the ladder");
     for jobs in [2, 8] {
         let par = run(jobs);
-        assert_same(w.name, Method::Gdp, &seq, &par);
+        assert_same(&w.name, Method::Gdp, &seq, &par);
     }
 }
 
