@@ -99,6 +99,35 @@ fn secs(d: Duration) -> f64 {
     d.as_secs_f64()
 }
 
+/// A one-function edit applied the way a developer edit lands — on the
+/// textual IR: one table-mask constant of the last function
+/// (`iconst 2^k - 1`, the synth generator's in-bounds index mask)
+/// drops by one. The smaller mask keeps every access in bounds and
+/// leaves control flow — and therefore the profile and the GDP homes —
+/// untouched, so the dirty cone is exactly the edited function plus
+/// its merge neighbourhood.
+fn one_function_edit(program: &mcpart_ir::Program) -> mcpart_ir::Program {
+    let text = mcpart_ir::program_to_string(program);
+    let func_start = text.rfind("\nfunc ").map(|i| i + 1).unwrap_or(0);
+    let body = &text[func_start..];
+    let (at, len, k) = body
+        .match_indices("= iconst ")
+        .find_map(|(i, m)| {
+            let at = i + m.len();
+            let len = body[at..].chars().take_while(char::is_ascii_digit).count();
+            let k: i64 = body[at..at + len].parse().ok()?;
+            // The generator's masks are 63/127/255/511 (tables of
+            // 64..512 elements); nothing else in a synth function has
+            // that shape.
+            ((63..=511).contains(&k) && (k + 1) & k == 0).then_some((at, len, k))
+        })
+        .expect("a mask constant to edit");
+    let edited = format!("{}{}{}", &text[..func_start + at], k - 1, &text[func_start + at + len..]);
+    let p = mcpart_ir::parse_program(&edited).expect("edited program parses");
+    mcpart_ir::verify_program(&p).expect("edited program verifies");
+    p
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = parse_options(&args);
@@ -270,6 +299,58 @@ fn main() {
     );
     let _ = std::fs::remove_dir_all(&spool);
 
+    // Incremental re-partitioning: a one-function edit against a
+    // manifest baseline vs a from-scratch run of the edited program.
+    // The edit is textual — the trip bound of the last function's
+    // first counted loop drops by one — so it mirrors how a developer
+    // edit actually lands. Speedup is measured on the partition stage,
+    // the only stage replay touches.
+    let spec = if opts.quick { "ops=3000,seed=3" } else { "synth_10k" };
+    let base_w = mcpart_workloads::synth(spec).expect("synthetic workload");
+    // Round-trip the baseline through the textual IR so its function
+    // hashes are computed on the same spelling the edited program has.
+    let base_p = mcpart_ir::parse_program(&mcpart_ir::program_to_string(&base_w.program))
+        .expect("baseline roundtrips");
+    let base_profile = mcpart_sim::profile_run(&base_p, &[], mcpart_sim::ExecConfig::default())
+        .expect("baseline runs");
+    let base_cfg = PipelineConfig::new(Method::Gdp).with_jobs(1);
+    let base =
+        run_pipeline(&base_p, &base_profile, &machine, &base_cfg).expect("baseline pipeline");
+    let manifest = std::sync::Arc::new(base.manifest.clone().expect("gdp manifest"));
+    let edited = one_function_edit(&base_w.program);
+    let edited_profile = mcpart_sim::profile_run(&edited, &[], mcpart_sim::ExecConfig::default())
+        .expect("edited program runs");
+    let time_partition = |cfg: &PipelineConfig| {
+        let mut best: Option<(Duration, mcpart_core::PipelineResult)> = None;
+        for _ in 0..opts.reps {
+            let r = run_pipeline(&edited, &edited_profile, &machine, cfg).expect("pipeline");
+            if best.as_ref().map(|(t, _)| r.partition_time < *t).unwrap_or(true) {
+                best = Some((r.partition_time, r));
+            }
+        }
+        best.expect("reps >= 1")
+    };
+    let (scratch_secs, scratch_r) = time_partition(&PipelineConfig::new(Method::Gdp).with_jobs(1));
+    let mut inc_cfg = PipelineConfig::new(Method::Gdp).with_jobs(1);
+    inc_cfg.baseline = Some(manifest);
+    let (inc_secs, inc_r) = time_partition(&inc_cfg);
+    assert_eq!(
+        scratch_r.report.total_cycles, inc_r.report.total_cycles,
+        "incremental re-partitioning changed results"
+    );
+    let rp = inc_r.repartition.expect("repartition stats");
+    let repartition_speedup = secs(scratch_secs) / secs(inc_secs).max(1e-9);
+    eprintln!(
+        "repartition: {spec} one-function edit, scratch {:.3}s vs incremental {:.3}s \
+         -> {repartition_speedup:.2}x ({} dirty / {} replayed of {}, cone {:.1}%)",
+        secs(scratch_secs),
+        secs(inc_secs),
+        rp.dirty_funcs,
+        rp.replayed_funcs,
+        rp.total_funcs,
+        rp.cone_frac_x1000() as f64 / 10.0,
+    );
+
     let doc = Json::Obj(vec![
         ("schema_version".into(), Json::Int(mcpart_bench::diff::BENCH_SCHEMA_VERSION)),
         ("benchmark".into(), Json::Str("partition-pipeline".to_string())),
@@ -297,6 +378,12 @@ fn main() {
             "serve_quarantined".into(),
             Json::Int((cold_sum.quarantined + warm_sum.quarantined) as i64),
         ),
+        ("repartition_scratch_secs".into(), Json::Num(secs(scratch_secs))),
+        ("repartition_incremental_secs".into(), Json::Num(secs(inc_secs))),
+        ("repartition_speedup".into(), Json::Num(repartition_speedup)),
+        ("repartition_dirty_funcs".into(), Json::Int(rp.dirty_funcs as i64)),
+        ("repartition_replayed_funcs".into(), Json::Int(rp.replayed_funcs as i64)),
+        ("repartition_cone_frac_x1000".into(), Json::Int(rp.cone_frac_x1000() as i64)),
     ]);
     std::fs::write(&opts.out, doc.render() + "\n").expect("write report");
     eprintln!("wrote {}", opts.out);

@@ -159,8 +159,13 @@ const WORKLOAD_WORK: &[&str] = &[
 const WORKLOAD_TIME: &[&str] = &["partition_secs", "pipeline_secs", "pipeline_secs_no_incremental"];
 const SUITE_TIME_LOWER: &[&str] =
     &["suite_secs_sequential", "suite_secs_parallel", "serve_cold_secs", "serve_warm_secs"];
-const SUITE_TIME_HIGHER: &[&str] =
-    &["parallel_speedup", "incremental_speedup", "serve_cache_hit_rate", "serve_warm_jobs_per_sec"];
+const SUITE_TIME_HIGHER: &[&str] = &[
+    "parallel_speedup",
+    "incremental_speedup",
+    "serve_cache_hit_rate",
+    "serve_warm_jobs_per_sec",
+    "repartition_speedup",
+];
 
 /// Strict-parses and structurally validates one bench artifact:
 /// top-level object, matching `schema_version`, a `workloads` array of

@@ -28,6 +28,19 @@
 //! simply reruns). A *terminated* line that fails to parse is real
 //! corruption and is rejected with a line/column diagnostic — never a
 //! panic.
+//!
+//! ## Manifest lines
+//!
+//! A GDP unit may be followed by one **manifest** line (key
+//! `mcpart_manifest`): per-function content hashes, per-group content
+//! hashes and homes, and the per-function RHOP outputs needed to replay
+//! clean functions on a later incremental run (see
+//! [`crate::repartition`]). Manifest lines are advisory: manifest-less
+//! checkpoints (from before the manifest existed, or whose manifest was
+//! lost) load fine and simply force a full recompute, and a manifest
+//! line that fails to parse or validate is silently ignored rather than
+//! rejected. Only the *absence* of a manifest costs anything; it can
+//! never make a result wrong.
 
 use crate::error::Downgrade;
 use crate::pipeline::{Method, PipelineConfig, PipelineResult};
@@ -181,6 +194,194 @@ impl CheckpointHeader {
             .into_iter()
             .find(|(_, want, got)| want != got)
             .map(|(name, want, got)| (name.to_string(), want, got))
+    }
+
+    /// Whether a checkpoint with this header can serve as the
+    /// *baseline* of an incremental re-partition targeting `current`:
+    /// every result-affecting field must match except `program_hash`
+    /// (the whole point is that the program text changed).
+    pub fn compatible_baseline(&self, current: &CheckpointHeader) -> bool {
+        let mut relaxed = self.clone();
+        relaxed.program_hash = current.program_hash;
+        relaxed.mismatch_against(current).is_none()
+    }
+}
+
+/// Manifest line key (and, with the leading `{"`, the prefix that
+/// identifies a manifest line inside a checkpoint or cache entry).
+pub const MANIFEST_KEY: &str = "mcpart_manifest";
+
+fn manifest_line_prefix() -> String {
+    format!("{{\"{MANIFEST_KEY}\"")
+}
+
+/// Per-function entry of a [`Manifest`]: everything needed to decide
+/// whether the function is dirty and, if clean, to replay its RHOP
+/// result without re-running the partitioner.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ManifestFunc {
+    /// Function name (diagnostic only; identity is positional, because
+    /// RHOP's per-function RNG seed derives from the function *index*).
+    pub name: String,
+    /// Content hash: FNV-1a of the function's textual IR folded with
+    /// the object names its memory ops may touch (in op order), so a
+    /// points-to change caused elsewhere still dirties this function.
+    pub hash: u64,
+    /// Sorted content hashes of the object groups the function
+    /// accesses.
+    pub groups: Vec<u64>,
+    /// Pre-normalization RHOP op clusters (empty for a quarantined
+    /// function, which is never replayable).
+    pub op_cluster: Vec<u32>,
+    /// Per-function RHOP stats, in fixed order: regions,
+    /// estimator_calls, moves_accepted, full_evals, pruned_evals,
+    /// pruned_lock, pruned_bound.
+    pub stats: [u64; 7],
+    /// Panicking attempts the function needed (`u64::MAX` marks a
+    /// quarantined function). Only a `0` entry is replayable: retries
+    /// consume backoff fuel whose accounting cannot be reproduced
+    /// without re-running.
+    pub retries: u64,
+}
+
+impl ManifestFunc {
+    /// Whether this entry carries a replayable RHOP result.
+    pub fn replayable(&self) -> bool {
+        self.retries == 0
+    }
+}
+
+/// The incremental-repartition manifest written alongside a GDP unit
+/// record: per-function and per-group content hashes plus the
+/// per-function RHOP outputs a clean function replays from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    /// Unit key this manifest belongs to (`program/method-slug`).
+    pub unit: String,
+    /// Per-function entries, in function-index order.
+    pub funcs: Vec<ManifestFunc>,
+    /// `(content hash, home cluster)` of every live object group in
+    /// the baseline GDP placement, sorted by hash (`-1` = unhomed).
+    pub groups: Vec<(u64, i64)>,
+}
+
+impl Manifest {
+    /// Renders the manifest as its JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"{MANIFEST_KEY}\":{CHECKPOINT_VERSION},\"unit\":\"{}\",\"funcs\":[",
+            json::escape(&self.unit)
+        );
+        for (i, f) in self.funcs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"hash\":\"{:016x}\",\"groups\":[",
+                json::escape(&f.name),
+                f.hash
+            );
+            for (j, g) in f.groups.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "\"{g:016x}\"");
+            }
+            s.push_str("],\"op_cluster\":[");
+            for (j, c) in f.op_cluster.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{c}");
+            }
+            s.push_str("],\"stats\":[");
+            for (j, v) in f.stats.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{v}");
+            }
+            // u64::MAX (quarantine marker) does not survive an f64
+            // roundtrip; encode retries as -1 in that case.
+            let retries = if f.retries == u64::MAX { -1 } else { f.retries as i64 };
+            let _ = write!(s, "],\"retries\":{retries}}}");
+        }
+        s.push_str("],\"groups\":[");
+        for (i, (hash, home)) in self.groups.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "[\"{hash:016x}\",{home}]");
+        }
+        s.push_str("]}");
+        s
+    }
+
+    fn from_json(doc: &JsonValue) -> Result<Manifest, String> {
+        let version =
+            doc.get(MANIFEST_KEY).and_then(JsonValue::as_num).ok_or("missing manifest version")?;
+        if version as i64 != CHECKPOINT_VERSION {
+            return Err(format!("unsupported manifest version {version}"));
+        }
+        let unit = doc
+            .get("unit")
+            .and_then(JsonValue::as_str)
+            .ok_or("manifest missing 'unit'")?
+            .to_string();
+        let hex = |v: &JsonValue| -> Result<u64, String> {
+            let s = v.as_str().ok_or("manifest hash is not a string")?;
+            u64::from_str_radix(s, 16).map_err(|_| "manifest hash is not hex".to_string())
+        };
+        let mut funcs = Vec::new();
+        for f in doc.get("funcs").and_then(JsonValue::as_arr).ok_or("manifest missing 'funcs'")? {
+            let name = f
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or("manifest func missing 'name'")?
+                .to_string();
+            let hash = hex(f.get("hash").ok_or("manifest func missing 'hash'")?)?;
+            let mut groups = Vec::new();
+            for g in f.get("groups").and_then(JsonValue::as_arr).ok_or("func missing 'groups'")? {
+                groups.push(hex(g)?);
+            }
+            let mut op_cluster = Vec::new();
+            for c in f
+                .get("op_cluster")
+                .and_then(JsonValue::as_arr)
+                .ok_or("func missing 'op_cluster'")?
+            {
+                op_cluster.push(c.as_num().ok_or("op_cluster value is not a number")? as u32);
+            }
+            let stats_arr =
+                f.get("stats").and_then(JsonValue::as_arr).ok_or("func missing 'stats'")?;
+            if stats_arr.len() != 7 {
+                return Err("func 'stats' must have 7 entries".to_string());
+            }
+            let mut stats = [0u64; 7];
+            for (slot, v) in stats.iter_mut().zip(stats_arr) {
+                *slot = v.as_num().ok_or("stats value is not a number")? as u64;
+            }
+            let retries =
+                f.get("retries").and_then(JsonValue::as_num).ok_or("func missing 'retries'")?
+                    as i64;
+            let retries = if retries < 0 { u64::MAX } else { retries as u64 };
+            funcs.push(ManifestFunc { name, hash, groups, op_cluster, stats, retries });
+        }
+        let mut groups = Vec::new();
+        for pair in
+            doc.get("groups").and_then(JsonValue::as_arr).ok_or("manifest missing 'groups'")?
+        {
+            let kv = pair.as_arr().ok_or("manifest group is not a pair")?;
+            if kv.len() != 2 {
+                return Err("manifest group is not a [hash, home] pair".to_string());
+            }
+            let home = kv[1].as_num().ok_or("group home is not a number")? as i64;
+            groups.push((hex(&kv[0])?, home));
+        }
+        Ok(Manifest { unit, funcs, groups })
     }
 }
 
@@ -611,6 +812,10 @@ pub struct Checkpoint {
     pub header: CheckpointHeader,
     /// Completed units, in file order.
     pub records: Vec<UnitRecord>,
+    /// Repartition manifests, in file order. Unparseable manifest
+    /// lines are dropped here (never an error), so absence only forces
+    /// a full recompute.
+    pub manifests: Vec<Manifest>,
     /// Whether an unterminated final line was dropped (the killed
     /// process died mid-append; the unit will simply rerun).
     pub dropped_partial_tail: bool,
@@ -621,6 +826,11 @@ impl Checkpoint {
     /// crash.
     pub fn record_for(&self, unit: &str) -> Option<&UnitRecord> {
         self.records.iter().find(|r| r.unit == unit)
+    }
+
+    /// The manifest for a unit key, if one was written and survived.
+    pub fn manifest_for(&self, unit: &str) -> Option<&Manifest> {
+        self.manifests.iter().find(|m| m.unit == unit)
     }
 }
 
@@ -710,14 +920,26 @@ fn parse_checkpoint_inner(
         }
     }
     let mut records = Vec::new();
+    let mut manifests = Vec::new();
+    let manifest_prefix = manifest_line_prefix();
     for &(n, body, _) in &lines[1..] {
         if body.is_empty() {
+            continue;
+        }
+        if body.starts_with(&manifest_prefix) {
+            // Manifests are advisory: a malformed one is dropped (the
+            // unit recomputes from scratch), never a parse error.
+            if let Ok(doc) = json::parse(body) {
+                if let Ok(m) = Manifest::from_json(&doc) {
+                    manifests.push(m);
+                }
+            }
             continue;
         }
         let doc = json::parse(body).map_err(|e| corrupt(n, e))?;
         records.push(UnitRecord::from_json(&doc).map_err(|e| corrupt(n, e))?);
     }
-    Ok(Checkpoint { header, records, dropped_partial_tail })
+    Ok(Checkpoint { header, records, manifests, dropped_partial_tail })
 }
 
 /// Appends unit records to a checkpoint file, one flushed line each.
@@ -740,16 +962,20 @@ impl CheckpointWriter {
     }
 
     /// Re-creates the file from a validated resume: header plus the
-    /// surviving records (this drops any crash artifact from the tail
-    /// so subsequent appends start on a clean line).
+    /// surviving records and manifests (this drops any crash artifact
+    /// from the tail so subsequent appends start on a clean line).
     pub fn resume(
         path: &str,
         header: &CheckpointHeader,
         records: &[UnitRecord],
+        manifests: &[Manifest],
     ) -> Result<Self, CheckpointError> {
         let mut w = CheckpointWriter::create(path, header)?;
         for r in records {
             w.append(r)?;
+            if let Some(m) = manifests.iter().find(|m| m.unit == r.unit) {
+                w.append_manifest(m)?;
+            }
         }
         Ok(w)
     }
@@ -758,6 +984,14 @@ impl CheckpointWriter {
     /// so a later SIGKILL cannot lose a unit that was reported done.
     pub fn append(&mut self, record: &UnitRecord) -> Result<(), CheckpointError> {
         writeln!(self.file, "{}", record.to_json())
+            .map_err(|e| CheckpointError::Io(format!("cannot write {}: {e}", self.path)))?;
+        self.flush()
+    }
+
+    /// Appends one manifest line (written right after its unit's
+    /// record, so a crash between the two costs only the manifest).
+    pub fn append_manifest(&mut self, manifest: &Manifest) -> Result<(), CheckpointError> {
+        writeln!(self.file, "{}", manifest.to_json())
             .map_err(|e| CheckpointError::Io(format!("cannot write {}: {e}", self.path)))?;
         self.flush()
     }
@@ -785,24 +1019,54 @@ impl CheckpointWriter {
     }
 }
 
+/// A completed unit plus its incremental-repartition byproducts.
+#[derive(Debug)]
+pub struct UnitRun {
+    /// The unit record (what [`run_unit`] returns).
+    pub record: UnitRecord,
+    /// Manifest for a future incremental run (GDP method, not
+    /// downgraded; `None` otherwise).
+    pub manifest: Option<Manifest>,
+    /// Dirty-cone statistics when the run replayed against a baseline
+    /// manifest (`None` on a from-scratch run).
+    pub repartition: Option<crate::repartition::RepartitionStats>,
+}
+
 /// Runs one checkpointable unit: snapshots the obs log, runs the
 /// pipeline, and packages the result (placement, downgrades, report
-/// scalars, quarantine, the unit's pinned events) as a [`UnitRecord`].
+/// scalars, quarantine, the unit's pinned events) as a [`UnitRecord`],
+/// alongside the fresh manifest and — when `config.baseline` carried a
+/// prior manifest — the dirty-cone statistics.
 ///
 /// A terminal worker panic surfaces as
 /// [`McpartError::WorkerPanic`] naming this unit.
+pub fn run_unit_full(
+    program: &Program,
+    profile: &Profile,
+    machine: &Machine,
+    config: &PipelineConfig,
+) -> Result<UnitRun, McpartError> {
+    let unit = format!("{}/{}", program.name, method_slug(config.method));
+    let before = config.obs.events().len();
+    let result = run_pipeline(program, profile, machine, config)
+        .map_err(|e| McpartError::from_unit_failure(&unit, e))?;
+    let events = config.obs.events();
+    let record = UnitRecord::from_result(&unit, &result, &events[before..]);
+    let manifest = result.manifest.clone().map(|mut m| {
+        m.unit = unit.clone();
+        m
+    });
+    Ok(UnitRun { record, manifest, repartition: result.repartition })
+}
+
+/// [`run_unit_full`] without the repartition byproducts.
 pub fn run_unit(
     program: &Program,
     profile: &Profile,
     machine: &Machine,
     config: &PipelineConfig,
 ) -> Result<UnitRecord, McpartError> {
-    let unit = format!("{}/{}", program.name, method_slug(config.method));
-    let before = config.obs.events().len();
-    let result = run_pipeline(program, profile, machine, config)
-        .map_err(|e| McpartError::from_unit_failure(&unit, e))?;
-    let events = config.obs.events();
-    Ok(UnitRecord::from_result(&unit, &result, &events[before..]))
+    run_unit_full(program, profile, machine, config).map(|run| run.record)
 }
 
 #[cfg(test)]
@@ -948,10 +1212,87 @@ mod tests {
         assert_eq!(ck.records[0], record);
         // Resume rewrites the file with the surviving records.
         {
-            let _w = CheckpointWriter::resume(path_str, &header, &ck.records).expect("resume");
+            let _w = CheckpointWriter::resume(path_str, &header, &ck.records, &ck.manifests)
+                .expect("resume");
         }
         let again = load_checkpoint(path_str, &header).expect("reload");
         assert_eq!(again.records.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn demo_manifest(unit: &str) -> Manifest {
+        Manifest {
+            unit: unit.to_string(),
+            funcs: vec![
+                ManifestFunc {
+                    name: "main".to_string(),
+                    hash: 0xdead_beef_0123_4567,
+                    groups: vec![1, 0xffff_ffff_ffff_fffe],
+                    op_cluster: vec![0, 1, 0, 1],
+                    stats: [1, 2, 3, 4, 5, 6, 7],
+                    retries: 0,
+                },
+                ManifestFunc {
+                    name: "quarantined".to_string(),
+                    hash: 7,
+                    groups: vec![],
+                    op_cluster: vec![],
+                    stats: [0; 7],
+                    retries: u64::MAX,
+                },
+            ],
+            groups: vec![(1, 0), (0xffff_ffff_ffff_fffe, -1)],
+        }
+    }
+
+    #[test]
+    fn manifest_roundtrips_through_json() {
+        let m = demo_manifest("demo/gdp");
+        let doc = json::parse(&m.to_json()).expect("manifest is valid JSON");
+        let parsed = Manifest::from_json(&doc).expect("manifest parses back");
+        assert_eq!(parsed, m);
+        assert!(parsed.funcs[0].replayable());
+        assert!(!parsed.funcs[1].replayable());
+    }
+
+    #[test]
+    fn manifest_lines_load_and_corrupt_ones_are_dropped_not_errors() {
+        let (program, profile) = demo_program();
+        let machine = Machine::paper_2cluster(5);
+        let config = PipelineConfig::new(Method::Gdp);
+        let record = run_unit(&program, &profile, &machine, &config).expect("unit runs");
+        let header = demo_header(&program);
+        let manifest = demo_manifest("demo/gdp");
+        let text = format!("{}\n{}\n{}\n", header.to_json(), record.to_json(), manifest.to_json());
+        let ck = parse_checkpoint(&text, &header).expect("manifested checkpoint parses");
+        assert_eq!(ck.records.len(), 1);
+        assert_eq!(ck.manifest_for("demo/gdp"), Some(&manifest));
+        assert!(ck.manifest_for("demo/naive").is_none());
+        // A corrupt manifest line is dropped (full recompute), never an
+        // error — but a corrupt *record* line still is one.
+        let m = manifest.to_json();
+        for bad in [&m[..m.len() / 2], "{\"mcpart_manifest\":1,\"unit\":3}"] {
+            let text = format!("{}\n{}\n{bad}\n", header.to_json(), record.to_json());
+            let ck = parse_checkpoint(&text, &header).expect("corrupt manifest tolerated");
+            assert_eq!(ck.records.len(), 1);
+            assert!(ck.manifests.is_empty());
+        }
+        // Manifests survive a resume rewrite.
+        let dir = std::env::temp_dir().join("mcpart_manifest_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("unit.ckpt");
+        let path_str = path.to_str().expect("utf-8 path");
+        {
+            let _w = CheckpointWriter::resume(
+                path_str,
+                &header,
+                &ck.records,
+                std::slice::from_ref(&manifest),
+            )
+            .expect("resume");
+        }
+        let again = load_checkpoint(path_str, &header).expect("reload");
+        assert_eq!(again.manifest_for("demo/gdp"), Some(&manifest));
         std::fs::remove_file(&path).ok();
     }
 }

@@ -52,6 +52,7 @@ mod exhaustive;
 mod gdp;
 mod groups;
 mod pipeline;
+pub mod repartition;
 mod rhop;
 mod serve;
 
@@ -60,9 +61,9 @@ pub use baselines::{
 };
 pub use checkpoint::{
     fingerprint, load_checkpoint, load_checkpoint_any, method_from_slug, method_slug,
-    parse_checkpoint, parse_checkpoint_any, program_fingerprint, run_unit, Checkpoint,
-    CheckpointError, CheckpointHeader, CheckpointWriter, PinnedEvent, UnitRecord,
-    CHECKPOINT_VERSION,
+    parse_checkpoint, parse_checkpoint_any, program_fingerprint, run_unit, run_unit_full,
+    Checkpoint, CheckpointError, CheckpointHeader, CheckpointWriter, Manifest, ManifestFunc,
+    PinnedEvent, UnitRecord, UnitRun, CHECKPOINT_VERSION, MANIFEST_KEY,
 };
 pub use dfg::{ProgramDfg, ProgramNode};
 pub use error::{
@@ -74,7 +75,11 @@ pub use exhaustive::{
 pub use gdp::{data_partition_from_mapping, gdp_partition, DataPartition, GdpConfig};
 pub use groups::ObjectGroups;
 pub use pipeline::{run_all_methods, run_pipeline, Method, PipelineConfig, PipelineResult};
-pub use rhop::{rhop_partition, PanicPlan, RegionScope, RhopConfig, RhopStats};
+pub use repartition::{build_manifest, compute_reuse, RepartitionStats};
+pub use rhop::{
+    rhop_partition, rhop_partition_detailed, FuncPartitionOutcome, PanicPlan, RegionScope,
+    ReuseEntry, RhopConfig, RhopStats,
+};
 pub use serve::{
     cache_key, parse_job, render_cache_entry, serve, verify_cache_entry, JobLoader, JobSpec,
     MemoryModel, ServeConfig, ServeError, ServeSummary, JOB_VERSION,

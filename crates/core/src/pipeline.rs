@@ -9,9 +9,11 @@
 //! ran.
 
 use crate::baselines::{naive_partition, profile_max_partition, unified_partition};
+use crate::checkpoint::Manifest;
 use crate::error::{Downgrade, PipelineError, PipelineErrorKind, Stage};
 use crate::gdp::{gdp_partition, GdpConfig};
 use crate::groups::ObjectGroups;
+use crate::repartition::RepartitionStats;
 use crate::rhop::{RhopConfig, RhopStats};
 use mcpart_analysis::{validate_profile, AccessInfo, PointsTo};
 use mcpart_ir::{Profile, Program};
@@ -135,6 +137,12 @@ pub struct PipelineConfig {
     /// here panic at entry (caught by panic isolation, advancing the
     /// ladder). Empty in production.
     pub fault_methods: Vec<Method>,
+    /// Baseline manifest for incremental re-partitioning (see
+    /// [`crate::repartition`]): when set and the method is
+    /// [`Method::Gdp`], clean functions replay the baseline's recorded
+    /// RHOP results instead of re-running the partitioner. Output is
+    /// byte-identical either way; `None` (default) runs from scratch.
+    pub baseline: Option<std::sync::Arc<Manifest>>,
 }
 
 impl PipelineConfig {
@@ -156,6 +164,7 @@ impl PipelineConfig {
             retries: 2,
             unit_timeout: None,
             fault_methods: Vec::new(),
+            baseline: None,
         }
     }
 
@@ -229,6 +238,13 @@ pub struct PipelineResult {
     pub moves_inserted: usize,
     /// Wall-clock time of the partitioning phases (excludes evaluation).
     pub partition_time: Duration,
+    /// Manifest for a future incremental run. `Some` exactly when the
+    /// producing rung was [`Method::Gdp`] (its `unit` field is empty;
+    /// [`crate::checkpoint::run_unit_full`] fills it in).
+    pub manifest: Option<Manifest>,
+    /// Dirty-cone statistics when this run replayed against a baseline
+    /// manifest; `None` on a from-scratch run.
+    pub repartition: Option<RepartitionStats>,
 }
 
 impl PipelineResult {
@@ -429,6 +445,8 @@ fn run_method(
     check_clock(Stage::Analysis, clock)?;
 
     let start = Instant::now();
+    let mut manifest = None;
+    let mut repartition = None;
     let (placement, rhop_stats) = match config.method {
         Method::Gdp => {
             let clock = Instant::now();
@@ -436,17 +454,36 @@ fn run_method(
                 .map_err(|e| fail(Stage::DataPartition, PipelineErrorKind::Gdp(e)))?;
             check_clock(Stage::DataPartition, clock)?;
             let clock = Instant::now();
-            let out = crate::rhop::rhop_partition(
+            // GDP is always re-run (it is the cheap global pass); a
+            // baseline manifest only short-circuits the per-function
+            // RHOP work for functions outside the dirty cone.
+            let mut rhop_cfg = config.rhop.clone();
+            if let Some(baseline) = &config.baseline {
+                let (reuse, stats) = crate::repartition::compute_reuse(
+                    &program,
+                    &access,
+                    &groups,
+                    &dp,
+                    config.gdp.merge_dependent_ops,
+                    baseline,
+                );
+                repartition = Some(stats);
+                rhop_cfg.reuse = Some(std::sync::Arc::new(reuse));
+            }
+            let (placement, stats, outcomes) = crate::rhop::rhop_partition_detailed(
                 &program,
                 &access,
                 profile,
                 machine,
                 &dp.object_home,
-                &config.rhop,
+                &rhop_cfg,
             )
             .map_err(|e| fail(Stage::ComputationPartition, PipelineErrorKind::Rhop(e)))?;
             check_clock(Stage::ComputationPartition, clock)?;
-            out
+            manifest = Some(crate::repartition::build_manifest(
+                &program, &access, &groups, &dp, &placement, &outcomes,
+            ));
+            (placement, stats)
         }
         Method::ProfileMax => {
             let clock = Instant::now();
@@ -577,6 +614,8 @@ fn run_method(
         data_bytes,
         moves_inserted: move_stats.moves_inserted,
         partition_time,
+        manifest,
+        repartition,
     })
 }
 

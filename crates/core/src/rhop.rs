@@ -120,6 +120,37 @@ pub struct RhopConfig {
     /// to stop a runaway unit at its next fuel spend. Disarmed by
     /// default.
     pub abort: AbortHandle,
+    /// Per-function replay table installed by an incremental run (see
+    /// [`crate::repartition`]): entry `i`, when present, short-circuits
+    /// function `i`'s partition with the baseline's recorded result —
+    /// charging the recorded estimator calls against the budget and
+    /// emitting the recorded `rhop/function` span, so placements,
+    /// stats, budget outcome and pinned events are byte-identical to a
+    /// live run. `None` (the default) and `None` entries run live.
+    pub reuse: Option<std::sync::Arc<Vec<Option<ReuseEntry>>>>,
+}
+
+/// A replayable per-function RHOP result recorded by a baseline run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReuseEntry {
+    /// Pre-normalization cluster of every op, in op order.
+    pub op_cluster: Vec<u32>,
+    /// The function's recorded stats contribution (zero retries and no
+    /// quarantine — only clean completions are replayable).
+    pub stats: RhopStats,
+}
+
+/// Per-function outcome surfaced by [`rhop_partition_detailed`]:
+/// `None` marks a quarantined function (its placement is the trivial
+/// fallback, never replayable later).
+#[derive(Clone, Debug)]
+pub struct FuncPartitionOutcome {
+    /// The function's own stats contribution.
+    pub stats: RhopStats,
+    /// Panicking attempts that preceded success.
+    pub retries: u64,
+    /// Whether the result was replayed from a [`ReuseEntry`].
+    pub replayed: bool,
 }
 
 /// A deterministic injected fault: panic in `func` while the attempt
@@ -155,6 +186,7 @@ impl Default for RhopConfig {
             backoff_fuel: 16,
             inject_panic: None,
             abort: AbortHandle::default(),
+            reuse: None,
         }
     }
 }
@@ -234,27 +266,50 @@ fn spend_estimate(stats: &mut RhopStats, budget: &SharedBudget) -> Result<(), Rh
 pub fn rhop_partition(
     program: &Program,
     access: &AccessInfo,
-    _profile: &Profile,
+    profile: &Profile,
     machine: &Machine,
     object_home: &EntityMap<ObjectId, Option<ClusterId>>,
     config: &RhopConfig,
 ) -> Result<(Placement, RhopStats), RhopError> {
+    rhop_partition_detailed(program, access, profile, machine, object_home, config)
+        .map(|(placement, stats, _)| (placement, stats))
+}
+
+/// [`rhop_partition`] plus the per-function outcome vector the
+/// incremental-repartition manifest is built from (one entry per
+/// function in index order; `None` = quarantined).
+pub fn rhop_partition_detailed(
+    program: &Program,
+    access: &AccessInfo,
+    _profile: &Profile,
+    machine: &Machine,
+    object_home: &EntityMap<ObjectId, Option<ClusterId>>,
+    config: &RhopConfig,
+) -> Result<(Placement, RhopStats, Vec<Option<FuncPartitionOutcome>>), RhopError> {
     let clock = std::time::Instant::now();
     let mut placement = Placement::all_on_cluster0(program);
     placement.object_home = object_home.clone();
     // The budget is shared across workers. Whether it runs out depends
-    // only on the total demand (which is fixed), so the ok/exceeded
-    // outcome — and with the fid-order reduction below, the reported
-    // error — is deterministic.
+    // only on the total demand (which is fixed: a replayed function
+    // lump-charges exactly the estimator calls its live run would
+    // spend), so the ok/exceeded outcome — and with the fid-order
+    // reduction below, the reported error — is deterministic.
     let budget = SharedBudget::with_abort(config.max_estimator_calls, config.abort.clone());
     let fids: Vec<FuncId> = program.functions.keys().collect();
     let policy = RetryPolicy { retries: config.retries, backoff_fuel: config.backoff_fuel };
+    let reuse = config.reuse.as_deref();
+    let reuse_of = |fid: FuncId| reuse.and_then(|r| r.get(fid.index())).and_then(Option::as_ref);
     // Each function is a supervised unit: a panicking attempt is caught
     // (its events withheld), retried with fuel-denominated backoff, and
     // finally quarantined behind a trivial fallback placement. Panics
     // and backoff charges are pure functions of `(function, attempt)`,
     // so the supervision outcome is identical for every worker count.
+    // A function with a reuse entry skips supervision entirely: replay
+    // runs no partitioner code, so there is nothing to panic.
     let results = mcpart_par::parallel_map(config.jobs, &fids, |_, &fid| {
+        if let Some(entry) = reuse_of(fid) {
+            return replay_function(fid, entry, config, &budget);
+        }
         supervise_unit(
             &program.functions[fid].name,
             policy,
@@ -274,6 +329,7 @@ pub fn rhop_partition(
         )
     });
     let mut stats = RhopStats::default();
+    let mut outcomes: Vec<Option<FuncPartitionOutcome>> = Vec::with_capacity(fids.len());
     // Worker event buffers are held back until every function succeeded,
     // then flushed in function order: the sink sees the same sequence
     // for every worker count, and a failed run flushes nothing.
@@ -284,6 +340,11 @@ pub fn rhop_partition(
                 placement.op_cluster[fid] = op_clusters;
                 stats.add(&func_stats);
                 stats.retries += u64::from(retries);
+                outcomes.push(Some(FuncPartitionOutcome {
+                    stats: func_stats,
+                    retries: u64::from(retries),
+                    replayed: reuse_of(fid).is_some(),
+                }));
                 bufs.push(buf);
             }
             UnitOutcome::Failed(e) => return Err(e),
@@ -292,6 +353,7 @@ pub fn rhop_partition(
                 // all-on-cluster-0 fallback, withhold its events, and
                 // report it instead of failing the workload.
                 stats.quarantine.units.push(q);
+                outcomes.push(None);
             }
         }
     }
@@ -308,7 +370,46 @@ pub fn rhop_partition(
         config.obs.counter("rhop", "pruned_bound", stats.pruned_bound as i64);
         config.obs.span_since("rhop", "partition", clock);
     }
-    Ok((placement, stats))
+    Ok((placement, stats, outcomes))
+}
+
+/// Replays one function's recorded RHOP result: charges the recorded
+/// estimator calls (so the shared budget's total demand — and
+/// therefore its ok/exceeded outcome — matches a live run exactly),
+/// rebuilds the op-cluster map, and emits the one `rhop/function` span
+/// a live [`partition_function`] would, from the recorded stats.
+fn replay_function(
+    fid: FuncId,
+    entry: &ReuseEntry,
+    config: &RhopConfig,
+    budget: &SharedBudget,
+) -> UnitOutcome<(EntityMap<OpId, ClusterId>, RhopStats, mcpart_obs::EventBuf), RhopError> {
+    let clock = std::time::Instant::now();
+    let mut buf = config.obs.buffer();
+    if entry.stats.estimator_calls > 0 && !budget.charge(entry.stats.estimator_calls) {
+        return UnitOutcome::Failed(if budget.is_aborted() {
+            RhopError::Aborted
+        } else {
+            RhopError::EstimatorBudgetExceeded { limit: budget.limit().unwrap_or(0) }
+        });
+    }
+    let op_clusters: EntityMap<OpId, ClusterId> =
+        entry.op_cluster.iter().map(|&c| ClusterId::new(c as usize)).collect();
+    let stats = entry.stats.clone();
+    buf.span_args(
+        "rhop",
+        "function",
+        clock,
+        &[
+            ("func", fid.index() as i64),
+            ("regions", stats.regions as i64),
+            ("estimator_calls", stats.estimator_calls as i64),
+            ("moves_accepted", stats.moves_accepted as i64),
+            ("full_evals", stats.full_evals as i64),
+            ("pruned_evals", stats.pruned_evals as i64),
+        ],
+    );
+    UnitOutcome::Completed { value: (op_clusters, stats, buf), retries: 0, backoff_spent: 0 }
 }
 
 /// Partitions all regions of one function (all three sweeps). Pure in

@@ -39,10 +39,11 @@
 //! byte-identical bytes on disk.
 
 use crate::checkpoint::{
-    fingerprint, method_from_slug, method_slug, parse_checkpoint, program_fingerprint, run_unit,
-    CheckpointHeader, UnitRecord,
+    fingerprint, method_from_slug, method_slug, parse_checkpoint, parse_checkpoint_any,
+    program_fingerprint, run_unit_full, CheckpointHeader, Manifest, UnitRecord,
 };
 use crate::pipeline::{Method, PipelineConfig};
+use crate::repartition::RepartitionStats;
 use crate::rhop::PanicPlan;
 use mcpart_ir::{Profile, Program};
 use mcpart_machine::Machine;
@@ -343,27 +344,30 @@ pub fn cache_key(header: &CheckpointHeader, method: Method) -> String {
 const CACHE_SUM_KEY: &str = "mcpart_cache_sum";
 
 /// Renders a cache entry: a one-record checkpoint (header line + unit
-/// record line) followed by a footer carrying the FNV-1a fingerprint
-/// of the preceding bytes. The footer is what makes the cache
+/// record line, plus the unit's manifest line when the run produced
+/// one) followed by a footer carrying the FNV-1a fingerprint of the
+/// preceding bytes. The footer is what makes the cache
 /// *self-healing*: any truncation or bit flip — even one that still
 /// parses — breaks the fingerprint and the entry is evicted instead of
 /// served.
-pub fn render_cache_entry(header: &CheckpointHeader, record: &UnitRecord) -> String {
-    let body = format!("{}\n{}\n", header.to_json(), record.to_json());
+pub fn render_cache_entry(
+    header: &CheckpointHeader,
+    record: &UnitRecord,
+    manifest: Option<&Manifest>,
+) -> String {
+    let mut body = format!("{}\n{}\n", header.to_json(), record.to_json());
+    if let Some(m) = manifest {
+        body.push_str(&m.to_json());
+        body.push('\n');
+    }
     let sum = fingerprint(body.as_bytes());
     format!("{body}{{\"{CACHE_SUM_KEY}\":\"{sum:016x}\"}}\n")
 }
 
-/// Verifies a cache entry end to end: checksum over the raw bytes
-/// first (catches truncation, bit flips, and invalid UTF-8 before any
-/// parsing), then a full checkpoint parse against the expected header,
-/// then the unit key. Returns the verified record or the reason the
-/// entry must be evicted.
-pub fn verify_cache_entry(
-    bytes: &[u8],
-    expected: &CheckpointHeader,
-    unit: &str,
-) -> Result<UnitRecord, String> {
+/// Checksum layer of cache-entry verification: validates the footer
+/// fingerprint over the raw bytes (catches truncation, bit flips, and
+/// invalid UTF-8 before any parsing) and returns the covered text.
+fn checksum_verified_text(bytes: &[u8]) -> Result<&str, String> {
     let Some(last) = bytes.last() else { return Err("empty entry".to_string()) };
     if *last != b'\n' {
         return Err("truncated entry (no trailing newline)".to_string());
@@ -387,13 +391,65 @@ pub fn verify_cache_entry(
     if actual != sum {
         return Err(format!("checksum mismatch (stored {sum:016x}, computed {actual:016x})"));
     }
-    let text = std::str::from_utf8(prefix).map_err(|_| "entry is not UTF-8".to_string())?;
+    std::str::from_utf8(prefix).map_err(|_| "entry is not UTF-8".to_string())
+}
+
+/// Verifies a cache entry end to end: checksum over the raw bytes
+/// first, then a full checkpoint parse against the expected header,
+/// then the unit key. Returns the verified record or the reason the
+/// entry must be evicted.
+pub fn verify_cache_entry(
+    bytes: &[u8],
+    expected: &CheckpointHeader,
+    unit: &str,
+) -> Result<UnitRecord, String> {
+    let text = checksum_verified_text(bytes)?;
     let ck = parse_checkpoint(text, expected).map_err(|e| format!("unusable entry: {e}"))?;
     match ck.records.as_slice() {
         [record] if record.unit == unit => Ok(record.clone()),
         [record] => Err(format!("entry is for unit `{}`, wanted `{unit}`", record.unit)),
         records => Err(format!("entry holds {} records, wanted 1", records.len())),
     }
+}
+
+/// Path of the by-name baseline pointer for a job's compatibility
+/// class: the cache key with the program *content* hash zeroed, so
+/// every revision of a program under the same configuration (seed,
+/// clusters, latency, memory, fuel, method) shares one pointer. The
+/// pointer file holds the cache key of the latest published entry in
+/// that class; a cache miss follows it to find a baseline manifest.
+/// `.ptr`, not `.json`, so cache-entry listings never mistake it for
+/// an artifact.
+fn baseline_pointer_path(cache: &Path, header: &CheckpointHeader, method: Method) -> PathBuf {
+    let mut class = header.clone();
+    class.program_hash = 0;
+    cache.join(format!("name_{}.ptr", cache_key(&class, method)))
+}
+
+/// Follows the baseline pointer on a cache miss and loads the prior
+/// entry's manifest for an incremental run. Every failure — no
+/// pointer, vanished entry, checksum damage, incompatible
+/// configuration, no manifest — degrades to `None` (a cold run),
+/// never an error: the pointer is an optimization hint, not a source
+/// of truth.
+fn load_baseline_manifest(
+    cache: &Path,
+    header: &CheckpointHeader,
+    method: Method,
+    unit: &str,
+) -> Option<Manifest> {
+    let key = fs::read_to_string(baseline_pointer_path(cache, header, method)).ok()?;
+    let key = key.trim();
+    if key.is_empty() || !key.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    let bytes = fs::read(cache.join(format!("{key}.json"))).ok()?;
+    let text = checksum_verified_text(&bytes).ok()?;
+    let ck = parse_checkpoint_any(text).ok()?;
+    if !ck.header.compatible_baseline(header) {
+        return None;
+    }
+    ck.manifest_for(unit).cloned()
 }
 
 /// Terminal status of one job, mirroring the one-shot exit codes:
@@ -448,6 +504,15 @@ struct JobOutcome {
     cache: CacheNote,
     /// Cache entry to publish on a fresh successful compute.
     entry: Option<(PathBuf, CheckpointHeader)>,
+    /// Baseline pointer to refresh alongside the entry: (pointer
+    /// path, cache key of the published entry).
+    pointer: Option<(PathBuf, String)>,
+    /// The run's manifest, published inside the cache entry so a
+    /// later revision of the same program can run incrementally.
+    manifest: Option<Manifest>,
+    /// Dirty-cone stats when this compute degraded a miss to an
+    /// incremental run against a prior entry's manifest.
+    repartition: Option<RepartitionStats>,
 }
 
 /// Renders a job's result file: one JSON line of pinned fields only
@@ -613,6 +678,9 @@ fn process_job(
         record: None,
         cache: CacheNote::Miss,
         entry: None,
+        pointer: None,
+        manifest: None,
+        repartition: None,
     };
     let path = dirs.work.join(file_name);
     let text = match fs::read_to_string(&path) {
@@ -653,6 +721,9 @@ fn process_job(
                     record: Some(record),
                     cache: CacheNote::Hit,
                     entry: None,
+                    pointer: None,
+                    manifest: None,
+                    repartition: None,
                 };
             }
             Err(why) => {
@@ -671,14 +742,21 @@ fn process_job(
     pcfg.rhop.seed = seed;
     pcfg.rhop.inject_panic = spec.inject_panic.clone();
     pcfg.unit_timeout = cfg.unit_timeout;
+    // A miss on a program we have partitioned before (under this exact
+    // configuration) degrades to an incremental run: replay the clean
+    // functions from the prior entry's manifest, recompute the dirty
+    // cone. Byte-identity to a cold run is RHOP's purity contract.
+    pcfg.baseline =
+        load_baseline_manifest(&dirs.cache, &header, spec.method, &unit).map(std::sync::Arc::new);
 
     match supervise_unit(
         &unit,
         RetryPolicy::new(cfg.retries),
         |_| true,
-        |_| run_unit(&program, &profile, &machine, &pcfg),
+        |_| run_unit_full(&program, &profile, &machine, &pcfg),
     ) {
-        UnitOutcome::Completed { value: record, .. } => {
+        UnitOutcome::Completed { value: run, .. } => {
+            let record = run.record;
             let (status, reason) = if record.quarantine.is_empty() {
                 (JobStatus::Ok, String::new())
             } else {
@@ -689,7 +767,13 @@ fn process_job(
                     .collect();
                 (JobStatus::Quarantined, units.join("; "))
             };
-            let entry = if status == JobStatus::Ok { Some((entry_path, header)) } else { None };
+            let (entry, pointer) = if status == JobStatus::Ok {
+                let pointer_path = baseline_pointer_path(&dirs.cache, &header, spec.method);
+                let key = cache_key(&header, spec.method);
+                (Some((entry_path, header)), Some((pointer_path, key)))
+            } else {
+                (None, None)
+            };
             JobOutcome {
                 file_name: file_name.to_string(),
                 stem,
@@ -698,6 +782,9 @@ fn process_job(
                 record: Some(record),
                 cache,
                 entry,
+                pointer,
+                manifest: run.manifest,
+                repartition: run.repartition,
             }
         }
         UnitOutcome::Failed(e) => JobOutcome {
@@ -708,6 +795,9 @@ fn process_job(
             record: None,
             cache,
             entry: None,
+            pointer: None,
+            manifest: None,
+            repartition: None,
         },
         UnitOutcome::Quarantined(q) => JobOutcome {
             file_name: file_name.to_string(),
@@ -717,6 +807,9 @@ fn process_job(
             record: None,
             cache,
             entry: None,
+            pointer: None,
+            manifest: None,
+            repartition: None,
         },
     }
 }
@@ -738,7 +831,13 @@ fn commit(
     // two costs one recompute-turned-cache-hit, never a result whose
     // artifact vanished.
     if let (Some((entry_path, header)), Some(record)) = (&outcome.entry, &outcome.record) {
-        write_atomic(entry_path, &render_cache_entry(header, record))?;
+        write_atomic(entry_path, &render_cache_entry(header, record, outcome.manifest.as_ref()))?;
+        // Refresh the by-name pointer after the entry it names exists;
+        // a crash between the two leaves the old pointer, which at
+        // worst costs one cold run.
+        if let Some((pointer_path, key)) = &outcome.pointer {
+            write_atomic(pointer_path, &format!("{key}\n"))?;
+        }
     }
 
     let committed = sum.completed + sum.quarantined + sum.failed;
@@ -755,6 +854,14 @@ fn commit(
     write_atomic(&out_path, &text)?;
     if let Some(record) = &outcome.record {
         record.replay_events(&cfg.obs);
+    }
+    // Dirty-cone counters ride after the replayed pipeline events so
+    // an incremental trace is the from-scratch trace plus a trailing
+    // `repartition/*` block — never interleaved with pinned events.
+    if let Some(rp) = &outcome.repartition {
+        cfg.obs.counter("repartition", "dirty_funcs", rp.dirty_funcs as i64);
+        cfg.obs.counter("repartition", "replayed_funcs", rp.replayed_funcs as i64);
+        cfg.obs.counter("repartition", "cone_frac_x1000", rp.cone_frac_x1000() as i64);
     }
 
     let work_path = dirs.work.join(&outcome.file_name);
@@ -793,9 +900,13 @@ fn commit(
                 why
             ));
         }
-        (CacheNote::Miss, JobStatus::Ok) => {
-            progress(&format!("job {}: ok (computed)", outcome.stem));
-        }
+        (CacheNote::Miss, JobStatus::Ok) => match &outcome.repartition {
+            Some(rp) => progress(&format!(
+                "job {}: ok (computed incrementally: {}/{} replayed)",
+                outcome.stem, rp.replayed_funcs, rp.total_funcs
+            )),
+            None => progress(&format!("job {}: ok (computed)", outcome.stem)),
+        },
         (CacheNote::Miss, _) => {
             progress(&format!(
                 "job {}: {}: {}",
@@ -816,6 +927,10 @@ fn commit(
 fn observe_outcome(registry: &mut MetricsRegistry, outcome: &JobOutcome) {
     let Some(record) = &outcome.record else { return };
     registry.observe_wall("serve/job", (record.partition_ms.max(0.0) * 1000.0) as u64);
+    if let Some(rp) = &outcome.repartition {
+        registry.observe("repartition/replayed_funcs", rp.replayed_funcs as i64);
+        registry.observe("repartition/cone_frac_x1000", rp.cone_frac_x1000() as i64);
+    }
     for e in &record.events {
         let label = format!("{}/{}", e.cat, e.name);
         if let Some(v) = e.counter {
@@ -954,6 +1069,7 @@ pub fn serve(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::checkpoint::run_unit;
     use mcpart_ir::{DataObject, FunctionBuilder, MemWidth};
 
     fn demo() -> (Program, Profile) {
@@ -1028,10 +1144,27 @@ mod tests {
         let (program, profile) = demo();
         let header = demo_header(&program);
         let record = demo_record(&program, &profile);
-        let entry = render_cache_entry(&header, &record);
+        let entry = render_cache_entry(&header, &record, None);
         let verified = verify_cache_entry(entry.as_bytes(), &header, &record.unit)
             .expect("pristine entry verifies");
         assert_eq!(verified, record);
+    }
+
+    #[test]
+    fn cache_entry_with_manifest_verifies_and_yields_it_back() {
+        let (program, profile) = demo();
+        let header = demo_header(&program);
+        let machine = Machine::homogeneous(2, 5);
+        let cfg = PipelineConfig::new(Method::Gdp);
+        let run = run_unit_full(&program, &profile, &machine, &cfg).expect("unit runs");
+        let manifest = run.manifest.expect("GDP run produces a manifest");
+        let entry = render_cache_entry(&header, &run.record, Some(&manifest));
+        let verified = verify_cache_entry(entry.as_bytes(), &header, &run.record.unit)
+            .expect("manifest-bearing entry verifies");
+        assert_eq!(verified, run.record);
+        let text = checksum_verified_text(entry.as_bytes()).expect("checksum holds");
+        let ck = parse_checkpoint_any(text).expect("parses as checkpoint");
+        assert_eq!(ck.manifest_for(&run.record.unit), Some(&manifest));
     }
 
     #[test]
@@ -1039,7 +1172,7 @@ mod tests {
         let (program, profile) = demo();
         let header = demo_header(&program);
         let record = demo_record(&program, &profile);
-        let entry = render_cache_entry(&header, &record);
+        let entry = render_cache_entry(&header, &record, None);
         let bytes = entry.as_bytes();
 
         // Truncation sweep: every proper prefix must be rejected.

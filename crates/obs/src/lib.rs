@@ -167,6 +167,7 @@ pub fn intern_cat(cat: &str) -> &'static str {
         "supervise",
         "checkpoint",
         "serve",
+        "repartition",
         "bench",
     ];
     if let Some(k) = KNOWN.iter().find(|&&k| k == cat) {

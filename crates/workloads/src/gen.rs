@@ -28,6 +28,44 @@ impl fmt::Display for Suite {
     }
 }
 
+/// Why a candidate workload could not be constructed. The named
+/// generators in this crate are trusted (a failure is a bug and the
+/// panicking constructors are appropriate); spec-driven synthetic
+/// generation flows through the `try_` constructors so a bad input
+/// surfaces as a diagnostic instead of a crash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// The program failed IR verification.
+    Verification {
+        /// Workload name.
+        name: String,
+        /// Verifier diagnostic.
+        detail: String,
+    },
+    /// The profiling execution failed.
+    Execution {
+        /// Workload name.
+        name: String,
+        /// Simulator diagnostic.
+        detail: String,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Verification { name, detail } => {
+                write!(f, "workload {name} fails verification: {detail}")
+            }
+            WorkloadError::Execution { name, detail } => {
+                write!(f, "workload {name} fails execution: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
 /// A benchmark: a verified program plus the execution profile gathered
 /// by actually running it in the functional simulator (so block
 /// frequencies and heap sizes are exact, as with the paper's profiling
@@ -53,12 +91,31 @@ impl Workload {
     /// Panics if the program fails verification or execution — workload
     /// generators are expected to produce correct programs.
     pub fn from_program(name: impl Into<String>, suite: Suite, program: Program) -> Self {
+        Workload::try_from_program(name, suite, program).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Workload::from_program`]: verifies and
+    /// profiles `program`, returning a typed error instead of
+    /// panicking. Use this for programs built from untrusted input
+    /// (spec strings, service job files).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] when verification or the profiling
+    /// execution fails.
+    pub fn try_from_program(
+        name: impl Into<String>,
+        suite: Suite,
+        program: Program,
+    ) -> Result<Self, WorkloadError> {
         let name = name.into();
-        mcpart_ir::verify_program(&program)
-            .unwrap_or_else(|e| panic!("workload {name} fails verification: {e}"));
+        mcpart_ir::verify_program(&program).map_err(|e| WorkloadError::Verification {
+            name: name.clone(),
+            detail: e.to_string(),
+        })?;
         let profile = profile_run(&program, &[], ExecConfig::default())
-            .unwrap_or_else(|e| panic!("workload {name} fails execution: {e}"));
-        Workload { name, suite, program, profile }
+            .map_err(|e| WorkloadError::Execution { name: name.clone(), detail: e.to_string() })?;
+        Ok(Workload { name, suite, program, profile })
     }
 
     /// Wraps an already-profiled program: verification only, no
@@ -74,10 +131,27 @@ impl Workload {
         program: Program,
         profile: Profile,
     ) -> Self {
+        Workload::try_from_parts(name, suite, program, profile).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Workload::from_parts`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::Verification`] when the program fails
+    /// verification.
+    pub fn try_from_parts(
+        name: impl Into<String>,
+        suite: Suite,
+        program: Program,
+        profile: Profile,
+    ) -> Result<Self, WorkloadError> {
         let name = name.into();
-        mcpart_ir::verify_program(&program)
-            .unwrap_or_else(|e| panic!("workload {name} fails verification: {e}"));
-        Workload { name, suite, program, profile }
+        mcpart_ir::verify_program(&program).map_err(|e| WorkloadError::Verification {
+            name: name.clone(),
+            detail: e.to_string(),
+        })?;
+        Ok(Workload { name, suite, program, profile })
     }
 
     /// Number of data objects.
@@ -262,6 +336,33 @@ pub struct SynthSpec {
     pub seed: u64,
 }
 
+/// A malformed synthetic-spec string: what went wrong and where.
+///
+/// `column` is the 1-based byte offset of the offending key or value
+/// inside the spec string, so a shell user can count from the start of
+/// the argument (`spec column 15: ...`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SynthSpecError {
+    /// 1-based byte offset of the offending token in the spec string.
+    pub column: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl SynthSpecError {
+    fn at(column: usize, message: impl Into<String>) -> Self {
+        SynthSpecError { column, message: message.into() }
+    }
+}
+
+impl fmt::Display for SynthSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec column {}: {}", self.column, self.message)
+    }
+}
+
+impl std::error::Error for SynthSpecError {}
+
 /// Ops in one load/compute/store body unit (2 mask, 5 load, 1 add,
 /// 5 store).
 const UNIT_OPS: usize = 13;
@@ -304,12 +405,16 @@ impl SynthSpec {
     /// `synth_100k`, `synth_1m`) or a comma-separated `key=value` list
     /// with keys `ops`, `funcs`, `depth`, `region`, `objects`,
     /// `sharing`, `trips`, `seed` (e.g.
-    /// `ops=100000,trips=32,seed=7`). Unknown keys are errors.
+    /// `ops=100000,trips=32,seed=7`). Unknown keys are errors, and
+    /// every value is range-checked before it is narrowed — a trip
+    /// count that would have wrapped the internal `i64` is rejected
+    /// with a diagnostic instead of silently becoming 1.
     ///
     /// # Errors
     ///
-    /// Returns a message naming the unparseable key or value.
-    pub fn parse(spec: &str) -> Result<SynthSpec, String> {
+    /// Returns a [`SynthSpecError`] locating the offending key or
+    /// value by column.
+    pub fn parse(spec: &str) -> Result<SynthSpec, SynthSpecError> {
         match spec {
             "synth_10k" => return Ok(SynthSpec::with_target_ops(10_000)),
             "synth_100k" => return Ok(SynthSpec::with_target_ops(100_000)),
@@ -318,21 +423,44 @@ impl SynthSpec {
         }
         let mut out = SynthSpec::default();
         let mut target_ops = None;
-        for pair in spec.split(',').filter(|s| !s.is_empty()) {
-            let (key, value) =
-                pair.split_once('=').ok_or_else(|| format!("expected key=value, got `{pair}`"))?;
-            let num: u64 =
-                value.parse().map_err(|_| format!("`{key}` needs a number, got `{value}`"))?;
+        let mut offset = 0usize; // byte offset of the current pair
+        for pair in spec.split(',') {
+            let key_col = offset + 1;
+            offset += pair.len() + 1;
+            if pair.is_empty() {
+                continue;
+            }
+            let (key, value) = pair.split_once('=').ok_or_else(|| {
+                SynthSpecError::at(key_col, format!("expected key=value, got `{pair}`"))
+            })?;
+            let value_col = key_col + key.len() + 1;
+            let num: u64 = value.parse().map_err(|_| {
+                SynthSpecError::at(value_col, format!("`{key}` needs a number, got `{value}`"))
+            })?;
+            // Every value is bounded before narrowing, so the `as`
+            // casts below cannot truncate or wrap on any target.
+            let capped = |hi: u64| -> Result<u64, SynthSpecError> {
+                if (1..=hi).contains(&num) {
+                    Ok(num)
+                } else {
+                    Err(SynthSpecError::at(
+                        value_col,
+                        format!("`{key}` must be between 1 and {hi}, got {num}"),
+                    ))
+                }
+            };
             match key {
-                "ops" => target_ops = Some(num as usize),
-                "funcs" => out.funcs = (num as usize).max(1),
-                "depth" => out.depth = (num as usize).max(1),
-                "region" => out.region_ops = (num as usize).max(1),
-                "objects" => out.objects = (num as usize).max(1),
-                "sharing" => out.sharing = (num as usize).max(1),
-                "trips" => out.trips = (num as i64).max(1),
+                "ops" => target_ops = Some(capped(100_000_000)? as usize),
+                "funcs" => out.funcs = capped(1_000_000)? as usize,
+                "depth" => out.depth = capped(64)? as usize,
+                "region" => out.region_ops = capped(65_536)? as usize,
+                "objects" => out.objects = capped(1_000_000)? as usize,
+                "sharing" => out.sharing = capped(4_096)? as usize,
+                "trips" => out.trips = capped(1_000_000_000)? as i64,
                 "seed" => out.seed = num,
-                _ => return Err(format!("unknown spec key `{key}`")),
+                _ => {
+                    return Err(SynthSpecError::at(key_col, format!("unknown spec key `{key}`")));
+                }
             }
         }
         if let Some(ops) = target_ops {
@@ -344,7 +472,23 @@ impl SynthSpec {
     /// The analytic profile is exact, so generation is pure IR
     /// construction plus verification — no simulator run. See
     /// [`SynthSpec`] for the program shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generated program fails verification (a generator
+    /// bug, not an input error — every parsed spec generates a valid
+    /// program). Untrusted paths use [`SynthSpec::try_generate`].
     pub fn generate(&self, name: impl Into<String>) -> Workload {
+        self.try_generate(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`SynthSpec::generate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::Verification`] if the generated
+    /// program fails verification.
+    pub fn try_generate(&self, name: impl Into<String>) -> Result<Workload, WorkloadError> {
         let funcs = self.funcs.max(self.depth).max(1);
         let depth = self.depth.min(funcs).max(1);
         let trips = self.trips.max(1);
@@ -367,7 +511,11 @@ impl SynthSpec {
             })
             .collect();
         let table_of = |f: usize, j: usize, salt: u64| -> (ObjectId, i64) {
-            tables[(f * self.sharing.max(1) + j + salt as usize) % tables.len()]
+            // Fold the salt modularly in u64 *before* narrowing: the
+            // index is unchanged mod `tables.len()`, and the sum can
+            // no longer truncate or overflow on 32-bit targets.
+            let salt = (salt % tables.len() as u64) as usize;
+            tables[(f * self.sharing.max(1) + j + salt) % tables.len()]
         };
 
         // Layer sizes: entry alone in layer 0, the rest spread evenly.
@@ -448,7 +596,7 @@ impl SynthSpec {
             profile.funcs[fid].block_freq[lp.header] = (trips + 1) as u64;
             profile.funcs[fid].block_freq[lp.body] = trips as u64;
         }
-        Workload::from_parts(name, Suite::Synthetic, program, profile)
+        Workload::try_from_parts(name, Suite::Synthetic, program, profile)
     }
 }
 
@@ -563,6 +711,80 @@ mod tests {
         assert!(SynthSpec::parse("trips=abc").is_err());
         assert!(SynthSpec::parse("widgets=3").is_err());
         assert_eq!(SynthSpec::parse("synth_1m").expect("preset").region_ops, 96);
+    }
+
+    #[test]
+    fn synth_spec_errors_carry_a_column() {
+        // `abc` starts at byte 14 → 1-based column 15.
+        let e = SynthSpec::parse("funcs=4,trips=abc").expect_err("bad value");
+        assert_eq!(e.column, 15);
+        assert!(e.to_string().contains("spec column 15"), "{e}");
+        // The unknown key itself is located, not its value.
+        let e = SynthSpec::parse("seed=1,widgets=3").expect_err("bad key");
+        assert_eq!(e.column, 8);
+        // A bare token with no `=` is located too.
+        let e = SynthSpec::parse("trips=4,nope").expect_err("bare token");
+        assert_eq!(e.column, 9);
+    }
+
+    #[test]
+    fn synth_spec_parse_range_checks_before_narrowing() {
+        // Regression: 2^63 used to wrap `num as i64` negative and then
+        // silently clamp to 1 trip. It must be rejected out loud.
+        let e = SynthSpec::parse("trips=9223372036854775808").expect_err("wrapping trips");
+        assert!(e.to_string().contains("between 1 and"), "{e}");
+        // Zero and over-cap values are diagnosed for every sized key.
+        for bad in [
+            "ops=0",
+            "ops=999999999999",
+            "funcs=0",
+            "funcs=10000000",
+            "depth=65",
+            "region=65537",
+            "objects=0",
+            "sharing=4097",
+            "trips=0",
+        ] {
+            assert!(SynthSpec::parse(bad).is_err(), "{bad} must be rejected");
+        }
+        // Boundary values are accepted; seed takes any u64.
+        assert!(SynthSpec::parse("depth=64,sharing=4096,trips=1000000000").is_ok());
+        assert_eq!(SynthSpec::parse("seed=18446744073709551615").expect("valid").seed, u64::MAX);
+    }
+
+    #[test]
+    fn table_salt_indexing_stays_in_bounds_at_extremes() {
+        // A single table folds every salted index to 0; maximum
+        // sharing over few tables exercises the modular wrap. The
+        // generated programs verify, so an out-of-bounds table index
+        // would fail generation rather than pass silently.
+        let one = SynthSpec::parse("funcs=6,depth=3,region=26,objects=1,sharing=4096,trips=2")
+            .expect("valid")
+            .try_generate("one_table")
+            .expect("generates");
+        assert_eq!(one.num_objects(), 1);
+        let wrap = SynthSpec::parse("funcs=33,depth=4,region=40,objects=3,sharing=4095,trips=2")
+            .expect("valid")
+            .try_generate("wrap")
+            .expect("generates");
+        assert_eq!(wrap.num_objects(), 3);
+    }
+
+    #[test]
+    fn table_salt_spreads_accesses_across_tables() {
+        // With tables to spare, the salted round-robin must not
+        // collapse onto one table: every table should be touched by
+        // some function. `addrof` is the only way the generator takes
+        // a table's address, and the tables are the program's only
+        // objects, so table k renders as `addrof objk`.
+        let w = SynthSpec::parse("funcs=12,depth=3,region=26,objects=8,sharing=2,trips=2,seed=7")
+            .expect("valid")
+            .generate("spread");
+        let text: String =
+            w.program.functions.values().map(mcpart_ir::function_to_string).collect();
+        for k in 0..8 {
+            assert!(text.contains(&format!("addrof obj{k}")), "table {k} never accessed");
+        }
     }
 
     #[test]

@@ -31,7 +31,7 @@ mod tests_structure;
 
 pub use gen::{
     clamp_const, counted_loop, init_table4, load_elem4, load_ptr4, store_elem4, store_ptr4, Loop,
-    Suite, SynthSpec, Workload,
+    Suite, SynthSpec, SynthSpecError, Workload, WorkloadError,
 };
 
 /// All workloads, Mediabench first, then the DSP kernels.
@@ -72,13 +72,45 @@ pub fn by_name(name: &str) -> Option<Workload> {
     all().into_iter().find(|w| w.name == name)
 }
 
+/// Why [`synth_result`] failed: the spec string itself, or
+/// (pathologically — a generator bug) the generated program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SynthError {
+    /// The spec string failed to parse ([`SynthSpec::parse`]).
+    Spec(SynthSpecError),
+    /// The generated program failed workload construction.
+    Workload(WorkloadError),
+}
+
+impl std::fmt::Display for SynthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthError::Spec(e) => e.fmt(f),
+            SynthError::Workload(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
 /// Generates a synthetic workload from a preset name (`synth_10k`,
 /// `synth_100k`, `synth_1m`) or a `key=value,...` spec string
 /// ([`SynthSpec::parse`]). Returns `None` when the string parses as
-/// neither.
+/// neither; [`synth_result`] keeps the diagnostic.
 pub fn synth(spec: &str) -> Option<Workload> {
-    let parsed = SynthSpec::parse(spec).ok()?;
-    Some(parsed.generate(spec))
+    synth_result(spec).ok()
+}
+
+/// Like [`synth`], but surfaces *why* a spec was rejected — column
+/// diagnostics from the parser, verifier output from generation.
+///
+/// # Errors
+///
+/// Returns [`SynthError`] when the spec fails to parse or the
+/// generated program fails construction.
+pub fn synth_result(spec: &str) -> Result<Workload, SynthError> {
+    let parsed = SynthSpec::parse(spec).map_err(SynthError::Spec)?;
+    parsed.try_generate(spec).map_err(SynthError::Workload)
 }
 
 /// The Mediabench subset.
@@ -116,5 +148,12 @@ mod tests {
         assert!((8_000..14_000).contains(&ops), "ops = {ops}");
         assert!(synth("ops=3000,trips=8,seed=3").is_some());
         assert!(synth("bogus=1").is_none());
+    }
+
+    #[test]
+    fn synth_result_keeps_the_diagnostic() {
+        let e = synth_result("trips=0").expect_err("rejected");
+        assert!(e.to_string().contains("spec column"), "{e}");
+        assert!(synth_result("ops=3000,trips=8,seed=3").is_ok());
     }
 }

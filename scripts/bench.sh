@@ -2,7 +2,10 @@
 # Partitioning-pipeline performance benchmark. Builds the harness in
 # release mode and runs `bench_partition`, which writes a JSON report
 # (per-workload stage wall-clock, estimator-call accounting, the
-# incremental-estimation ablation and the parallel suite speedup).
+# incremental-estimation ablation, the parallel suite speedup, and the
+# incremental re-partitioning speedup of a one-function edit replayed
+# against a manifest baseline — `repartition_speedup`, gated upward by
+# `mcpart bench-diff` like the other suite metrics).
 #
 #   scripts/bench.sh                  # full run -> BENCH_partition.json
 #   scripts/bench.sh --quick          # 3-workload smoke run, 1 rep

@@ -110,4 +110,28 @@ fi
 target/release/mcpart trace-check /tmp/mcpart_scale_trace.json \
   --require metis/coarsen_levels,metis/matched_frac_x1000,metis/peak_graph_bytes,gdp/cut
 
+echo "== incremental re-partition smoke (one-function edit vs from-scratch)"
+INCR=/tmp/mcpart_incr
+rm -rf "$INCR"; mkdir -p "$INCR"
+target/release/mcpart gen synth_100k --out "$INCR/prog.mcir" >/dev/null
+target/release/mcpart run "$INCR/prog.mcir" --checkpoint "$INCR/base.ck" >/dev/null
+# One-function edit: shrink one table-mask constant (stays in bounds,
+# leaves the profile and GDP homes alone — the cone is one function).
+sed '0,/= iconst 511$/s//= iconst 510/' "$INCR/prog.mcir" > "$INCR/edited.mcir"
+cmp -s "$INCR/prog.mcir" "$INCR/edited.mcir" \
+  && { echo "edit was a no-op (no mask constant found)"; exit 1; }
+# Both sides trace so both checkpoint records carry pinned obs events
+# (checkpoint-diff then checks replay fidelity, not just placements).
+target/release/mcpart run "$INCR/edited.mcir" --checkpoint "$INCR/fresh.ck" \
+  --trace-out "$INCR/fresh_trace.json" \
+  | grep -v '^partition:' > "$INCR/fresh.txt"
+target/release/mcpart repartition "$INCR/edited.mcir" --baseline "$INCR/base.ck" \
+  --checkpoint "$INCR/inc.ck" --trace-out "$INCR/inc_trace.json" \
+  | grep -v '^partition:\|^repartition:' > "$INCR/inc.txt"
+target/release/mcpart trace-check "$INCR/inc_trace.json" \
+  --require repartition/replayed_funcs,repartition/dirty_funcs,repartition/cone_frac_x1000
+cmp "$INCR/fresh.txt" "$INCR/inc.txt" \
+  || { echo "incremental stdout differs from from-scratch"; exit 1; }
+target/release/mcpart checkpoint-diff "$INCR/fresh.ck" "$INCR/inc.ck"
+
 echo "== all checks passed"

@@ -14,9 +14,9 @@
 //! command or malformed flags).
 
 use mcpart::core::{
-    load_checkpoint, method_slug, program_fingerprint, run_pipeline, run_unit, CheckpointError,
-    CheckpointHeader, CheckpointWriter, Downgrade, Method, PanicPlan, PipelineConfig, ServeConfig,
-    UnitRecord,
+    load_checkpoint, method_slug, program_fingerprint, run_pipeline, run_unit_full,
+    CheckpointError, CheckpointHeader, CheckpointWriter, Downgrade, Manifest, Method, PanicPlan,
+    PipelineConfig, RepartitionStats, ServeConfig, UnitRecord,
 };
 use mcpart::ir::{parse_program, program_to_string, Profile, Program};
 use mcpart::machine::Machine;
@@ -38,8 +38,8 @@ macro_rules! outln {
 }
 
 const USAGE: &str =
-    "usage: mcpart <list|gen|run|compare|dump|exec|partition|schedule|serve|stats|trace-check|\
-     bench-diff|checkpoint-diff> [args]
+    "usage: mcpart <list|gen|run|compare|dump|exec|partition|repartition|schedule|serve|stats|\
+     trace-check|bench-diff|checkpoint-diff> [args]
 gen <spec> [--out <path>]  generate a synthetic scale program: <spec> is
          a preset (synth_10k, synth_100k, synth_1m) or key=value,...
          (keys ops,funcs,depth,region,objects,sharing,trips,seed);
@@ -63,6 +63,14 @@ options: --method gdp|profile-max|naive|unified  --latency <cycles>
                               `func`, the first n attempts; default all)
          --halt-after <n>    (testing: die mid-write after n completed
                               units/jobs, simulating kill -9)
+repartition <target> --baseline <checkpoint> [run options]
+         incremental re-partition against a prior GDP run's manifest:
+         functions whose content, accessed data groups, and merge
+         neighbourhood are unchanged replay the baseline's placement
+         byte-identically; only the dirty cone re-runs RHOP. A
+         manifest-less baseline degrades to a full run (never an
+         error); an incompatible one (different name/seed/clusters/
+         latency/memory/fuel) is rejected with exit 2
 serve <spool-dir> [--drain] [--batch n] [--queue n] [--poll-ms n]
          [--telemetry-every n]
          long-running partition service: submit jobs as
@@ -82,7 +90,8 @@ bench-diff <old.json> <new.json> [--threshold pct] [--time-threshold pct]
          regression gate over two BENCH_partition.json artifacts;
          exit 1 on regression, 2 on a malformed artifact
 checkpoint-diff <a> <b>  compares two checkpoint files, ignoring
-         non-pinned fields (wall-clock); exit 1 on any difference";
+         non-pinned fields (wall-clock); manifest deltas are reported
+         per function, sorted; exit 1 on any difference";
 
 /// A CLI failure, split by whose fault it is: `Usage` means the command
 /// line itself was malformed (exit 2, with usage text), `Config` means
@@ -328,14 +337,16 @@ fn machine_of(o: &Options) -> Machine {
 }
 
 fn load_target(name_or_path: &str) -> Result<(Program, Profile), String> {
-    if let Some(w) = mcpart::workloads::by_name(name_or_path) {
+    // Synthetic specs first — a preset name or `key=value,...` string
+    // (`mcpart partition ops=100000`) keeps its parse diagnostic
+    // instead of degrading to the generic "unknown benchmark" message.
+    if name_or_path.starts_with("synth_") || name_or_path.contains('=') {
+        let w = mcpart::workloads::synth_result(name_or_path)
+            .map_err(|e| format!("`{name_or_path}`: {e}"))?;
         return Ok((w.program, w.profile));
     }
-    // A `key=value,...` synthetic spec (`mcpart partition ops=100000`).
-    if name_or_path.contains('=') {
-        if let Some(w) = mcpart::workloads::synth(name_or_path) {
-            return Ok((w.program, w.profile));
-        }
+    if let Some(w) = mcpart::workloads::by_name(name_or_path) {
+        return Ok((w.program, w.profile));
     }
     if std::path::Path::new(name_or_path).exists() {
         let text = std::fs::read_to_string(name_or_path)
@@ -349,6 +360,20 @@ fn load_target(name_or_path: &str) -> Result<(Program, Profile), String> {
     Err(format!(
         "`{name_or_path}` is neither a known benchmark nor a readable file (try `mcpart list`)"
     ))
+}
+
+/// CLI-side wrapper of [`load_target`]: a malformed synthetic spec is
+/// a *usage* error (exit 2, with the parser's column diagnostic);
+/// everything else stays a runtime error. `serve` keeps the plain
+/// [`load_target`] as its job loader — a service job never exits the
+/// process.
+fn load_target_cli(target: &str) -> Result<(Program, Profile), CliError> {
+    if target.starts_with("synth_") || target.contains('=') {
+        let w = mcpart::workloads::synth_result(target)
+            .map_err(|e| CliError::Usage(format!("`{target}`: {e}")))?;
+        return Ok((w.program, w.profile));
+    }
+    load_target(target).map_err(CliError::Runtime)
 }
 
 /// Announces any degradation-ladder activity on stderr so scripted
@@ -421,7 +446,8 @@ impl CheckpointSession {
             if ck.dropped_partial_tail {
                 eprintln!("note: {path}: discarded a partial trailing record (crash artifact)");
             }
-            let writer = CheckpointWriter::resume(path, &header, &ck.records).map_err(ck_err)?;
+            let writer = CheckpointWriter::resume(path, &header, &ck.records, &ck.manifests)
+                .map_err(ck_err)?;
             Ok(Some(CheckpointSession {
                 writer,
                 resumed: ck.records,
@@ -439,15 +465,21 @@ impl CheckpointSession {
         }
     }
 
-    /// Appends a finished unit, honouring the `--halt-after` crash
-    /// injection point.
-    fn append(&mut self, rec: &UnitRecord) -> Result<(), CliError> {
+    /// Appends a finished unit (and its manifest, when the run
+    /// produced one), honouring the `--halt-after` crash injection
+    /// point. The manifest goes second: a crash between the two lines
+    /// loses only the incremental-replay hint, never the result.
+    fn append(&mut self, rec: &UnitRecord, manifest: Option<&Manifest>) -> Result<(), CliError> {
         self.appended += 1;
         if self.halt_after == Some(self.appended) {
             self.writer.append_partial(rec).map_err(ck_err)?;
             std::process::abort();
         }
-        self.writer.append(rec).map_err(ck_err)
+        self.writer.append(rec).map_err(ck_err)?;
+        if let Some(m) = manifest {
+            self.writer.append_manifest(m).map_err(ck_err)?;
+        }
+        Ok(())
     }
 
     fn resumed_record(&self, unit: &str) -> Option<UnitRecord> {
@@ -460,6 +492,7 @@ impl CheckpointSession {
 /// sink, so the final trace is byte-identical to an uninterrupted run —
 /// without recomputation; a live unit runs the pipeline and is flushed
 /// to the checkpoint before its result is reported.
+#[allow(clippy::too_many_arguments)]
 fn run_or_resume(
     program: &Program,
     profile: &Profile,
@@ -468,21 +501,23 @@ fn run_or_resume(
     method: Method,
     obs: &mcpart::obs::Obs,
     session: &mut Option<CheckpointSession>,
-) -> Result<UnitRecord, CliError> {
+    baseline: Option<std::sync::Arc<Manifest>>,
+) -> Result<(UnitRecord, Option<RepartitionStats>), CliError> {
     let unit = format!("{}/{}", program.name, method_slug(method));
     if let Some(s) = session {
         if let Some(rec) = s.resumed_record(&unit) {
             rec.replay_events(obs);
-            return Ok(rec);
+            return Ok((rec, None));
         }
     }
-    let config = config_of(o, method).with_obs(obs.clone());
-    let rec = run_unit(program, profile, machine, &config)
+    let mut config = config_of(o, method).with_obs(obs.clone());
+    config.baseline = baseline;
+    let run = run_unit_full(program, profile, machine, &config)
         .map_err(|e| CliError::Runtime(e.to_string()))?;
     if let Some(s) = session {
-        s.append(&rec)?;
+        s.append(&run.record, run.manifest.as_ref())?;
     }
-    Ok(rec)
+    Ok((run.record, run.repartition))
 }
 
 /// Surfaces quarantined function units: one warning per unit on
@@ -513,11 +548,17 @@ fn report_quarantine(o: &Options, records: &[UnitRecord]) -> Result<(), CliError
     }
 }
 
-fn report_run(program: &Program, profile: &Profile, o: &Options) -> Result<(), CliError> {
+fn report_run(
+    program: &Program,
+    profile: &Profile,
+    o: &Options,
+    baseline: Option<std::sync::Arc<Manifest>>,
+) -> Result<(), CliError> {
     let machine = machine_of(o);
     let obs = obs_of(o);
     let mut session = CheckpointSession::open(o, program)?;
-    let rec = run_or_resume(program, profile, &machine, o, o.method, &obs, &mut session)?;
+    let (rec, repartition) =
+        run_or_resume(program, profile, &machine, o, o.method, &obs, &mut session, baseline)?;
     report_downgrades(&rec.downgrades);
     outln!("benchmark: {}", program.name);
     outln!("machine:   {} clusters, {}-cycle moves", o.clusters, o.latency);
@@ -535,6 +576,21 @@ fn report_run(program: &Program, profile: &Profile, o: &Options) -> Result<(), C
     outln!("ops:       {:?} per cluster", rec.placement().ops_per_cluster(o.clusters));
     outln!("pressure:  {} live registers at the worst block boundary", rec.pressure);
     outln!("partition: {:.1} ms", rec.partition_ms);
+    // Dirty-cone counters land after the unit's pinned events, so the
+    // incremental trace is the from-scratch trace plus a trailing
+    // `repartition/*` block.
+    if let Some(rp) = &repartition {
+        obs.counter("repartition", "dirty_funcs", rp.dirty_funcs as i64);
+        obs.counter("repartition", "replayed_funcs", rp.replayed_funcs as i64);
+        obs.counter("repartition", "cone_frac_x1000", rp.cone_frac_x1000() as i64);
+        outln!(
+            "repartition: {} dirty / {} replayed of {} functions (cone {:.1}%)",
+            rp.dirty_funcs,
+            rp.replayed_funcs,
+            rp.total_funcs,
+            rp.cone_frac_x1000() as f64 / 10.0
+        );
+    }
     emit_obs(o, &obs)?;
     report_quarantine(o, std::slice::from_ref(&rec))
 }
@@ -692,16 +748,61 @@ fn main() -> ExitCode {
                 CliError::usage(format!("{command} needs a benchmark name or .mcir file"))
             })?;
             let o = parse_options(&args[2..]).map_err(CliError::Usage)?;
-            let (program, profile) = load_target(target)?;
-            report_run(&program, &profile, &o)?;
+            let (program, profile) = load_target_cli(target)?;
+            report_run(&program, &profile, &o, None)?;
             Ok(())
+        })(),
+        "repartition" => (|| {
+            let target = args.get(1).ok_or_else(|| {
+                CliError::usage("repartition needs a benchmark name or .mcir file")
+            })?;
+            // `--baseline` is this command's own flag; everything else
+            // is the shared run-option vocabulary.
+            let mut baseline_path: Option<String> = None;
+            let mut rest: Vec<String> = Vec::new();
+            let mut it = args[2..].iter();
+            while let Some(a) = it.next() {
+                if a == "--baseline" {
+                    baseline_path = Some(
+                        it.next()
+                            .ok_or_else(|| CliError::usage("--baseline needs a checkpoint path"))?
+                            .clone(),
+                    );
+                } else {
+                    rest.push(a.clone());
+                }
+            }
+            let baseline_path = baseline_path
+                .ok_or_else(|| CliError::usage("repartition requires --baseline <checkpoint>"))?;
+            let o = parse_options(&rest).map_err(CliError::Usage)?;
+            if o.method != Method::Gdp {
+                return Err(CliError::usage(
+                    "repartition only supports --method gdp (the manifest-bearing method)",
+                ));
+            }
+            let (program, profile) = load_target_cli(target)?;
+            let header = header_of(&o, &program);
+            let ck = mcpart::core::load_checkpoint_any(&baseline_path).map_err(ck_err)?;
+            if !ck.header.compatible_baseline(&header) {
+                return Err(CliError::Config(format!(
+                    "{baseline_path}: baseline is incompatible with this run (program name, \
+                     seed, clusters, latency, memory, and gdp fuel must all match; only the \
+                     program content may differ)"
+                )));
+            }
+            let unit = format!("{}/{}", program.name, method_slug(o.method));
+            let manifest = ck.manifest_for(&unit).cloned();
+            if manifest.is_none() {
+                eprintln!("note: {baseline_path}: no manifest for `{unit}`; running from scratch");
+            }
+            report_run(&program, &profile, &o, manifest.map(std::sync::Arc::new))
         })(),
         "compare" => (|| {
             let target = args
                 .get(1)
                 .ok_or_else(|| CliError::usage("compare needs a benchmark name or file"))?;
             let o = parse_options(&args[2..]).map_err(CliError::Usage)?;
-            let (program, profile) = load_target(target)?;
+            let (program, profile) = load_target_cli(target)?;
             let machine = machine_of(&o);
             let obs = obs_of(&o);
             let mut session = CheckpointSession::open(&o, &program)?;
@@ -709,8 +810,16 @@ fn main() -> ExitCode {
             let mut rows = Vec::new();
             let mut records = Vec::new();
             for method in Method::ALL {
-                let rec =
-                    run_or_resume(&program, &profile, &machine, &o, method, &obs, &mut session)?;
+                let (rec, _) = run_or_resume(
+                    &program,
+                    &profile,
+                    &machine,
+                    &o,
+                    method,
+                    &obs,
+                    &mut session,
+                    None,
+                )?;
                 report_downgrades(&rec.downgrades);
                 if method == Method::Unified {
                     unified = rec.cycles;
@@ -739,7 +848,7 @@ fn main() -> ExitCode {
         "dump" => (|| {
             let target =
                 args.get(1).ok_or_else(|| CliError::usage("dump needs a benchmark name"))?;
-            let (program, _) = load_target(target)?;
+            let (program, _) = load_target_cli(target)?;
             print!("{}", program_to_string(&program));
             Ok(())
         })(),
@@ -761,8 +870,8 @@ fn main() -> ExitCode {
                     other => return Err(CliError::usage(format!("unknown gen option {other}"))),
                 }
             }
-            let w = mcpart::workloads::synth(spec)
-                .ok_or_else(|| CliError::usage(format!("`{spec}` is not a synthetic spec")))?;
+            let w = mcpart::workloads::synth_result(spec)
+                .map_err(|e| CliError::Usage(format!("`{spec}`: {e}")))?;
             outln!("name:      {}", w.name);
             outln!("functions: {}", w.program.functions.len());
             outln!("ops:       {}", w.num_ops());
@@ -782,7 +891,7 @@ fn main() -> ExitCode {
                 .get(1)
                 .ok_or_else(|| CliError::usage("schedule needs a benchmark name or file"))?;
             let o = parse_options(&args[2..]).map_err(CliError::Usage)?;
-            let (program, profile) = load_target(target)?;
+            let (program, profile) = load_target_cli(target)?;
             let machine = machine_of(&o);
             let obs = obs_of(&o);
             let config = config_of(&o, o.method).with_obs(obs.clone());
@@ -825,7 +934,7 @@ fn main() -> ExitCode {
                 .get(1)
                 .ok_or_else(|| CliError::usage("partition needs a benchmark name or file"))?;
             let o = parse_options(&args[2..]).map_err(CliError::Usage)?;
-            let (program, profile) = load_target(target)?;
+            let (program, profile) = load_target_cli(target)?;
             let machine = machine_of(&o);
             let program = profile.apply_heap_sizes(&program);
             let pts = mcpart::analysis::PointsTo::compute(&program);
@@ -1077,12 +1186,12 @@ fn main() -> ExitCode {
                 (Some(a), Some(b)) => (a, b),
                 _ => return Err(CliError::usage("checkpoint-diff needs two checkpoint paths")),
             };
-            let load = |path: &str| -> Result<Vec<UnitRecord>, CliError> {
+            let load = |path: &str| -> Result<(Vec<UnitRecord>, Vec<Manifest>), CliError> {
                 let ck = mcpart::core::load_checkpoint_any(path).map_err(|e| match e {
                     CheckpointError::Io(m) => CliError::Runtime(m),
                     other => CliError::Config(format!("{path}: {other}")),
                 })?;
-                Ok(ck.records)
+                Ok((ck.records, ck.manifests))
             };
             // Wall-clock is the one non-pinned record field; everything
             // else (placements, downgrades, quarantine, pinned events)
@@ -1091,8 +1200,10 @@ fn main() -> ExitCode {
                 r.partition_ms = 0.0;
                 r
             };
-            let a_records: Vec<UnitRecord> = load(a)?.into_iter().map(strip).collect();
-            let b_records: Vec<UnitRecord> = load(b)?.into_iter().map(strip).collect();
+            let (a_raw, a_manifests) = load(a)?;
+            let (b_raw, b_manifests) = load(b)?;
+            let a_records: Vec<UnitRecord> = a_raw.into_iter().map(strip).collect();
+            let b_records: Vec<UnitRecord> = b_raw.into_iter().map(strip).collect();
             if a_records.len() != b_records.len() {
                 return Err(CliError::Runtime(format!(
                     "checkpoints differ: {a} has {} unit(s), {b} has {}",
@@ -1109,6 +1220,75 @@ fn main() -> ExitCode {
                     };
                     return Err(CliError::Runtime(format!("checkpoints differ: {what}")));
                 }
+            }
+            // Manifests compare as a set keyed by unit (append order is
+            // a write-path detail), with deltas reported per function
+            // in stable positional order. A manifest present on only
+            // one side is not a difference: manifests are replay
+            // hints, and a crash or an old writer may legitimately
+            // drop one without changing any pinned result.
+            let index = |ms: Vec<Manifest>| -> std::collections::BTreeMap<String, Manifest> {
+                ms.into_iter().map(|m| (m.unit.clone(), m)).collect()
+            };
+            let (ma, mb) = (index(a_manifests), index(b_manifests));
+            let units: BTreeSet<&String> = ma.keys().chain(mb.keys()).collect();
+            let mut deltas: Vec<String> = Vec::new();
+            for unit in units {
+                match (ma.get(unit), mb.get(unit)) {
+                    (Some(x), Some(y)) if x == y => {}
+                    (Some(x), Some(y)) => {
+                        let mut lines = Vec::new();
+                        for i in 0..x.funcs.len().max(y.funcs.len()) {
+                            match (x.funcs.get(i), y.funcs.get(i)) {
+                                (Some(fa), Some(fb)) if fa == fb => {}
+                                (Some(fa), Some(fb)) => {
+                                    let mut what = Vec::new();
+                                    if fa.name != fb.name {
+                                        what.push("name");
+                                    }
+                                    if fa.hash != fb.hash {
+                                        what.push("ir");
+                                    }
+                                    if fa.groups != fb.groups {
+                                        what.push("groups");
+                                    }
+                                    if fa.op_cluster != fb.op_cluster {
+                                        what.push("placement");
+                                    }
+                                    if fa.stats != fb.stats || fa.retries != fb.retries {
+                                        what.push("stats");
+                                    }
+                                    lines.push(format!(
+                                        "  #{i} {}: {} changed",
+                                        fa.name,
+                                        what.join("+")
+                                    ));
+                                }
+                                (Some(fa), None) => {
+                                    lines.push(format!("  #{i} {}: only in {a}", fa.name));
+                                }
+                                (None, Some(fb)) => {
+                                    lines.push(format!("  #{i} {}: only in {b}", fb.name));
+                                }
+                                (None, None) => {}
+                            }
+                        }
+                        if x.groups != y.groups {
+                            lines.push("  (group content/home table differs)".to_string());
+                        }
+                        deltas.push(format!("manifest `{unit}`: {} delta(s)", lines.len()));
+                        deltas.append(&mut lines);
+                    }
+                    (Some(_), None) | (None, Some(_)) | (None, None) => {}
+                }
+            }
+            if !deltas.is_empty() {
+                for line in &deltas {
+                    eprintln!("{line}");
+                }
+                return Err(CliError::Runtime(
+                    "checkpoints differ: manifest deltas (see above)".to_string(),
+                ));
             }
             outln!("checkpoints match: {} unit(s)", a_records.len());
             Ok(())

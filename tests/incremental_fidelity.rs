@@ -1,0 +1,321 @@
+//! The hard contract of incremental re-partitioning: after a
+//! one-function edit, `mcpart repartition --baseline <checkpoint>`
+//! must produce placements, pinned checkpoint records, and stdout
+//! byte-identical to a from-scratch run of the edited program — at
+//! every `--jobs` count, whether the dirty cone is one function or
+//! the whole program.
+//!
+//! Mutations are applied to the textual IR the way a developer edit
+//! lands: rename a temporary (pure spelling change inside one
+//! function) or bump one loop trip count (a semantic change that
+//! shifts the profile). Both must leave every clean function's replay
+//! exact.
+
+use std::path::Path;
+use std::process::Command;
+
+fn mcpart(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_mcpart")).args(args).output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mcpart_incfid_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// Byte range of the last `func ...` region (through its closing `}`).
+fn last_func_region(text: &str) -> std::ops::Range<usize> {
+    let start = text.rfind("\nfunc ").map(|i| i + 1).unwrap_or(0);
+    let end = text[start..].rfind('}').map(|i| start + i).unwrap_or(text.len());
+    start..end
+}
+
+/// True if the byte before/after makes `text[i..i+len]` a whole token.
+fn is_token(text: &str, i: usize, len: usize) -> bool {
+    let before_ok =
+        i == 0 || !text.as_bytes()[i - 1].is_ascii_alphanumeric() && text.as_bytes()[i - 1] != b'_';
+    let after = i + len;
+    let after_ok = after >= text.len() || !text.as_bytes()[after].is_ascii_digit();
+    before_ok && after_ok
+}
+
+/// Renames the highest-numbered `vN` temporary of the last function to
+/// `vN+1` (unused, so no capture) — a one-function spelling edit.
+fn rename_temp(text: &str) -> String {
+    let region = last_func_region(text);
+    let body = &text[region.clone()];
+    let mut max: Option<u64> = None;
+    let mut i = 0;
+    while let Some(p) = body[i..].find('v') {
+        let at = i + p;
+        let digits: String = body[at + 1..].chars().take_while(|c| c.is_ascii_digit()).collect();
+        if !digits.is_empty() && is_token(body, at, 1 + digits.len()) {
+            let n: u64 = digits.parse().expect("digits");
+            max = Some(max.map_or(n, |m| m.max(n)));
+        }
+        i = at + 1;
+    }
+    let n = max.expect("function has temporaries");
+    let old = format!("v{n}");
+    let new = format!("v{}", n + 1);
+    let mut out = String::with_capacity(body.len() + 8);
+    let mut i = 0;
+    while let Some(p) = body[i..].find(&old) {
+        let at = i + p;
+        out.push_str(&body[i..at]);
+        if is_token(body, at, old.len()) {
+            out.push_str(&new);
+        } else {
+            out.push_str(&old);
+        }
+        i = at + old.len();
+    }
+    out.push_str(&body[i..]);
+    let mut full = String::with_capacity(text.len() + 8);
+    full.push_str(&text[..region.start]);
+    full.push_str(&out);
+    full.push_str(&text[region.end..]);
+    full
+}
+
+/// Perturbs the trip count of the last function's first counted loop:
+/// the second operand of its `icmp.lt` is the bound register; its
+/// `= iconst K` definition becomes `K - 1` (down, so loops that index
+/// tables sized to the bound stay in bounds).
+fn bump_trip_count(text: &str) -> String {
+    let region = last_func_region(text);
+    let body = &text[region.clone()];
+    let cmp = body.find("icmp.lt ").expect("function has a counted loop");
+    let operands = &body[cmp + "icmp.lt ".len()..];
+    let line_end = operands.find('\n').unwrap_or(operands.len());
+    let bound = operands[..line_end].split(", ").nth(1).expect("two operands").trim();
+    let def = format!("{bound} = iconst ");
+    let at = body.find(&def).expect("bound is a constant");
+    let num_start = at + def.len();
+    let num_len = body[num_start..].chars().take_while(|c| c.is_ascii_digit()).count();
+    assert!(num_len > 0, "bound constant is numeric");
+    let k: i64 = body[num_start..num_start + num_len].parse().expect("parses");
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push_str(&text[..region.start + num_start]);
+    out.push_str(&(k - 1).to_string());
+    out.push_str(&text[region.start + num_start + num_len..]);
+    out
+}
+
+/// Shrinks one table-mask constant (`iconst 2^k - 1`) of the last
+/// function by one: a value-only edit that keeps every access in
+/// bounds and leaves the profile and the GDP homes untouched, so the
+/// dirty cone is exactly one function plus its merge neighbourhood.
+fn shrink_mask(text: &str) -> String {
+    let region = last_func_region(text);
+    let body = &text[region.clone()];
+    let (at, len, k) = body
+        .match_indices("= iconst ")
+        .find_map(|(i, m)| {
+            let at = i + m.len();
+            let len = body[at..].chars().take_while(|c| c.is_ascii_digit()).count();
+            let k: i64 = body[at..at + len].parse().ok()?;
+            ((63..=511).contains(&k) && (k + 1) & k == 0).then_some((at, len, k))
+        })
+        .expect("a mask constant to edit");
+    format!("{}{}{}", &text[..region.start + at], k - 1, &text[region.start + at + len..])
+}
+
+/// Drops the timing/counter lines that legitimately differ between a
+/// from-scratch and an incremental run: `partition:` is wall-clock,
+/// `repartition:` only exists on the incremental side.
+fn pinned_stdout(s: &str) -> String {
+    s.lines()
+        .filter(|l| !l.starts_with("partition:") && !l.starts_with("repartition:"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Runs the full contract for one program file and one mutation:
+/// baseline checkpoint on the original, then at `--jobs 1` and `4` the
+/// incremental run of the mutant must match a from-scratch run of the
+/// mutant byte-for-byte (checkpoint records, manifests, stdout).
+fn assert_incremental_fidelity(dir: &Path, name: &str, original: &str, mutated: &str) {
+    let orig_path = dir.join(format!("{name}.mcir"));
+    let mut_path = dir.join(format!("{name}.edited.mcir"));
+    let base_ck = dir.join(format!("{name}.base.ck"));
+    std::fs::write(&orig_path, original).expect("write original");
+    std::fs::write(&mut_path, mutated).expect("write mutant");
+    let (_, stderr, ok) = mcpart(&[
+        "run",
+        orig_path.to_str().expect("utf8"),
+        "--method",
+        "gdp",
+        "--checkpoint",
+        base_ck.to_str().expect("utf8"),
+    ]);
+    assert!(ok, "{name}: baseline run failed: {stderr}");
+
+    for jobs in ["1", "4"] {
+        let fresh_ck = dir.join(format!("{name}.fresh{jobs}.ck"));
+        let inc_ck = dir.join(format!("{name}.inc{jobs}.ck"));
+        let (fresh_out, stderr, ok) = mcpart(&[
+            "run",
+            mut_path.to_str().expect("utf8"),
+            "--method",
+            "gdp",
+            "--jobs",
+            jobs,
+            "--checkpoint",
+            fresh_ck.to_str().expect("utf8"),
+        ]);
+        assert!(ok, "{name}: from-scratch run failed: {stderr}");
+        let (inc_out, stderr, ok) = mcpart(&[
+            "repartition",
+            mut_path.to_str().expect("utf8"),
+            "--baseline",
+            base_ck.to_str().expect("utf8"),
+            "--jobs",
+            jobs,
+            "--checkpoint",
+            inc_ck.to_str().expect("utf8"),
+        ]);
+        assert!(ok, "{name}: incremental run failed: {stderr}");
+        assert!(
+            inc_out.contains("repartition: "),
+            "{name}: no repartition summary in stdout:\n{inc_out}"
+        );
+        assert_eq!(
+            pinned_stdout(&fresh_out),
+            pinned_stdout(&inc_out),
+            "{name} at --jobs {jobs}: stdout diverged"
+        );
+        let (diff_out, diff_err, ok) = mcpart(&[
+            "checkpoint-diff",
+            fresh_ck.to_str().expect("utf8"),
+            inc_ck.to_str().expect("utf8"),
+        ]);
+        assert!(
+            ok && diff_out.contains("checkpoints match"),
+            "{name} at --jobs {jobs}: checkpoints diverged:\n{diff_out}{diff_err}"
+        );
+    }
+}
+
+/// One Mediabench workload: dump its IR, mutate it, check the
+/// contract. Mutation kind alternates by index so both edit shapes are
+/// exercised across the suite.
+fn check_workload(dir: &Path, name: &str, rename: bool) {
+    let (text, stderr, ok) = mcpart(&["dump", name]);
+    assert!(ok, "{name}: dump failed: {stderr}");
+    let mutated = if rename { rename_temp(&text) } else { bump_trip_count(&text) };
+    assert_ne!(text, mutated, "{name}: mutation was a no-op");
+    assert_incremental_fidelity(dir, name, &text, &mutated);
+}
+
+#[test]
+fn mediabench_one_function_edits_are_byte_identical_a() {
+    let dir = fresh_dir("mb_a");
+    for (i, name) in ["cjpeg", "djpeg", "epic", "unepic", "g721encode", "g721decode", "gsmencode"]
+        .iter()
+        .enumerate()
+    {
+        check_workload(&dir, name, i % 2 == 0);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mediabench_one_function_edits_are_byte_identical_b() {
+    let dir = fresh_dir("mb_b");
+    for (i, name) in
+        ["gsmdecode", "mpeg2dec", "mpeg2enc", "pegwit", "rawcaudio", "rawdaudio"].iter().enumerate()
+    {
+        check_workload(&dir, name, i % 2 == 0);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `checkpoint-diff` reports *which* manifest entries changed. Records
+/// compare first, so to reach the manifest comparison the two files
+/// must agree on every pinned result — we flip one hex digit of one
+/// function's content hash and expect a per-function delta line naming
+/// the function and the `ir` field, and exit 1.
+#[test]
+fn checkpoint_diff_names_the_changed_manifest_function() {
+    let dir = fresh_dir("mdelta");
+    let a = dir.join("a.ck");
+    let b = dir.join("b.ck");
+    let (_, stderr, ok) = mcpart(&["run", "fir", "--checkpoint", a.to_str().expect("utf8")]);
+    assert!(ok, "run failed: {stderr}");
+    let text = std::fs::read_to_string(&a).expect("read checkpoint");
+    let at = text.find("\"mcpart_manifest\"").expect("manifest line");
+    let h = text[at..].find("\"hash\":\"").map(|i| at + i + "\"hash\":\"".len()).expect("a hash");
+    let mut bytes = text.into_bytes();
+    bytes[h] = if bytes[h] == b'0' { b'1' } else { b'0' };
+    std::fs::write(&b, bytes).expect("write perturbed");
+    let (_, stderr, ok) =
+        mcpart(&["checkpoint-diff", a.to_str().expect("utf8"), b.to_str().expect("utf8")]);
+    assert!(!ok, "perturbed manifest hash must not compare clean");
+    assert!(
+        stderr.contains("manifest `fir/gdp`: 1 delta(s)") && stderr.contains("#0 main: ir changed"),
+        "delta report missing or wrong:\n{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn synth_10k_edit_replays_most_functions_and_stays_byte_identical() {
+    let dir = fresh_dir("synth");
+    let path = dir.join("synth_10k.mcir");
+    let (_, stderr, ok) = mcpart(&["gen", "synth_10k", "--out", path.to_str().expect("utf8")]);
+    assert!(ok, "gen failed: {stderr}");
+    let text = std::fs::read_to_string(&path).expect("read");
+    let mutated = shrink_mask(&text);
+    assert_ne!(text, mutated);
+    assert_incremental_fidelity(&dir, "synth_10k", &text, &mutated);
+
+    // The edit touched one function: most of the program must replay
+    // (but not all — the cone is real), and the incremental trace must
+    // carry the repartition counters.
+    let base_ck = dir.join("synth_10k.base.ck");
+    let mut_path = dir.join("synth_10k.edited.mcir");
+    let trace = dir.join("inc_trace.json");
+    let (stdout, stderr, ok) = mcpart(&[
+        "repartition",
+        mut_path.to_str().expect("utf8"),
+        "--baseline",
+        base_ck.to_str().expect("utf8"),
+        "--trace-out",
+        trace.to_str().expect("utf8"),
+    ]);
+    assert!(ok, "repartition failed: {stderr}");
+    let line =
+        stdout.lines().find(|l| l.starts_with("repartition: ")).expect("repartition summary line");
+    let replayed: usize = line
+        .split(" / ")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .expect("replayed count parses");
+    let total: usize = line
+        .split(" of ")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .expect("total count parses");
+    assert!(
+        total > 10 && replayed * 2 > total && replayed < total,
+        "expected a partial cone over {total} functions, got {replayed} replayed: {line}"
+    );
+    let (stdout, stderr, ok) = mcpart(&[
+        "trace-check",
+        trace.to_str().expect("utf8"),
+        "--require",
+        "repartition/replayed_funcs,repartition/dirty_funcs,repartition/cone_frac_x1000",
+    ]);
+    assert!(ok, "trace-check failed: {stdout}{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
