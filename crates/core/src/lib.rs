@@ -45,12 +45,14 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod baselines;
+mod chaos;
 mod checkpoint;
 mod dfg;
 mod error;
 mod exhaustive;
 mod gdp;
 mod groups;
+mod oracle;
 mod pipeline;
 pub mod repartition;
 mod rhop;
@@ -58,6 +60,10 @@ mod serve;
 
 pub use baselines::{
     group_cluster_frequencies, naive_partition, profile_max_partition, unified_partition,
+};
+pub use chaos::{
+    run_chaos, run_scenario, ChaosConfig, ChaosError, ChaosSummary, Scenario, ScenarioResult,
+    ScenarioVerdict,
 };
 pub use checkpoint::{
     fingerprint, load_checkpoint, load_checkpoint_any, method_from_slug, method_slug,
@@ -74,6 +80,7 @@ pub use exhaustive::{
 };
 pub use gdp::{data_partition_from_mapping, gdp_partition, DataPartition, GdpConfig};
 pub use groups::ObjectGroups;
+pub use oracle::{check_result, OracleCheck, OracleReport};
 pub use pipeline::{run_all_methods, run_pipeline, Method, PipelineConfig, PipelineResult};
 pub use repartition::{build_manifest, compute_reuse, RepartitionStats};
 pub use rhop::{

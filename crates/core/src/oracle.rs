@@ -1,0 +1,624 @@
+//! The independent placement oracle.
+//!
+//! Judges a [`PipelineResult`] without consulting any GDP or RHOP
+//! internals: every invariant below is recomputed from the raw
+//! transformed program, the placement tables, the machine description
+//! and the simulator. The partitioners could be arbitrarily buggy —
+//! swapped clusters, phantom byte accounting, a broken degradation
+//! ladder — and the oracle would still catch it, because its only
+//! shared code with them is the IR itself.
+//!
+//! The chaos harness ([`crate::chaos`]) runs this oracle over every
+//! scenario; `#[cfg(test)]` suites use it directly as a property.
+//!
+//! Checks, in evaluation order:
+//!
+//! 1. **shape** — placement tables exactly mirror the transformed
+//!    program: one cluster per operation per function, one home slot
+//!    per data object.
+//! 2. **range** — every cluster index and object home is a real
+//!    cluster of the machine.
+//! 3. **calls** — every `call` executes on cluster 0 (the calling
+//!    convention the normalizer enforces).
+//! 4. **memops** — under partitioned memory, every memory operation
+//!    executes on the home cluster of every object it can access.
+//! 5. **bridges** — every operand is read from the cluster that owns
+//!    its register: for each non-`move` operation, each source
+//!    register's defining cluster equals the operation's cluster
+//!    (`move` operations are the bridges and are exempt).
+//! 6. **bytes** — `data_bytes` recounted from object sizes and homes,
+//!    byte for byte, plus the DFG cut recount: on one cluster the
+//!    value cut must be zero.
+//! 7. **moves** — the static intercluster move count recounted by
+//!    scanning the transformed program for `move` operations whose
+//!    source register lives on another cluster.
+//! 8. **ladder** — downgrade records form a chain: first rung starts
+//!    at the requested method, each hop follows
+//!    [`Method::fallback`], the last rung lands on the producing
+//!    method, and the producing method differs from the requested one
+//!    exactly when downgrades exist.
+//! 9. **quarantine** — every quarantined function sits on the trivial
+//!    fallback placement: all its operations on cluster 0, except
+//!    memory operations pinned to their object's home and the bridges
+//!    serving them.
+//! 10. **semantics** — the transformed program computes the same
+//!     return value and final memory as the original, on the
+//!     simulator.
+
+use crate::pipeline::{Method, PipelineResult};
+use mcpart_analysis::{AccessInfo, AccessSite, PointsTo};
+use mcpart_ir::{FuncId, Opcode, Profile, Program};
+use mcpart_machine::Machine;
+use mcpart_sim::ExecConfig;
+use std::fmt;
+
+/// One oracle invariant's verdict.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OracleCheck {
+    /// Stable check name (`shape`, `range`, ... as listed in the
+    /// module docs).
+    pub name: &'static str,
+    /// Whether the invariant held.
+    pub passed: bool,
+    /// Human-readable evidence: the first violation found, or a short
+    /// summary of what was verified.
+    pub detail: String,
+}
+
+/// The oracle's full verdict on one pipeline result.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct OracleReport {
+    /// Every check that ran, in evaluation order.
+    pub checks: Vec<OracleCheck>,
+}
+
+impl OracleReport {
+    /// `true` when every check passed.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// The failed checks, in evaluation order.
+    pub fn failures(&self) -> Vec<&OracleCheck> {
+        self.checks.iter().filter(|c| !c.passed).collect()
+    }
+
+    /// Number of checks evaluated.
+    pub fn checks_run(&self) -> usize {
+        self.checks.len()
+    }
+
+    fn push(&mut self, name: &'static str, result: Result<String, String>) {
+        let (passed, detail) = match result {
+            Ok(d) => (true, d),
+            Err(d) => (false, d),
+        };
+        self.checks.push(OracleCheck { name, passed, detail });
+    }
+}
+
+impl fmt::Display for OracleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.checks {
+            writeln!(f, "{} {}: {}", if c.passed { "ok  " } else { "FAIL" }, c.name, c.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// First-definition home cluster of every register of one function,
+/// recomputed here (not borrowed from the scheduler): parameters and
+/// undefined registers live on cluster 0 by calling convention, and a
+/// normalized placement gives all definitions of a register one
+/// cluster, so the first definition is authoritative.
+fn own_vreg_homes(program: &Program, func: FuncId, result: &PipelineResult) -> Vec<u32> {
+    let f = &program.functions[func];
+    let mut homes = vec![0u32; f.num_vregs];
+    let mut fixed = vec![false; f.num_vregs];
+    for (oid, op) in f.ops.iter() {
+        for &d in &op.dsts {
+            if !std::mem::replace(&mut fixed[d.0 as usize], true) {
+                homes[d.0 as usize] = result.placement.cluster_of(func, oid).index() as u32;
+            }
+        }
+    }
+    homes
+}
+
+/// Judges `result` against the original (pre-pipeline) program.
+///
+/// `machine` must be the machine the pipeline ran on (the oracle
+/// re-derives the unified-memory evaluation machine for
+/// [`Method::Unified`] itself, mirroring what the pipeline does).
+/// `exec` bounds the simulator runs of the semantics check.
+pub fn check_result(
+    original: &Program,
+    profile: &Profile,
+    machine: &Machine,
+    result: &PipelineResult,
+    exec: ExecConfig,
+) -> OracleReport {
+    let mut report = OracleReport::default();
+    let n = machine.num_clusters();
+    let transformed = &result.program;
+    // The pipeline's own reference input: heap sizes applied. Object
+    // ids and function shapes are unchanged by it.
+    let reference = profile.apply_heap_sizes(original);
+    let memory_partitioned = machine.memory.is_partitioned() && result.method != Method::Unified;
+
+    // 1. shape
+    report.push("shape", check_shape(transformed, result));
+    if !report.passed() {
+        // Everything downstream indexes through the placement tables;
+        // a shape mismatch would turn those checks into panics.
+        return report;
+    }
+
+    // 2. range
+    report.push("range", check_range(transformed, result, n));
+    if !report.passed() {
+        return report;
+    }
+
+    // 3. calls
+    report.push("calls", check_calls(transformed, result));
+
+    // 4. memops (partitioned memory only; unified and coherent caches
+    // legitimately access remote objects).
+    let pts = PointsTo::compute(transformed);
+    let access = AccessInfo::compute(transformed, &pts, profile);
+    if memory_partitioned {
+        report.push("memops", check_memops(transformed, result, &access));
+    }
+
+    // 5. bridges
+    report.push("bridges", check_bridges(transformed, result));
+
+    // 6. bytes (placement byte recount + DFG cut recount)
+    report.push("bytes", check_bytes(transformed, result, profile, n));
+
+    // 7. moves
+    report.push("moves", check_moves(transformed, result));
+
+    // 8. ladder
+    report.push("ladder", check_ladder(result));
+
+    // 9. quarantine
+    report.push("quarantine", check_quarantine(transformed, result, &access, memory_partitioned));
+
+    // 10. semantics
+    report.push("semantics", check_semantics(&reference, transformed, exec));
+
+    report
+}
+
+fn check_shape(transformed: &Program, result: &PipelineResult) -> Result<String, String> {
+    let placed_funcs = result.placement.op_cluster.len();
+    if placed_funcs != transformed.functions.len() {
+        return Err(format!(
+            "placement covers {placed_funcs} function(s), program has {}",
+            transformed.functions.len()
+        ));
+    }
+    for (fid, f) in transformed.functions.iter() {
+        let placed = result.placement.op_cluster[fid].len();
+        if placed != f.ops.len() {
+            return Err(format!(
+                "function `{}` has {} op(s) but {} placement slot(s)",
+                f.name,
+                f.ops.len(),
+                placed
+            ));
+        }
+    }
+    if result.placement.object_home.len() != transformed.objects.len() {
+        return Err(format!(
+            "home table covers {} object(s), program has {}",
+            result.placement.object_home.len(),
+            transformed.objects.len()
+        ));
+    }
+    Ok(format!(
+        "{} function(s), {} object(s)",
+        transformed.functions.len(),
+        transformed.objects.len()
+    ))
+}
+
+fn check_range(transformed: &Program, result: &PipelineResult, n: usize) -> Result<String, String> {
+    for (fid, f) in transformed.functions.iter() {
+        for oid in f.ops.keys() {
+            let c = result.placement.cluster_of(fid, oid).index();
+            if c >= n {
+                return Err(format!(
+                    "function `{}` op {oid} on cluster {c}, machine has {n}",
+                    f.name
+                ));
+            }
+        }
+    }
+    for (obj, home) in result.placement.object_home.iter() {
+        if let Some(c) = home {
+            if c.index() >= n {
+                return Err(format!(
+                    "object `{}` homed on cluster {}, machine has {n}",
+                    transformed.objects[obj].name,
+                    c.index()
+                ));
+            }
+        }
+    }
+    Ok(format!("all clusters < {n}"))
+}
+
+fn check_calls(transformed: &Program, result: &PipelineResult) -> Result<String, String> {
+    let mut calls = 0usize;
+    for (fid, f) in transformed.functions.iter() {
+        for (oid, op) in f.ops.iter() {
+            if matches!(op.opcode, Opcode::Call(_)) {
+                calls += 1;
+                let c = result.placement.cluster_of(fid, oid).index();
+                if c != 0 {
+                    return Err(format!(
+                        "call in `{}` placed on cluster {c} (calling convention pins calls \
+                         to cluster 0)",
+                        f.name
+                    ));
+                }
+            }
+        }
+    }
+    Ok(format!("{calls} call(s) on cluster 0"))
+}
+
+fn check_memops(
+    transformed: &Program,
+    result: &PipelineResult,
+    access: &AccessInfo,
+) -> Result<String, String> {
+    let mut memops = 0usize;
+    for (fid, f) in transformed.functions.iter() {
+        for (oid, op) in f.ops.iter() {
+            if !op.opcode.is_memory() {
+                continue;
+            }
+            memops += 1;
+            let cluster = result.placement.cluster_of(fid, oid);
+            let site = AccessSite { func: fid, op: oid };
+            let Some(objs) = access.site_objects.get(&site) else { continue };
+            for &obj in objs {
+                match result.placement.object_home[obj] {
+                    Some(home) if home != cluster => {
+                        return Err(format!(
+                            "memory op in `{}` on cluster {} accesses `{}` homed on cluster \
+                             {} under partitioned memory",
+                            f.name,
+                            cluster.index(),
+                            transformed.objects[obj].name,
+                            home.index()
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    Ok(format!("{memops} memory op(s) on their home clusters"))
+}
+
+fn check_bridges(transformed: &Program, result: &PipelineResult) -> Result<String, String> {
+    let mut operands = 0usize;
+    for (fid, f) in transformed.functions.iter() {
+        let homes = own_vreg_homes(transformed, fid, result);
+        for (oid, op) in f.ops.iter() {
+            if matches!(op.opcode, Opcode::Move) {
+                continue; // moves are the bridges
+            }
+            let need = result.placement.cluster_of(fid, oid).index() as u32;
+            for &s in &op.srcs {
+                operands += 1;
+                let home = homes[s.0 as usize];
+                if home != need {
+                    return Err(format!(
+                        "`{}` op {oid} on cluster {need} reads {s} homed on cluster {home} \
+                         with no bridging move",
+                        f.name
+                    ));
+                }
+            }
+        }
+    }
+    Ok(format!("{operands} operand read(s) all cluster-local"))
+}
+
+fn check_bytes(
+    transformed: &Program,
+    result: &PipelineResult,
+    profile: &Profile,
+    n: usize,
+) -> Result<String, String> {
+    let mut recount = vec![0u64; n];
+    for (obj, home) in result.placement.object_home.iter() {
+        if let Some(c) = home {
+            recount[c.index()] += transformed.objects[obj].size;
+        }
+    }
+    if recount != result.data_bytes {
+        return Err(format!(
+            "reported data_bytes {:?} but object sizes recount to {recount:?}",
+            result.data_bytes
+        ));
+    }
+    // DFG cut recount: value edges whose endpoints sit on different
+    // clusters. The transformed program bridges every such edge with a
+    // move, so on a single-cluster machine the cut must be zero.
+    let dfg = crate::dfg::ProgramDfg::build(transformed, profile);
+    let mut cut_weight = 0u64;
+    for (a, b, w) in dfg.edges() {
+        let na = dfg.nodes[a];
+        let nb = dfg.nodes[b];
+        if result.placement.cluster_of(na.func, na.op)
+            != result.placement.cluster_of(nb.func, nb.op)
+        {
+            cut_weight = cut_weight.saturating_add(w);
+        }
+    }
+    if n == 1 && cut_weight != 0 {
+        return Err(format!("single-cluster machine with nonzero DFG cut ({cut_weight})"));
+    }
+    Ok(format!("{recount:?} bytes per cluster, DFG cut weight {cut_weight}"))
+}
+
+fn check_moves(transformed: &Program, result: &PipelineResult) -> Result<String, String> {
+    let mut static_moves = 0u64;
+    for (fid, f) in transformed.functions.iter() {
+        let homes = own_vreg_homes(transformed, fid, result);
+        for (oid, op) in f.ops.iter() {
+            if matches!(op.opcode, Opcode::Move)
+                && homes[op.srcs[0].0 as usize]
+                    != result.placement.cluster_of(fid, oid).index() as u32
+            {
+                static_moves += 1;
+            }
+        }
+    }
+    let reported = result.report.static_moves;
+    if static_moves != reported {
+        return Err(format!(
+            "reported {reported} static intercluster move(s) but the program contains \
+             {static_moves}"
+        ));
+    }
+    Ok(format!("{static_moves} static intercluster move(s)"))
+}
+
+fn check_ladder(result: &PipelineResult) -> Result<String, String> {
+    let d = &result.downgrades;
+    if d.is_empty() {
+        if result.method != result.requested_method {
+            return Err(format!(
+                "method {} differs from requested {} with no downgrade records",
+                result.method, result.requested_method
+            ));
+        }
+        return Ok("no downgrades, method as requested".to_string());
+    }
+    if result.method == result.requested_method {
+        return Err(format!(
+            "{} downgrade record(s) but the method still equals the requested {}",
+            d.len(),
+            result.requested_method
+        ));
+    }
+    if d[0].from != result.requested_method {
+        return Err(format!(
+            "first downgrade leaves {} but the requested method was {}",
+            d[0].from, result.requested_method
+        ));
+    }
+    for (i, rung) in d.iter().enumerate() {
+        match rung.from.fallback() {
+            Some(next) if next == rung.to => {}
+            _ => {
+                return Err(format!(
+                    "downgrade {} -> {} does not follow the ladder (expected {:?})",
+                    rung.from,
+                    rung.to,
+                    rung.from.fallback()
+                ));
+            }
+        }
+        if let Some(next) = d.get(i + 1) {
+            if next.from != rung.to {
+                return Err(format!(
+                    "downgrade chain broken: rung {i} lands on {} but rung {} leaves {}",
+                    rung.to,
+                    i + 1,
+                    next.from
+                ));
+            }
+        }
+    }
+    let last = &d[d.len() - 1];
+    if last.to != result.method {
+        return Err(format!(
+            "last downgrade lands on {} but the producing method is {}",
+            last.to, result.method
+        ));
+    }
+    Ok(format!("{} downgrade(s), chain {} -> {}", d.len(), d[0].from, result.method))
+}
+
+fn check_quarantine(
+    transformed: &Program,
+    result: &PipelineResult,
+    access: &AccessInfo,
+    memory_partitioned: bool,
+) -> Result<String, String> {
+    let quarantined = &result.rhop_stats.quarantine.units;
+    for q in quarantined {
+        let Some((fid, f)) = transformed.functions.iter().find(|(_, f)| f.name == q.unit) else {
+            return Err(format!("quarantined unit `{}` names no function", q.unit));
+        };
+        for (oid, op) in f.ops.iter() {
+            let c = result.placement.cluster_of(fid, oid).index();
+            if c == 0 {
+                continue;
+            }
+            // The trivial fallback is all-on-cluster-0; the normalizer
+            // may then relocate memory ops to their object's home and
+            // insert bridging moves on those clusters. Anything else
+            // off cluster 0 betrays a partitioner writing into a
+            // quarantined function.
+            let pinned_memop = memory_partitioned && op.opcode.is_memory() && {
+                let site = AccessSite { func: fid, op: oid };
+                access.site_objects.get(&site).is_some_and(|objs| !objs.is_empty())
+            };
+            if !pinned_memop && !matches!(op.opcode, Opcode::Move) {
+                return Err(format!(
+                    "quarantined `{}` has op {oid} ({:?}) on cluster {c} instead of the \
+                     fallback cluster",
+                    q.unit, op.opcode
+                ));
+            }
+        }
+    }
+    Ok(format!("{} quarantined unit(s) on the fallback placement", quarantined.len()))
+}
+
+fn check_semantics(
+    reference: &Program,
+    transformed: &Program,
+    exec: ExecConfig,
+) -> Result<String, String> {
+    match mcpart_sim::semantically_equivalent(reference, transformed, &[], exec) {
+        Ok(true) => Ok("return value and final memory match".to_string()),
+        Ok(false) => Err("transformed program diverges from the original".to_string()),
+        Err(e) => Err(format!("simulator failed: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{run_pipeline, PipelineConfig};
+    use mcpart_ir::{ClusterId, DataObject, FunctionBuilder, MemWidth};
+
+    fn bench_program() -> Program {
+        let mut p = Program::new("oracle-bench");
+        let t1 = p.add_object(DataObject::global("t1", 128));
+        let t2 = p.add_object(DataObject::global("t2", 64));
+        let mut b = FunctionBuilder::entry(&mut p);
+        let base1 = b.addrof(t1);
+        let base2 = b.addrof(t2);
+        let mut acc = b.iconst(0);
+        for i in 0..4i64 {
+            let o = b.iconst(4 * i);
+            let a1 = b.add(base1, o);
+            let v1 = b.load(MemWidth::B4, a1);
+            let a2 = b.add(base2, o);
+            let v2 = b.load(MemWidth::B4, a2);
+            let s = b.add(v1, v2);
+            acc = b.add(acc, s);
+        }
+        b.store(MemWidth::B4, base1, acc);
+        b.ret(Some(acc));
+        p
+    }
+
+    #[test]
+    fn clean_runs_pass_every_check() {
+        let p = bench_program();
+        let profile = Profile::uniform(&p, 10);
+        let machine = Machine::paper_2cluster(5);
+        for method in Method::ALL {
+            let result =
+                run_pipeline(&p, &profile, &machine, &PipelineConfig::new(method)).expect("run");
+            let report = check_result(&p, &profile, &machine, &result, ExecConfig::default());
+            assert!(report.passed(), "{method}:\n{report}");
+            assert!(report.checks_run() >= 8, "{method} ran too few checks");
+        }
+    }
+
+    #[test]
+    fn corrupted_object_home_is_caught() {
+        let p = bench_program();
+        let profile = Profile::uniform(&p, 10);
+        let machine = Machine::paper_2cluster(5);
+        let mut result =
+            run_pipeline(&p, &profile, &machine, &PipelineConfig::new(Method::Gdp)).expect("run");
+        // Flip one object's home without touching anything else: byte
+        // recount and memop homing must both notice.
+        let (obj, old) = result
+            .placement
+            .object_home
+            .iter()
+            .find_map(|(o, h)| h.map(|c| (o, c)))
+            .expect("a homed object");
+        result.placement.object_home[obj] = Some(ClusterId::new((old.index() + 1) % 2));
+        let report = check_result(&p, &profile, &machine, &result, ExecConfig::default());
+        assert!(!report.passed());
+        let failed: Vec<&str> = report.failures().iter().map(|c| c.name).collect();
+        assert!(failed.contains(&"bytes"), "{report}");
+    }
+
+    #[test]
+    fn out_of_range_cluster_is_caught() {
+        let p = bench_program();
+        let profile = Profile::uniform(&p, 10);
+        let machine = Machine::paper_2cluster(5);
+        let mut result =
+            run_pipeline(&p, &profile, &machine, &PipelineConfig::new(Method::Naive)).expect("run");
+        let fid = result.program.entry;
+        let first = result.program.functions[fid].ops.keys().next().expect("an op");
+        result.placement.set_cluster(fid, first, ClusterId::new(7));
+        let report = check_result(&p, &profile, &machine, &result, ExecConfig::default());
+        assert!(!report.passed());
+        assert_eq!(report.failures()[0].name, "range", "{report}");
+    }
+
+    #[test]
+    fn fabricated_downgrade_chain_is_caught() {
+        let p = bench_program();
+        let profile = Profile::uniform(&p, 10);
+        let machine = Machine::paper_2cluster(5);
+        let mut result =
+            run_pipeline(&p, &profile, &machine, &PipelineConfig::new(Method::Gdp)).expect("run");
+        // Claim a downgrade that never happened.
+        result.downgrades.push(crate::error::Downgrade {
+            from: Method::Gdp,
+            to: Method::ProfileMax,
+            reason: "fabricated".to_string(),
+        });
+        let report = check_result(&p, &profile, &machine, &result, ExecConfig::default());
+        let failed: Vec<&str> = report.failures().iter().map(|c| c.name).collect();
+        assert!(failed.contains(&"ladder"), "{report}");
+    }
+
+    #[test]
+    fn real_downgrades_satisfy_the_ladder_check() {
+        let p = bench_program();
+        let profile = Profile::uniform(&p, 10);
+        let machine = Machine::paper_2cluster(5);
+        let mut cfg = PipelineConfig::new(Method::Gdp);
+        cfg.gdp.fuel = Some(0);
+        let result = run_pipeline(&p, &profile, &machine, &cfg).expect("ladder recovers");
+        assert!(result.was_downgraded());
+        let report = check_result(&p, &profile, &machine, &result, ExecConfig::default());
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn shape_mismatch_short_circuits() {
+        let p = bench_program();
+        let profile = Profile::uniform(&p, 10);
+        let machine = Machine::paper_2cluster(5);
+        let mut result =
+            run_pipeline(&p, &profile, &machine, &PipelineConfig::new(Method::Gdp)).expect("run");
+        result.placement.op_cluster = mcpart_ir::EntityMap::new();
+        let report = check_result(&p, &profile, &machine, &result, ExecConfig::default());
+        assert!(!report.passed());
+        assert_eq!(report.checks_run(), 1, "downstream checks must not run on a bad shape");
+        assert_eq!(report.failures()[0].name, "shape");
+    }
+}

@@ -300,12 +300,9 @@ pub fn run_pipeline(
         .map_err(|e| fail(Stage::Verify, PipelineErrorKind::Verify(e)))?;
     validate_profile(program, profile)
         .map_err(|e| fail(Stage::Analysis, PipelineErrorKind::Profile(e)))?;
-    if machine.num_clusters() == 0 {
-        return Err(fail(
-            Stage::Verify,
-            PipelineErrorKind::Machine { message: "machine has no clusters".into() },
-        ));
-    }
+    machine
+        .validate()
+        .map_err(|e| fail(Stage::Verify, PipelineErrorKind::Machine { message: e.to_string() }))?;
 
     let mut downgrades = Vec::new();
     let mut method = config.method;

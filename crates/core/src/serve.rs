@@ -118,6 +118,12 @@ pub struct ServeConfig {
     /// `<spool>/telemetry/` after this many committed jobs (and once
     /// more on exit). `0` disables the recorder entirely.
     pub telemetry_every: u64,
+    /// Startup-requeue budget per job (`--max-requeues`). A job found
+    /// claimed-but-uncommitted at startup was in flight when the
+    /// previous process died; after this many consecutive requeues it
+    /// is presumed to be crashing the service itself and recovery
+    /// quarantines it to `failed/` instead of requeueing it again.
+    pub max_requeues: u32,
     /// Observability sink: receives the `serve/*` counters and a
     /// replay of every job's pinned pipeline events in commit order.
     pub obs: Obs,
@@ -135,6 +141,7 @@ impl Default for ServeConfig {
             unit_timeout: None,
             halt_after: None,
             telemetry_every: 1,
+            max_requeues: 3,
             obs: Obs::disabled(),
         }
     }
@@ -162,6 +169,9 @@ pub struct ServeSummary {
     pub completed: u64,
     /// Claimed jobs re-queued by crash recovery at startup.
     pub requeued: u64,
+    /// Jobs quarantined by crash recovery because they exhausted the
+    /// startup-requeue budget (process-killing poison jobs).
+    pub poisoned: u64,
 }
 
 impl ServeSummary {
@@ -169,7 +179,7 @@ impl ServeSummary {
     pub fn line(&self) -> String {
         format!(
             "serve summary: admitted={} rejected={} cache_hits={} cache_evictions={} \
-             quarantined={} failed={} completed={} requeued={}",
+             quarantined={} failed={} completed={} requeued={} poisoned={}",
             self.admitted,
             self.rejected,
             self.cache_hits,
@@ -177,7 +187,8 @@ impl ServeSummary {
             self.quarantined,
             self.failed,
             self.completed,
-            self.requeued
+            self.requeued,
+            self.poisoned
         )
     }
 
@@ -189,6 +200,7 @@ impl ServeSummary {
         obs.counter("serve", "cache_hits", self.cache_hits as i64);
         obs.counter("serve", "cache_evictions", self.cache_evictions as i64);
         obs.counter("serve", "quarantined", self.quarantined as i64);
+        obs.counter("serve", "poisoned", self.poisoned as i64);
     }
 }
 
@@ -596,9 +608,14 @@ impl SpoolDirs {
     }
 
     /// Crash recovery: removes half-written `*.tmp` artifacts and
-    /// requeues claimed-but-uncommitted jobs. Returns (requeued jobs,
-    /// removed tmp files).
-    fn recover(&self) -> Result<(u64, u64), ServeError> {
+    /// requeues claimed-but-uncommitted jobs. Each requeue is tallied
+    /// in a `<stem>.requeues` sidecar next to the spooled job (the
+    /// `.requeues` extension keeps it invisible to admission); a job
+    /// that exceeds `max_requeues` consecutive requeues has taken the
+    /// process down that many times mid-flight and is quarantined to
+    /// `failed/` with a diagnostic instead. Returns (requeued jobs,
+    /// poisoned jobs, removed tmp files).
+    fn recover(&self, max_requeues: u32) -> Result<(u64, u64, u64), ServeError> {
         let mut tmps = 0;
         for dir in [&self.out, &self.cache] {
             for entry in fs::read_dir(dir).map_err(|e| io_err("read", dir, e))? {
@@ -611,13 +628,44 @@ impl SpoolDirs {
             }
         }
         let mut requeued = 0;
+        let mut poisoned = 0;
         for name in list_jobs(&self.work)? {
             let from = self.work.join(&name);
+            let stem = name.strip_suffix(".job").unwrap_or(&name);
+            let sidecar = self.sidecar(stem);
+            // A torn or missing sidecar reads as zero: the budget
+            // resets rather than quarantining a healthy job early.
+            let count = fs::read_to_string(&sidecar)
+                .ok()
+                .and_then(|s| s.trim().parse::<u32>().ok())
+                .unwrap_or(0)
+                .saturating_add(1);
+            if count > max_requeues {
+                let dest = self.failed.join(&name);
+                fs::rename(&from, &dest).map_err(|e| io_err("quarantine", &from, e))?;
+                write_atomic(
+                    &self.failed.join(format!("{stem}.reason")),
+                    &format!(
+                        "poisoned: requeued {max_requeues} time(s) by crash recovery \
+                         without ever committing; presumed to crash the service\n"
+                    ),
+                )?;
+                let _ = fs::remove_file(&sidecar);
+                poisoned += 1;
+                continue;
+            }
+            fs::write(&sidecar, format!("{count}\n"))
+                .map_err(|e| io_err("record requeue in", &sidecar, e))?;
             let to = self.root.join(&name);
             fs::rename(&from, &to).map_err(|e| io_err("requeue", &from, e))?;
             requeued += 1;
         }
-        Ok((requeued, tmps))
+        Ok((requeued, poisoned, tmps))
+    }
+
+    /// The startup-requeue tally for one job stem.
+    fn sidecar(&self, stem: &str) -> PathBuf {
+        self.root.join(format!("{stem}.requeues"))
     }
 }
 
@@ -864,6 +912,9 @@ fn commit(
         cfg.obs.counter("repartition", "cone_frac_x1000", rp.cone_frac_x1000() as i64);
     }
 
+    // The job reached a committed disposition, so it is no longer a
+    // requeue suspect: forget its startup-requeue tally.
+    let _ = fs::remove_file(dirs.sidecar(&outcome.stem));
     let work_path = dirs.work.join(&outcome.file_name);
     match outcome.status {
         JobStatus::Ok => {
@@ -958,6 +1009,7 @@ fn flush_telemetry(
         ("failed", sum.failed as i64),
         ("completed", sum.completed as i64),
         ("requeued", sum.requeued as i64),
+        ("poisoned", sum.poisoned as i64),
     ];
     recorder
         .record(&counters, registry)
@@ -976,13 +1028,14 @@ pub fn serve(
     shutdown: &AtomicBool,
 ) -> Result<ServeSummary, ServeError> {
     let dirs = SpoolDirs::prepare(spool)?;
-    let (requeued, tmps) = dirs.recover()?;
-    if requeued > 0 || tmps > 0 {
+    let (requeued, poisoned, tmps) = dirs.recover(cfg.max_requeues)?;
+    if requeued > 0 || poisoned > 0 || tmps > 0 {
         progress(&format!(
-            "recovery: requeued {requeued} interrupted job(s), removed {tmps} partial artifact(s)"
+            "recovery: requeued {requeued} interrupted job(s), quarantined {poisoned} \
+             poison job(s), removed {tmps} partial artifact(s)"
         ));
     }
-    let mut sum = ServeSummary { requeued, ..ServeSummary::default() };
+    let mut sum = ServeSummary { requeued, poisoned, ..ServeSummary::default() };
     let workers = resolve_jobs(cfg.jobs);
     let mut recorder = if cfg.telemetry_every > 0 {
         let dir = spool.join("telemetry");
@@ -1019,6 +1072,7 @@ pub fn serve(
             write_atomic(&dirs.out.join(format!("{stem}.json")), &text)?;
             let job_path = dirs.root.join(name);
             fs::remove_file(&job_path).map_err(|e| io_err("shed", &job_path, e))?;
+            let _ = fs::remove_file(dirs.sidecar(stem));
             sum.rejected += 1;
             progress(&format!("job {stem}: overloaded (shed)"));
         }
@@ -1240,5 +1294,44 @@ mod tests {
         assert!(shed.contains("queue full"));
         let invalid = render_result("j3", JobStatus::Invalid, "not a JSON job file: x", None);
         assert!(invalid.contains("\"exit\":2"));
+    }
+
+    #[test]
+    fn startup_requeue_budget_quarantines_poison_jobs() {
+        let root =
+            std::env::temp_dir().join(format!("mcpart-serve-requeues-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let dirs = SpoolDirs::prepare(&root).expect("spool");
+        let cap = 2u32;
+        fs::write(dirs.root.join("poison.job"), "{}").expect("spool job");
+
+        // Crash loop: the job is claimed, the process dies, the next
+        // startup requeues it — `cap` times, each tallied in the
+        // sidecar — and the startup after that quarantines it.
+        for round in 1..=cap {
+            fs::rename(dirs.root.join("poison.job"), dirs.work.join("poison.job")).expect("claim");
+            let (requeued, poisoned, _) = dirs.recover(cap).expect("recover");
+            assert_eq!((requeued, poisoned), (1, 0), "round {round}");
+            assert_eq!(
+                fs::read_to_string(dirs.sidecar("poison")).expect("sidecar").trim(),
+                round.to_string()
+            );
+        }
+        fs::rename(dirs.root.join("poison.job"), dirs.work.join("poison.job")).expect("claim");
+        let (requeued, poisoned, _) = dirs.recover(cap).expect("recover");
+        assert_eq!((requeued, poisoned), (0, 1), "budget exhausted, must quarantine");
+        assert!(dirs.failed.join("poison.job").exists(), "job not moved to failed/");
+        let reason = fs::read_to_string(dirs.failed.join("poison.reason")).expect("diagnostic");
+        assert!(reason.contains("poisoned: requeued 2 time(s)"), "{reason}");
+        assert!(!dirs.sidecar("poison").exists(), "sidecar must not outlive the job");
+
+        // A torn sidecar resets the tally instead of quarantining a
+        // job whose history was lost.
+        fs::write(dirs.root.join("flaky.job"), "{}").expect("spool job");
+        fs::rename(dirs.root.join("flaky.job"), dirs.work.join("flaky.job")).expect("claim");
+        fs::write(dirs.sidecar("flaky"), "99 garbage").expect("torn sidecar");
+        let (requeued, poisoned, _) = dirs.recover(1).expect("recover");
+        assert_eq!((requeued, poisoned), (1, 0), "torn tally must read as zero");
+        let _ = fs::remove_dir_all(&root);
     }
 }

@@ -31,6 +31,24 @@ impl FuMix {
     pub fn issue_width(&self) -> usize {
         self.counts.iter().map(|&c| c as usize).sum()
     }
+
+    /// Parses a mix written as `int/float/mem/branch` counts, with or
+    /// without the `Display` letter suffixes: `2/1/1/1` and
+    /// `2I/1F/1M/1B` both parse to [`FuMix::paper`]'s mix.
+    pub fn parse(s: &str) -> Result<FuMix, String> {
+        let parts: Vec<&str> = s.split('/').collect();
+        if parts.len() != 4 {
+            return Err(format!("expected 4 `/`-separated unit counts, got {}", parts.len()));
+        }
+        let mut counts = [0u8; 4];
+        for (i, (part, suffix)) in parts.iter().zip(["I", "F", "M", "B"]).enumerate() {
+            let digits = part.strip_suffix(suffix).unwrap_or(part);
+            counts[i] = digits.parse::<u8>().map_err(|_| {
+                format!("bad unit count `{part}` (expected e.g. `2` or `2{suffix}`)")
+            })?;
+        }
+        Ok(FuMix { counts: [counts[0], counts[1], counts[2], counts[3]] })
+    }
 }
 
 impl fmt::Display for FuMix {
@@ -93,6 +111,15 @@ mod tests {
         assert_eq!(m.count(FuKind::Branch), 1);
         assert_eq!(m.issue_width(), 5);
         assert_eq!(m.to_string(), "2I/1F/1M/1B");
+    }
+
+    #[test]
+    fn mix_parse_roundtrips() {
+        assert_eq!(FuMix::parse("2/1/1/1"), Ok(FuMix::paper()));
+        assert_eq!(FuMix::parse("2I/1F/1M/1B"), Ok(FuMix::paper()));
+        assert_eq!(FuMix::parse(&FuMix::new(4, 0, 2, 1).to_string()), Ok(FuMix::new(4, 0, 2, 1)));
+        assert!(FuMix::parse("2/1/1").is_err());
+        assert!(FuMix::parse("2/x/1/1").is_err());
     }
 
     #[test]

@@ -26,11 +26,18 @@
 #![warn(missing_docs)]
 
 mod cluster;
+mod error;
 mod latency;
 mod model;
 mod network;
+mod sweep;
 
 pub use cluster::{Cluster, FuMix};
+pub use error::MachineError;
 pub use latency::LatencyTable;
 pub use model::{Machine, MemoryModel};
-pub use network::Interconnect;
+pub use network::{Interconnect, Topology};
+pub use sweep::{
+    memory_slug, parse_memory, SweepError, SweepMatrix, SweepPoint, DEFAULT_SWEEP,
+    MAX_SWEEP_CLUSTERS,
+};

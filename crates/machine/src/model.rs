@@ -1,6 +1,7 @@
 //! The complete machine description.
 
 use crate::cluster::{Cluster, FuMix};
+use crate::error::MachineError;
 use crate::latency::LatencyTable;
 use crate::network::Interconnect;
 use mcpart_ir::{ClusterId, FuKind};
@@ -128,9 +129,50 @@ impl Machine {
         self.clusters.iter().map(|c| c.memory_weight).collect()
     }
 
-    /// Intercluster move latency in cycles.
+    /// Intercluster move latency in cycles (one hop; the paper's bus
+    /// makes every pair one hop apart).
     pub fn move_latency(&self) -> u32 {
         self.interconnect.move_latency
+    }
+
+    /// Intercluster move latency between two specific clusters under
+    /// this machine's topology: `move_latency × hops(a, b)`. Equals
+    /// [`Machine::move_latency`] for distinct clusters on a bus or
+    /// crossbar.
+    pub fn move_latency_between(&self, a: ClusterId, b: ClusterId) -> u32 {
+        self.interconnect.latency_between(a.index(), b.index(), self.num_clusters())
+    }
+
+    /// Checks that this machine can execute *any* program, returning a
+    /// typed [`MachineError`] for degenerate descriptions that would
+    /// otherwise surface as panics or underflow deep inside the
+    /// partitioners or the scheduler. Construction stays infallible so
+    /// builders and sweep generators compose freely; every CLI and
+    /// config entry point calls this before running.
+    ///
+    /// Float units may legitimately be zero (integer-only machines);
+    /// integer, memory and branch units are mandatory on every cluster.
+    pub fn validate(&self) -> Result<(), MachineError> {
+        if self.clusters.is_empty() {
+            return Err(MachineError::NoClusters);
+        }
+        for (i, c) in self.clusters.iter().enumerate() {
+            for kind in [FuKind::Int, FuKind::Mem, FuKind::Branch] {
+                if c.fu.count(kind) == 0 {
+                    return Err(MachineError::MissingUnits { cluster: i, kind });
+                }
+            }
+            if c.regfile_size == 0 {
+                return Err(MachineError::NoRegisters { cluster: i });
+            }
+        }
+        if self.memory.is_partitioned() && self.clusters.iter().all(|c| c.memory_weight == 0) {
+            return Err(MachineError::NoMemoryCapacity);
+        }
+        if self.clusters.len() > 1 && self.interconnect.moves_per_cycle == 0 {
+            return Err(MachineError::NoBandwidth);
+        }
+        Ok(())
     }
 }
 
@@ -169,6 +211,55 @@ mod tests {
         assert!(!m.memory.is_partitioned());
         assert_eq!(m.memory.coherence_penalty(), Some(7));
         assert_eq!(MemoryModel::Unified.coherence_penalty(), None);
+    }
+
+    #[test]
+    fn validate_accepts_the_paper_machines() {
+        assert_eq!(Machine::paper_2cluster(5).validate(), Ok(()));
+        assert_eq!(Machine::homogeneous(8, 1).validate(), Ok(()));
+        // Degenerate-but-legal: no float units.
+        let mut m = Machine::homogeneous(2, 5);
+        m.clusters[1].fu = FuMix::new(1, 0, 1, 1);
+        assert_eq!(m.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_machines() {
+        assert_eq!(Machine::homogeneous(0, 5).validate(), Err(MachineError::NoClusters));
+        let mut m = Machine::homogeneous(2, 5);
+        m.clusters[1].fu = FuMix::new(1, 1, 0, 1);
+        assert_eq!(m.validate(), Err(MachineError::MissingUnits { cluster: 1, kind: FuKind::Mem }));
+        let mut m = Machine::homogeneous(2, 5);
+        m.clusters[0].fu = FuMix::new(0, 1, 1, 1);
+        assert_eq!(m.validate(), Err(MachineError::MissingUnits { cluster: 0, kind: FuKind::Int }));
+        let mut m = Machine::homogeneous(1, 5);
+        m.clusters[0].regfile_size = 0;
+        assert_eq!(m.validate(), Err(MachineError::NoRegisters { cluster: 0 }));
+        let mut m = Machine::homogeneous(2, 5);
+        for c in &mut m.clusters {
+            c.memory_weight = 0;
+        }
+        assert_eq!(m.validate(), Err(MachineError::NoMemoryCapacity));
+        // Weight 0 is fine under unified memory (no balance targets).
+        assert_eq!(m.clone().with_unified_memory().validate(), Ok(()));
+        let m =
+            Machine::homogeneous(2, 5).with_interconnect(Interconnect::bus(5).with_bandwidth(0));
+        assert_eq!(m.validate(), Err(MachineError::NoBandwidth));
+        // A single cluster never moves, so bandwidth 0 is harmless.
+        let m =
+            Machine::homogeneous(1, 5).with_interconnect(Interconnect::bus(5).with_bandwidth(0));
+        assert_eq!(m.validate(), Ok(()));
+    }
+
+    #[test]
+    fn topology_latency_reaches_the_machine_api() {
+        use crate::network::Topology;
+        let m = Machine::homogeneous(8, 5)
+            .with_interconnect(Interconnect::bus(5).with_topology(Topology::Ring));
+        assert_eq!(m.move_latency_between(ClusterId::new(0), ClusterId::new(4)), 20);
+        assert_eq!(m.move_latency_between(ClusterId::new(0), ClusterId::new(7)), 5);
+        let bus = Machine::homogeneous(8, 5);
+        assert_eq!(bus.move_latency_between(ClusterId::new(0), ClusterId::new(4)), 5);
     }
 
     #[test]

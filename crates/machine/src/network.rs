@@ -1,25 +1,114 @@
 //! The intercluster communication network.
 
-/// Configuration of the bus connecting clusters.
+use std::fmt;
+
+/// Physical arrangement of the intercluster network. The paper assumes
+/// a single shared bus; the sweep matrix additionally exercises ring,
+/// mesh and crossbar arrangements, which scale the per-move latency by
+/// the hop distance between the communicating clusters.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Topology {
+    /// One shared medium: every pair of clusters is one hop apart and
+    /// all moves contend for the same per-cycle bandwidth. The paper's
+    /// model and the default.
+    #[default]
+    Bus,
+    /// Clusters on a ring; hop distance is the shorter way around.
+    Ring,
+    /// Clusters on a near-square 2-D mesh (row-major layout); hop
+    /// distance is the Manhattan distance.
+    Mesh,
+    /// A full crossbar: every pair is directly connected (one hop), at
+    /// the cost the hardware people will tell you about later.
+    Crossbar,
+}
+
+impl Topology {
+    /// All topologies, in the order the sweep matrix enumerates them.
+    pub const ALL: [Topology; 4] =
+        [Topology::Bus, Topology::Ring, Topology::Mesh, Topology::Crossbar];
+
+    /// Hop distance between clusters `a` and `b` on an `n`-cluster
+    /// machine. Same-cluster "moves" are 0 hops (they never occur as
+    /// intercluster moves); distinct clusters are at least 1 hop apart.
+    pub fn hops(self, a: usize, b: usize, n: usize) -> u32 {
+        if a == b || n < 2 {
+            return 0;
+        }
+        match self {
+            Topology::Bus | Topology::Crossbar => 1,
+            Topology::Ring => {
+                let d = a.abs_diff(b);
+                d.min(n - d) as u32
+            }
+            Topology::Mesh => {
+                // Near-square grid, row-major: side = ceil(sqrt(n)).
+                let mut side = 1usize;
+                while side * side < n {
+                    side += 1;
+                }
+                let (ax, ay) = (a % side, a / side);
+                let (bx, by) = (b % side, b / side);
+                (ax.abs_diff(bx) + ay.abs_diff(by)) as u32
+            }
+        }
+    }
+
+    /// The canonical lower-case name (`bus`, `ring`, `mesh`,
+    /// `crossbar`), matching [`Topology::parse`].
+    pub fn slug(self) -> &'static str {
+        match self {
+            Topology::Bus => "bus",
+            Topology::Ring => "ring",
+            Topology::Mesh => "mesh",
+            Topology::Crossbar => "crossbar",
+        }
+    }
+
+    /// Parses a topology name as written in sweep files.
+    pub fn parse(s: &str) -> Result<Topology, String> {
+        match s {
+            "bus" => Ok(Topology::Bus),
+            "ring" => Ok(Topology::Ring),
+            "mesh" => Ok(Topology::Mesh),
+            "crossbar" => Ok(Topology::Crossbar),
+            other => Err(format!("unknown topology `{other}` (bus, ring, mesh or crossbar)")),
+        }
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.slug())
+    }
+}
+
+/// Configuration of the network connecting clusters.
 ///
 /// The paper assumes a shared intercluster bus with fixed bandwidth:
 /// "the intercluster network bandwidth allows for 1 move per cycle with
-/// latencies of 1, 5 or 10 cycles (5 cycle is default)".
+/// latencies of 1, 5 or 10 cycles (5 cycle is default)". The sweep
+/// matrix generalizes this with a [`Topology`], under which a move
+/// between clusters `a` and `b` takes `move_latency × hops(a, b)`
+/// cycles; on the default bus every pair is one hop, so all existing
+/// configurations behave exactly as before.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Interconnect {
     /// Cycles from a move's issue to its value being readable in the
-    /// destination register file.
+    /// destination register file, per hop.
     pub move_latency: u32,
     /// Number of intercluster moves that may be initiated per cycle,
     /// machine-wide.
     pub moves_per_cycle: u32,
+    /// Physical arrangement; scales per-move latency by hop distance.
+    pub topology: Topology,
 }
 
 impl Interconnect {
     /// The paper's bus with the given latency (1, 5 or 10 in the
     /// evaluation) and 1 move per cycle.
     pub fn bus(move_latency: u32) -> Self {
-        Interconnect { move_latency, moves_per_cycle: 1 }
+        Interconnect { move_latency, moves_per_cycle: 1, topology: Topology::Bus }
     }
 
     /// Sets the per-cycle bandwidth.
@@ -27,10 +116,23 @@ impl Interconnect {
         self.moves_per_cycle = moves_per_cycle;
         self
     }
+
+    /// Sets the topology.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Latency of one move from cluster `a` to cluster `b` on an
+    /// `n`-cluster machine: `move_latency × hops`, and never less than
+    /// `move_latency` for distinct clusters (hop counts are ≥ 1 there).
+    pub fn latency_between(&self, a: usize, b: usize, n: usize) -> u32 {
+        self.move_latency.saturating_mul(self.topology.hops(a, b, n))
+    }
 }
 
 impl Default for Interconnect {
-    /// The paper's default: 5-cycle latency, 1 move per cycle.
+    /// The paper's default: 5-cycle latency, 1 move per cycle, bus.
     fn default() -> Self {
         Interconnect::bus(5)
     }
@@ -45,11 +147,58 @@ mod tests {
         let n = Interconnect::default();
         assert_eq!(n.move_latency, 5);
         assert_eq!(n.moves_per_cycle, 1);
+        assert_eq!(n.topology, Topology::Bus);
     }
 
     #[test]
     fn bandwidth_builder() {
         let n = Interconnect::bus(1).with_bandwidth(2);
         assert_eq!(n.moves_per_cycle, 2);
+    }
+
+    #[test]
+    fn bus_and_crossbar_are_single_hop() {
+        for t in [Topology::Bus, Topology::Crossbar] {
+            assert_eq!(t.hops(0, 7, 8), 1);
+            assert_eq!(t.hops(3, 3, 8), 0);
+        }
+        let n = Interconnect::bus(5);
+        assert_eq!(n.latency_between(0, 1, 8), 5);
+        assert_eq!(n.latency_between(2, 2, 8), 0);
+    }
+
+    #[test]
+    fn ring_takes_shorter_way_around() {
+        assert_eq!(Topology::Ring.hops(0, 1, 8), 1);
+        assert_eq!(Topology::Ring.hops(0, 7, 8), 1);
+        assert_eq!(Topology::Ring.hops(0, 4, 8), 4);
+        assert_eq!(Topology::Ring.hops(1, 6, 8), 3);
+        let n = Interconnect::bus(5).with_topology(Topology::Ring);
+        assert_eq!(n.latency_between(0, 4, 8), 20);
+    }
+
+    #[test]
+    fn mesh_is_manhattan_on_a_near_square() {
+        // n=8 -> side 3: coords 0..8 laid out row-major.
+        assert_eq!(Topology::Mesh.hops(0, 1, 8), 1);
+        assert_eq!(Topology::Mesh.hops(0, 4, 8), 2); // (0,0)->(1,1)
+        assert_eq!(Topology::Mesh.hops(0, 7, 8), 3); // (0,0)->(1,2)
+                                                     // n=4 -> side 2, corner to corner = 2 hops.
+        assert_eq!(Topology::Mesh.hops(0, 3, 4), 2);
+    }
+
+    #[test]
+    fn two_cluster_machines_match_the_paper_under_every_topology() {
+        for t in Topology::ALL {
+            assert_eq!(t.hops(0, 1, 2), 1, "{t}");
+        }
+    }
+
+    #[test]
+    fn topology_parse_roundtrips() {
+        for t in Topology::ALL {
+            assert_eq!(Topology::parse(t.slug()), Ok(t));
+        }
+        assert!(Topology::parse("torus").is_err());
     }
 }

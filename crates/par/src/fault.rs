@@ -1,0 +1,347 @@
+//! Composable fault plans for the chaos harness.
+//!
+//! A [`FaultPlan`] is plain data: an ordered list of [`FaultEntry`]
+//! values describing which of the repo's existing fault injectors a
+//! chaos scenario arms — unit panics, fuel exhaustion, estimator
+//! budgets, unit timeouts, checkpoint corruption and serve-spool kills.
+//! The plan itself injects nothing; `mcpart-core` translates entries
+//! into the corresponding pipeline/serve knobs. Keeping the type here
+//! (the crate that owns supervision) lets both `core` and the CLI share
+//! one grammar without a dependency cycle.
+//!
+//! The textual grammar is `+`-separated entries, each `kind:args`:
+//!
+//! ```text
+//! panic:f0x2 + fuel:500 + estimator:64 + timeout:30000
+//!   + truncate:125 + bitflip:40.3 + servekill:2
+//! ```
+//!
+//! `none` (or the empty string) is the empty plan. [`FaultPlan::parse`]
+//! rejects malformed plans with a column-carrying [`FaultPlanError`],
+//! and `Display` renders the exact grammar back, so plans round-trip
+//! through chaos repro files.
+
+use std::fmt;
+
+/// One armed fault injector.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FaultEntry {
+    /// The named compilation unit's partitioning task panics on its
+    /// first `times` attempts (`u32::MAX` = always). Unit names of the
+    /// form `#k` are resolved by the harness against the scenario's
+    /// function list, so plans stay valid across shrunk programs.
+    UnitPanic {
+        /// Unit (function) name or `#k` index reference.
+        unit: String,
+        /// Number of attempts that panic.
+        times: u32,
+    },
+    /// GDP runs under a refinement fuel budget of `budget` passes-worth
+    /// of gain updates; exhaustion downgrades the method ladder.
+    Fuel {
+        /// Fuel budget (0 exhausts immediately).
+        budget: u64,
+    },
+    /// RHOP's schedule estimator may be consulted at most `calls` times
+    /// per unit; exceeding the budget is a recoverable pipeline error.
+    EstimatorBudget {
+        /// Maximum estimator invocations per unit.
+        calls: u64,
+    },
+    /// Each unit's partitioning attempt is killed by a watchdog after
+    /// `ms` milliseconds.
+    Timeout {
+        /// Watchdog budget in milliseconds.
+        ms: u64,
+    },
+    /// The checkpoint file is truncated to `permille`/1000 of its byte
+    /// length before resume.
+    CheckpointTruncate {
+        /// Kept length in permille of the original (0..=1000).
+        permille: u32,
+    },
+    /// One byte of the checkpoint, at `permille`/1000 of its length,
+    /// gets bit `bit` flipped before resume.
+    CheckpointBitflip {
+        /// Byte position in permille of the file length (0..=1000).
+        permille: u32,
+        /// Bit index within the byte (0..=7).
+        bit: u8,
+    },
+    /// The serve spool is killed (crash simulated) after `after`
+    /// committed jobs, then recovered.
+    ServeKill {
+        /// Jobs committed before the kill.
+        after: u32,
+    },
+}
+
+impl fmt::Display for FaultEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultEntry::UnitPanic { unit, times } => {
+                if *times == u32::MAX {
+                    write!(f, "panic:{unit}")
+                } else {
+                    write!(f, "panic:{unit}x{times}")
+                }
+            }
+            FaultEntry::Fuel { budget } => write!(f, "fuel:{budget}"),
+            FaultEntry::EstimatorBudget { calls } => write!(f, "estimator:{calls}"),
+            FaultEntry::Timeout { ms } => write!(f, "timeout:{ms}"),
+            FaultEntry::CheckpointTruncate { permille } => write!(f, "truncate:{permille}"),
+            FaultEntry::CheckpointBitflip { permille, bit } => {
+                write!(f, "bitflip:{permille}.{bit}")
+            }
+            FaultEntry::ServeKill { after } => write!(f, "servekill:{after}"),
+        }
+    }
+}
+
+/// A malformed fault plan: the 1-based column of the offending token
+/// and what is wrong with it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FaultPlanError {
+    /// 1-based column within the plan string.
+    pub column: usize,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fault plan column {}: {}", self.column, self.message)
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// An ordered composition of fault injectors.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct FaultPlan {
+    /// The armed injectors, in plan order.
+    pub entries: Vec<FaultEntry>,
+}
+
+impl FaultPlan {
+    /// The empty plan (injects nothing).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// First entry of the given shape, if armed.
+    pub fn find<T>(&self, pick: impl FnMut(&FaultEntry) -> Option<T>) -> Option<T> {
+        self.entries.iter().find_map(pick)
+    }
+
+    /// Parses the `+`-separated grammar (see the module docs); `none`
+    /// and the empty string parse to the empty plan.
+    pub fn parse(s: &str) -> Result<FaultPlan, FaultPlanError> {
+        let trimmed = s.trim();
+        if trimmed.is_empty() || trimmed == "none" {
+            return Ok(FaultPlan::none());
+        }
+        let mut entries = Vec::new();
+        let mut offset = 0usize;
+        for piece in s.split('+') {
+            let lead = piece.len() - piece.trim_start().len();
+            let column = offset + lead + 1;
+            let text = piece.trim();
+            offset += piece.len() + 1;
+            if text.is_empty() {
+                return Err(FaultPlanError { column, message: "empty fault entry".to_string() });
+            }
+            entries.push(parse_entry(text, column)?);
+        }
+        Ok(FaultPlan { entries })
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.entries.is_empty() {
+            return f.write_str("none");
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                f.write_str("+")?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+fn err(column: usize, message: impl Into<String>) -> FaultPlanError {
+    FaultPlanError { column, message: message.into() }
+}
+
+fn parse_entry(text: &str, column: usize) -> Result<FaultEntry, FaultPlanError> {
+    let (kind, args) = text
+        .split_once(':')
+        .ok_or_else(|| err(column, format!("expected `kind:args`, got `{text}`")))?;
+    let args_col = column + kind.len() + 1;
+    match kind {
+        "panic" => {
+            if args.is_empty() {
+                return Err(err(args_col, "panic needs a unit name"));
+            }
+            // `<unit>x<times>`: the times suffix is the part after the
+            // *last* `x` iff it parses as an integer (unit names may
+            // contain `x`).
+            if let Some((unit, digits)) = args.rsplit_once('x') {
+                if let Ok(times) = digits.parse::<u32>() {
+                    if unit.is_empty() {
+                        return Err(err(args_col, "panic needs a unit name"));
+                    }
+                    return Ok(FaultEntry::UnitPanic { unit: unit.to_string(), times });
+                }
+            }
+            Ok(FaultEntry::UnitPanic { unit: args.to_string(), times: u32::MAX })
+        }
+        "fuel" => Ok(FaultEntry::Fuel { budget: int(args, args_col, "fuel budget")? }),
+        "estimator" => {
+            Ok(FaultEntry::EstimatorBudget { calls: int(args, args_col, "estimator budget")? })
+        }
+        "timeout" => {
+            let ms = int(args, args_col, "timeout")?;
+            if ms == 0 {
+                return Err(err(args_col, "timeout must be at least 1 ms"));
+            }
+            Ok(FaultEntry::Timeout { ms })
+        }
+        "truncate" => {
+            let permille = int(args, args_col, "truncate point")? as u32;
+            if permille > 1000 {
+                return Err(err(args_col, format!("truncate point {permille} exceeds 1000‰")));
+            }
+            Ok(FaultEntry::CheckpointTruncate { permille })
+        }
+        "bitflip" => {
+            let (pos, bit) = args
+                .split_once('.')
+                .ok_or_else(|| err(args_col, "bitflip needs `<permille>.<bit>`"))?;
+            let permille = int(pos, args_col, "bitflip position")? as u32;
+            if permille > 1000 {
+                return Err(err(args_col, format!("bitflip position {permille} exceeds 1000‰")));
+            }
+            let bit_col = args_col + pos.len() + 1;
+            let bit = int(bit, bit_col, "bit index")?;
+            if bit > 7 {
+                return Err(err(bit_col, format!("bit index {bit} exceeds 7")));
+            }
+            Ok(FaultEntry::CheckpointBitflip { permille, bit: bit as u8 })
+        }
+        "servekill" => {
+            Ok(FaultEntry::ServeKill { after: int(args, args_col, "kill point")? as u32 })
+        }
+        other => Err(err(
+            column,
+            format!(
+                "unknown fault kind `{other}` (panic, fuel, estimator, timeout, truncate, \
+                 bitflip, servekill)"
+            ),
+        )),
+    }
+}
+
+fn int(s: &str, column: usize, what: &str) -> Result<u64, FaultPlanError> {
+    s.parse::<u64>().map_err(|_| err(column, format!("bad {what} `{s}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_none_parse_to_the_empty_plan() {
+        assert_eq!(FaultPlan::parse(""), Ok(FaultPlan::none()));
+        assert_eq!(FaultPlan::parse("none"), Ok(FaultPlan::none()));
+        assert_eq!(FaultPlan::none().to_string(), "none");
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn full_grammar_roundtrips() {
+        let text =
+            "panic:f0x2+fuel:500+estimator:64+timeout:30000+truncate:125+bitflip:40.3+servekill:2";
+        let plan = FaultPlan::parse(text).expect("parse");
+        assert_eq!(plan.entries.len(), 7);
+        assert_eq!(plan.to_string(), text);
+        assert_eq!(FaultPlan::parse(&plan.to_string()), Ok(plan));
+    }
+
+    #[test]
+    fn panic_without_count_means_always() {
+        let plan = FaultPlan::parse("panic:main").expect("parse");
+        assert_eq!(
+            plan.entries[0],
+            FaultEntry::UnitPanic { unit: "main".to_string(), times: u32::MAX }
+        );
+        assert_eq!(plan.to_string(), "panic:main");
+        // Unit names containing `x` survive when no integer suffix follows.
+        let plan = FaultPlan::parse("panic:fxy").expect("parse");
+        assert_eq!(
+            plan.entries[0],
+            FaultEntry::UnitPanic { unit: "fxy".to_string(), times: u32::MAX }
+        );
+    }
+
+    #[test]
+    fn whitespace_around_entries_is_tolerated() {
+        let plan = FaultPlan::parse(" fuel:9 + timeout:50 ").expect("parse");
+        assert_eq!(plan.entries.len(), 2);
+        assert_eq!(plan.to_string(), "fuel:9+timeout:50");
+    }
+
+    #[test]
+    fn find_picks_the_first_matching_entry() {
+        let plan = FaultPlan::parse("fuel:9+fuel:10").expect("parse");
+        let budget = plan.find(|e| match e {
+            FaultEntry::Fuel { budget } => Some(*budget),
+            _ => None,
+        });
+        assert_eq!(budget, Some(9));
+        assert_eq!(
+            plan.find(|e| match e {
+                FaultEntry::ServeKill { after } => Some(*after),
+                _ => None,
+            }),
+            None
+        );
+    }
+
+    #[test]
+    fn errors_carry_the_offending_column() {
+        let e = FaultPlan::parse("fuel:9+warp:1").expect_err("unknown kind");
+        assert_eq!(e.column, 8);
+        assert!(e.to_string().contains("column 8"), "{e}");
+        assert!(e.message.contains("warp"));
+
+        let e = FaultPlan::parse("fuel:x").expect_err("bad int");
+        assert_eq!(e.column, 6);
+
+        let e = FaultPlan::parse("bitflip:40").expect_err("missing bit");
+        assert!(e.message.contains("bitflip"));
+
+        let e = FaultPlan::parse("bitflip:40.9").expect_err("bit too big");
+        assert_eq!(e.column, 12);
+
+        let e = FaultPlan::parse("truncate:2000").expect_err("permille range");
+        assert!(e.message.contains("1000"));
+
+        let e = FaultPlan::parse("fuel:1++fuel:2").expect_err("empty entry");
+        assert!(e.message.contains("empty"));
+
+        let e = FaultPlan::parse("timeout:0").expect_err("zero timeout");
+        assert!(e.message.contains("at least 1"));
+
+        let e = FaultPlan::parse("panic:").expect_err("no unit");
+        assert!(e.message.contains("unit name"));
+    }
+}

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod fault;
 pub mod supervise;
 
 use std::sync::atomic::{AtomicUsize, Ordering};

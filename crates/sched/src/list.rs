@@ -20,14 +20,21 @@ pub struct BlockSchedule {
     pub length: u32,
     /// Number of intercluster moves in the block (static).
     pub intercluster_moves: u32,
+    /// Summed per-move network latency of the block's intercluster
+    /// moves (static). On a bus this is `intercluster_moves ×
+    /// move_latency`; ring and mesh topologies scale each move by its
+    /// hop distance, so the performance model charges transfers from
+    /// this sum rather than from the flat count.
+    pub transfer_latency: u64,
     /// Number of remote memory accesses under the coherent-cache model
     /// (static; always 0 for unified/partitioned memory).
     pub remote_accesses: u32,
 }
 
 /// Effective latency of an operation under a placement: intercluster
-/// moves take the network latency, everything else takes its
-/// function-unit latency.
+/// moves take the network latency between the source register's home
+/// cluster and the move's cluster (hop-scaled under ring/mesh
+/// topologies), everything else takes its function-unit latency.
 pub fn effective_latency(
     program: &Program,
     func: FuncId,
@@ -37,7 +44,8 @@ pub fn effective_latency(
     machine: &Machine,
 ) -> u32 {
     if is_intercluster_move(program, func, op, placement, homes) {
-        machine.move_latency()
+        let src = homes[program.functions[func].ops[op].srcs[0]];
+        machine.move_latency_between(src, placement.cluster_of(func, op))
     } else {
         machine.latency.of(program.functions[func].ops[op].opcode)
     }
@@ -93,6 +101,7 @@ pub fn schedule_block(
             issue: Vec::new(),
             length: 0,
             intercluster_moves: 0,
+            transfer_latency: 0,
             remote_accesses: 0,
         };
     }
@@ -132,7 +141,15 @@ pub fn schedule_block(
     let mut cycle = 0u32;
     let mut max_completion = 0u32;
     // Safety bound: every op issues within n * (max latency + n) cycles.
-    let bound = (n as u32 + 2) * (machine.move_latency().max(16) + 2);
+    // Under ring/mesh topologies a single move can take several hops, so
+    // the bound uses the worst pairwise latency, not the flat bus one.
+    let max_move_latency = machine
+        .cluster_ids()
+        .flat_map(|a| machine.cluster_ids().map(move |b| (a, b)))
+        .map(|(a, b)| machine.move_latency_between(a, b))
+        .max()
+        .unwrap_or(0);
+    let bound = (n as u32 + 2) * (max_move_latency.max(16) + 2);
     while issued_count < n && cycle <= bound {
         // Gather ready ops at this cycle, best priority first.
         let mut ready: Vec<usize> = (0..n)
@@ -185,11 +202,16 @@ pub fn schedule_block(
     debug_assert_eq!(issued_count, n, "scheduler failed to issue all operations");
 
     let intercluster_moves = is_ic_move.iter().filter(|&&b| b).count() as u32;
+    let transfer_latency: u64 = (0..n)
+        .filter(|&i| is_ic_move[i])
+        .map(|i| effective_latency(program, func, dg.ops[i], placement, &homes, machine) as u64)
+        .sum();
     BlockSchedule {
         ops: dg.ops,
         issue,
         length: max_completion.max(1),
         intercluster_moves,
+        transfer_latency,
         remote_accesses,
     }
 }
@@ -312,6 +334,39 @@ mod tests {
         assert_eq!(s.intercluster_moves, 2);
         // consts@0, moves@1 and @2 (bandwidth 1), add@7 (done 8), ret@8 -> 9.
         assert_eq!(s.length, 9, "{s:?}");
+    }
+
+    #[test]
+    fn ring_topology_scales_move_latency_by_hops() {
+        use mcpart_machine::{Interconnect, Topology};
+        let mut p = Program::new("t");
+        let mut b = FunctionBuilder::entry(&mut p);
+        let x = b.iconst(1);
+        let y = b.mov(x); // becomes an intercluster move via placement
+        let z = b.add(y, y);
+        b.ret(Some(z));
+        let access = access_of(&p);
+        let f = p.entry;
+        let func = p.entry_function();
+        let mov = func.blocks[func.entry].ops[1];
+        let add = func.blocks[func.entry].ops[2];
+        let mut pl = Placement::all_on_cluster0(&p);
+        // x homed on c0; the move and its consumer on c2 (2 hops away on
+        // a 4-cluster ring).
+        pl.set_cluster(f, mov, ClusterId::new(2));
+        pl.set_cluster(f, add, ClusterId::new(2));
+        let ring = Machine::homogeneous(4, 5)
+            .with_interconnect(Interconnect::bus(5).with_topology(Topology::Ring));
+        let s = schedule_block(&p, f, func.entry, &pl, &ring, &access);
+        assert_eq!(s.intercluster_moves, 1);
+        assert_eq!(s.transfer_latency, 10, "2 hops x 5 cycles");
+        // iconst@0, move@1 (10 cycles, done 11), add@11 (done 12), ret@12.
+        assert_eq!(s.length, 13, "{s:?}");
+        // The same placement on a bus keeps the paper's flat latency.
+        let bus = Machine::homogeneous(4, 5);
+        let s = schedule_block(&p, f, func.entry, &pl, &bus, &access);
+        assert_eq!(s.transfer_latency, 5);
+        assert_eq!(s.length, 8, "{s:?}");
     }
 
     #[test]

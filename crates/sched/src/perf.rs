@@ -26,9 +26,10 @@ pub struct PerfReport {
     /// Dynamic cycles in which no operation issued (schedule bubbles
     /// from dependence latency and transfer waits), profile-weighted.
     pub stall_cycles: u64,
-    /// Dynamic cycles spent on the interconnect: intercluster moves ×
-    /// network move latency, profile-weighted. Overlapping transfers
-    /// each count in full, so this is occupancy, not elapsed time.
+    /// Dynamic cycles spent on the interconnect: each intercluster
+    /// move's network latency (hop-scaled under ring/mesh topologies),
+    /// profile-weighted. Overlapping transfers each count in full, so
+    /// this is occupancy, not elapsed time.
     pub transfer_cycles: u64,
     /// Per-function, per-block schedules (for inspection).
     pub schedules: EntityMap<FuncId, EntityMap<BlockId, BlockSchedule>>,
@@ -83,8 +84,7 @@ pub fn evaluate(
             busy.sort_unstable();
             busy.dedup();
             stall_cycles += (schedule.length as u64).saturating_sub(busy.len() as u64) * freq;
-            transfer_cycles +=
-                schedule.intercluster_moves as u64 * machine.move_latency() as u64 * freq;
+            transfer_cycles += schedule.transfer_latency * freq;
             per_block.push(schedule);
         }
         schedules.push(per_block);

@@ -134,4 +134,33 @@ cmp "$INCR/fresh.txt" "$INCR/inc.txt" \
   || { echo "incremental stdout differs from from-scratch"; exit 1; }
 target/release/mcpart checkpoint-diff "$INCR/fresh.ck" "$INCR/inc.ck"
 
+echo "== chaos soak (500 seeded scenarios, independent oracle, 0 failures)"
+target/release/mcpart chaos 500 --seed 20260807 \
+  --trace-out /tmp/mcpart_chaos_trace.json > /tmp/mcpart_chaos_a.txt
+grep -q " 0 failure(s)" /tmp/mcpart_chaos_a.txt \
+  || { echo "chaos soak found oracle failures:"; cat /tmp/mcpart_chaos_a.txt; exit 1; }
+# Bit-identical across repeat runs and jobs-invariance worker counts.
+target/release/mcpart chaos 500 --seed 20260807 --jobs 2 > /tmp/mcpart_chaos_b.txt
+cmp /tmp/mcpart_chaos_a.txt /tmp/mcpart_chaos_b.txt \
+  || { echo "chaos soak is not deterministic across runs/worker counts"; exit 1; }
+target/release/mcpart trace-check /tmp/mcpart_chaos_trace.json \
+  --require chaos/scenarios=500,chaos/failures=0,chaos/shrink_steps=0,chaos/oracle_checks
+# The oracle actually bites: an injected bad placement must fail the
+# soak, shrink, and replay from the corpus.
+CHAOS_CORPUS=/tmp/mcpart_chaos_corpus
+rm -rf "$CHAOS_CORPUS"
+if target/release/mcpart chaos 2 --seed 3 --inject-bad-placement \
+    --corpus "$CHAOS_CORPUS" >/dev/null 2>&1; then
+  echo "chaos soak missed an injected bad placement"; exit 1
+fi
+CHAOS_REPRO=$(ls "$CHAOS_CORPUS"/*.repro | head -1)
+if target/release/mcpart chaos --replay "$CHAOS_REPRO" --inject-bad-placement >/dev/null; then
+  echo "corpus repro did not reproduce the injected failure"; exit 1
+fi
+target/release/mcpart chaos --replay "$CHAOS_REPRO" >/dev/null \
+  || { echo "corpus repro fails even without the injected bug"; exit 1; }
+
+echo "== hardened-profile tests (overflow-checks + debug-assertions pinned)"
+cargo test --profile overflow -q -p mcpart-machine -p mcpart-sched >/dev/null
+
 echo "== all checks passed"

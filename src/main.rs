@@ -38,8 +38,8 @@ macro_rules! outln {
 }
 
 const USAGE: &str =
-    "usage: mcpart <list|gen|run|compare|dump|exec|partition|repartition|schedule|serve|stats|\
-     trace-check|bench-diff|checkpoint-diff> [args]
+    "usage: mcpart <list|gen|run|compare|dump|exec|partition|repartition|schedule|serve|chaos|\
+     stats|trace-check|bench-diff|checkpoint-diff> [args]
 gen <spec> [--out <path>]  generate a synthetic scale program: <spec> is
          a preset (synth_10k, synth_100k, synth_1m) or key=value,...
          (keys ops,funcs,depth,region,objects,sharing,trips,seed);
@@ -72,12 +72,25 @@ repartition <target> --baseline <checkpoint> [run options]
          error); an incompatible one (different name/seed/clusters/
          latency/memory/fuel) is rejected with exit 2
 serve <spool-dir> [--drain] [--batch n] [--queue n] [--poll-ms n]
-         [--telemetry-every n]
+         [--telemetry-every n] [--max-requeues n]
          long-running partition service: submit jobs as
          <spool-dir>/*.job files, read results from <spool-dir>/out/;
          repeat submissions are integrity-verified cache hits; the
          flight recorder appends metric snapshots to
-         <spool-dir>/telemetry/ every n committed jobs (0 disables)
+         <spool-dir>/telemetry/ every n committed jobs (0 disables);
+         a job requeued by crash recovery more than n times (default 3)
+         is quarantined to failed/ as poison instead of requeued
+chaos <scenarios> [--seed n] [--no-shrink] [--corpus dir] [--sweep file]
+         [--jobs n] [--metrics] [--trace-out path] | --replay <file>
+         deterministic soak: samples (program, machine, fault-plan)
+         scenarios from a k-cluster sweep matrix, runs the pipeline
+         under injected faults, and judges every outcome with an
+         independent placement oracle (well-formedness, recounted
+         bytes/cut, move accounting, ladder soundness, semantics,
+         jobs-invariance at --jobs workers). Failures are shrunk to
+         minimal repros written to --corpus; --replay re-runs one
+         repro file exactly; --sweep replaces the built-in machine
+         matrix (malformed files exit 2 with line/column)
 stats <telemetry-dir|trace.json> [--pinned]  per-stage latency and
          work-distribution percentile tables (p50/p90/p99) from a serve
          telemetry directory or a Chrome trace file; --pinned prints
@@ -327,13 +340,15 @@ fn emit_obs(o: &Options, obs: &mcpart::obs::Obs) -> Result<(), String> {
     Ok(())
 }
 
-fn machine_of(o: &Options) -> Machine {
+fn machine_of(o: &Options) -> Result<Machine, CliError> {
     let m = Machine::homogeneous(o.clusters, o.latency);
-    match o.memory {
+    let m = match o.memory {
         MemoryChoice::Partitioned => m,
         MemoryChoice::Unified => m.with_unified_memory(),
         MemoryChoice::Coherent(p) => m.with_coherent_cache(p),
-    }
+    };
+    m.validate().map_err(|e| CliError::Usage(format!("machine configuration invalid: {e}")))?;
+    Ok(m)
 }
 
 fn load_target(name_or_path: &str) -> Result<(Program, Profile), String> {
@@ -554,7 +569,7 @@ fn report_run(
     o: &Options,
     baseline: Option<std::sync::Arc<Manifest>>,
 ) -> Result<(), CliError> {
-    let machine = machine_of(o);
+    let machine = machine_of(o)?;
     let obs = obs_of(o);
     let mut session = CheckpointSession::open(o, program)?;
     let (rec, repartition) =
@@ -670,6 +685,13 @@ fn parse_serve_options(args: &[String]) -> Result<ServeOptions, String> {
                     .get(i + 1)
                     .and_then(|v| v.parse().ok())
                     .ok_or("--telemetry-every needs a job count (0 disables)")?;
+                i += 1;
+            }
+            "--max-requeues" => {
+                cfg.max_requeues = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--max-requeues needs a count")?;
                 i += 1;
             }
             "--trace-out" => {
@@ -803,7 +825,7 @@ fn main() -> ExitCode {
                 .ok_or_else(|| CliError::usage("compare needs a benchmark name or file"))?;
             let o = parse_options(&args[2..]).map_err(CliError::Usage)?;
             let (program, profile) = load_target_cli(target)?;
-            let machine = machine_of(&o);
+            let machine = machine_of(&o)?;
             let obs = obs_of(&o);
             let mut session = CheckpointSession::open(&o, &program)?;
             let mut unified = 0u64;
@@ -892,7 +914,7 @@ fn main() -> ExitCode {
                 .ok_or_else(|| CliError::usage("schedule needs a benchmark name or file"))?;
             let o = parse_options(&args[2..]).map_err(CliError::Usage)?;
             let (program, profile) = load_target_cli(target)?;
-            let machine = machine_of(&o);
+            let machine = machine_of(&o)?;
             let obs = obs_of(&o);
             let config = config_of(&o, o.method).with_obs(obs.clone());
             let run =
@@ -935,7 +957,7 @@ fn main() -> ExitCode {
                 .ok_or_else(|| CliError::usage("partition needs a benchmark name or file"))?;
             let o = parse_options(&args[2..]).map_err(CliError::Usage)?;
             let (program, profile) = load_target_cli(target)?;
-            let machine = machine_of(&o);
+            let machine = machine_of(&o)?;
             let program = profile.apply_heap_sizes(&program);
             let pts = mcpart::analysis::PointsTo::compute(&program);
             let access = mcpart::analysis::AccessInfo::compute(&program, &pts, &profile);
@@ -978,6 +1000,165 @@ fn main() -> ExitCode {
                 outln!("{}", cfg.obs.summary());
             }
             Ok(())
+        })(),
+        "chaos" => (|| {
+            let rest = &args[1..];
+            let mut scenarios: Option<usize> = None;
+            let mut seed: u64 = 0xC4A05;
+            let mut shrink = true;
+            let mut corpus: Option<String> = None;
+            let mut replay: Option<String> = None;
+            let mut sweep_path: Option<String> = None;
+            let mut jobs_compare: usize = 4;
+            let mut trace_out: Option<String> = None;
+            let mut metrics = false;
+            let mut inject_bad = false;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--seed" => {
+                        seed = rest
+                            .get(i + 1)
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| CliError::usage("--seed needs a number"))?;
+                        i += 1;
+                    }
+                    "--shrink" => shrink = true,
+                    "--no-shrink" => shrink = false,
+                    "--corpus" => {
+                        corpus = Some(
+                            rest.get(i + 1)
+                                .ok_or_else(|| CliError::usage("--corpus needs a directory"))?
+                                .to_string(),
+                        );
+                        i += 1;
+                    }
+                    "--replay" => {
+                        replay = Some(
+                            rest.get(i + 1)
+                                .ok_or_else(|| CliError::usage("--replay needs a repro file"))?
+                                .to_string(),
+                        );
+                        i += 1;
+                    }
+                    "--sweep" => {
+                        sweep_path = Some(
+                            rest.get(i + 1)
+                                .ok_or_else(|| CliError::usage("--sweep needs a matrix file"))?
+                                .to_string(),
+                        );
+                        i += 1;
+                    }
+                    "--jobs" => {
+                        jobs_compare = rest
+                            .get(i + 1)
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| CliError::usage("--jobs needs a number"))?;
+                        i += 1;
+                    }
+                    "--trace-out" => {
+                        trace_out = Some(
+                            rest.get(i + 1)
+                                .ok_or_else(|| CliError::usage("--trace-out needs a path"))?
+                                .to_string(),
+                        );
+                        i += 1;
+                    }
+                    "--metrics" => metrics = true,
+                    "--inject-bad-placement" => inject_bad = true,
+                    other if !other.starts_with('-') && scenarios.is_none() => {
+                        scenarios = Some(other.parse().map_err(|_| {
+                            CliError::usage(format!("`{other}` is not a scenario count"))
+                        })?);
+                    }
+                    other => {
+                        return Err(CliError::usage(format!("unknown chaos option `{other}`")))
+                    }
+                }
+                i += 1;
+            }
+            let mut cfg = mcpart::core::ChaosConfig::new(scenarios.unwrap_or(0), seed);
+            cfg.shrink = shrink;
+            cfg.corpus = corpus.map(std::path::PathBuf::from);
+            cfg.jobs_compare = jobs_compare;
+            cfg.inject_bad_placement = inject_bad;
+            if trace_out.is_some() || metrics {
+                cfg.obs = mcpart::obs::Obs::enabled();
+            }
+            if let Some(path) = &sweep_path {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| CliError::Runtime(format!("cannot read {path}: {e}")))?;
+                cfg.sweep = mcpart::machine::SweepMatrix::parse(&text)
+                    .map_err(|e| CliError::Config(format!("{path}: {e}")))?;
+                cfg.sweep
+                    .validate()
+                    .map_err(|e| CliError::Config(format!("{path}: unusable sweep: {e}")))?;
+            }
+            let chaos_err = |e: mcpart::core::ChaosError| match e {
+                mcpart::core::ChaosError::Io { .. } => CliError::Runtime(e.to_string()),
+                other => CliError::Config(other.to_string()),
+            };
+            let emit = |obs: &mcpart::obs::Obs| -> Result<(), CliError> {
+                if let Some(path) = &trace_out {
+                    std::fs::write(path, obs.chrome_trace())
+                        .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
+                }
+                if metrics {
+                    outln!("{}", obs.summary());
+                }
+                Ok(())
+            };
+            if let Some(path) = &replay {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| CliError::Runtime(format!("cannot read {path}: {e}")))?;
+                let scenario = mcpart::core::Scenario::parse(&text)
+                    .map_err(|e| CliError::Config(format!("{path}: {e}")))?;
+                let result = mcpart::core::run_scenario(&scenario, &cfg).map_err(chaos_err)?;
+                outln!(
+                    "replay {path}: {} ({} oracle check(s))",
+                    result.verdict.slug(),
+                    result.checks_run
+                );
+                for line in result.detail.lines() {
+                    outln!("  {line}");
+                }
+                emit(&cfg.obs)?;
+                if result.failed() {
+                    return Err(CliError::Runtime(format!(
+                        "replayed scenario failed: {}",
+                        result.verdict.slug()
+                    )));
+                }
+                return Ok(());
+            }
+            let n = scenarios.ok_or_else(|| {
+                CliError::usage("chaos needs a scenario count (or --replay <file>)")
+            })?;
+            cfg.scenarios = n;
+            let sum = mcpart::core::run_chaos(&cfg).map_err(chaos_err)?;
+            for (k, f) in sum.failures.iter().enumerate() {
+                outln!("failure {k}: {}", f.verdict.slug());
+                for line in f.detail.lines() {
+                    outln!("  {line}");
+                }
+                outln!("  scenario:");
+                for line in f.scenario.to_string().lines() {
+                    outln!("    {line}");
+                }
+            }
+            for p in &sum.repro_files {
+                outln!("repro written: {}", p.display());
+            }
+            outln!("{}", sum.line());
+            emit(&cfg.obs)?;
+            if sum.failures.is_empty() {
+                Ok(())
+            } else {
+                Err(CliError::Runtime(format!(
+                    "{} scenario(s) failed the oracle",
+                    sum.failures.len()
+                )))
+            }
         })(),
         "trace-check" => (|| {
             let path = args

@@ -187,6 +187,47 @@ fn poison_job_quarantines_while_the_queue_continues() {
     assert!(!stdout.contains("cache hit"), "served a quarantined result from cache: {stdout}");
 }
 
+/// Acceptance (satellite): a job that takes the process down before it
+/// can ever commit (here via the `--halt-after 0` crash hook) is
+/// requeued by startup recovery only `--max-requeues` times; the next
+/// startup quarantines it to `failed/` as poison, counts it in the
+/// summary, and the queue flows on.
+#[test]
+fn crash_looping_job_is_quarantined_after_the_requeue_budget() {
+    let dir = spool("requeue_cap");
+    submit(&dir, "p", &job("fir"));
+    // Three crash-loops in a row: claim, die mid-commit, restart.
+    // The budget of 2 is spent by the second and third startups.
+    for round in 0..3 {
+        let (stdout, _, code) =
+            serve(&dir, &["--drain", "--halt-after", "0", "--max-requeues", "2"]);
+        assert_ne!(code, Some(0), "round {round}: the halted run must die: {stdout}");
+    }
+    assert!(
+        fs::read_to_string(dir.join("p.requeues")).expect("sidecar").trim() == "2",
+        "sidecar must carry the requeue tally"
+    );
+    // The fourth startup refuses to requeue the job again.
+    let (stdout, stderr, code) = serve(&dir, &["--drain", "--max-requeues", "2"]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("quarantined 1 poison job(s)"), "{stdout}");
+    assert!(stdout.contains("poisoned=1"), "{stdout}");
+    assert!(dir.join("failed").join("p.job").exists(), "poison job not in failed/");
+    let reason = fs::read_to_string(dir.join("failed").join("p.reason")).expect("diagnostic");
+    assert!(reason.contains("poisoned: requeued 2 time(s)"), "{reason}");
+    assert!(!dir.join("p.requeues").exists(), "sidecar must not outlive the job");
+
+    // A job that survives a crash and then commits sheds its tally:
+    // the budget only counts *consecutive* failures to commit.
+    submit(&dir, "q", &job("latnrm"));
+    let (_, _, code) = serve(&dir, &["--drain", "--halt-after", "0", "--max-requeues", "2"]);
+    assert_ne!(code, Some(0), "the halted run must die");
+    let (stdout, _, code) = serve(&dir, &["--drain", "--max-requeues", "2"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("job q: ok"), "{stdout}");
+    assert!(!dir.join("q.requeues").exists(), "tally must reset once the job commits");
+}
+
 /// Overload sheds deterministically: a bounded admission queue, and
 /// everything past the bound gets a typed `overloaded` result file —
 /// never a silent drop. Lexicographic order decides who is admitted.
